@@ -1,0 +1,64 @@
+//! Full-suite smoke check: every query, both optimizers, result agreement.
+
+use mylite::Engine;
+use taurus_bridge::OrcaOptimizer;
+use taurus_workloads::{tpcds, tpch, Scale};
+
+fn canon(rows: Vec<Vec<taurus_common::Value>>) -> Vec<String> {
+    let mut out: Vec<String> = rows
+        .into_iter()
+        .map(|r| {
+            r.into_iter()
+                .map(|v| match v {
+                    taurus_common::Value::Double(d) => format!("D{:.4}", d),
+                    other => format!("{other:?}"),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let tpch_engine = Engine::new(tpch::build_catalog(Scale(0.1)));
+    let tpcds_engine = Engine::new(tpcds::build_catalog(Scale(0.1)));
+    println!("load: {:?}", t0.elapsed());
+    let orca_h = OrcaOptimizer::new(orcalite::OrcaConfig::default(), 3);
+    let orca_ds = OrcaOptimizer::new(orcalite::OrcaConfig::default(), 2);
+
+    let mut failures = 0;
+    for (engine, orca, queries, tag) in [
+        (&tpch_engine, &orca_h, tpch::queries(), "tpch"),
+        (&tpcds_engine, &orca_ds, tpcds::queries(), "tpcds"),
+    ] {
+        for q in queries {
+            let t = std::time::Instant::now();
+            let mine = match engine.query(&q.sql) {
+                Ok(o) => o,
+                Err(e) => { println!("{tag}/{}: MYSQL ERROR {e}", q.name); failures += 1; continue }
+            };
+            let t_my = t.elapsed();
+            let t = std::time::Instant::now();
+            let theirs = match engine.query_with(&q.sql, orca) {
+                Ok(o) => o,
+                Err(e) => { println!("{tag}/{}: ORCA ERROR {e}", q.name); failures += 1; continue }
+            };
+            let t_orca = t.elapsed();
+            let (wm, wo) = (mine.work_units, theirs.work_units);
+            if canon(mine.rows) != canon(theirs.rows) {
+                println!("{tag}/{}: RESULT MISMATCH", q.name);
+                failures += 1;
+            } else {
+                println!(
+                    "{tag}/{}: ok  mysql {:>8.1?} ({wm:>9}wu)  orca {:>8.1?} ({wo:>9}wu)  ratio {:.2}",
+                    q.name, t_my, t_orca, wm as f64 / wo.max(1) as f64
+                );
+            }
+        }
+    }
+    println!("total {:?}, failures {failures}", t0.elapsed());
+    std::process::exit(if failures > 0 { 1 } else { 0 });
+}

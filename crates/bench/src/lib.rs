@@ -1,0 +1,418 @@
+//! Experiment runners shared by the Criterion benches and the `harness`
+//! binary.
+//!
+//! Every table and figure in the paper's evaluation (§6) has a runner here:
+//!
+//! | Paper artifact | Runner | What it reports |
+//! |---|---|---|
+//! | Fig 10 | [`run_suite`] (TPC-H) | per-query MySQL vs Orca run time (incl. optimization) |
+//! | Fig 11 | [`run_suite`] (TPC-DS) | same for the 99-query suite |
+//! | Fig 12 | [`fig12_points`] | (MySQL time, Orca/MySQL ratio) scatter |
+//! | Table 1 | [`compile_totals`] | total EXPLAIN time: MySQL, +Orca EXHAUSTIVE, +Orca EXHAUSTIVE2 |
+//! | Fig 4/5 | [`q72_case_study`] | Q72 plan shapes and join-method counts |
+//! | Fig 6/7 + Listing 7 | [`q17_case_study`] | Q17 best-position array and EXPLAIN |
+//! | §6.2 Q41 | [`q41_case_study`] | OR-factorization speedup |
+//! | §7 lessons | [`ablations`] | rule on/off comparisons |
+//!
+//! Timings are medians over `reps` runs; work units (rows processed, probes,
+//! lookups) accompany every timing so shapes are machine-independent.
+
+use mylite::engine::CostBasedOptimizer;
+use mylite::{Engine, MySqlOptimizer};
+use orcalite::{JoinOrderStrategy, OrcaConfig};
+use std::time::{Duration, Instant};
+use taurus_bridge::OrcaOptimizer;
+use taurus_workloads::tpch::Query;
+use taurus_workloads::{tpcds, tpch, Scale};
+
+/// Which workload a runner operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    TpcH,
+    TpcDs,
+}
+
+impl Workload {
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::TpcH => "TPC-H",
+            Workload::TpcDs => "TPC-DS",
+        }
+    }
+
+    /// The paper's complex-query threshold per workload (§6.1/§6.2).
+    pub fn threshold(self) -> usize {
+        match self {
+            Workload::TpcH => 3,
+            Workload::TpcDs => 2,
+        }
+    }
+
+    pub fn build_engine(self, scale: Scale) -> Engine {
+        match self {
+            Workload::TpcH => Engine::new(tpch::build_catalog(scale)),
+            Workload::TpcDs => Engine::new(tpcds::build_catalog(scale)),
+        }
+    }
+
+    pub fn queries(self) -> Vec<Query> {
+        match self {
+            Workload::TpcH => tpch::queries(),
+            Workload::TpcDs => tpcds::queries(),
+        }
+    }
+}
+
+/// Per-query comparison result.
+#[derive(Debug, Clone)]
+pub struct QueryComparison {
+    pub name: String,
+    pub mysql: Duration,
+    pub orca: Duration,
+    pub mysql_work: u64,
+    pub orca_work: u64,
+    /// Whether the Orca path actually produced the plan (vs threshold skip
+    /// or fallback).
+    pub orca_assisted: bool,
+}
+
+impl QueryComparison {
+    /// Orca-time / MySQL-time: < 1 means Orca's plan is faster (the Y axis
+    /// of Fig 12).
+    pub fn time_ratio(&self) -> f64 {
+        self.orca.as_secs_f64() / self.mysql.as_secs_f64().max(1e-9)
+    }
+
+    /// MySQL-work / Orca-work: > 1 means Orca's plan does less work (the
+    /// machine-independent speedup).
+    pub fn work_speedup(&self) -> f64 {
+        self.mysql_work as f64 / self.orca_work.max(1) as f64
+    }
+}
+
+/// Median-of-`reps` timing of planning + executing `sql` under `opt`.
+fn time_query(
+    engine: &Engine,
+    sql: &str,
+    opt: &dyn CostBasedOptimizer,
+    reps: usize,
+) -> (Duration, u64) {
+    let mut times = Vec::with_capacity(reps);
+    let mut work = 0;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let out = engine.query_with(sql, opt).expect("workload query must run");
+        times.push(t.elapsed());
+        work = out.work_units;
+    }
+    times.sort();
+    (times[times.len() / 2], work)
+}
+
+/// Run a whole suite under both optimizers — the Fig 10 / Fig 11 runner.
+pub fn run_suite(
+    workload: Workload,
+    scale: Scale,
+    strategy: JoinOrderStrategy,
+    reps: usize,
+) -> Vec<QueryComparison> {
+    let engine = workload.build_engine(scale);
+    let orca =
+        OrcaOptimizer::new(OrcaConfig::with_strategy(strategy), workload.threshold());
+    let mut out = Vec::new();
+    for q in workload.queries() {
+        let (mysql, mysql_work) = time_query(&engine, &q.sql, &MySqlOptimizer, reps);
+        let routed_before = orca.stats().routed;
+        let (orca_t, orca_work) = time_query(&engine, &q.sql, &orca, reps);
+        out.push(QueryComparison {
+            name: q.name.to_string(),
+            mysql,
+            orca: orca_t,
+            mysql_work,
+            orca_work,
+            orca_assisted: orca.stats().routed > routed_before,
+        });
+    }
+    out
+}
+
+/// Fig 12: (MySQL run time, Orca/MySQL time ratio) scatter points.
+pub fn fig12_points(results: &[QueryComparison]) -> Vec<(String, f64, f64)> {
+    results
+        .iter()
+        .map(|r| (r.name.clone(), r.mysql.as_secs_f64(), r.time_ratio()))
+        .collect()
+}
+
+/// One Table 1 row: total time to *compile* (EXPLAIN) an entire suite.
+#[derive(Debug, Clone)]
+pub struct CompileTotal {
+    pub compiler: &'static str,
+    pub total: Duration,
+    /// Per-query compile times (to find the Q14/Q64-style outliers).
+    pub per_query: Vec<(String, Duration)>,
+}
+
+/// Table 1: total EXPLAIN times with the complex-query threshold at 1 so
+/// every query takes the Orca detour (§6.3).
+pub fn compile_totals(workload: Workload, scale: Scale) -> Vec<CompileTotal> {
+    let engine = workload.build_engine(scale);
+    let queries = workload.queries();
+    let mut rows = Vec::new();
+    let compile_with = |opt: &dyn CostBasedOptimizer| -> (Duration, Vec<(String, Duration)>) {
+        let mut total = Duration::ZERO;
+        let mut per = Vec::new();
+        for q in &queries {
+            let t = Instant::now();
+            engine.plan(&q.sql, opt).expect("workload query must plan");
+            let d = t.elapsed();
+            total += d;
+            per.push((q.name.to_string(), d));
+        }
+        (total, per)
+    };
+    let (total, per_query) = compile_with(&MySqlOptimizer);
+    rows.push(CompileTotal { compiler: "MySQL", total, per_query });
+    for (label, strategy) in [
+        ("MySQL + Orca—EXHAUSTIVE", JoinOrderStrategy::Exhaustive),
+        ("MySQL + Orca—EXHAUSTIVE2", JoinOrderStrategy::Exhaustive2),
+    ] {
+        let orca = OrcaOptimizer::new(OrcaConfig::with_strategy(strategy), 1);
+        let (total, per_query) = compile_with(&orca);
+        rows.push(CompileTotal { compiler: label, total, per_query });
+    }
+    rows
+}
+
+/// Plan-shape summary for a case-study query.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    pub mysql_explain: String,
+    pub orca_explain: String,
+    /// `(nested loops, hash joins)` per optimizer.
+    pub mysql_joins: (usize, usize),
+    pub orca_joins: (usize, usize),
+    pub mysql_left_deep: bool,
+    pub orca_left_deep: bool,
+    pub mysql_time: Duration,
+    pub orca_time: Duration,
+    pub mysql_work: u64,
+    pub orca_work: u64,
+}
+
+/// Run a single query as a case study under both optimizers.
+pub fn case_study(workload: Workload, scale: Scale, sql: &str, reps: usize) -> CaseStudy {
+    let engine = workload.build_engine(scale);
+    let orca = OrcaOptimizer::new(OrcaConfig::default(), 1);
+    let mplan = engine.plan(sql, &MySqlOptimizer).expect("plans");
+    let oplan = engine.plan(sql, &orca).expect("plans");
+    let (mysql_time, mysql_work) = time_query(&engine, sql, &MySqlOptimizer, reps);
+    let (orca_time, orca_work) = time_query(&engine, sql, &orca, reps);
+    CaseStudy {
+        mysql_explain: engine.explain(sql, &MySqlOptimizer).expect("explains"),
+        orca_explain: engine.explain(sql, &orca).expect("explains"),
+        mysql_joins: mplan.primary().plan.join_method_counts(),
+        orca_joins: oplan.primary().plan.join_method_counts(),
+        mysql_left_deep: mplan.primary().plan.is_left_deep(),
+        orca_left_deep: oplan.primary().plan.is_left_deep(),
+        mysql_time,
+        orca_time,
+        mysql_work,
+        orca_work,
+    }
+}
+
+/// Fig 4/5: the Q72 snowflake.
+pub fn q72_case_study(scale: Scale, reps: usize) -> CaseStudy {
+    case_study(Workload::TpcDs, scale, &tpcds::query(72).sql, reps)
+}
+
+/// Fig 6/7 + Listing 7: TPC-H Q17 (correlated average, materialized
+/// derived, best-position arrays).
+pub fn q17_case_study(scale: Scale, reps: usize) -> CaseStudy {
+    let q17 = &tpch::queries()[16];
+    case_study(Workload::TpcH, scale, &q17.sql, reps)
+}
+
+/// §6.2's Q41: the OR-factorization query.
+pub fn q41_case_study(scale: Scale, reps: usize) -> CaseStudy {
+    case_study(Workload::TpcDs, scale, &tpcds::query(41).sql, reps)
+}
+
+/// One ablation row: a §7 lesson toggled off vs the paper configuration.
+#[derive(Debug, Clone)]
+pub struct Ablation {
+    pub name: &'static str,
+    pub query: String,
+    pub with_rule: Duration,
+    pub without_rule: Duration,
+    pub with_work: u64,
+    pub without_work: u64,
+}
+
+/// The §7 lesson ablations.
+pub fn ablations(scale: Scale, reps: usize) -> Vec<Ablation> {
+    let mut out = Vec::new();
+
+    // (1) OR factorization on Q41 (§7 item 4 / §6.2).
+    {
+        let engine = Workload::TpcDs.build_engine(scale);
+        let sql = tpcds::query(41).sql;
+        let on = OrcaOptimizer::new(OrcaConfig::default(), 1);
+        let off = OrcaOptimizer::new(
+            OrcaConfig { enable_or_factorization: false, ..OrcaConfig::default() },
+            1,
+        );
+        let (with_rule, with_work) = time_query(&engine, &sql, &on, reps);
+        let (without_rule, without_work) = time_query(&engine, &sql, &off, reps);
+        out.push(Ablation {
+            name: "OR factorization (Q41)",
+            query: "tpcds/q41".into(),
+            with_rule,
+            without_rule,
+            with_work,
+            without_work,
+        });
+    }
+
+    // (2) Apply/join swap rules on a correlated-subquery query (§7 item 1).
+    {
+        let engine = Workload::TpcDs.build_engine(scale);
+        let sql = tpcds::query(6).sql; // correlated category-average
+        let on = OrcaOptimizer::new(OrcaConfig::default(), 1);
+        let off = OrcaOptimizer::new(
+            OrcaConfig { enable_apply_swaps: false, ..OrcaConfig::default() },
+            1,
+        );
+        let (with_rule, with_work) = time_query(&engine, &sql, &on, reps);
+        let (without_rule, without_work) = time_query(&engine, &sql, &off, reps);
+        out.push(Ablation {
+            name: "apply/join swap rules (Q6)",
+            query: "tpcds/q6".into(),
+            with_rule,
+            without_rule,
+            with_work,
+            without_work,
+        });
+    }
+
+    // (3) Histograms on UNIQUE columns (§5.5 / §7 item 5): rebuild the
+    // catalog with stock-MySQL statistics and compare a key-filtered join.
+    {
+        let sql = "SELECT COUNT(*) AS n FROM store_sales, item, date_dim \
+                   WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk \
+                     AND i_item_sk < 20 AND d_date_sk < 300";
+        let with_hist = Workload::TpcDs.build_engine(scale);
+        let mut without_hist = Workload::TpcDs.build_engine(scale);
+        without_hist.catalog_mut().analyze_all(&taurus_catalog::AnalyzeOptions {
+            histograms_on_unique: false,
+            ..Default::default()
+        });
+        let orca = OrcaOptimizer::new(OrcaConfig::default(), 1);
+        let (with_rule, with_work) = time_query(&with_hist, sql, &orca, reps);
+        let (without_rule, without_work) = time_query(&without_hist, sql, &orca, reps);
+        out.push(Ablation {
+            name: "histograms on UNIQUE columns",
+            query: "key-filtered star join".into(),
+            with_rule,
+            without_rule,
+            with_work,
+            without_work,
+        });
+    }
+    out
+}
+
+/// Format a suite comparison as a markdown table (used by the harness and
+/// pasted into EXPERIMENTS.md).
+pub fn format_suite_table(results: &[QueryComparison]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "| query | MySQL time | Orca time | time ratio (orca/mysql) | MySQL work | Orca work | work speedup | routed |"
+    );
+    let _ = writeln!(s, "|---|---|---|---|---|---|---|---|");
+    for r in results {
+        let _ = writeln!(
+            s,
+            "| {} | {:.3?} | {:.3?} | {:.2} | {} | {} | {:.2}× | {} |",
+            r.name,
+            r.mysql,
+            r.orca,
+            r.time_ratio(),
+            r.mysql_work,
+            r.orca_work,
+            r.work_speedup(),
+            if r.orca_assisted { "orca" } else { "mysql" }
+        );
+    }
+    let total_m: f64 = results.iter().map(|r| r.mysql.as_secs_f64()).sum();
+    let total_o: f64 = results.iter().map(|r| r.orca.as_secs_f64()).sum();
+    let _ = writeln!(
+        s,
+        "\ntotal: MySQL {:.3}s, Orca {:.3}s — Orca reduces total run time by {:.0}%",
+        total_m,
+        total_o,
+        (1.0 - total_o / total_m) * 100.0
+    );
+    let improved = results.iter().filter(|r| r.time_ratio() < 0.95).count();
+    let tenx = results
+        .iter()
+        .filter(|r| r.work_speedup() >= 10.0)
+        .map(|r| r.name.clone())
+        .collect::<Vec<_>>();
+    let _ = writeln!(
+        s,
+        "Orca-faster queries: {improved}/{}; ≥10× work reduction: {:?}",
+        results.len(),
+        tenx
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runner_smoke() {
+        // Tiny scale, one reputation: just verify plumbing end to end.
+        let results = run_suite(Workload::TpcH, Scale(0.02), JoinOrderStrategy::Exhaustive, 1);
+        assert_eq!(results.len(), 22);
+        assert!(results.iter().all(|r| r.mysql_work > 0));
+        let table = format_suite_table(&results);
+        assert!(table.contains("| q1 |"));
+        assert!(table.contains("total:"));
+    }
+
+    #[test]
+    fn compile_totals_has_three_rows() {
+        let rows = compile_totals(Workload::TpcH, Scale(0.02));
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].compiler, "MySQL");
+        // Orca compilation is slower than MySQL compilation (§6.3 obs. 1).
+        assert!(rows[1].total > rows[0].total);
+        assert_eq!(rows[0].per_query.len(), 22);
+    }
+
+    #[test]
+    fn q17_case_study_matches_paper_shape() {
+        let cs = q17_case_study(Scale(0.05), 1);
+        // Listing 7's key features: the Orca EXPLAIN banner, a correlated
+        // materialization, and the derived table in the plan.
+        assert!(cs.orca_explain.starts_with("EXPLAIN (ORCA)"));
+        assert!(cs.orca_explain.contains("Materialize (invalidate on outer row)"));
+        assert!(cs.orca_explain.contains("derived"));
+    }
+
+    #[test]
+    fn q72_case_study_plan_shapes() {
+        let cs = q72_case_study(Scale(0.05), 1);
+        // MySQL: left-deep (Fig 4). Orca: at least as many hash joins and
+        // no more work than MySQL (Fig 5's better join methods).
+        assert!(cs.mysql_left_deep);
+        assert!(cs.orca_joins.1 >= cs.mysql_joins.1);
+        assert!(cs.orca_work <= cs.mysql_work);
+    }
+}

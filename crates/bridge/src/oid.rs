@@ -1,0 +1,366 @@
+//! The metadata OID layout (paper §5.6) and the expression cubes (§5.2).
+//!
+//! Every object type lives in its own OID slot computed as *base +
+//! enumeration id*:
+//!
+//! * the 31 MySQL data types;
+//! * 720 arithmetic expressions — the 12×12×5 cube of (left category,
+//!   right category, operator);
+//! * 864 comparison expressions — 12×12×6;
+//! * 84 aggregation expressions — 14×6 (the 12 operand categories plus the
+//!   aggregation-only `STAR` and `ANY`);
+//! * regular functions (§5.4);
+//! * relations and their columns/indexes, placed at a large base offset
+//!   "sufficiently apart ... so that collisions are avoided".
+//!
+//! Commutators and inverses (§5.3) are computed exactly as the paper
+//! describes: decode the OID to its `(i, j, k)` cube point, rewrite the
+//! point, re-encode.
+
+use taurus_common::{BinOp, IndexId, Oid, TableId, TypeCategory};
+
+/// Base of the data-type slot.
+pub const TYPE_BASE: u64 = 1_000;
+/// Base of the arithmetic-expression slot (720 entries).
+pub const ARITH_BASE: u64 = 2_000;
+/// Base of the comparison-expression slot (864 entries).
+pub const CMP_BASE: u64 = 3_000;
+/// Base of the aggregation-expression slot (84 entries).
+pub const AGG_BASE: u64 = 4_000;
+/// Base of the regular-function slot.
+pub const FUNC_BASE: u64 = 5_000;
+/// Base of the relation slot — far above the dense object slots.
+pub const RELATION_BASE: u64 = 1_000_000;
+/// Base of the column slot; columns pack as `table * COLUMN_STRIDE + col`.
+pub const COLUMN_BASE: u64 = 2_000_000;
+pub const COLUMN_STRIDE: u64 = 4_096;
+/// Base of the index slot; same packing as columns.
+pub const INDEX_BASE: u64 = 200_000_000;
+pub const INDEX_STRIDE: u64 = 64;
+
+/// Arithmetic operators in cube axis order.
+pub const ARITH_OPS: [BinOp; 5] = BinOp::ARITH;
+/// Comparison operators in cube axis order.
+pub const CMP_OPS: [BinOp; 6] = BinOp::CMP;
+
+/// The six standard SQL aggregates (§5.2), in cube axis order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    Count,
+    Min,
+    Max,
+    Sum,
+    Avg,
+    StdDev,
+}
+
+pub const AGG_OPS: [AggOp; 6] =
+    [AggOp::Count, AggOp::Min, AggOp::Max, AggOp::Sum, AggOp::Avg, AggOp::StdDev];
+
+// ---------------------------------------------------------------- types
+
+/// OID of a MySQL data type.
+pub fn type_oid(t: taurus_common::MySqlType) -> Oid {
+    let idx = taurus_common::MySqlType::ALL
+        .iter()
+        .position(|x| *x == t)
+        .expect("ALL is exhaustive");
+    Oid(TYPE_BASE + idx as u64)
+}
+
+/// Decode a type OID.
+pub fn decode_type(oid: Oid) -> Option<taurus_common::MySqlType> {
+    let i = oid.0.checked_sub(TYPE_BASE)? as usize;
+    taurus_common::MySqlType::ALL.get(i).copied()
+}
+
+// ----------------------------------------------------------- arithmetic
+
+/// OID of an arithmetic expression `left_cat op right_cat`.
+pub fn arith_oid(left: TypeCategory, right: TypeCategory, op: BinOp) -> Option<Oid> {
+    let i = operand_index(left)?;
+    let j = operand_index(right)?;
+    let k = ARITH_OPS.iter().position(|o| *o == op)?;
+    Some(Oid(ARITH_BASE + ((i * 12 + j) * 5 + k) as u64))
+}
+
+/// Decode an arithmetic-expression OID to its cube point.
+pub fn decode_arith(oid: Oid) -> Option<(TypeCategory, TypeCategory, BinOp)> {
+    let e = oid.0.checked_sub(ARITH_BASE)? as usize;
+    if e >= 720 {
+        return None;
+    }
+    let k = e % 5;
+    let ij = e / 5;
+    let (i, j) = (ij / 12, ij % 12);
+    Some((TypeCategory::OPERAND[i], TypeCategory::OPERAND[j], ARITH_OPS[k]))
+}
+
+// ----------------------------------------------------------- comparison
+
+/// OID of a comparison expression.
+pub fn cmp_oid(left: TypeCategory, right: TypeCategory, op: BinOp) -> Option<Oid> {
+    let i = operand_index(left)?;
+    let j = operand_index(right)?;
+    let k = CMP_OPS.iter().position(|o| *o == op)?;
+    Some(Oid(CMP_BASE + ((i * 12 + j) * 6 + k) as u64))
+}
+
+/// Decode a comparison-expression OID.
+pub fn decode_cmp(oid: Oid) -> Option<(TypeCategory, TypeCategory, BinOp)> {
+    let e = oid.0.checked_sub(CMP_BASE)? as usize;
+    if e >= 864 {
+        return None;
+    }
+    let k = e % 6;
+    let ij = e / 6;
+    let (i, j) = (ij / 12, ij % 12);
+    Some((TypeCategory::OPERAND[i], TypeCategory::OPERAND[j], CMP_OPS[k]))
+}
+
+// ---------------------------------------------------------- aggregation
+
+/// OID of an aggregation expression over an operand category (which may be
+/// the aggregation-only `STAR` or `ANY`).
+pub fn agg_oid(operand: TypeCategory, op: AggOp) -> Option<Oid> {
+    let i = TypeCategory::AGG_OPERAND.iter().position(|c| *c == operand)?;
+    let k = AGG_OPS.iter().position(|o| *o == op)?;
+    Some(Oid(AGG_BASE + (i * 6 + k) as u64))
+}
+
+/// Decode an aggregation-expression OID.
+pub fn decode_agg(oid: Oid) -> Option<(TypeCategory, AggOp)> {
+    let e = oid.0.checked_sub(AGG_BASE)? as usize;
+    if e >= 84 {
+        return None;
+    }
+    Some((TypeCategory::AGG_OPERAND[e / 6], AGG_OPS[e % 6]))
+}
+
+// ----------------------------------------------------- commutator/inverse
+
+/// The commutator expression's OID (§5.3): `a op b` ≡ `b op' a`. Returns
+/// [`Oid::INVALID`] when the expression does not commute (e.g. `-`, `/`).
+pub fn commutator_oid(oid: Oid) -> Oid {
+    if let Some((l, r, op)) = decode_cmp(oid) {
+        return match op.commutator() {
+            Some(c) => cmp_oid(r, l, c).unwrap_or(Oid::INVALID),
+            None => Oid::INVALID,
+        };
+    }
+    if let Some((l, r, op)) = decode_arith(oid) {
+        return match op.commutator() {
+            Some(c) => arith_oid(r, l, c).unwrap_or(Oid::INVALID),
+            None => Oid::INVALID,
+        };
+    }
+    Oid::INVALID
+}
+
+/// The inverse expression's OID (§5.3): `NOT (a op b)` ≡ `a op' b`. Only
+/// comparison expressions have inverses.
+pub fn inverse_oid(oid: Oid) -> Oid {
+    if let Some((l, r, op)) = decode_cmp(oid) {
+        return match op.inverse() {
+            Some(inv) => cmp_oid(l, r, inv).unwrap_or(Oid::INVALID),
+            None => Oid::INVALID,
+        };
+    }
+    Oid::INVALID
+}
+
+// ------------------------------------------------------------- relations
+
+/// OID of a relation.
+pub fn relation_oid(t: TableId) -> Oid {
+    Oid(RELATION_BASE + t.raw() as u64)
+}
+
+/// Decode a relation OID.
+pub fn decode_relation(oid: Oid) -> Option<TableId> {
+    let i = oid.0.checked_sub(RELATION_BASE)?;
+    if i >= COLUMN_BASE - RELATION_BASE {
+        return None;
+    }
+    Some(TableId(i as u32))
+}
+
+/// OID of a column.
+pub fn column_oid(t: TableId, col: usize) -> Oid {
+    assert!((col as u64) < COLUMN_STRIDE, "column ordinal exceeds stride");
+    Oid(COLUMN_BASE + t.raw() as u64 * COLUMN_STRIDE + col as u64)
+}
+
+/// Decode a column OID to `(table, column ordinal)`.
+pub fn decode_column(oid: Oid) -> Option<(TableId, usize)> {
+    let i = oid.0.checked_sub(COLUMN_BASE)?;
+    if i >= INDEX_BASE - COLUMN_BASE {
+        return None;
+    }
+    Some((TableId((i / COLUMN_STRIDE) as u32), (i % COLUMN_STRIDE) as usize))
+}
+
+/// OID of an index (by position within its table).
+pub fn index_oid(t: TableId, position: usize) -> Oid {
+    assert!((position as u64) < INDEX_STRIDE, "index position exceeds stride");
+    Oid(INDEX_BASE + t.raw() as u64 * INDEX_STRIDE + position as u64)
+}
+
+/// Decode an index OID to `(table, position)`.
+pub fn decode_index(oid: Oid) -> Option<(TableId, IndexId)> {
+    let i = oid.0.checked_sub(INDEX_BASE)?;
+    Some((TableId((i / INDEX_STRIDE) as u32), IndexId((i % INDEX_STRIDE) as u32)))
+}
+
+fn operand_index(c: TypeCategory) -> Option<usize> {
+    TypeCategory::OPERAND.iter().position(|x| *x == c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::MySqlType;
+
+    #[test]
+    fn cube_sizes_match_paper() {
+        // 12×12×5 = 720 arithmetic, 12×12×6 = 864 comparison, 14×6 = 84
+        // aggregation expressions (§5.2).
+        let mut arith = std::collections::HashSet::new();
+        for l in TypeCategory::OPERAND {
+            for r in TypeCategory::OPERAND {
+                for op in ARITH_OPS {
+                    arith.insert(arith_oid(l, r, op).unwrap());
+                }
+            }
+        }
+        assert_eq!(arith.len(), 720);
+        let mut cmp = std::collections::HashSet::new();
+        for l in TypeCategory::OPERAND {
+            for r in TypeCategory::OPERAND {
+                for op in CMP_OPS {
+                    cmp.insert(cmp_oid(l, r, op).unwrap());
+                }
+            }
+        }
+        assert_eq!(cmp.len(), 864);
+        let mut agg = std::collections::HashSet::new();
+        for c in TypeCategory::AGG_OPERAND {
+            for op in AGG_OPS {
+                agg.insert(agg_oid(c, op).unwrap());
+            }
+        }
+        assert_eq!(agg.len(), 84);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for l in TypeCategory::OPERAND {
+            for r in TypeCategory::OPERAND {
+                for op in ARITH_OPS {
+                    let oid = arith_oid(l, r, op).unwrap();
+                    assert_eq!(decode_arith(oid), Some((l, r, op)));
+                    assert_eq!(decode_cmp(oid), None, "slots must not overlap");
+                }
+                for op in CMP_OPS {
+                    let oid = cmp_oid(l, r, op).unwrap();
+                    assert_eq!(decode_cmp(oid), Some((l, r, op)));
+                    assert_eq!(decode_arith(oid), None);
+                }
+            }
+        }
+        for c in TypeCategory::AGG_OPERAND {
+            for op in AGG_OPS {
+                let oid = agg_oid(c, op).unwrap();
+                assert_eq!(decode_agg(oid), Some((c, op)));
+            }
+        }
+    }
+
+    #[test]
+    fn paper_commutator_walkthrough() {
+        // §5.3's worked example: INT8 > NUM commutes to NUM < INT8.
+        let oid = cmp_oid(TypeCategory::Int8, TypeCategory::Num, BinOp::Gt).unwrap();
+        let commuted = commutator_oid(oid);
+        assert_eq!(
+            decode_cmp(commuted),
+            Some((TypeCategory::Num, TypeCategory::Int8, BinOp::Lt))
+        );
+    }
+
+    #[test]
+    fn commutator_involution_and_invalids() {
+        for l in TypeCategory::OPERAND {
+            for r in TypeCategory::OPERAND {
+                for op in CMP_OPS {
+                    let oid = cmp_oid(l, r, op).unwrap();
+                    let c = commutator_oid(oid);
+                    assert!(c.is_valid(), "all comparisons commute");
+                    assert_eq!(commutator_oid(c), oid, "commutation is an involution");
+                }
+                // Arithmetic: + and * commute, -, /, % do not.
+                for op in ARITH_OPS {
+                    let oid = arith_oid(l, r, op).unwrap();
+                    let c = commutator_oid(oid);
+                    match op {
+                        BinOp::Add | BinOp::Mul => {
+                            assert_eq!(decode_arith(c), Some((r, l, op)))
+                        }
+                        _ => assert!(!c.is_valid(), "{op:?} must not commute"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_involution() {
+        // The six comparison operators invert to {<>, =, >=, >, <=, <}.
+        for l in TypeCategory::OPERAND {
+            for r in TypeCategory::OPERAND {
+                for op in CMP_OPS {
+                    let oid = cmp_oid(l, r, op).unwrap();
+                    let inv = inverse_oid(oid);
+                    assert!(inv.is_valid());
+                    assert_eq!(inverse_oid(inv), oid);
+                    let (il, ir, iop) = decode_cmp(inv).unwrap();
+                    assert_eq!((il, ir), (l, r), "inverse keeps operand order");
+                    assert_eq!(Some(iop), op.inverse());
+                }
+            }
+        }
+        // Arithmetic has no inverses.
+        let oid = arith_oid(TypeCategory::Num, TypeCategory::Num, BinOp::Add).unwrap();
+        assert!(!inverse_oid(oid).is_valid());
+    }
+
+    #[test]
+    fn relation_column_index_oids() {
+        let t = TableId(42);
+        let r = relation_oid(t);
+        assert_eq!(decode_relation(r), Some(t));
+        let c = column_oid(t, 7);
+        assert_eq!(decode_column(c), Some((t, 7)));
+        let ix = index_oid(t, 3);
+        assert_eq!(decode_index(ix), Some((t, IndexId(3))));
+        // Relations live far from the dense expression slots (§5.6).
+        assert!(r.0 > AGG_BASE + 84);
+        assert!(decode_arith(r).is_none() && decode_cmp(r).is_none());
+    }
+
+    #[test]
+    fn type_oids() {
+        for t in MySqlType::ALL {
+            assert_eq!(decode_type(type_oid(t)), Some(t));
+        }
+        assert_eq!(decode_type(Oid(TYPE_BASE + 31)), None);
+    }
+
+    #[test]
+    fn star_and_any_are_agg_only() {
+        // STAR/ANY index into the aggregation cube but not the binary ones.
+        assert!(agg_oid(TypeCategory::Star, AggOp::Count).is_some());
+        assert!(agg_oid(TypeCategory::Any, AggOp::Count).is_some());
+        assert!(arith_oid(TypeCategory::Star, TypeCategory::Num, BinOp::Add).is_none());
+        assert!(cmp_oid(TypeCategory::Any, TypeCategory::Num, BinOp::Eq).is_none());
+    }
+}

@@ -1,0 +1,303 @@
+//! The MySQL metadata provider (paper §5).
+//!
+//! Implements Orca's [`MetadataAccessor`] plug-in over the MySQL stand-in's
+//! data dictionary. Unlike the PostgreSQL provider, it never hands out
+//! function pointers — queries execute inside MySQL — but it still fulfils
+//! the whole accessor contract (§5: "even if sometimes by providing
+//! stubs"). Expression OIDs, commutators and inverses come from the cube
+//! layout in [`crate::oid`]; relations, statistics and histograms come from
+//! the catalog, with string histograms usable for ranges thanks to the
+//! order-preserving i64 encoding inside `taurus_catalog::histogram` (§7).
+
+use crate::oid;
+use orcalite::md::{MdIndex, MdRelation, MetadataAccessor};
+use taurus_catalog::estimate::RelView;
+use taurus_catalog::Catalog;
+use taurus_common::expr::{AggFunc, BinOp, Expr, ScalarFunc};
+use taurus_common::{DataType, Oid, TableId, TypeCategory};
+
+/// The provider: a thin, OID-keyed view over the catalog.
+pub struct MySqlMdProvider<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> MySqlMdProvider<'a> {
+    pub fn new(catalog: &'a Catalog) -> Self {
+        MySqlMdProvider { catalog }
+    }
+
+    /// OID under which a base table is served (used by the tree converter
+    /// to embellish Orca trees with table OIDs, §4.1).
+    pub fn relation_oid(&self, id: TableId) -> Oid {
+        oid::relation_oid(id)
+    }
+
+    /// OID of the *mapped function* (§5.4) behind a binary expression over
+    /// two runtime types, or the invalid OID if the combination is not in
+    /// the cubes.
+    pub fn binary_expr_oid(&self, op: BinOp, left: DataType, right: DataType) -> Oid {
+        let (l, r) = (left.category(), right.category());
+        if op.is_comparison() {
+            oid::cmp_oid(l, r, op).unwrap_or(Oid::INVALID)
+        } else if op.is_arithmetic() {
+            oid::arith_oid(l, r, op).unwrap_or(Oid::INVALID)
+        } else {
+            Oid::INVALID
+        }
+    }
+
+    /// OID of an aggregation expression (§5.2's 14×6 plane): `COUNT(*)`
+    /// uses the `STAR` category; `COUNT(expr)` uses `ANY`.
+    pub fn agg_expr_oid(&self, func: AggFunc, operand: Option<DataType>) -> Oid {
+        let (cat, op) = match func {
+            AggFunc::CountStar => (TypeCategory::Star, oid::AggOp::Count),
+            AggFunc::Count => (TypeCategory::Any, oid::AggOp::Count),
+            AggFunc::Sum => (operand_cat(operand), oid::AggOp::Sum),
+            AggFunc::Avg => (operand_cat(operand), oid::AggOp::Avg),
+            AggFunc::Min => (operand_cat(operand), oid::AggOp::Min),
+            AggFunc::Max => (operand_cat(operand), oid::AggOp::Max),
+            AggFunc::StdDev => (operand_cat(operand), oid::AggOp::StdDev),
+        };
+        oid::agg_oid(cat, op).unwrap_or(Oid::INVALID)
+    }
+
+    /// OID of a *regular function* (§5.4: EXTRACT, SUBSTRING, CAST, ...).
+    pub fn regular_function_oid(&self, f: ScalarFunc) -> Oid {
+        // Enumeration order is the declaration order of ScalarFunc.
+        const ORDER: [ScalarFunc; 17] = [
+            ScalarFunc::Abs,
+            ScalarFunc::Round,
+            ScalarFunc::Upper,
+            ScalarFunc::Lower,
+            ScalarFunc::Substr,
+            ScalarFunc::Concat,
+            ScalarFunc::Coalesce,
+            ScalarFunc::Year,
+            ScalarFunc::Month,
+            ScalarFunc::Day,
+            ScalarFunc::DateAddDays,
+            ScalarFunc::DateAddMonths,
+            ScalarFunc::DateAddYears,
+            ScalarFunc::CastDate,
+            ScalarFunc::CastStr,
+            ScalarFunc::CastInt,
+            ScalarFunc::CastDouble,
+        ];
+        match ORDER.iter().position(|x| *x == f) {
+            Some(i) => Oid(oid::FUNC_BASE + i as u64),
+            None => Oid::INVALID,
+        }
+    }
+
+    /// Assign OIDs to every binary expression in a bound tree — the
+    /// "embellishment" step of §4.1. Returns the OIDs encountered (the
+    /// interaction a test asserts against §5.7's walkthrough).
+    pub fn embellish(&self, expr: &Expr, types: &dyn Fn(usize, usize) -> DataType) -> Vec<Oid> {
+        let mut oids = Vec::new();
+        expr.walk(&mut |node| {
+            if let Expr::Binary { op, left, right } = node {
+                let lt = expr_type(left, types);
+                let rt = expr_type(right, types);
+                if let (Some(l), Some(r)) = (lt, rt) {
+                    let o = self.binary_expr_oid(*op, l, r);
+                    if o.is_valid() {
+                        oids.push(o);
+                    }
+                }
+            }
+            if let Expr::Agg { func, arg, .. } = node {
+                let at = arg.as_deref().and_then(|a| expr_type(a, types));
+                let o = self.agg_expr_oid(*func, at);
+                if o.is_valid() {
+                    oids.push(o);
+                }
+            }
+        });
+        oids
+    }
+}
+
+fn operand_cat(operand: Option<DataType>) -> TypeCategory {
+    operand.map(|d| d.category()).unwrap_or(TypeCategory::Any)
+}
+
+/// Best-effort static type of an expression for OID assignment.
+fn expr_type(e: &Expr, types: &dyn Fn(usize, usize) -> DataType) -> Option<DataType> {
+    match e {
+        Expr::Column(c) => Some(types(c.table, c.col)),
+        Expr::Literal(v) => v.data_type(),
+        Expr::Binary { op, left, .. } => {
+            if op.is_comparison() {
+                Some(DataType::Bool)
+            } else {
+                expr_type(left, types)
+            }
+        }
+        Expr::Func { func, args } => match func {
+            ScalarFunc::Year | ScalarFunc::Month | ScalarFunc::Day | ScalarFunc::CastInt => {
+                Some(DataType::Int)
+            }
+            ScalarFunc::Upper
+            | ScalarFunc::Lower
+            | ScalarFunc::Substr
+            | ScalarFunc::Concat
+            | ScalarFunc::CastStr => Some(DataType::Str),
+            ScalarFunc::DateAddDays
+            | ScalarFunc::DateAddMonths
+            | ScalarFunc::DateAddYears
+            | ScalarFunc::CastDate => Some(DataType::Date),
+            ScalarFunc::Round | ScalarFunc::CastDouble => Some(DataType::Double),
+            ScalarFunc::Abs | ScalarFunc::Coalesce => {
+                args.first().and_then(|a| expr_type(a, types))
+            }
+        },
+        _ => None,
+    }
+}
+
+impl MetadataAccessor for MySqlMdProvider<'_> {
+    fn relation(&self, o: Oid) -> Option<MdRelation> {
+        let id = oid::decode_relation(o)?;
+        let t = self.catalog.table(id).ok()?;
+        let rows =
+            t.stats.as_ref().map(|s| s.row_count as f64).unwrap_or(t.num_rows() as f64);
+        Some(MdRelation { name: t.name.clone(), rows, num_columns: t.schema().len() })
+    }
+
+    fn statistics(&self, o: Oid) -> Option<RelView> {
+        let id = oid::decode_relation(o)?;
+        let t = self.catalog.table(id).ok()?;
+        t.stats.as_ref().map(RelView::from_stats)
+    }
+
+    fn indexes(&self, o: Oid) -> Vec<MdIndex> {
+        let Some(id) = oid::decode_relation(o) else { return vec![] };
+        let Ok(t) = self.catalog.table(id) else { return vec![] };
+        t.indexes
+            .iter()
+            .enumerate()
+            .map(|(position, ix)| MdIndex {
+                position,
+                name: ix.def().name.clone(),
+                columns: ix.def().columns.clone(),
+                unique: ix.def().unique,
+            })
+            .collect()
+    }
+
+    fn commutator(&self, expr: Oid) -> Oid {
+        oid::commutator_oid(expr)
+    }
+
+    fn inverse(&self, expr: Oid) -> Oid {
+        oid::inverse_oid(expr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_catalog::stats::AnalyzeOptions;
+    use taurus_common::{Column, Schema, Value};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "part",
+                Schema::new(vec![
+                    Column::new("p_partkey", DataType::Int),
+                    Column::new("p_container", DataType::Str),
+                ]),
+            )
+            .unwrap();
+        cat.insert(
+            t,
+            (0..100).map(|i| vec![Value::Int(i), Value::str(format!("PKG{}", i % 5))]),
+        )
+        .unwrap();
+        cat.create_index(t, "part_pk", vec![0], true).unwrap();
+        cat.analyze_all(&AnalyzeOptions::default());
+        cat
+    }
+
+    #[test]
+    fn serves_relations_statistics_indexes() {
+        let cat = catalog();
+        let p = MySqlMdProvider::new(&cat);
+        let rel_oid = p.relation_oid(TableId(0));
+        let rel = p.relation(rel_oid).unwrap();
+        assert_eq!(rel.name, "part");
+        assert_eq!(rel.rows, 100.0);
+        assert_eq!(rel.num_columns, 2);
+        let stats = p.statistics(rel_oid).unwrap();
+        assert_eq!(stats.rows, 100.0);
+        assert!(stats.cols[1].as_ref().unwrap().hist.is_some(), "string histogram served");
+        let ix = p.indexes(rel_oid);
+        assert_eq!(ix.len(), 1);
+        assert!(ix[0].unique);
+        // Unknown OIDs are simply absent.
+        assert!(p.relation(Oid(999_999)).is_none());
+        assert!(p.statistics(Oid(42)).is_none());
+    }
+
+    #[test]
+    fn q17_interaction_walkthrough() {
+        // §5.7: for `p_container = 'SM PKG'` the provider returns the
+        // STR_EQ_STR OID, whose commutator and inverse also exist.
+        let cat = catalog();
+        let p = MySqlMdProvider::new(&cat);
+        let e = Expr::eq(Expr::col(0, 1), Expr::string("SM PKG"));
+        let types = |_: usize, c: usize| if c == 1 { DataType::Str } else { DataType::Int };
+        let oids = p.embellish(&e, &types);
+        assert_eq!(oids.len(), 1);
+        let str_eq_str =
+            oid::cmp_oid(TypeCategory::Str, TypeCategory::Str, BinOp::Eq).unwrap();
+        assert_eq!(oids[0], str_eq_str);
+        assert!(p.commutator(oids[0]).is_valid());
+        assert!(p.inverse(oids[0]).is_valid());
+    }
+
+    #[test]
+    fn count_star_uses_star_category() {
+        let cat = catalog();
+        let p = MySqlMdProvider::new(&cat);
+        let star = p.agg_expr_oid(AggFunc::CountStar, None);
+        let any = p.agg_expr_oid(AggFunc::Count, Some(DataType::Str));
+        assert_ne!(star, any);
+        assert_eq!(oid::decode_agg(star).unwrap().0, TypeCategory::Star);
+        assert_eq!(oid::decode_agg(any).unwrap().0, TypeCategory::Any);
+        // SUM over strings is still *assigned* an OID (the cube is total
+        // over categories); validity is the resolver's concern.
+        assert!(p.agg_expr_oid(AggFunc::Sum, Some(DataType::Int)).is_valid());
+    }
+
+    #[test]
+    fn regular_functions_enumerate_distinctly() {
+        let cat = catalog();
+        let p = MySqlMdProvider::new(&cat);
+        let mut seen = std::collections::HashSet::new();
+        for f in [
+            ScalarFunc::Abs,
+            ScalarFunc::Substr,
+            ScalarFunc::CastDate,
+            ScalarFunc::Year,
+            ScalarFunc::Concat,
+        ] {
+            let o = p.regular_function_oid(f);
+            assert!(o.is_valid());
+            assert!(seen.insert(o), "distinct OID per function");
+            assert!(o.0 >= oid::FUNC_BASE && o.0 < oid::RELATION_BASE);
+        }
+    }
+
+    #[test]
+    fn non_commuting_arith_returns_invalid() {
+        let cat = catalog();
+        let p = MySqlMdProvider::new(&cat);
+        let div = p.binary_expr_oid(BinOp::Div, DataType::Double, DataType::Double);
+        assert!(div.is_valid());
+        assert!(!p.commutator(div).is_valid(), "'/' does not commute (§5.3)");
+        assert!(!p.inverse(div).is_valid(), "only comparisons invert");
+    }
+}

@@ -1,0 +1,369 @@
+//! Shared cardinality estimation.
+//!
+//! Both optimizers estimate from the *same* statistics — the paper "provided
+//! the histograms as they existed inside MySQL" to Orca (§8) — so the
+//! selectivity arithmetic lives here once. The MySQL-like optimizer calls it
+//! directly; the Orca-like optimizer calls it through its metadata-accessor
+//! snapshots. The formulas are the classic System-R family with
+//! histogram-backed point/range estimates.
+
+use crate::histogram::Histogram;
+use crate::stats::TableStats;
+use std::sync::Arc;
+use taurus_common::expr::EvalCtx;
+use taurus_common::{BinOp, ColRef, Expr, Layout, Value};
+
+/// Default selectivity for an equality we cannot estimate.
+pub const DEFAULT_EQ_SEL: f64 = 0.1;
+/// Default selectivity for an inequality/range we cannot estimate.
+pub const DEFAULT_RANGE_SEL: f64 = 1.0 / 3.0;
+/// Row count assumed for relations with no statistics.
+pub const DEFAULT_ROWS: f64 = 1000.0;
+
+/// Statistics snapshot for one column of one query table.
+#[derive(Debug, Clone, Default)]
+pub struct ColView {
+    pub ndv: f64,
+    pub null_frac: f64,
+    pub hist: Option<Arc<Histogram>>,
+}
+
+/// Statistics snapshot for one query table (base or derived).
+#[derive(Debug, Clone)]
+pub struct RelView {
+    pub rows: f64,
+    /// One entry per column; `None` when the column is unknown (derived
+    /// tables expose estimated row counts but usually no column stats).
+    pub cols: Vec<Option<ColView>>,
+}
+
+impl RelView {
+    /// A view with a row count but no column statistics.
+    pub fn opaque(rows: f64, num_cols: usize) -> RelView {
+        RelView { rows, cols: vec![None; num_cols] }
+    }
+
+    /// Build from analyzed table statistics.
+    pub fn from_stats(stats: &TableStats) -> RelView {
+        let rows = stats.row_count as f64;
+        let cols = stats
+            .columns
+            .iter()
+            .map(|c| {
+                Some(ColView {
+                    ndv: c.ndv,
+                    null_frac: c.null_fraction(stats.row_count),
+                    hist: c.histogram.clone(),
+                })
+            })
+            .collect();
+        RelView { rows, cols }
+    }
+}
+
+/// Estimator over the query's table list: index = query-table index.
+#[derive(Debug, Clone, Default)]
+pub struct Estimator {
+    rels: Vec<Option<RelView>>,
+}
+
+impl Estimator {
+    pub fn new(rels: Vec<Option<RelView>>) -> Estimator {
+        Estimator { rels }
+    }
+
+    /// Row count of a query table (defaulting when unknown).
+    pub fn rows(&self, qt: usize) -> f64 {
+        self.rels
+            .get(qt)
+            .and_then(|r| r.as_ref())
+            .map(|r| r.rows)
+            .unwrap_or(DEFAULT_ROWS)
+            .max(1.0)
+    }
+
+    fn col(&self, c: ColRef) -> Option<&ColView> {
+        self.rels.get(c.table)?.as_ref()?.cols.get(c.col)?.as_ref()
+    }
+
+    /// NDV of a column, defaulting to 10% of its table's rows.
+    pub fn ndv(&self, c: ColRef) -> f64 {
+        self.col(c)
+            .map(|v| v.ndv)
+            .unwrap_or_else(|| (self.rows(c.table) * 0.1).max(1.0))
+            .max(1.0)
+    }
+
+    /// Selectivity of an arbitrary predicate, in [0, 1].
+    ///
+    /// Handles boolean combinations, histogram-backed comparisons against
+    /// constants, column-to-column equalities (join selectivity), `IN`,
+    /// `LIKE`, `BETWEEN`, and `IS [NOT] NULL`; anything else falls back to
+    /// defaults.
+    pub fn selectivity(&self, e: &Expr) -> f64 {
+        self.sel(e).clamp(0.0, 1.0)
+    }
+
+    fn sel(&self, e: &Expr) -> f64 {
+        match e {
+            Expr::Literal(Value::Bool(b)) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Expr::Binary { op: BinOp::And, left, right } => self.sel(left) * self.sel(right),
+            Expr::Binary { op: BinOp::Or, left, right } => {
+                let (a, b) = (self.sel(left), self.sel(right));
+                a + b - a * b
+            }
+            Expr::Unary { op: taurus_common::UnOp::Not, input } => 1.0 - self.sel(input),
+            Expr::Unary { op: taurus_common::UnOp::IsNull, input } => match input.as_ref() {
+                Expr::Column(c) => self.col(*c).map(|v| v.null_frac).unwrap_or(0.05),
+                _ => 0.05,
+            },
+            Expr::Unary { op: taurus_common::UnOp::IsNotNull, input } => match input.as_ref() {
+                Expr::Column(c) => 1.0 - self.col(*c).map(|v| v.null_frac).unwrap_or(0.05),
+                _ => 0.95,
+            },
+            Expr::Binary { op, left, right } if op.is_comparison() => {
+                self.comparison_sel(*op, left, right)
+            }
+            Expr::InList { expr, list, negated } => {
+                let mut s = 0.0;
+                for item in list {
+                    s += self.comparison_sel(BinOp::Eq, expr, item);
+                }
+                let s = s.min(1.0);
+                if *negated {
+                    1.0 - s
+                } else {
+                    s
+                }
+            }
+            Expr::Like { pattern, negated, .. } => {
+                // A leading literal prefix constrains a range; a leading
+                // wildcard is near-unestimatable (paper §6.1 on Q16's LIKE).
+                let s = match pattern.as_ref() {
+                    Expr::Literal(Value::Str(p)) if !p.starts_with('%') && !p.starts_with('_') => {
+                        0.05
+                    }
+                    _ => DEFAULT_EQ_SEL,
+                };
+                if *negated {
+                    1.0 - s
+                } else {
+                    s
+                }
+            }
+            Expr::Between { expr, low, high, negated } => {
+                let s = match (expr.as_ref(), const_value(low), const_value(high)) {
+                    (Expr::Column(c), Some(lo), Some(hi)) => match self.col(*c) {
+                        Some(v) => match &v.hist {
+                            Some(h) => h.range_selectivity(Some((&lo, true)), Some((&hi, true))),
+                            None => DEFAULT_RANGE_SEL,
+                        },
+                        None => DEFAULT_RANGE_SEL,
+                    },
+                    _ => DEFAULT_RANGE_SEL,
+                };
+                if *negated {
+                    1.0 - s
+                } else {
+                    s
+                }
+            }
+            _ => DEFAULT_EQ_SEL,
+        }
+    }
+
+    fn comparison_sel(&self, op: BinOp, left: &Expr, right: &Expr) -> f64 {
+        // Normalize: column on the left when possible (commutation, §5.3).
+        match (left, right) {
+            (Expr::Column(l), Expr::Column(r)) => {
+                if op == BinOp::Eq {
+                    // Equi-join selectivity: 1 / max(ndv).
+                    1.0 / self.ndv(*l).max(self.ndv(*r))
+                } else if op == BinOp::Ne {
+                    1.0 - 1.0 / self.ndv(*l).max(self.ndv(*r))
+                } else {
+                    DEFAULT_RANGE_SEL
+                }
+            }
+            (Expr::Column(c), rhs) => match const_value(rhs) {
+                Some(v) => self.col_vs_const(*c, op, &v),
+                None => default_for(op),
+            },
+            (lhs, Expr::Column(c)) => match (const_value(lhs), op.commutator()) {
+                (Some(v), Some(flipped)) => self.col_vs_const(*c, flipped, &v),
+                _ => default_for(op),
+            },
+            _ => default_for(op),
+        }
+    }
+
+    fn col_vs_const(&self, c: ColRef, op: BinOp, v: &Value) -> f64 {
+        if v.is_null() {
+            return 0.0; // `col op NULL` is never true
+        }
+        match self.col(c) {
+            Some(view) => {
+                let non_null = 1.0 - view.null_frac;
+                match &view.hist {
+                    Some(h) => h.selectivity(op, v) * non_null,
+                    None => {
+                        (if op == BinOp::Eq {
+                            1.0 / view.ndv.max(1.0)
+                        } else {
+                            default_for(op)
+                        }) * non_null
+                    }
+                }
+            }
+            None => default_for(op),
+        }
+    }
+
+    /// Combined selectivity of join conditions between two sides.
+    pub fn conjunct_selectivity(&self, conds: &[Expr]) -> f64 {
+        conds.iter().map(|c| self.selectivity(c)).product::<f64>().clamp(0.0, 1.0)
+    }
+}
+
+fn default_for(op: BinOp) -> f64 {
+    match op {
+        BinOp::Eq => DEFAULT_EQ_SEL,
+        BinOp::Ne => 1.0 - DEFAULT_EQ_SEL,
+        _ => DEFAULT_RANGE_SEL,
+    }
+}
+
+/// Evaluate an expression to a constant if it references no columns.
+pub fn const_value(e: &Expr) -> Option<Value> {
+    if !e.is_const() {
+        return None;
+    }
+    let layout = Layout::empty(0);
+    e.eval(EvalCtx::new(&[], &layout)).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::AnalyzeOptions;
+    use taurus_common::{Column, DataType, Schema};
+    use taurus_storage::TableData;
+
+    /// One table, qt 0: col 0 uniform ints 0..999, col 1 has 50% nulls.
+    fn estimator() -> Estimator {
+        let mut t = TableData::new(Schema::new(vec![
+            Column::new("a", DataType::Int),
+            Column::nullable("b", DataType::Int),
+        ]));
+        for i in 0..1000i64 {
+            let b = if i % 2 == 0 { Value::Null } else { Value::Int(i % 10) };
+            t.push(vec![Value::Int(i), b]).unwrap();
+        }
+        let stats = TableStats::analyze(&t, &[false, false], &AnalyzeOptions::default());
+        Estimator::new(vec![Some(RelView::from_stats(&stats))])
+    }
+
+    #[test]
+    fn histogram_backed_range() {
+        let est = estimator();
+        let e = Expr::binary(BinOp::Lt, Expr::col(0, 0), Expr::int(250));
+        let s = est.selectivity(&e);
+        assert!((s - 0.25).abs() < 0.03, "s={s}");
+        // Constant on the left commutes.
+        let e = Expr::binary(BinOp::Gt, Expr::int(250), Expr::col(0, 0));
+        assert!((est.selectivity(&e) - s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn null_fraction_scales_estimates() {
+        let est = estimator();
+        let is_null = Expr::Unary {
+            op: taurus_common::UnOp::IsNull,
+            input: Box::new(Expr::col(0, 1)),
+        };
+        assert!((est.selectivity(&is_null) - 0.5).abs() < 0.01);
+        // b = 3 can only match among the non-null half; the non-null values
+        // are {1,3,5,7,9} uniformly, so sel = 0.2 * 0.5 = 0.1.
+        let eq = Expr::eq(Expr::col(0, 1), Expr::int(3));
+        let s = est.selectivity(&eq);
+        assert!((s - 0.1).abs() < 0.01, "s={s}");
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let est = estimator();
+        let half = Expr::binary(BinOp::Lt, Expr::col(0, 0), Expr::int(500));
+        let and = Expr::and(half.clone(), half.clone());
+        assert!((est.selectivity(&and) - 0.25).abs() < 0.03);
+        let or = Expr::or(half.clone(), half.clone());
+        assert!((est.selectivity(&or) - 0.75).abs() < 0.03);
+        let not = Expr::not(half);
+        assert!((est.selectivity(&not) - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn join_selectivity_uses_max_ndv() {
+        let est = Estimator::new(vec![
+            Some(RelView {
+                rows: 1000.0,
+                cols: vec![Some(ColView { ndv: 1000.0, null_frac: 0.0, hist: None })],
+            }),
+            Some(RelView {
+                rows: 100.0,
+                cols: vec![Some(ColView { ndv: 100.0, null_frac: 0.0, hist: None })],
+            }),
+        ]);
+        let e = Expr::eq(Expr::col(0, 0), Expr::col(1, 0));
+        assert!((est.selectivity(&e) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_list_sums() {
+        let est = estimator();
+        let e = Expr::InList {
+            expr: Box::new(Expr::col(0, 0)),
+            list: vec![Expr::int(1), Expr::int(2), Expr::int(3)],
+            negated: false,
+        };
+        let s = est.selectivity(&e);
+        assert!((s - 0.003).abs() < 0.002, "s={s}");
+    }
+
+    #[test]
+    fn unknown_rels_use_defaults() {
+        let est = Estimator::new(vec![None]);
+        assert_eq!(est.rows(0), DEFAULT_ROWS);
+        assert_eq!(est.rows(7), DEFAULT_ROWS);
+        let e = Expr::eq(Expr::col(0, 0), Expr::int(1));
+        assert_eq!(est.selectivity(&e), DEFAULT_EQ_SEL);
+    }
+
+    #[test]
+    fn like_prefix_vs_wildcard() {
+        let est = estimator();
+        let prefix = Expr::Like {
+            expr: Box::new(Expr::col(0, 0)),
+            pattern: Box::new(Expr::string("LARGE%")),
+            negated: false,
+        };
+        let infix = Expr::Like {
+            expr: Box::new(Expr::col(0, 0)),
+            pattern: Box::new(Expr::string("%Complaints%")),
+            negated: false,
+        };
+        assert!(est.selectivity(&prefix) < est.selectivity(&infix));
+    }
+
+    #[test]
+    fn comparisons_with_null_literal_never_match() {
+        let est = estimator();
+        let e = Expr::eq(Expr::col(0, 0), Expr::lit(Value::Null));
+        assert_eq!(est.selectivity(&e), 0.0);
+    }
+}

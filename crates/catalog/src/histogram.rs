@@ -1,0 +1,350 @@
+//! Singleton and equi-height histograms.
+//!
+//! MySQL supports both histogram kinds for all types; stock Orca supports
+//! only singleton histograms for strings because it hashes strings to
+//! integers non-order-preservingly (§7). The paper's fix — adopted here —
+//! encodes string bucket boundaries into order-preserving signed 64-bit
+//! integers so equi-height interpolation works for range predicates too.
+//! The encoding uses a fixed-length prefix, so two strings sharing a long
+//! common prefix become indistinguishable — the caveat §7 records; the unit
+//! tests demonstrate both the property and the caveat.
+
+use std::cmp::Ordering;
+use taurus_common::{BinOp, Value};
+
+/// Order-preserving encoding of a string's first 8 bytes into a *signed*
+/// 64-bit integer (the paper's §7 "64-bit signed integers" conversion).
+///
+/// Monotone: `a <= b` (byte-wise) implies `encode(a) <= encode(b)`.
+/// Strings equal on their first 8 bytes collapse to the same code.
+pub fn encode_str_prefix(s: &str) -> i64 {
+    let mut buf = [0u8; 8];
+    let bytes = s.as_bytes();
+    let n = bytes.len().min(8);
+    buf[..n].copy_from_slice(&bytes[..n]);
+    // Flip the sign bit so the unsigned byte order maps onto signed order.
+    (u64::from_be_bytes(buf) ^ (1 << 63)) as i64
+}
+
+/// Numeric image of a value for histogram interpolation.
+fn numeric_image(v: &Value) -> Option<f64> {
+    match v {
+        Value::Str(s) => Some(encode_str_prefix(s) as f64),
+        other => other.as_f64(),
+    }
+}
+
+/// One bucket of an equi-height histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bucket {
+    /// Inclusive upper bound of the bucket.
+    pub upper: Value,
+    /// Cumulative fraction of non-null rows at or below `upper`.
+    pub cum_freq: f64,
+    /// Estimated number of distinct values inside the bucket.
+    pub ndv: f64,
+}
+
+/// A column histogram over non-null values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Histogram {
+    /// One entry per distinct value with its exact frequency fraction.
+    /// Built when the column's NDV fits the bucket budget.
+    Singleton(Vec<(Value, f64)>),
+    /// MySQL-style equi-height: buckets of roughly equal row mass.
+    EquiHeight {
+        /// Inclusive lower bound of the first bucket.
+        min: Value,
+        buckets: Vec<Bucket>,
+    },
+}
+
+impl Histogram {
+    /// Build from a sorted slice of non-null values. `max_buckets` plays the
+    /// role of MySQL's histogram bucket budget (default 100).
+    ///
+    /// Returns `None` for empty input.
+    pub fn build(sorted: &[Value], max_buckets: usize) -> Option<Histogram> {
+        if sorted.is_empty() || max_buckets == 0 {
+            return None;
+        }
+        let n = sorted.len() as f64;
+        // Count distinct runs.
+        let mut distinct = 1usize;
+        for w in sorted.windows(2) {
+            if w[0].total_cmp(&w[1]) != Ordering::Equal {
+                distinct += 1;
+            }
+        }
+        if distinct <= max_buckets {
+            // Singleton histogram: exact frequencies.
+            let mut out: Vec<(Value, f64)> = Vec::with_capacity(distinct);
+            let mut i = 0;
+            while i < sorted.len() {
+                let mut j = i + 1;
+                while j < sorted.len() && sorted[j].total_cmp(&sorted[i]) == Ordering::Equal {
+                    j += 1;
+                }
+                out.push((sorted[i].clone(), (j - i) as f64 / n));
+                i = j;
+            }
+            return Some(Histogram::Singleton(out));
+        }
+        // Equi-height: walk distinct runs, closing a bucket when its mass
+        // reaches the target height. A distinct value never straddles two
+        // buckets (matching MySQL's construction).
+        let height = n / max_buckets as f64;
+        let mut buckets: Vec<Bucket> = Vec::with_capacity(max_buckets);
+        let mut bucket_rows = 0f64;
+        let mut bucket_ndv = 0f64;
+        let mut cum_rows = 0f64;
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i + 1;
+            while j < sorted.len() && sorted[j].total_cmp(&sorted[i]) == Ordering::Equal {
+                j += 1;
+            }
+            let run = (j - i) as f64;
+            bucket_rows += run;
+            bucket_ndv += 1.0;
+            cum_rows += run;
+            let last = j == sorted.len();
+            if bucket_rows >= height || last {
+                buckets.push(Bucket {
+                    upper: sorted[i].clone(),
+                    cum_freq: cum_rows / n,
+                    ndv: bucket_ndv,
+                });
+                bucket_rows = 0.0;
+                bucket_ndv = 0.0;
+            }
+            i = j;
+        }
+        Some(Histogram::EquiHeight { min: sorted[0].clone(), buckets })
+    }
+
+    /// Whether this is a singleton histogram.
+    pub fn is_singleton(&self) -> bool {
+        matches!(self, Histogram::Singleton(_))
+    }
+
+    /// Number of buckets/entries.
+    pub fn num_buckets(&self) -> usize {
+        match self {
+            Histogram::Singleton(v) => v.len(),
+            Histogram::EquiHeight { buckets, .. } => buckets.len(),
+        }
+    }
+
+    /// Fraction of non-null rows strictly below `v`, plus the fraction equal
+    /// to `v`: the primitive from which all comparison selectivities derive.
+    fn below_and_eq(&self, v: &Value) -> (f64, f64) {
+        match self {
+            Histogram::Singleton(entries) => {
+                let mut below = 0f64;
+                let mut eq = 0f64;
+                for (val, freq) in entries {
+                    match val.total_cmp(v) {
+                        Ordering::Less => below += freq,
+                        Ordering::Equal => eq = *freq,
+                        Ordering::Greater => break,
+                    }
+                }
+                (below, eq)
+            }
+            Histogram::EquiHeight { min, buckets } => {
+                if v.total_cmp(min) == Ordering::Less {
+                    return (0.0, 0.0);
+                }
+                let mut prev_cum = 0f64;
+                let mut lower = min.clone();
+                for b in buckets {
+                    let width = b.cum_freq - prev_cum;
+                    match v.total_cmp(&b.upper) {
+                        Ordering::Greater => {
+                            prev_cum = b.cum_freq;
+                            lower = b.upper.clone();
+                            continue;
+                        }
+                        Ordering::Equal => {
+                            // Upper bounds are real values: the equality mass
+                            // is one distinct value's share of the bucket.
+                            let eq = width / b.ndv.max(1.0);
+                            return (b.cum_freq - eq, eq);
+                        }
+                        Ordering::Less => {
+                            // Interpolate inside the bucket via the numeric
+                            // image. Cap at the bucket's upper-bound "below"
+                            // mass (cum_freq - eq) so Lt stays monotone as
+                            // the probe approaches the boundary value.
+                            let frac = interpolate(&lower, &b.upper, v);
+                            let eq = (width / b.ndv.max(1.0)).min(width);
+                            let below = (prev_cum + width * frac).min(b.cum_freq - eq);
+                            return (below, eq);
+                        }
+                    }
+                }
+                (1.0, 0.0)
+            }
+        }
+    }
+
+    /// Selectivity of `col op constant` over *non-null* rows, in [0, 1].
+    pub fn selectivity(&self, op: BinOp, v: &Value) -> f64 {
+        let (below, eq) = self.below_and_eq(v);
+        let sel = match op {
+            BinOp::Eq => eq,
+            BinOp::Ne => 1.0 - eq,
+            BinOp::Lt => below,
+            BinOp::Le => below + eq,
+            BinOp::Gt => 1.0 - below - eq,
+            BinOp::Ge => 1.0 - below,
+            _ => return 1.0,
+        };
+        sel.clamp(0.0, 1.0)
+    }
+
+    /// Selectivity of `lo <= col <= hi` (bounds optional/exclusive-capable).
+    pub fn range_selectivity(
+        &self,
+        lo: Option<(&Value, bool)>,
+        hi: Option<(&Value, bool)>,
+    ) -> f64 {
+        let lo_sel = match lo {
+            None => 0.0,
+            Some((v, inclusive)) => {
+                let (below, eq) = self.below_and_eq(v);
+                if inclusive {
+                    below
+                } else {
+                    below + eq
+                }
+            }
+        };
+        let hi_sel = match hi {
+            None => 1.0,
+            Some((v, inclusive)) => {
+                let (below, eq) = self.below_and_eq(v);
+                if inclusive {
+                    below + eq
+                } else {
+                    below
+                }
+            }
+        };
+        (hi_sel - lo_sel).clamp(0.0, 1.0)
+    }
+}
+
+/// Fractional position of `v` between `lower` (exclusive) and `upper`
+/// (inclusive), through the numeric image; 0.5 when unknowable.
+fn interpolate(lower: &Value, upper: &Value, v: &Value) -> f64 {
+    match (numeric_image(lower), numeric_image(upper), numeric_image(v)) {
+        (Some(lo), Some(hi), Some(x)) if hi > lo => ((x - lo) / (hi - lo)).clamp(0.0, 1.0),
+        _ => 0.5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vals: &[i64]) -> Vec<Value> {
+        vals.iter().map(|&i| Value::Int(i)).collect()
+    }
+
+    #[test]
+    fn singleton_exact_frequencies() {
+        let data = ints(&[1, 1, 1, 2, 3, 3, 4, 4, 4, 4]);
+        let h = Histogram::build(&data, 16).unwrap();
+        assert!(h.is_singleton());
+        assert!((h.selectivity(BinOp::Eq, &Value::Int(4)) - 0.4).abs() < 1e-9);
+        assert!((h.selectivity(BinOp::Lt, &Value::Int(3)) - 0.4).abs() < 1e-9);
+        assert!((h.selectivity(BinOp::Ge, &Value::Int(3)) - 0.6).abs() < 1e-9);
+        assert_eq!(h.selectivity(BinOp::Eq, &Value::Int(99)), 0.0);
+        assert_eq!(h.selectivity(BinOp::Lt, &Value::Int(0)), 0.0);
+        assert_eq!(h.selectivity(BinOp::Gt, &Value::Int(99)), 0.0);
+    }
+
+    #[test]
+    fn equi_height_buckets_balanced() {
+        // 1000 distinct ints, 10 buckets -> each bucket ~10% mass.
+        let data: Vec<Value> = (0..1000).map(Value::Int).collect();
+        let h = Histogram::build(&data, 10).unwrap();
+        assert!(!h.is_singleton());
+        assert_eq!(h.num_buckets(), 10);
+        let sel = h.selectivity(BinOp::Lt, &Value::Int(500));
+        assert!((sel - 0.5).abs() < 0.02, "sel={sel}");
+        let sel = h.range_selectivity(
+            Some((&Value::Int(100), true)),
+            Some((&Value::Int(299), true)),
+        );
+        assert!((sel - 0.2).abs() < 0.02, "sel={sel}");
+    }
+
+    #[test]
+    fn equi_height_equality_uses_bucket_ndv() {
+        let data: Vec<Value> = (0..1000).map(Value::Int).collect();
+        let h = Histogram::build(&data, 10).unwrap();
+        let sel = h.selectivity(BinOp::Eq, &Value::Int(357));
+        assert!((sel - 0.001).abs() < 0.0005, "sel={sel}");
+    }
+
+    #[test]
+    fn selectivities_are_probabilities() {
+        let data = ints(&[5, 5, 7, 9, 9, 9, 12, 100, 101, 102]);
+        for buckets in [2, 3, 100] {
+            let h = Histogram::build(&data, buckets).unwrap();
+            for op in BinOp::CMP {
+                for probe in [-5i64, 5, 8, 9, 50, 102, 500] {
+                    let s = h.selectivity(op, &Value::Int(probe));
+                    assert!((0.0..=1.0).contains(&s), "{op:?} {probe} -> {s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn string_encoding_preserves_order() {
+        let words = ["", "A", "Brand#12", "Brand#13", "Brand#34", "a", "zebra"];
+        for w in words.windows(2) {
+            assert!(
+                encode_str_prefix(w[0]) <= encode_str_prefix(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        // Strictly increasing where the first 8 bytes differ.
+        assert!(encode_str_prefix("Brand#12") < encode_str_prefix("Brand#13"));
+    }
+
+    #[test]
+    fn string_encoding_long_common_prefix_caveat() {
+        // §7: the fixed length "cannot distinguish between two strings with a
+        // long common prefix" — both encode identically.
+        let a = "WAREHOUSE_EAST_1";
+        let b = "WAREHOUSE_WEST_2";
+        assert_eq!(encode_str_prefix(a), encode_str_prefix(b));
+    }
+
+    #[test]
+    fn string_equi_height_supports_ranges() {
+        // Force equi-height over strings: > max_buckets distinct values.
+        let mut data: Vec<Value> = (0..200)
+            .map(|i| Value::str(format!("C{:03}", i)))
+            .collect();
+        data.sort_by(|a, b| a.total_cmp(b));
+        let h = Histogram::build(&data, 10).unwrap();
+        assert!(!h.is_singleton());
+        // Roughly half the strings are below "C100".
+        let sel = h.selectivity(BinOp::Lt, &Value::str("C100"));
+        assert!((sel - 0.5).abs() < 0.1, "sel={sel}");
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert!(Histogram::build(&[], 10).is_none());
+        assert!(Histogram::build(&ints(&[1]), 0).is_none());
+    }
+}

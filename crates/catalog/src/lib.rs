@@ -1,0 +1,25 @@
+//! Data dictionary: tables, indexes, statistics, histograms.
+//!
+//! This crate is the stand-in for MySQL's data dictionary, which the paper's
+//! metadata provider reads on Orca's behalf (§5). It owns:
+//!
+//! * [`dictionary`] — named tables with their heap data and indexes;
+//! * [`stats`] — per-table/per-column statistics gathered by `ANALYZE`
+//!   (row counts, NDVs, null counts, min/max);
+//! * [`histogram`] — singleton and equi-height histograms, including the
+//!   order-preserving string→i64 encoding of §7 that lets equi-height
+//!   histograms over strings support range predicates.
+//!
+//! Per §5.5/§7 item 5, MySQL's "no histograms on UNIQUE columns" restriction
+//! is *lifted by default* here (it can be re-imposed through
+//! [`stats::AnalyzeOptions`] for the ablation benchmark).
+
+pub mod dictionary;
+pub mod estimate;
+pub mod histogram;
+pub mod stats;
+
+pub use dictionary::{Catalog, CatalogTable};
+pub use estimate::{ColView, Estimator, RelView};
+pub use histogram::{encode_str_prefix, Histogram};
+pub use stats::{AnalyzeOptions, ColumnStats, TableStats};

@@ -1,0 +1,180 @@
+//! Civil-date arithmetic for `DATE` values.
+//!
+//! Dates are stored as `i32` days since 1970-01-01 (proleptic Gregorian).
+//! The conversions use Howard Hinnant's `days_from_civil` algorithm, which is
+//! exact over the full `i32` range we use. `INTERVAL n MONTH` addition
+//! follows MySQL semantics: the day-of-month is clamped to the last day of
+//! the target month (e.g. `2021-01-31 + INTERVAL 1 MONTH = 2021-02-28`).
+
+/// A calendar date broken into year/month/day.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Civil {
+    pub year: i32,
+    /// 1-12.
+    pub month: u32,
+    /// 1-31.
+    pub day: u32,
+}
+
+/// Days since 1970-01-01 for a civil date.
+pub fn days_from_civil(c: Civil) -> i32 {
+    let y = if c.month <= 2 { c.year - 1 } else { c.year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = ((c.month as i64) + 9) % 12; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + (c.day as i64) - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era as i64 * 146097 + doe - 719468) as i32
+}
+
+/// Civil date for days since 1970-01-01.
+pub fn civil_from_days(z: i32) -> Civil {
+    let z = z as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    Civil { year: (if m <= 2 { y + 1 } else { y }) as i32, month: m, day: d }
+}
+
+/// Number of days in a month of a given year.
+pub fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => panic!("invalid month {month}"),
+    }
+}
+
+/// Gregorian leap-year rule.
+pub fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// Parse `YYYY-MM-DD` into days since epoch. Returns `None` on malformed
+/// input or out-of-range components.
+pub fn parse_date(s: &str) -> Option<i32> {
+    let mut it = s.splitn(3, '-');
+    let year: i32 = it.next()?.parse().ok()?;
+    let month: u32 = it.next()?.parse().ok()?;
+    let day: u32 = it.next()?.parse().ok()?;
+    if !(1..=12).contains(&month) || day < 1 || day > days_in_month(year, month) {
+        return None;
+    }
+    Some(days_from_civil(Civil { year, month, day }))
+}
+
+/// Format days since epoch as `YYYY-MM-DD`.
+pub fn format_date(days: i32) -> String {
+    let c = civil_from_days(days);
+    format!("{:04}-{:02}-{:02}", c.year, c.month, c.day)
+}
+
+/// Add `n` calendar months with MySQL day-clamping semantics.
+pub fn add_months(days: i32, n: i32) -> i32 {
+    let c = civil_from_days(days);
+    let total = c.year as i64 * 12 + (c.month as i64 - 1) + n as i64;
+    let year = total.div_euclid(12) as i32;
+    let month = (total.rem_euclid(12) + 1) as u32;
+    let day = c.day.min(days_in_month(year, month));
+    days_from_civil(Civil { year, month, day })
+}
+
+/// Add `n` calendar years (clamping Feb 29 → Feb 28 as needed).
+pub fn add_years(days: i32, n: i32) -> i32 {
+    add_months(days, n * 12)
+}
+
+/// `EXTRACT(YEAR FROM d)`.
+pub fn year_of(days: i32) -> i32 {
+    civil_from_days(days).year
+}
+
+/// `EXTRACT(MONTH FROM d)`.
+pub fn month_of(days: i32) -> u32 {
+    civil_from_days(days).month
+}
+
+/// `EXTRACT(DAY FROM d)`.
+pub fn day_of(days: i32) -> u32 {
+    civil_from_days(days).day
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(Civil { year: 1970, month: 1, day: 1 }), 0);
+        assert_eq!(civil_from_days(0), Civil { year: 1970, month: 1, day: 1 });
+    }
+
+    #[test]
+    fn round_trip_across_range() {
+        // Every ~97 days across two centuries round-trips exactly.
+        let start = days_from_civil(Civil { year: 1900, month: 1, day: 1 });
+        let end = days_from_civil(Civil { year: 2100, month: 12, day: 31 });
+        let mut d = start;
+        while d <= end {
+            assert_eq!(days_from_civil(civil_from_days(d)), d);
+            d += 97;
+        }
+    }
+
+    #[test]
+    fn parse_and_format() {
+        let d = parse_date("1995-01-01").unwrap();
+        assert_eq!(format_date(d), "1995-01-01");
+        assert_eq!(parse_date("1995-13-01"), None);
+        assert_eq!(parse_date("1995-02-29"), None); // not a leap year
+        assert!(parse_date("1996-02-29").is_some()); // leap year
+        assert_eq!(parse_date("gibberish"), None);
+    }
+
+    #[test]
+    fn month_addition_clamps() {
+        let jan31 = parse_date("2021-01-31").unwrap();
+        assert_eq!(format_date(add_months(jan31, 1)), "2021-02-28");
+        assert_eq!(format_date(add_months(jan31, 3)), "2021-04-30");
+        let nov = parse_date("1993-11-01").unwrap();
+        // TPC-H Q4: DATE '1993-11-01' + INTERVAL 3 MONTH.
+        assert_eq!(format_date(add_months(nov, 3)), "1994-02-01");
+        // Negative months work too.
+        assert_eq!(format_date(add_months(nov, -11)), "1992-12-01");
+    }
+
+    #[test]
+    fn year_addition_handles_leap_day() {
+        let leap = parse_date("2020-02-29").unwrap();
+        assert_eq!(format_date(add_years(leap, 1)), "2021-02-28");
+        assert_eq!(format_date(add_years(leap, 4)), "2024-02-29");
+    }
+
+    #[test]
+    fn extract_components() {
+        let d = parse_date("1998-09-02").unwrap();
+        assert_eq!(year_of(d), 1998);
+        assert_eq!(month_of(d), 9);
+        assert_eq!(day_of(d), 2);
+    }
+
+    #[test]
+    fn date_ordering_matches_day_count() {
+        let a = parse_date("1992-01-01").unwrap();
+        let b = parse_date("1992-01-02").unwrap();
+        assert_eq!(b - a, 1);
+        assert!(parse_date("1999-12-31").unwrap() < parse_date("2000-01-01").unwrap());
+    }
+}

@@ -1,0 +1,83 @@
+//! Workspace-wide error type.
+//!
+//! A single error enum keeps the crates' `Result` signatures uniform without
+//! pulling in external error-derive dependencies.
+
+use std::fmt;
+
+/// Errors produced anywhere in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// SQL text failed to lex or parse. Carries a message and byte offset.
+    Parse { message: String, offset: usize },
+    /// Name resolution failed (unknown table/column, ambiguous reference).
+    Resolution(String),
+    /// A semantically invalid query (type mismatch, bad aggregate use, ...).
+    Semantic(String),
+    /// The catalog has no object with the requested name or id.
+    CatalogMissing(String),
+    /// The Orca detour could not handle the query; the caller must fall back
+    /// to MySQL optimization (paper §4.1/§4.2: recursive CTEs, multi-column
+    /// GROUPING, changed query-block structure, non-SELECT statements).
+    OrcaFallback(String),
+    /// Statement execution failed.
+    Execution(String),
+    /// Internal invariant violation — indicates a bug in this codebase.
+    Internal(String),
+}
+
+impl Error {
+    /// Shorthand for [`Error::Internal`] with a formatted message.
+    pub fn internal(msg: impl Into<String>) -> Self {
+        Error::Internal(msg.into())
+    }
+
+    /// Shorthand for [`Error::Semantic`].
+    pub fn semantic(msg: impl Into<String>) -> Self {
+        Error::Semantic(msg.into())
+    }
+
+    /// Shorthand for [`Error::OrcaFallback`].
+    pub fn fallback(msg: impl Into<String>) -> Self {
+        Error::OrcaFallback(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            Error::Resolution(m) => write!(f, "resolution error: {m}"),
+            Error::Semantic(m) => write!(f, "semantic error: {m}"),
+            Error::CatalogMissing(m) => write!(f, "catalog object not found: {m}"),
+            Error::OrcaFallback(m) => write!(f, "orca fallback: {m}"),
+            Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = Error::Parse { message: "unexpected ')'".into(), offset: 17 };
+        assert_eq!(e.to_string(), "parse error at byte 17: unexpected ')'");
+        assert!(Error::fallback("recursive CTE").to_string().contains("recursive CTE"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::internal("x"), Error::Internal("x".into()));
+        assert_ne!(Error::internal("x"), Error::semantic("x"));
+    }
+}

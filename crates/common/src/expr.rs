@@ -1,0 +1,1098 @@
+//! Bound scalar expressions.
+//!
+//! These are the *post-resolution* expressions shared by both optimizers and
+//! the executor. Column references are `(table, col)` pairs where `table` is
+//! the table's index in the query's flat table list (the stand-in for
+//! MySQL's `TABLE_LIST` ordering, §4.1) — evaluation resolves them through a
+//! [`Layout`] so the same tree works under any join order, including the
+//! bushy orders Orca produces.
+//!
+//! Subqueries never appear here: the prepare phase rewrites them to
+//! semi-joins or derived tables before binding, exactly as the paper's
+//! MySQL frontend does.
+
+use crate::datetime;
+use crate::error::{Error, Result};
+use crate::row::Layout;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A bound column reference: `(query-table index, column ordinal)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColRef {
+    pub table: usize,
+    pub col: usize,
+}
+
+/// Binary operators. The five arithmetic and six comparison operators are
+/// exactly the axes of the paper's expression cubes (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// The 5 arithmetic operators (§5.2's first cube axis).
+    pub const ARITH: [BinOp; 5] = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod];
+    /// The 6 comparison operators (§5.2's second cube axis).
+    pub const CMP: [BinOp; 6] = [BinOp::Lt, BinOp::Le, BinOp::Gt, BinOp::Ge, BinOp::Eq, BinOp::Ne];
+
+    pub fn is_comparison(self) -> bool {
+        BinOp::CMP.contains(&self)
+    }
+
+    pub fn is_arithmetic(self) -> bool {
+        BinOp::ARITH.contains(&self)
+    }
+
+    /// Commuted operator: `a op b` ≡ `b op' a` (§5.3). `None` when the
+    /// operator does not commute (`-`, `/`, `%`).
+    pub fn commutator(self) -> Option<BinOp> {
+        match self {
+            BinOp::Add | BinOp::Mul | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or => Some(self),
+            BinOp::Lt => Some(BinOp::Gt),
+            BinOp::Le => Some(BinOp::Ge),
+            BinOp::Gt => Some(BinOp::Lt),
+            BinOp::Ge => Some(BinOp::Le),
+            BinOp::Sub | BinOp::Div | BinOp::Mod => None,
+        }
+    }
+
+    /// Logical inverse for comparisons: `NOT (a op b)` ≡ `a op' b` (§5.3).
+    pub fn inverse(self) -> Option<BinOp> {
+        match self {
+            BinOp::Eq => Some(BinOp::Ne),
+            BinOp::Ne => Some(BinOp::Eq),
+            BinOp::Lt => Some(BinOp::Ge),
+            BinOp::Le => Some(BinOp::Gt),
+            BinOp::Gt => Some(BinOp::Le),
+            BinOp::Ge => Some(BinOp::Lt),
+            _ => None,
+        }
+    }
+
+    /// SQL spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::Ne => "<>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Not,
+    Neg,
+    IsNull,
+    IsNotNull,
+}
+
+/// Scalar (the paper's "regular", §5.4) functions the executor evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarFunc {
+    Abs,
+    Round,
+    Upper,
+    Lower,
+    Substr,
+    Concat,
+    Coalesce,
+    /// `EXTRACT(YEAR FROM d)`.
+    Year,
+    Month,
+    Day,
+    /// `d + INTERVAL n DAY` (n is the second argument).
+    DateAddDays,
+    /// `d + INTERVAL n MONTH`.
+    DateAddMonths,
+    /// `d + INTERVAL n YEAR`.
+    DateAddYears,
+    /// `CAST(x AS DATE)` — identity on dates, parses strings.
+    CastDate,
+    /// `CAST(x AS CHAR)`.
+    CastStr,
+    /// `CAST(x AS SIGNED)`.
+    CastInt,
+    /// `CAST(x AS DOUBLE)`.
+    CastDouble,
+}
+
+impl ScalarFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarFunc::Abs => "ABS",
+            ScalarFunc::Round => "ROUND",
+            ScalarFunc::Upper => "UPPER",
+            ScalarFunc::Lower => "LOWER",
+            ScalarFunc::Substr => "SUBSTR",
+            ScalarFunc::Concat => "CONCAT",
+            ScalarFunc::Coalesce => "COALESCE",
+            ScalarFunc::Year => "YEAR",
+            ScalarFunc::Month => "MONTH",
+            ScalarFunc::Day => "DAY",
+            ScalarFunc::DateAddDays => "DATE_ADD_DAYS",
+            ScalarFunc::DateAddMonths => "DATE_ADD_MONTHS",
+            ScalarFunc::DateAddYears => "DATE_ADD_YEARS",
+            ScalarFunc::CastDate => "CAST_DATE",
+            ScalarFunc::CastStr => "CAST_CHAR",
+            ScalarFunc::CastInt => "CAST_SIGNED",
+            ScalarFunc::CastDouble => "CAST_DOUBLE",
+        }
+    }
+}
+
+/// The six standard SQL aggregates of §5.2 (`COUNT` split into its two
+/// flavours, star and expression).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    CountStar,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    StdDev,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::CountStar => "COUNT(*)",
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::StdDev => "STDDEV",
+        }
+    }
+}
+
+/// A bound scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a query-table column, resolved through the row layout.
+    Column(ColRef),
+    /// Direct slot in the *current operator's* row — used only above
+    /// aggregation/projection boundaries where the layout no longer applies.
+    Slot(usize),
+    /// Constant.
+    Literal(Value),
+    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Unary { op: UnOp, input: Box<Expr> },
+    Func { func: ScalarFunc, args: Vec<Expr> },
+    Case { operand: Option<Box<Expr>>, branches: Vec<(Expr, Expr)>, else_: Option<Box<Expr>> },
+    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
+    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
+    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    /// An aggregate call. Valid only below an aggregation operator; the
+    /// refinement phase replaces it with a [`Expr::Slot`] above one.
+    Agg { func: AggFunc, arg: Option<Box<Expr>>, distinct: bool },
+}
+
+/// Evaluation context: the current concatenated row plus its layout.
+#[derive(Clone, Copy)]
+pub struct EvalCtx<'a> {
+    pub row: &'a [Value],
+    pub layout: &'a Layout,
+}
+
+impl<'a> EvalCtx<'a> {
+    pub fn new(row: &'a [Value], layout: &'a Layout) -> Self {
+        EvalCtx { row, layout }
+    }
+}
+
+impl Expr {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    pub fn col(table: usize, col: usize) -> Expr {
+        Expr::Column(ColRef { table, col })
+    }
+
+    pub fn lit(v: Value) -> Expr {
+        Expr::Literal(v)
+    }
+
+    pub fn int(i: i64) -> Expr {
+        Expr::Literal(Value::Int(i))
+    }
+
+    pub fn string(s: &str) -> Expr {
+        Expr::Literal(Value::str(s))
+    }
+
+    pub fn binary(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary { op, left: Box::new(l), right: Box::new(r) }
+    }
+
+    pub fn eq(l: Expr, r: Expr) -> Expr {
+        Expr::binary(BinOp::Eq, l, r)
+    }
+
+    pub fn and(l: Expr, r: Expr) -> Expr {
+        Expr::binary(BinOp::And, l, r)
+    }
+
+    pub fn or(l: Expr, r: Expr) -> Expr {
+        Expr::binary(BinOp::Or, l, r)
+    }
+
+    /// Logical negation constructor (named for SQL's NOT, intentionally
+    /// shadowing-adjacent to `std::ops::Not`).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Expr) -> Expr {
+        Expr::Unary { op: UnOp::Not, input: Box::new(e) }
+    }
+
+    /// Conjunction of all expressions; `TRUE` literal for an empty list.
+    pub fn and_all(mut exprs: Vec<Expr>) -> Expr {
+        match exprs.len() {
+            0 => Expr::Literal(Value::Bool(true)),
+            1 => exprs.pop().expect("len checked"),
+            _ => {
+                let mut it = exprs.into_iter();
+                let first = it.next().expect("len checked");
+                it.fold(first, Expr::and)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Analysis
+    // ------------------------------------------------------------------
+
+    /// Collect the query-table indexes this expression references.
+    pub fn referenced_tables(&self) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |e| {
+            if let Expr::Column(c) = e {
+                out.insert(c.table);
+            }
+        });
+        out
+    }
+
+    /// Collect all column references.
+    pub fn referenced_columns(&self) -> BTreeSet<ColRef> {
+        let mut out = BTreeSet::new();
+        self.walk(&mut |e| {
+            if let Expr::Column(c) = e {
+                out.insert(*c);
+            }
+        });
+        out
+    }
+
+    /// Whether any aggregate call appears in the tree.
+    pub fn contains_agg(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Agg { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Whether the expression is a constant (no columns, slots, aggregates).
+    pub fn is_const(&self) -> bool {
+        let mut konst = true;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Column(_) | Expr::Slot(_) | Expr::Agg { .. }) {
+                konst = false;
+            }
+        });
+        konst
+    }
+
+    /// Split a conjunction into its top-level conjuncts.
+    pub fn conjuncts(self) -> Vec<Expr> {
+        match self {
+            Expr::Binary { op: BinOp::And, left, right } => {
+                let mut v = left.conjuncts();
+                v.extend(right.conjuncts());
+                v
+            }
+            Expr::Literal(Value::Bool(true)) => vec![],
+            other => vec![other],
+        }
+    }
+
+    /// Split a disjunction into its top-level disjuncts.
+    pub fn disjuncts(self) -> Vec<Expr> {
+        match self {
+            Expr::Binary { op: BinOp::Or, left, right } => {
+                let mut v = left.disjuncts();
+                v.extend(right.disjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Pre-order immutable walk.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Column(_) | Expr::Slot(_) | Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Unary { input, .. } => input.walk(f),
+            Expr::Func { args, .. } => args.iter().for_each(|a| a.walk(f)),
+            Expr::Case { operand, branches, else_ } => {
+                if let Some(o) = operand {
+                    o.walk(f);
+                }
+                for (w, t) in branches {
+                    w.walk(f);
+                    t.walk(f);
+                }
+                if let Some(e) = else_ {
+                    e.walk(f);
+                }
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk(f);
+                list.iter().for_each(|e| e.walk(f));
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.walk(f);
+                pattern.walk(f);
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.walk(f);
+                low.walk(f);
+                high.walk(f);
+            }
+            Expr::Agg { arg, .. } => {
+                if let Some(a) = arg {
+                    a.walk(f);
+                }
+            }
+        }
+    }
+
+    /// Bottom-up rewrite: children first, then the node itself.
+    pub fn rewrite(self, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+        let node = match self {
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op,
+                left: Box::new(left.rewrite(f)),
+                right: Box::new(right.rewrite(f)),
+            },
+            Expr::Unary { op, input } => Expr::Unary { op, input: Box::new(input.rewrite(f)) },
+            Expr::Func { func, args } => {
+                Expr::Func { func, args: args.into_iter().map(|a| a.rewrite(f)).collect() }
+            }
+            Expr::Case { operand, branches, else_ } => Expr::Case {
+                operand: operand.map(|o| Box::new(o.rewrite(f))),
+                branches: branches
+                    .into_iter()
+                    .map(|(w, t)| (w.rewrite(f), t.rewrite(f)))
+                    .collect(),
+                else_: else_.map(|e| Box::new(e.rewrite(f))),
+            },
+            Expr::InList { expr, list, negated } => Expr::InList {
+                expr: Box::new(expr.rewrite(f)),
+                list: list.into_iter().map(|e| e.rewrite(f)).collect(),
+                negated,
+            },
+            Expr::Like { expr, pattern, negated } => Expr::Like {
+                expr: Box::new(expr.rewrite(f)),
+                pattern: Box::new(pattern.rewrite(f)),
+                negated,
+            },
+            Expr::Between { expr, low, high, negated } => Expr::Between {
+                expr: Box::new(expr.rewrite(f)),
+                low: Box::new(low.rewrite(f)),
+                high: Box::new(high.rewrite(f)),
+                negated,
+            },
+            Expr::Agg { func, arg, distinct } => {
+                Expr::Agg { func, arg: arg.map(|a| Box::new(a.rewrite(f))), distinct }
+            }
+            leaf => leaf,
+        };
+        f(node)
+    }
+
+    // ------------------------------------------------------------------
+    // Evaluation
+    // ------------------------------------------------------------------
+
+    /// Evaluate against a row. `Expr::Agg` is an error here — aggregation is
+    /// an operator concern, not a scalar one.
+    pub fn eval(&self, ctx: EvalCtx<'_>) -> Result<Value> {
+        match self {
+            Expr::Column(c) => {
+                let slot = ctx.layout.slot(c.table, c.col).ok_or_else(|| {
+                    Error::internal(format!(
+                        "column t{}.c{} not covered by layout (width {})",
+                        c.table,
+                        c.col,
+                        ctx.layout.width()
+                    ))
+                })?;
+                Ok(ctx.row[slot].clone())
+            }
+            Expr::Slot(i) => Ok(ctx.row[*i].clone()),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Binary { op, left, right } => eval_binary(*op, left, right, ctx),
+            Expr::Unary { op, input } => {
+                let v = input.eval(ctx)?;
+                match op {
+                    UnOp::Not => Ok(match v.truth() {
+                        Some(b) => Value::Bool(!b),
+                        None => Value::Null,
+                    }),
+                    UnOp::Neg => v.neg(),
+                    UnOp::IsNull => Ok(Value::Bool(v.is_null())),
+                    UnOp::IsNotNull => Ok(Value::Bool(!v.is_null())),
+                }
+            }
+            Expr::Func { func, args } => eval_func(*func, args, ctx),
+            Expr::Case { operand, branches, else_ } => {
+                let op_val = operand.as_ref().map(|o| o.eval(ctx)).transpose()?;
+                for (when, then) in branches {
+                    let hit = match &op_val {
+                        Some(v) => v.sql_eq(&when.eval(ctx)?).is_true(),
+                        None => when.eval(ctx)?.is_true(),
+                    };
+                    if hit {
+                        return then.eval(ctx);
+                    }
+                }
+                match else_ {
+                    Some(e) => e.eval(ctx),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::InList { expr, list, negated } => {
+                let v = expr.eval(ctx)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let iv = item.eval(ctx)?;
+                    match v.sql_eq(&iv) {
+                        Value::Bool(true) => {
+                            return Ok(Value::Bool(!negated));
+                        }
+                        Value::Null => saw_null = true,
+                        _ => {}
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Bool(*negated))
+                }
+            }
+            Expr::Like { expr, pattern, negated } => {
+                let v = expr.eval(ctx)?;
+                let p = pattern.eval(ctx)?;
+                match (v.as_str(), p.as_str()) {
+                    (Some(s), Some(pat)) => {
+                        let m = like_match(s.as_bytes(), pat.as_bytes());
+                        Ok(Value::Bool(m != *negated))
+                    }
+                    _ => Ok(Value::Null),
+                }
+            }
+            Expr::Between { expr, low, high, negated } => {
+                let v = expr.eval(ctx)?;
+                let lo = low.eval(ctx)?;
+                let hi = high.eval(ctx)?;
+                let ge = v.sql_cmp(&lo).map(|o| o != std::cmp::Ordering::Less);
+                let le = v.sql_cmp(&hi).map(|o| o != std::cmp::Ordering::Greater);
+                match (ge, le) {
+                    (Some(a), Some(b)) => Ok(Value::Bool((a && b) != *negated)),
+                    _ => Ok(Value::Null),
+                }
+            }
+            Expr::Agg { func, .. } => Err(Error::internal(format!(
+                "aggregate {} evaluated as a scalar; refinement should have replaced it",
+                func.name()
+            ))),
+        }
+    }
+
+    /// Pretty-print with a caller-provided column namer (used by EXPLAIN).
+    pub fn display_with(&self, namer: &dyn Fn(ColRef) -> String) -> String {
+        let mut s = String::new();
+        self.fmt_with(&mut s, namer);
+        s
+    }
+
+    fn fmt_with(&self, out: &mut String, namer: &dyn Fn(ColRef) -> String) {
+        use std::fmt::Write;
+        match self {
+            Expr::Column(c) => out.push_str(&namer(*c)),
+            Expr::Slot(i) => {
+                let _ = write!(out, "#{i}");
+            }
+            Expr::Literal(Value::Str(s)) => {
+                let _ = write!(out, "'{s}'");
+            }
+            Expr::Literal(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Expr::Binary { op, left, right } => {
+                out.push('(');
+                left.fmt_with(out, namer);
+                let _ = write!(out, " {} ", op.symbol());
+                right.fmt_with(out, namer);
+                out.push(')');
+            }
+            Expr::Unary { op, input } => match op {
+                UnOp::Not => {
+                    out.push_str("NOT ");
+                    input.fmt_with(out, namer);
+                }
+                UnOp::Neg => {
+                    out.push('-');
+                    input.fmt_with(out, namer);
+                }
+                UnOp::IsNull => {
+                    input.fmt_with(out, namer);
+                    out.push_str(" IS NULL");
+                }
+                UnOp::IsNotNull => {
+                    input.fmt_with(out, namer);
+                    out.push_str(" IS NOT NULL");
+                }
+            },
+            Expr::Func { func, args } => {
+                out.push_str(func.name());
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    a.fmt_with(out, namer);
+                }
+                out.push(')');
+            }
+            Expr::Case { operand, branches, else_ } => {
+                out.push_str("CASE");
+                if let Some(o) = operand {
+                    out.push(' ');
+                    o.fmt_with(out, namer);
+                }
+                for (w, t) in branches {
+                    out.push_str(" WHEN ");
+                    w.fmt_with(out, namer);
+                    out.push_str(" THEN ");
+                    t.fmt_with(out, namer);
+                }
+                if let Some(e) = else_ {
+                    out.push_str(" ELSE ");
+                    e.fmt_with(out, namer);
+                }
+                out.push_str(" END");
+            }
+            Expr::InList { expr, list, negated } => {
+                expr.fmt_with(out, namer);
+                out.push_str(if *negated { " NOT IN (" } else { " IN (" });
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    e.fmt_with(out, namer);
+                }
+                out.push(')');
+            }
+            Expr::Like { expr, pattern, negated } => {
+                expr.fmt_with(out, namer);
+                out.push_str(if *negated { " NOT LIKE " } else { " LIKE " });
+                pattern.fmt_with(out, namer);
+            }
+            Expr::Between { expr, low, high, negated } => {
+                expr.fmt_with(out, namer);
+                out.push_str(if *negated { " NOT BETWEEN " } else { " BETWEEN " });
+                low.fmt_with(out, namer);
+                out.push_str(" AND ");
+                high.fmt_with(out, namer);
+            }
+            Expr::Agg { func, arg, distinct } => {
+                if *func == AggFunc::CountStar {
+                    out.push_str("COUNT(*)");
+                } else {
+                    out.push_str(func.name());
+                    out.push('(');
+                    if *distinct {
+                        out.push_str("DISTINCT ");
+                    }
+                    if let Some(a) = arg {
+                        a.fmt_with(out, namer);
+                    }
+                    out.push(')');
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_with(&|c| format!("t{}.c{}", c.table, c.col)))
+    }
+}
+
+fn eval_binary(op: BinOp, left: &Expr, right: &Expr, ctx: EvalCtx<'_>) -> Result<Value> {
+    // AND/OR need short-circuit three-valued logic.
+    match op {
+        BinOp::And => {
+            let l = left.eval(ctx)?.truth();
+            if l == Some(false) {
+                return Ok(Value::Bool(false));
+            }
+            let r = right.eval(ctx)?.truth();
+            return Ok(match (l, r) {
+                (Some(true), Some(true)) => Value::Bool(true),
+                (_, Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            });
+        }
+        BinOp::Or => {
+            let l = left.eval(ctx)?.truth();
+            if l == Some(true) {
+                return Ok(Value::Bool(true));
+            }
+            let r = right.eval(ctx)?.truth();
+            return Ok(match (l, r) {
+                (Some(false), Some(false)) => Value::Bool(false),
+                (_, Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            });
+        }
+        _ => {}
+    }
+    let l = left.eval(ctx)?;
+    let r = right.eval(ctx)?;
+    match op {
+        BinOp::Add => l.add(&r),
+        BinOp::Sub => l.sub(&r),
+        BinOp::Mul => l.mul(&r),
+        BinOp::Div => l.div(&r),
+        BinOp::Mod => l.rem(&r),
+        cmp => {
+            use std::cmp::Ordering::*;
+            Ok(match l.sql_cmp(&r) {
+                None => Value::Null,
+                Some(ord) => Value::Bool(match cmp {
+                    BinOp::Eq => ord == Equal,
+                    BinOp::Ne => ord != Equal,
+                    BinOp::Lt => ord == Less,
+                    BinOp::Le => ord != Greater,
+                    BinOp::Gt => ord == Greater,
+                    BinOp::Ge => ord != Less,
+                    _ => unreachable!("logical ops handled above"),
+                }),
+            })
+        }
+    }
+}
+
+fn eval_func(func: ScalarFunc, args: &[Expr], ctx: EvalCtx<'_>) -> Result<Value> {
+    let need = |n: usize| -> Result<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(Error::semantic(format!("{} expects {n} args, got {}", func.name(), args.len())))
+        }
+    };
+    match func {
+        ScalarFunc::Coalesce => {
+            for a in args {
+                let v = a.eval(ctx)?;
+                if !v.is_null() {
+                    return Ok(v);
+                }
+            }
+            Ok(Value::Null)
+        }
+        ScalarFunc::Concat => {
+            let mut s = String::new();
+            for a in args {
+                let v = a.eval(ctx)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                s.push_str(&v.to_string());
+            }
+            Ok(Value::str(s))
+        }
+        _ => {
+            // Remaining functions have fixed arity with NULL-in → NULL-out.
+            let arity = match func {
+                ScalarFunc::Substr => 3,
+                ScalarFunc::Round
+                | ScalarFunc::DateAddDays
+                | ScalarFunc::DateAddMonths
+                | ScalarFunc::DateAddYears => 2,
+                _ => 1,
+            };
+            need(arity)?;
+            let mut vals = Vec::with_capacity(arity);
+            for a in args {
+                let v = a.eval(ctx)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                vals.push(v);
+            }
+            eval_strict_func(func, &vals)
+        }
+    }
+}
+
+/// Functions whose arguments are all non-NULL by the time we get here.
+fn eval_strict_func(func: ScalarFunc, vals: &[Value]) -> Result<Value> {
+    let bad = || Error::semantic(format!("invalid argument types for {}", func.name()));
+    match func {
+        ScalarFunc::Abs => match &vals[0] {
+            Value::Int(i) => Ok(Value::Int(i.abs())),
+            Value::Double(d) => Ok(Value::Double(d.abs())),
+            _ => Err(bad()),
+        },
+        ScalarFunc::Round => {
+            let x = vals[0].as_f64().ok_or_else(bad)?;
+            let places = vals[1].as_i64().ok_or_else(bad)?;
+            let m = 10f64.powi(places as i32);
+            Ok(Value::Double((x * m).round() / m))
+        }
+        ScalarFunc::Upper => Ok(Value::str(vals[0].as_str().ok_or_else(bad)?.to_uppercase())),
+        ScalarFunc::Lower => Ok(Value::str(vals[0].as_str().ok_or_else(bad)?.to_lowercase())),
+        ScalarFunc::Substr => {
+            let s = vals[0].as_str().ok_or_else(bad)?;
+            // SQL SUBSTR is 1-based.
+            let start = (vals[1].as_i64().ok_or_else(bad)?.max(1) - 1) as usize;
+            let len = vals[2].as_i64().ok_or_else(bad)?.max(0) as usize;
+            let sub: String = s.chars().skip(start).take(len).collect();
+            Ok(Value::str(sub))
+        }
+        ScalarFunc::Year => match &vals[0] {
+            Value::Date(d) => Ok(Value::Int(datetime::year_of(*d) as i64)),
+            _ => Err(bad()),
+        },
+        ScalarFunc::Month => match &vals[0] {
+            Value::Date(d) => Ok(Value::Int(datetime::month_of(*d) as i64)),
+            _ => Err(bad()),
+        },
+        ScalarFunc::Day => match &vals[0] {
+            Value::Date(d) => Ok(Value::Int(datetime::day_of(*d) as i64)),
+            _ => Err(bad()),
+        },
+        ScalarFunc::DateAddDays => match (&vals[0], vals[1].as_i64()) {
+            (Value::Date(d), Some(n)) => Ok(Value::Date(d + n as i32)),
+            _ => Err(bad()),
+        },
+        ScalarFunc::DateAddMonths => match (&vals[0], vals[1].as_i64()) {
+            (Value::Date(d), Some(n)) => Ok(Value::Date(datetime::add_months(*d, n as i32))),
+            _ => Err(bad()),
+        },
+        ScalarFunc::DateAddYears => match (&vals[0], vals[1].as_i64()) {
+            (Value::Date(d), Some(n)) => Ok(Value::Date(datetime::add_years(*d, n as i32))),
+            _ => Err(bad()),
+        },
+        ScalarFunc::CastDate => match &vals[0] {
+            Value::Date(d) => Ok(Value::Date(*d)),
+            Value::Str(s) => Value::date(s),
+            _ => Err(bad()),
+        },
+        ScalarFunc::CastStr => Ok(Value::str(vals[0].to_string())),
+        ScalarFunc::CastInt => vals[0].as_i64().map(Value::Int).ok_or_else(bad),
+        ScalarFunc::CastDouble => vals[0].as_f64().map(Value::Double).ok_or_else(bad),
+        ScalarFunc::Coalesce | ScalarFunc::Concat => {
+            unreachable!("variadic functions handled by caller")
+        }
+    }
+}
+
+/// Factor common conjuncts out of a disjunction:
+/// `(a = b AND x) OR (a = b AND y)` → `(a = b) AND (x OR y)`.
+///
+/// This is the rewrite behind the paper's Q41 analysis (§6.2) and §7 item
+/// 4: the factored-out equality can drive a hash join and is evaluated once
+/// instead of once per OR arm. Applied recursively bottom-up; exact (every
+/// disjunct must contain the common conjunct structurally).
+pub fn factor_or(e: Expr) -> Expr {
+    e.rewrite(&mut |node| match node {
+        Expr::Binary { op: BinOp::Or, .. } => try_factor(node),
+        other => other,
+    })
+}
+
+fn try_factor(e: Expr) -> Expr {
+    let disjuncts = e.clone().disjuncts();
+    if disjuncts.len() < 2 {
+        return e;
+    }
+    let arms: Vec<Vec<Expr>> = disjuncts.into_iter().map(|d| d.conjuncts()).collect();
+    let mut common: Vec<Expr> = Vec::new();
+    for cand in &arms[0] {
+        if arms[1..].iter().all(|arm| arm.contains(cand)) && !common.contains(cand) {
+            common.push(cand.clone());
+        }
+    }
+    if common.is_empty() {
+        return e;
+    }
+    let mut residual_arms: Vec<Expr> = Vec::with_capacity(arms.len());
+    let mut any_arm_empty = false;
+    for arm in arms {
+        let rest: Vec<Expr> = arm.into_iter().filter(|c| !common.contains(c)).collect();
+        if rest.is_empty() {
+            // An arm reduced to TRUE: the OR collapses to the common part.
+            any_arm_empty = true;
+            break;
+        }
+        residual_arms.push(Expr::and_all(rest));
+    }
+    let common_expr = Expr::and_all(common);
+    if any_arm_empty {
+        return common_expr;
+    }
+    let mut it = residual_arms.into_iter();
+    let first = it.next().expect("len >= 2");
+    let residual = it.fold(first, Expr::or);
+    Expr::and(common_expr, residual)
+}
+
+/// SQL LIKE matching over bytes with `%` (any run) and `_` (any single byte).
+/// Iterative two-pointer algorithm, O(n·m) worst case.
+pub fn like_match(s: &[u8], pat: &[u8]) -> bool {
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star, mut star_si) = (None::<usize>, 0usize);
+    while si < s.len() {
+        if pi < pat.len() && (pat[pi] == b'_' || pat[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < pat.len() && pat[pi] == b'%' {
+            star = Some(pi);
+            star_si = si;
+            pi += 1;
+        } else if let Some(sp) = star {
+            pi = sp + 1;
+            star_si += 1;
+            si = star_si;
+        } else {
+            return false;
+        }
+    }
+    while pi < pat.len() && pat[pi] == b'%' {
+        pi += 1;
+    }
+    pi == pat.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row::Layout;
+
+    fn ctx_one_table(row: &[Value]) -> (Vec<Value>, Layout) {
+        (row.to_vec(), Layout::single(1, 0, row.len()))
+    }
+
+    #[test]
+    fn column_resolution_through_layout() {
+        let (row, layout) = ctx_one_table(&[Value::Int(10), Value::str("x")]);
+        let e = Expr::col(0, 1);
+        assert_eq!(e.eval(EvalCtx::new(&row, &layout)).unwrap(), Value::str("x"));
+        // Missing table -> internal error, not a panic.
+        let bad = Expr::col(0, 0);
+        let empty_layout = Layout::empty(1);
+        assert!(bad.eval(EvalCtx::new(&row, &empty_layout)).is_err());
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let (row, layout) = ctx_one_table(&[Value::Int(6)]);
+        let ctx = EvalCtx::new(&row, &layout);
+        let e = Expr::binary(BinOp::Mul, Expr::col(0, 0), Expr::int(7));
+        assert_eq!(e.eval(ctx).unwrap(), Value::Int(42));
+        let c = Expr::binary(BinOp::Gt, Expr::col(0, 0), Expr::int(5));
+        assert!(c.eval(ctx).unwrap().is_true());
+    }
+
+    #[test]
+    fn short_circuit_three_valued_logic() {
+        let (row, layout) = ctx_one_table(&[Value::Null]);
+        let ctx = EvalCtx::new(&row, &layout);
+        let null_cmp = Expr::eq(Expr::col(0, 0), Expr::int(1));
+        // NULL AND FALSE = FALSE; NULL OR TRUE = TRUE; NULL AND TRUE = NULL.
+        let f = Expr::lit(Value::Bool(false));
+        let t = Expr::lit(Value::Bool(true));
+        assert_eq!(Expr::and(null_cmp.clone(), f).eval(ctx).unwrap(), Value::Bool(false));
+        assert_eq!(Expr::or(null_cmp.clone(), t.clone()).eval(ctx).unwrap(), Value::Bool(true));
+        assert!(Expr::and(null_cmp, t).eval(ctx).unwrap().is_null());
+    }
+
+    #[test]
+    fn in_list_null_semantics() {
+        let (row, layout) = ctx_one_table(&[Value::Int(5)]);
+        let ctx = EvalCtx::new(&row, &layout);
+        let in5 = Expr::InList {
+            expr: Box::new(Expr::col(0, 0)),
+            list: vec![Expr::int(1), Expr::int(5)],
+            negated: false,
+        };
+        assert!(in5.eval(ctx).unwrap().is_true());
+        // 5 NOT IN (1, NULL) is NULL, not TRUE — classic SQL gotcha.
+        let not_in = Expr::InList {
+            expr: Box::new(Expr::col(0, 0)),
+            list: vec![Expr::int(1), Expr::lit(Value::Null)],
+            negated: true,
+        };
+        assert!(not_in.eval(ctx).unwrap().is_null());
+    }
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match(b"Customer bla Complaints", b"%Customer%Complaints%"));
+        assert!(like_match(b"LARGE BRUSHED TIN", b"LARGE BRUSHED%"));
+        assert!(!like_match(b"SMALL BRUSHED TIN", b"LARGE BRUSHED%"));
+        assert!(like_match(b"abc", b"a_c"));
+        assert!(!like_match(b"abbc", b"a_c"));
+        assert!(like_match(b"", b"%"));
+        assert!(!like_match(b"", b"_"));
+    }
+
+    #[test]
+    fn between_and_case() {
+        let (row, layout) = ctx_one_table(&[Value::Int(25)]);
+        let ctx = EvalCtx::new(&row, &layout);
+        let btw = Expr::Between {
+            expr: Box::new(Expr::col(0, 0)),
+            low: Box::new(Expr::int(21)),
+            high: Box::new(Expr::int(40)),
+            negated: false,
+        };
+        assert!(btw.eval(ctx).unwrap().is_true());
+        // The TPC-DS Q9-style bucket CASE.
+        let case = Expr::Case {
+            operand: None,
+            branches: vec![(btw, Expr::string("bucket2"))],
+            else_: Some(Box::new(Expr::string("other"))),
+        };
+        assert_eq!(case.eval(ctx).unwrap(), Value::str("bucket2"));
+    }
+
+    #[test]
+    fn case_with_operand() {
+        let (row, layout) = ctx_one_table(&[Value::Int(2)]);
+        let ctx = EvalCtx::new(&row, &layout);
+        let case = Expr::Case {
+            operand: Some(Box::new(Expr::col(0, 0))),
+            branches: vec![
+                (Expr::int(1), Expr::string("one")),
+                (Expr::int(2), Expr::string("two")),
+            ],
+            else_: None,
+        };
+        assert_eq!(case.eval(ctx).unwrap(), Value::str("two"));
+    }
+
+    #[test]
+    fn conjunct_splitting() {
+        let e = Expr::and(
+            Expr::eq(Expr::col(0, 0), Expr::int(1)),
+            Expr::and(Expr::eq(Expr::col(1, 0), Expr::int(2)), Expr::eq(Expr::col(2, 0), Expr::int(3))),
+        );
+        let parts = e.conjuncts();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[1].referenced_tables().into_iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn commutators_and_inverses() {
+        assert_eq!(BinOp::Le.commutator(), Some(BinOp::Ge));
+        assert_eq!(BinOp::Add.commutator(), Some(BinOp::Add));
+        assert_eq!(BinOp::Sub.commutator(), None);
+        assert_eq!(BinOp::Lt.inverse(), Some(BinOp::Ge));
+        assert_eq!(BinOp::Add.inverse(), None);
+        // Inverse is an involution on comparisons.
+        for op in BinOp::CMP {
+            assert_eq!(op.inverse().and_then(|o| o.inverse()), Some(op));
+        }
+    }
+
+    #[test]
+    fn analysis_helpers() {
+        let e = Expr::and(
+            Expr::eq(Expr::col(2, 0), Expr::col(0, 1)),
+            Expr::binary(BinOp::Gt, Expr::col(2, 3), Expr::int(5)),
+        );
+        assert_eq!(e.referenced_tables().into_iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(!e.contains_agg());
+        assert!(!e.is_const());
+        assert!(Expr::int(3).is_const());
+        let agg = Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col(0, 0))), distinct: false };
+        assert!(agg.contains_agg());
+    }
+
+    #[test]
+    fn date_functions() {
+        let d = Value::date("1999-01-15").unwrap();
+        let (row, layout) = ctx_one_table(&[d]);
+        let ctx = EvalCtx::new(&row, &layout);
+        let y = Expr::Func { func: ScalarFunc::Year, args: vec![Expr::col(0, 0)] };
+        assert_eq!(y.eval(ctx).unwrap(), Value::Int(1999));
+        let plus3m =
+            Expr::Func { func: ScalarFunc::DateAddMonths, args: vec![Expr::col(0, 0), Expr::int(3)] };
+        assert_eq!(plus3m.eval(ctx).unwrap().to_string(), "1999-04-15");
+    }
+
+    #[test]
+    fn display_round_trip_style() {
+        let e = Expr::and(
+            Expr::eq(Expr::col(0, 0), Expr::string("Brand#14")),
+            Expr::binary(BinOp::Lt, Expr::col(1, 2), Expr::int(10)),
+        );
+        assert_eq!(e.to_string(), "((t0.c0 = 'Brand#14') AND (t1.c2 < 10))");
+    }
+
+    #[test]
+    fn rewrite_replaces_nodes() {
+        let e = Expr::and(Expr::col(0, 0), Expr::col(1, 1));
+        let rewritten = e.rewrite(&mut |node| match node {
+            Expr::Column(c) if c.table == 0 => Expr::Slot(c.col),
+            other => other,
+        });
+        assert_eq!(rewritten, Expr::and(Expr::Slot(0), Expr::col(1, 1)));
+    }
+}

@@ -1,0 +1,84 @@
+//! Strongly-typed identifiers.
+//!
+//! The paper's metadata provider (§5.6) computes Orca *OIDs* from MySQL's
+//! internal object ids with a "base + enumeration id" layout. We keep the
+//! MySQL-side ids (`TableId`, `ColumnId`, `IndexId`) distinct from the
+//! Orca-side [`Oid`] so the bridge's translation is visible in the types.
+
+use std::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$meta:meta])* $name:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw id value.
+            pub fn raw(self) -> u32 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+id_newtype! {
+    /// Catalog-assigned id of a base table (the MySQL data-dictionary id).
+    TableId
+}
+id_newtype! {
+    /// Ordinal position of a column within its table (0-based).
+    ColumnId
+}
+id_newtype! {
+    /// Catalog-assigned id of an index.
+    IndexId
+}
+
+/// An Orca-side object id, as handed out by the metadata provider.
+///
+/// OIDs are 64-bit because the layout scheme of §5.6 places relation-derived
+/// objects at a large base offset above the densely-enumerated expression and
+/// type OIDs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(pub u64);
+
+impl Oid {
+    /// The "invalid OID" sentinel the metadata provider returns for
+    /// expressions without commutators or inverses (§5.3).
+    pub const INVALID: Oid = Oid(0);
+
+    /// Whether this OID is the invalid sentinel.
+    pub fn is_valid(self) -> bool {
+        self != Self::INVALID
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Oid({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_oid_sentinel() {
+        assert!(!Oid::INVALID.is_valid());
+        assert!(Oid(1).is_valid());
+    }
+
+    #[test]
+    fn ids_display_with_type_name() {
+        assert_eq!(TableId(7).to_string(), "TableId(7)");
+        assert_eq!(Oid(9).to_string(), "Oid(9)");
+    }
+}

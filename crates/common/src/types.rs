@@ -1,0 +1,364 @@
+//! MySQL column types and the paper's *type categories*.
+//!
+//! §5.1 of the paper: MySQL has 31 column types; the metadata provider groups
+//! them into 12 type categories so that the expression space Orca sees stays
+//! tractable (12×12×5 arithmetic, 12×12×6 comparison, 14×6 aggregation
+//! expressions). §7 records a lesson: an initial single `INT` category was
+//! too coarse for index selection and was split into `INT2`, `INT4`, `INT8`.
+//! We implement the *post-lesson* categorisation and keep the pre-lesson one
+//! available for the ablation benchmark.
+
+use std::fmt;
+
+/// The 31 MySQL wire/column types (`enum_field_types` in MySQL 8.0).
+///
+/// The exact member set matters only in that there are 31 of them and that
+/// the category mapping below is total; the reproduction exercises a
+/// representative subset at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MySqlType {
+    Decimal,
+    Tiny,
+    Short,
+    Long,
+    Float,
+    Double,
+    Null,
+    Timestamp,
+    LongLong,
+    Int24,
+    Date,
+    Time,
+    Datetime,
+    Year,
+    NewDate,
+    VarChar,
+    Bit,
+    Timestamp2,
+    Datetime2,
+    Time2,
+    Json,
+    NewDecimal,
+    Enum,
+    Set,
+    TinyBlob,
+    MediumBlob,
+    LongBlob,
+    Blob,
+    VarString,
+    String,
+    Geometry,
+}
+
+impl MySqlType {
+    /// All 31 types, for exhaustive enumeration in tests and the metadata
+    /// provider.
+    pub const ALL: [MySqlType; 31] = [
+        MySqlType::Decimal,
+        MySqlType::Tiny,
+        MySqlType::Short,
+        MySqlType::Long,
+        MySqlType::Float,
+        MySqlType::Double,
+        MySqlType::Null,
+        MySqlType::Timestamp,
+        MySqlType::LongLong,
+        MySqlType::Int24,
+        MySqlType::Date,
+        MySqlType::Time,
+        MySqlType::Datetime,
+        MySqlType::Year,
+        MySqlType::NewDate,
+        MySqlType::VarChar,
+        MySqlType::Bit,
+        MySqlType::Timestamp2,
+        MySqlType::Datetime2,
+        MySqlType::Time2,
+        MySqlType::Json,
+        MySqlType::NewDecimal,
+        MySqlType::Enum,
+        MySqlType::Set,
+        MySqlType::TinyBlob,
+        MySqlType::MediumBlob,
+        MySqlType::LongBlob,
+        MySqlType::Blob,
+        MySqlType::VarString,
+        MySqlType::String,
+        MySqlType::Geometry,
+    ];
+
+    /// The refined (post-§7-lesson) category of this type.
+    ///
+    /// `TINY`/`SHORT`/`YEAR` → `INT2`; `INT24`/`LONG`/`ENUM`/`SET` → `INT4`;
+    /// `LONGLONG` → `INT8`; the four decimals/reals → `NUM`; etc.
+    pub fn category(self) -> TypeCategory {
+        use MySqlType::*;
+        match self {
+            Tiny | Short | Year => TypeCategory::Int2,
+            Int24 | Long | Enum | Set => TypeCategory::Int4,
+            LongLong => TypeCategory::Int8,
+            Decimal | NewDecimal | Float | Double => TypeCategory::Num,
+            Bit | Null => TypeCategory::Bit,
+            Date | NewDate => TypeCategory::Dte,
+            Datetime | Datetime2 | Timestamp | Timestamp2 => TypeCategory::Dtt,
+            Time | Time2 => TypeCategory::Tim,
+            VarChar | VarString | String => TypeCategory::Str,
+            TinyBlob | MediumBlob | LongBlob | Blob => TypeCategory::Blb,
+            Json => TypeCategory::Jsn,
+            Geometry => TypeCategory::Geo,
+        }
+    }
+
+    /// The original, pre-lesson category with a single coarse `INT` bucket
+    /// (all of `INT2`/`INT4`/`INT8` collapse to `Int4`).
+    ///
+    /// §7: with this mapping "Orca could not determine proper indexes for
+    /// integer-like columns". Kept so the ablation bench can demonstrate the
+    /// effect.
+    pub fn coarse_category(self) -> TypeCategory {
+        match self.category() {
+            TypeCategory::Int2 | TypeCategory::Int8 => TypeCategory::Int4,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for MySqlType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The paper's 12 type categories, plus the two aggregation-only pseudo
+/// categories `STAR` (for `COUNT(*)`) and `ANY` (for `COUNT(expr)` over any
+/// type) — 14 in total (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TypeCategory {
+    /// 16-bit-ish integers: TINY, SHORT, YEAR.
+    Int2,
+    /// 32-bit-ish integers: INT24, LONG, ENUM, SET.
+    Int4,
+    /// 64-bit integers: LONGLONG.
+    Int8,
+    /// Decimals and floating point: DECIMAL, NEWDECIMAL, FLOAT, DOUBLE.
+    Num,
+    /// BIT (and the NULL placeholder type).
+    Bit,
+    /// Calendar dates.
+    Dte,
+    /// Date-times and timestamps.
+    Dtt,
+    /// Times of day.
+    Tim,
+    /// Character strings.
+    Str,
+    /// The four BLOB flavours, consolidated (§5.1).
+    Blb,
+    /// JSON documents.
+    Jsn,
+    /// Geometry values.
+    Geo,
+    /// Aggregation-only: the `*` of `COUNT(*)`.
+    Star,
+    /// Aggregation-only: `COUNT(expr)` for an operand of any type.
+    Any,
+}
+
+impl TypeCategory {
+    /// The 12 value categories usable as arithmetic/comparison operands.
+    pub const OPERAND: [TypeCategory; 12] = [
+        TypeCategory::Int2,
+        TypeCategory::Int4,
+        TypeCategory::Int8,
+        TypeCategory::Num,
+        TypeCategory::Bit,
+        TypeCategory::Dte,
+        TypeCategory::Dtt,
+        TypeCategory::Tim,
+        TypeCategory::Str,
+        TypeCategory::Blb,
+        TypeCategory::Jsn,
+        TypeCategory::Geo,
+    ];
+
+    /// All 14 categories (operands plus `STAR` and `ANY`), the aggregation
+    /// operand axis of §5.2.
+    pub const AGG_OPERAND: [TypeCategory; 14] = [
+        TypeCategory::Int2,
+        TypeCategory::Int4,
+        TypeCategory::Int8,
+        TypeCategory::Num,
+        TypeCategory::Bit,
+        TypeCategory::Dte,
+        TypeCategory::Dtt,
+        TypeCategory::Tim,
+        TypeCategory::Str,
+        TypeCategory::Blb,
+        TypeCategory::Jsn,
+        TypeCategory::Geo,
+        TypeCategory::Star,
+        TypeCategory::Any,
+    ];
+
+    /// Dense 0-based index of this category along the operand axis.
+    /// `STAR`/`ANY` extend the axis to 14 for aggregations.
+    pub fn index(self) -> usize {
+        Self::AGG_OPERAND
+            .iter()
+            .position(|c| *c == self)
+            .expect("AGG_OPERAND covers every category")
+    }
+
+    /// Inverse of [`TypeCategory::index`]; `None` if out of range.
+    pub fn from_index(i: usize) -> Option<TypeCategory> {
+        Self::AGG_OPERAND.get(i).copied()
+    }
+
+    /// Short uppercase name as the paper prints them ("NUM", "BLB", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            TypeCategory::Int2 => "INT2",
+            TypeCategory::Int4 => "INT4",
+            TypeCategory::Int8 => "INT8",
+            TypeCategory::Num => "NUM",
+            TypeCategory::Bit => "BIT",
+            TypeCategory::Dte => "DTE",
+            TypeCategory::Dtt => "DTT",
+            TypeCategory::Tim => "TIM",
+            TypeCategory::Str => "STR",
+            TypeCategory::Blb => "BLB",
+            TypeCategory::Jsn => "JSN",
+            TypeCategory::Geo => "GEO",
+            TypeCategory::Star => "STAR",
+            TypeCategory::Any => "ANY",
+        }
+    }
+}
+
+impl fmt::Display for TypeCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runtime data type of a column or expression — the simplified set the
+/// executor actually evaluates. Each maps onto one or more [`MySqlType`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (covers all MySQL integer widths at runtime).
+    Int,
+    /// Double-precision float (covers DECIMAL/FLOAT/DOUBLE at runtime).
+    Double,
+    /// UTF-8 string.
+    Str,
+    /// Calendar date, days since 1970-01-01.
+    Date,
+    /// Boolean (the result type of predicates).
+    Bool,
+}
+
+impl DataType {
+    /// The representative MySQL wire type for this runtime type. The bridge
+    /// uses this when it needs a [`MySqlType`] (and hence a type category)
+    /// for a column declared with a runtime type.
+    pub fn mysql_type(self) -> MySqlType {
+        match self {
+            DataType::Int => MySqlType::LongLong,
+            DataType::Double => MySqlType::Double,
+            DataType::Str => MySqlType::VarChar,
+            DataType::Date => MySqlType::Date,
+            DataType::Bool => MySqlType::Tiny,
+        }
+    }
+
+    /// Category under the refined mapping.
+    pub fn category(self) -> TypeCategory {
+        self.mysql_type().category()
+    }
+
+    /// Whether the type is numeric for coercion purposes.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int | DataType::Double)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "INT",
+            DataType::Double => "DOUBLE",
+            DataType::Str => "VARCHAR",
+            DataType::Date => "DATE",
+            DataType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn there_are_exactly_31_mysql_types() {
+        assert_eq!(MySqlType::ALL.len(), 31);
+        let uniq: HashSet<_> = MySqlType::ALL.iter().collect();
+        assert_eq!(uniq.len(), 31, "ALL must not repeat a member");
+    }
+
+    #[test]
+    fn refined_mapping_covers_all_12_operand_categories() {
+        let used: HashSet<_> = MySqlType::ALL.iter().map(|t| t.category()).collect();
+        for cat in TypeCategory::OPERAND {
+            assert!(used.contains(&cat), "{cat} unused by any MySQL type");
+        }
+        // STAR/ANY are aggregation-only and never assigned to a column type.
+        assert!(!used.contains(&TypeCategory::Star));
+        assert!(!used.contains(&TypeCategory::Any));
+    }
+
+    #[test]
+    fn lesson_split_int_categories() {
+        // §7: TINY, SHORT, YEAR, INT24, LONG, LONGLONG, ENUM, SET were all
+        // "INT" before the lesson; afterwards they split into INT2/INT4/INT8.
+        assert_eq!(MySqlType::Tiny.category(), TypeCategory::Int2);
+        assert_eq!(MySqlType::Year.category(), TypeCategory::Int2);
+        assert_eq!(MySqlType::Long.category(), TypeCategory::Int4);
+        assert_eq!(MySqlType::Enum.category(), TypeCategory::Int4);
+        assert_eq!(MySqlType::LongLong.category(), TypeCategory::Int8);
+        // The coarse mapping collapses them again.
+        assert_eq!(MySqlType::Tiny.coarse_category(), TypeCategory::Int4);
+        assert_eq!(MySqlType::LongLong.coarse_category(), TypeCategory::Int4);
+        // Non-integer categories are unaffected by the coarse mapping.
+        assert_eq!(MySqlType::VarChar.coarse_category(), TypeCategory::Str);
+    }
+
+    #[test]
+    fn blobs_consolidate() {
+        for t in [MySqlType::TinyBlob, MySqlType::MediumBlob, MySqlType::LongBlob, MySqlType::Blob]
+        {
+            assert_eq!(t.category(), TypeCategory::Blb);
+        }
+    }
+
+    #[test]
+    fn category_index_round_trips() {
+        for (i, cat) in TypeCategory::AGG_OPERAND.iter().enumerate() {
+            assert_eq!(cat.index(), i);
+            assert_eq!(TypeCategory::from_index(i), Some(*cat));
+        }
+        assert_eq!(TypeCategory::from_index(14), None);
+        assert_eq!(TypeCategory::OPERAND.len(), 12);
+        assert_eq!(TypeCategory::AGG_OPERAND.len(), 14);
+    }
+
+    #[test]
+    fn runtime_types_map_to_categories() {
+        assert_eq!(DataType::Int.category(), TypeCategory::Int8);
+        assert_eq!(DataType::Str.category(), TypeCategory::Str);
+        assert_eq!(DataType::Date.category(), TypeCategory::Dte);
+        assert!(DataType::Double.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+    }
+}

@@ -1,0 +1,180 @@
+//! Aggregate accumulators.
+
+use std::collections::HashSet;
+use taurus_common::error::Result;
+use taurus_common::{AggFunc, Value};
+
+/// Running state for one aggregate within one group.
+#[derive(Debug, Clone)]
+pub struct Accumulator {
+    func: AggFunc,
+    /// `Some` when DISTINCT: tracks values already folded in.
+    seen: Option<HashSet<Value>>,
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    /// SUM over pure integers stays integral, like MySQL.
+    int_sum: Option<i64>,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl Accumulator {
+    pub fn new(func: AggFunc, distinct: bool) -> Accumulator {
+        Accumulator {
+            func,
+            seen: if distinct { Some(HashSet::new()) } else { None },
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            int_sum: Some(0),
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Feed one input value. `COUNT(*)` is fed a non-null placeholder by the
+    /// caller; all other aggregates skip NULLs per SQL semantics.
+    pub fn update(&mut self, v: &Value) -> Result<()> {
+        if self.func != AggFunc::CountStar && v.is_null() {
+            return Ok(());
+        }
+        if let Some(seen) = &mut self.seen {
+            if !seen.insert(v.clone()) {
+                return Ok(());
+            }
+        }
+        self.count += 1;
+        match self.func {
+            AggFunc::CountStar | AggFunc::Count => {}
+            AggFunc::Sum | AggFunc::Avg | AggFunc::StdDev => {
+                if let Some(x) = v.as_f64() {
+                    self.sum += x;
+                    self.sum_sq += x * x;
+                }
+                self.int_sum = match (self.int_sum, v) {
+                    (Some(acc), Value::Int(i)) => acc.checked_add(*i),
+                    _ => None,
+                };
+            }
+            AggFunc::Min => {
+                let replace = self.min.as_ref().is_none_or(|m| {
+                    v.sql_cmp(m) == Some(std::cmp::Ordering::Less)
+                });
+                if replace {
+                    self.min = Some(v.clone());
+                }
+            }
+            AggFunc::Max => {
+                let replace = self.max.as_ref().is_none_or(|m| {
+                    v.sql_cmp(m) == Some(std::cmp::Ordering::Greater)
+                });
+                if replace {
+                    self.max = Some(v.clone());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Final value for the group.
+    pub fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::CountStar | AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    match self.int_sum {
+                        Some(i) => Value::Int(i),
+                        None => Value::Double(self.sum),
+                    }
+                }
+            }
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::StdDev => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    let n = self.count as f64;
+                    let mean = self.sum / n;
+                    // Population stddev, like MySQL's STDDEV.
+                    let var = (self.sum_sq / n - mean * mean).max(0.0);
+                    Value::Double(var.sqrt())
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, distinct: bool, vals: &[Value]) -> Value {
+        let mut a = Accumulator::new(func, distinct);
+        for v in vals {
+            a.update(v).unwrap();
+        }
+        a.finish()
+    }
+
+    #[test]
+    fn count_ignores_nulls_count_star_does_not() {
+        let vals = [Value::Int(1), Value::Null, Value::Int(2)];
+        assert_eq!(run(AggFunc::Count, false, &vals), Value::Int(2));
+        // COUNT(*) callers feed a placeholder per row; NULL placeholder still
+        // counts because CountStar never skips.
+        assert_eq!(run(AggFunc::CountStar, false, &vals), Value::Int(3));
+    }
+
+    #[test]
+    fn sum_avg_minmax() {
+        let vals = [Value::Int(1), Value::Int(2), Value::Int(3), Value::Null];
+        assert_eq!(run(AggFunc::Sum, false, &vals), Value::Int(6));
+        assert_eq!(run(AggFunc::Avg, false, &vals), Value::Double(2.0));
+        assert_eq!(run(AggFunc::Min, false, &vals), Value::Int(1));
+        assert_eq!(run(AggFunc::Max, false, &vals), Value::Int(3));
+    }
+
+    #[test]
+    fn sum_of_doubles_is_double() {
+        let vals = [Value::Double(1.5), Value::Int(2)];
+        assert_eq!(run(AggFunc::Sum, false, &vals), Value::Double(3.5));
+    }
+
+    #[test]
+    fn empty_group_semantics() {
+        assert_eq!(run(AggFunc::Sum, false, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Avg, false, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Min, false, &[]), Value::Null);
+        assert_eq!(run(AggFunc::Count, false, &[]), Value::Int(0));
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let vals = [Value::Int(5), Value::Int(5), Value::Int(7)];
+        assert_eq!(run(AggFunc::Count, true, &vals), Value::Int(2));
+        assert_eq!(run(AggFunc::Sum, true, &vals), Value::Int(12));
+    }
+
+    #[test]
+    fn stddev_population() {
+        let vals: Vec<Value> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .map(|&x| Value::Double(x))
+            .collect();
+        match run(AggFunc::StdDev, false, &vals) {
+            Value::Double(d) => assert!((d - 2.0).abs() < 1e-9),
+            other => panic!("{other:?}"),
+        }
+    }
+}

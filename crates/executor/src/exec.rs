@@ -1,0 +1,1037 @@
+//! Plan execution.
+//!
+//! Execution is recursive and materializing: each operator returns its full
+//! result. Correlation is handled through *bindings* — a nested-loop join
+//! re-opens its right subtree once per left row with the left row appended
+//! to the binding, so correlated index lookups, correlated derived tables,
+//! and re-materialization ("invalidation") all fall out of one mechanism.
+//!
+//! Work-unit counters in [`ExecStats`] make benchmark comparisons
+//! machine-independent: the paper's run-time ratios are driven by rows
+//! flowing through operators and index lookups performed, both of which are
+//! counted here exactly.
+
+use crate::agg::Accumulator;
+use crate::plan::{AggStrategy, JoinKind, Plan, RowSpace};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use taurus_catalog::Catalog;
+use taurus_common::error::{Error, Result};
+use taurus_common::expr::EvalCtx;
+use taurus_common::{Expr, Layout, Row, Value};
+
+/// Work-unit counters accumulated over one query execution.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    /// Rows emitted by all operators combined (the dominant work measure).
+    pub rows_emitted: Cell<u64>,
+    /// Rows read from base-table heaps and indexes.
+    pub rows_scanned: Cell<u64>,
+    /// Point lookups performed against indexes.
+    pub index_lookups: Cell<u64>,
+    /// Probe-side rows hashed against a build table.
+    pub hash_probes: Cell<u64>,
+    /// Rows inserted into hash-join build tables.
+    pub build_rows: Cell<u64>,
+    /// Times a Materialize node (re)ran its input.
+    pub materializations: Cell<u64>,
+}
+
+impl ExecStats {
+    /// Single scalar "work" figure used by the benches: every counted unit
+    /// is roughly one row's worth of processing.
+    pub fn work_units(&self) -> u64 {
+        self.rows_emitted.get()
+            + self.rows_scanned.get()
+            + self.index_lookups.get()
+            + self.hash_probes.get()
+            + self.build_rows.get()
+    }
+
+    fn bump(cell: &Cell<u64>, by: u64) {
+        cell.set(cell.get() + by);
+    }
+}
+
+/// Per-execution context: the catalog, the query's table count, counters,
+/// and the materialization cache.
+pub struct ExecContext<'a> {
+    pub catalog: &'a Catalog,
+    pub num_tables: usize,
+    pub stats: ExecStats,
+    cache: RefCell<Vec<Option<Rc<Vec<Row>>>>>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// `num_cache_slots` comes from [`Plan::assign_cache_slots`].
+    pub fn new(catalog: &'a Catalog, num_tables: usize, num_cache_slots: usize) -> Self {
+        ExecContext {
+            catalog,
+            num_tables,
+            stats: ExecStats::default(),
+            cache: RefCell::new(vec![None; num_cache_slots]),
+        }
+    }
+}
+
+/// An outer binding: the rows of already-bound tables, for correlation.
+#[derive(Clone, Copy)]
+struct Binding<'a> {
+    row: &'a [Value],
+    layout: &'a Layout,
+}
+
+/// Execute a plan to completion with no outer binding.
+pub fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
+    let empty_layout = Layout::empty(ctx.num_tables);
+    let empty_row: Vec<Value> = Vec::new();
+    exec(plan, ctx, Binding { row: &empty_row, layout: &empty_layout })
+}
+
+/// Evaluation environment combining the binding with an operator's own rows.
+struct Env {
+    layout: Layout,
+    prefix: Vec<Value>,
+    /// Scratch buffer reused across rows.
+    buf: RefCell<Vec<Value>>,
+}
+
+impl Env {
+    fn new(binding: Binding<'_>, input_space: &RowSpace, num_tables: usize) -> Env {
+        match input_space {
+            RowSpace::Tables(l) => {
+                if binding.layout.width() == 0 {
+                    Env { layout: l.clone(), prefix: Vec::new(), buf: RefCell::new(Vec::new()) }
+                } else {
+                    Env {
+                        layout: binding.layout.join(l),
+                        prefix: binding.row.to_vec(),
+                        buf: RefCell::new(Vec::new()),
+                    }
+                }
+            }
+            // Slot-space rows are addressed by Expr::Slot; the binding never
+            // reaches above a projection/aggregation boundary.
+            RowSpace::Slots(_) => Env {
+                layout: Layout::empty(num_tables),
+                prefix: Vec::new(),
+                buf: RefCell::new(Vec::new()),
+            },
+        }
+    }
+
+    fn eval(&self, e: &Expr, row: &[Value]) -> Result<Value> {
+        if self.prefix.is_empty() {
+            e.eval(EvalCtx::new(row, &self.layout))
+        } else {
+            let mut buf = self.buf.borrow_mut();
+            buf.clear();
+            buf.extend_from_slice(&self.prefix);
+            buf.extend_from_slice(row);
+            e.eval(EvalCtx::new(&buf, &self.layout))
+        }
+    }
+
+    fn passes(&self, filters: &[Expr], row: &[Value]) -> Result<bool> {
+        for f in filters {
+            if !self.eval(f, row)?.is_true() {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+fn exec(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result<Vec<Row>> {
+    let out = match plan {
+        Plan::TableScan { table, filter, .. } => {
+            let t = ctx.catalog.table(*table)?;
+            let env = Env::new(binding, &plan.space(ctx.num_tables), ctx.num_tables);
+            let mut out = Vec::new();
+            for (_, row) in t.data.scan() {
+                ExecStats::bump(&ctx.stats.rows_scanned, 1);
+                if env.passes(filter, row)? {
+                    out.push(row.clone());
+                }
+            }
+            out
+        }
+        Plan::IndexScan { table, index, filter, .. } => {
+            let t = ctx.catalog.table(*table)?;
+            let ix = t.indexes.get(*index).ok_or_else(|| Error::internal("bad index id"))?;
+            let env = Env::new(binding, &plan.space(ctx.num_tables), ctx.num_tables);
+            let mut out = Vec::new();
+            for rid in ix.scan_ordered() {
+                ExecStats::bump(&ctx.stats.rows_scanned, 1);
+                let row = t.data.row(rid);
+                if env.passes(filter, row)? {
+                    out.push(row.clone());
+                }
+            }
+            out
+        }
+        Plan::IndexRange { table, index, lo, hi, filter, .. } => {
+            let t = ctx.catalog.table(*table)?;
+            let ix = t.indexes.get(*index).ok_or_else(|| Error::internal("bad index id"))?;
+            // Bounds evaluate against the binding only (usually constants).
+            let bind_env = Env {
+                layout: binding.layout.clone(),
+                prefix: Vec::new(),
+                buf: RefCell::new(Vec::new()),
+            };
+            let lo_v = lo
+                .as_ref()
+                .map(|(e, inc)| Ok::<_, Error>((bind_env.eval(e, binding.row)?, *inc)))
+                .transpose()?;
+            let hi_v = hi
+                .as_ref()
+                .map(|(e, inc)| Ok::<_, Error>((bind_env.eval(e, binding.row)?, *inc)))
+                .transpose()?;
+            let env = Env::new(binding, &plan.space(ctx.num_tables), ctx.num_tables);
+            let mut out = Vec::new();
+            for rid in ix.range(
+                lo_v.as_ref().map(|(v, i)| (v, *i)),
+                hi_v.as_ref().map(|(v, i)| (v, *i)),
+            ) {
+                ExecStats::bump(&ctx.stats.rows_scanned, 1);
+                let row = t.data.row(rid);
+                if env.passes(filter, row)? {
+                    out.push(row.clone());
+                }
+            }
+            out
+        }
+        Plan::IndexLookup { table, index, keys, filter, .. } => {
+            let t = ctx.catalog.table(*table)?;
+            let ix = t.indexes.get(*index).ok_or_else(|| Error::internal("bad index id"))?;
+            let bind_env = Env {
+                layout: binding.layout.clone(),
+                prefix: Vec::new(),
+                buf: RefCell::new(Vec::new()),
+            };
+            let mut key_vals = Vec::with_capacity(keys.len());
+            let mut any_null = false;
+            for k in keys {
+                let v = bind_env.eval(k, binding.row)?;
+                any_null |= v.is_null();
+                key_vals.push(v);
+            }
+            ExecStats::bump(&ctx.stats.index_lookups, 1);
+            let mut out = Vec::new();
+            // A NULL key never matches anything under `=` semantics.
+            if !any_null {
+                let env = Env::new(binding, &plan.space(ctx.num_tables), ctx.num_tables);
+                for rid in ix.lookup(&key_vals) {
+                    ExecStats::bump(&ctx.stats.rows_scanned, 1);
+                    let row = t.data.row(rid);
+                    if env.passes(filter, row)? {
+                        out.push(row.clone());
+                    }
+                }
+            }
+            out
+        }
+        Plan::NestedLoop { kind, left, right, on, null_aware, .. } => {
+            exec_nested_loop(*kind, left, right, on, *null_aware, plan, ctx, binding)?
+        }
+        Plan::HashJoin { kind, build_left, left, right, keys, residual, null_aware, .. } => {
+            exec_hash_join(
+                *kind,
+                *build_left,
+                left,
+                right,
+                keys,
+                residual,
+                *null_aware,
+                ctx,
+                binding,
+            )?
+        }
+        Plan::Filter { input, predicate, .. } => {
+            let rows = exec(input, ctx, binding)?;
+            let env = Env::new(binding, &input.space(ctx.num_tables), ctx.num_tables);
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                if env.passes(predicate, &row)? {
+                    out.push(row);
+                }
+            }
+            out
+        }
+        Plan::Derived { input, .. } => exec(input, ctx, binding)?,
+        Plan::Materialize { input, rebind, cache_slot, .. } => {
+            if *rebind {
+                // Correlated: re-materialize under the current binding
+                // (MySQL's "invalidate on row from ...").
+                ExecStats::bump(&ctx.stats.materializations, 1);
+                exec(input, ctx, binding)?
+            } else {
+                let cached = ctx.cache.borrow()[*cache_slot].clone();
+                match cached {
+                    Some(rows) => rows.as_ref().clone(),
+                    None => {
+                        ExecStats::bump(&ctx.stats.materializations, 1);
+                        let rows = Rc::new(exec(input, ctx, binding)?);
+                        ctx.cache.borrow_mut()[*cache_slot] = Some(rows.clone());
+                        rows.as_ref().clone()
+                    }
+                }
+            }
+        }
+        Plan::Project { input, exprs, .. } => {
+            let rows = exec(input, ctx, binding)?;
+            let env = Env::new(binding, &input.space(ctx.num_tables), ctx.num_tables);
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut prow = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    prow.push(env.eval(e, &row)?);
+                }
+                out.push(prow);
+            }
+            out
+        }
+        Plan::Aggregate { input, group_by, aggs, strategy, .. } => {
+            let rows = exec(input, ctx, binding)?;
+            let env = Env::new(binding, &input.space(ctx.num_tables), ctx.num_tables);
+            exec_aggregate(rows, group_by, aggs, *strategy, &env)?
+        }
+        Plan::Sort { input, keys, .. } => {
+            let rows = exec(input, ctx, binding)?;
+            let env = Env::new(binding, &input.space(ctx.num_tables), ctx.num_tables);
+            let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
+            for row in rows {
+                let mut kv = Vec::with_capacity(keys.len());
+                for k in keys {
+                    kv.push(env.eval(&k.expr, &row)?);
+                }
+                keyed.push((kv, row));
+            }
+            keyed.sort_by(|(a, _), (b, _)| {
+                for (i, k) in keys.iter().enumerate() {
+                    let ord = a[i].total_cmp(&b[i]);
+                    let ord = if k.desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            keyed.into_iter().map(|(_, r)| r).collect()
+        }
+        Plan::Limit { input, n, .. } => {
+            let mut rows = exec(input, ctx, binding)?;
+            rows.truncate(*n as usize);
+            rows
+        }
+        Plan::Union { inputs, distinct, .. } => {
+            let mut out = Vec::new();
+            for p in inputs {
+                out.extend(exec(p, ctx, binding)?);
+            }
+            if *distinct {
+                let mut seen = std::collections::HashSet::new();
+                out.retain(|r| seen.insert(r.clone()));
+            }
+            out
+        }
+    };
+    ExecStats::bump(&ctx.stats.rows_emitted, out.len() as u64);
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_nested_loop(
+    kind: JoinKind,
+    left: &Plan,
+    right: &Plan,
+    on: &[Expr],
+    null_aware: bool,
+    whole: &Plan,
+    ctx: &ExecContext<'_>,
+    binding: Binding<'_>,
+) -> Result<Vec<Row>> {
+    let left_rows = exec(left, ctx, binding)?;
+    let left_space = left.space(ctx.num_tables);
+    let left_layout = match &left_space {
+        RowSpace::Tables(l) => l.clone(),
+        RowSpace::Slots(_) => return Err(Error::internal("NLJ left side must be in table space")),
+    };
+    let right_width = right.space(ctx.num_tables).width();
+    // Environment for the ON condition: binding + left + right.
+    let on_env_space = whole_join_space(whole, kind, ctx.num_tables, left, right)?;
+    let on_env = Env::new(binding, &on_env_space, ctx.num_tables);
+
+    let inner_layout = binding.layout.join(&left_layout);
+    let mut out = Vec::new();
+    for lrow in &left_rows {
+        // Extend the binding with the left row for the right subtree.
+        let mut bound_row = Vec::with_capacity(binding.row.len() + lrow.len());
+        bound_row.extend_from_slice(binding.row);
+        bound_row.extend_from_slice(lrow);
+        let inner_binding = Binding { row: &bound_row, layout: &inner_layout };
+        let right_rows = exec(right, ctx, inner_binding)?;
+
+        let mut matched = false;
+        let mut saw_unknown = false;
+        for rrow in &right_rows {
+            let mut joined = Vec::with_capacity(lrow.len() + rrow.len());
+            joined.extend_from_slice(lrow);
+            joined.extend_from_slice(rrow);
+            // Three-valued conjunction: FALSE short-circuits, any UNKNOWN
+            // without a FALSE leaves the row's membership unknown — which
+            // matters for NULL-aware anti joins (NOT IN).
+            let mut verdict = Some(true);
+            for c in on {
+                match on_env.eval(c, &joined)?.truth() {
+                    Some(true) => {}
+                    Some(false) => {
+                        verdict = Some(false);
+                        break;
+                    }
+                    None => verdict = None,
+                }
+            }
+            match verdict {
+                Some(true) => {
+                    matched = true;
+                    match kind {
+                        JoinKind::Inner | JoinKind::LeftOuter => out.push(joined),
+                        JoinKind::Semi => {
+                            out.push(lrow.clone());
+                            break;
+                        }
+                        JoinKind::AntiSemi => break,
+                    }
+                }
+                None => saw_unknown = true,
+                Some(false) => {}
+            }
+        }
+        if !matched {
+            match kind {
+                JoinKind::LeftOuter => {
+                    let mut joined = Vec::with_capacity(lrow.len() + right_width);
+                    joined.extend_from_slice(lrow);
+                    joined.extend(std::iter::repeat_n(Value::Null, right_width));
+                    out.push(joined);
+                }
+                JoinKind::AntiSemi
+                    if !(null_aware && saw_unknown) => {
+                        out.push(lrow.clone());
+                    }
+                _ => {}
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Row space the ON/residual conditions see: left ++ right (even for
+/// semi/anti joins whose *output* is left-only).
+fn whole_join_space(
+    _whole: &Plan,
+    _kind: JoinKind,
+    num_tables: usize,
+    left: &Plan,
+    right: &Plan,
+) -> Result<RowSpace> {
+    match (left.space(num_tables), right.space(num_tables)) {
+        (RowSpace::Tables(l), RowSpace::Tables(r)) => Ok(RowSpace::Tables(l.join(&r))),
+        _ => Err(Error::internal("join children must be in table space")),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_hash_join(
+    kind: JoinKind,
+    build_left: bool,
+    left: &Plan,
+    right: &Plan,
+    keys: &[(Expr, Expr)],
+    residual: &[Expr],
+    null_aware: bool,
+    ctx: &ExecContext<'_>,
+    binding: Binding<'_>,
+) -> Result<Vec<Row>> {
+    if keys.is_empty() {
+        return Err(Error::internal("hash join requires at least one equi-key"));
+    }
+    if build_left && kind != JoinKind::Inner {
+        return Err(Error::internal(
+            "build-on-left is MySQL's inner-hash-join convention only (§7 item 2)",
+        ));
+    }
+    let left_rows = exec(left, ctx, binding)?;
+    let right_rows = exec(right, ctx, binding)?;
+    let left_env = Env::new(binding, &left.space(ctx.num_tables), ctx.num_tables);
+    let right_env = Env::new(binding, &right.space(ctx.num_tables), ctx.num_tables);
+    let join_space = whole_join_space(left, kind, ctx.num_tables, left, right)?;
+    let join_env = Env::new(binding, &join_space, ctx.num_tables);
+
+    // Decide sides. Build rows are hashed; probe rows stream past.
+    let (build_rows, probe_rows, build_is_left) = if build_left {
+        (&left_rows, &right_rows, true)
+    } else {
+        (&right_rows, &left_rows, false)
+    };
+    let build_env = if build_is_left { &left_env } else { &right_env };
+    let probe_env = if build_is_left { &right_env } else { &left_env };
+    let build_keys: Vec<&Expr> = if build_is_left {
+        keys.iter().map(|(l, _)| l).collect()
+    } else {
+        keys.iter().map(|(_, r)| r).collect()
+    };
+    let probe_keys: Vec<&Expr> = if build_is_left {
+        keys.iter().map(|(_, r)| r).collect()
+    } else {
+        keys.iter().map(|(l, _)| l).collect()
+    };
+
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build_rows.len());
+    let mut build_has_null_key = false;
+    for (i, row) in build_rows.iter().enumerate() {
+        ExecStats::bump(&ctx.stats.build_rows, 1);
+        let mut kv = Vec::with_capacity(build_keys.len());
+        let mut any_null = false;
+        for k in &build_keys {
+            let v = build_env.eval(k, row)?;
+            any_null |= v.is_null();
+            kv.push(v);
+        }
+        if any_null {
+            build_has_null_key = true;
+            continue; // NULL keys never match under `=`.
+        }
+        table.entry(kv).or_default().push(i);
+    }
+
+    let joined = |lrow: &Row, rrow: &Row| -> Row {
+        let mut j = Vec::with_capacity(lrow.len() + rrow.len());
+        j.extend_from_slice(lrow);
+        j.extend_from_slice(rrow);
+        j
+    };
+
+    let right_width = right.space(ctx.num_tables).width();
+    let mut out = Vec::new();
+    for prow in probe_rows {
+        ExecStats::bump(&ctx.stats.hash_probes, 1);
+        let mut kv = Vec::with_capacity(probe_keys.len());
+        let mut any_null = false;
+        for k in &probe_keys {
+            let v = probe_env.eval(k, prow)?;
+            any_null |= v.is_null();
+            kv.push(v);
+        }
+        let matches: &[usize] = if any_null {
+            &[]
+        } else {
+            table.get(&kv).map(|v| v.as_slice()).unwrap_or(&[])
+        };
+
+        let mut matched = false;
+        for &bi in matches {
+            let brow = &build_rows[bi];
+            let j = if build_is_left { joined(brow, prow) } else { joined(prow, brow) };
+            if join_env.passes(residual, &j)? {
+                matched = true;
+                match kind {
+                    JoinKind::Inner | JoinKind::LeftOuter => out.push(j),
+                    JoinKind::Semi => {
+                        out.push(prow.clone());
+                        break;
+                    }
+                    JoinKind::AntiSemi => break,
+                }
+            }
+        }
+        if !matched {
+            match kind {
+                JoinKind::LeftOuter => {
+                    // Probe is the left side for outer joins (asserted above).
+                    let mut j = Vec::with_capacity(prow.len() + right_width);
+                    j.extend_from_slice(prow);
+                    j.extend(std::iter::repeat_n(Value::Null, right_width));
+                    out.push(j);
+                }
+                JoinKind::AntiSemi => {
+                    // NULL-aware anti join (NOT IN): a NULL probe key, or any
+                    // NULL key on the build side, makes membership UNKNOWN —
+                    // the row is filtered out, not emitted.
+                    if null_aware && (any_null || build_has_null_key) {
+                        continue;
+                    }
+                    out.push(prow.clone());
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn exec_aggregate(
+    rows: Vec<Row>,
+    group_by: &[Expr],
+    aggs: &[crate::plan::AggSpec],
+    strategy: AggStrategy,
+    env: &Env,
+) -> Result<Vec<Row>> {
+    let feed = |accs: &mut [Accumulator], row: &Row| -> Result<()> {
+        for (acc, spec) in accs.iter_mut().zip(aggs) {
+            let v = match &spec.arg {
+                Some(e) => env.eval(e, row)?,
+                None => Value::Int(1), // COUNT(*) placeholder
+            };
+            acc.update(&v)?;
+        }
+        Ok(())
+    };
+    let new_accs =
+        || -> Vec<Accumulator> { aggs.iter().map(|s| Accumulator::new(s.func, s.distinct)).collect() };
+    let emit = |key: Vec<Value>, accs: &[Accumulator]| -> Row {
+        let mut row = key;
+        row.extend(accs.iter().map(|a| a.finish()));
+        row
+    };
+
+    // Scalar aggregation (no GROUP BY): always exactly one output row.
+    if group_by.is_empty() {
+        let mut accs = new_accs();
+        for row in &rows {
+            feed(&mut accs, row)?;
+        }
+        return Ok(vec![emit(Vec::new(), &accs)]);
+    }
+
+    match strategy {
+        AggStrategy::Hash => {
+            let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            for row in &rows {
+                let mut key = Vec::with_capacity(group_by.len());
+                for g in group_by {
+                    key.push(env.eval(g, row)?);
+                }
+                let accs = match groups.get_mut(&key) {
+                    Some(a) => a,
+                    None => {
+                        order.push(key.clone());
+                        groups.entry(key.clone()).or_insert_with(new_accs)
+                    }
+                };
+                feed(accs, row)?;
+            }
+            Ok(order
+                .into_iter()
+                .map(|key| {
+                    let accs = &groups[&key];
+                    emit(key, accs)
+                })
+                .collect())
+        }
+        AggStrategy::Stream => {
+            // Input must arrive grouped (sorted) on the keys.
+            let mut out = Vec::new();
+            let mut current: Option<(Vec<Value>, Vec<Accumulator>)> = None;
+            for row in &rows {
+                let mut key = Vec::with_capacity(group_by.len());
+                for g in group_by {
+                    key.push(env.eval(g, row)?);
+                }
+                match &mut current {
+                    Some((ck, accs)) if *ck == key => feed(accs, row)?,
+                    _ => {
+                        if let Some((ck, accs)) = current.take() {
+                            out.push(emit(ck, &accs));
+                        }
+                        let mut accs = new_accs();
+                        feed(&mut accs, row)?;
+                        current = Some((key, accs));
+                    }
+                }
+            }
+            if let Some((ck, accs)) = current.take() {
+                out.push(emit(ck, &accs));
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{AggSpec, Est, SortKey};
+    use taurus_catalog::Catalog;
+    use taurus_common::{AggFunc, BinOp, Column, DataType, Schema, TableId};
+
+    /// Two tables: emp(id, dept_id, salary) and dept(id, name).
+    fn setup() -> Catalog {
+        let mut cat = Catalog::new();
+        let emp = cat
+            .create_table(
+                "emp",
+                Schema::new(vec![
+                    Column::new("id", DataType::Int),
+                    Column::nullable("dept_id", DataType::Int),
+                    Column::new("salary", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        cat.insert(
+            emp,
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Int(100)],
+                vec![Value::Int(2), Value::Int(10), Value::Int(200)],
+                vec![Value::Int(3), Value::Int(20), Value::Int(300)],
+                vec![Value::Int(4), Value::Null, Value::Int(400)],
+            ],
+        )
+        .unwrap();
+        cat.create_index(emp, "emp_dept", vec![1], false).unwrap();
+        let dept = cat
+            .create_table(
+                "dept",
+                Schema::new(vec![
+                    Column::new("id", DataType::Int),
+                    Column::new("name", DataType::Str),
+                ]),
+            )
+            .unwrap();
+        cat.insert(
+            dept,
+            vec![
+                vec![Value::Int(10), Value::str("eng")],
+                vec![Value::Int(20), Value::str("ops")],
+                vec![Value::Int(30), Value::str("hr")],
+            ],
+        )
+        .unwrap();
+        cat.create_index(dept, "dept_pk", vec![0], true).unwrap();
+        cat
+    }
+
+    // Query-table convention in these tests: qt 0 = emp, qt 1 = dept.
+    const EMP: TableId = TableId(0);
+    const DEPT: TableId = TableId(1);
+
+    fn emp_scan(filter: Vec<Expr>) -> Plan {
+        Plan::TableScan { table: EMP, qt: 0, width: 3, filter, est: Est::default() }
+    }
+
+    fn dept_scan() -> Plan {
+        Plan::TableScan { table: DEPT, qt: 1, width: 2, filter: vec![], est: Est::default() }
+    }
+
+    fn run(plan: &Plan, cat: &Catalog) -> (Vec<Row>, u64) {
+        let mut p = plan.clone();
+        let slots = p.assign_cache_slots();
+        let ctx = ExecContext::new(cat, 2, slots);
+        let rows = execute(&p, &ctx).unwrap();
+        (rows, ctx.stats.work_units())
+    }
+
+    #[test]
+    fn table_scan_with_filter() {
+        let cat = setup();
+        let plan = emp_scan(vec![Expr::binary(BinOp::Gt, Expr::col(0, 2), Expr::int(150))]);
+        let (rows, _) = run(&plan, &cat);
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn nested_loop_with_index_lookup_inner() {
+        let cat = setup();
+        // emp NLJ dept via dept_pk lookup on emp.dept_id.
+        let plan = Plan::NestedLoop {
+            kind: JoinKind::Inner,
+            left: Box::new(emp_scan(vec![])),
+            right: Box::new(Plan::IndexLookup {
+                table: DEPT,
+                qt: 1,
+                width: 2,
+                index: 0,
+                keys: vec![Expr::col(0, 1)], // emp.dept_id from the binding
+                filter: vec![],
+                est: Est::default(),
+            }),
+            on: vec![],
+            null_aware: false,
+            est: Est::default(),
+        };
+        let (rows, _) = run(&plan, &cat);
+        // Employee 4 has NULL dept_id -> no match -> dropped by inner join.
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), 5);
+        assert_eq!(rows[0][4], Value::str("eng"));
+    }
+
+    #[test]
+    fn left_outer_nested_loop_pads_nulls() {
+        let cat = setup();
+        let plan = Plan::NestedLoop {
+            kind: JoinKind::LeftOuter,
+            left: Box::new(emp_scan(vec![])),
+            right: Box::new(dept_scan()),
+            on: vec![Expr::eq(Expr::col(0, 1), Expr::col(1, 0))],
+            null_aware: false,
+            est: Est::default(),
+        };
+        let (rows, _) = run(&plan, &cat);
+        assert_eq!(rows.len(), 4);
+        let null_dept: Vec<_> = rows.iter().filter(|r| r[3].is_null()).collect();
+        assert_eq!(null_dept.len(), 1);
+        assert_eq!(null_dept[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn hash_join_inner_and_build_side_flip() {
+        let cat = setup();
+        for build_left in [false, true] {
+            let plan = Plan::HashJoin {
+                kind: JoinKind::Inner,
+                build_left,
+                left: Box::new(emp_scan(vec![])),
+                right: Box::new(dept_scan()),
+                keys: vec![(Expr::col(0, 1), Expr::col(1, 0))],
+                residual: vec![],
+                null_aware: false,
+                est: Est::default(),
+            };
+            let (mut rows, _) = run(&plan, &cat);
+            rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+            assert_eq!(rows.len(), 3, "build_left={build_left}");
+            // Output column order is left++right regardless of build side.
+            assert_eq!(rows[0][0], Value::Int(1));
+            assert_eq!(rows[0][4], Value::str("eng"));
+        }
+    }
+
+    #[test]
+    fn hash_join_semi_and_anti() {
+        let cat = setup();
+        let semi = Plan::HashJoin {
+            kind: JoinKind::Semi,
+            build_left: false,
+            left: Box::new(emp_scan(vec![])),
+            right: Box::new(dept_scan()),
+            keys: vec![(Expr::col(0, 1), Expr::col(1, 0))],
+            residual: vec![],
+            null_aware: false,
+            est: Est::default(),
+        };
+        let (rows, _) = run(&semi, &cat);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].len(), 3, "semi join output is left-only");
+
+        let anti = Plan::HashJoin {
+            kind: JoinKind::AntiSemi,
+            build_left: false,
+            left: Box::new(emp_scan(vec![])),
+            right: Box::new(dept_scan()),
+            keys: vec![(Expr::col(0, 1), Expr::col(1, 0))],
+            residual: vec![],
+            null_aware: false,
+            est: Est::default(),
+        };
+        let (rows, _) = run(&anti, &cat);
+        // Only emp 4 (NULL dept, never matches) survives EXISTS-style anti.
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn null_aware_anti_join_not_in_semantics() {
+        let cat = setup();
+        // emp.dept_id NOT IN (SELECT id FROM dept): emp 4's NULL key makes
+        // membership UNKNOWN -> filtered out.
+        let anti = Plan::HashJoin {
+            kind: JoinKind::AntiSemi,
+            build_left: false,
+            left: Box::new(emp_scan(vec![])),
+            right: Box::new(dept_scan()),
+            keys: vec![(Expr::col(0, 1), Expr::col(1, 0))],
+            residual: vec![],
+            null_aware: true,
+            est: Est::default(),
+        };
+        let (rows, _) = run(&anti, &cat);
+        assert_eq!(rows.len(), 0);
+    }
+
+    #[test]
+    fn aggregation_hash_and_stream_agree() {
+        let cat = setup();
+        let agg_of = |strategy: AggStrategy, input: Plan| Plan::Aggregate {
+            input: Box::new(input),
+            group_by: vec![Expr::col(0, 1)],
+            aggs: vec![
+                AggSpec { func: AggFunc::CountStar, arg: None, distinct: false },
+                AggSpec { func: AggFunc::Sum, arg: Some(Expr::col(0, 2)), distinct: false },
+            ],
+            strategy,
+            est: Est::default(),
+        };
+        let (mut hash_rows, _) = run(&agg_of(AggStrategy::Hash, emp_scan(vec![])), &cat);
+        // Stream agg needs sorted input.
+        let sorted = Plan::Sort {
+            input: Box::new(emp_scan(vec![])),
+            keys: vec![SortKey { expr: Expr::col(0, 1), desc: false }],
+            est: Est::default(),
+        };
+        let (mut stream_rows, _) = run(&agg_of(AggStrategy::Stream, sorted), &cat);
+        hash_rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        stream_rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
+        assert_eq!(hash_rows, stream_rows);
+        assert_eq!(hash_rows.len(), 3); // dept 10, 20, NULL
+        // Group 10: count 2, sum 300.
+        let g10 = hash_rows.iter().find(|r| r[0] == Value::Int(10)).unwrap();
+        assert_eq!(g10[1], Value::Int(2));
+        assert_eq!(g10[2], Value::Int(300));
+    }
+
+    #[test]
+    fn scalar_aggregate_on_empty_input() {
+        let cat = setup();
+        let plan = Plan::Aggregate {
+            input: Box::new(emp_scan(vec![Expr::lit(Value::Bool(false))])),
+            group_by: vec![],
+            aggs: vec![
+                AggSpec { func: AggFunc::CountStar, arg: None, distinct: false },
+                AggSpec { func: AggFunc::Sum, arg: Some(Expr::col(0, 2)), distinct: false },
+            ],
+            strategy: AggStrategy::Hash,
+            est: Est::default(),
+        };
+        let (rows, _) = run(&plan, &cat);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(0));
+        assert!(rows[0][1].is_null());
+    }
+
+    #[test]
+    fn sort_limit_projection() {
+        let cat = setup();
+        let plan = Plan::Limit {
+            input: Box::new(Plan::Sort {
+                input: Box::new(Plan::Project {
+                    input: Box::new(emp_scan(vec![])),
+                    exprs: vec![Expr::col(0, 0), Expr::col(0, 2)],
+                    est: Est::default(),
+                }),
+                keys: vec![SortKey { expr: Expr::Slot(1), desc: true }],
+                est: Est::default(),
+            }),
+            n: 2,
+            est: Est::default(),
+        };
+        let (rows, _) = run(&plan, &cat);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0][1], Value::Int(400));
+        assert_eq!(rows[1][1], Value::Int(300));
+    }
+
+    #[test]
+    fn materialize_cache_vs_rebind() {
+        let cat = setup();
+        // Uncorrelated inner side materialized once despite 4 outer rows.
+        let cached = Plan::NestedLoop {
+            kind: JoinKind::Inner,
+            left: Box::new(emp_scan(vec![])),
+            right: Box::new(Plan::Materialize {
+                input: Box::new(dept_scan()),
+                rebind: false,
+                cache_slot: 0,
+                est: Est::default(),
+            }),
+            on: vec![Expr::eq(Expr::col(0, 1), Expr::col(1, 0))],
+            null_aware: false,
+            est: Est::default(),
+        };
+        let mut p = cached.clone();
+        let slots = p.assign_cache_slots();
+        let ctx = ExecContext::new(&cat, 2, slots);
+        execute(&p, &ctx).unwrap();
+        assert_eq!(ctx.stats.materializations.get(), 1);
+
+        // rebind=true re-materializes per outer row (the Q17 invalidation).
+        let rebound = Plan::NestedLoop {
+            kind: JoinKind::Inner,
+            left: Box::new(emp_scan(vec![])),
+            right: Box::new(Plan::Materialize {
+                input: Box::new(dept_scan()),
+                rebind: true,
+                cache_slot: 0,
+                est: Est::default(),
+            }),
+            on: vec![Expr::eq(Expr::col(0, 1), Expr::col(1, 0))],
+            null_aware: false,
+            est: Est::default(),
+        };
+        let mut p = rebound.clone();
+        let slots = p.assign_cache_slots();
+        let ctx = ExecContext::new(&cat, 2, slots);
+        execute(&p, &ctx).unwrap();
+        assert_eq!(ctx.stats.materializations.get(), 4);
+    }
+
+    #[test]
+    fn index_range_scan() {
+        let cat = setup();
+        let plan = Plan::IndexRange {
+            table: EMP,
+            qt: 0,
+            width: 3,
+            index: 0, // emp_dept on dept_id
+            lo: Some((Expr::int(10), true)),
+            hi: Some((Expr::int(10), true)),
+            filter: vec![],
+            est: Est::default(),
+        };
+        let (rows, _) = run(&plan, &cat);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn union_all_and_distinct() {
+        let cat = setup();
+        let proj = |p: Plan| Plan::Project {
+            input: Box::new(p),
+            exprs: vec![Expr::col(0, 1)],
+            est: Est::default(),
+        };
+        let u = Plan::Union {
+            inputs: vec![proj(emp_scan(vec![])), proj(emp_scan(vec![]))],
+            distinct: false,
+            est: Est::default(),
+        };
+        let (rows, _) = run(&u, &cat);
+        assert_eq!(rows.len(), 8);
+        let u = Plan::Union {
+            inputs: vec![proj(emp_scan(vec![])), proj(emp_scan(vec![]))],
+            distinct: true,
+            est: Est::default(),
+        };
+        let (rows, _) = run(&u, &cat);
+        assert_eq!(rows.len(), 3); // 10, 20, NULL
+    }
+
+    #[test]
+    fn work_units_track_effort() {
+        let cat = setup();
+        let (_, scan_work) = run(&emp_scan(vec![]), &cat);
+        let join = Plan::NestedLoop {
+            kind: JoinKind::Inner,
+            left: Box::new(emp_scan(vec![])),
+            right: Box::new(dept_scan()),
+            on: vec![Expr::eq(Expr::col(0, 1), Expr::col(1, 0))],
+            null_aware: false,
+            est: Est::default(),
+        };
+        let (_, join_work) = run(&join, &cat);
+        assert!(join_work > scan_work * 3, "NLJ should cost much more than a scan");
+    }
+}

@@ -1,0 +1,436 @@
+//! Physical plan trees.
+//!
+//! Plans are built by `mylite`'s plan-refinement phase — for both the MySQL
+//! path and the Orca detour — and executed by [`crate::exec`].
+//!
+//! ## Row spaces
+//!
+//! Operators below the first projection/aggregation boundary produce rows in
+//! *table space*: a concatenation of base-table rows described by a
+//! [`Layout`], so `Expr::Column` references resolve regardless of join
+//! order. `Project`, `Aggregate` and `Derived` change that: `Project` and
+//! `Aggregate` emit *slot space* rows addressed by `Expr::Slot`, and
+//! `Derived` re-homes a slot-space subplan's output as a fresh query table.
+
+use taurus_common::{AggFunc, Expr, Layout, TableId};
+
+/// Cardinality/cost estimate attached to a node for EXPLAIN output. The
+/// estimates come from whichever optimizer produced the plan — for the Orca
+/// path they are *copied over from the Orca plan* (paper §4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Est {
+    pub rows: f64,
+    pub cost: f64,
+}
+
+impl Est {
+    pub fn new(rows: f64, cost: f64) -> Est {
+        Est { rows, cost }
+    }
+}
+
+/// Join semantics. `Semi`/`AntiSemi` are produced by subquery rewrites;
+/// `Cross` is an inner join with no condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+    Semi,
+    AntiSemi,
+}
+
+impl JoinKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinKind::Inner => "inner join",
+            JoinKind::LeftOuter => "left join",
+            JoinKind::Semi => "semijoin",
+            JoinKind::AntiSemi => "antijoin",
+        }
+    }
+}
+
+/// One aggregate computed by an [`Plan::Aggregate`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// `None` only for `COUNT(*)`.
+    pub arg: Option<Expr>,
+    pub distinct: bool,
+}
+
+/// How an aggregation is executed (MySQL's plan refinement "chooses between
+/// stream and hash aggregates", §4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggStrategy {
+    /// Requires input sorted by the group-by keys.
+    Stream,
+    Hash,
+}
+
+/// A sort key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// What kind of rows a plan node emits.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowSpace {
+    /// Concatenated base-table rows, addressed via the layout.
+    Tables(Layout),
+    /// Flat rows of the given width, addressed by `Expr::Slot`.
+    Slots(usize),
+}
+
+impl RowSpace {
+    /// The layout for table-space rows; slot-space rows get an empty layout
+    /// (any `Expr::Column` against it is an error, caught at eval time).
+    pub fn layout(&self, num_tables: usize) -> Layout {
+        match self {
+            RowSpace::Tables(l) => l.clone(),
+            RowSpace::Slots(_) => Layout::empty(num_tables),
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        match self {
+            RowSpace::Tables(l) => l.width(),
+            RowSpace::Slots(w) => *w,
+        }
+    }
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    /// Full heap scan of a base table, with a pushed-down filter.
+    TableScan { table: TableId, qt: usize, width: usize, filter: Vec<Expr>, est: Est },
+    /// Full scan of an index in key order (may supply an ORDER BY).
+    IndexScan { table: TableId, qt: usize, width: usize, index: usize, filter: Vec<Expr>, est: Est },
+    /// Range scan on an index's leading column. Bounds are constant
+    /// expressions (or correlated expressions over outer bindings).
+    IndexRange {
+        table: TableId,
+        qt: usize,
+        width: usize,
+        index: usize,
+        lo: Option<(Expr, bool)>,
+        hi: Option<(Expr, bool)>,
+        filter: Vec<Expr>,
+        est: Est,
+    },
+    /// Index lookup ("ref" access): key expressions are evaluated against
+    /// the *outer binding* each time the node is opened — this is the inner
+    /// side of an index nested-loop join.
+    IndexLookup {
+        table: TableId,
+        qt: usize,
+        width: usize,
+        index: usize,
+        keys: Vec<Expr>,
+        filter: Vec<Expr>,
+        est: Est,
+    },
+    /// Nested-loop join. The right side re-opens per left row with the left
+    /// row added to the binding (which is how correlation works).
+    /// `null_aware` applies to anti joins only (`NOT IN` semantics: an
+    /// UNKNOWN comparison excludes the row).
+    NestedLoop {
+        kind: JoinKind,
+        left: Box<Plan>,
+        right: Box<Plan>,
+        on: Vec<Expr>,
+        null_aware: bool,
+        est: Est,
+    },
+    /// Hash join. `build_left` mirrors MySQL's inner-hash-join convention
+    /// (§7 item 2: MySQL builds on the LEFT for inner joins, on the right
+    /// everywhere else).
+    HashJoin {
+        kind: JoinKind,
+        build_left: bool,
+        left: Box<Plan>,
+        right: Box<Plan>,
+        /// Pairs of (left-side key, right-side key).
+        keys: Vec<(Expr, Expr)>,
+        /// Non-equi residual predicates over the joined row.
+        residual: Vec<Expr>,
+        /// NULL-aware anti join (for `NOT IN` semantics).
+        null_aware: bool,
+        est: Est,
+    },
+    /// Residual filter.
+    Filter { input: Box<Plan>, predicate: Vec<Expr>, est: Est },
+    /// Re-homes a slot-space subplan as query table `qt` (a derived table
+    /// or CTE consumer).
+    Derived { input: Box<Plan>, qt: usize, width: usize, name: String, est: Est },
+    /// Materialization buffer. `rebind = true` re-materializes every time
+    /// the node is opened under a new binding (MySQL's "Invalidate
+    /// materialized tables (row from ...)"); `rebind = false` caches the
+    /// first execution in `cache_slot`.
+    Materialize { input: Box<Plan>, rebind: bool, cache_slot: usize, est: Est },
+    /// Projection into slot space.
+    Project { input: Box<Plan>, exprs: Vec<Expr>, est: Est },
+    /// Grouping + aggregation into slot space: output rows are
+    /// `[group values..., aggregate values...]`.
+    Aggregate {
+        input: Box<Plan>,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggSpec>,
+        strategy: AggStrategy,
+        est: Est,
+    },
+    /// Sort (space-preserving).
+    Sort { input: Box<Plan>, keys: Vec<SortKey>, est: Est },
+    /// Row-limit (space-preserving).
+    Limit { input: Box<Plan>, n: u64, est: Est },
+    /// Concatenation of same-width slot-space inputs, with optional
+    /// de-duplication (UNION ALL / UNION DISTINCT).
+    Union { inputs: Vec<Plan>, distinct: bool, est: Est },
+}
+
+impl Plan {
+    /// The row space this node emits, given the number of query tables.
+    pub fn space(&self, num_tables: usize) -> RowSpace {
+        match self {
+            Plan::TableScan { qt, width, .. }
+            | Plan::IndexScan { qt, width, .. }
+            | Plan::IndexRange { qt, width, .. }
+            | Plan::IndexLookup { qt, width, .. } => {
+                RowSpace::Tables(Layout::single(num_tables, *qt, *width))
+            }
+            Plan::Derived { qt, width, .. } => {
+                RowSpace::Tables(Layout::single(num_tables, *qt, *width))
+            }
+            Plan::NestedLoop { kind, left, right, .. }
+            | Plan::HashJoin { kind, left, right, .. } => match kind {
+                JoinKind::Semi | JoinKind::AntiSemi => left.space(num_tables),
+                _ => match (left.space(num_tables), right.space(num_tables)) {
+                    (RowSpace::Tables(l), RowSpace::Tables(r)) => RowSpace::Tables(l.join(&r)),
+                    _ => panic!("joins operate in table space"),
+                },
+            },
+            Plan::Filter { input, .. }
+            | Plan::Materialize { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => input.space(num_tables),
+            Plan::Project { exprs, .. } => RowSpace::Slots(exprs.len()),
+            Plan::Aggregate { group_by, aggs, .. } => RowSpace::Slots(group_by.len() + aggs.len()),
+            Plan::Union { inputs, .. } => inputs
+                .first()
+                .map(|p| p.space(num_tables))
+                .unwrap_or(RowSpace::Slots(0)),
+        }
+    }
+
+    /// Estimate attached to this node.
+    pub fn est(&self) -> Est {
+        match self {
+            Plan::TableScan { est, .. }
+            | Plan::IndexScan { est, .. }
+            | Plan::IndexRange { est, .. }
+            | Plan::IndexLookup { est, .. }
+            | Plan::NestedLoop { est, .. }
+            | Plan::HashJoin { est, .. }
+            | Plan::Filter { est, .. }
+            | Plan::Derived { est, .. }
+            | Plan::Materialize { est, .. }
+            | Plan::Project { est, .. }
+            | Plan::Aggregate { est, .. }
+            | Plan::Sort { est, .. }
+            | Plan::Limit { est, .. }
+            | Plan::Union { est, .. } => *est,
+        }
+    }
+
+    /// Children, for generic traversals.
+    pub fn children(&self) -> Vec<&Plan> {
+        match self {
+            Plan::TableScan { .. }
+            | Plan::IndexScan { .. }
+            | Plan::IndexRange { .. }
+            | Plan::IndexLookup { .. } => vec![],
+            Plan::NestedLoop { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+                vec![left, right]
+            }
+            Plan::Filter { input, .. }
+            | Plan::Derived { input, .. }
+            | Plan::Materialize { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => vec![input],
+            Plan::Union { inputs, .. } => inputs.iter().collect(),
+        }
+    }
+
+    /// Assign distinct cache slots to every `Materialize` node; returns the
+    /// slot count. Call once after plan construction.
+    pub fn assign_cache_slots(&mut self) -> usize {
+        fn assign(plan: &mut Plan, next: &mut usize) {
+            if let Plan::Materialize { cache_slot, input, .. } = plan {
+                *cache_slot = *next;
+                *next += 1;
+                assign(input, next);
+                return;
+            }
+            match plan {
+                Plan::NestedLoop { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+                    assign(left, next);
+                    assign(right, next);
+                }
+                Plan::Filter { input, .. }
+                | Plan::Derived { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Aggregate { input, .. }
+                | Plan::Sort { input, .. }
+                | Plan::Limit { input, .. } => assign(input, next),
+                Plan::Union { inputs, .. } => inputs.iter_mut().for_each(|p| assign(p, next)),
+                _ => {}
+            }
+        }
+        let mut n = 0;
+        assign(self, &mut n);
+        n
+    }
+
+    /// Count of join nodes by method: `(nested_loops, hash_joins)` — the
+    /// statistic the paper quotes for Q72's plans (Fig 4/5).
+    pub fn join_method_counts(&self) -> (usize, usize) {
+        let mut nl = 0;
+        let mut hj = 0;
+        fn walk(p: &Plan, nl: &mut usize, hj: &mut usize) {
+            match p {
+                Plan::NestedLoop { .. } => *nl += 1,
+                Plan::HashJoin { .. } => *hj += 1,
+                _ => {}
+            }
+            for c in p.children() {
+                walk(c, nl, hj);
+            }
+        }
+        walk(self, &mut nl, &mut hj);
+        (nl, hj)
+    }
+
+    /// Whether the join tree is left-deep: every join's right child is a
+    /// leaf-ish access path (scan/lookup/derived/materialize-of-derived).
+    /// MySQL without the paper's "glue code" only executes left-deep trees.
+    pub fn is_left_deep(&self) -> bool {
+        fn leafish(p: &Plan) -> bool {
+            match p {
+                Plan::TableScan { .. }
+                | Plan::IndexScan { .. }
+                | Plan::IndexRange { .. }
+                | Plan::IndexLookup { .. }
+                | Plan::Derived { .. } => true,
+                Plan::Filter { input, .. } | Plan::Materialize { input, .. } => leafish(input),
+                _ => false,
+            }
+        }
+        fn walk(p: &Plan) -> bool {
+            match p {
+                Plan::NestedLoop { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+                    leafish(right) && walk(left)
+                }
+                _ => p.children().iter().all(|c| walk(c)),
+            }
+        }
+        walk(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(qt: usize, width: usize) -> Plan {
+        Plan::TableScan { table: TableId(qt as u32), qt, width, filter: vec![], est: Est::default() }
+    }
+
+    fn inner_nl(l: Plan, r: Plan) -> Plan {
+        Plan::NestedLoop {
+            kind: JoinKind::Inner,
+            left: Box::new(l),
+            right: Box::new(r),
+            on: vec![],
+            null_aware: false,
+            est: Est::default(),
+        }
+    }
+
+    #[test]
+    fn join_space_concatenates() {
+        let j = inner_nl(scan(0, 2), scan(1, 3));
+        match j.space(2) {
+            RowSpace::Tables(l) => {
+                assert_eq!(l.width(), 5);
+                assert_eq!(l.slot(1, 0), Some(2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn semi_join_keeps_left_space() {
+        let j = Plan::NestedLoop {
+            kind: JoinKind::Semi,
+            left: Box::new(scan(0, 2)),
+            right: Box::new(scan(1, 3)),
+            on: vec![],
+            null_aware: false,
+            est: Est::default(),
+        };
+        assert_eq!(j.space(2).width(), 2);
+    }
+
+    #[test]
+    fn aggregate_switches_to_slots() {
+        let a = Plan::Aggregate {
+            input: Box::new(scan(0, 2)),
+            group_by: vec![Expr::col(0, 0)],
+            aggs: vec![AggSpec { func: AggFunc::CountStar, arg: None, distinct: false }],
+            strategy: AggStrategy::Hash,
+            est: Est::default(),
+        };
+        assert_eq!(a.space(1), RowSpace::Slots(2));
+    }
+
+    #[test]
+    fn cache_slot_assignment() {
+        let mut p = inner_nl(
+            Plan::Materialize {
+                input: Box::new(scan(0, 1)),
+                rebind: false,
+                cache_slot: 99,
+                est: Est::default(),
+            },
+            Plan::Materialize {
+                input: Box::new(scan(1, 1)),
+                rebind: true,
+                cache_slot: 99,
+                est: Est::default(),
+            },
+        );
+        assert_eq!(p.assign_cache_slots(), 2);
+        match &p {
+            Plan::NestedLoop { left, right, .. } => {
+                assert!(matches!(left.as_ref(), Plan::Materialize { cache_slot: 0, .. }));
+                assert!(matches!(right.as_ref(), Plan::Materialize { cache_slot: 1, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_helpers() {
+        // ((0 ⋈ 1) ⋈ 2) is left-deep; (0 ⋈ (1 ⋈ 2)) is bushy.
+        let left_deep = inner_nl(inner_nl(scan(0, 1), scan(1, 1)), scan(2, 1));
+        assert!(left_deep.is_left_deep());
+        let bushy = inner_nl(scan(0, 1), inner_nl(scan(1, 1), scan(2, 1)));
+        assert!(!bushy.is_left_deep());
+        assert_eq!(bushy.join_method_counts(), (2, 0));
+    }
+}

@@ -1,0 +1,267 @@
+//! The prepared ("bound") query representation.
+//!
+//! This is the stand-in for MySQL's rewritten AST after the Prepare phase:
+//! names are resolved, subqueries have become semi/anti joins or derived
+//! tables, and every query block is a *flat table list* plus predicate
+//! conjuncts — exactly the form MySQL's join optimizer (and the paper's
+//! parse-tree converter, §4.1) consumes.
+//!
+//! ## Global table space
+//!
+//! Every table reference in the whole statement — including those inside
+//! derived tables and converted subqueries — gets a globally unique
+//! *query-table index* (qt). `Expr::Column { table: qt, .. }` references are
+//! global, which is what lets a correlated inner block reference its outer
+//! block's tables and lets the executor bind them through layouts. The
+//! registry of qt metadata is the stand-in for MySQL's `TABLE_LIST` chain;
+//! the bridge carries qt indexes through Orca exactly the way the paper
+//! carries `TABLE_LIST` pointers in Orca table descriptors.
+
+use std::collections::BTreeSet;
+use taurus_common::{Expr, TableId};
+
+/// A whole prepared statement: the root query block plus the global
+/// query-table registry.
+#[derive(Debug, Clone)]
+pub struct BoundStatement {
+    pub root: BoundQuery,
+    pub tables: Vec<TableMeta>,
+}
+
+impl BoundStatement {
+    /// Number of query tables in the global space (layout size).
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn table(&self, qt: usize) -> &TableMeta {
+        &self.tables[qt]
+    }
+}
+
+/// Metadata for one query table (one `TABLE_LIST` element).
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    /// Alias or table name as written in the query, for display.
+    pub display_name: String,
+    pub source: TableSource,
+    /// Output column names (for base tables, the schema's names; for
+    /// derived tables, the inner select's output names).
+    pub columns: Vec<String>,
+}
+
+impl TableMeta {
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether this is a derived table whose inner block references tables
+    /// outside itself (correlated) — it must be re-materialized per outer
+    /// row (MySQL's invalidation; paper Listing 7).
+    pub fn is_correlated_derived(&self) -> bool {
+        matches!(&self.source, TableSource::Derived { correlated: true, .. })
+    }
+}
+
+/// Where a query table's rows come from.
+#[derive(Debug, Clone)]
+pub enum TableSource {
+    /// A base table in the catalog.
+    Base { id: TableId },
+    /// A derived table (subquery in FROM, converted scalar subquery, or a
+    /// CTE reference — each CTE reference gets its own copy, MySQL's
+    /// multiple-producer model, §4.2.3).
+    Derived {
+        query: Box<BoundQuery>,
+        /// References tables outside its own subtree.
+        correlated: bool,
+        /// Label such as `derived_1_2` for EXPLAIN.
+        label: String,
+    },
+}
+
+/// How a table participates in its block's join.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinEntry {
+    /// Plain inner join; conditions live in the block's predicate list.
+    Inner,
+    /// `LEFT OUTER JOIN ... ON cond`; must be placed after its
+    /// dependencies.
+    LeftOuter { on: Vec<Expr> },
+    /// Semi join from `EXISTS`/`IN` (paper §4.1); output drops this table's
+    /// columns.
+    Semi { on: Vec<Expr> },
+    /// Anti join from `NOT EXISTS`/`NOT IN`; `null_aware` picks `NOT IN`
+    /// semantics.
+    Anti { on: Vec<Expr>, null_aware: bool },
+}
+
+impl JoinEntry {
+    pub fn is_inner(&self) -> bool {
+        matches!(self, JoinEntry::Inner)
+    }
+
+    /// The ON-condition conjuncts (empty for inner entries).
+    pub fn on(&self) -> &[Expr] {
+        match self {
+            JoinEntry::Inner => &[],
+            JoinEntry::LeftOuter { on } | JoinEntry::Semi { on } | JoinEntry::Anti { on, .. } => {
+                on
+            }
+        }
+    }
+}
+
+/// One member of a block's flat table list.
+#[derive(Debug, Clone)]
+pub struct BlockTable {
+    /// Global query-table index.
+    pub qt: usize,
+    pub entry: JoinEntry,
+    /// Global qt indexes (within this block) that must be joined before
+    /// this table: outer-join left sides and correlation sources.
+    pub deps: BTreeSet<usize>,
+}
+
+/// A named output expression.
+#[derive(Debug, Clone)]
+pub struct OutputCol {
+    pub name: String,
+    /// May contain `Expr::Agg` nodes; refinement lowers them.
+    pub expr: Expr,
+}
+
+/// One prepared query block: flat table list + conjuncts + the clauses plan
+/// refinement handles (paper §4.3: aggregation, ordering, limit).
+#[derive(Debug, Clone)]
+pub struct BoundQuery {
+    /// The block's tables in syntactic order.
+    pub members: Vec<BlockTable>,
+    /// WHERE conjuncts (over global qts; may reference enclosing blocks'
+    /// tables when this block is correlated).
+    pub predicates: Vec<Expr>,
+    pub select: Vec<OutputCol>,
+    pub group_by: Vec<Expr>,
+    /// Post-aggregation filter; may contain `Expr::Agg`.
+    pub having: Option<Expr>,
+    /// `(expr, desc)` pairs; expressions may reference select aliases
+    /// (resolved to the select expression during binding).
+    pub order_by: Vec<(Expr, bool)>,
+    pub limit: Option<u64>,
+    pub distinct: bool,
+}
+
+impl BoundQuery {
+    /// The set of qts owned by this block (not descending into derived
+    /// tables' inner blocks).
+    pub fn member_qts(&self) -> BTreeSet<usize> {
+        self.members.iter().map(|m| m.qt).collect()
+    }
+
+    /// Find a member by qt.
+    pub fn member(&self, qt: usize) -> Option<&BlockTable> {
+        self.members.iter().find(|m| m.qt == qt)
+    }
+
+    /// Whether the block computes any aggregation (explicit GROUP BY or
+    /// aggregate functions anywhere in its output clauses).
+    pub fn has_aggregation(&self) -> bool {
+        !self.group_by.is_empty()
+            || self.select.iter().any(|o| o.expr.contains_agg())
+            || self.having.as_ref().is_some_and(|h| h.contains_agg())
+            || self.order_by.iter().any(|(e, _)| e.contains_agg())
+    }
+
+    /// Qts of tables *outside* this block that the block's expressions
+    /// reference — the correlation set.
+    pub fn outer_references(&self) -> BTreeSet<usize> {
+        let mine = self.member_qts();
+        let mut all = BTreeSet::new();
+        let mut add = |e: &Expr| {
+            for t in e.referenced_tables() {
+                all.insert(t);
+            }
+        };
+        for p in &self.predicates {
+            add(p);
+        }
+        for m in &self.members {
+            for c in m.entry.on() {
+                add(c);
+            }
+        }
+        for o in &self.select {
+            add(&o.expr);
+        }
+        for g in &self.group_by {
+            add(g);
+        }
+        if let Some(h) = &self.having {
+            add(h);
+        }
+        for (e, _) in &self.order_by {
+            add(e);
+        }
+        all.difference(&mine).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::AggFunc;
+
+    fn block(members: Vec<BlockTable>) -> BoundQuery {
+        BoundQuery {
+            members,
+            predicates: vec![],
+            select: vec![],
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+            distinct: false,
+        }
+    }
+
+    fn member(qt: usize) -> BlockTable {
+        BlockTable { qt, entry: JoinEntry::Inner, deps: BTreeSet::new() }
+    }
+
+    #[test]
+    fn member_queries() {
+        let b = block(vec![member(0), member(2)]);
+        assert_eq!(b.member_qts().into_iter().collect::<Vec<_>>(), vec![0, 2]);
+        assert!(b.member(2).is_some());
+        assert!(b.member(1).is_none());
+    }
+
+    #[test]
+    fn aggregation_detection() {
+        let mut b = block(vec![member(0)]);
+        assert!(!b.has_aggregation());
+        b.select.push(OutputCol {
+            name: "n".into(),
+            expr: Expr::Agg { func: AggFunc::CountStar, arg: None, distinct: false },
+        });
+        assert!(b.has_aggregation());
+    }
+
+    #[test]
+    fn outer_reference_detection() {
+        // Block owns qt 1 but references qt 0 in a predicate: correlated.
+        let mut b = block(vec![member(1)]);
+        b.predicates.push(Expr::eq(Expr::col(1, 0), Expr::col(0, 3)));
+        assert_eq!(b.outer_references().into_iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn join_entry_helpers() {
+        assert!(JoinEntry::Inner.is_inner());
+        let on = vec![Expr::eq(Expr::col(0, 0), Expr::col(1, 0))];
+        let loj = JoinEntry::LeftOuter { on: on.clone() };
+        assert!(!loj.is_inner());
+        assert_eq!(loj.on().len(), 1);
+        assert!(JoinEntry::Inner.on().is_empty());
+    }
+}

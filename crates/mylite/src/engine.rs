@@ -1,0 +1,513 @@
+//! The session facade: parse → resolve/prepare → optimize → refine →
+//! execute, with a pluggable cost-based-optimizer backend.
+//!
+//! The backend hook is the integration point of the whole paper: the bridge
+//! crate implements [`CostBasedOptimizer`] with the Orca detour (convert →
+//! optimize in Orca → convert back to a skeleton), and everything else —
+//! parsing, preparation, refinement, execution — is shared, exactly as in
+//! Fig 3.
+
+use crate::bound::BoundStatement;
+use crate::explain::explain_plan;
+use crate::optimizer::optimize_statement;
+use crate::refine::refine_statement;
+use crate::resolve::resolve_union_branches;
+use crate::skeleton::Skeleton;
+use taurus_catalog::stats::AnalyzeOptions;
+use taurus_catalog::Catalog;
+use taurus_common::error::{Error, Result};
+use taurus_common::expr::EvalCtx;
+use taurus_common::{Layout, Row, Value};
+use taurus_executor::{execute, ExecContext, Plan};
+use taurus_sql::rewrite::rewrite_set_ops;
+use taurus_sql::{parse, SelectStmt, Statement};
+
+/// A pluggable cost-based optimizer (the orange box in paper Fig 2).
+pub trait CostBasedOptimizer {
+    /// Short name for EXPLAIN banners and logs.
+    fn name(&self) -> &'static str;
+    /// Produce a skeleton plan for a prepared statement.
+    fn optimize(&self, catalog: &Catalog, bound: &BoundStatement) -> Result<Skeleton>;
+}
+
+/// MySQL's native greedy optimizer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MySqlOptimizer;
+
+impl CostBasedOptimizer for MySqlOptimizer {
+    fn name(&self) -> &'static str {
+        "mysql"
+    }
+
+    fn optimize(&self, catalog: &Catalog, bound: &BoundStatement) -> Result<Skeleton> {
+        optimize_statement(catalog, bound)
+    }
+}
+
+/// One fully planned union branch.
+#[derive(Debug, Clone)]
+pub struct PlannedBranch {
+    pub bound: BoundStatement,
+    pub skeleton: Skeleton,
+    pub plan: Plan,
+    /// UNION ALL with respect to the previous branch.
+    pub all: bool,
+}
+
+/// A fully planned statement (one or more union branches).
+#[derive(Debug, Clone)]
+pub struct PlannedQuery {
+    pub branches: Vec<PlannedBranch>,
+    pub columns: Vec<String>,
+}
+
+impl PlannedQuery {
+    /// The primary branch (non-union statements have exactly one).
+    pub fn primary(&self) -> &PlannedBranch {
+        &self.branches[0]
+    }
+}
+
+/// Query results plus the executor's work-unit accounting.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+    /// Machine-independent work measure (see `ExecStats::work_units`).
+    pub work_units: u64,
+}
+
+/// The engine: a catalog plus the machinery to run SQL against it.
+pub struct Engine {
+    catalog: Catalog,
+}
+
+impl Engine {
+    pub fn new(catalog: Catalog) -> Engine {
+        Engine { catalog }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Run ANALYZE on every table with default options.
+    pub fn analyze(&mut self) {
+        self.catalog.analyze_all(&AnalyzeOptions::default());
+    }
+
+    /// Execute any statement with the native MySQL optimizer.
+    pub fn execute_sql(&mut self, sql: &str) -> Result<QueryOutput> {
+        match parse(sql)? {
+            Statement::Insert { table, rows } => self.execute_insert(&table, rows),
+            Statement::Select(stmt) => self.run_select(&stmt, &MySqlOptimizer),
+        }
+    }
+
+    /// Run a SELECT with the native optimizer.
+    pub fn query(&self, sql: &str) -> Result<QueryOutput> {
+        self.query_with(sql, &MySqlOptimizer)
+    }
+
+    /// Run a SELECT with a specific optimizer backend.
+    pub fn query_with(&self, sql: &str, opt: &dyn CostBasedOptimizer) -> Result<QueryOutput> {
+        let stmt = parse_select_text(sql)?;
+        self.run_select(&stmt, opt)
+    }
+
+    /// Plan a SELECT without executing (what `EXPLAIN` does; used by the
+    /// compile-time experiment, Table 1).
+    pub fn plan(&self, sql: &str, opt: &dyn CostBasedOptimizer) -> Result<PlannedQuery> {
+        let stmt = parse_select_text(sql)?;
+        self.plan_select(&stmt, opt)
+    }
+
+    /// EXPLAIN output for a SELECT under a given optimizer.
+    pub fn explain(&self, sql: &str, opt: &dyn CostBasedOptimizer) -> Result<String> {
+        let planned = self.plan(sql, opt)?;
+        let mut out = String::new();
+        for (i, b) in planned.branches.iter().enumerate() {
+            if i > 0 {
+                out.push_str(&format!("UNION {}\n", if b.all { "ALL" } else { "DISTINCT" }));
+            }
+            out.push_str(&explain_plan(&b.plan, &b.bound, &self.catalog, b.skeleton.orca_assisted));
+        }
+        Ok(out)
+    }
+
+    /// Plan a parsed SELECT.
+    pub fn plan_select(
+        &self,
+        stmt: &SelectStmt,
+        opt: &dyn CostBasedOptimizer,
+    ) -> Result<PlannedQuery> {
+        // MySQL does not support INTERSECT/EXCEPT; the paper rewrote the
+        // affected queries (§6.2). We apply the mechanical rewrite here.
+        let stmt = rewrite_set_ops(stmt.clone())?;
+        let branches = resolve_union_branches(&self.catalog, &stmt)?;
+        if branches.is_empty() {
+            return Err(Error::internal("statement resolved to no branches"));
+        }
+        let mut planned = Vec::with_capacity(branches.len());
+        let mut columns: Option<Vec<String>> = None;
+        for (bound, all) in branches {
+            let skeleton = opt.optimize(&self.catalog, &bound)?;
+            let plan = refine_statement(&self.catalog, &bound, &skeleton)?;
+            let cols: Vec<String> = bound.root.select.iter().map(|o| o.name.clone()).collect();
+            match &columns {
+                None => columns = Some(cols),
+                Some(c) => {
+                    if c.len() != cols.len() {
+                        return Err(Error::semantic("UNION branches have different arity"));
+                    }
+                }
+            }
+            planned.push(PlannedBranch { bound, skeleton, plan, all });
+        }
+        Ok(PlannedQuery {
+            branches: planned,
+            columns: columns.expect("at least one branch"),
+        })
+    }
+
+    /// Execute a previously planned query.
+    pub fn execute_planned(&self, planned: &PlannedQuery) -> Result<QueryOutput> {
+        let mut rows: Vec<Row> = Vec::new();
+        let mut work = 0u64;
+        for (i, b) in planned.branches.iter().enumerate() {
+            let mut plan = b.plan.clone();
+            let slots = plan.assign_cache_slots();
+            let ctx = ExecContext::new(&self.catalog, b.bound.num_tables(), slots);
+            let branch_rows = execute(&plan, &ctx)?;
+            work += ctx.stats.work_units();
+            if i == 0 {
+                rows = branch_rows;
+            } else {
+                rows.extend(branch_rows);
+                if !b.all {
+                    let mut seen = std::collections::HashSet::new();
+                    rows.retain(|r| seen.insert(r.clone()));
+                }
+            }
+        }
+        Ok(QueryOutput { columns: planned.columns.clone(), rows, work_units: work })
+    }
+
+    fn run_select(&self, stmt: &SelectStmt, opt: &dyn CostBasedOptimizer) -> Result<QueryOutput> {
+        let planned = self.plan_select(stmt, opt)?;
+        self.execute_planned(&planned)
+    }
+
+    fn execute_insert(
+        &mut self,
+        table: &str,
+        rows: Vec<Vec<taurus_sql::AstExpr>>,
+    ) -> Result<QueryOutput> {
+        let id = self.catalog.table_by_name(table)?.id;
+        let layout = Layout::empty(0);
+        let mut materialized: Vec<Row> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut out = Vec::with_capacity(row.len());
+            for e in row {
+                // INSERT values are constant expressions.
+                let bound = ast_const_to_value(&e, &layout)?;
+                out.push(bound);
+            }
+            materialized.push(out);
+        }
+        let n = materialized.len();
+        self.catalog.insert(id, materialized)?;
+        self.catalog.build_indexes(id)?;
+        Ok(QueryOutput {
+            columns: vec!["rows_inserted".into()],
+            rows: vec![vec![Value::Int(n as i64)]],
+            work_units: n as u64,
+        })
+    }
+}
+
+fn parse_select_text(sql: &str) -> Result<SelectStmt> {
+    match parse(sql)? {
+        Statement::Select(s) => Ok(s),
+        other => Err(Error::semantic(format!("expected SELECT, got {other:?}"))),
+    }
+}
+
+/// Evaluate a constant INSERT expression.
+fn ast_const_to_value(e: &taurus_sql::AstExpr, layout: &Layout) -> Result<Value> {
+    use taurus_sql::AstExpr as A;
+    let expr = match e {
+        A::Lit(v) => taurus_common::Expr::Literal(v.clone()),
+        A::Neg(inner) => return ast_const_to_value(inner, layout)?.neg(),
+        other => {
+            return Err(Error::semantic(format!(
+                "INSERT values must be literals, got {other:?}"
+            )))
+        }
+    };
+    expr.eval(EvalCtx::new(&[], layout))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::{Column, DataType, Schema};
+
+    fn engine() -> Engine {
+        let mut cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "emp",
+                Schema::new(vec![
+                    Column::new("id", DataType::Int),
+                    Column::nullable("dept", DataType::Int),
+                    Column::new("salary", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        cat.insert(
+            t,
+            vec![
+                vec![Value::Int(1), Value::Int(10), Value::Int(100)],
+                vec![Value::Int(2), Value::Int(10), Value::Int(200)],
+                vec![Value::Int(3), Value::Int(20), Value::Int(300)],
+                vec![Value::Int(4), Value::Null, Value::Int(50)],
+            ],
+        )
+        .unwrap();
+        cat.create_index(t, "emp_pk", vec![0], true).unwrap();
+        let d = cat
+            .create_table(
+                "dept",
+                Schema::new(vec![
+                    Column::new("did", DataType::Int),
+                    Column::new("dname", DataType::Str),
+                ]),
+            )
+            .unwrap();
+        cat.insert(
+            d,
+            vec![
+                vec![Value::Int(10), Value::str("eng")],
+                vec![Value::Int(20), Value::str("ops")],
+            ],
+        )
+        .unwrap();
+        cat.create_index(d, "dept_pk", vec![0], true).unwrap();
+        let mut e = Engine::new(cat);
+        e.analyze();
+        e
+    }
+
+    fn ints(out: &QueryOutput, col: usize) -> Vec<i64> {
+        out.rows.iter().map(|r| r[col].as_i64().unwrap()).collect()
+    }
+
+    #[test]
+    fn select_filter_order_limit() {
+        let e = engine();
+        let out = e
+            .query("SELECT id, salary FROM emp WHERE salary > 60 ORDER BY salary DESC LIMIT 2")
+            .unwrap();
+        assert_eq!(out.columns, vec!["id", "salary"]);
+        assert_eq!(ints(&out, 1), vec![300, 200]);
+        assert!(out.work_units > 0);
+    }
+
+    #[test]
+    fn join_query() {
+        let e = engine();
+        let out = e
+            .query(
+                "SELECT id, dname FROM emp, dept WHERE dept = did ORDER BY id",
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 3);
+        assert_eq!(out.rows[0][1], Value::str("eng"));
+    }
+
+    #[test]
+    fn group_by_having() {
+        let e = engine();
+        let out = e
+            .query(
+                "SELECT dept, COUNT(*) AS n, SUM(salary) AS total FROM emp \
+                 GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept",
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(ints(&out, 1), vec![2]);
+        assert_eq!(ints(&out, 2), vec![300]);
+    }
+
+    #[test]
+    fn scalar_aggregate() {
+        let e = engine();
+        let out = e.query("SELECT COUNT(*), AVG(salary) FROM emp").unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn exists_semi_join() {
+        let e = engine();
+        let out = e
+            .query(
+                "SELECT dname FROM dept WHERE EXISTS \
+                 (SELECT * FROM emp WHERE dept = did AND salary > 250) ORDER BY dname",
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0], Value::str("ops"));
+    }
+
+    #[test]
+    fn not_in_anti_join_null_semantics() {
+        let e = engine();
+        // dept values include NULL -> NOT IN filters everything when the
+        // subquery contains no NULLs but the probe is NULL.
+        let out = e
+            .query("SELECT id FROM emp WHERE dept NOT IN (SELECT did FROM dept) ORDER BY id")
+            .unwrap();
+        // emp 4's NULL dept: membership UNKNOWN -> excluded.
+        assert_eq!(out.rows.len(), 0);
+    }
+
+    #[test]
+    fn scalar_subquery_correlated() {
+        let e = engine();
+        // Employees earning above their department average.
+        let out = e
+            .query(
+                "SELECT id FROM emp e1 WHERE salary > \
+                 (SELECT AVG(salary) FROM emp e2 WHERE e2.dept = e1.dept) ORDER BY id",
+            )
+            .unwrap();
+        assert_eq!(ints(&out, 0), vec![2]);
+    }
+
+    #[test]
+    fn left_join_preserved_and_where_filter() {
+        let e = engine();
+        let out = e
+            .query(
+                "SELECT id, dname FROM emp LEFT JOIN dept ON dept = did ORDER BY id",
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 4);
+        assert!(out.rows[3][1].is_null());
+    }
+
+    #[test]
+    fn distinct_and_union() {
+        let e = engine();
+        let out = e.query("SELECT DISTINCT dept FROM emp ORDER BY dept").unwrap();
+        assert_eq!(out.rows.len(), 3); // NULL, 10, 20
+        let out = e
+            .query("SELECT id FROM emp WHERE id < 2 UNION ALL SELECT id FROM emp WHERE id < 3")
+            .unwrap();
+        assert_eq!(out.rows.len(), 3);
+        let out = e
+            .query("SELECT id FROM emp WHERE id < 2 UNION SELECT id FROM emp WHERE id < 3")
+            .unwrap();
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn intersect_auto_rewrites() {
+        let e = engine();
+        let out = e
+            .query("SELECT dept FROM emp WHERE salary > 150 INTERSECT SELECT dept FROM emp")
+            .unwrap();
+        // depts with salary > 150: {10, 20}; intersect with all: {10, 20}.
+        assert_eq!(out.rows.len(), 2);
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut e = engine();
+        let out = e.execute_sql("INSERT INTO dept VALUES (30, 'hr')").unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(1));
+        let q = e.query("SELECT dname FROM dept WHERE did = 30").unwrap();
+        assert_eq!(q.rows[0][0], Value::str("hr"));
+    }
+
+    #[test]
+    fn explain_shows_banner_and_tree() {
+        let e = engine();
+        let text = e
+            .explain("SELECT id, dname FROM emp, dept WHERE dept = did", &MySqlOptimizer)
+            .unwrap();
+        assert!(text.starts_with("EXPLAIN\n"), "{text}");
+        assert!(text.contains("join"), "{text}");
+        assert!(text.contains("emp"), "{text}");
+    }
+
+    #[test]
+    fn case_expression_query() {
+        let e = engine();
+        let out = e
+            .query(
+                "SELECT id, CASE WHEN salary >= 200 THEN 'high' ELSE 'low' END AS band \
+                 FROM emp ORDER BY id",
+            )
+            .unwrap();
+        assert_eq!(out.rows[0][1], Value::str("low"));
+        assert_eq!(out.rows[1][1], Value::str("high"));
+    }
+
+    #[test]
+    fn order_by_hidden_column() {
+        let e = engine();
+        let out = e.query("SELECT id FROM emp ORDER BY salary DESC").unwrap();
+        assert_eq!(ints(&out, 0), vec![3, 2, 1, 4]);
+        assert_eq!(out.rows[0].len(), 1, "hidden sort column trimmed");
+    }
+
+    #[test]
+    fn derived_table_query() {
+        let e = engine();
+        let out = e
+            .query(
+                "SELECT d, total FROM (SELECT dept AS d, SUM(salary) AS total FROM emp \
+                 WHERE dept IS NOT NULL GROUP BY dept) t WHERE total > 250 ORDER BY d",
+            )
+            .unwrap();
+        assert_eq!(ints(&out, 0), vec![10, 20]);
+    }
+
+    #[test]
+    fn index_scan_supplies_order_and_skips_sort() {
+        // §2.2/§7 item 4: ORDER BY on an indexed column uses the ordered
+        // index scan and elides the sort.
+        let e = engine();
+        let text = e.explain("SELECT id, salary FROM emp ORDER BY id LIMIT 3", &MySqlOptimizer)
+            .unwrap();
+        assert!(text.contains("Index scan on emp"), "{text}");
+        assert!(!text.contains("Sort:"), "{text}");
+        let out = e.query("SELECT id, salary FROM emp ORDER BY id LIMIT 3").unwrap();
+        assert_eq!(ints(&out, 0), vec![1, 2, 3]);
+        // An unindexed ORDER BY column still sorts.
+        let text = e.explain("SELECT id FROM emp ORDER BY salary", &MySqlOptimizer).unwrap();
+        assert!(text.contains("Sort:"), "{text}");
+        // Descending order cannot come from the index either.
+        let text = e.explain("SELECT id FROM emp ORDER BY id DESC", &MySqlOptimizer).unwrap();
+        assert!(text.contains("Sort:"), "{text}");
+    }
+
+    #[test]
+    fn aggregate_in_order_by() {
+        let e = engine();
+        let out = e
+            .query(
+                "SELECT dept FROM emp WHERE dept IS NOT NULL GROUP BY dept \
+                 ORDER BY SUM(salary) DESC",
+            )
+            .unwrap();
+        assert_eq!(ints(&out, 0), vec![10, 20]);
+    }
+}

@@ -1,0 +1,246 @@
+//! MySQL-flavoured `EXPLAIN` tree rendering (paper Listing 7).
+//!
+//! The first line indicates whether the plan was Orca-assisted; estimated
+//! costs and cardinalities on each node come from whichever optimizer chose
+//! the plan (for the Orca path they were copied into the skeleton, §4.2.2).
+
+use crate::bound::BoundStatement;
+use std::fmt::Write;
+use taurus_catalog::Catalog;
+use taurus_common::{ColRef, Expr};
+use taurus_executor::{AggStrategy, JoinKind, Plan};
+
+/// Render an executable plan as an EXPLAIN tree.
+pub fn explain_plan(
+    plan: &Plan,
+    bound: &BoundStatement,
+    catalog: &Catalog,
+    orca_assisted: bool,
+) -> String {
+    let namer = |c: ColRef| -> String {
+        let meta = &bound.tables[c.table];
+        let col = meta
+            .columns
+            .get(c.col)
+            .cloned()
+            .unwrap_or_else(|| format!("c{}", c.col));
+        format!("{}.{}", meta.display_name, col)
+    };
+    let mut out = String::new();
+    if orca_assisted {
+        out.push_str("EXPLAIN (ORCA)\n");
+    } else {
+        out.push_str("EXPLAIN\n");
+    }
+    render(plan, bound, catalog, &namer, 0, &mut out);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+    out.push_str("-> ");
+}
+
+fn est_suffix(plan: &Plan) -> String {
+    let e = plan.est();
+    format!(" (cost={:.2} rows={:.0})", e.cost, e.rows.max(0.0))
+}
+
+fn exprs_text(exprs: &[Expr], namer: &dyn Fn(ColRef) -> String) -> String {
+    exprs.iter().map(|e| e.display_with(namer)).collect::<Vec<_>>().join(" and ")
+}
+
+fn join_name(kind: JoinKind, hash: bool) -> String {
+    let method = if hash { "Hash" } else { "Nested loop" };
+    format!("{method} {}", kind.name())
+}
+
+fn render(
+    plan: &Plan,
+    bound: &BoundStatement,
+    catalog: &Catalog,
+    namer: &dyn Fn(ColRef) -> String,
+    depth: usize,
+    out: &mut String,
+) {
+    let table_name = |qt: usize| bound.tables[qt].display_name.clone();
+    let index_name = |qt: usize, pos: usize| -> String {
+        if let crate::bound::TableSource::Base { id } = &bound.tables[qt].source {
+            if let Ok(t) = catalog.table(*id) {
+                if let Some(ix) = t.indexes.get(pos) {
+                    return ix.def().name.clone();
+                }
+            }
+        }
+        format!("index_{pos}")
+    };
+    // A non-empty leaf filter renders as a Filter parent node, like MySQL.
+    let leaf_filter = |filter: &[Expr], out: &mut String, depth: usize| -> usize {
+        if filter.is_empty() {
+            depth
+        } else {
+            indent(out, depth);
+            let _ = writeln!(out, "Filter: {}{}", exprs_text(filter, namer), est_suffix(plan));
+            depth + 1
+        }
+    };
+    match plan {
+        Plan::TableScan { qt, filter, .. } => {
+            let d = leaf_filter(filter, out, depth);
+            indent(out, d);
+            let _ = writeln!(out, "Table scan on {}{}", table_name(*qt), est_suffix(plan));
+        }
+        Plan::IndexScan { qt, index, filter, .. } => {
+            let d = leaf_filter(filter, out, depth);
+            indent(out, d);
+            let _ = writeln!(
+                out,
+                "Index scan on {} using {}{}",
+                table_name(*qt),
+                index_name(*qt, *index),
+                est_suffix(plan)
+            );
+        }
+        Plan::IndexRange { qt, index, filter, .. } => {
+            let d = leaf_filter(filter, out, depth);
+            indent(out, d);
+            let _ = writeln!(
+                out,
+                "Index range scan on {} using {}{}",
+                table_name(*qt),
+                index_name(*qt, *index),
+                est_suffix(plan)
+            );
+        }
+        Plan::IndexLookup { qt, index, keys, filter, .. } => {
+            let d = leaf_filter(filter, out, depth);
+            indent(out, d);
+            let keys_text =
+                keys.iter().map(|k| k.display_with(namer)).collect::<Vec<_>>().join(", ");
+            let _ = writeln!(
+                out,
+                "Index lookup on {} using {} ({}){}",
+                table_name(*qt),
+                index_name(*qt, *index),
+                keys_text,
+                est_suffix(plan)
+            );
+        }
+        Plan::NestedLoop { kind, left, right, on, .. } => {
+            indent(out, depth);
+            let cond = if on.is_empty() {
+                String::new()
+            } else {
+                format!(" on {}", exprs_text(on, namer))
+            };
+            let _ = writeln!(out, "{}{}{}", join_name(*kind, false), cond, est_suffix(plan));
+            render(left, bound, catalog, namer, depth + 1, out);
+            render(right, bound, catalog, namer, depth + 1, out);
+        }
+        Plan::HashJoin { kind, left, right, keys, residual, build_left, .. } => {
+            indent(out, depth);
+            let mut cond: Vec<String> = keys
+                .iter()
+                .map(|(l, r)| format!("{} = {}", l.display_with(namer), r.display_with(namer)))
+                .collect();
+            if !residual.is_empty() {
+                cond.push(exprs_text(residual, namer));
+            }
+            let build = if *build_left { " (build: left)" } else { "" };
+            let _ = writeln!(
+                out,
+                "{} ({}){}{}",
+                join_name(*kind, true),
+                cond.join(" and "),
+                build,
+                est_suffix(plan)
+            );
+            render(left, bound, catalog, namer, depth + 1, out);
+            render(right, bound, catalog, namer, depth + 1, out);
+        }
+        Plan::Filter { input, predicate, .. } => {
+            indent(out, depth);
+            let _ = writeln!(out, "Filter: {}{}", exprs_text(predicate, namer), est_suffix(plan));
+            render(input, bound, catalog, namer, depth + 1, out);
+        }
+        Plan::Derived { input, name, .. } => {
+            indent(out, depth);
+            let _ = writeln!(out, "Table scan on {name}{}", est_suffix(plan));
+            render(input, bound, catalog, namer, depth + 1, out);
+        }
+        Plan::Materialize { input, rebind, .. } => {
+            indent(out, depth);
+            if *rebind {
+                // Listing 7's red annotation.
+                let _ = writeln!(out, "Materialize (invalidate on outer row){}", est_suffix(plan));
+            } else {
+                let _ = writeln!(out, "Materialize{}", est_suffix(plan));
+            }
+            render(input, bound, catalog, namer, depth + 1, out);
+        }
+        Plan::Project { input, exprs, .. } => {
+            indent(out, depth);
+            let text =
+                exprs.iter().map(|e| e.display_with(namer)).collect::<Vec<_>>().join(", ");
+            let _ = writeln!(out, "Output: {text}");
+            render(input, bound, catalog, namer, depth + 1, out);
+        }
+        Plan::Aggregate { input, group_by, aggs, strategy, .. } => {
+            indent(out, depth);
+            let mode = match strategy {
+                AggStrategy::Stream => "Group aggregate",
+                AggStrategy::Hash => "Aggregate",
+            };
+            let agg_text = aggs
+                .iter()
+                .map(|a| {
+                    let e = Expr::Agg {
+                        func: a.func,
+                        arg: a.arg.clone().map(Box::new),
+                        distinct: a.distinct,
+                    };
+                    e.display_with(namer)
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            if group_by.is_empty() {
+                let _ = writeln!(out, "{mode}: {agg_text}{}", est_suffix(plan));
+            } else {
+                let _ = writeln!(
+                    out,
+                    "{mode}: {agg_text} group by {}{}",
+                    exprs_text(group_by, namer).replace(" and ", ", "),
+                    est_suffix(plan)
+                );
+            }
+            render(input, bound, catalog, namer, depth + 1, out);
+        }
+        Plan::Sort { input, keys, .. } => {
+            indent(out, depth);
+            let keys_text = keys
+                .iter()
+                .map(|k| {
+                    format!("{}{}", k.expr.display_with(namer), if k.desc { " DESC" } else { "" })
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(out, "Sort: {keys_text}{}", est_suffix(plan));
+            render(input, bound, catalog, namer, depth + 1, out);
+        }
+        Plan::Limit { input, n, .. } => {
+            indent(out, depth);
+            let _ = writeln!(out, "Limit: {n} row(s)");
+            render(input, bound, catalog, namer, depth + 1, out);
+        }
+        Plan::Union { inputs, distinct, .. } => {
+            indent(out, depth);
+            let _ =
+                writeln!(out, "Union {}{}", if *distinct { "distinct" } else { "all" }, est_suffix(plan));
+            for i in inputs {
+                render(i, bound, catalog, namer, depth + 1, out);
+            }
+        }
+    }
+}

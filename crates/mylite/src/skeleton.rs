@@ -1,0 +1,176 @@
+//! Skeleton plans — the integration's intermediary format.
+//!
+//! A skeleton plan "encodes the best join position and the best join method
+//! for each table appearing in a query" (§4.2): join order, join methods,
+//! and table access methods, with everything else (predicates, aggregation,
+//! ordering, limits) left for plan refinement. Both the MySQL greedy
+//! optimizer and the bridge's Orca plan converter produce skeletons; the
+//! refinement phase is shared — exactly the paper's architecture.
+//!
+//! MySQL's native representation is the *best-position array* (Fig 7); the
+//! paper extended it slightly to express bushy trees (§7 item 1). Here the
+//! tree is primary and the best-position array is derived from it as the
+//! pre-order left-to-right leaf sequence.
+
+use taurus_common::Expr;
+
+/// Join methods a skeleton records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinMethod {
+    NestedLoop,
+    Hash,
+}
+
+/// Access method chosen for a leaf.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessChoice {
+    TableScan,
+    /// Full ordered scan of an index (can supply a sort order, §7 item 4).
+    IndexScan { index: usize },
+    /// Range scan on an index's leading column with constant bounds; the
+    /// consumed conjuncts are recorded so refinement doesn't re-apply them.
+    IndexRange {
+        index: usize,
+        lo: Option<(Expr, bool)>,
+        hi: Option<(Expr, bool)>,
+        consumed: Vec<Expr>,
+    },
+    /// Index lookup ("ref" access) keyed by outer-row expressions.
+    IndexLookup { index: usize, keys: Vec<Expr>, consumed: Vec<Expr> },
+    /// Derived table / CTE copy: the inner block's own skeleton.
+    Derived { skeleton: Box<Skeleton> },
+}
+
+impl AccessChoice {
+    /// Short name for best-position displays and EXPLAIN.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            AccessChoice::TableScan => "table scan",
+            AccessChoice::IndexScan { .. } => "index scan",
+            AccessChoice::IndexRange { .. } => "index range",
+            AccessChoice::IndexLookup { .. } => "index lookup",
+            AccessChoice::Derived { .. } => "derived",
+        }
+    }
+}
+
+/// One best-position entry: a table, its access method, and the estimates
+/// the paper says get copied into MySQL ("cost and cardinality estimations
+/// ... are copied over to MySQL side", §4.2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkelLeaf {
+    /// Global query-table index.
+    pub qt: usize,
+    pub access: AccessChoice,
+    pub rows: f64,
+    pub cost: f64,
+}
+
+/// A skeleton node: leaf or join.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SkelNode {
+    Leaf(SkelLeaf),
+    Join { method: JoinMethod, left: Box<SkelNode>, right: Box<SkelNode>, rows: f64, cost: f64 },
+}
+
+impl SkelNode {
+    /// Pre-order left-to-right leaves — MySQL's best-position array.
+    pub fn best_positions(&self) -> Vec<&SkelLeaf> {
+        let mut out = Vec::new();
+        fn walk<'a>(n: &'a SkelNode, out: &mut Vec<&'a SkelLeaf>) {
+            match n {
+                SkelNode::Leaf(l) => out.push(l),
+                SkelNode::Join { left, right, .. } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Qts covered by this subtree.
+    pub fn qts(&self) -> Vec<usize> {
+        self.best_positions().iter().map(|l| l.qt).collect()
+    }
+
+    pub fn rows(&self) -> f64 {
+        match self {
+            SkelNode::Leaf(l) => l.rows,
+            SkelNode::Join { rows, .. } => *rows,
+        }
+    }
+
+    pub fn cost(&self) -> f64 {
+        match self {
+            SkelNode::Leaf(l) => l.cost,
+            SkelNode::Join { cost, .. } => *cost,
+        }
+    }
+
+    /// Whether the tree is left-deep (every right child is a leaf).
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            SkelNode::Leaf(_) => true,
+            SkelNode::Join { left, right, .. } => {
+                matches!(right.as_ref(), SkelNode::Leaf(_)) && left.is_left_deep()
+            }
+        }
+    }
+}
+
+/// A full skeleton plan for one query block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Skeleton {
+    pub root: SkelNode,
+    /// Whether Orca chose this skeleton (drives the `EXPLAIN (ORCA)`
+    /// banner, Listing 7).
+    pub orca_assisted: bool,
+}
+
+impl Skeleton {
+    /// Render the best-position array like Fig 7: `[part, derived_1_2,
+    /// lineitem]`, via a caller-provided qt namer.
+    pub fn best_position_display(&self, namer: &dyn Fn(usize) -> String) -> String {
+        let names: Vec<String> =
+            self.root.best_positions().iter().map(|l| namer(l.qt)).collect();
+        format!("[{}]", names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(qt: usize) -> SkelNode {
+        SkelNode::Leaf(SkelLeaf { qt, access: AccessChoice::TableScan, rows: 10.0, cost: 10.0 })
+    }
+
+    fn join(l: SkelNode, r: SkelNode) -> SkelNode {
+        SkelNode::Join {
+            method: JoinMethod::NestedLoop,
+            left: Box::new(l),
+            right: Box::new(r),
+            rows: 100.0,
+            cost: 100.0,
+        }
+    }
+
+    #[test]
+    fn best_positions_are_preorder_leaves() {
+        // ((0 ⋈ 2) ⋈ 1)
+        let tree = join(join(leaf(0), leaf(2)), leaf(1));
+        let sk = Skeleton { root: tree, orca_assisted: false };
+        assert_eq!(sk.root.qts(), vec![0, 2, 1]);
+        assert!(sk.root.is_left_deep());
+        assert_eq!(sk.best_position_display(&|qt| format!("t{qt}")), "[t0, t2, t1]");
+    }
+
+    #[test]
+    fn bushy_detection() {
+        let bushy = join(leaf(0), join(leaf(1), leaf(2)));
+        assert!(!bushy.is_left_deep());
+        assert_eq!(bushy.qts(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Optimizer configuration: the knobs the paper exercises.
+
+/// Join-order search strategy (paper §6: "Orca's join-order search
+/// algorithm was set to EXHAUSTIVE2 — its most thorough setting").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinOrderStrategy {
+    /// Linear greedy chain (cheap, comparable to MySQL's search).
+    Greedy,
+    /// Left-deep dynamic programming over the memo.
+    Exhaustive,
+    /// Full bushy dynamic programming — every partition of every plannable
+    /// subset is considered.
+    Exhaustive2,
+}
+
+/// Optimizer knobs. Defaults match the paper's MySQL-target configuration.
+#[derive(Debug, Clone)]
+pub struct OrcaConfig {
+    pub strategy: JoinOrderStrategy,
+    /// OR factorization: rewrite `(a=b AND x) OR (a=b AND y)` to
+    /// `(a=b) AND (x OR y)` — the rewrite behind Q41's 222× (§6.2) and a
+    /// §7 lesson. MySQL cannot do this (paper §1 item 3).
+    pub enable_or_factorization: bool,
+    /// Freedom to place correlated applies (dependent joins) anywhere their
+    /// dependencies are satisfied — the closure of the paper's 11
+    /// apply/join swap rules (§7 item 1). When disabled, dependent tables
+    /// are forced to join last (pre-rule Orca behaviour).
+    pub enable_apply_swaps: bool,
+    /// GbAgg-below-join pushdown. Orca supports it but MySQL cannot execute
+    /// such plans, so it is *disabled for the MySQL target* (§7 item 5).
+    /// Enabling it makes Orca report a changed query-block structure, which
+    /// triggers the bridge's fallback to MySQL optimization (§4.2.1).
+    pub enable_gbagg_below_join: bool,
+    /// §7 item 7: accept "replicated distribution required AND replication
+    /// prohibited" plans — invalid on MPP, valid single-node. Disabling
+    /// mimics un-nudged Orca, which would prune some single-node plans.
+    pub mysql_distribution_nudges: bool,
+    /// Bushy DP is 3^n in the member count; above this cap EXHAUSTIVE2
+    /// degrades to left-deep DP so compile time stays bounded.
+    pub bushy_member_cap: usize,
+}
+
+impl Default for OrcaConfig {
+    fn default() -> Self {
+        OrcaConfig {
+            strategy: JoinOrderStrategy::Exhaustive2,
+            enable_or_factorization: true,
+            enable_apply_swaps: true,
+            enable_gbagg_below_join: false,
+            mysql_distribution_nudges: true,
+            bushy_member_cap: 13,
+        }
+    }
+}
+
+impl OrcaConfig {
+    pub fn with_strategy(strategy: JoinOrderStrategy) -> OrcaConfig {
+        OrcaConfig { strategy, ..OrcaConfig::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = OrcaConfig::default();
+        assert_eq!(c.strategy, JoinOrderStrategy::Exhaustive2);
+        assert!(c.enable_or_factorization);
+        assert!(c.enable_apply_swaps);
+        assert!(!c.enable_gbagg_below_join, "disabled for the MySQL target (§7)");
+        assert!(c.mysql_distribution_nudges);
+    }
+}

@@ -1,0 +1,198 @@
+//! The metadata-accessor plug-in API and Orca's metadata cache.
+//!
+//! Orca integrates with a host DBMS through a metadata provider (§5): all
+//! catalog knowledge — relations, columns, statistics, histograms, indexes,
+//! expression commutators/inverses — arrives through OID-keyed calls on
+//! this trait. The bridge crate implements it for the MySQL stand-in; the
+//! in-memory implementation here serves orcalite's own tests.
+//!
+//! [`MdCache`] reproduces Orca's internal metadata cache: "Orca maintains
+//! an internal metadata cache ... if the required information preexists
+//! there, the metadata provider is not queried again" (§5.7).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use taurus_catalog::estimate::RelView;
+use taurus_common::Oid;
+
+/// Relation metadata.
+#[derive(Debug, Clone)]
+pub struct MdRelation {
+    pub name: String,
+    pub rows: f64,
+    pub num_columns: usize,
+}
+
+/// Index metadata: positions refer to the host's per-table index list so
+/// the host can map plans back without name lookups.
+#[derive(Debug, Clone)]
+pub struct MdIndex {
+    /// Host-side index position within the relation.
+    pub position: usize,
+    pub name: String,
+    /// Column ordinals forming the key, in order.
+    pub columns: Vec<usize>,
+    pub unique: bool,
+}
+
+/// The plug-in boundary. Every method is OID-keyed, as in the paper.
+pub trait MetadataAccessor {
+    /// Relation descriptor (name, cardinality, arity).
+    fn relation(&self, oid: Oid) -> Option<MdRelation>;
+    /// Column statistics and histograms packaged for estimation.
+    fn statistics(&self, oid: Oid) -> Option<RelView>;
+    /// Indexes defined on the relation.
+    fn indexes(&self, oid: Oid) -> Vec<MdIndex>;
+    /// OID of the commutator expression, or [`Oid::INVALID`] (§5.3).
+    fn commutator(&self, expr: Oid) -> Oid {
+        let _ = expr;
+        Oid::INVALID
+    }
+    /// OID of the inverse expression, or [`Oid::INVALID`] (§5.3).
+    fn inverse(&self, expr: Oid) -> Oid {
+        let _ = expr;
+        Oid::INVALID
+    }
+}
+
+/// Counting, memoizing wrapper — Orca's metadata cache.
+pub struct MdCache<'a> {
+    inner: &'a dyn MetadataAccessor,
+    relations: RefCell<HashMap<Oid, Option<MdRelation>>>,
+    stats: RefCell<HashMap<Oid, Option<RelView>>>,
+    indexes: RefCell<HashMap<Oid, Vec<MdIndex>>>,
+    /// Provider round-trips actually performed (misses).
+    misses: RefCell<u64>,
+    /// Requests served from the cache.
+    hits: RefCell<u64>,
+}
+
+impl<'a> MdCache<'a> {
+    pub fn new(inner: &'a dyn MetadataAccessor) -> MdCache<'a> {
+        MdCache {
+            inner,
+            relations: RefCell::new(HashMap::new()),
+            stats: RefCell::new(HashMap::new()),
+            indexes: RefCell::new(HashMap::new()),
+            misses: RefCell::new(0),
+            hits: RefCell::new(0),
+        }
+    }
+
+    pub fn relation(&self, oid: Oid) -> Option<MdRelation> {
+        if let Some(hit) = self.relations.borrow().get(&oid) {
+            *self.hits.borrow_mut() += 1;
+            return hit.clone();
+        }
+        *self.misses.borrow_mut() += 1;
+        let v = self.inner.relation(oid);
+        self.relations.borrow_mut().insert(oid, v.clone());
+        v
+    }
+
+    pub fn statistics(&self, oid: Oid) -> Option<RelView> {
+        if let Some(hit) = self.stats.borrow().get(&oid) {
+            *self.hits.borrow_mut() += 1;
+            return hit.clone();
+        }
+        *self.misses.borrow_mut() += 1;
+        let v = self.inner.statistics(oid);
+        self.stats.borrow_mut().insert(oid, v.clone());
+        v
+    }
+
+    pub fn indexes(&self, oid: Oid) -> Vec<MdIndex> {
+        if let Some(hit) = self.indexes.borrow().get(&oid) {
+            *self.hits.borrow_mut() += 1;
+            return hit.clone();
+        }
+        *self.misses.borrow_mut() += 1;
+        let v = self.inner.indexes(oid);
+        self.indexes.borrow_mut().insert(oid, v.clone());
+        v
+    }
+
+    /// `(provider round-trips, cache hits)` — exercised by tests to show
+    /// the provider is not re-queried (§5.7).
+    pub fn traffic(&self) -> (u64, u64) {
+        (*self.misses.borrow(), *self.hits.borrow())
+    }
+}
+
+/// Simple in-memory accessor for tests and examples.
+#[derive(Debug, Default)]
+pub struct InMemoryAccessor {
+    pub relations: HashMap<Oid, (MdRelation, Option<RelView>, Vec<MdIndex>)>,
+}
+
+impl InMemoryAccessor {
+    pub fn insert(
+        &mut self,
+        oid: Oid,
+        rel: MdRelation,
+        stats: Option<RelView>,
+        indexes: Vec<MdIndex>,
+    ) {
+        self.relations.insert(oid, (rel, stats, indexes));
+    }
+}
+
+impl MetadataAccessor for InMemoryAccessor {
+    fn relation(&self, oid: Oid) -> Option<MdRelation> {
+        self.relations.get(&oid).map(|(r, _, _)| r.clone())
+    }
+
+    fn statistics(&self, oid: Oid) -> Option<RelView> {
+        self.relations.get(&oid).and_then(|(_, s, _)| s.clone())
+    }
+
+    fn indexes(&self, oid: Oid) -> Vec<MdIndex> {
+        self.relations.get(&oid).map(|(_, _, i)| i.clone()).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accessor() -> InMemoryAccessor {
+        let mut a = InMemoryAccessor::default();
+        a.insert(
+            Oid(100),
+            MdRelation { name: "part".into(), rows: 1000.0, num_columns: 2 },
+            None,
+            vec![MdIndex { position: 0, name: "pk".into(), columns: vec![0], unique: true }],
+        );
+        a
+    }
+
+    #[test]
+    fn cache_avoids_repeat_round_trips() {
+        let a = accessor();
+        let cache = MdCache::new(&a);
+        assert_eq!(cache.relation(Oid(100)).unwrap().name, "part");
+        assert_eq!(cache.relation(Oid(100)).unwrap().rows, 1000.0);
+        assert_eq!(cache.indexes(Oid(100)).len(), 1);
+        assert_eq!(cache.indexes(Oid(100)).len(), 1);
+        let (misses, hits) = cache.traffic();
+        assert_eq!(misses, 2, "one per kind of object");
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn negative_results_cached_too() {
+        let a = accessor();
+        let cache = MdCache::new(&a);
+        assert!(cache.relation(Oid(999)).is_none());
+        assert!(cache.relation(Oid(999)).is_none());
+        let (misses, hits) = cache.traffic();
+        assert_eq!((misses, hits), (1, 1));
+    }
+
+    #[test]
+    fn default_commutator_is_invalid_oid() {
+        let a = accessor();
+        assert!(!a.commutator(Oid(5)).is_valid());
+        assert!(!a.inverse(Oid(5)).is_valid());
+    }
+}

@@ -1,0 +1,1253 @@
+//! The memo and the join-order search.
+//!
+//! Groups are sets of logically equivalent expressions — here, the
+//! dynamic-programming groups over *plannable member subsets*, each holding
+//! its derived logical properties (cardinality) and the winning physical
+//! implementation per group, in classic Cascades fashion. Exploration
+//! enumerates group expressions (subset splits) under the configured
+//! strategy:
+//!
+//! * `GREEDY` — linear chain construction;
+//! * `EXHAUSTIVE` — left-deep DP (splits whose right side is one member);
+//! * `EXHAUSTIVE2` — full bushy DP (every partition of every subset), the
+//!   paper's "most thorough setting".
+//!
+//! Dependent members (semi/anti/outer-joined tables, correlated deriveds)
+//! carry dependency edges; with `enable_apply_swaps` (§7 item 1) they may
+//! be placed at *any* point where their dependencies are satisfied — the
+//! closure of the paper's 11 apply/join swap rules — otherwise they are
+//! forced to the end of the join order, mimicking pre-rule Orca.
+//!
+//! ## Search mechanics
+//!
+//! Predicates are classified once into bitmasks over member indexes, so the
+//! per-split work during enumeration is pure bit arithmetic; groups record
+//! *decisions* (split + implementation choice) rather than plan trees, and
+//! the winning tree is reconstructed once at the end — the memo explores
+//! hundreds of thousands of group expressions per second this way, which is
+//! what makes the EXHAUSTIVE-vs-EXHAUSTIVE2 compile-time comparison of
+//! Table 1 practical.
+
+use crate::config::{JoinOrderStrategy, OrcaConfig};
+use crate::cost;
+use crate::desc::{BlockDesc, EntryDesc, MemberDesc, RelSource};
+use crate::md::{MdCache, MdIndex, MetadataAccessor};
+use crate::physical::{OrcaPlan, PhysJoinKind, PhysNode, SearchStats};
+use crate::rules::normalize_pool;
+use std::collections::{BTreeSet, HashMap};
+use taurus_catalog::estimate::{Estimator, RelView};
+use taurus_common::error::{Error, Result};
+use taurus_common::{BinOp, ColRef, Expr};
+
+/// Optimize one block. The metadata accessor is wrapped in Orca's metadata
+/// cache internally (§5.7).
+pub fn optimize_block(
+    desc: &BlockDesc,
+    md: &dyn MetadataAccessor,
+    cfg: &OrcaConfig,
+) -> Result<OrcaPlan> {
+    let cache = MdCache::new(md);
+    let mut search = Search::new(desc, &cache, cfg)?;
+    let root = search.run()?;
+    // The GbAgg-below-join rule (disabled for the MySQL target, §7 item 5):
+    // when enabled on an aggregating multi-join block it would produce a
+    // plan whose query-block structure MySQL cannot express, and the host
+    // must fall back (§4.2.1).
+    let changed = cfg.enable_gbagg_below_join && desc.has_aggregation && desc.members.len() > 1;
+    Ok(OrcaPlan { root, stats: search.stats, changed_block_structure: changed })
+}
+
+type Bits = u64;
+
+/// Per-member planning info.
+struct Member {
+    desc: MemberDesc,
+    /// Local predicates (pool + own-ON conjuncts over {qt} ∪ outer).
+    local: Vec<Expr>,
+    /// ON conjuncts that reference other block members (stay at the join).
+    on_cross: Vec<Expr>,
+    /// Product of on_cross selectivities.
+    on_sel: f64,
+    base_rows: f64,
+    filtered_rows: f64,
+    /// Best standalone leaf access.
+    leaf: PhysNode,
+    leaf_cost: f64,
+    indexes: Vec<MdIndex>,
+    /// Effective dependencies as member-index bits.
+    dep_bits: Bits,
+}
+
+/// A decided physical implementation of a join split.
+#[derive(Debug, Clone)]
+enum ImplChoice {
+    /// Hash join, build on the right (Orca convention).
+    Hash,
+    /// Index nested loop: probe the lone right member's index.
+    Lookup { index: usize, keys: Vec<Expr>, consumed: Vec<Expr>, rows_per_probe: f64 },
+    /// Plain nested loop / correlated apply.
+    NestedLoop,
+}
+
+/// What a group decided to do.
+#[derive(Debug, Clone)]
+enum Decision {
+    Leaf,
+    Join { s1: Bits, s2: Bits, choice: ImplChoice },
+}
+
+/// One memo group: a plannable subset with derived properties and winner.
+struct Group {
+    id: usize,
+    rows: f64,
+    winner: Option<(f64, Decision)>,
+    explored: bool,
+}
+
+struct Search<'a> {
+    desc: &'a BlockDesc,
+    cfg: &'a OrcaConfig,
+    members: Vec<Member>,
+    /// Spanning predicate pool (conjuncts touching ≥ 2 members).
+    pool: Vec<Expr>,
+    /// Member-index bitmask per pool conjunct.
+    pool_mask: Vec<Bits>,
+    /// Precomputed selectivity per pool conjunct.
+    pool_sel: Vec<f64>,
+    /// For equality conjuncts: member masks of the two sides (for fast
+    /// hash-key availability checks).
+    pool_eq_sides: Vec<Option<(Bits, Bits)>>,
+    est: Estimator,
+    groups: HashMap<Bits, Group>,
+    next_group: usize,
+    pub stats: SearchStats,
+}
+
+impl<'a> Search<'a> {
+    fn new(desc: &'a BlockDesc, md: &MdCache<'a>, cfg: &'a OrcaConfig) -> Result<Search<'a>> {
+        if desc.members.is_empty() {
+            return Err(Error::semantic("empty block"));
+        }
+        if desc.members.len() > 63 {
+            return Err(Error::semantic("more than 63 tables in one block"));
+        }
+        // Normalized predicate pool (OR factorization, §6.2).
+        let pool_all = normalize_pool(desc.predicates.clone(), cfg.enable_or_factorization);
+
+        // Estimator over the global table space.
+        let mut rels: Vec<Option<RelView>> = vec![None; desc.num_tables];
+        for m in &desc.members {
+            rels[m.qt] = Some(match &m.source {
+                RelSource::Base { oid } => md
+                    .statistics(*oid)
+                    .or_else(|| {
+                        md.relation(*oid).map(|r| RelView::opaque(r.rows, r.num_columns))
+                    })
+                    .ok_or_else(|| {
+                        Error::CatalogMissing(format!("relation {oid} unknown to MD accessor"))
+                    })?,
+                RelSource::Derived { rows, width, .. } => RelView::opaque(*rows, *width),
+            });
+        }
+        let est = Estimator::new(rels);
+
+        let qt_to_idx: HashMap<usize, usize> =
+            desc.members.iter().enumerate().map(|(i, m)| (m.qt, i)).collect();
+        let member_mask = |e: &Expr| -> Bits {
+            let mut mask = 0;
+            for t in e.referenced_tables() {
+                if let Some(&i) = qt_to_idx.get(&t) {
+                    mask |= 1 << i;
+                }
+            }
+            mask
+        };
+
+        // Split pool into member-local vs spanning conjuncts.
+        let mut member_local: Vec<Vec<Expr>> = vec![Vec::new(); desc.members.len()];
+        let mut pool: Vec<Expr> = Vec::new();
+        for p in pool_all {
+            let mask = member_mask(&p);
+            if mask.count_ones() == 1 {
+                member_local[mask.trailing_zeros() as usize].push(p);
+            } else {
+                // Multi-member (spanning) or zero-member (constant/outer-
+                // only; the host's refinement applies those at the root).
+                pool.push(p);
+            }
+        }
+        let pool_mask: Vec<Bits> = pool.iter().map(member_mask).collect();
+        let pool_sel: Vec<f64> = pool.iter().map(|p| est.selectivity(p)).collect();
+        let pool_eq_sides: Vec<Option<(Bits, Bits)>> = pool
+            .iter()
+            .map(|p| match p {
+                Expr::Binary { op: BinOp::Eq, left, right } => {
+                    let (la, rb) = (member_mask(left), member_mask(right));
+                    if la != 0 && rb != 0 && la & rb == 0 {
+                        Some((la, rb))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+
+        // Build member infos.
+        let mut members = Vec::with_capacity(desc.members.len());
+        for (i, m) in desc.members.iter().enumerate() {
+            let mut local = std::mem::take(&mut member_local[i]);
+            let mut on_cross = Vec::new();
+            let on_norm = normalize_pool(m.entry.on().to_vec(), cfg.enable_or_factorization);
+            for c in on_norm {
+                if member_mask(&c) & !(1 << i) == 0 {
+                    local.push(c);
+                } else {
+                    on_cross.push(c);
+                }
+            }
+            let on_sel: f64 = on_cross.iter().map(|c| est.selectivity(c)).product();
+            let (base_rows, leaf, leaf_cost, indexes) = build_leaf(m, &local, md, &est, i)?;
+            let sel: f64 = local.iter().map(|p| est.selectivity(p)).product();
+            let filtered_rows = (base_rows * sel).max(0.01);
+            let mut dep_bits: Bits = 0;
+            for d in &m.deps {
+                if let Some(&di) = qt_to_idx.get(d) {
+                    dep_bits |= 1 << di;
+                }
+            }
+            members.push(Member {
+                desc: m.clone(),
+                local,
+                on_cross,
+                on_sel,
+                base_rows,
+                filtered_rows,
+                leaf,
+                leaf_cost,
+                indexes,
+                dep_bits,
+            });
+        }
+
+        // Trivially-placed dependents — ON-TRUE applies with no join
+        // conditions and no dependencies (uncorrelated scalar subqueries) —
+        // contribute nothing to join ordering: chain them to the end so the
+        // search space stays the interesting one.
+        let inner_bits: Bits = members
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.desc.is_dependent())
+            .map(|(i, _)| 1u64 << i)
+            .sum();
+        {
+            let mut prev = inner_bits;
+            for (i, m) in members.iter_mut().enumerate() {
+                let trivial =
+                    m.desc.is_dependent() && m.on_cross.is_empty() && m.dep_bits == 0;
+                if trivial {
+                    m.dep_bits |= prev & !(1 << i);
+                    prev |= 1 << i;
+                }
+            }
+        }
+
+        // Without apply-swap rules, *all* dependents chain to the very end.
+        if !cfg.enable_apply_swaps {
+            let mut prev: Bits = inner_bits;
+            for (i, m) in members.iter_mut().enumerate() {
+                if m.desc.is_dependent() {
+                    m.dep_bits |= prev & !(1 << i);
+                    prev |= 1 << i;
+                }
+            }
+        }
+
+        Ok(Search {
+            desc,
+            cfg,
+            members,
+            pool,
+            pool_mask,
+            pool_sel,
+            pool_eq_sides,
+            est,
+            groups: HashMap::new(),
+            next_group: 0,
+            stats: SearchStats::default(),
+        })
+    }
+
+    fn run(&mut self) -> Result<PhysNode> {
+        let n = self.members.len();
+        let full: Bits = if n == 64 { !0 } else { (1 << n) - 1 };
+        let strategy = effective_strategy(self.cfg, n);
+        match strategy {
+            JoinOrderStrategy::Greedy => self.greedy(full)?,
+            _ => {
+                self.best(full, strategy)?.ok_or_else(|| {
+                    Error::semantic("no feasible join order (dependency cycle?)")
+                })?;
+            }
+        }
+        self.stats.groups = self.groups.len();
+        self.reconstruct(full)
+    }
+
+    // ------------------------------------------------------------- helpers
+
+    fn plannable(&self, set: Bits) -> bool {
+        let mut rest = set;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            if self.members[i].dep_bits & !set != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Derived cardinality of a subset (a logical group property).
+    fn rows_of(&mut self, set: Bits) -> f64 {
+        if let Some(g) = self.groups.get(&set) {
+            return g.rows;
+        }
+        let mut base = 1.0f64;
+        let mut any_inner = false;
+        let mut rest = set;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            if self.members[i].desc.entry.is_inner() {
+                base *= self.members[i].filtered_rows;
+                any_inner = true;
+            }
+        }
+        if !any_inner {
+            base = 1.0;
+        }
+        // Spanning pool conjuncts fully inside the set.
+        for (k, mask) in self.pool_mask.iter().enumerate() {
+            if *mask != 0 && mask & !set == 0 && mask.count_ones() >= 2 {
+                base *= self.pool_sel[k];
+            }
+        }
+        base = base.max(0.01);
+        // Dependent members' effects, in member order.
+        let mut rest = set;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            let m = &self.members[i];
+            match &m.desc.entry {
+                EntryDesc::Inner => {}
+                EntryDesc::LeftOuter { .. } => {
+                    base *= (m.filtered_rows * m.on_sel).max(1.0);
+                }
+                EntryDesc::Semi { .. } => {
+                    base *= (m.filtered_rows * m.on_sel).clamp(1e-6, 1.0);
+                }
+                EntryDesc::Anti { .. } => {
+                    base *= (1.0 - (m.filtered_rows * m.on_sel).min(0.95)).max(0.05);
+                }
+            }
+        }
+        let rows = base.max(0.01);
+        let id = self.next_group;
+        self.next_group += 1;
+        self.groups.insert(set, Group { id, rows, winner: None, explored: false });
+        rows
+    }
+
+    fn group_id(&mut self, set: Bits) -> usize {
+        self.rows_of(set);
+        self.groups[&set].id
+    }
+
+    fn group_cost(&self, set: Bits) -> f64 {
+        self.groups
+            .get(&set)
+            .and_then(|g| g.winner.as_ref())
+            .map(|(c, _)| *c)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Pool-conjunct indexes attaching at the (s1, s2) join.
+    fn conds_at(&self, set: Bits, s1: Bits, s2: Bits) -> impl Iterator<Item = usize> + '_ {
+        self.pool_mask
+            .iter()
+            .enumerate()
+            .filter(move |(_, m)| {
+                **m != 0 && **m & !set == 0 && **m & s1 != 0 && **m & s2 != 0
+            })
+            .map(|(k, _)| k)
+    }
+
+    // ------------------------------------------------------------ DP search
+
+    /// Returns the best cost to produce `set`, or `None` if infeasible.
+    fn best(&mut self, set: Bits, strategy: JoinOrderStrategy) -> Result<Option<f64>> {
+        if let Some(g) = self.groups.get(&set) {
+            if g.explored {
+                return Ok(g.winner.as_ref().map(|(c, _)| *c));
+            }
+        }
+        if set.count_ones() == 1 {
+            let i = set.trailing_zeros() as usize;
+            let cost = self.members[i].leaf_cost;
+            self.rows_of(set);
+            let g = self.groups.get_mut(&set).expect("created");
+            g.winner = Some((cost, Decision::Leaf));
+            g.explored = true;
+            return Ok(Some(cost));
+        }
+        if !self.plannable(set) {
+            self.rows_of(set);
+            self.groups.get_mut(&set).expect("created").explored = true;
+            return Ok(None);
+        }
+
+        let mut best: Option<(f64, Decision)> = None;
+        // Enumerate splits: right side s2, left side s1 = set \ s2.
+        let mut consider = |this: &mut Self, s2: Bits| -> Result<()> {
+            let s1 = set & !s2;
+            if s1 == 0 || s2 == 0 {
+                return Ok(());
+            }
+            this.stats.splits_explored += 1;
+            // Dependent members must be lone right children with their
+            // dependencies covered by the left side; multi-member right
+            // subtrees must be standalone-plannable.
+            let mut dep: Option<usize> = None;
+            let feasible = if s2.count_ones() == 1 {
+                let i = s2.trailing_zeros() as usize;
+                let m = &this.members[i];
+                if !m.desc.entry.is_inner() || m.desc.is_correlated_derived() {
+                    dep = Some(i);
+                }
+                m.dep_bits & !s1 == 0
+            } else {
+                // Dependents may not sit unresolved inside a multi-member
+                // right subtree unless the subtree is self-contained.
+                this.plannable(s2)
+            };
+            if !feasible || !this.plannable(s1) {
+                return Ok(());
+            }
+            let Some(cost_l) = this.best(s1, strategy)? else { return Ok(()) };
+            let Some(cost_r) = this.best(s2, strategy)? else { return Ok(()) };
+            for (cost, choice) in this.cost_split(set, s1, s2, dep, cost_l, cost_r)? {
+                if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
+                    best = Some((cost, Decision::Join { s1, s2, choice }));
+                }
+            }
+            Ok(())
+        };
+        match strategy {
+            JoinOrderStrategy::Exhaustive => {
+                // Left-deep: right side is a single member.
+                let mut rest = set;
+                while rest != 0 {
+                    let bit = rest & rest.wrapping_neg();
+                    rest &= rest - 1;
+                    consider(self, bit)?;
+                }
+            }
+            _ => {
+                // All proper non-empty submasks as the right side.
+                let mut s2 = (set - 1) & set;
+                while s2 != 0 {
+                    consider(self, s2)?;
+                    s2 = (s2 - 1) & set;
+                }
+            }
+        }
+        self.rows_of(set);
+        let g = self.groups.get_mut(&set).expect("created");
+        g.winner = best.clone();
+        g.explored = true;
+        Ok(best.map(|(c, _)| c))
+    }
+
+    /// Cost the physical alternatives for a split; cheap — no plan nodes.
+    fn cost_split(
+        &mut self,
+        set: Bits,
+        s1: Bits,
+        s2: Bits,
+        dep: Option<usize>,
+        cost_l: f64,
+        cost_r: f64,
+    ) -> Result<Vec<(f64, ImplChoice)>> {
+        let rows_out = self.rows_of(set);
+        let rows_l = self.rows_of(s1);
+        let rows_r = self.rows_of(s2);
+        let correlated_right =
+            dep.map(|i| self.members[i].desc.is_correlated_derived()).unwrap_or(false);
+        let (_kind, null_aware) = self.split_kind(dep);
+
+        let mut out: Vec<(f64, ImplChoice)> = Vec::with_capacity(3);
+
+        // (a) Hash join (build right, Orca convention §7 item 2) — needs an
+        // extractable equi-key and a non-rebinding right side.
+        let mut has_keys = self
+            .conds_at(set, s1, s2)
+            .any(|k| match self.pool_eq_sides[k] {
+                Some((la, rb)) => {
+                    (la & !s1 == 0 && rb & !s2 == 0) || (la & !s2 == 0 && rb & !s1 == 0)
+                }
+                None => false,
+            });
+        if let Some(i) = dep {
+            has_keys |= self.members[i]
+                .on_cross
+                .iter()
+                .any(|c| eq_sides_ok(c, &self.member_qts_set(s1), &self.member_qts_set(s2), &self.desc.outer));
+        }
+        if has_keys && !correlated_right {
+            self.stats.plans_costed += 1;
+            out.push((
+                cost_l + cost_r + cost::hash_join(rows_r, rows_l, rows_out),
+                ImplChoice::Hash,
+            ));
+        }
+
+        // (b) Index nested loop for a lone base right member. NULL-aware
+        // anti joins cannot use plain lookups.
+        if s2.count_ones() == 1 && !(null_aware && matches!(self.split_kind(dep).0, PhysJoinKind::AntiSemi)) {
+            let i = s2.trailing_zeros() as usize;
+            let on_exprs = self.join_cond_exprs(set, s1, s2, dep);
+            if let Some((index, keys, consumed, rows_per_probe)) =
+                self.find_lookup(i, s1, &on_exprs)
+            {
+                self.stats.plans_costed += 1;
+                out.push((
+                    cost_l + cost::lookups(rows_l, rows_per_probe),
+                    ImplChoice::Lookup { index, keys, consumed, rows_per_probe },
+                ));
+            }
+        }
+
+        // (c) Plain nested loop / correlated apply.
+        self.stats.plans_costed += 1;
+        let nl_cost = if correlated_right {
+            cost_l + cost::apply(rows_l, cost_r, rows_r)
+        } else {
+            cost_l + cost_r + cost::nl_join(rows_l, rows_r, rows_out)
+        };
+        out.push((nl_cost, ImplChoice::NestedLoop));
+        Ok(out)
+    }
+
+    fn split_kind(&self, dep: Option<usize>) -> (PhysJoinKind, bool) {
+        match dep {
+            Some(i) => match &self.members[i].desc.entry {
+                EntryDesc::Inner => (PhysJoinKind::Inner, false),
+                EntryDesc::LeftOuter { .. } => (PhysJoinKind::LeftOuter, false),
+                EntryDesc::Semi { .. } => (PhysJoinKind::Semi, false),
+                EntryDesc::Anti { null_aware, .. } => (PhysJoinKind::AntiSemi, *null_aware),
+            },
+            None => (PhysJoinKind::Inner, false),
+        }
+    }
+
+    /// The actual join-condition expressions at a split (pool + dep ON).
+    fn join_cond_exprs(&self, set: Bits, s1: Bits, s2: Bits, dep: Option<usize>) -> Vec<Expr> {
+        let mut out: Vec<Expr> =
+            self.conds_at(set, s1, s2).map(|k| self.pool[k].clone()).collect();
+        if let Some(i) = dep {
+            out.extend(self.members[i].on_cross.iter().cloned());
+        }
+        out
+    }
+
+    fn member_qts_set(&self, set: Bits) -> BTreeSet<usize> {
+        let mut out = BTreeSet::new();
+        let mut rest = set;
+        while rest != 0 {
+            let i = rest.trailing_zeros() as usize;
+            rest &= rest - 1;
+            out.insert(self.members[i].desc.qt);
+        }
+        out
+    }
+
+    /// Index-lookup discovery for member `i` probed from the `s1` side.
+    fn find_lookup(
+        &self,
+        i: usize,
+        s1: Bits,
+        on: &[Expr],
+    ) -> Option<(usize, Vec<Expr>, Vec<Expr>, f64)> {
+        let m = &self.members[i];
+        if !matches!(m.desc.source, RelSource::Base { .. }) {
+            return None;
+        }
+        let qt = m.desc.qt;
+        let mut available = self.member_qts_set(s1);
+        available.extend(self.desc.outer.iter().copied());
+        let mut best: Option<(usize, Vec<Expr>, Vec<Expr>, f64)> = None;
+        for ix in &m.indexes {
+            let mut keys = Vec::new();
+            let mut consumed = Vec::new();
+            let mut sel = 1.0f64;
+            for &col in &ix.columns {
+                let mut hit = false;
+                for c in on {
+                    if let Some(other) = eq_key_for(c, qt, col, &available) {
+                        keys.push(other);
+                        consumed.push(c.clone());
+                        sel *= 1.0 / self.est.ndv(ColRef { table: qt, col }).max(1.0);
+                        hit = true;
+                        break;
+                    }
+                }
+                if !hit {
+                    break;
+                }
+            }
+            if keys.is_empty() {
+                continue;
+            }
+            let rows = (m.base_rows * sel).clamp(if ix.unique { 0.0 } else { 0.5 }, m.base_rows);
+            if best.as_ref().is_none_or(|(_, _, _, prev)| rows < *prev) {
+                best = Some((ix.position, keys, consumed, rows.max(0.5)));
+            }
+        }
+        best
+    }
+
+    // --------------------------------------------------------------- greedy
+
+    fn greedy(&mut self, full: Bits) -> Result<()> {
+        let n = self.members.len();
+        let mut placed: Bits = 0;
+        // Driving member: fewest filtered rows among non-dependents.
+        let first = (0..n)
+            .filter(|&i| !self.members[i].desc.is_dependent())
+            .min_by(|&a, &b| {
+                self.members[a]
+                    .filtered_rows
+                    .partial_cmp(&self.members[b].filtered_rows)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .ok_or_else(|| Error::semantic("no independent driving table"))?;
+        placed |= 1 << first;
+        self.best(placed, JoinOrderStrategy::Exhaustive)?;
+        while placed != full {
+            let mut best_choice: Option<(f64, usize, ImplChoice)> = None;
+            for i in 0..n {
+                let bit = 1u64 << i;
+                if placed & bit != 0 || self.members[i].dep_bits & !placed != 0 {
+                    continue;
+                }
+                self.best(bit, JoinOrderStrategy::Exhaustive)?;
+                let cost_l = self.group_cost(placed);
+                let cost_r = self.group_cost(bit);
+                let dep = if !self.members[i].desc.entry.is_inner()
+                    || self.members[i].desc.is_correlated_derived()
+                {
+                    Some(i)
+                } else {
+                    None
+                };
+                for (c, choice) in self.cost_split(placed | bit, placed, bit, dep, cost_l, cost_r)? {
+                    if best_choice.as_ref().is_none_or(|(bc, _, _)| c < *bc) {
+                        best_choice = Some((c, i, choice));
+                    }
+                }
+            }
+            let (cost, i, choice) =
+                best_choice.ok_or_else(|| Error::semantic("greedy: no placeable member"))?;
+            let s1 = placed;
+            placed |= 1 << i;
+            self.rows_of(placed);
+            let g = self.groups.get_mut(&placed).expect("created");
+            g.winner = Some((cost, Decision::Join { s1, s2: 1 << i, choice }));
+            g.explored = true;
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------------- reconstruction
+
+    /// Build the winning physical tree for a group from its decision chain.
+    fn reconstruct(&mut self, set: Bits) -> Result<PhysNode> {
+        let (cost, decision) = self
+            .groups
+            .get(&set)
+            .and_then(|g| g.winner.clone())
+            .ok_or_else(|| Error::internal("reconstructing a group without a winner"))?;
+        match decision {
+            Decision::Leaf => {
+                let i = set.trailing_zeros() as usize;
+                Ok(self.members[i].leaf.clone())
+            }
+            Decision::Join { s1, s2, choice } => {
+                let left = self.reconstruct(s1)?;
+                let right = self.reconstruct(s2)?;
+                let dep = if s2.count_ones() == 1 {
+                    let i = s2.trailing_zeros() as usize;
+                    let m = &self.members[i];
+                    if !m.desc.entry.is_inner() || m.desc.is_correlated_derived() {
+                        Some(i)
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                let (kind, null_aware) = self.split_kind(dep);
+                let on = self.join_cond_exprs(set, s1, s2, dep);
+                let rows = self.rows_of(set);
+                let group = self.group_id(set);
+                Ok(match choice {
+                    ImplChoice::Hash => {
+                        let lqts = self.member_qts_set(s1);
+                        let rqts = self.member_qts_set(s2);
+                        let keys = split_keys(&on, &lqts, &rqts, &self.desc.outer);
+                        let residual: Vec<Expr> = on
+                            .iter()
+                            .filter(|c| !keys.iter().any(|(a, b)| is_eq_of(c, a, b)))
+                            .cloned()
+                            .collect();
+                        PhysNode::HashJoin {
+                            kind,
+                            null_aware,
+                            left: Box::new(left),
+                            right: Box::new(right),
+                            keys,
+                            residual,
+                            rows,
+                            cost,
+                            group,
+                        }
+                    }
+                    ImplChoice::Lookup { index, keys, consumed, rows_per_probe } => {
+                        let i = s2.trailing_zeros() as usize;
+                        let m = &self.members[i];
+                        let remaining: Vec<Expr> =
+                            on.iter().filter(|c| !consumed.contains(c)).cloned().collect();
+                        let inner = PhysNode::IndexLookup {
+                            qt: m.desc.qt,
+                            index,
+                            keys,
+                            consumed,
+                            preds: m.local.clone(),
+                            rows: rows_per_probe,
+                            cost: cost::lookups(1.0, rows_per_probe),
+                            group: self.group_id(s2),
+                        };
+                        PhysNode::NLJoin {
+                            kind,
+                            null_aware,
+                            outer: Box::new(left),
+                            inner: Box::new(inner),
+                            on: remaining,
+                            rows,
+                            cost,
+                            group,
+                        }
+                    }
+                    ImplChoice::NestedLoop => PhysNode::NLJoin {
+                        kind,
+                        null_aware,
+                        outer: Box::new(left),
+                        inner: Box::new(right),
+                        on,
+                        rows,
+                        cost,
+                        group,
+                    },
+                })
+            }
+        }
+    }
+}
+
+/// EXHAUSTIVE2 degrades to left-deep DP above the bushy cap.
+fn effective_strategy(cfg: &OrcaConfig, n: usize) -> JoinOrderStrategy {
+    match cfg.strategy {
+        JoinOrderStrategy::Exhaustive2 if n > cfg.bushy_member_cap => {
+            JoinOrderStrategy::Exhaustive
+        }
+        s => s,
+    }
+}
+
+fn build_leaf(
+    m: &MemberDesc,
+    local: &[Expr],
+    md: &MdCache<'_>,
+    est: &Estimator,
+    group: usize,
+) -> Result<(f64, PhysNode, f64, Vec<MdIndex>)> {
+    match &m.source {
+        RelSource::Base { oid } => {
+            let rel = md
+                .relation(*oid)
+                .ok_or_else(|| Error::CatalogMissing(format!("relation {oid}")))?;
+            let indexes = md.indexes(*oid);
+            let n = rel.rows;
+            let sel: f64 = local.iter().map(|p| est.selectivity(p)).product();
+            let filtered = (n * sel).max(0.01);
+            // Scan vs index-range alternatives.
+            let mut best_cost = cost::scan(n);
+            let mut best = PhysNode::Scan {
+                qt: m.qt,
+                preds: local.to_vec(),
+                rows: filtered,
+                cost: best_cost,
+                group,
+            };
+            for ix in &indexes {
+                let Some(&lead) = ix.columns.first() else { continue };
+                let mut lo = None;
+                let mut hi = None;
+                let mut consumed = Vec::new();
+                for p in local {
+                    if let Some((op, konst)) = col_vs_const(p, m.qt, lead) {
+                        match op {
+                            BinOp::Eq => {
+                                lo = Some((konst.clone(), true));
+                                hi = Some((konst, true));
+                                consumed.push(p.clone());
+                            }
+                            BinOp::Gt => {
+                                lo = Some((konst, false));
+                                consumed.push(p.clone());
+                            }
+                            BinOp::Ge => {
+                                lo = Some((konst, true));
+                                consumed.push(p.clone());
+                            }
+                            BinOp::Lt => {
+                                hi = Some((konst, false));
+                                consumed.push(p.clone());
+                            }
+                            BinOp::Le => {
+                                hi = Some((konst, true));
+                                consumed.push(p.clone());
+                            }
+                            _ => {}
+                        }
+                    } else if let Expr::Between { expr, low, high, negated: false } = p {
+                        if matches!(expr.as_ref(), Expr::Column(c) if c.table == m.qt && c.col == lead)
+                            && low.is_const()
+                            && high.is_const()
+                        {
+                            lo = Some((low.as_ref().clone(), true));
+                            hi = Some((high.as_ref().clone(), true));
+                            consumed.push(p.clone());
+                        }
+                    }
+                }
+                if lo.is_none() && hi.is_none() {
+                    continue;
+                }
+                let range_sel: f64 = consumed.iter().map(|p| est.selectivity(p)).product();
+                let c = cost::range(n * range_sel);
+                if c < best_cost {
+                    best_cost = c;
+                    let remaining: Vec<Expr> =
+                        local.iter().filter(|p| !consumed.contains(p)).cloned().collect();
+                    best = PhysNode::IndexRange {
+                        qt: m.qt,
+                        index: ix.position,
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                        consumed,
+                        preds: remaining,
+                        rows: filtered,
+                        cost: c,
+                        group,
+                    };
+                }
+            }
+            Ok((n, best, best_cost, indexes))
+        }
+        RelSource::Derived { rows, cost: inner_cost, .. } => {
+            let sel: f64 = local.iter().map(|p| est.selectivity(p)).product();
+            let filtered = (rows * sel).max(0.01);
+            let node = PhysNode::DerivedScan {
+                qt: m.qt,
+                preds: local.to_vec(),
+                rows: filtered,
+                cost: *inner_cost,
+                group,
+            };
+            Ok((*rows, node, *inner_cost, Vec::new()))
+        }
+    }
+}
+
+/// `col(qt, col) cmp const`, either orientation.
+fn col_vs_const(p: &Expr, qt: usize, col: usize) -> Option<(BinOp, Expr)> {
+    if let Expr::Binary { op, left, right } = p {
+        if !op.is_comparison() {
+            return None;
+        }
+        if let Expr::Column(c) = left.as_ref() {
+            if c.table == qt && c.col == col && right.is_const() {
+                return Some((*op, right.as_ref().clone()));
+            }
+        }
+        if let Expr::Column(c) = right.as_ref() {
+            if c.table == qt && c.col == col && left.is_const() {
+                return Some((op.commutator()?, left.as_ref().clone()));
+            }
+        }
+    }
+    None
+}
+
+/// `col(qt, col) = expr(available)` → the key expression.
+fn eq_key_for(p: &Expr, qt: usize, col: usize, available: &BTreeSet<usize>) -> Option<Expr> {
+    if let Expr::Binary { op: BinOp::Eq, left, right } = p {
+        for (a, b) in [(left, right), (right, left)] {
+            if let Expr::Column(c) = a.as_ref() {
+                if c.table == qt && c.col == col {
+                    let refs = b.referenced_tables();
+                    if !refs.contains(&qt) && refs.iter().all(|t| available.contains(t)) {
+                        return Some(b.as_ref().clone());
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether an ON equality splits cleanly across (lqts, rqts).
+fn eq_sides_ok(
+    c: &Expr,
+    lqts: &BTreeSet<usize>,
+    rqts: &BTreeSet<usize>,
+    outer: &BTreeSet<usize>,
+) -> bool {
+    if let Expr::Binary { op: BinOp::Eq, left, right } = c {
+        let side = |e: &Expr| -> Option<bool> {
+            let local: Vec<usize> = e
+                .referenced_tables()
+                .into_iter()
+                .filter(|t| !outer.contains(t))
+                .collect();
+            if local.is_empty() {
+                return None;
+            }
+            if local.iter().all(|t| lqts.contains(t)) {
+                Some(true)
+            } else if local.iter().all(|t| rqts.contains(t)) {
+                Some(false)
+            } else {
+                None
+            }
+        };
+        matches!(
+            (side(left), side(right)),
+            (Some(true), Some(false)) | (Some(false), Some(true))
+        )
+    } else {
+        false
+    }
+}
+
+/// Extract hash keys `(left expr, right expr)` from join conditions.
+fn split_keys(
+    on: &[Expr],
+    lqts: &BTreeSet<usize>,
+    rqts: &BTreeSet<usize>,
+    outer: &BTreeSet<usize>,
+) -> Vec<(Expr, Expr)> {
+    let side = |e: &Expr| -> Option<bool> {
+        let local: Vec<usize> = e
+            .referenced_tables()
+            .into_iter()
+            .filter(|t| !outer.contains(t))
+            .collect();
+        if local.is_empty() {
+            return None;
+        }
+        if local.iter().all(|t| lqts.contains(t)) {
+            Some(true)
+        } else if local.iter().all(|t| rqts.contains(t)) {
+            Some(false)
+        } else {
+            None
+        }
+    };
+    let mut keys = Vec::new();
+    for c in on {
+        if let Expr::Binary { op: BinOp::Eq, left, right } = c {
+            match (side(left), side(right)) {
+                (Some(true), Some(false)) => {
+                    keys.push((left.as_ref().clone(), right.as_ref().clone()))
+                }
+                (Some(false), Some(true)) => {
+                    keys.push((right.as_ref().clone(), left.as_ref().clone()))
+                }
+                _ => {}
+            }
+        }
+    }
+    keys
+}
+
+fn is_eq_of(c: &Expr, a: &Expr, b: &Expr) -> bool {
+    if let Expr::Binary { op: BinOp::Eq, left, right } = c {
+        (left.as_ref() == a && right.as_ref() == b) || (left.as_ref() == b && right.as_ref() == a)
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md::{InMemoryAccessor, MdRelation};
+    use taurus_catalog::estimate::ColView;
+    use taurus_common::Oid;
+
+    /// fact(0): 100k rows, fk ndv 100; dim(1): 100 rows with unique pk
+    /// index; small(2): 50 rows no index.
+    fn setup() -> (InMemoryAccessor, BlockDesc) {
+        let mut md = InMemoryAccessor::default();
+        md.insert(
+            Oid(1),
+            MdRelation { name: "fact".into(), rows: 100_000.0, num_columns: 3 },
+            Some(RelView {
+                rows: 100_000.0,
+                cols: vec![
+                    Some(ColView { ndv: 100.0, null_frac: 0.0, hist: None }),
+                    Some(ColView { ndv: 50.0, null_frac: 0.0, hist: None }),
+                    Some(ColView { ndv: 100_000.0, null_frac: 0.0, hist: None }),
+                ],
+            }),
+            vec![],
+        );
+        md.insert(
+            Oid(2),
+            MdRelation { name: "dim".into(), rows: 100.0, num_columns: 2 },
+            Some(RelView {
+                rows: 100.0,
+                cols: vec![
+                    Some(ColView { ndv: 100.0, null_frac: 0.0, hist: None }),
+                    Some(ColView { ndv: 100.0, null_frac: 0.0, hist: None }),
+                ],
+            }),
+            vec![MdIndex { position: 0, name: "dim_pk".into(), columns: vec![0], unique: true }],
+        );
+        md.insert(
+            Oid(3),
+            MdRelation { name: "small".into(), rows: 50.0, num_columns: 2 },
+            Some(RelView {
+                rows: 50.0,
+                cols: vec![
+                    Some(ColView { ndv: 50.0, null_frac: 0.0, hist: None }),
+                    Some(ColView { ndv: 50.0, null_frac: 0.0, hist: None }),
+                ],
+            }),
+            vec![],
+        );
+        let member = |qt: usize, oid: u64| MemberDesc {
+            qt,
+            source: RelSource::Base { oid: Oid(oid) },
+            entry: EntryDesc::Inner,
+            deps: BTreeSet::new(),
+        };
+        let desc = BlockDesc {
+            num_tables: 3,
+            members: vec![member(0, 1), member(1, 2), member(2, 3)],
+            predicates: vec![
+                Expr::eq(Expr::col(0, 0), Expr::col(1, 0)), // fact.fk = dim.pk
+                Expr::eq(Expr::col(0, 1), Expr::col(2, 0)), // fact.k2 = small.a
+            ],
+            outer: BTreeSet::new(),
+            has_aggregation: false,
+        };
+        (md, desc)
+    }
+
+    #[test]
+    fn exhaustive2_picks_hash_joins_for_large_probe() {
+        let (md, desc) = setup();
+        let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        // 100k-row fact probing 100-row dim: hash joins beat per-row lookups.
+        let (_nl, hj) = plan.root.join_method_counts();
+        assert!(hj >= 1, "expected hash joins:\n{}", plan.root.sketch());
+        assert!(!plan.changed_block_structure);
+        assert!(plan.stats.groups > 3);
+        assert!(plan.stats.plans_costed > 0);
+    }
+
+    #[test]
+    fn strategies_explore_increasing_split_counts() {
+        let (md, desc) = setup();
+        let run = |s: JoinOrderStrategy| {
+            optimize_block(&desc, &md, &OrcaConfig::with_strategy(s)).unwrap().stats
+        };
+        let greedy = run(JoinOrderStrategy::Greedy);
+        let exh = run(JoinOrderStrategy::Exhaustive);
+        let exh2 = run(JoinOrderStrategy::Exhaustive2);
+        assert!(exh2.splits_explored >= exh.splits_explored);
+        assert!(exh.splits_explored >= greedy.splits_explored || greedy.splits_explored < 20);
+    }
+
+    #[test]
+    fn lookup_wins_with_tiny_outer() {
+        // 50-row small driving a lookup into dim via index when connected.
+        let (md, mut desc) = setup();
+        // Connect small directly to dim so a 2-way plan exists.
+        desc.members.truncate(2);
+        desc.members[0] = MemberDesc {
+            qt: 0,
+            source: RelSource::Base { oid: Oid(3) }, // small, 50 rows
+            entry: EntryDesc::Inner,
+            deps: BTreeSet::new(),
+        };
+        desc.predicates = vec![Expr::eq(Expr::col(0, 0), Expr::col(1, 0))];
+        let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        assert!(plan.root.cost() > 0.0);
+        assert_eq!(plan.root.leaf_qts().len(), 2);
+    }
+
+    #[test]
+    fn bushy_plans_emerge_under_exhaustive2() {
+        // Two star arms: (f ⋈ d1) ⋈ (g ⋈ d2) — bushy is natural when both
+        // arms reduce cardinality before the cross equi-join.
+        let mut md = InMemoryAccessor::default();
+        let mut add = |oid: u64, name: &str, rows: f64, ndv0: f64| {
+            md.insert(
+                Oid(oid),
+                MdRelation { name: name.into(), rows, num_columns: 2 },
+                Some(RelView {
+                    rows,
+                    cols: vec![
+                        Some(ColView { ndv: ndv0, null_frac: 0.0, hist: None }),
+                        Some(ColView { ndv: rows.max(2.0) / 2.0, null_frac: 0.0, hist: None }),
+                    ],
+                }),
+                vec![],
+            );
+        };
+        add(1, "f", 10_000.0, 100.0);
+        add(2, "d1", 100.0, 100.0);
+        add(3, "g", 10_000.0, 100.0);
+        add(4, "d2", 100.0, 100.0);
+        let member = |qt: usize, oid: u64| MemberDesc {
+            qt,
+            source: RelSource::Base { oid: Oid(oid) },
+            entry: EntryDesc::Inner,
+            deps: BTreeSet::new(),
+        };
+        let desc = BlockDesc {
+            num_tables: 4,
+            members: vec![member(0, 1), member(1, 2), member(2, 3), member(3, 4)],
+            predicates: vec![
+                Expr::eq(Expr::col(0, 0), Expr::col(1, 0)),
+                Expr::eq(Expr::col(2, 0), Expr::col(3, 0)),
+                Expr::eq(Expr::col(0, 1), Expr::col(2, 1)),
+            ],
+            outer: BTreeSet::new(),
+            has_aggregation: false,
+        };
+        let exh2 = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        let exh = optimize_block(
+            &desc,
+            &md,
+            &OrcaConfig::with_strategy(JoinOrderStrategy::Exhaustive),
+        )
+        .unwrap();
+        // EXHAUSTIVE2 must do at least as well as left-deep DP.
+        assert!(exh2.root.cost() <= exh.root.cost() + 1e-6);
+    }
+
+    #[test]
+    fn dependents_forced_last_without_apply_swaps() {
+        let (md, mut desc) = setup();
+        // Make dim a semi-joined member correlated on fact.
+        desc.members[1].entry =
+            EntryDesc::Semi { on: vec![Expr::eq(Expr::col(0, 0), Expr::col(1, 0))] };
+        desc.members[1].deps = BTreeSet::from([0]);
+        desc.predicates = vec![Expr::eq(Expr::col(0, 1), Expr::col(2, 0))];
+        let cfg = OrcaConfig { enable_apply_swaps: false, ..OrcaConfig::default() };
+        let plan = optimize_block(&desc, &md, &cfg).unwrap();
+        // The semi member (qt 1) must be the last leaf.
+        assert_eq!(plan.root.leaf_qts().last().copied(), Some(1));
+        // With swaps enabled it may be placed earlier.
+        let free = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        assert!(free.root.cost() <= plan.root.cost() + 1e-6);
+    }
+
+    #[test]
+    fn trivial_scalar_applies_chain_to_the_end() {
+        // Uncorrelated ON-TRUE LeftOuter dependents (scalar subqueries)
+        // must not blow up the search space: they chain after the inner
+        // members in member order.
+        let (md, mut desc) = setup();
+        desc.members[1].entry = EntryDesc::LeftOuter { on: vec![] };
+        desc.members[1].source =
+            RelSource::Derived { rows: 1.0, cost: 10.0, width: 1, correlated: false };
+        let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        assert_eq!(plan.root.leaf_qts().last().copied(), Some(1));
+    }
+
+    #[test]
+    fn gbagg_rule_reports_changed_structure() {
+        let (md, mut desc) = setup();
+        desc.has_aggregation = true;
+        let cfg = OrcaConfig { enable_gbagg_below_join: true, ..OrcaConfig::default() };
+        let plan = optimize_block(&desc, &md, &cfg).unwrap();
+        assert!(plan.changed_block_structure, "host must fall back (§4.2.1)");
+        let normal = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        assert!(!normal.changed_block_structure);
+    }
+
+    #[test]
+    fn exhaustive2_caps_to_left_deep_beyond_member_cap() {
+        let cfg = OrcaConfig { bushy_member_cap: 2, ..OrcaConfig::default() };
+        assert_eq!(effective_strategy(&cfg, 3), JoinOrderStrategy::Exhaustive);
+        assert_eq!(effective_strategy(&cfg, 2), JoinOrderStrategy::Exhaustive2);
+    }
+
+    #[test]
+    fn missing_metadata_is_an_error() {
+        let md = InMemoryAccessor::default();
+        let desc = BlockDesc {
+            num_tables: 1,
+            members: vec![MemberDesc {
+                qt: 0,
+                source: RelSource::Base { oid: Oid(42) },
+                entry: EntryDesc::Inner,
+                deps: BTreeSet::new(),
+            }],
+            predicates: vec![],
+            outer: BTreeSet::new(),
+            has_aggregation: false,
+        };
+        assert!(optimize_block(&desc, &md, &OrcaConfig::default()).is_err());
+    }
+
+    #[test]
+    fn or_factorized_pool_enables_hash_join() {
+        // The Q41 shape: the only join condition hides inside an OR.
+        let (md, mut desc) = setup();
+        desc.members.truncate(2);
+        let eqp = Expr::eq(Expr::col(0, 0), Expr::col(1, 0));
+        let x = Expr::eq(Expr::col(1, 1), Expr::int(1));
+        let y = Expr::eq(Expr::col(1, 1), Expr::int(2));
+        desc.predicates = vec![Expr::or(
+            Expr::and(eqp.clone(), x),
+            Expr::and(eqp.clone(), y),
+        )];
+        let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        let (_, hj) = plan.root.join_method_counts();
+        assert_eq!(hj, 1, "factored equality must drive a hash join:\n{}", plan.root.sketch());
+        // With factorization off, the OR is opaque: nested loop.
+        let cfg = OrcaConfig { enable_or_factorization: false, ..OrcaConfig::default() };
+        let plan = optimize_block(&desc, &md, &cfg).unwrap();
+        let (nl, hj) = plan.root.join_method_counts();
+        assert_eq!((nl, hj), (1, 0), "{}", plan.root.sketch());
+    }
+}

@@ -1,0 +1,129 @@
+//! Normalization and transformation rules.
+//!
+//! The centerpiece is **OR factorization** (§6.2's Q41 analysis, §7 item
+//! 4): `(a = b AND x) OR (a = b AND y)` rewrites to `(a = b) AND (x OR y)`.
+//! The factored equality can then drive a hash join, and the residual
+//! disjunction is evaluated once instead of once per OR arm. MySQL performs
+//! this only when indexes can use it; Orca does it generally — which is why
+//! the paper's Q41 speeds up 222×.
+
+use taurus_common::Expr;
+
+pub use taurus_common::expr::factor_or;
+
+/// Apply OR factorization to a predicate pool, then re-split conjunctions
+/// so the factored-out parts become independently placeable conjuncts.
+pub fn normalize_pool(predicates: Vec<Expr>, enable_or_factorization: bool) -> Vec<Expr> {
+    let mut out = Vec::with_capacity(predicates.len());
+    for p in predicates {
+        let p = if enable_or_factorization { factor_or(p) } else { p };
+        out.extend(p.conjuncts());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eq(t1: usize, c1: usize, t2: usize, c2: usize) -> Expr {
+        Expr::eq(Expr::col(t1, c1), Expr::col(t2, c2))
+    }
+
+    fn pred(t: usize, c: usize, v: i64) -> Expr {
+        Expr::eq(Expr::col(t, c), Expr::int(v))
+    }
+
+    #[test]
+    fn q41_shape_factors() {
+        // ((item.i_manufact = i1.i_manufact) AND x) OR
+        // ((item.i_manufact = i1.i_manufact) AND y)
+        let join_pred = eq(0, 1, 1, 1);
+        let x = pred(1, 2, 10);
+        let y = pred(1, 3, 20);
+        let input = Expr::or(
+            Expr::and(join_pred.clone(), x.clone()),
+            Expr::and(join_pred.clone(), y.clone()),
+        );
+        let out = factor_or(input);
+        assert_eq!(out, Expr::and(join_pred, Expr::or(x, y)));
+    }
+
+    #[test]
+    fn multiple_common_conjuncts() {
+        let a = pred(0, 0, 1);
+        let b = pred(0, 1, 2);
+        let x = pred(0, 2, 3);
+        let y = pred(0, 3, 4);
+        let input = Expr::or(
+            Expr::and_all(vec![a.clone(), b.clone(), x.clone()]),
+            Expr::and_all(vec![a.clone(), b.clone(), y.clone()]),
+        );
+        let out = factor_or(input);
+        let conjuncts = out.conjuncts();
+        assert!(conjuncts.contains(&a));
+        assert!(conjuncts.contains(&b));
+        assert_eq!(conjuncts.len(), 3);
+    }
+
+    #[test]
+    fn no_common_part_is_untouched() {
+        let input = Expr::or(pred(0, 0, 1), pred(0, 1, 2));
+        assert_eq!(factor_or(input.clone()), input);
+    }
+
+    #[test]
+    fn arm_equal_to_common_collapses_or() {
+        // (a AND x) OR a  ≡  a
+        let a = pred(0, 0, 1);
+        let x = pred(0, 1, 2);
+        let input = Expr::or(Expr::and(a.clone(), x), a.clone());
+        assert_eq!(factor_or(input), a);
+    }
+
+    #[test]
+    fn three_way_or() {
+        let common = eq(0, 0, 1, 0);
+        let xs: Vec<Expr> = (0..3).map(|i| pred(1, i + 1, i as i64)).collect();
+        let input = Expr::or(
+            Expr::or(
+                Expr::and(common.clone(), xs[0].clone()),
+                Expr::and(common.clone(), xs[1].clone()),
+            ),
+            Expr::and(common.clone(), xs[2].clone()),
+        );
+        let out = factor_or(input);
+        let conjuncts = out.conjuncts();
+        assert_eq!(conjuncts.len(), 2);
+        assert!(conjuncts.contains(&common));
+    }
+
+    #[test]
+    fn normalize_pool_splits_factored_conjuncts() {
+        let common = eq(0, 0, 1, 0);
+        let input = vec![Expr::or(
+            Expr::and(common.clone(), pred(1, 1, 1)),
+            Expr::and(common.clone(), pred(1, 2, 2)),
+        )];
+        let pool = normalize_pool(input.clone(), true);
+        assert_eq!(pool.len(), 2, "factored equality is its own conjunct: {pool:?}");
+        assert!(pool.contains(&common));
+        // Disabled: the OR stays opaque (MySQL-like).
+        let pool = normalize_pool(input, false);
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn nested_or_inside_and_still_factors() {
+        let common = pred(0, 0, 7);
+        let or_part = Expr::or(
+            Expr::and(common.clone(), pred(0, 1, 1)),
+            Expr::and(common.clone(), pred(0, 2, 2)),
+        );
+        let input = Expr::and(pred(0, 3, 3), or_part);
+        let out = factor_or(input);
+        let conjuncts = out.conjuncts();
+        assert!(conjuncts.contains(&common));
+        assert_eq!(conjuncts.len(), 3);
+    }
+}

@@ -1,0 +1,252 @@
+//! Raw (unresolved) SQL abstract syntax tree.
+
+use taurus_common::Value;
+
+/// A parsed statement. Only `SELECT` is routed to Orca (paper §4.1); other
+/// statement kinds exist so the router has something to *decline* to route.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStmt),
+    /// `INSERT INTO t VALUES (...), (...)` — executed by mylite directly.
+    Insert { table: String, rows: Vec<Vec<AstExpr>> },
+}
+
+/// A full `SELECT` statement: optional CTEs plus a query expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub ctes: Vec<Cte>,
+    pub body: QueryExpr,
+}
+
+impl SelectStmt {
+    /// A statement with no CTEs wrapping one query block.
+    pub fn simple(block: QueryBlock) -> SelectStmt {
+        SelectStmt { ctes: Vec::new(), body: QueryExpr::Block(Box::new(block)) }
+    }
+
+    /// Count of table references in the whole statement — the paper's
+    /// "query complexity" metric for the complex-query threshold (§4.1).
+    pub fn table_ref_count(&self) -> usize {
+        let mut n = 0;
+        for cte in &self.ctes {
+            n += cte.query.table_ref_count();
+        }
+        n + self.body.table_ref_count()
+    }
+}
+
+/// A common table expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cte {
+    pub name: String,
+    /// Optional explicit column names.
+    pub columns: Vec<String>,
+    pub query: Box<SelectStmt>,
+    /// `WITH RECURSIVE` — parsed but rejected by the Orca route (§4.1).
+    pub recursive: bool,
+}
+
+/// A query expression: a block or a set operation over two of them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryExpr {
+    Block(Box<QueryBlock>),
+    SetOp { op: SetOp, all: bool, left: Box<QueryExpr>, right: Box<QueryExpr> },
+}
+
+impl QueryExpr {
+    fn table_ref_count(&self) -> usize {
+        match self {
+            QueryExpr::Block(b) => b.table_ref_count(),
+            QueryExpr::SetOp { left, right, .. } => {
+                left.table_ref_count() + right.table_ref_count()
+            }
+        }
+    }
+}
+
+/// Set operators. MySQL supports only `UNION` (paper §6.2, lesson §7
+/// item 2); `INTERSECT`/`EXCEPT` must be rewritten.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Except,
+}
+
+/// One `SELECT ... FROM ... WHERE ...` block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QueryBlock {
+    pub distinct: bool,
+    pub select: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<AstExpr>,
+    pub group_by: Vec<AstExpr>,
+    pub having: Option<AstExpr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+}
+
+impl QueryBlock {
+    fn table_ref_count(&self) -> usize {
+        let mut n = 0;
+        for t in &self.from {
+            n += t.table_ref_count();
+        }
+        // Subqueries in WHERE/HAVING/SELECT count too — they reference
+        // tables that Orca will have to order.
+        let mut exprs: Vec<&AstExpr> = Vec::new();
+        exprs.extend(self.select.iter().filter_map(|s| match s {
+            SelectItem::Expr { expr, .. } => Some(expr),
+            SelectItem::Wildcard => None,
+        }));
+        exprs.extend(self.where_clause.iter());
+        exprs.extend(self.having.iter());
+        for e in exprs {
+            n += e.subquery_table_refs();
+        }
+        n
+    }
+}
+
+/// A projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `SELECT *`.
+    Wildcard,
+    Expr { expr: AstExpr, alias: Option<String> },
+}
+
+/// An ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: AstExpr,
+    pub desc: bool,
+}
+
+/// A FROM-clause table reference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// Base table or CTE reference, with optional alias.
+    Base { name: String, alias: Option<String> },
+    /// Derived table: `(SELECT ...) AS alias`.
+    Derived { query: Box<SelectStmt>, alias: String },
+    /// Explicit join.
+    Join { left: Box<TableRef>, right: Box<TableRef>, kind: JoinKind, on: Option<AstExpr> },
+}
+
+impl TableRef {
+    fn table_ref_count(&self) -> usize {
+        match self {
+            TableRef::Base { .. } => 1,
+            TableRef::Derived { query, .. } => query.table_ref_count(),
+            TableRef::Join { left, right, .. } => {
+                left.table_ref_count() + right.table_ref_count()
+            }
+        }
+    }
+}
+
+/// Join kinds the dialect supports. (Semi/anti joins are produced by the
+/// prepare phase's subquery rewrites, never written directly.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+    Cross,
+}
+
+/// Interval units for date arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalUnit {
+    Day,
+    Month,
+    Year,
+}
+
+/// Binary operators at the AST level (same set as the bound ones).
+pub use taurus_common::BinOp as AstBinOp;
+
+/// An unresolved scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// `col` or `tbl.col` (or `schema.tbl.col`, kept as segments).
+    Name(Vec<String>),
+    Lit(Value),
+    /// `INTERVAL 'n' UNIT` — valid only as an operand of `+`/`-`.
+    Interval { n: i64, unit: IntervalUnit },
+    Binary { op: AstBinOp, left: Box<AstExpr>, right: Box<AstExpr> },
+    Not(Box<AstExpr>),
+    Neg(Box<AstExpr>),
+    IsNull { expr: Box<AstExpr>, negated: bool },
+    /// Function call; `name` is uppercased by the parser. `COUNT(*)` is
+    /// `Func { name: "COUNT", star: true, .. }`.
+    Func { name: String, args: Vec<AstExpr>, distinct: bool, star: bool },
+    Case {
+        operand: Option<Box<AstExpr>>,
+        branches: Vec<(AstExpr, AstExpr)>,
+        else_expr: Option<Box<AstExpr>>,
+    },
+    InList { expr: Box<AstExpr>, list: Vec<AstExpr>, negated: bool },
+    InSubquery { expr: Box<AstExpr>, query: Box<SelectStmt>, negated: bool },
+    Exists { query: Box<SelectStmt>, negated: bool },
+    /// `(SELECT single_value ...)` used as a scalar.
+    ScalarSubquery(Box<SelectStmt>),
+    Like { expr: Box<AstExpr>, pattern: Box<AstExpr>, negated: bool },
+    Between { expr: Box<AstExpr>, low: Box<AstExpr>, high: Box<AstExpr>, negated: bool },
+    /// `CAST(e AS type_name)`.
+    Cast { expr: Box<AstExpr>, type_name: String },
+    /// `EXTRACT(field FROM e)`.
+    Extract { field: String, expr: Box<AstExpr> },
+}
+
+impl AstExpr {
+    /// Number of table references inside subqueries of this expression.
+    fn subquery_table_refs(&self) -> usize {
+        match self {
+            AstExpr::Name(_) | AstExpr::Lit(_) | AstExpr::Interval { .. } => 0,
+            AstExpr::Binary { left, right, .. } => {
+                left.subquery_table_refs() + right.subquery_table_refs()
+            }
+            AstExpr::Not(e) | AstExpr::Neg(e) => e.subquery_table_refs(),
+            AstExpr::IsNull { expr, .. } => expr.subquery_table_refs(),
+            AstExpr::Func { args, .. } => args.iter().map(|a| a.subquery_table_refs()).sum(),
+            AstExpr::Case { operand, branches, else_expr } => {
+                operand.as_deref().map_or(0, |o| o.subquery_table_refs())
+                    + branches
+                        .iter()
+                        .map(|(w, t)| w.subquery_table_refs() + t.subquery_table_refs())
+                        .sum::<usize>()
+                    + else_expr.as_deref().map_or(0, |e| e.subquery_table_refs())
+            }
+            AstExpr::InList { expr, list, .. } => {
+                expr.subquery_table_refs()
+                    + list.iter().map(|e| e.subquery_table_refs()).sum::<usize>()
+            }
+            AstExpr::InSubquery { expr, query, .. } => {
+                expr.subquery_table_refs() + query.table_ref_count()
+            }
+            AstExpr::Exists { query, .. } => query.table_ref_count(),
+            AstExpr::ScalarSubquery(q) => q.table_ref_count(),
+            AstExpr::Like { expr, pattern, .. } => {
+                expr.subquery_table_refs() + pattern.subquery_table_refs()
+            }
+            AstExpr::Between { expr, low, high, .. } => {
+                expr.subquery_table_refs()
+                    + low.subquery_table_refs()
+                    + high.subquery_table_refs()
+            }
+            AstExpr::Cast { expr, .. } => expr.subquery_table_refs(),
+            AstExpr::Extract { expr, .. } => expr.subquery_table_refs(),
+        }
+    }
+
+    /// Convenience: name expression from one segment.
+    pub fn name(s: &str) -> AstExpr {
+        AstExpr::Name(vec![s.to_string()])
+    }
+
+    /// Convenience: `tbl.col`.
+    pub fn qname(t: &str, c: &str) -> AstExpr {
+        AstExpr::Name(vec![t.to_string(), c.to_string()])
+    }
+}

@@ -1,0 +1,21 @@
+//! SQL frontend: lexer, raw AST, and parser.
+//!
+//! Parses the dialect the workloads need — the decision-support subset of
+//! MySQL's SQL: `SELECT` blocks with inner/left/cross joins, `EXISTS`/`IN`
+//! (scalar and quantified) subqueries, derived tables, non-recursive CTEs,
+//! grouping/aggregation, `CASE`, `ORDER BY`/`LIMIT`, plus the set operators
+//! `UNION`/`INTERSECT`/`EXCEPT`. MySQL 8.0 does not support
+//! `INTERSECT`/`EXCEPT` (paper §6.2 had to rewrite TPC-DS queries by hand);
+//! [`rewrite::rewrite_set_ops`] performs the equivalent mechanical rewrite.
+//!
+//! The AST here is *unresolved* — names are plain strings. The `mylite`
+//! crate resolves and prepares it, mirroring MySQL's Parser → Resolver →
+//! Prepare pipeline (paper Fig 2).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod rewrite;
+
+pub use ast::*;
+pub use parser::parse;

@@ -1,0 +1,233 @@
+//! Mechanical rewrite of `INTERSECT`/`EXCEPT` into `EXISTS` forms.
+//!
+//! MySQL 8.0 does not support `INTERSECT [ALL]` / `EXCEPT [ALL]`, so the
+//! paper's authors rewrote the affected TPC-DS queries by hand (§6.2, §7
+//! item 2). This module is that rewrite, automated:
+//!
+//! ```sql
+//! A INTERSECT B
+//! -- becomes
+//! SELECT DISTINCT * FROM (A) la
+//! WHERE EXISTS (SELECT * FROM (B) rb WHERE la.c “is” rb.c ...)
+//! ```
+//!
+//! where `“is”` is null-tolerant equality (`=` OR both NULL), matching set
+//! operator semantics. `EXCEPT` uses `NOT EXISTS`. The `ALL` variants have
+//! multiset semantics that this mechanical form cannot express; they are
+//! rejected, as they were effectively rejected by hand in the paper.
+
+use crate::ast::*;
+use taurus_common::error::{Error, Result};
+
+/// Name the output columns of a block the way the resolver will:
+/// explicit alias, else the final segment of a plain column name, else a
+/// positional `col_N`.
+pub fn output_names(block: &QueryBlock) -> Result<Vec<String>> {
+    let mut names = Vec::with_capacity(block.select.len());
+    for (i, item) in block.select.iter().enumerate() {
+        match item {
+            SelectItem::Wildcard => {
+                return Err(Error::semantic(
+                    "cannot rewrite a set operation over SELECT * (column names unknown \
+                     before resolution)",
+                ))
+            }
+            SelectItem::Expr { alias: Some(a), .. } => names.push(a.clone()),
+            SelectItem::Expr { expr: AstExpr::Name(segs), .. } => {
+                names.push(segs.last().expect("names are non-empty").clone())
+            }
+            SelectItem::Expr { .. } => names.push(format!("col_{i}")),
+        }
+    }
+    Ok(names)
+}
+
+/// Rewrite every `INTERSECT`/`EXCEPT` in the statement. `UNION` survives
+/// (MySQL executes it natively); the result's query-expression tree contains
+/// only blocks and unions.
+pub fn rewrite_set_ops(stmt: SelectStmt) -> Result<SelectStmt> {
+    let ctes = stmt
+        .ctes
+        .into_iter()
+        .map(|c| {
+            Ok(Cte { query: Box::new(rewrite_set_ops(*c.query)?), ..c })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    let body = rewrite_expr(stmt.body)?;
+    Ok(SelectStmt { ctes, body })
+}
+
+fn rewrite_expr(qe: QueryExpr) -> Result<QueryExpr> {
+    match qe {
+        QueryExpr::Block(b) => Ok(QueryExpr::Block(b)),
+        QueryExpr::SetOp { op: SetOp::Union, all, left, right } => Ok(QueryExpr::SetOp {
+            op: SetOp::Union,
+            all,
+            left: Box::new(rewrite_expr(*left)?),
+            right: Box::new(rewrite_expr(*right)?),
+        }),
+        QueryExpr::SetOp { op, all, left, right } => {
+            if all {
+                return Err(Error::semantic(format!(
+                    "{op:?} ALL has multiset semantics the EXISTS rewrite cannot express; \
+                     rewrite the query manually (as the paper did)"
+                )));
+            }
+            let left = rewrite_expr(*left)?;
+            let right = rewrite_expr(*right)?;
+            let (lb, rb) = match (left, right) {
+                (QueryExpr::Block(l), QueryExpr::Block(r)) => (*l, *r),
+                _ => {
+                    return Err(Error::semantic(
+                        "INTERSECT/EXCEPT over nested set operations is not supported; \
+                         parenthesize into derived tables manually",
+                    ))
+                }
+            };
+            let names = output_names(&lb)?;
+            let rnames = output_names(&rb)?;
+            if names.len() != rnames.len() {
+                return Err(Error::semantic(format!(
+                    "set operation arity mismatch: {} vs {} columns",
+                    names.len(),
+                    rnames.len()
+                )));
+            }
+            Ok(QueryExpr::Block(Box::new(build_exists_form(
+                lb,
+                rb,
+                &names,
+                &rnames,
+                op == SetOp::Except,
+            ))))
+        }
+    }
+}
+
+/// `SELECT DISTINCT * FROM (left) la WHERE [NOT] EXISTS (SELECT * FROM
+/// (right) rb WHERE null-tolerant-equi-join)`.
+fn build_exists_form(
+    left: QueryBlock,
+    right: QueryBlock,
+    lnames: &[String],
+    rnames: &[String],
+    negated: bool,
+) -> QueryBlock {
+    // Null-tolerant pairwise equality between la.* and rb.*.
+    let mut cond: Option<AstExpr> = None;
+    for (ln, rn) in lnames.iter().zip(rnames) {
+        let la = AstExpr::qname("la", ln);
+        let rb = AstExpr::qname("rb", rn);
+        let eq = AstExpr::Binary {
+            op: AstBinOp::Eq,
+            left: Box::new(la.clone()),
+            right: Box::new(rb.clone()),
+        };
+        let both_null = AstExpr::Binary {
+            op: AstBinOp::And,
+            left: Box::new(AstExpr::IsNull { expr: Box::new(la), negated: false }),
+            right: Box::new(AstExpr::IsNull { expr: Box::new(rb), negated: false }),
+        };
+        let pair = AstExpr::Binary {
+            op: AstBinOp::Or,
+            left: Box::new(eq),
+            right: Box::new(both_null),
+        };
+        cond = Some(match cond {
+            None => pair,
+            Some(c) => {
+                AstExpr::Binary { op: AstBinOp::And, left: Box::new(c), right: Box::new(pair) }
+            }
+        });
+    }
+    let inner = QueryBlock {
+        select: vec![SelectItem::Wildcard],
+        from: vec![TableRef::Derived {
+            query: Box::new(SelectStmt::simple(right)),
+            alias: "rb".into(),
+        }],
+        where_clause: cond,
+        ..QueryBlock::default()
+    };
+    QueryBlock {
+        distinct: true,
+        select: vec![SelectItem::Wildcard],
+        from: vec![TableRef::Derived {
+            query: Box::new(SelectStmt::simple(left)),
+            alias: "la".into(),
+        }],
+        where_clause: Some(AstExpr::Exists {
+            query: Box::new(SelectStmt::simple(inner)),
+            negated,
+        }),
+        ..QueryBlock::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+
+    #[test]
+    fn intersect_becomes_exists() {
+        let stmt = parse_select("SELECT a FROM t INTERSECT SELECT a FROM u").unwrap();
+        let rewritten = rewrite_set_ops(stmt).unwrap();
+        let block = match rewritten.body {
+            QueryExpr::Block(b) => *b,
+            other => panic!("{other:?}"),
+        };
+        assert!(block.distinct);
+        assert!(matches!(block.where_clause, Some(AstExpr::Exists { negated: false, .. })));
+        assert!(matches!(&block.from[0], TableRef::Derived { alias, .. } if alias == "la"));
+    }
+
+    #[test]
+    fn except_becomes_not_exists() {
+        let stmt = parse_select("SELECT a, b FROM t EXCEPT SELECT a, b FROM u").unwrap();
+        let rewritten = rewrite_set_ops(stmt).unwrap();
+        let block = match rewritten.body {
+            QueryExpr::Block(b) => *b,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(block.where_clause, Some(AstExpr::Exists { negated: true, .. })));
+    }
+
+    #[test]
+    fn union_survives() {
+        let stmt = parse_select("SELECT a FROM t UNION ALL SELECT a FROM u").unwrap();
+        let rewritten = rewrite_set_ops(stmt).unwrap();
+        assert!(matches!(
+            rewritten.body,
+            QueryExpr::SetOp { op: SetOp::Union, all: true, .. }
+        ));
+    }
+
+    #[test]
+    fn all_variants_rejected() {
+        let stmt = parse_select("SELECT a FROM t INTERSECT ALL SELECT a FROM u").unwrap();
+        assert!(rewrite_set_ops(stmt).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let stmt = parse_select("SELECT a FROM t INTERSECT SELECT a, b FROM u").unwrap();
+        assert!(rewrite_set_ops(stmt).is_err());
+    }
+
+    #[test]
+    fn wildcard_sides_rejected() {
+        let stmt = parse_select("SELECT * FROM t INTERSECT SELECT * FROM u").unwrap();
+        assert!(rewrite_set_ops(stmt).is_err());
+    }
+
+    #[test]
+    fn rewrites_inside_ctes() {
+        let stmt = parse_select(
+            "WITH c AS (SELECT a FROM t INTERSECT SELECT a FROM u) SELECT a FROM c",
+        )
+        .unwrap();
+        let rewritten = rewrite_set_ops(stmt).unwrap();
+        assert!(matches!(rewritten.ctes[0].query.body, QueryExpr::Block(_)));
+    }
+}

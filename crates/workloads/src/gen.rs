@@ -1,0 +1,123 @@
+//! Deterministic data-generation helpers shared by both workloads.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use taurus_common::datetime;
+use taurus_common::Value;
+
+/// Linear scale factor for fact tables. `Scale(1.0)` is the laptop-size
+/// default documented in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale(pub f64);
+
+impl Scale {
+    /// Scaled row count, with a floor so dimension joins stay meaningful.
+    pub fn rows(&self, base: usize) -> usize {
+        ((base as f64) * self.0).round().max(1.0) as usize
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale(1.0)
+    }
+}
+
+/// Deterministic RNG per (workload, table) so loads are reproducible and
+/// independent of generation order.
+pub fn rng_for(workload: &str, table: &str) -> SmallRng {
+    let mut seed = 0xC0FF_EE00_5EED_1234u64;
+    for b in workload.bytes().chain(table.bytes()) {
+        seed = seed.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+    }
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Uniform integer in `[lo, hi]`.
+pub fn int_between(rng: &mut SmallRng, lo: i64, hi: i64) -> Value {
+    Value::Int(rng.gen_range(lo..=hi))
+}
+
+/// Uniform date between two `YYYY-MM-DD` bounds.
+pub fn date_between(rng: &mut SmallRng, lo: &str, hi: &str) -> Value {
+    let lo = datetime::parse_date(lo).expect("valid lo date");
+    let hi = datetime::parse_date(hi).expect("valid hi date");
+    Value::Date(rng.gen_range(lo..=hi))
+}
+
+/// Money-ish value with two decimals.
+pub fn money(rng: &mut SmallRng, lo: f64, hi: f64) -> Value {
+    let v = rng.gen_range(lo..hi);
+    Value::Double((v * 100.0).round() / 100.0)
+}
+
+/// Pick uniformly from a word list.
+pub fn pick<'a>(rng: &mut SmallRng, words: &[&'a str]) -> &'a str {
+    words[rng.gen_range(0..words.len())]
+}
+
+/// A comment string; with probability `needle_p` it embeds the pattern the
+/// TPC-H Q16/Q22 LIKE predicates hunt for.
+pub fn comment(rng: &mut SmallRng, needle_p: f64) -> Value {
+    const FILLER: [&str; 8] =
+        ["carefully", "quick", "ironic", "deposits", "furious", "pending", "express", "bold"];
+    let a = pick(rng, &FILLER);
+    let b = pick(rng, &FILLER);
+    if rng.gen_bool(needle_p) {
+        Value::str(format!("{a} Customer {b} Complaints lurk"))
+    } else {
+        Value::str(format!("{a} {b} requests sleep"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_rows() {
+        assert_eq!(Scale(1.0).rows(100), 100);
+        assert_eq!(Scale(0.25).rows(100), 25);
+        assert_eq!(Scale(0.001).rows(100), 1, "floor at one row");
+    }
+
+    #[test]
+    fn rng_deterministic_per_table() {
+        let a: Vec<i64> = {
+            let mut r = rng_for("tpch", "orders");
+            (0..5).map(|_| r.gen_range(0..1000)).collect()
+        };
+        let b: Vec<i64> = {
+            let mut r = rng_for("tpch", "orders");
+            (0..5).map(|_| r.gen_range(0..1000)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<i64> = {
+            let mut r = rng_for("tpch", "lineitem");
+            (0..5).map(|_| r.gen_range(0..1000)).collect()
+        };
+        assert_ne!(a, c, "different tables draw different streams");
+    }
+
+    #[test]
+    fn date_bounds_respected() {
+        let mut r = rng_for("t", "d");
+        for _ in 0..100 {
+            let v = date_between(&mut r, "1992-01-01", "1998-12-31");
+            match v {
+                Value::Date(d) => {
+                    let c = taurus_common::datetime::civil_from_days(d);
+                    assert!((1992..=1998).contains(&c.year));
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn needle_probability_extremes() {
+        let mut r = rng_for("t", "c");
+        assert!(comment(&mut r, 1.0).as_str().unwrap().contains("Customer"));
+        assert!(!comment(&mut r, 0.0).as_str().unwrap().contains("Customer"));
+    }
+}

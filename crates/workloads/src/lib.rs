@@ -1,0 +1,26 @@
+//! TPC-H and TPC-DS analog workloads.
+//!
+//! The paper evaluates on TPC-H (22 queries, SF 20) and TPC-DS (99 queries,
+//! SF 100). Official query text and dbgen/dsqgen data are not
+//! redistributable, so this crate provides *analogs*: the same schemas, a
+//! deterministic data generator reproducing the distributions the queries
+//! are sensitive to (uniform keys, skewed fact-to-dimension fan-outs,
+//! comment strings with rare `%Customer%Complaints%` needles, calendar
+//! dates), and hand-written query analogs in the engine's dialect.
+//!
+//! * [`tpch`] — all 22 TPC-H query analogs over the 8-table schema.
+//! * [`tpcds`] — the TPC-DS schema subset and the 99-query suite:
+//!   hand-written analogs for every query the paper discusses individually
+//!   (Q1, Q6, Q9, Q14, Q17, Q24, Q31, Q32, Q41, Q56, Q58, Q64, Q72, Q81,
+//!   Q92, ...) plus a deterministic query-family generator that fills the
+//!   remaining numbers with the published complexity mix.
+//!
+//! Scale factors are linear row multipliers; the defaults target laptop
+//! runs where the *relative* plan quality (who wins, by what factor) is
+//! preserved even though absolute times are far below the paper's cluster.
+
+pub mod gen;
+pub mod tpcds;
+pub mod tpch;
+
+pub use gen::Scale;

@@ -1,0 +1,83 @@
+//! Quickstart: build a catalog, load rows, and run the same query through
+//! the MySQL optimizer and through the Orca detour.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use taurus_orca::bridge::OrcaOptimizer;
+use taurus_orca::catalog::Catalog;
+use taurus_orca::mylite::{Engine, MySqlOptimizer};
+use taurus_orca::prelude::*;
+
+fn main() -> Result<()> {
+    // 1. Define a schema and load data — the data dictionary both
+    //    optimizers will read (Orca through the metadata provider, §5).
+    let mut catalog = Catalog::new();
+    let orders = catalog.create_table(
+        "orders",
+        Schema::new(vec![
+            Column::new("o_id", DataType::Int),
+            Column::new("o_customer", DataType::Int),
+            Column::new("o_total", DataType::Double),
+        ]),
+    )?;
+    catalog.insert(
+        orders,
+        (0..500).map(|i| {
+            vec![Value::Int(i), Value::Int(i % 50), Value::Double((i % 97) as f64 * 10.0)]
+        }),
+    )?;
+    catalog.create_index(orders, "orders_pk", vec![0], true)?;
+    catalog.create_index(orders, "orders_customer", vec![1], false)?;
+
+    let customers = catalog.create_table(
+        "customers",
+        Schema::new(vec![
+            Column::new("c_id", DataType::Int),
+            Column::new("c_name", DataType::Str),
+            Column::new("c_tier", DataType::Str),
+        ]),
+    )?;
+    catalog.insert(
+        customers,
+        (0..50).map(|i| {
+            vec![
+                Value::Int(i),
+                Value::str(format!("customer-{i:02}")),
+                Value::str(if i % 5 == 0 { "gold" } else { "standard" }),
+            ]
+        }),
+    )?;
+    catalog.create_index(customers, "customers_pk", vec![0], true)?;
+
+    let mut engine = Engine::new(catalog);
+    engine.analyze(); // statistics + histograms for both optimizers
+
+    let sql = "SELECT c_name, COUNT(*) AS orders, SUM(o_total) AS total \
+               FROM orders, customers \
+               WHERE o_customer = c_id AND c_tier = 'gold' \
+               GROUP BY c_name ORDER BY total DESC LIMIT 5";
+
+    // 2. The native MySQL path: greedy, left-deep, nested-loop-leaning.
+    println!("--- MySQL optimizer ---");
+    println!("{}", engine.explain(sql, &MySqlOptimizer)?);
+    let out = engine.query(sql)?;
+    for row in &out.rows {
+        println!("{:?}", row);
+    }
+
+    // 3. The Orca detour (threshold 1 routes even this two-table query):
+    //    parse-tree conversion → memo optimization → skeleton plan →
+    //    shared plan refinement → the same executor.
+    let orca = OrcaOptimizer::new(taurus_orca::orcalite::OrcaConfig::default(), 1);
+    println!("\n--- Orca detour ---");
+    println!("{}", engine.explain(sql, &orca)?);
+    let orca_out = engine.query_with(sql, &orca)?;
+    assert_eq!(out.rows, orca_out.rows, "plan choice never changes results");
+    println!(
+        "work units — mysql: {}, orca: {}",
+        out.work_units, orca_out.work_units
+    );
+    Ok(())
+}

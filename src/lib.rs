@@ -1,0 +1,27 @@
+//! Umbrella crate for the taurus-orca workspace.
+//!
+//! Re-exports the public API of every member crate so that downstream users
+//! (and the `examples/` and `tests/` attached to this package) can reach the
+//! whole system through one dependency:
+//!
+//! ```
+//! use taurus_orca::prelude::*;
+//! ```
+//!
+//! See `README.md` for the architecture overview and `DESIGN.md` for the
+//! paper-to-module map.
+
+pub use mylite;
+pub use orcalite;
+pub use taurus_bridge as bridge;
+pub use taurus_catalog as catalog;
+pub use taurus_common as common;
+pub use taurus_executor as executor;
+pub use taurus_sql as sql;
+pub use taurus_storage as storage;
+pub use taurus_workloads as workloads;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use crate::common::{Column, DataType, Error, Expr, Result, Row, Schema, Value};
+}

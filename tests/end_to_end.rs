@@ -1,0 +1,145 @@
+//! Cross-crate integration: both optimizers, both workloads, full suites.
+//!
+//! The strongest invariant in the repository: for every workload query, the
+//! MySQL-optimized plan and the Orca-optimized plan must produce identical
+//! result sets — plan choice may change *cost*, never *answers*.
+
+use taurus_orca::bridge::OrcaOptimizer;
+use taurus_orca::common::Value;
+use taurus_orca::mylite::{Engine, MySqlOptimizer};
+use taurus_orca::orcalite::{JoinOrderStrategy, OrcaConfig};
+use taurus_orca::workloads::{tpcds, tpch, Scale};
+
+/// Canonicalize result rows: doubles round (summation order is
+/// plan-dependent), then sort.
+fn canon(rows: Vec<Vec<Value>>) -> Vec<String> {
+    let mut out: Vec<String> = rows
+        .into_iter()
+        .map(|r| {
+            r.into_iter()
+                .map(|v| match v {
+                    Value::Double(d) => format!("D{:.4}", d),
+                    other => format!("{other:?}"),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn assert_agree(engine: &Engine, orca: &OrcaOptimizer, name: &str, sql: &str) {
+    let mysql = engine
+        .query(sql)
+        .unwrap_or_else(|e| panic!("{name} failed under the MySQL optimizer: {e}"));
+    let orca_out = engine
+        .query_with(sql, orca)
+        .unwrap_or_else(|e| panic!("{name} failed under the Orca detour: {e}"));
+    assert_eq!(
+        canon(mysql.rows),
+        canon(orca_out.rows),
+        "{name}: MySQL and Orca plans disagree on results"
+    );
+}
+
+#[test]
+fn tpch_full_suite_agrees() {
+    let engine = Engine::new(tpch::build_catalog(Scale(0.05)));
+    let orca = OrcaOptimizer::new(OrcaConfig::default(), 3);
+    for q in tpch::queries() {
+        assert_agree(&engine, &orca, q.name, &q.sql);
+    }
+}
+
+#[test]
+fn tpcds_full_suite_agrees() {
+    let engine = Engine::new(tpcds::build_catalog(Scale(0.05)));
+    let orca = OrcaOptimizer::new(OrcaConfig::default(), 2);
+    for q in tpcds::queries() {
+        assert_agree(&engine, &orca, q.name, &q.sql);
+    }
+}
+
+#[test]
+fn tpcds_agrees_under_every_search_strategy() {
+    let engine = Engine::new(tpcds::build_catalog(Scale(0.03)));
+    for strategy in [
+        JoinOrderStrategy::Greedy,
+        JoinOrderStrategy::Exhaustive,
+        JoinOrderStrategy::Exhaustive2,
+    ] {
+        let orca = OrcaOptimizer::new(OrcaConfig::with_strategy(strategy), 1);
+        for n in [1, 6, 17, 41, 72, 81, 92, 5, 10, 25] {
+            let q = tpcds::query(n);
+            assert_agree(&engine, &orca, q.name, &q.sql);
+        }
+    }
+}
+
+#[test]
+fn router_statistics_reflect_the_threshold() {
+    let engine = Engine::new(tpch::build_catalog(Scale(0.02)));
+    // Threshold 3 (the TPC-H default): single-table Q1 and two-table Q19
+    // stay on MySQL, multi-table queries route.
+    let orca = OrcaOptimizer::new(OrcaConfig::default(), 3);
+    let queries = tpch::queries();
+    for q in &queries {
+        engine.plan(&q.sql, &orca).unwrap();
+    }
+    let stats = orca.stats();
+    assert!(stats.below_threshold >= 2, "Q1/Q6/Q19-class queries skip the detour: {stats:?}");
+    assert!(stats.routed >= 15, "most TPC-H queries route: {stats:?}");
+    assert_eq!(stats.fallbacks, 0, "no fallback on the standard config: {stats:?}");
+    // Threshold 1 (the Table 1 configuration) routes everything.
+    let orca1 = OrcaOptimizer::new(OrcaConfig::default(), 1);
+    for q in &queries {
+        engine.plan(&q.sql, &orca1).unwrap();
+    }
+    assert_eq!(orca1.stats().below_threshold, 0);
+}
+
+#[test]
+fn gbagg_below_join_falls_back_everywhere_it_matters() {
+    // §4.2.1/§7 item 5: enabling the rule MySQL cannot execute makes every
+    // aggregating multi-join query fall back — transparently.
+    let engine = Engine::new(tpch::build_catalog(Scale(0.02)));
+    let cfg = OrcaConfig { enable_gbagg_below_join: true, ..OrcaConfig::default() };
+    let orca = OrcaOptimizer::new(cfg, 1);
+    let q3 = &tpch::queries()[2];
+    let out = engine.query_with(&q3.sql, &orca).expect("fallback still answers");
+    let reference = engine.query(&q3.sql).expect("baseline");
+    assert_eq!(canon(out.rows), canon(reference.rows));
+    assert!(orca.stats().fallbacks >= 1);
+}
+
+#[test]
+fn explain_banners_distinguish_the_paths() {
+    let engine = Engine::new(tpch::build_catalog(Scale(0.02)));
+    let orca = OrcaOptimizer::new(OrcaConfig::default(), 1);
+    let q3 = &tpch::queries()[2];
+    let mysql_text = engine.explain(&q3.sql, &MySqlOptimizer).unwrap();
+    let orca_text = engine.explain(&q3.sql, &orca).unwrap();
+    assert!(mysql_text.starts_with("EXPLAIN\n"));
+    assert!(orca_text.starts_with("EXPLAIN (ORCA)\n"), "Listing 7's first line");
+}
+
+#[test]
+fn search_stats_scale_with_strategy() {
+    // Table 1's driver: EXHAUSTIVE2 explores at least as many splits as
+    // EXHAUSTIVE, which explores at least as many as GREEDY.
+    let engine = Engine::new(tpcds::build_catalog(Scale(0.02)));
+    let q72 = tpcds::query(72);
+    let mut splits = Vec::new();
+    for strategy in [
+        JoinOrderStrategy::Greedy,
+        JoinOrderStrategy::Exhaustive,
+        JoinOrderStrategy::Exhaustive2,
+    ] {
+        let orca = OrcaOptimizer::new(OrcaConfig::with_strategy(strategy), 1);
+        engine.plan(&q72.sql, &orca).unwrap();
+        splits.push(orca.last_search_stats().splits_explored);
+    }
+    assert!(splits[0] <= splits[1], "greedy <= exhaustive: {splits:?}");
+    assert!(splits[1] < splits[2], "exhaustive < exhaustive2 on an 11-way join: {splits:?}");
+}

@@ -1,0 +1,252 @@
+//! Property-based tests on the core invariants.
+//!
+//! * rewrites (`factor_or`, `push_not`) preserve three-valued semantics on
+//!   arbitrary expressions and rows;
+//! * the metadata provider's OID cubes are bijective and commutation /
+//!   inversion are involutions (§5.2–5.3);
+//! * histogram selectivities are probabilities that partition correctly;
+//! * `LIKE` matching agrees with a reference backtracking matcher;
+//! * the string→i64 prefix encoding is order-preserving (§7);
+//! * and the end-to-end invariant: random queries produce identical results
+//!   under the MySQL optimizer and the Orca detour.
+
+use proptest::prelude::*;
+use taurus_orca::bridge::OrcaOptimizer;
+use taurus_orca::catalog::histogram::Histogram;
+use taurus_orca::catalog::encode_str_prefix;
+use taurus_orca::common::expr::{factor_or, like_match, EvalCtx};
+use taurus_orca::common::{BinOp, Expr, Layout, Value};
+use taurus_orca::orcalite::OrcaConfig;
+use taurus_orca::workloads::{tpch, Scale};
+
+// ---------------------------------------------------------------- rewrites
+
+/// Random boolean expressions over 4 integer columns of one table.
+fn bool_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0usize..4, 0i64..5, prop::sample::select(vec![
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Ge,
+    ]))
+        .prop_map(|(col, v, op)| Expr::binary(op, Expr::col(0, col), Expr::int(v)));
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
+            inner.prop_map(Expr::not),
+        ]
+    })
+}
+
+/// Random rows for that table; column values may be NULL.
+fn row() -> impl Strategy<Value = Vec<Value>> {
+    prop::collection::vec(
+        prop_oneof![3 => (0i64..5).prop_map(Value::Int), 1 => Just(Value::Null)],
+        4,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn factor_or_preserves_three_valued_semantics(e in bool_expr(), r in row()) {
+        let layout = Layout::single(1, 0, 4);
+        let ctx = EvalCtx::new(&r, &layout);
+        let before = e.eval(ctx).unwrap().truth();
+        let after = factor_or(e).eval(ctx).unwrap().truth();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn push_not_preserves_three_valued_semantics(e in bool_expr(), r in row()) {
+        let layout = Layout::single(1, 0, 4);
+        let ctx = EvalCtx::new(&r, &layout);
+        let before = Expr::not(e.clone()).eval(ctx).unwrap().truth();
+        let after = mylite::resolve::push_not(Expr::not(e)).eval(ctx).unwrap().truth();
+        prop_assert_eq!(before, after);
+    }
+}
+
+// ---------------------------------------------------------------- OID cubes
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn oid_decoders_partition_the_space(raw in 0u64..3_000_000) {
+        use taurus_orca::bridge::oid;
+        let o = taurus_orca::common::Oid(raw);
+        // At most one decoder accepts any OID (the §5.6 layout is
+        // collision-free), and whatever decodes re-encodes to the same OID.
+        let mut hits = 0;
+        if let Some(t) = oid::decode_type(o) {
+            hits += 1;
+            prop_assert_eq!(oid::type_oid(t), o);
+        }
+        if let Some((l, r, op)) = oid::decode_arith(o) {
+            hits += 1;
+            prop_assert_eq!(oid::arith_oid(l, r, op).unwrap(), o);
+        }
+        if let Some((l, r, op)) = oid::decode_cmp(o) {
+            hits += 1;
+            prop_assert_eq!(oid::cmp_oid(l, r, op).unwrap(), o);
+        }
+        if let Some((c, op)) = oid::decode_agg(o) {
+            hits += 1;
+            prop_assert_eq!(oid::agg_oid(c, op).unwrap(), o);
+        }
+        if let Some(t) = oid::decode_relation(o) {
+            hits += 1;
+            prop_assert_eq!(oid::relation_oid(t), o);
+        }
+        if let Some((t, c)) = oid::decode_column(o) {
+            hits += 1;
+            prop_assert_eq!(oid::column_oid(t, c), o);
+        }
+        prop_assert!(hits <= 1, "OID {raw} decoded by {hits} slots");
+    }
+
+    #[test]
+    fn commutation_and_inversion_are_involutions(raw in 3_000u64..3_864) {
+        use taurus_orca::bridge::oid;
+        let o = taurus_orca::common::Oid(raw);
+        prop_assert!(oid::decode_cmp(o).is_some());
+        let c = oid::commutator_oid(o);
+        prop_assert_eq!(oid::commutator_oid(c), o);
+        let i = oid::inverse_oid(o);
+        prop_assert_eq!(oid::inverse_oid(i), o);
+    }
+}
+
+// --------------------------------------------------------------- histograms
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn histogram_selectivities_partition(
+        mut data in prop::collection::vec(-50i64..50, 1..300),
+        probe in -60i64..60,
+        buckets in 1usize..20,
+    ) {
+        data.sort_unstable();
+        let values: Vec<Value> = data.iter().map(|&i| Value::Int(i)).collect();
+        let h = Histogram::build(&values, buckets).unwrap();
+        let probe = Value::Int(probe);
+        let lt = h.selectivity(BinOp::Lt, &probe);
+        let eq = h.selectivity(BinOp::Eq, &probe);
+        let gt = h.selectivity(BinOp::Gt, &probe);
+        for s in [lt, eq, gt] {
+            prop_assert!((0.0..=1.0).contains(&s), "selectivity {s} out of range");
+        }
+        // <, =, > partition the non-null rows: exactly for singleton
+        // histograms, approximately for equi-height (whose equality mass is
+        // a bucket-NDV estimate, not an exact count).
+        let slack = if h.is_singleton() { 1e-9 } else { 0.2 };
+        prop_assert!(
+            (lt + eq + gt - 1.0).abs() <= slack,
+            "lt={} eq={} gt={} singleton={}", lt, eq, gt, h.is_singleton()
+        );
+    }
+
+    #[test]
+    fn histogram_lt_is_monotone(
+        mut data in prop::collection::vec(-50i64..50, 2..200),
+        a in -60i64..60,
+        b in -60i64..60,
+    ) {
+        data.sort_unstable();
+        let values: Vec<Value> = data.iter().map(|&i| Value::Int(i)).collect();
+        let h = Histogram::build(&values, 8).unwrap();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let s_lo = h.selectivity(BinOp::Lt, &Value::Int(lo));
+        let s_hi = h.selectivity(BinOp::Lt, &Value::Int(hi));
+        prop_assert!(s_lo <= s_hi + 1e-9, "Lt selectivity must be monotone: {s_lo} > {s_hi}");
+    }
+
+    #[test]
+    fn string_prefix_encoding_is_monotone(a in "[ -~]{0,16}", b in "[ -~]{0,16}") {
+        // The encoding is exactly the order of the zero-padded 8-byte
+        // prefixes — monotone in byte order, with §7's caveat that longer
+        // strings sharing an 8-byte prefix collapse.
+        fn pad8(s: &str) -> [u8; 8] {
+            let mut out = [0u8; 8];
+            let n = s.len().min(8);
+            out[..n].copy_from_slice(&s.as_bytes()[..n]);
+            out
+        }
+        let (ea, eb) = (encode_str_prefix(&a), encode_str_prefix(&b));
+        prop_assert_eq!(ea.cmp(&eb), pad8(&a).cmp(&pad8(&b)), "{:?} vs {:?}", a, b);
+        if a.as_bytes() <= b.as_bytes() {
+            prop_assert!(ea <= eb, "monotone: {:?} vs {:?}", a, b);
+        }
+    }
+}
+
+// -------------------------------------------------------------------- LIKE
+
+/// Reference LIKE matcher: exponential backtracking, obviously correct.
+fn like_reference(s: &[u8], p: &[u8]) -> bool {
+    match (s.first(), p.first()) {
+        (_, None) => s.is_empty(),
+        (_, Some(b'%')) => like_reference(s, &p[1..]) || (!s.is_empty() && like_reference(&s[1..], p)),
+        (Some(c), Some(b'_')) => {
+            let _ = c;
+            like_reference(&s[1..], &p[1..])
+        }
+        (Some(c), Some(pc)) => c == pc && like_reference(&s[1..], &p[1..]),
+        (None, Some(_)) => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn like_match_agrees_with_reference(s in "[abc]{0,10}", p in "[abc%_]{0,8}") {
+        prop_assert_eq!(
+            like_match(s.as_bytes(), p.as_bytes()),
+            like_reference(s.as_bytes(), p.as_bytes()),
+            "s={:?} p={:?}", s, p
+        );
+    }
+}
+
+// --------------------------------------------------- end-to-end equivalence
+
+/// Random single-block queries over the TPC-H schema: filters, a join or
+/// two, optional grouping. Both optimizers must agree on the result.
+#[test]
+fn random_queries_agree_between_optimizers() {
+    let engine = mylite::Engine::new(tpch::build_catalog(Scale(0.05)));
+    let orca = OrcaOptimizer::new(OrcaConfig::default(), 1);
+    let cmps = ["<", "<=", ">", ">=", "=", "<>"];
+    let mut cases: Vec<String> = Vec::new();
+    for i in 0..24 {
+        let cmp = cmps[i % cmps.len()];
+        let v = (i * 7) % 50;
+        cases.push(format!(
+            "SELECT COUNT(*) AS n FROM lineitem, orders \
+             WHERE l_orderkey = o_orderkey AND l_quantity {cmp} {v}"
+        ));
+        cases.push(format!(
+            "SELECT o_orderpriority, COUNT(*) AS n FROM orders, customer \
+             WHERE o_custkey = c_custkey AND c_acctbal {cmp} {v} \
+             GROUP BY o_orderpriority ORDER BY o_orderpriority"
+        ));
+        cases.push(format!(
+            "SELECT COUNT(*) AS n FROM part, partsupp, supplier \
+             WHERE p_partkey = ps_partkey AND ps_suppkey = s_suppkey \
+               AND (p_size {cmp} {v} OR s_acctbal < 0)"
+        ));
+    }
+    for sql in cases {
+        let a = engine.query(&sql).unwrap_or_else(|e| panic!("mysql failed on {sql}: {e}"));
+        let b = engine
+            .query_with(&sql, &orca)
+            .unwrap_or_else(|e| panic!("orca failed on {sql}: {e}"));
+        assert_eq!(a.rows, b.rows, "disagreement on {sql}");
+    }
+}
