@@ -1,4 +1,4 @@
-//! §7 lesson ablations as Criterion benchmarks.
+//! §7 lesson ablations as micro-benchmarks.
 //!
 //! Each group toggles one of the paper's Orca modifications off and
 //! measures the same query both ways:
@@ -9,83 +9,62 @@
 //! * `search-strategy` — Q72 compile time under GREEDY / EXHAUSTIVE /
 //!   EXHAUSTIVE2 (the Table 1 driver on one query).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use orcalite::{JoinOrderStrategy, OrcaConfig};
-use std::time::Duration;
+use taurus_bench::micro::{scale_from_env, Group};
 use taurus_bridge::OrcaOptimizer;
 use taurus_workloads::{tpcds, Scale};
 
-fn ablations(c: &mut Criterion) {
-    let scale = Scale(
-        std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.15),
-    );
+fn main() {
+    let scale = Scale(scale_from_env(0.15));
     let engine = mylite::Engine::new(tpcds::build_catalog(scale));
 
     // OR factorization on Q41.
     {
         let q41 = tpcds::query(41);
-        let mut group = c.benchmark_group("ablation/or-factorization(q41)");
-        group
-            .sample_size(10)
-            .warm_up_time(Duration::from_millis(200))
-            .measurement_time(Duration::from_millis(800));
+        let group = Group::new("ablation/or-factorization(q41)").sample_size(10);
         let on = OrcaOptimizer::new(OrcaConfig::default(), 1);
         let off = OrcaOptimizer::new(
             OrcaConfig { enable_or_factorization: false, ..OrcaConfig::default() },
             1,
         );
-        group.bench_function("enabled", |b| {
-            b.iter(|| engine.query_with(&q41.sql, &on).expect("runs"))
+        group.bench("enabled", || {
+            engine.query_with(&q41.sql, &on).expect("runs");
         });
-        group.bench_function("disabled", |b| {
-            b.iter(|| engine.query_with(&q41.sql, &off).expect("runs"))
+        group.bench("disabled", || {
+            engine.query_with(&q41.sql, &off).expect("runs");
         });
-        group.finish();
     }
 
     // Apply/join swap rules on Q6.
     {
         let q6 = tpcds::query(6);
-        let mut group = c.benchmark_group("ablation/apply-swaps(q6)");
-        group
-            .sample_size(10)
-            .warm_up_time(Duration::from_millis(200))
-            .measurement_time(Duration::from_millis(800));
+        let group = Group::new("ablation/apply-swaps(q6)").sample_size(10);
         let on = OrcaOptimizer::new(OrcaConfig::default(), 1);
         let off = OrcaOptimizer::new(
             OrcaConfig { enable_apply_swaps: false, ..OrcaConfig::default() },
             1,
         );
-        group.bench_function("enabled", |b| {
-            b.iter(|| engine.query_with(&q6.sql, &on).expect("runs"))
+        group.bench("enabled", || {
+            engine.query_with(&q6.sql, &on).expect("runs");
         });
-        group.bench_function("disabled", |b| {
-            b.iter(|| engine.query_with(&q6.sql, &off).expect("runs"))
+        group.bench("disabled", || {
+            engine.query_with(&q6.sql, &off).expect("runs");
         });
-        group.finish();
     }
 
     // Search strategies on Q72 (compile only).
     {
         let q72 = tpcds::query(72);
-        let mut group = c.benchmark_group("ablation/strategy-compile(q72)");
-        group
-            .sample_size(10)
-            .warm_up_time(Duration::from_millis(200))
-            .measurement_time(Duration::from_millis(800));
+        let group = Group::new("ablation/strategy-compile(q72)").sample_size(10);
         for (label, strategy) in [
             ("greedy", JoinOrderStrategy::Greedy),
             ("exhaustive", JoinOrderStrategy::Exhaustive),
             ("exhaustive2", JoinOrderStrategy::Exhaustive2),
         ] {
             let orca = OrcaOptimizer::new(OrcaConfig::with_strategy(strategy), 1);
-            group.bench_function(label, |b| {
-                b.iter(|| engine.plan(&q72.sql, &orca).expect("plans"))
+            group.bench(label, || {
+                engine.plan(&q72.sql, &orca).expect("plans");
             });
         }
-        group.finish();
     }
 }
-
-criterion_group!(benches, ablations);
-criterion_main!(benches);

@@ -1,41 +1,29 @@
 //! Fig 10 — TPC-H execution time for MySQL-optimized vs Orca-optimized
 //! plans (paper §6.1).
 //!
-//! One Criterion group per query with a `mysql` and an `orca` benchmark;
-//! each measurement covers optimization + execution, as the paper's
-//! wall-clock runs do. The `harness fig10` binary prints the same data as a
-//! single table with totals.
+//! One group per query with a `mysql` and an `orca` benchmark; each
+//! measurement covers optimization + execution, as the paper's wall-clock
+//! runs do. The `harness fig10` binary prints the same data as a single
+//! table with totals.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mylite::{Engine, MySqlOptimizer};
 use orcalite::{JoinOrderStrategy, OrcaConfig};
-use std::time::Duration;
+use taurus_bench::micro::{scale_from_env, Group};
 use taurus_bridge::OrcaOptimizer;
 use taurus_workloads::{tpch, Scale};
 
-fn fig10(c: &mut Criterion) {
-    let scale = Scale(
-        std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.15),
-    );
+fn main() {
+    let scale = Scale(scale_from_env(0.15));
     let engine = Engine::new(tpch::build_catalog(scale));
     // The paper's TPC-H setup: threshold 3, EXHAUSTIVE2 (§6.1).
-    let orca =
-        OrcaOptimizer::new(OrcaConfig::with_strategy(JoinOrderStrategy::Exhaustive2), 3);
+    let orca = OrcaOptimizer::new(OrcaConfig::with_strategy(JoinOrderStrategy::Exhaustive2), 3);
     for q in tpch::queries() {
-        let mut group = c.benchmark_group(format!("fig10/{}", q.name));
-        group
-            .sample_size(10)
-            .warm_up_time(Duration::from_millis(200))
-            .measurement_time(Duration::from_millis(500));
-        group.bench_function("mysql", |b| {
-            b.iter(|| engine.query_with(&q.sql, &MySqlOptimizer).expect("query runs"))
+        let group = Group::new(format!("fig10/{}", q.name)).sample_size(10);
+        group.bench("mysql", || {
+            engine.query_with(&q.sql, &MySqlOptimizer).expect("query runs");
         });
-        group.bench_function("orca", |b| {
-            b.iter(|| engine.query_with(&q.sql, &orca).expect("query runs"))
+        group.bench("orca", || {
+            engine.query_with(&q.sql, &orca).expect("query runs");
         });
-        group.finish();
     }
 }
-
-criterion_group!(benches, fig10);
-criterion_main!(benches);

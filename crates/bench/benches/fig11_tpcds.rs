@@ -5,36 +5,24 @@
 //! the paper's Fig 11 explicitly does. Fig 12 is this same data re-plotted
 //! as (MySQL time, Orca/MySQL ratio) — `harness fig12` prints the points.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mylite::{Engine, MySqlOptimizer};
 use orcalite::{JoinOrderStrategy, OrcaConfig};
-use std::time::Duration;
+use taurus_bench::micro::{scale_from_env, Group};
 use taurus_bridge::OrcaOptimizer;
 use taurus_workloads::{tpcds, Scale};
 
-fn fig11(c: &mut Criterion) {
-    let scale = Scale(
-        std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.15),
-    );
+fn main() {
+    let scale = Scale(scale_from_env(0.15));
     let engine = Engine::new(tpcds::build_catalog(scale));
     // The paper's TPC-DS setup: threshold 2, EXHAUSTIVE2 (§6.2).
-    let orca =
-        OrcaOptimizer::new(OrcaConfig::with_strategy(JoinOrderStrategy::Exhaustive2), 2);
+    let orca = OrcaOptimizer::new(OrcaConfig::with_strategy(JoinOrderStrategy::Exhaustive2), 2);
     for q in tpcds::queries() {
-        let mut group = c.benchmark_group(format!("fig11/{}", q.name));
-        group
-            .sample_size(10)
-            .warm_up_time(Duration::from_millis(100))
-            .measurement_time(Duration::from_millis(400));
-        group.bench_function("mysql", |b| {
-            b.iter(|| engine.query_with(&q.sql, &MySqlOptimizer).expect("query runs"))
+        let group = Group::new(format!("fig11/{}", q.name)).sample_size(10);
+        group.bench("mysql", || {
+            engine.query_with(&q.sql, &MySqlOptimizer).expect("query runs");
         });
-        group.bench_function("orca", |b| {
-            b.iter(|| engine.query_with(&q.sql, &orca).expect("query runs"))
+        group.bench("orca", || {
+            engine.query_with(&q.sql, &orca).expect("query runs");
         });
-        group.finish();
     }
 }
-
-criterion_group!(benches, fig11);
-criterion_main!(benches);

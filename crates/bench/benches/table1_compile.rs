@@ -4,50 +4,37 @@
 //! the three compiler configurations of Table 1, with the complex-query
 //! threshold set to 1 so every query takes the Orca detour.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mylite::engine::CostBasedOptimizer;
 use mylite::{Engine, MySqlOptimizer};
 use orcalite::{JoinOrderStrategy, OrcaConfig};
-use std::time::Duration;
+use taurus_bench::micro::{scale_from_env, Group};
 use taurus_bridge::OrcaOptimizer;
 use taurus_workloads::{tpcds, tpch, Scale};
 
-fn compile_suite(engine: &Engine, queries: &[taurus_workloads::tpch::Query], opt: &dyn CostBasedOptimizer) {
+fn compile_suite(
+    engine: &Engine,
+    queries: &[taurus_workloads::tpch::Query],
+    opt: &dyn CostBasedOptimizer,
+) {
     for q in queries {
         engine.plan(&q.sql, opt).expect("workload query plans");
     }
 }
 
-fn table1(c: &mut Criterion) {
-    let scale = Scale(
-        std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.15),
-    );
+fn main() {
+    let scale = Scale(scale_from_env(0.15));
     let suites = [
         ("tpch", Engine::new(tpch::build_catalog(scale)), tpch::queries()),
         ("tpcds", Engine::new(tpcds::build_catalog(scale)), tpcds::queries()),
     ];
     for (suite, engine, queries) in &suites {
-        let mut group = c.benchmark_group(format!("table1/{suite}"));
-        group
-            .sample_size(10)
-            .warm_up_time(Duration::from_millis(200))
-            .measurement_time(Duration::from_secs(2));
-        group.bench_function("mysql", |b| {
-            b.iter(|| compile_suite(engine, queries, &MySqlOptimizer))
-        });
+        let group = Group::new(format!("table1/{suite}")).sample_size(10);
+        group.bench("mysql", || compile_suite(engine, queries, &MySqlOptimizer));
         let exhaustive =
             OrcaOptimizer::new(OrcaConfig::with_strategy(JoinOrderStrategy::Exhaustive), 1);
-        group.bench_function("orca-exhaustive", |b| {
-            b.iter(|| compile_suite(engine, queries, &exhaustive))
-        });
+        group.bench("orca-exhaustive", || compile_suite(engine, queries, &exhaustive));
         let exhaustive2 =
             OrcaOptimizer::new(OrcaConfig::with_strategy(JoinOrderStrategy::Exhaustive2), 1);
-        group.bench_function("orca-exhaustive2", |b| {
-            b.iter(|| compile_suite(engine, queries, &exhaustive2))
-        });
-        group.finish();
+        group.bench("orca-exhaustive2", || compile_suite(engine, queries, &exhaustive2));
     }
 }
-
-criterion_group!(benches, table1);
-criterion_main!(benches);

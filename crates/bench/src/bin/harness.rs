@@ -10,6 +10,7 @@
 //! harness q17        # Q17 plans + best-position behaviour (Fig 6/7, Listing 7)
 //! harness q41        # the OR-factorization case (§6.2)
 //! harness ablations  # §7 lesson on/off comparisons
+//! harness routing    # never-fail-detour routing + fallback-reason table
 //! harness all        # everything, in order
 //! ```
 //!
@@ -55,8 +56,12 @@ fn main() {
     if want("ablations") {
         ablations_report();
     }
-    if !run_all && !["fig10", "fig11", "fig12", "table1", "q72", "q17", "q41", "ablations"]
-        .contains(&arg.as_str())
+    if want("routing") {
+        routing_report();
+    }
+    if !run_all
+        && !["fig10", "fig11", "fig12", "table1", "q72", "q17", "q41", "ablations", "routing"]
+            .contains(&arg.as_str())
     {
         eprintln!("unknown experiment '{arg}'; see the module docs for the list");
         std::process::exit(2);
@@ -65,34 +70,22 @@ fn main() {
 
 fn fig10() {
     println!("\n## Fig 10 — TPC-H execution time, MySQL vs Orca plans (scale {:?})\n", scale());
-    let results = run_suite(
-        Workload::TpcH,
-        scale(),
-        orcalite::JoinOrderStrategy::Exhaustive2,
-        reps(),
-    );
+    let results =
+        run_suite(Workload::TpcH, scale(), orcalite::JoinOrderStrategy::Exhaustive2, reps());
     print!("{}", format_suite_table(&results));
 }
 
 fn fig11() {
     println!("\n## Fig 11 — TPC-DS execution time, MySQL vs Orca plans (scale {:?})\n", scale());
-    let results = run_suite(
-        Workload::TpcDs,
-        scale(),
-        orcalite::JoinOrderStrategy::Exhaustive2,
-        reps(),
-    );
+    let results =
+        run_suite(Workload::TpcDs, scale(), orcalite::JoinOrderStrategy::Exhaustive2, reps());
     print!("{}", format_suite_table(&results));
 }
 
 fn fig12() {
     println!("\n## Fig 12 — Orca is slower only on short queries (scale {:?})\n", scale());
-    let results = run_suite(
-        Workload::TpcDs,
-        scale(),
-        orcalite::JoinOrderStrategy::Exhaustive2,
-        reps(),
-    );
+    let results =
+        run_suite(Workload::TpcDs, scale(), orcalite::JoinOrderStrategy::Exhaustive2, reps());
     println!("| query | MySQL run time (X axis) | Orca/MySQL ratio (Y axis) |");
     println!("|---|---|---|");
     let mut points = fig12_points(&results);
@@ -182,6 +175,20 @@ fn ablations_report() {
             "| {} | {} | {:.3?} | {:.3?} | {} | {} |",
             a.name, a.query, a.with_rule, a.without_rule, a.with_work, a.without_work
         );
+    }
+}
+
+fn routing_report() {
+    println!("\n## Never-fail detour — routing and fallback reasons (scale {:?})\n", scale());
+    for workload in [Workload::TpcH, Workload::TpcDs] {
+        let report = run_routing(
+            workload,
+            scale(),
+            orcalite::JoinOrderStrategy::Exhaustive2,
+            orcalite::OrcaConfig::default(),
+        );
+        print!("{}", format_routing_table(&report));
+        println!();
     }
 }
 

@@ -38,13 +38,21 @@ fn main() {
             let t = std::time::Instant::now();
             let mine = match engine.query(&q.sql) {
                 Ok(o) => o,
-                Err(e) => { println!("{tag}/{}: MYSQL ERROR {e}", q.name); failures += 1; continue }
+                Err(e) => {
+                    println!("{tag}/{}: MYSQL ERROR {e}", q.name);
+                    failures += 1;
+                    continue;
+                }
             };
             let t_my = t.elapsed();
             let t = std::time::Instant::now();
             let theirs = match engine.query_with(&q.sql, orca) {
                 Ok(o) => o,
-                Err(e) => { println!("{tag}/{}: ORCA ERROR {e}", q.name); failures += 1; continue }
+                Err(e) => {
+                    println!("{tag}/{}: ORCA ERROR {e}", q.name);
+                    failures += 1;
+                    continue;
+                }
             };
             let t_orca = t.elapsed();
             let (wm, wo) = (mine.work_units, theirs.work_units);

@@ -21,9 +21,11 @@ use mylite::engine::CostBasedOptimizer;
 use mylite::{Engine, MySqlOptimizer};
 use orcalite::{JoinOrderStrategy, OrcaConfig};
 use std::time::{Duration, Instant};
-use taurus_bridge::OrcaOptimizer;
+use taurus_bridge::{FallbackReason, OrcaOptimizer, RouterStats};
 use taurus_workloads::tpch::Query;
 use taurus_workloads::{tpcds, tpch, Scale};
+
+pub mod micro;
 
 /// Which workload a runner operates on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,8 +119,7 @@ pub fn run_suite(
     reps: usize,
 ) -> Vec<QueryComparison> {
     let engine = workload.build_engine(scale);
-    let orca =
-        OrcaOptimizer::new(OrcaConfig::with_strategy(strategy), workload.threshold());
+    let orca = OrcaOptimizer::new(OrcaConfig::with_strategy(strategy), workload.threshold());
     let mut out = Vec::new();
     for q in workload.queries() {
         let (mysql, mysql_work) = time_query(&engine, &q.sql, &MySqlOptimizer, reps);
@@ -138,10 +139,7 @@ pub fn run_suite(
 
 /// Fig 12: (MySQL run time, Orca/MySQL time ratio) scatter points.
 pub fn fig12_points(results: &[QueryComparison]) -> Vec<(String, f64, f64)> {
-    results
-        .iter()
-        .map(|r| (r.name.clone(), r.mysql.as_secs_f64(), r.time_ratio()))
-        .collect()
+    results.iter().map(|r| (r.name.clone(), r.mysql.as_secs_f64(), r.time_ratio())).collect()
 }
 
 /// One Table 1 row: total time to *compile* (EXPLAIN) an entire suite.
@@ -323,6 +321,63 @@ pub fn ablations(scale: Scale, reps: usize) -> Vec<Ablation> {
     out
 }
 
+/// Routing outcome of planning a whole workload through one Orca router:
+/// how many statements each path took, and why each fallback happened.
+#[derive(Debug, Clone)]
+pub struct RoutingReport {
+    pub workload: Workload,
+    pub strategy: JoinOrderStrategy,
+    pub queries: usize,
+    pub stats: RouterStats,
+}
+
+/// Plan every workload query through a fresh router and collect its
+/// [`RouterStats`] — the never-fail-detour observability report.
+pub fn run_routing(
+    workload: Workload,
+    scale: Scale,
+    strategy: JoinOrderStrategy,
+    config: OrcaConfig,
+) -> RoutingReport {
+    let engine = workload.build_engine(scale);
+    let orca = OrcaOptimizer::new(OrcaConfig { strategy, ..config }, workload.threshold());
+    let queries = workload.queries();
+    for q in &queries {
+        engine.plan(&q.sql, &orca).expect("workload query must plan");
+    }
+    RoutingReport { workload, strategy, queries: queries.len(), stats: orca.stats() }
+}
+
+/// Format a routing report as a markdown table: one row per routing path,
+/// then one row per fallback reason (the taxonomy the router records).
+pub fn format_routing_table(report: &RoutingReport) -> String {
+    use std::fmt::Write;
+    let s = &report.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "routing of {} queries ({}, {:?}):\n",
+        report.queries,
+        report.workload.name(),
+        report.strategy
+    );
+    let _ = writeln!(out, "| outcome | statements |");
+    let _ = writeln!(out, "|---|---|");
+    let _ = writeln!(out, "| routed to Orca | {} |", s.routed);
+    let _ = writeln!(out, "| below complex-query threshold | {} |", s.below_threshold);
+    let _ = writeln!(out, "| fell back to MySQL | {} |", s.fallbacks);
+    for reason in FallbackReason::ALL {
+        let n = s.reasons.get(reason);
+        if n > 0 {
+            let _ = writeln!(out, "| — fallback: {} | {} |", reason.name(), n);
+        }
+    }
+    if s.degraded > 0 {
+        let _ = writeln!(out, "| blocks rescued by the degradation ladder | {} |", s.degraded);
+    }
+    out
+}
+
 /// Format a suite comparison as a markdown table (used by the harness and
 /// pasted into EXPERIMENTS.md).
 pub fn format_suite_table(results: &[QueryComparison]) -> String {
@@ -384,6 +439,22 @@ mod tests {
         let table = format_suite_table(&results);
         assert!(table.contains("| q1 |"));
         assert!(table.contains("total:"));
+    }
+
+    #[test]
+    fn routing_report_accounts_for_every_query() {
+        let report = run_routing(
+            Workload::TpcH,
+            Scale(0.02),
+            JoinOrderStrategy::Exhaustive,
+            OrcaConfig::default(),
+        );
+        let s = &report.stats;
+        assert_eq!(s.routed + s.below_threshold + s.fallbacks, report.queries as u64, "{s:?}");
+        assert_eq!(s.reasons.total(), s.fallbacks);
+        let table = format_routing_table(&report);
+        assert!(table.contains("| routed to Orca |"), "{table}");
+        assert!(table.contains("| fell back to MySQL |"), "{table}");
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! A minimal micro-benchmark harness for the `benches/` targets.
+//!
+//! The workspace must build with no external crates (tier-1 verify runs
+//! offline), so the Criterion dependency was replaced with this: warm-up,
+//! fixed sample count, median/min/mean over wall-clock samples, one line of
+//! output per benchmark. Sample counts are tuned by the caller; `SAMPLES`
+//! env var overrides for quick runs.
+
+use std::time::{Duration, Instant};
+
+/// A named group of benchmarks, printed as an indented block.
+pub struct Group {
+    name: String,
+    samples: usize,
+}
+
+impl Group {
+    pub fn new(name: impl Into<String>) -> Group {
+        let name = name.into();
+        println!("{name}");
+        let samples = std::env::var("SAMPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(10);
+        Group { name, samples }
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Group {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Time `f` over the group's sample count (after one warm-up call) and
+    /// print `label: median … (min …, mean …)`.
+    pub fn bench<F: FnMut()>(&self, label: &str, mut f: F) -> Stats {
+        f(); // warm-up
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            f();
+            times.push(t.elapsed());
+        }
+        times.sort();
+        let stats = Stats {
+            median: times[times.len() / 2],
+            min: times[0],
+            mean: times.iter().sum::<Duration>() / times.len() as u32,
+        };
+        println!(
+            "  {label:<28} median {:>10.3?}  (min {:.3?}, mean {:.3?}, n={})",
+            stats.median, stats.min, stats.mean, self.samples
+        );
+        stats
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Summary statistics for one benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    pub median: Duration,
+    pub min: Duration,
+    pub mean: Duration,
+}
+
+/// Scale factor from the `SCALE` env var with a bench-appropriate default.
+pub fn scale_from_env(default: f64) -> f64 {
+    std::env::var("SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_stats() {
+        let g = Group::new("test-group").sample_size(3);
+        let s = g.bench("noop", || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(s.min <= s.median);
+    }
+}

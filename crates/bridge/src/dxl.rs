@@ -60,11 +60,7 @@ pub fn statistics_to_dxl(table: &CatalogTable) -> String {
     let Some(stats) = &table.stats else {
         return format!(r#"<dxl:RelationStats Mdid="{}" Analyzed="false"/>"#, rel_oid.0);
     };
-    let _ = writeln!(
-        out,
-        r#"<dxl:RelationStats Mdid="{}" Rows="{}">"#,
-        rel_oid.0, stats.row_count
-    );
+    let _ = writeln!(out, r#"<dxl:RelationStats Mdid="{}" Rows="{}">"#, rel_oid.0, stats.row_count);
     for (i, c) in stats.columns.iter().enumerate() {
         let col_oid = oid::column_oid(table.id, i);
         let hist = match &c.histogram {
@@ -93,11 +89,7 @@ pub fn expr_request_trace(oid_val: taurus_common::Oid) -> String {
         return format!("<dxl:ScalarCmp Mdid=\"{}\" Op=\"{l}_{}_{r}\"/>", oid_val.0, op.symbol());
     }
     if let Some((l, r, op)) = oid::decode_arith(oid_val) {
-        return format!(
-            "<dxl:ScalarArith Mdid=\"{}\" Op=\"{l}_{}_{r}\"/>",
-            oid_val.0,
-            op.symbol()
-        );
+        return format!("<dxl:ScalarArith Mdid=\"{}\" Op=\"{l}_{}_{r}\"/>", oid_val.0, op.symbol());
     }
     if let Some((c, op)) = oid::decode_agg(oid_val) {
         return format!("<dxl:ScalarAgg Mdid=\"{}\" Op=\"{op:?}_{c}\"/>", oid_val.0);

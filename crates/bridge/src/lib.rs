@@ -21,8 +21,12 @@
 //!
 //! [`router`] ties them together as a [`mylite::CostBasedOptimizer`]: a
 //! query whose table-reference count reaches the *complex query threshold*
-//! takes the Orca detour; anything Orca cannot handle falls back to the
-//! MySQL optimizer (§4.1/§4.2.1).
+//! takes the Orca detour; anything Orca cannot handle — unsupported
+//! constructs, exhausted search budgets, invalid skeletons, even panics —
+//! falls back to the MySQL optimizer (§4.1/§4.2.1), with the reason
+//! recorded per statement ([`router::FallbackReason`]). The [`validate`]
+//! module is the skeleton-consistency gate the router runs before
+//! accepting a converted plan.
 
 pub mod dxl;
 pub mod oid;
@@ -30,6 +34,8 @@ pub mod plan_converter;
 pub mod provider;
 pub mod router;
 pub mod tree_converter;
+pub mod validate;
 
 pub use provider::MySqlMdProvider;
-pub use router::{OrcaOptimizer, RouterStats};
+pub use router::{FallbackCounts, FallbackReason, OrcaOptimizer, RouterStats};
+pub use validate::validate_skeleton;

@@ -61,10 +61,12 @@ pub const AGG_OPS: [AggOp; 6] =
 
 /// OID of a MySQL data type.
 pub fn type_oid(t: taurus_common::MySqlType) -> Oid {
+    // Invariant: MySqlType::ALL enumerates every variant (its own tests
+    // assert this), so the position lookup cannot fail.
     let idx = taurus_common::MySqlType::ALL
         .iter()
         .position(|x| *x == t)
-        .expect("ALL is exhaustive");
+        .expect("MySqlType::ALL is exhaustive");
     Oid(TYPE_BASE + idx as u64)
 }
 
@@ -281,10 +283,7 @@ mod tests {
         // §5.3's worked example: INT8 > NUM commutes to NUM < INT8.
         let oid = cmp_oid(TypeCategory::Int8, TypeCategory::Num, BinOp::Gt).unwrap();
         let commuted = commutator_oid(oid);
-        assert_eq!(
-            decode_cmp(commuted),
-            Some((TypeCategory::Num, TypeCategory::Int8, BinOp::Lt))
-        );
+        assert_eq!(decode_cmp(commuted), Some((TypeCategory::Num, TypeCategory::Int8, BinOp::Lt)));
     }
 
     #[test]

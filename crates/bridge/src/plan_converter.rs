@@ -39,7 +39,7 @@ pub fn to_skeleton(
     }
     discover_blocks(&plan.root, block)?;
     let root = fill_positions(&plan.root, inner_skeletons)?;
-    Ok(Skeleton { root, orca_assisted: true })
+    Ok(Skeleton { root, orca_assisted: true, orca_fallback: None })
 }
 
 /// First pass: verify the plan's leaves are exactly this block's members.
@@ -56,10 +56,7 @@ fn discover_blocks(node: &PhysNode, block: &BoundQuery) -> Result<()> {
 }
 
 /// Second pass: build the skeleton (best-position array + join tree).
-fn fill_positions(
-    node: &PhysNode,
-    inner_skeletons: &HashMap<usize, Skeleton>,
-) -> Result<SkelNode> {
+fn fill_positions(node: &PhysNode, inner_skeletons: &HashMap<usize, Skeleton>) -> Result<SkelNode> {
     Ok(match node {
         PhysNode::Scan { qt, rows, cost, .. } => SkelNode::Leaf(SkelLeaf {
             qt: *qt,
@@ -223,8 +220,8 @@ mod tests {
     #[test]
     fn derived_leaf_needs_inner_skeleton() {
         let root = PhysNode::DerivedScan { qt: 0, preds: vec![], rows: 1.0, cost: 2.0, group: 0 };
-        let err = to_skeleton(&plan(root.clone()), &block_with_qts(&[0]), &HashMap::new())
-            .unwrap_err();
+        let err =
+            to_skeleton(&plan(root.clone()), &block_with_qts(&[0]), &HashMap::new()).unwrap_err();
         assert!(matches!(err, Error::Internal(_)));
         let mut inner = HashMap::new();
         inner.insert(
@@ -237,6 +234,7 @@ mod tests {
                     cost: 3.0,
                 }),
                 orca_assisted: true,
+                orca_fallback: None,
             },
         );
         let sk = to_skeleton(&plan(root), &block_with_qts(&[0]), &inner).unwrap();

@@ -159,8 +159,7 @@ impl MetadataAccessor for MySqlMdProvider<'_> {
     fn relation(&self, o: Oid) -> Option<MdRelation> {
         let id = oid::decode_relation(o)?;
         let t = self.catalog.table(id).ok()?;
-        let rows =
-            t.stats.as_ref().map(|s| s.row_count as f64).unwrap_or(t.num_rows() as f64);
+        let rows = t.stats.as_ref().map(|s| s.row_count as f64).unwrap_or(t.num_rows() as f64);
         Some(MdRelation { name: t.name.clone(), rows, num_columns: t.schema().len() })
     }
 
@@ -211,11 +210,8 @@ mod tests {
                 ]),
             )
             .unwrap();
-        cat.insert(
-            t,
-            (0..100).map(|i| vec![Value::Int(i), Value::str(format!("PKG{}", i % 5))]),
-        )
-        .unwrap();
+        cat.insert(t, (0..100).map(|i| vec![Value::Int(i), Value::str(format!("PKG{}", i % 5))]))
+            .unwrap();
         cat.create_index(t, "part_pk", vec![0], true).unwrap();
         cat.analyze_all(&AnalyzeOptions::default());
         cat
@@ -251,8 +247,7 @@ mod tests {
         let types = |_: usize, c: usize| if c == 1 { DataType::Str } else { DataType::Int };
         let oids = p.embellish(&e, &types);
         assert_eq!(oids.len(), 1);
-        let str_eq_str =
-            oid::cmp_oid(TypeCategory::Str, TypeCategory::Str, BinOp::Eq).unwrap();
+        let str_eq_str = oid::cmp_oid(TypeCategory::Str, TypeCategory::Str, BinOp::Eq).unwrap();
         assert_eq!(oids[0], str_eq_str);
         assert!(p.commutator(oids[0]).is_valid());
         assert!(p.inverse(oids[0]).is_valid());

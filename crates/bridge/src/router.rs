@@ -2,25 +2,118 @@
 //!
 //! A statement is routed to Orca when its total table-reference count
 //! reaches the *complex query threshold* (§4.1; default 3, set to 2 for the
-//! paper's TPC-DS runs and 1 for the compile-overhead experiment). Anything
-//! the detour cannot handle — unsupported constructs, or Orca changing the
-//! query-block structure — falls back to the native MySQL optimizer
-//! transparently (§4.2.1). Only `SELECT`s ever reach a cost-based
-//! optimizer in the host engine, matching the paper's INSERT/UPDATE/DELETE
-//! exclusion.
+//! paper's TPC-DS runs and 1 for the compile-overhead experiment). Only
+//! `SELECT`s ever reach a cost-based optimizer in the host engine, matching
+//! the paper's INSERT/UPDATE/DELETE exclusion.
+//!
+//! ## The never-fail detour
+//!
+//! The router guarantees that no query fails or hangs on the Orca path if
+//! the native optimizer would have handled it (§4.2.1's transparent
+//! fallback, hardened):
+//!
+//! * the entire detour runs under [`std::panic::catch_unwind`], so a bug
+//!   anywhere in the converters or the optimizer core becomes a recorded
+//!   fallback rather than a crashed statement;
+//! * search effort is bounded by the config's [`SearchBudget`]; when a
+//!   block exhausts it, the router walks a *degradation ladder* — retrying
+//!   the block at EXHAUSTIVE, then GREEDY — before giving up on Orca;
+//! * every converted skeleton passes a validation pass
+//!   ([`crate::validate`]) before it is accepted;
+//! * each fallback is attributed to a [`FallbackReason`], surfaced through
+//!   [`RouterStats`] and the statement's `EXPLAIN` banner.
+//!
+//! [`SearchBudget`]: orcalite::config::SearchBudget
 
 use crate::plan_converter::to_skeleton;
 use crate::provider::MySqlMdProvider;
 use crate::tree_converter::{convert_block, InnerEstimates};
+use crate::validate::validate_skeleton;
 use mylite::bound::{BoundQuery, BoundStatement, TableSource};
 use mylite::engine::{CostBasedOptimizer, MySqlOptimizer};
 use mylite::skeleton::Skeleton;
-use orcalite::config::OrcaConfig;
-use orcalite::physical::SearchStats;
+use orcalite::config::{FaultSite, JoinOrderStrategy, OrcaConfig};
+use orcalite::desc::BlockDesc;
+use orcalite::physical::{OrcaPlan, SearchStats};
 use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap};
-use taurus_common::error::{Error, Result};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use taurus_catalog::Catalog;
+use taurus_common::error::{Error, Result};
+
+/// Why an Orca detour was abandoned for the native optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The detour hit a construct it does not support (or any unexpected
+    /// error — the never-fail guarantee treats those identically).
+    Unsupported,
+    /// The search budget ran out at every rung of the degradation ladder.
+    BudgetExhausted,
+    /// A panic inside the detour was caught and isolated.
+    Panicked,
+    /// The converted skeleton failed the bridge's validation pass.
+    InvalidSkeleton,
+    /// Orca changed the query-block structure (§4.2.1), which MySQL's
+    /// refinement cannot express.
+    ChangedBlockStructure,
+}
+
+impl FallbackReason {
+    pub const ALL: [FallbackReason; 5] = [
+        FallbackReason::Unsupported,
+        FallbackReason::BudgetExhausted,
+        FallbackReason::Panicked,
+        FallbackReason::InvalidSkeleton,
+        FallbackReason::ChangedBlockStructure,
+    ];
+
+    /// Stable name used in EXPLAIN banners and the bench routing table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FallbackReason::Unsupported => "unsupported",
+            FallbackReason::BudgetExhausted => "budget-exhausted",
+            FallbackReason::Panicked => "panicked",
+            FallbackReason::InvalidSkeleton => "invalid-skeleton",
+            FallbackReason::ChangedBlockStructure => "changed-block-structure",
+        }
+    }
+}
+
+/// Per-reason fallback counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FallbackCounts {
+    pub unsupported: u64,
+    pub budget_exhausted: u64,
+    pub panicked: u64,
+    pub invalid_skeleton: u64,
+    pub changed_block_structure: u64,
+}
+
+impl FallbackCounts {
+    pub fn get(&self, reason: FallbackReason) -> u64 {
+        match reason {
+            FallbackReason::Unsupported => self.unsupported,
+            FallbackReason::BudgetExhausted => self.budget_exhausted,
+            FallbackReason::Panicked => self.panicked,
+            FallbackReason::InvalidSkeleton => self.invalid_skeleton,
+            FallbackReason::ChangedBlockStructure => self.changed_block_structure,
+        }
+    }
+
+    pub fn total(&self) -> u64 {
+        FallbackReason::ALL.iter().map(|r| self.get(*r)).sum()
+    }
+
+    fn bump(&mut self, reason: FallbackReason) {
+        match reason {
+            FallbackReason::Unsupported => self.unsupported += 1,
+            FallbackReason::BudgetExhausted => self.budget_exhausted += 1,
+            FallbackReason::Panicked => self.panicked += 1,
+            FallbackReason::InvalidSkeleton => self.invalid_skeleton += 1,
+            FallbackReason::ChangedBlockStructure => self.changed_block_structure += 1,
+        }
+    }
+}
 
 /// Routing counters (inspected by tests and the bench harness).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -29,8 +122,60 @@ pub struct RouterStats {
     pub routed: u64,
     /// Statements below the complex-query threshold (MySQL handled them).
     pub below_threshold: u64,
-    /// Orca detours aborted mid-way (MySQL fallback).
+    /// Orca detours aborted mid-way (MySQL fallback) — the sum of
+    /// `reasons`.
     pub fallbacks: u64,
+    /// Fallbacks attributed to their cause.
+    pub reasons: FallbackCounts,
+    /// Blocks that exhausted their budget but completed on Orca at a
+    /// cheaper rung of the degradation ladder (not fallbacks).
+    pub degraded: u64,
+}
+
+/// A classified detour failure: the fallback reason plus the underlying
+/// error text (kept for diagnostics; the reason drives behaviour).
+struct DetourFail {
+    reason: FallbackReason,
+    detail: String,
+}
+
+impl DetourFail {
+    fn new(reason: FallbackReason, err: &Error) -> DetourFail {
+        DetourFail { reason, detail: err.to_string() }
+    }
+
+    /// Budget errors keep their identity; everything else is "the detour
+    /// could not handle it".
+    fn classify(err: Error) -> DetourFail {
+        let reason = if err.is_resource_exhausted() {
+            FallbackReason::BudgetExhausted
+        } else {
+            FallbackReason::Unsupported
+        };
+        DetourFail::new(reason, &err)
+    }
+}
+
+/// The degradation ladder: the configured strategy first, then each
+/// cheaper strategy, tried in order when the search budget runs out.
+fn ladder(strategy: JoinOrderStrategy) -> &'static [JoinOrderStrategy] {
+    use JoinOrderStrategy::{Exhaustive, Exhaustive2, Greedy};
+    match strategy {
+        Exhaustive2 => &[Exhaustive2, Exhaustive, Greedy],
+        Exhaustive => &[Exhaustive, Greedy],
+        Greedy => &[Greedy],
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// The Orca-backed cost-based optimizer.
@@ -42,6 +187,9 @@ pub struct OrcaOptimizer {
     routed: Cell<u64>,
     below: Cell<u64>,
     fallbacks: Cell<u64>,
+    reasons: Cell<FallbackCounts>,
+    degraded: Cell<u64>,
+    last_fallback: Cell<Option<FallbackReason>>,
     last_search: Cell<SearchStats>,
 }
 
@@ -59,6 +207,9 @@ impl OrcaOptimizer {
             routed: Cell::new(0),
             below: Cell::new(0),
             fallbacks: Cell::new(0),
+            reasons: Cell::new(FallbackCounts::default()),
+            degraded: Cell::new(0),
+            last_fallback: Cell::new(None),
             last_search: Cell::new(SearchStats::default()),
         }
     }
@@ -68,7 +219,15 @@ impl OrcaOptimizer {
             routed: self.routed.get(),
             below_threshold: self.below.get(),
             fallbacks: self.fallbacks.get(),
+            reasons: self.reasons.get(),
+            degraded: self.degraded.get(),
         }
+    }
+
+    /// Reason for the most recent fallback, if the last routed statement
+    /// fell back (cleared on each Orca success).
+    pub fn last_fallback(&self) -> Option<FallbackReason> {
+        self.last_fallback.get()
     }
 
     /// Memo statistics of the most recent Orca optimization (all blocks
@@ -77,25 +236,64 @@ impl OrcaOptimizer {
         self.last_search.get()
     }
 
-    fn orca_optimize(&self, catalog: &Catalog, bound: &BoundStatement) -> Result<Skeleton> {
+    fn note_fallback(&self, reason: FallbackReason) {
+        self.fallbacks.set(self.fallbacks.get() + 1);
+        let mut counts = self.reasons.get();
+        counts.bump(reason);
+        self.reasons.set(counts);
+        self.last_fallback.set(Some(reason));
+    }
+
+    fn orca_optimize(
+        &self,
+        catalog: &Catalog,
+        bound: &BoundStatement,
+    ) -> std::result::Result<Skeleton, DetourFail> {
         let provider = MySqlMdProvider::new(catalog);
         let mut total = SearchStats::default();
         let skeleton =
-            self.optimize_block(catalog, bound, &provider, &bound.root, &BTreeSet::new(), &mut total)?;
+            self.optimize_block(bound, &provider, &bound.root, &BTreeSet::new(), &mut total)?;
         self.last_search.set(total);
         Ok(skeleton)
     }
 
-    #[allow(clippy::only_used_in_recursion)]
+    /// Optimize one block, retrying cheaper strategies when the budget
+    /// runs out. Returns the winning plan, or a budget failure once every
+    /// rung has been exhausted.
+    fn optimize_with_ladder(
+        &self,
+        desc: &BlockDesc,
+        provider: &MySqlMdProvider<'_>,
+    ) -> std::result::Result<OrcaPlan, DetourFail> {
+        let mut exhausted: Option<Error> = None;
+        for (rung, &strategy) in ladder(self.config.strategy).iter().enumerate() {
+            let cfg = OrcaConfig { strategy, ..self.config.clone() };
+            match orcalite::optimize_block(desc, provider, &cfg) {
+                Ok(plan) => {
+                    if rung > 0 {
+                        self.degraded.set(self.degraded.get() + 1);
+                    }
+                    return Ok(plan);
+                }
+                Err(e) if e.is_resource_exhausted() => exhausted = Some(e),
+                Err(e) => return Err(DetourFail::classify(e)),
+            }
+        }
+        // Ladders are non-empty, so reaching here means the final rung
+        // exhausted the budget too.
+        let e = exhausted.unwrap_or_else(|| Error::resource_exhausted("search budget", 0));
+        Err(DetourFail::new(FallbackReason::BudgetExhausted, &e))
+    }
+
     fn optimize_block(
         &self,
-        catalog: &Catalog,
         bound: &BoundStatement,
         provider: &MySqlMdProvider<'_>,
         block: &BoundQuery,
         outer: &BTreeSet<usize>,
         total: &mut SearchStats,
-    ) -> Result<Skeleton> {
+    ) -> std::result::Result<Skeleton, DetourFail> {
+        let faults = &self.config.faults;
         // Derived members' inner blocks first (bottom-up).
         let mut inner_estimates = InnerEstimates::new();
         let mut inner_skeletons: HashMap<usize, Skeleton> = HashMap::new();
@@ -103,18 +301,43 @@ impl OrcaOptimizer {
         inner_outer.extend(block.member_qts());
         for m in &block.members {
             if let TableSource::Derived { query, .. } = &bound.table(m.qt).source {
-                let sk =
-                    self.optimize_block(catalog, bound, provider, query, &inner_outer, total)?;
+                let sk = self.optimize_block(bound, provider, query, &inner_outer, total)?;
                 inner_estimates.insert(m.qt, (sk.root.rows(), sk.root.cost()));
                 inner_skeletons.insert(m.qt, sk);
             }
         }
-        let (desc, _oids) = convert_block(bound, block, provider, &inner_estimates, outer)?;
-        let plan = orcalite::optimize_block(&desc, provider, &self.config)?;
+
+        faults.fire(FaultSite::TreeConvert).map_err(DetourFail::classify)?;
+        let (desc, _oids) = convert_block(bound, block, provider, &inner_estimates, outer)
+            .map_err(DetourFail::classify)?;
+
+        let plan = self.optimize_with_ladder(&desc, provider)?;
         total.groups += plan.stats.groups;
         total.splits_explored += plan.stats.splits_explored;
         total.plans_costed += plan.stats.plans_costed;
-        to_skeleton(&plan, block, &inner_skeletons)
+        if plan.changed_block_structure {
+            return Err(DetourFail {
+                reason: FallbackReason::ChangedBlockStructure,
+                detail: "Orca changed the query block structure (§4.2.1)".to_string(),
+            });
+        }
+
+        faults.fire(FaultSite::PlanConvert).map_err(DetourFail::classify)?;
+        let skeleton = to_skeleton(&plan, block, &inner_skeletons).map_err(|e| {
+            // The plan converter's own fallback errors are exactly its
+            // block-structure checks; anything else is unexpected.
+            let reason = match &e {
+                Error::OrcaFallback(_) => FallbackReason::ChangedBlockStructure,
+                _ => FallbackReason::Unsupported,
+            };
+            DetourFail::new(reason, &e)
+        })?;
+
+        faults
+            .fire(FaultSite::SkeletonValidate)
+            .and_then(|()| validate_skeleton(&skeleton, block, bound))
+            .map_err(|e| DetourFail::new(FallbackReason::InvalidSkeleton, &e))?;
+        Ok(skeleton)
     }
 }
 
@@ -129,17 +352,28 @@ impl CostBasedOptimizer for OrcaOptimizer {
             self.below.set(self.below.get() + 1);
             return MySqlOptimizer.optimize(catalog, bound);
         }
-        match self.orca_optimize(catalog, bound) {
-            Ok(skeleton) => {
+        // The whole detour is panic-isolated: `OrcaOptimizer` only holds
+        // `Cell` counters, so observing a partially-updated state after an
+        // unwind is benign (at worst a stale last_search snapshot), which
+        // is what makes the `AssertUnwindSafe` sound.
+        let attempt = catch_unwind(AssertUnwindSafe(|| self.orca_optimize(catalog, bound)));
+        let fail = match attempt {
+            Ok(Ok(skeleton)) => {
                 self.routed.set(self.routed.get() + 1);
-                Ok(skeleton)
+                self.last_fallback.set(None);
+                return Ok(skeleton);
             }
-            Err(Error::OrcaFallback(_)) => {
-                self.fallbacks.set(self.fallbacks.get() + 1);
-                MySqlOptimizer.optimize(catalog, bound)
-            }
-            Err(other) => Err(other),
-        }
+            Ok(Err(fail)) => fail,
+            Err(payload) => DetourFail {
+                reason: FallbackReason::Panicked,
+                detail: panic_text(payload.as_ref()),
+            },
+        };
+        let _ = fail.detail; // reason drives behaviour; detail is for debuggers
+        self.note_fallback(fail.reason);
+        let mut skeleton = MySqlOptimizer.optimize(catalog, bound)?;
+        skeleton.orca_fallback = Some(fail.reason.name().to_string());
+        Ok(skeleton)
     }
 }
 
@@ -244,12 +478,89 @@ mod tests {
         let orca = OrcaOptimizer::new(cfg, 1);
         let sql = "SELECT name, COUNT(*) AS n FROM fact, dim1 WHERE fk = pk GROUP BY name";
         let planned = e.plan(sql, &orca).unwrap();
-        // Fallback: plan is NOT Orca-assisted, and the counter shows it.
+        // Fallback: plan is NOT Orca-assisted, and the counters show why.
         assert!(!planned.primary().skeleton.orca_assisted);
         assert_eq!(orca.stats().fallbacks, 1);
+        assert_eq!(orca.stats().reasons.changed_block_structure, 1);
+        assert_eq!(orca.stats().reasons.total(), orca.stats().fallbacks);
+        assert_eq!(orca.last_fallback(), Some(FallbackReason::ChangedBlockStructure));
+        assert_eq!(
+            planned.primary().skeleton.orca_fallback.as_deref(),
+            Some("changed-block-structure")
+        );
         // And it still executes correctly.
         let out = e.execute_planned(&planned).unwrap();
         assert_eq!(out.rows.len(), 40);
+    }
+
+    #[test]
+    fn fallback_reason_shows_in_explain_banner() {
+        let e = engine();
+        let cfg = OrcaConfig { enable_gbagg_below_join: true, ..OrcaConfig::default() };
+        let orca = OrcaOptimizer::new(cfg, 1);
+        let sql = "SELECT name, COUNT(*) AS n FROM fact, dim1 WHERE fk = pk GROUP BY name";
+        let text = e.explain(sql, &orca).unwrap();
+        assert!(text.starts_with("EXPLAIN (ORCA fallback: changed-block-structure)"), "{text}");
+    }
+
+    #[test]
+    fn budget_ladder_rescues_capped_join() {
+        use orcalite::config::SearchBudget;
+        let e = engine();
+        // Measure the efforts of left-deep DP vs greedy on the same join.
+        let effort = |strategy| {
+            let orca = OrcaOptimizer::new(OrcaConfig::with_strategy(strategy), 1);
+            e.plan(THREE_WAY, &orca).unwrap();
+            orca.last_search_stats().plans_costed
+        };
+        let dp = effort(JoinOrderStrategy::Exhaustive);
+        let greedy = effort(JoinOrderStrategy::Greedy);
+        assert!(greedy + 4 <= dp, "ladder premise: greedy ({greedy}) ≪ DP ({dp})");
+        // A join whose member count exceeds the bushy cap, under a budget
+        // only greedy fits: the ladder (EXHAUSTIVE2→EXHAUSTIVE→GREEDY)
+        // completes the block on Orca instead of falling back to MySQL.
+        let cfg = OrcaConfig {
+            bushy_member_cap: 2, // THREE_WAY has 3 members
+            budget: SearchBudget { max_groups: usize::MAX, max_plans_costed: greedy },
+            ..OrcaConfig::default()
+        };
+        let orca = OrcaOptimizer::new(cfg, 1);
+        let planned = e.plan(THREE_WAY, &orca).unwrap();
+        assert!(planned.primary().skeleton.orca_assisted, "rescued, not fallen back");
+        let stats = orca.stats();
+        assert_eq!(stats.fallbacks, 0);
+        assert!(stats.degraded >= 1, "{stats:?}");
+        // The rescued plan still returns correct rows.
+        let out = e.execute_planned(&planned).unwrap();
+        assert_eq!(out.rows.len(), 500);
+    }
+
+    #[test]
+    fn exhausted_ladder_falls_back_with_budget_reason() {
+        use orcalite::config::SearchBudget;
+        let e = engine();
+        let cfg = OrcaConfig {
+            budget: SearchBudget { max_groups: 1, max_plans_costed: 0 },
+            ..OrcaConfig::default()
+        };
+        let orca = OrcaOptimizer::new(cfg, 1);
+        let planned = e.plan(THREE_WAY, &orca).unwrap();
+        assert!(!planned.primary().skeleton.orca_assisted);
+        assert_eq!(orca.stats().reasons.budget_exhausted, 1);
+        assert_eq!(orca.last_fallback(), Some(FallbackReason::BudgetExhausted));
+        assert_eq!(e.execute_planned(&planned).unwrap().rows.len(), 500);
+    }
+
+    #[test]
+    fn orca_success_clears_last_fallback() {
+        let e = engine();
+        let cfg = OrcaConfig { enable_gbagg_below_join: true, ..OrcaConfig::default() };
+        let orca = OrcaOptimizer::new(cfg, 1);
+        e.plan("SELECT name, COUNT(*) AS n FROM fact, dim1 WHERE fk = pk GROUP BY name", &orca)
+            .unwrap();
+        assert!(orca.last_fallback().is_some());
+        e.plan(THREE_WAY, &orca).unwrap();
+        assert_eq!(orca.last_fallback(), None);
     }
 
     #[test]

@@ -98,11 +98,8 @@ mod tests {
                 ]),
             )
             .unwrap();
-        cat.insert(
-            orders,
-            (0..50).map(|i| vec![Value::Int(i), Value::str(format!("P{}", i % 5))]),
-        )
-        .unwrap();
+        cat.insert(orders, (0..50).map(|i| vec![Value::Int(i), Value::str(format!("P{}", i % 5))]))
+            .unwrap();
         let li = cat
             .create_table(
                 "lineitem",
@@ -112,11 +109,8 @@ mod tests {
                 ]),
             )
             .unwrap();
-        cat.insert(
-            li,
-            (0..200).map(|i| vec![Value::Int(i % 50), Value::Double((i % 40) as f64)]),
-        )
-        .unwrap();
+        cat.insert(li, (0..200).map(|i| vec![Value::Int(i % 50), Value::Double((i % 40) as f64)]))
+            .unwrap();
         cat.analyze_all(&AnalyzeOptions::default());
         cat
     }
@@ -133,14 +127,9 @@ mod tests {
         .unwrap();
         let bound = resolve_statement(&cat, &stmt).unwrap();
         let provider = MySqlMdProvider::new(&cat);
-        let (desc, oids) = convert_block(
-            &bound,
-            &bound.root,
-            &provider,
-            &InnerEstimates::new(),
-            &BTreeSet::new(),
-        )
-        .unwrap();
+        let (desc, oids) =
+            convert_block(&bound, &bound.root, &provider, &InnerEstimates::new(), &BTreeSet::new())
+                .unwrap();
         assert_eq!(desc.members.len(), 2);
         assert!(desc.has_aggregation);
         // Both base members were embellished with valid relation OIDs.
@@ -158,10 +147,8 @@ mod tests {
     #[test]
     fn derived_member_requires_inner_estimates() {
         let cat = catalog();
-        let stmt = parse_select(
-            "SELECT n FROM (SELECT COUNT(*) AS n FROM lineitem) d WHERE n > 0",
-        )
-        .unwrap();
+        let stmt = parse_select("SELECT n FROM (SELECT COUNT(*) AS n FROM lineitem) d WHERE n > 0")
+            .unwrap();
         let bound = resolve_statement(&cat, &stmt).unwrap();
         let provider = MySqlMdProvider::new(&cat);
         // Without estimates: error.

@@ -1,0 +1,337 @@
+//! Skeleton validation: the bridge's last line of defence before a
+//! converted Orca plan is handed to refinement.
+//!
+//! The plan converter already rejects plans whose query-block structure
+//! changed (§4.2.1); this pass checks the *internal* consistency of the
+//! skeleton itself, so a converter bug or a malformed Orca plan is caught
+//! here — and turned into a transparent MySQL fallback by the router —
+//! rather than surfacing as a refinement panic or a wrong answer:
+//!
+//! * every block member appears in the best-position array exactly once,
+//!   and no foreign tables appear;
+//! * every best-position entry carries finite, non-negative cost and
+//!   cardinality estimates (they are copied into MySQL, §4.2.2 — NaN or
+//!   negative values would poison downstream costing);
+//! * every column reference in an access method resolves to a real column
+//!   of a table that is in scope at that position (probe keys may only
+//!   look left in the join order, or at outer-query tables);
+//! * derived members — including each CTE reference, which gets its own
+//!   copy under MySQL's multiple-producer model (§4.2.3) — carry exactly
+//!   one inner skeleton, which is validated recursively against its own
+//!   block; base members must not carry one.
+
+use mylite::bound::{BoundQuery, BoundStatement, TableSource};
+use mylite::skeleton::{AccessChoice, SkelNode, Skeleton};
+use std::collections::BTreeSet;
+use taurus_common::error::{Error, Result};
+use taurus_common::Expr;
+
+/// Validate one block's skeleton against the bound statement. Any
+/// violation is an [`Error::OrcaFallback`]; the router records it under
+/// the `invalid-skeleton` fallback reason.
+pub fn validate_skeleton(
+    skeleton: &Skeleton,
+    block: &BoundQuery,
+    bound: &BoundStatement,
+) -> Result<()> {
+    let invalid = |msg: String| Error::fallback(format!("invalid skeleton: {msg}"));
+
+    // 1. The best-position array is exactly this block's member list.
+    let positions = skeleton.root.best_positions();
+    let mut seen: BTreeSet<usize> = BTreeSet::new();
+    for leaf in &positions {
+        if !seen.insert(leaf.qt) {
+            return Err(invalid(format!("query table {} appears more than once", leaf.qt)));
+        }
+    }
+    let expected = block.member_qts();
+    if seen != expected {
+        return Err(invalid(format!(
+            "best positions cover query tables {seen:?} but the block owns {expected:?}"
+        )));
+    }
+
+    // Tables visible to a probe-key expression at position p: tables at
+    // earlier best positions, plus anything outside this block (outer
+    // query levels under correlation).
+    let mut visible: BTreeSet<usize> =
+        (0..bound.num_tables()).filter(|qt| !expected.contains(qt)).collect();
+
+    for leaf in &positions {
+        // 2. Estimates must be sane — they get copied into MySQL (§4.2.2).
+        for (what, v) in [("rows", leaf.rows), ("cost", leaf.cost)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(invalid(format!(
+                    "query table {} has non-finite or negative {what} estimate ({v})",
+                    leaf.qt
+                )));
+            }
+        }
+        if leaf.qt >= bound.num_tables() {
+            return Err(invalid(format!("query table {} outside the statement", leaf.qt)));
+        }
+        let meta = bound.table(leaf.qt);
+
+        // 3. Column references in access methods must resolve in scope.
+        let own_and_visible = |exprs: &[Expr], ctx: &str| -> Result<()> {
+            for e in exprs {
+                for c in e.referenced_columns() {
+                    if c.table >= bound.num_tables() {
+                        return Err(invalid(format!(
+                            "{ctx} of query table {} references unknown table {}",
+                            leaf.qt, c.table
+                        )));
+                    }
+                    if c.col >= bound.table(c.table).width() {
+                        return Err(invalid(format!(
+                            "{ctx} of query table {} references column {} of table {} \
+                             (width {})",
+                            leaf.qt,
+                            c.col,
+                            c.table,
+                            bound.table(c.table).width()
+                        )));
+                    }
+                    if c.table != leaf.qt && !visible.contains(&c.table) {
+                        return Err(invalid(format!(
+                            "{ctx} of query table {} looks right in the join order at \
+                             table {}",
+                            leaf.qt, c.table
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        };
+        match &leaf.access {
+            AccessChoice::TableScan | AccessChoice::IndexScan { .. } => {}
+            AccessChoice::IndexRange { lo, hi, consumed, .. } => {
+                let bounds: Vec<Expr> =
+                    lo.iter().chain(hi.iter()).map(|(e, _)| e.clone()).collect();
+                for b in &bounds {
+                    if !b.is_const() {
+                        return Err(invalid(format!(
+                            "index-range bound on query table {} is not constant",
+                            leaf.qt
+                        )));
+                    }
+                }
+                own_and_visible(consumed, "range predicate")?;
+            }
+            AccessChoice::IndexLookup { keys, consumed, .. } => {
+                // Probe keys are outer-row expressions: own-table refs
+                // would be self-lookups.
+                for k in keys {
+                    if k.referenced_tables().contains(&leaf.qt) {
+                        return Err(invalid(format!(
+                            "lookup key on query table {} references itself",
+                            leaf.qt
+                        )));
+                    }
+                }
+                own_and_visible(keys, "lookup key")?;
+                own_and_visible(consumed, "lookup predicate")?;
+            }
+            AccessChoice::Derived { .. } => {}
+        }
+
+        // 4. Derived access ⇔ derived member, with a recursively valid
+        // inner skeleton (one copy per CTE reference, §4.2.3).
+        match (&meta.source, &leaf.access) {
+            (TableSource::Derived { query, .. }, AccessChoice::Derived { skeleton: inner }) => {
+                validate_skeleton(inner, query, bound)?;
+            }
+            (TableSource::Derived { .. }, other) => {
+                return Err(invalid(format!(
+                    "derived query table {} has {} access instead of an inner skeleton",
+                    leaf.qt,
+                    other.kind_name()
+                )));
+            }
+            (TableSource::Base { .. }, AccessChoice::Derived { .. }) => {
+                return Err(invalid(format!(
+                    "base query table {} carries an inner skeleton",
+                    leaf.qt
+                )));
+            }
+            (TableSource::Base { .. }, _) => {}
+        }
+
+        visible.insert(leaf.qt);
+    }
+
+    // 5. Join estimates must be sane too (check 2 covered the leaves).
+    fn joins_sane(node: &SkelNode) -> bool {
+        match node {
+            SkelNode::Leaf(_) => true,
+            SkelNode::Join { left, right, rows, cost, .. } => {
+                rows.is_finite()
+                    && *rows >= 0.0
+                    && cost.is_finite()
+                    && *cost >= 0.0
+                    && joins_sane(left)
+                    && joins_sane(right)
+            }
+        }
+    }
+    if !joins_sane(&skeleton.root) {
+        return Err(invalid("a join node has a non-finite or negative estimate".into()));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mylite::resolve::resolve_statement;
+    use mylite::skeleton::{JoinMethod, SkelLeaf};
+    use taurus_catalog::Catalog;
+    use taurus_common::{Column, DataType, Schema};
+    use taurus_sql::parser::parse_select;
+
+    fn two_table_bound() -> BoundStatement {
+        let mut cat = Catalog::new();
+        cat.create_table(
+            "a",
+            Schema::new(vec![Column::new("x", DataType::Int), Column::new("y", DataType::Int)]),
+        )
+        .unwrap();
+        cat.create_table("b", Schema::new(vec![Column::new("z", DataType::Int)])).unwrap();
+        let stmt = parse_select("SELECT x FROM a, b WHERE x = z").unwrap();
+        resolve_statement(&cat, &stmt).unwrap()
+    }
+
+    fn leaf(qt: usize) -> SkelNode {
+        SkelNode::Leaf(SkelLeaf { qt, access: AccessChoice::TableScan, rows: 1.0, cost: 1.0 })
+    }
+
+    fn join(l: SkelNode, r: SkelNode) -> SkelNode {
+        SkelNode::Join {
+            method: JoinMethod::Hash,
+            left: Box::new(l),
+            right: Box::new(r),
+            rows: 1.0,
+            cost: 2.0,
+        }
+    }
+
+    fn sk(root: SkelNode) -> Skeleton {
+        Skeleton { root, orca_assisted: true, orca_fallback: None }
+    }
+
+    #[test]
+    fn well_formed_skeleton_passes() {
+        let bound = two_table_bound();
+        validate_skeleton(&sk(join(leaf(0), leaf(1))), &bound.root, &bound).unwrap();
+    }
+
+    #[test]
+    fn duplicate_and_missing_tables_fail() {
+        let bound = two_table_bound();
+        let dup = sk(join(leaf(0), leaf(0)));
+        assert!(validate_skeleton(&dup, &bound.root, &bound)
+            .unwrap_err()
+            .to_string()
+            .contains("more than once"));
+        let missing = sk(leaf(0));
+        assert!(validate_skeleton(&missing, &bound.root, &bound)
+            .unwrap_err()
+            .to_string()
+            .contains("the block owns"));
+    }
+
+    #[test]
+    fn non_finite_estimates_fail() {
+        let bound = two_table_bound();
+        let bad = sk(join(
+            SkelNode::Leaf(SkelLeaf {
+                qt: 0,
+                access: AccessChoice::TableScan,
+                rows: f64::NAN,
+                cost: 1.0,
+            }),
+            leaf(1),
+        ));
+        assert!(validate_skeleton(&bad, &bound.root, &bound)
+            .unwrap_err()
+            .to_string()
+            .contains("non-finite"));
+    }
+
+    #[test]
+    fn lookup_key_must_look_left() {
+        let bound = two_table_bound();
+        // b (qt 1) probed by a key over a (qt 0): fine when a is left...
+        let probe = |l: SkelNode, r_qt: usize, key_table: usize| {
+            join(
+                l,
+                SkelNode::Leaf(SkelLeaf {
+                    qt: r_qt,
+                    access: AccessChoice::IndexLookup {
+                        index: 0,
+                        keys: vec![Expr::col(key_table, 0)],
+                        consumed: vec![],
+                    },
+                    rows: 1.0,
+                    cost: 1.0,
+                }),
+            )
+        };
+        validate_skeleton(&sk(probe(leaf(0), 1, 0)), &bound.root, &bound).unwrap();
+        // ...self-referencing keys fail...
+        let err = validate_skeleton(&sk(probe(leaf(0), 1, 1)), &bound.root, &bound).unwrap_err();
+        assert!(err.to_string().contains("references itself"), "{err}");
+        // ...and out-of-statement tables fail.
+        let err = validate_skeleton(&sk(probe(leaf(0), 1, 9)), &bound.root, &bound).unwrap_err();
+        assert!(err.to_string().contains("unknown table"), "{err}");
+    }
+
+    #[test]
+    fn base_table_with_inner_skeleton_fails() {
+        let bound = two_table_bound();
+        let bad = sk(join(
+            SkelNode::Leaf(SkelLeaf {
+                qt: 0,
+                access: AccessChoice::Derived { skeleton: Box::new(sk(leaf(1))) },
+                rows: 1.0,
+                cost: 1.0,
+            }),
+            leaf(1),
+        ));
+        assert!(validate_skeleton(&bad, &bound.root, &bound)
+            .unwrap_err()
+            .to_string()
+            .contains("carries an inner skeleton"));
+    }
+
+    #[test]
+    fn derived_member_requires_and_validates_inner_skeleton() {
+        let mut cat = Catalog::new();
+        cat.create_table("t", Schema::new(vec![Column::new("x", DataType::Int)])).unwrap();
+        let stmt =
+            parse_select("SELECT n FROM (SELECT COUNT(*) AS n FROM t) d, t WHERE n = x").unwrap();
+        let bound = resolve_statement(&cat, &stmt).unwrap();
+        let (d_qt, t_qt) = (bound.root.members[0].qt, bound.root.members[1].qt);
+        let inner_qt = match &bound.table(d_qt).source {
+            TableSource::Derived { query, .. } => query.members[0].qt,
+            other => panic!("{other:?}"),
+        };
+        // Plain access on the derived member: rejected.
+        let bad = sk(join(leaf(d_qt), leaf(t_qt)));
+        assert!(validate_skeleton(&bad, &bound.root, &bound)
+            .unwrap_err()
+            .to_string()
+            .contains("instead of an inner skeleton"));
+        // Correct shape: inner skeleton for the derived block's member.
+        let good = sk(join(
+            SkelNode::Leaf(SkelLeaf {
+                qt: d_qt,
+                access: AccessChoice::Derived { skeleton: Box::new(sk(leaf(inner_qt))) },
+                rows: 1.0,
+                cost: 1.0,
+            }),
+            leaf(t_qt),
+        ));
+        validate_skeleton(&good, &bound.root, &bound).unwrap();
+    }
+}

@@ -35,9 +35,7 @@ impl CatalogTable {
 
     /// Whether `col` is covered by a single-column UNIQUE index.
     pub fn is_unique_column(&self, col: usize) -> bool {
-        self.indexes
-            .iter()
-            .any(|ix| ix.def().unique && ix.def().columns.as_slice() == [col])
+        self.indexes.iter().any(|ix| ix.def().unique && ix.def().columns.as_slice() == [col])
     }
 
     /// Row count (live data, not statistics).
@@ -182,11 +180,7 @@ mod tests {
                 ]),
             )
             .unwrap();
-        cat.insert(
-            id,
-            (0..10).map(|i| vec![Value::Int(i), Value::str(format!("v{i}"))]),
-        )
-        .unwrap();
+        cat.insert(id, (0..10).map(|i| vec![Value::Int(i), Value::str(format!("v{i}"))])).unwrap();
         cat.create_index(id, "primary", vec![0], true).unwrap();
         (cat, id)
     }

@@ -74,12 +74,7 @@ impl Estimator {
 
     /// Row count of a query table (defaulting when unknown).
     pub fn rows(&self, qt: usize) -> f64 {
-        self.rels
-            .get(qt)
-            .and_then(|r| r.as_ref())
-            .map(|r| r.rows)
-            .unwrap_or(DEFAULT_ROWS)
-            .max(1.0)
+        self.rels.get(qt).and_then(|r| r.as_ref()).map(|r| r.rows).unwrap_or(DEFAULT_ROWS).max(1.0)
     }
 
     fn col(&self, c: ColRef) -> Option<&ColView> {
@@ -88,10 +83,7 @@ impl Estimator {
 
     /// NDV of a column, defaulting to 10% of its table's rows.
     pub fn ndv(&self, c: ColRef) -> f64 {
-        self.col(c)
-            .map(|v| v.ndv)
-            .unwrap_or_else(|| (self.rows(c.table) * 0.1).max(1.0))
-            .max(1.0)
+        self.col(c).map(|v| v.ndv).unwrap_or_else(|| (self.rows(c.table) * 0.1).max(1.0)).max(1.0)
     }
 
     /// Selectivity of an arbitrary predicate, in [0, 1].
@@ -213,11 +205,8 @@ impl Estimator {
                 match &view.hist {
                     Some(h) => h.selectivity(op, v) * non_null,
                     None => {
-                        (if op == BinOp::Eq {
-                            1.0 / view.ndv.max(1.0)
-                        } else {
-                            default_for(op)
-                        }) * non_null
+                        (if op == BinOp::Eq { 1.0 / view.ndv.max(1.0) } else { default_for(op) })
+                            * non_null
                     }
                 }
             }
@@ -283,10 +272,8 @@ mod tests {
     #[test]
     fn null_fraction_scales_estimates() {
         let est = estimator();
-        let is_null = Expr::Unary {
-            op: taurus_common::UnOp::IsNull,
-            input: Box::new(Expr::col(0, 1)),
-        };
+        let is_null =
+            Expr::Unary { op: taurus_common::UnOp::IsNull, input: Box::new(Expr::col(0, 1)) };
         assert!((est.selectivity(&is_null) - 0.5).abs() < 0.01);
         // b = 3 can only match among the non-null half; the non-null values
         // are {1,3,5,7,9} uniformly, so sel = 0.2 * 0.5 = 0.1.

@@ -205,11 +205,7 @@ impl Histogram {
     }
 
     /// Selectivity of `lo <= col <= hi` (bounds optional/exclusive-capable).
-    pub fn range_selectivity(
-        &self,
-        lo: Option<(&Value, bool)>,
-        hi: Option<(&Value, bool)>,
-    ) -> f64 {
+    pub fn range_selectivity(&self, lo: Option<(&Value, bool)>, hi: Option<(&Value, bool)>) -> f64 {
         let lo_sel = match lo {
             None => 0.0,
             Some((v, inclusive)) => {
@@ -275,10 +271,8 @@ mod tests {
         assert_eq!(h.num_buckets(), 10);
         let sel = h.selectivity(BinOp::Lt, &Value::Int(500));
         assert!((sel - 0.5).abs() < 0.02, "sel={sel}");
-        let sel = h.range_selectivity(
-            Some((&Value::Int(100), true)),
-            Some((&Value::Int(299), true)),
-        );
+        let sel =
+            h.range_selectivity(Some((&Value::Int(100), true)), Some((&Value::Int(299), true)));
         assert!((sel - 0.2).abs() < 0.02, "sel={sel}");
     }
 
@@ -308,12 +302,7 @@ mod tests {
     fn string_encoding_preserves_order() {
         let words = ["", "A", "Brand#12", "Brand#13", "Brand#34", "a", "zebra"];
         for w in words.windows(2) {
-            assert!(
-                encode_str_prefix(w[0]) <= encode_str_prefix(w[1]),
-                "{} vs {}",
-                w[0],
-                w[1]
-            );
+            assert!(encode_str_prefix(w[0]) <= encode_str_prefix(w[1]), "{} vs {}", w[0], w[1]);
         }
         // Strictly increasing where the first 8 bytes differ.
         assert!(encode_str_prefix("Brand#12") < encode_str_prefix("Brand#13"));
@@ -331,9 +320,7 @@ mod tests {
     #[test]
     fn string_equi_height_supports_ranges() {
         // Force equi-height over strings: > max_buckets distinct values.
-        let mut data: Vec<Value> = (0..200)
-            .map(|i| Value::str(format!("C{:03}", i)))
-            .collect();
+        let mut data: Vec<Value> = (0..200).map(|i| Value::str(format!("C{:03}", i))).collect();
         data.sort_by(|a, b| a.total_cmp(b));
         let h = Histogram::build(&data, 10).unwrap();
         assert!(!h.is_singleton());

@@ -8,7 +8,7 @@
 
 use crate::histogram::Histogram;
 use std::sync::Arc;
-use taurus_common::{Value};
+use taurus_common::Value;
 use taurus_storage::TableData;
 
 /// Knobs for statistics collection.
@@ -112,10 +112,7 @@ fn count_distinct_sorted(sorted: &[Value]) -> usize {
     if sorted.is_empty() {
         return 0;
     }
-    1 + sorted
-        .windows(2)
-        .filter(|w| w[0].total_cmp(&w[1]) != std::cmp::Ordering::Equal)
-        .count()
+    1 + sorted.windows(2).filter(|w| w[0].total_cmp(&w[1]) != std::cmp::Ordering::Equal).count()
 }
 
 #[cfg(test)]

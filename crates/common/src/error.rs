@@ -22,6 +22,10 @@ pub enum Error {
     OrcaFallback(String),
     /// Statement execution failed.
     Execution(String),
+    /// A resource limit was hit mid-operation (optimizer search budget,
+    /// timeout). Callers can match on this to degrade rather than abort —
+    /// the bridge's degradation ladder retries cheaper strategies on it.
+    ResourceExhausted { resource: String, limit: u64 },
     /// Internal invariant violation — indicates a bug in this codebase.
     Internal(String),
 }
@@ -41,6 +45,16 @@ impl Error {
     pub fn fallback(msg: impl Into<String>) -> Self {
         Error::OrcaFallback(msg.into())
     }
+
+    /// Shorthand for [`Error::ResourceExhausted`].
+    pub fn resource_exhausted(resource: impl Into<String>, limit: u64) -> Self {
+        Error::ResourceExhausted { resource: resource.into(), limit }
+    }
+
+    /// Whether this error is a resource-limit failure (budget/timeout).
+    pub fn is_resource_exhausted(&self) -> bool {
+        matches!(self, Error::ResourceExhausted { .. })
+    }
 }
 
 impl fmt::Display for Error {
@@ -54,6 +68,9 @@ impl fmt::Display for Error {
             Error::CatalogMissing(m) => write!(f, "catalog object not found: {m}"),
             Error::OrcaFallback(m) => write!(f, "orca fallback: {m}"),
             Error::Execution(m) => write!(f, "execution error: {m}"),
+            Error::ResourceExhausted { resource, limit } => {
+                write!(f, "resource exhausted: {resource} (limit {limit})")
+            }
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
@@ -79,5 +96,16 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::internal("x"), Error::Internal("x".into()));
         assert_ne!(Error::internal("x"), Error::semantic("x"));
+    }
+
+    #[test]
+    fn resource_exhausted_is_matchable_and_std_error() {
+        let e = Error::resource_exhausted("memo groups", 100);
+        assert!(e.is_resource_exhausted());
+        assert!(e.to_string().contains("memo groups"));
+        assert!(e.to_string().contains("100"));
+        // The enum participates in std error-trait machinery.
+        let dynamic: &dyn std::error::Error = &e;
+        assert!(dynamic.source().is_none());
     }
 }

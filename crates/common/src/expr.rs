@@ -204,16 +204,47 @@ pub enum Expr {
     Slot(usize),
     /// Constant.
     Literal(Value),
-    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
-    Unary { op: UnOp, input: Box<Expr> },
-    Func { func: ScalarFunc, args: Vec<Expr> },
-    Case { operand: Option<Box<Expr>>, branches: Vec<(Expr, Expr)>, else_: Option<Box<Expr>> },
-    InList { expr: Box<Expr>, list: Vec<Expr>, negated: bool },
-    Like { expr: Box<Expr>, pattern: Box<Expr>, negated: bool },
-    Between { expr: Box<Expr>, low: Box<Expr>, high: Box<Expr>, negated: bool },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        input: Box<Expr>,
+    },
+    Func {
+        func: ScalarFunc,
+        args: Vec<Expr>,
+    },
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_: Option<Box<Expr>>,
+    },
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+        negated: bool,
+    },
     /// An aggregate call. Valid only below an aggregation operator; the
     /// refinement phase replaces it with a [`Expr::Slot`] above one.
-    Agg { func: AggFunc, arg: Option<Box<Expr>>, distinct: bool },
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+        distinct: bool,
+    },
 }
 
 /// Evaluation context: the current concatenated row plus its layout.
@@ -417,10 +448,7 @@ impl Expr {
             }
             Expr::Case { operand, branches, else_ } => Expr::Case {
                 operand: operand.map(|o| Box::new(o.rewrite(f))),
-                branches: branches
-                    .into_iter()
-                    .map(|(w, t)| (w.rewrite(f), t.rewrite(f)))
-                    .collect(),
+                branches: branches.into_iter().map(|(w, t)| (w.rewrite(f), t.rewrite(f))).collect(),
                 else_: else_.map(|e| Box::new(e.rewrite(f))),
             },
             Expr::InList { expr, list, negated } => Expr::InList {
@@ -1031,7 +1059,10 @@ mod tests {
     fn conjunct_splitting() {
         let e = Expr::and(
             Expr::eq(Expr::col(0, 0), Expr::int(1)),
-            Expr::and(Expr::eq(Expr::col(1, 0), Expr::int(2)), Expr::eq(Expr::col(2, 0), Expr::int(3))),
+            Expr::and(
+                Expr::eq(Expr::col(1, 0), Expr::int(2)),
+                Expr::eq(Expr::col(2, 0), Expr::int(3)),
+            ),
         );
         let parts = e.conjuncts();
         assert_eq!(parts.len(), 3);
@@ -1061,7 +1092,8 @@ mod tests {
         assert!(!e.contains_agg());
         assert!(!e.is_const());
         assert!(Expr::int(3).is_const());
-        let agg = Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col(0, 0))), distinct: false };
+        let agg =
+            Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col(0, 0))), distinct: false };
         assert!(agg.contains_agg());
     }
 
@@ -1072,8 +1104,10 @@ mod tests {
         let ctx = EvalCtx::new(&row, &layout);
         let y = Expr::Func { func: ScalarFunc::Year, args: vec![Expr::col(0, 0)] };
         assert_eq!(y.eval(ctx).unwrap(), Value::Int(1999));
-        let plus3m =
-            Expr::Func { func: ScalarFunc::DateAddMonths, args: vec![Expr::col(0, 0), Expr::int(3)] };
+        let plus3m = Expr::Func {
+            func: ScalarFunc::DateAddMonths,
+            args: vec![Expr::col(0, 0), Expr::int(3)],
+        };
         assert_eq!(plus3m.eval(ctx).unwrap().to_string(), "1999-04-15");
     }
 

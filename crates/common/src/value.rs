@@ -350,8 +350,7 @@ mod tests {
 
     #[test]
     fn total_order_nulls_first() {
-        let mut vals =
-            [Value::Int(3), Value::Null, Value::Int(1), Value::str("abc"), Value::Null];
+        let mut vals = [Value::Int(3), Value::Null, Value::Int(1), Value::str("abc"), Value::Null];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null() && vals[1].is_null());
         assert_eq!(vals[2], Value::Int(1));

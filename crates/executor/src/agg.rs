@@ -58,17 +58,19 @@ impl Accumulator {
                 };
             }
             AggFunc::Min => {
-                let replace = self.min.as_ref().is_none_or(|m| {
-                    v.sql_cmp(m) == Some(std::cmp::Ordering::Less)
-                });
+                let replace = self
+                    .min
+                    .as_ref()
+                    .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Less));
                 if replace {
                     self.min = Some(v.clone());
                 }
             }
             AggFunc::Max => {
-                let replace = self.max.as_ref().is_none_or(|m| {
-                    v.sql_cmp(m) == Some(std::cmp::Ordering::Greater)
-                });
+                let replace = self
+                    .max
+                    .as_ref()
+                    .is_none_or(|m| v.sql_cmp(m) == Some(std::cmp::Ordering::Greater));
                 if replace {
                     self.max = Some(v.clone());
                 }
@@ -168,10 +170,8 @@ mod tests {
 
     #[test]
     fn stddev_population() {
-        let vals: Vec<Value> = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
-            .iter()
-            .map(|&x| Value::Double(x))
-            .collect();
+        let vals: Vec<Value> =
+            [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().map(|&x| Value::Double(x)).collect();
         match run(AggFunc::StdDev, false, &vals) {
             Value::Double(d) => assert!((d - 2.0).abs() < 1e-9),
             other => panic!("{other:?}"),

@@ -190,10 +190,9 @@ fn exec(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result<Vec<
                 .transpose()?;
             let env = Env::new(binding, &plan.space(ctx.num_tables), ctx.num_tables);
             let mut out = Vec::new();
-            for rid in ix.range(
-                lo_v.as_ref().map(|(v, i)| (v, *i)),
-                hi_v.as_ref().map(|(v, i)| (v, *i)),
-            ) {
+            for rid in
+                ix.range(lo_v.as_ref().map(|(v, i)| (v, *i)), hi_v.as_ref().map(|(v, i)| (v, *i)))
+            {
                 ExecStats::bump(&ctx.stats.rows_scanned, 1);
                 let row = t.data.row(rid);
                 if env.passes(filter, row)? {
@@ -417,10 +416,9 @@ fn exec_nested_loop(
                     joined.extend(std::iter::repeat_n(Value::Null, right_width));
                     out.push(joined);
                 }
-                JoinKind::AntiSemi
-                    if !(null_aware && saw_unknown) => {
-                        out.push(lrow.clone());
-                    }
+                JoinKind::AntiSemi if !(null_aware && saw_unknown) => {
+                    out.push(lrow.clone());
+                }
                 _ => {}
             }
         }
@@ -471,11 +469,8 @@ fn exec_hash_join(
     let join_env = Env::new(binding, &join_space, ctx.num_tables);
 
     // Decide sides. Build rows are hashed; probe rows stream past.
-    let (build_rows, probe_rows, build_is_left) = if build_left {
-        (&left_rows, &right_rows, true)
-    } else {
-        (&right_rows, &left_rows, false)
-    };
+    let (build_rows, probe_rows, build_is_left) =
+        if build_left { (&left_rows, &right_rows, true) } else { (&right_rows, &left_rows, false) };
     let build_env = if build_is_left { &left_env } else { &right_env };
     let probe_env = if build_is_left { &right_env } else { &left_env };
     let build_keys: Vec<&Expr> = if build_is_left {
@@ -525,11 +520,8 @@ fn exec_hash_join(
             any_null |= v.is_null();
             kv.push(v);
         }
-        let matches: &[usize] = if any_null {
-            &[]
-        } else {
-            table.get(&kv).map(|v| v.as_slice()).unwrap_or(&[])
-        };
+        let matches: &[usize] =
+            if any_null { &[] } else { table.get(&kv).map(|v| v.as_slice()).unwrap_or(&[]) };
 
         let mut matched = false;
         for &bi in matches {
@@ -589,8 +581,9 @@ fn exec_aggregate(
         }
         Ok(())
     };
-    let new_accs =
-        || -> Vec<Accumulator> { aggs.iter().map(|s| Accumulator::new(s.func, s.distinct)).collect() };
+    let new_accs = || -> Vec<Accumulator> {
+        aggs.iter().map(|s| Accumulator::new(s.func, s.distinct)).collect()
+    };
     let emit = |key: Vec<Value>, accs: &[Accumulator]| -> Row {
         let mut row = key;
         row.extend(accs.iter().map(|a| a.finish()));
@@ -887,7 +880,7 @@ mod tests {
         stream_rows.sort_by(|a, b| a[0].total_cmp(&b[0]));
         assert_eq!(hash_rows, stream_rows);
         assert_eq!(hash_rows.len(), 3); // dept 10, 20, NULL
-        // Group 10: count 2, sum 300.
+                                        // Group 10: count 2, sum 300.
         let g10 = hash_rows.iter().find(|r| r[0] == Value::Int(10)).unwrap();
         assert_eq!(g10[1], Value::Int(2));
         assert_eq!(g10[2], Value::Int(300));

@@ -218,10 +218,9 @@ impl Plan {
             | Plan::Limit { input, .. } => input.space(num_tables),
             Plan::Project { exprs, .. } => RowSpace::Slots(exprs.len()),
             Plan::Aggregate { group_by, aggs, .. } => RowSpace::Slots(group_by.len() + aggs.len()),
-            Plan::Union { inputs, .. } => inputs
-                .first()
-                .map(|p| p.space(num_tables))
-                .unwrap_or(RowSpace::Slots(0)),
+            Plan::Union { inputs, .. } => {
+                inputs.first().map(|p| p.space(num_tables)).unwrap_or(RowSpace::Slots(0))
+            }
         }
     }
 
@@ -347,7 +346,13 @@ mod tests {
     use super::*;
 
     fn scan(qt: usize, width: usize) -> Plan {
-        Plan::TableScan { table: TableId(qt as u32), qt, width, filter: vec![], est: Est::default() }
+        Plan::TableScan {
+            table: TableId(qt as u32),
+            qt,
+            width,
+            filter: vec![],
+            est: Est::default(),
+        }
     }
 
     fn inner_nl(l: Plan, r: Plan) -> Plan {

@@ -105,9 +105,7 @@ impl JoinEntry {
     pub fn on(&self) -> &[Expr] {
         match self {
             JoinEntry::Inner => &[],
-            JoinEntry::LeftOuter { on } | JoinEntry::Semi { on } | JoinEntry::Anti { on, .. } => {
-                on
-            }
+            JoinEntry::LeftOuter { on } | JoinEntry::Semi { on } | JoinEntry::Anti { on, .. } => on,
         }
     }
 }

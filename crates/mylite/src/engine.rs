@@ -134,7 +134,7 @@ impl Engine {
             if i > 0 {
                 out.push_str(&format!("UNION {}\n", if b.all { "ALL" } else { "DISTINCT" }));
             }
-            out.push_str(&explain_plan(&b.plan, &b.bound, &self.catalog, b.skeleton.orca_assisted));
+            out.push_str(&explain_plan(&b.plan, &b.bound, &self.catalog, &b.skeleton));
         }
         Ok(out)
     }
@@ -168,10 +168,7 @@ impl Engine {
             }
             planned.push(PlannedBranch { bound, skeleton, plan, all });
         }
-        Ok(PlannedQuery {
-            branches: planned,
-            columns: columns.expect("at least one branch"),
-        })
+        Ok(PlannedQuery { branches: planned, columns: columns.expect("at least one branch") })
     }
 
     /// Execute a previously planned query.
@@ -244,9 +241,7 @@ fn ast_const_to_value(e: &taurus_sql::AstExpr, layout: &Layout) -> Result<Value>
         A::Lit(v) => taurus_common::Expr::Literal(v.clone()),
         A::Neg(inner) => return ast_const_to_value(inner, layout)?.neg(),
         other => {
-            return Err(Error::semantic(format!(
-                "INSERT values must be literals, got {other:?}"
-            )))
+            return Err(Error::semantic(format!("INSERT values must be literals, got {other:?}")))
         }
     };
     expr.eval(EvalCtx::new(&[], layout))
@@ -291,10 +286,7 @@ mod tests {
             .unwrap();
         cat.insert(
             d,
-            vec![
-                vec![Value::Int(10), Value::str("eng")],
-                vec![Value::Int(20), Value::str("ops")],
-            ],
+            vec![vec![Value::Int(10), Value::str("eng")], vec![Value::Int(20), Value::str("ops")]],
         )
         .unwrap();
         cat.create_index(d, "dept_pk", vec![0], true).unwrap();
@@ -321,11 +313,7 @@ mod tests {
     #[test]
     fn join_query() {
         let e = engine();
-        let out = e
-            .query(
-                "SELECT id, dname FROM emp, dept WHERE dept = did ORDER BY id",
-            )
-            .unwrap();
+        let out = e.query("SELECT id, dname FROM emp, dept WHERE dept = did ORDER BY id").unwrap();
         assert_eq!(out.rows.len(), 3);
         assert_eq!(out.rows[0][1], Value::str("eng"));
     }
@@ -393,11 +381,8 @@ mod tests {
     #[test]
     fn left_join_preserved_and_where_filter() {
         let e = engine();
-        let out = e
-            .query(
-                "SELECT id, dname FROM emp LEFT JOIN dept ON dept = did ORDER BY id",
-            )
-            .unwrap();
+        let out =
+            e.query("SELECT id, dname FROM emp LEFT JOIN dept ON dept = did ORDER BY id").unwrap();
         assert_eq!(out.rows.len(), 4);
         assert!(out.rows[3][1].is_null());
     }
@@ -439,9 +424,8 @@ mod tests {
     #[test]
     fn explain_shows_banner_and_tree() {
         let e = engine();
-        let text = e
-            .explain("SELECT id, dname FROM emp, dept WHERE dept = did", &MySqlOptimizer)
-            .unwrap();
+        let text =
+            e.explain("SELECT id, dname FROM emp, dept WHERE dept = did", &MySqlOptimizer).unwrap();
         assert!(text.starts_with("EXPLAIN\n"), "{text}");
         assert!(text.contains("join"), "{text}");
         assert!(text.contains("emp"), "{text}");
@@ -485,8 +469,8 @@ mod tests {
         // §2.2/§7 item 4: ORDER BY on an indexed column uses the ordered
         // index scan and elides the sort.
         let e = engine();
-        let text = e.explain("SELECT id, salary FROM emp ORDER BY id LIMIT 3", &MySqlOptimizer)
-            .unwrap();
+        let text =
+            e.explain("SELECT id, salary FROM emp ORDER BY id LIMIT 3", &MySqlOptimizer).unwrap();
         assert!(text.contains("Index scan on emp"), "{text}");
         assert!(!text.contains("Sort:"), "{text}");
         let out = e.query("SELECT id, salary FROM emp ORDER BY id LIMIT 3").unwrap();

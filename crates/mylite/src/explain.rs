@@ -5,33 +5,28 @@
 //! the plan (for the Orca path they were copied into the skeleton, §4.2.2).
 
 use crate::bound::BoundStatement;
+use crate::skeleton::Skeleton;
 use std::fmt::Write;
 use taurus_catalog::Catalog;
 use taurus_common::{ColRef, Expr};
 use taurus_executor::{AggStrategy, JoinKind, Plan};
 
-/// Render an executable plan as an EXPLAIN tree.
+/// Render an executable plan as an EXPLAIN tree. The skeleton supplies the
+/// provenance banner (Orca-assisted, plain MySQL, or fallback + reason).
 pub fn explain_plan(
     plan: &Plan,
     bound: &BoundStatement,
     catalog: &Catalog,
-    orca_assisted: bool,
+    skeleton: &Skeleton,
 ) -> String {
     let namer = |c: ColRef| -> String {
         let meta = &bound.tables[c.table];
-        let col = meta
-            .columns
-            .get(c.col)
-            .cloned()
-            .unwrap_or_else(|| format!("c{}", c.col));
+        let col = meta.columns.get(c.col).cloned().unwrap_or_else(|| format!("c{}", c.col));
         format!("{}.{}", meta.display_name, col)
     };
     let mut out = String::new();
-    if orca_assisted {
-        out.push_str("EXPLAIN (ORCA)\n");
-    } else {
-        out.push_str("EXPLAIN\n");
-    }
+    out.push_str(&skeleton.explain_banner());
+    out.push('\n');
     render(plan, bound, catalog, &namer, 0, &mut out);
     out
 }
@@ -182,8 +177,7 @@ fn render(
         }
         Plan::Project { input, exprs, .. } => {
             indent(out, depth);
-            let text =
-                exprs.iter().map(|e| e.display_with(namer)).collect::<Vec<_>>().join(", ");
+            let text = exprs.iter().map(|e| e.display_with(namer)).collect::<Vec<_>>().join(", ");
             let _ = writeln!(out, "Output: {text}");
             render(input, bound, catalog, namer, depth + 1, out);
         }
@@ -236,8 +230,12 @@ fn render(
         }
         Plan::Union { inputs, distinct, .. } => {
             indent(out, depth);
-            let _ =
-                writeln!(out, "Union {}{}", if *distinct { "distinct" } else { "all" }, est_suffix(plan));
+            let _ = writeln!(
+                out,
+                "Union {}{}",
+                if *distinct { "distinct" } else { "all" },
+                est_suffix(plan)
+            );
             for i in inputs {
                 render(i, bound, catalog, namer, depth + 1, out);
             }

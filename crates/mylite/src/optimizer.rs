@@ -103,9 +103,7 @@ impl<'a> PlanCtx<'a> {
             // touch only this table (plus outer parameters).
             let mut local: Vec<Expr> = Vec::new();
             let usable = |e: &Expr| {
-                e.referenced_tables()
-                    .iter()
-                    .all(|t| *t == m.qt || outer.contains(t))
+                e.referenced_tables().iter().all(|t| *t == m.qt || outer.contains(t))
                     && e.referenced_tables().contains(&m.qt)
             };
             for p in block.predicates.iter().chain(m.entry.on()) {
@@ -245,7 +243,12 @@ impl<'a> PlanCtx<'a> {
             let cost = (n * sel).max(1.0) * cost::RANGE_PER_ROW;
             if cost < best.1 {
                 best = (
-                    AccessChoice::IndexRange { index: ix_pos, lo: lo.clone(), hi: hi.clone(), consumed },
+                    AccessChoice::IndexRange {
+                        index: ix_pos,
+                        lo: lo.clone(),
+                        hi: hi.clone(),
+                        consumed,
+                    },
                     cost,
                 );
             }
@@ -299,7 +302,8 @@ impl<'a> PlanCtx<'a> {
                 if !m.deps.iter().all(|d| placed.contains(d) || outer.contains(d)) {
                     continue;
                 }
-                let cand = self.evaluate_candidate(block, outer, est, info, &placed, prefix_rows)?;
+                let cand =
+                    self.evaluate_candidate(block, outer, est, info, &placed, prefix_rows)?;
                 let better = match &best {
                     None => true,
                     Some((_, b)) => cand.delta_cost < b.delta_cost,
@@ -331,7 +335,11 @@ impl<'a> PlanCtx<'a> {
             });
         }
 
-        Ok(Skeleton { root: tree.expect("at least one member"), orca_assisted: false })
+        Ok(Skeleton {
+            root: tree.expect("at least one member"),
+            orca_assisted: false,
+            orca_fallback: None,
+        })
     }
 
     /// Cost one candidate table as the next left-deep join.
@@ -377,9 +385,7 @@ impl<'a> PlanCtx<'a> {
         let inner_rows = info.filtered_rows;
         let new_rows = match &m.entry {
             JoinEntry::Inner => (prefix_rows * inner_rows * cross_sel).max(0.01),
-            JoinEntry::LeftOuter { .. } => {
-                (prefix_rows * inner_rows * cross_sel).max(prefix_rows)
-            }
+            JoinEntry::LeftOuter { .. } => (prefix_rows * inner_rows * cross_sel).max(prefix_rows),
             JoinEntry::Semi { .. } => {
                 let frac = (inner_rows * cross_sel).min(1.0);
                 (prefix_rows * frac).max(0.01)
@@ -490,10 +496,7 @@ impl<'a> PlanCtx<'a> {
             }
             // Cross-conds must participate — pure-local lookups are ranges,
             // already handled in choose_access.
-            if !consumed
-                .iter()
-                .any(|c| c.referenced_tables().iter().any(|t| *t != qt))
-            {
+            if !consumed.iter().any(|c| c.referenced_tables().iter().any(|t| *t != qt)) {
                 continue;
             }
             let rows_per_probe = (n * sel).max(if ix.def().unique { 0.0 } else { 0.01 }).min(n);
@@ -571,12 +574,14 @@ fn equi_pair(p: &Expr, qt: usize, available: &BTreeSet<usize>) -> Option<(Expr, 
         let lr = left.referenced_tables();
         let rr = right.referenced_tables();
         let l_this = lr.contains(&qt) && lr.iter().all(|t| *t == qt);
-        let r_other = !rr.contains(&qt) && !rr.is_empty() && rr.iter().all(|t| available.contains(t));
+        let r_other =
+            !rr.contains(&qt) && !rr.is_empty() && rr.iter().all(|t| available.contains(t));
         if l_this && r_other {
             return Some((left.as_ref().clone(), right.as_ref().clone()));
         }
         let r_this = rr.contains(&qt) && rr.iter().all(|t| *t == qt);
-        let l_other = !lr.contains(&qt) && !lr.is_empty() && lr.iter().all(|t| available.contains(t));
+        let l_other =
+            !lr.contains(&qt) && !lr.is_empty() && lr.iter().all(|t| available.contains(t));
         if r_this && l_other {
             return Some((right.as_ref().clone(), left.as_ref().clone()));
         }
@@ -605,11 +610,7 @@ mod tests {
                 ]),
             )
             .unwrap();
-        cat.insert(
-            fact,
-            (0..1000).map(|i| vec![Value::Int(i % 50), Value::Int(i)]),
-        )
-        .unwrap();
+        cat.insert(fact, (0..1000).map(|i| vec![Value::Int(i % 50), Value::Int(i)])).unwrap();
         cat.create_index(fact, "fact_fk", vec![0], false).unwrap();
         let dim = cat
             .create_table(
@@ -620,12 +621,10 @@ mod tests {
                 ]),
             )
             .unwrap();
-        cat.insert(dim, (0..50).map(|i| vec![Value::Int(i), Value::str(format!("d{i}"))]))
-            .unwrap();
+        cat.insert(dim, (0..50).map(|i| vec![Value::Int(i), Value::str(format!("d{i}"))])).unwrap();
         cat.create_index(dim, "dim_pk", vec![0], true).unwrap();
-        let other = cat
-            .create_table("other", Schema::new(vec![Column::new("x", DataType::Int)]))
-            .unwrap();
+        let other =
+            cat.create_table("other", Schema::new(vec![Column::new("x", DataType::Int)])).unwrap();
         cat.insert(other, (0..100).map(|i| vec![Value::Int(i)])).unwrap();
         cat.analyze_all(&AnalyzeOptions::default());
         cat
@@ -666,10 +665,7 @@ mod tests {
     #[test]
     fn join_uses_index_lookup_and_left_deep() {
         let cat = catalog();
-        let (_, sk) = skeleton(
-            &cat,
-            "SELECT v, name FROM fact, dim WHERE fk = pk AND v < 100",
-        );
+        let (_, sk) = skeleton(&cat, "SELECT v, name FROM fact, dim WHERE fk = pk AND v < 100");
         assert!(sk.root.is_left_deep());
         let positions = sk.root.best_positions();
         assert_eq!(positions.len(), 2);
@@ -721,10 +717,8 @@ mod tests {
     #[test]
     fn left_join_placed_after_dependencies() {
         let cat = catalog();
-        let (bound, sk) = skeleton(
-            &cat,
-            "SELECT v FROM fact LEFT JOIN dim ON fk = pk WHERE v < 10",
-        );
+        let (bound, sk) =
+            skeleton(&cat, "SELECT v FROM fact LEFT JOIN dim ON fk = pk WHERE v < 10");
         let qts = sk.root.qts();
         // dim's member has deps on fact's qt.
         let dim_qt = bound.root.members[1].qt;
@@ -734,10 +728,8 @@ mod tests {
     #[test]
     fn semi_join_cannot_drive() {
         let cat = catalog();
-        let (bound, sk) = skeleton(
-            &cat,
-            "SELECT name FROM dim WHERE EXISTS (SELECT * FROM fact WHERE fk = pk)",
-        );
+        let (bound, sk) =
+            skeleton(&cat, "SELECT name FROM dim WHERE EXISTS (SELECT * FROM fact WHERE fk = pk)");
         let semi_qt = bound.root.members[1].qt;
         let qts = sk.root.qts();
         assert_eq!(qts[0], bound.root.members[0].qt);

@@ -132,11 +132,9 @@ fn apply_index_order(
     }
     let Ok(t) = catalog.table(*table) else { return false };
     let wanted: Vec<usize> = order_cols.iter().map(|c| c.col).collect();
-    let Some(index) = t
-        .indexes
-        .iter()
-        .position(|ix| ix.def().columns.len() >= wanted.len() && ix.def().columns[..wanted.len()] == wanted[..])
-    else {
+    let Some(index) = t.indexes.iter().position(|ix| {
+        ix.def().columns.len() >= wanted.len() && ix.def().columns[..wanted.len()] == wanted[..]
+    }) else {
         return false;
     };
     let _ = bound;
@@ -165,11 +163,8 @@ fn finish_block(mut plan: Plan, block: &BoundQuery, presorted: bool) -> Result<P
         let mut collect = |e: &Expr| {
             e.walk(&mut |n| {
                 if let Expr::Agg { func, arg, distinct } = n {
-                    let item = AggItem {
-                        func: *func,
-                        arg: arg.as_deref().cloned(),
-                        distinct: *distinct,
-                    };
+                    let item =
+                        AggItem { func: *func, arg: arg.as_deref().cloned(), distinct: *distinct };
                     if !aggs.contains(&item) {
                         aggs.push(item);
                     }
@@ -276,7 +271,11 @@ fn finish_block(mut plan: Plan, block: &BoundQuery, presorted: bool) -> Result<P
     }
     if let Some(n) = block.limit {
         let est = plan.est();
-        plan = Plan::Limit { input: Box::new(plan), n, est: Est::new(est.rows.min(n as f64), est.cost) };
+        plan = Plan::Limit {
+            input: Box::new(plan),
+            n,
+            est: Est::new(est.rows.min(n as f64), est.cost),
+        };
     }
     Ok(plan)
 }
@@ -285,20 +284,14 @@ fn finish_block(mut plan: Plan, block: &BoundQuery, presorted: bool) -> Result<P
 /// space: grouping expressions become `Slot(i)`, aggregate calls become
 /// `Slot(glen + j)`. Any base-column reference left over violates
 /// ONLY_FULL_GROUP_BY.
-fn lower_to_slots(
-    e: &Expr,
-    group_by: &[Expr],
-    aggs: &[AggItem],
-    glen: usize,
-) -> Result<Expr> {
+fn lower_to_slots(e: &Expr, group_by: &[Expr], aggs: &[AggItem], glen: usize) -> Result<Expr> {
     // Top-down so a grouping expression matches before its children change.
     fn go(e: &Expr, group_by: &[Expr], aggs: &[AggItem], glen: usize) -> Result<Expr> {
         if let Some(i) = group_by.iter().position(|g| g == e) {
             return Ok(Expr::Slot(i));
         }
         if let Expr::Agg { func, arg, distinct } = e {
-            let item =
-                AggItem { func: *func, arg: arg.as_deref().cloned(), distinct: *distinct };
+            let item = AggItem { func: *func, arg: arg.as_deref().cloned(), distinct: *distinct };
             let j = aggs
                 .iter()
                 .position(|a| *a == item)
@@ -314,16 +307,13 @@ fn lower_to_slots(
                 )))
             }
             Expr::Slot(_) | Expr::Literal(_) => e.clone(),
-            Expr::Binary { op, left, right } => Expr::Binary {
-                op: *op,
-                left: Box::new(rec(left)?),
-                right: Box::new(rec(right)?),
-            },
+            Expr::Binary { op, left, right } => {
+                Expr::Binary { op: *op, left: Box::new(rec(left)?), right: Box::new(rec(right)?) }
+            }
             Expr::Unary { op, input } => Expr::Unary { op: *op, input: Box::new(rec(input)?) },
-            Expr::Func { func, args } => Expr::Func {
-                func: *func,
-                args: args.iter().map(rec).collect::<Result<_>>()?,
-            },
+            Expr::Func { func, args } => {
+                Expr::Func { func: *func, args: args.iter().map(rec).collect::<Result<_>>()? }
+            }
             Expr::Case { operand, branches, else_ } => Expr::Case {
                 operand: operand.as_deref().map(rec).transpose()?.map(Box::new),
                 branches: branches
@@ -607,13 +597,8 @@ impl<'a> Refiner<'a> {
                 inner_outer.extend(self.block_qts.iter().copied());
                 let inner_plan =
                     refine_block(self.catalog, self.bound, inner_block, skeleton, &inner_outer)?;
-                let mut plan = Plan::Derived {
-                    input: Box::new(inner_plan),
-                    qt,
-                    width,
-                    name: label,
-                    est,
-                };
+                let mut plan =
+                    Plan::Derived { input: Box::new(inner_plan), qt, width, name: label, est };
                 plan = Plan::Materialize {
                     input: Box::new(plan),
                     rebind: correlated,
@@ -719,8 +704,7 @@ fn split_hash_keys(
     let side_of = |e: &Expr| -> Option<bool> {
         // true = left side, false = right side; None = mixed/neither.
         let refs = e.referenced_tables();
-        let local: Vec<usize> =
-            refs.iter().copied().filter(|t| !outer.contains(t)).collect();
+        let local: Vec<usize> = refs.iter().copied().filter(|t| !outer.contains(t)).collect();
         if local.is_empty() {
             return None;
         }

@@ -140,8 +140,7 @@ impl<'a> Resolver<'a> {
                     }
                 }
                 let meta = &self.tables[entry.qt];
-                if let Some(ci) =
-                    meta.columns.iter().position(|c| c.eq_ignore_ascii_case(col_name))
+                if let Some(ci) = meta.columns.iter().position(|c| c.eq_ignore_ascii_case(col_name))
                 {
                     if let Some((prev_qt, _)) = hit {
                         if prev_qt != entry.qt {
@@ -213,7 +212,9 @@ impl<'a> Resolver<'a> {
             match &mut members[mi].entry {
                 JoinEntry::LeftOuter { on: slot } => *slot = on,
                 other => {
-                    return Err(Error::internal(format!("pending ON for non-outer entry {other:?}")))
+                    return Err(Error::internal(format!(
+                        "pending ON for non-outer entry {other:?}"
+                    )))
                 }
             }
         }
@@ -266,7 +267,12 @@ impl<'a> Resolver<'a> {
         // ---- GROUP BY (columns first, then select aliases).
         let mut group_by = Vec::new();
         for g in &block.group_by {
-            group_by.push(self.resolve_maybe_alias(g, &select, AggMode::Forbidden, &mut members)?);
+            group_by.push(self.resolve_maybe_alias(
+                g,
+                &select,
+                AggMode::Forbidden,
+                &mut members,
+            )?);
         }
 
         // ---- HAVING / ORDER BY / LIMIT.
@@ -277,7 +283,8 @@ impl<'a> Resolver<'a> {
             .transpose()?;
         let mut order_by = Vec::new();
         for item in &block.order_by {
-            let e = self.resolve_maybe_alias(&item.expr, &select, AggMode::Allowed, &mut members)?;
+            let e =
+                self.resolve_maybe_alias(&item.expr, &select, AggMode::Allowed, &mut members)?;
             order_by.push((e, item.desc));
         }
 
@@ -446,12 +453,11 @@ impl<'a> Resolver<'a> {
             self.flatten_table_ref(&b.from[0], &mut sub_members, &mut pend, &mut inner_on)?;
             let mut m = sub_members.pop().expect("single base table");
             let on = match &b.where_clause {
-                Some(w) => self.resolve_conjuncts(w, AggMode::Forbidden, )?,
+                Some(w) => self.resolve_conjuncts(w, AggMode::Forbidden)?,
                 None => vec![],
             };
             // Dependencies: outer tables of this block referenced by the ON.
-            let block_qts: BTreeSet<usize> =
-                members.iter().map(|mm| mm.qt).collect();
+            let block_qts: BTreeSet<usize> = members.iter().map(|mm| mm.qt).collect();
             let mut deps = BTreeSet::new();
             for c in &on {
                 for t in c.referenced_tables() {
@@ -461,8 +467,11 @@ impl<'a> Resolver<'a> {
                 }
             }
             m.deps = deps;
-            m.entry =
-                if negated { JoinEntry::Anti { on, null_aware: false } } else { JoinEntry::Semi { on } };
+            m.entry = if negated {
+                JoinEntry::Anti { on, null_aware: false }
+            } else {
+                JoinEntry::Semi { on }
+            };
             // Remove the inner table's alias from the current scope: its
             // columns are not visible outside the EXISTS.
             let scope = self.scopes.last_mut().expect("scope");
@@ -607,9 +616,7 @@ impl<'a> Resolver<'a> {
     ) -> Result<Expr> {
         if let AstExpr::Name(segs) = e {
             if segs.len() == 1 {
-                if let Some(out) =
-                    select.iter().find(|o| o.name.eq_ignore_ascii_case(&segs[0]))
-                {
+                if let Some(out) = select.iter().find(|o| o.name.eq_ignore_ascii_case(&segs[0])) {
                     return Ok(out.expr.clone());
                 }
             }
@@ -636,9 +643,9 @@ impl<'a> Resolver<'a> {
         match e {
             AstExpr::Name(segs) => self.resolve_name(segs),
             AstExpr::Lit(v) => Ok(Expr::Literal(v.clone())),
-            AstExpr::Interval { .. } => Err(Error::semantic(
-                "INTERVAL literal is only valid as an operand of + or -",
-            )),
+            AstExpr::Interval { .. } => {
+                Err(Error::semantic("INTERVAL literal is only valid as an operand of + or -"))
+            }
             AstExpr::Binary { op, left, right } => {
                 // DATE ± INTERVAL rewrites to the date functions.
                 if let AstExpr::Interval { n, unit } = right.as_ref() {
@@ -730,10 +737,7 @@ impl<'a> Resolver<'a> {
                         return Err(Error::semantic(format!("unsupported CAST target '{other}'")))
                     }
                 };
-                Ok(Expr::Func {
-                    func,
-                    args: vec![self.resolve_expr_inner(expr, mode, members)?],
-                })
+                Ok(Expr::Func { func, args: vec![self.resolve_expr_inner(expr, mode, members)?] })
             }
             AstExpr::Extract { field, expr } => {
                 let func = match field.as_str() {
@@ -744,10 +748,7 @@ impl<'a> Resolver<'a> {
                         return Err(Error::semantic(format!("unsupported EXTRACT field '{other}'")))
                     }
                 };
-                Ok(Expr::Func {
-                    func,
-                    args: vec![self.resolve_expr_inner(expr, mode, members)?],
-                })
+                Ok(Expr::Func { func, args: vec![self.resolve_expr_inner(expr, mode, members)?] })
             }
             AstExpr::ScalarSubquery(query) => self.convert_scalar_subquery(query, members),
             AstExpr::Exists { .. } | AstExpr::InSubquery { .. } => Err(Error::semantic(
@@ -877,7 +878,6 @@ impl<'a> Resolver<'a> {
     }
 }
 
-
 /// Whether an AST expression contains any subquery node (EXISTS/IN/scalar).
 fn ast_has_subquery(e: &AstExpr) -> bool {
     match e {
@@ -934,11 +934,9 @@ pub fn fold_constants(e: Expr) -> Expr {
 pub fn push_not(e: Expr) -> Expr {
     e.rewrite(&mut |node| match node {
         Expr::Unary { op: UnOp::Not, input } => match *input {
-            Expr::Binary { op, left, right } if op.inverse().is_some() => Expr::Binary {
-                op: op.inverse().expect("checked"),
-                left,
-                right,
-            },
+            Expr::Binary { op, left, right } if op.inverse().is_some() => {
+                Expr::Binary { op: op.inverse().expect("checked"), left, right }
+            }
             Expr::Unary { op: UnOp::Not, input: inner } => *inner,
             Expr::Unary { op: UnOp::IsNull, input: inner } => {
                 Expr::Unary { op: UnOp::IsNotNull, input: inner }
@@ -1031,7 +1029,8 @@ mod tests {
 
     #[test]
     fn qualified_and_aliased_names() {
-        let b = bind("SELECT o.o_orderkey FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey");
+        let b =
+            bind("SELECT o.o_orderkey FROM orders o, lineitem l WHERE o.o_orderkey = l.l_orderkey");
         assert_eq!(b.tables.len(), 2);
         assert_eq!(b.root.predicates[0].to_string(), "(t0.c0 = t1.c0)");
     }
@@ -1108,11 +1107,7 @@ mod tests {
         // Depends on part (qt 1) via the correlation.
         assert_eq!(derived.deps.iter().copied().collect::<Vec<_>>(), vec![1]);
         // The comparison references the derived column.
-        assert!(b
-            .root
-            .predicates
-            .iter()
-            .any(|p| p.referenced_tables().contains(&derived.qt)));
+        assert!(b.root.predicates.iter().any(|p| p.referenced_tables().contains(&derived.qt)));
     }
 
     #[test]
@@ -1144,21 +1139,17 @@ mod tests {
         );
         // Two derived copies, one per reference (§4.2.3).
         assert_eq!(b.tables.len(), 4); // 2 copies + 2 inner orders tables
-        let deriveds: Vec<_> = b
-            .tables
-            .iter()
-            .filter(|t| matches!(t.source, TableSource::Derived { .. }))
-            .collect();
+        let deriveds: Vec<_> =
+            b.tables.iter().filter(|t| matches!(t.source, TableSource::Derived { .. })).collect();
         assert_eq!(deriveds.len(), 2);
     }
 
     #[test]
     fn recursive_cte_rejected() {
         let cat = catalog();
-        let stmt = parse_select(
-            "WITH RECURSIVE r AS (SELECT o_orderkey FROM orders) SELECT * FROM r",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("WITH RECURSIVE r AS (SELECT o_orderkey FROM orders) SELECT * FROM r")
+                .unwrap();
         assert!(resolve_statement(&cat, &stmt).is_err());
     }
 

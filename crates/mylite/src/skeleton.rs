@@ -26,7 +26,9 @@ pub enum JoinMethod {
 pub enum AccessChoice {
     TableScan,
     /// Full ordered scan of an index (can supply a sort order, §7 item 4).
-    IndexScan { index: usize },
+    IndexScan {
+        index: usize,
+    },
     /// Range scan on an index's leading column with constant bounds; the
     /// consumed conjuncts are recorded so refinement doesn't re-apply them.
     IndexRange {
@@ -36,9 +38,15 @@ pub enum AccessChoice {
         consumed: Vec<Expr>,
     },
     /// Index lookup ("ref" access) keyed by outer-row expressions.
-    IndexLookup { index: usize, keys: Vec<Expr>, consumed: Vec<Expr> },
+    IndexLookup {
+        index: usize,
+        keys: Vec<Expr>,
+        consumed: Vec<Expr>,
+    },
     /// Derived table / CTE copy: the inner block's own skeleton.
-    Derived { skeleton: Box<Skeleton> },
+    Derived {
+        skeleton: Box<Skeleton>,
+    },
 }
 
 impl AccessChoice {
@@ -127,14 +135,29 @@ pub struct Skeleton {
     /// Whether Orca chose this skeleton (drives the `EXPLAIN (ORCA)`
     /// banner, Listing 7).
     pub orca_assisted: bool,
+    /// When the Orca detour was attempted but aborted, the fallback reason
+    /// (e.g. `"panicked"`, `"budget-exhausted"`); `None` for Orca-assisted
+    /// plans and for queries below the complex-query threshold. Shown in
+    /// the EXPLAIN banner so fallbacks are observable per statement.
+    pub orca_fallback: Option<String>,
 }
 
 impl Skeleton {
+    /// The EXPLAIN first line (Listing 7, extended with fallback reasons).
+    pub fn explain_banner(&self) -> String {
+        if self.orca_assisted {
+            "EXPLAIN (ORCA)".to_string()
+        } else if let Some(reason) = &self.orca_fallback {
+            format!("EXPLAIN (ORCA fallback: {reason})")
+        } else {
+            "EXPLAIN".to_string()
+        }
+    }
+
     /// Render the best-position array like Fig 7: `[part, derived_1_2,
     /// lineitem]`, via a caller-provided qt namer.
     pub fn best_position_display(&self, namer: &dyn Fn(usize) -> String) -> String {
-        let names: Vec<String> =
-            self.root.best_positions().iter().map(|l| namer(l.qt)).collect();
+        let names: Vec<String> = self.root.best_positions().iter().map(|l| namer(l.qt)).collect();
         format!("[{}]", names.join(", "))
     }
 }
@@ -161,10 +184,20 @@ mod tests {
     fn best_positions_are_preorder_leaves() {
         // ((0 ⋈ 2) ⋈ 1)
         let tree = join(join(leaf(0), leaf(2)), leaf(1));
-        let sk = Skeleton { root: tree, orca_assisted: false };
+        let sk = Skeleton { root: tree, orca_assisted: false, orca_fallback: None };
         assert_eq!(sk.root.qts(), vec![0, 2, 1]);
         assert!(sk.root.is_left_deep());
         assert_eq!(sk.best_position_display(&|qt| format!("t{qt}")), "[t0, t2, t1]");
+    }
+
+    #[test]
+    fn banner_reflects_provenance() {
+        let mut sk = Skeleton { root: leaf(0), orca_assisted: true, orca_fallback: None };
+        assert_eq!(sk.explain_banner(), "EXPLAIN (ORCA)");
+        sk.orca_assisted = false;
+        assert_eq!(sk.explain_banner(), "EXPLAIN");
+        sk.orca_fallback = Some("panicked".into());
+        assert_eq!(sk.explain_banner(), "EXPLAIN (ORCA fallback: panicked)");
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub mod memo;
 pub mod physical;
 pub mod rules;
 
-pub use config::{JoinOrderStrategy, OrcaConfig};
+pub use config::{
+    FaultInjector, FaultKind, FaultSite, JoinOrderStrategy, OrcaConfig, SearchBudget,
+};
 pub use desc::{BlockDesc, EntryDesc, MemberDesc, RelSource};
 pub use md::{MdCache, MdIndex, MdRelation, MetadataAccessor};
 pub use memo::optimize_block;

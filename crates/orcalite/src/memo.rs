@@ -28,7 +28,7 @@
 //! what makes the EXHAUSTIVE-vs-EXHAUSTIVE2 compile-time comparison of
 //! Table 1 practical.
 
-use crate::config::{JoinOrderStrategy, OrcaConfig};
+use crate::config::{FaultSite, JoinOrderStrategy, OrcaConfig, SearchBudget};
 use crate::cost;
 use crate::desc::{BlockDesc, EntryDesc, MemberDesc, RelSource};
 use crate::md::{MdCache, MdIndex, MetadataAccessor};
@@ -46,6 +46,7 @@ pub fn optimize_block(
     md: &dyn MetadataAccessor,
     cfg: &OrcaConfig,
 ) -> Result<OrcaPlan> {
+    cfg.faults.fire(FaultSite::OptimizeSearch)?;
     let cache = MdCache::new(md);
     let mut search = Search::new(desc, &cache, cfg)?;
     let root = search.run()?;
@@ -120,6 +121,8 @@ struct Search<'a> {
     est: Estimator,
     groups: HashMap<Bits, Group>,
     next_group: usize,
+    /// Effective effort cap (config budget, possibly fault-squeezed).
+    budget: SearchBudget,
     pub stats: SearchStats,
 }
 
@@ -140,9 +143,7 @@ impl<'a> Search<'a> {
             rels[m.qt] = Some(match &m.source {
                 RelSource::Base { oid } => md
                     .statistics(*oid)
-                    .or_else(|| {
-                        md.relation(*oid).map(|r| RelView::opaque(r.rows, r.num_columns))
-                    })
+                    .or_else(|| md.relation(*oid).map(|r| RelView::opaque(r.rows, r.num_columns)))
                     .ok_or_else(|| {
                         Error::CatalogMissing(format!("relation {oid} unknown to MD accessor"))
                     })?,
@@ -243,8 +244,7 @@ impl<'a> Search<'a> {
         {
             let mut prev = inner_bits;
             for (i, m) in members.iter_mut().enumerate() {
-                let trivial =
-                    m.desc.is_dependent() && m.on_cross.is_empty() && m.dep_bits == 0;
+                let trivial = m.desc.is_dependent() && m.on_cross.is_empty() && m.dep_bits == 0;
                 if trivial {
                     m.dep_bits |= prev & !(1 << i);
                     prev |= 1 << i;
@@ -274,8 +274,22 @@ impl<'a> Search<'a> {
             est,
             groups: HashMap::new(),
             next_group: 0,
+            budget: cfg.faults.squeeze(FaultSite::OptimizeSearch).unwrap_or(cfg.budget),
             stats: SearchStats::default(),
         })
+    }
+
+    /// Budget gate for the exploration loops. Exhaustion is deterministic:
+    /// the same block and config always trip the same check at the same
+    /// point, so the bridge's degradation ladder is reproducible.
+    fn charge_budget(&self) -> Result<()> {
+        if self.groups.len() > self.budget.max_groups {
+            return Err(Error::resource_exhausted("memo groups", self.budget.max_groups as u64));
+        }
+        if self.stats.plans_costed > self.budget.max_plans_costed {
+            return Err(Error::resource_exhausted("plans costed", self.budget.max_plans_costed));
+        }
+        Ok(())
     }
 
     fn run(&mut self) -> Result<PhysNode> {
@@ -285,9 +299,8 @@ impl<'a> Search<'a> {
         match strategy {
             JoinOrderStrategy::Greedy => self.greedy(full)?,
             _ => {
-                self.best(full, strategy)?.ok_or_else(|| {
-                    Error::semantic("no feasible join order (dependency cycle?)")
-                })?;
+                self.best(full, strategy)?
+                    .ok_or_else(|| Error::semantic("no feasible join order (dependency cycle?)"))?;
             }
         }
         self.stats.groups = self.groups.len();
@@ -378,9 +391,7 @@ impl<'a> Search<'a> {
         self.pool_mask
             .iter()
             .enumerate()
-            .filter(move |(_, m)| {
-                **m != 0 && **m & !set == 0 && **m & s1 != 0 && **m & s2 != 0
-            })
+            .filter(move |(_, m)| **m != 0 && **m & !set == 0 && **m & s1 != 0 && **m & s2 != 0)
             .map(|(k, _)| k)
     }
 
@@ -388,6 +399,7 @@ impl<'a> Search<'a> {
 
     /// Returns the best cost to produce `set`, or `None` if infeasible.
     fn best(&mut self, set: Bits, strategy: JoinOrderStrategy) -> Result<Option<f64>> {
+        self.charge_budget()?;
         if let Some(g) = self.groups.get(&set) {
             if g.explored {
                 return Ok(g.winner.as_ref().map(|(c, _)| *c));
@@ -396,15 +408,17 @@ impl<'a> Search<'a> {
         if set.count_ones() == 1 {
             let i = set.trailing_zeros() as usize;
             let cost = self.members[i].leaf_cost;
+            // Invariant: rows_of inserts the group for `set` before returning,
+            // so the lookups below it cannot miss.
             self.rows_of(set);
-            let g = self.groups.get_mut(&set).expect("created");
+            let g = self.groups.get_mut(&set).expect("rows_of created the group");
             g.winner = Some((cost, Decision::Leaf));
             g.explored = true;
             return Ok(Some(cost));
         }
         if !self.plannable(set) {
             self.rows_of(set);
-            self.groups.get_mut(&set).expect("created").explored = true;
+            self.groups.get_mut(&set).expect("rows_of created the group").explored = true;
             return Ok(None);
         }
 
@@ -416,6 +430,7 @@ impl<'a> Search<'a> {
                 return Ok(());
             }
             this.stats.splits_explored += 1;
+            this.charge_budget()?;
             // Dependent members must be lone right children with their
             // dependencies covered by the left side; multi-member right
             // subtrees must be standalone-plannable.
@@ -464,7 +479,7 @@ impl<'a> Search<'a> {
             }
         }
         self.rows_of(set);
-        let g = self.groups.get_mut(&set).expect("created");
+        let g = self.groups.get_mut(&set).expect("rows_of created the group");
         g.winner = best.clone();
         g.explored = true;
         Ok(best.map(|(c, _)| c))
@@ -491,19 +506,14 @@ impl<'a> Search<'a> {
 
         // (a) Hash join (build right, Orca convention §7 item 2) — needs an
         // extractable equi-key and a non-rebinding right side.
-        let mut has_keys = self
-            .conds_at(set, s1, s2)
-            .any(|k| match self.pool_eq_sides[k] {
-                Some((la, rb)) => {
-                    (la & !s1 == 0 && rb & !s2 == 0) || (la & !s2 == 0 && rb & !s1 == 0)
-                }
-                None => false,
-            });
+        let mut has_keys = self.conds_at(set, s1, s2).any(|k| match self.pool_eq_sides[k] {
+            Some((la, rb)) => (la & !s1 == 0 && rb & !s2 == 0) || (la & !s2 == 0 && rb & !s1 == 0),
+            None => false,
+        });
         if let Some(i) = dep {
-            has_keys |= self.members[i]
-                .on_cross
-                .iter()
-                .any(|c| eq_sides_ok(c, &self.member_qts_set(s1), &self.member_qts_set(s2), &self.desc.outer));
+            has_keys |= self.members[i].on_cross.iter().any(|c| {
+                eq_sides_ok(c, &self.member_qts_set(s1), &self.member_qts_set(s2), &self.desc.outer)
+            });
         }
         if has_keys && !correlated_right {
             self.stats.plans_costed += 1;
@@ -515,7 +525,9 @@ impl<'a> Search<'a> {
 
         // (b) Index nested loop for a lone base right member. NULL-aware
         // anti joins cannot use plain lookups.
-        if s2.count_ones() == 1 && !(null_aware && matches!(self.split_kind(dep).0, PhysJoinKind::AntiSemi)) {
+        if s2.count_ones() == 1
+            && !(null_aware && matches!(self.split_kind(dep).0, PhysJoinKind::AntiSemi))
+        {
             let i = s2.trailing_zeros() as usize;
             let on_exprs = self.join_cond_exprs(set, s1, s2, dep);
             if let Some((index, keys, consumed, rows_per_probe)) =
@@ -554,8 +566,7 @@ impl<'a> Search<'a> {
 
     /// The actual join-condition expressions at a split (pool + dep ON).
     fn join_cond_exprs(&self, set: Bits, s1: Bits, s2: Bits, dep: Option<usize>) -> Vec<Expr> {
-        let mut out: Vec<Expr> =
-            self.conds_at(set, s1, s2).map(|k| self.pool[k].clone()).collect();
+        let mut out: Vec<Expr> = self.conds_at(set, s1, s2).map(|k| self.pool[k].clone()).collect();
         if let Some(i) = dep {
             out.extend(self.members[i].on_cross.iter().cloned());
         }
@@ -636,6 +647,7 @@ impl<'a> Search<'a> {
         placed |= 1 << first;
         self.best(placed, JoinOrderStrategy::Exhaustive)?;
         while placed != full {
+            self.charge_budget()?;
             let mut best_choice: Option<(f64, usize, ImplChoice)> = None;
             for i in 0..n {
                 let bit = 1u64 << i;
@@ -652,7 +664,9 @@ impl<'a> Search<'a> {
                 } else {
                     None
                 };
-                for (c, choice) in self.cost_split(placed | bit, placed, bit, dep, cost_l, cost_r)? {
+                for (c, choice) in
+                    self.cost_split(placed | bit, placed, bit, dep, cost_l, cost_r)?
+                {
                     if best_choice.as_ref().is_none_or(|(bc, _, _)| c < *bc) {
                         best_choice = Some((c, i, choice));
                     }
@@ -663,7 +677,7 @@ impl<'a> Search<'a> {
             let s1 = placed;
             placed |= 1 << i;
             self.rows_of(placed);
-            let g = self.groups.get_mut(&placed).expect("created");
+            let g = self.groups.get_mut(&placed).expect("rows_of created the group");
             g.winner = Some((cost, Decision::Join { s1, s2: 1 << i, choice }));
             g.explored = true;
         }
@@ -769,9 +783,7 @@ impl<'a> Search<'a> {
 /// EXHAUSTIVE2 degrades to left-deep DP above the bushy cap.
 fn effective_strategy(cfg: &OrcaConfig, n: usize) -> JoinOrderStrategy {
     match cfg.strategy {
-        JoinOrderStrategy::Exhaustive2 if n > cfg.bushy_member_cap => {
-            JoinOrderStrategy::Exhaustive
-        }
+        JoinOrderStrategy::Exhaustive2 if n > cfg.bushy_member_cap => JoinOrderStrategy::Exhaustive,
         s => s,
     }
 }
@@ -928,11 +940,8 @@ fn eq_sides_ok(
 ) -> bool {
     if let Expr::Binary { op: BinOp::Eq, left, right } = c {
         let side = |e: &Expr| -> Option<bool> {
-            let local: Vec<usize> = e
-                .referenced_tables()
-                .into_iter()
-                .filter(|t| !outer.contains(t))
-                .collect();
+            let local: Vec<usize> =
+                e.referenced_tables().into_iter().filter(|t| !outer.contains(t)).collect();
             if local.is_empty() {
                 return None;
             }
@@ -944,10 +953,7 @@ fn eq_sides_ok(
                 None
             }
         };
-        matches!(
-            (side(left), side(right)),
-            (Some(true), Some(false)) | (Some(false), Some(true))
-        )
+        matches!((side(left), side(right)), (Some(true), Some(false)) | (Some(false), Some(true)))
     } else {
         false
     }
@@ -961,11 +967,8 @@ fn split_keys(
     outer: &BTreeSet<usize>,
 ) -> Vec<(Expr, Expr)> {
     let side = |e: &Expr| -> Option<bool> {
-        let local: Vec<usize> = e
-            .referenced_tables()
-            .into_iter()
-            .filter(|t| !outer.contains(t))
-            .collect();
+        let local: Vec<usize> =
+            e.referenced_tables().into_iter().filter(|t| !outer.contains(t)).collect();
         if local.is_empty() {
             return None;
         }
@@ -1153,12 +1156,9 @@ mod tests {
             has_aggregation: false,
         };
         let exh2 = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
-        let exh = optimize_block(
-            &desc,
-            &md,
-            &OrcaConfig::with_strategy(JoinOrderStrategy::Exhaustive),
-        )
-        .unwrap();
+        let exh =
+            optimize_block(&desc, &md, &OrcaConfig::with_strategy(JoinOrderStrategy::Exhaustive))
+                .unwrap();
         // EXHAUSTIVE2 must do at least as well as left-deep DP.
         assert!(exh2.root.cost() <= exh.root.cost() + 1e-6);
     }
@@ -1230,6 +1230,56 @@ mod tests {
     }
 
     #[test]
+    fn tight_budget_exhausts_deterministically() {
+        let (md, desc) = setup();
+        let cfg = OrcaConfig {
+            budget: SearchBudget { max_groups: 2, max_plans_costed: 2 },
+            ..OrcaConfig::default()
+        };
+        let a = optimize_block(&desc, &md, &cfg).unwrap_err();
+        let b = optimize_block(&desc, &md, &cfg).unwrap_err();
+        assert!(a.is_resource_exhausted(), "{a}");
+        assert_eq!(a, b, "exhaustion point is deterministic");
+        // An ample budget changes nothing.
+        let cfg = OrcaConfig {
+            budget: SearchBudget { max_groups: 1 << 20, max_plans_costed: 1 << 30 },
+            ..OrcaConfig::default()
+        };
+        assert!(optimize_block(&desc, &md, &cfg).is_ok());
+    }
+
+    #[test]
+    fn greedy_fits_budgets_that_exhaust_dp() {
+        // The degradation-ladder premise: a budget can kill the DP
+        // strategies yet leave greedy's linear search room to finish.
+        let (md, desc) = setup();
+        let costed = |s: JoinOrderStrategy| {
+            optimize_block(&desc, &md, &OrcaConfig::with_strategy(s)).unwrap().stats.plans_costed
+        };
+        let greedy_effort = costed(JoinOrderStrategy::Greedy);
+        let dp_effort = costed(JoinOrderStrategy::Exhaustive);
+        assert!(greedy_effort < dp_effort, "{greedy_effort} vs {dp_effort}");
+        let budget = SearchBudget { max_groups: usize::MAX, max_plans_costed: greedy_effort };
+        let mut cfg = OrcaConfig::with_strategy(JoinOrderStrategy::Exhaustive);
+        cfg.budget = budget;
+        assert!(optimize_block(&desc, &md, &cfg).unwrap_err().is_resource_exhausted());
+        let mut cfg = OrcaConfig::with_strategy(JoinOrderStrategy::Greedy);
+        cfg.budget = budget;
+        assert!(optimize_block(&desc, &md, &cfg).is_ok());
+    }
+
+    #[test]
+    fn squeeze_fault_forces_exhaustion() {
+        let (md, desc) = setup();
+        let cfg = OrcaConfig {
+            faults: crate::config::FaultInjector::default()
+                .arm(FaultSite::OptimizeSearch, crate::config::FaultKind::BudgetSqueeze),
+            ..OrcaConfig::default()
+        };
+        assert!(optimize_block(&desc, &md, &cfg).unwrap_err().is_resource_exhausted());
+    }
+
+    #[test]
     fn or_factorized_pool_enables_hash_join() {
         // The Q41 shape: the only join condition hides inside an OR.
         let (md, mut desc) = setup();
@@ -1237,10 +1287,7 @@ mod tests {
         let eqp = Expr::eq(Expr::col(0, 0), Expr::col(1, 0));
         let x = Expr::eq(Expr::col(1, 1), Expr::int(1));
         let y = Expr::eq(Expr::col(1, 1), Expr::int(2));
-        desc.predicates = vec![Expr::or(
-            Expr::and(eqp.clone(), x),
-            Expr::and(eqp.clone(), y),
-        )];
+        desc.predicates = vec![Expr::or(Expr::and(eqp.clone(), x), Expr::and(eqp.clone(), y))];
         let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
         let (_, hj) = plan.root.join_method_counts();
         assert_eq!(hj, 1, "factored equality must drive a hash join:\n{}", plan.root.sketch());

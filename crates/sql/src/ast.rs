@@ -8,7 +8,10 @@ use taurus_common::Value;
 pub enum Statement {
     Select(SelectStmt),
     /// `INSERT INTO t VALUES (...), (...)` — executed by mylite directly.
-    Insert { table: String, rows: Vec<Vec<AstExpr>> },
+    Insert {
+        table: String,
+        rows: Vec<Vec<AstExpr>>,
+    },
 }
 
 /// A full `SELECT` statement: optional CTEs plus a query expression.
@@ -113,7 +116,10 @@ impl QueryBlock {
 pub enum SelectItem {
     /// `SELECT *`.
     Wildcard,
-    Expr { expr: AstExpr, alias: Option<String> },
+    Expr {
+        expr: AstExpr,
+        alias: Option<String>,
+    },
 }
 
 /// An ORDER BY item.
@@ -139,9 +145,7 @@ impl TableRef {
         match self {
             TableRef::Base { .. } => 1,
             TableRef::Derived { query, .. } => query.table_ref_count(),
-            TableRef::Join { left, right, .. } => {
-                left.table_ref_count() + right.table_ref_count()
-            }
+            TableRef::Join { left, right, .. } => left.table_ref_count() + right.table_ref_count(),
         }
     }
 }
@@ -173,30 +177,71 @@ pub enum AstExpr {
     Name(Vec<String>),
     Lit(Value),
     /// `INTERVAL 'n' UNIT` — valid only as an operand of `+`/`-`.
-    Interval { n: i64, unit: IntervalUnit },
-    Binary { op: AstBinOp, left: Box<AstExpr>, right: Box<AstExpr> },
+    Interval {
+        n: i64,
+        unit: IntervalUnit,
+    },
+    Binary {
+        op: AstBinOp,
+        left: Box<AstExpr>,
+        right: Box<AstExpr>,
+    },
     Not(Box<AstExpr>),
     Neg(Box<AstExpr>),
-    IsNull { expr: Box<AstExpr>, negated: bool },
+    IsNull {
+        expr: Box<AstExpr>,
+        negated: bool,
+    },
     /// Function call; `name` is uppercased by the parser. `COUNT(*)` is
     /// `Func { name: "COUNT", star: true, .. }`.
-    Func { name: String, args: Vec<AstExpr>, distinct: bool, star: bool },
+    Func {
+        name: String,
+        args: Vec<AstExpr>,
+        distinct: bool,
+        star: bool,
+    },
     Case {
         operand: Option<Box<AstExpr>>,
         branches: Vec<(AstExpr, AstExpr)>,
         else_expr: Option<Box<AstExpr>>,
     },
-    InList { expr: Box<AstExpr>, list: Vec<AstExpr>, negated: bool },
-    InSubquery { expr: Box<AstExpr>, query: Box<SelectStmt>, negated: bool },
-    Exists { query: Box<SelectStmt>, negated: bool },
+    InList {
+        expr: Box<AstExpr>,
+        list: Vec<AstExpr>,
+        negated: bool,
+    },
+    InSubquery {
+        expr: Box<AstExpr>,
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
+    Exists {
+        query: Box<SelectStmt>,
+        negated: bool,
+    },
     /// `(SELECT single_value ...)` used as a scalar.
     ScalarSubquery(Box<SelectStmt>),
-    Like { expr: Box<AstExpr>, pattern: Box<AstExpr>, negated: bool },
-    Between { expr: Box<AstExpr>, low: Box<AstExpr>, high: Box<AstExpr>, negated: bool },
+    Like {
+        expr: Box<AstExpr>,
+        pattern: Box<AstExpr>,
+        negated: bool,
+    },
+    Between {
+        expr: Box<AstExpr>,
+        low: Box<AstExpr>,
+        high: Box<AstExpr>,
+        negated: bool,
+    },
     /// `CAST(e AS type_name)`.
-    Cast { expr: Box<AstExpr>, type_name: String },
+    Cast {
+        expr: Box<AstExpr>,
+        type_name: String,
+    },
     /// `EXTRACT(field FROM e)`.
-    Extract { field: String, expr: Box<AstExpr> },
+    Extract {
+        field: String,
+        expr: Box<AstExpr>,
+    },
 }
 
 impl AstExpr {
@@ -231,9 +276,7 @@ impl AstExpr {
                 expr.subquery_table_refs() + pattern.subquery_table_refs()
             }
             AstExpr::Between { expr, low, high, .. } => {
-                expr.subquery_table_refs()
-                    + low.subquery_table_refs()
-                    + high.subquery_table_refs()
+                expr.subquery_table_refs() + low.subquery_table_refs() + high.subquery_table_refs()
             }
             AstExpr::Cast { expr, .. } => expr.subquery_table_refs(),
             AstExpr::Extract { expr, .. } => expr.subquery_table_refs(),

@@ -33,11 +33,56 @@ pub struct Token {
 
 /// Every keyword the parser recognizes. Sorted for the binary search.
 const KEYWORDS: &[&str] = &[
-    "ALL", "AND", "AS", "ASC", "BETWEEN", "BY", "CASE", "CAST", "CROSS", "DATE", "DAY", "DESC",
-    "DISTINCT", "ELSE", "END", "EXCEPT", "EXISTS", "EXTRACT", "FALSE", "FROM", "GROUP", "HAVING",
-    "IN", "INNER", "INSERT", "INTERSECT", "INTERVAL", "INTO", "IS", "JOIN", "LEFT", "LIKE",
-    "LIMIT", "MONTH", "NOT", "NULL", "ON", "OR", "ORDER", "OUTER", "RECURSIVE", "SELECT", "THEN",
-    "TRUE", "UNION", "VALUES", "WHEN", "WHERE", "WITH", "YEAR",
+    "ALL",
+    "AND",
+    "AS",
+    "ASC",
+    "BETWEEN",
+    "BY",
+    "CASE",
+    "CAST",
+    "CROSS",
+    "DATE",
+    "DAY",
+    "DESC",
+    "DISTINCT",
+    "ELSE",
+    "END",
+    "EXCEPT",
+    "EXISTS",
+    "EXTRACT",
+    "FALSE",
+    "FROM",
+    "GROUP",
+    "HAVING",
+    "IN",
+    "INNER",
+    "INSERT",
+    "INTERSECT",
+    "INTERVAL",
+    "INTO",
+    "IS",
+    "JOIN",
+    "LEFT",
+    "LIKE",
+    "LIMIT",
+    "MONTH",
+    "NOT",
+    "NULL",
+    "ON",
+    "OR",
+    "ORDER",
+    "OUTER",
+    "RECURSIVE",
+    "SELECT",
+    "THEN",
+    "TRUE",
+    "UNION",
+    "VALUES",
+    "WHEN",
+    "WHERE",
+    "WITH",
+    "YEAR",
 ];
 
 fn keyword(word: &str) -> Option<&'static str> {

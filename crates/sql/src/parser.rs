@@ -294,12 +294,7 @@ impl Parser {
                 self.expect_kw("ON")?;
                 Some(self.expr()?)
             };
-            left = TableRef::Join {
-                left: Box::new(left),
-                right: Box::new(right),
-                kind,
-                on,
-            };
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
         }
         Ok(left)
     }
@@ -343,8 +338,7 @@ impl Parser {
         let mut left = self.not_expr()?;
         while self.eat_kw("AND") {
             let right = self.not_expr()?;
-            left =
-                AstExpr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+            left = AstExpr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
         }
         Ok(left)
     }
@@ -411,11 +405,7 @@ impl Parser {
         }
         if self.eat_kw("LIKE") {
             let pattern = self.additive()?;
-            return Ok(AstExpr::Like {
-                expr: Box::new(left),
-                pattern: Box::new(pattern),
-                negated,
-            });
+            return Ok(AstExpr::Like { expr: Box::new(left), pattern: Box::new(pattern), negated });
         }
         if self.eat_kw("BETWEEN") {
             let low = self.additive()?;
@@ -512,9 +502,10 @@ impl Parser {
                 self.bump();
                 let n = match self.bump() {
                     Tok::Int(n) => n,
-                    Tok::Str(s) => s.trim().parse::<i64>().map_err(|_| {
-                        self.err(format!("bad INTERVAL quantity '{s}'"))
-                    })?,
+                    Tok::Str(s) => s
+                        .trim()
+                        .parse::<i64>()
+                        .map_err(|_| self.err(format!("bad INTERVAL quantity '{s}'")))?,
                     other => {
                         return Err(self.err(format!("expected INTERVAL count, found {other:?}")))
                     }
@@ -585,7 +576,12 @@ impl Parser {
                 self.expect_sym("(")?;
                 let arg = self.expr()?;
                 self.expect_sym(")")?;
-                Ok(AstExpr::Func { name: k.to_string(), args: vec![arg], distinct: false, star: false })
+                Ok(AstExpr::Func {
+                    name: k.to_string(),
+                    args: vec![arg],
+                    distinct: false,
+                    star: false,
+                })
             }
             Tok::Kw("EXISTS") => {
                 self.bump();
@@ -785,8 +781,7 @@ mod tests {
         assert_eq!(stmt.ctes[0].name, "c");
         assert!(!stmt.ctes[0].recursive);
 
-        let rec = match parse("WITH RECURSIVE r AS (SELECT 1 x FROM t) SELECT * FROM r").unwrap()
-        {
+        let rec = match parse("WITH RECURSIVE r AS (SELECT 1 x FROM t) SELECT * FROM r").unwrap() {
             Statement::Select(s) => s,
             other => panic!("{other:?}"),
         };
@@ -809,9 +804,8 @@ mod tests {
 
     #[test]
     fn aggregates_and_case() {
-        let b = block(
-            "SELECT SUM(CASE WHEN p IS NULL THEN 1 ELSE 0 END), COUNT(DISTINCT s) FROM t",
-        );
+        let b =
+            block("SELECT SUM(CASE WHEN p IS NULL THEN 1 ELSE 0 END), COUNT(DISTINCT s) FROM t");
         match &b.select[0] {
             SelectItem::Expr { expr: AstExpr::Func { name, args, .. }, .. } => {
                 assert_eq!(name, "SUM");
@@ -854,10 +848,8 @@ mod tests {
 
     #[test]
     fn table_ref_count_includes_subqueries() {
-        let s = match parse(
-            "SELECT * FROM a, b WHERE EXISTS (SELECT * FROM c WHERE c.x = a.x)",
-        )
-        .unwrap()
+        let s = match parse("SELECT * FROM a, b WHERE EXISTS (SELECT * FROM c WHERE c.x = a.x)")
+            .unwrap()
         {
             Statement::Select(s) => s,
             other => panic!("{other:?}"),

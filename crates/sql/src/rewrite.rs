@@ -49,9 +49,7 @@ pub fn rewrite_set_ops(stmt: SelectStmt) -> Result<SelectStmt> {
     let ctes = stmt
         .ctes
         .into_iter()
-        .map(|c| {
-            Ok(Cte { query: Box::new(rewrite_set_ops(*c.query)?), ..c })
-        })
+        .map(|c| Ok(Cte { query: Box::new(rewrite_set_ops(*c.query)?), ..c }))
         .collect::<Result<Vec<_>>>()?;
     let body = rewrite_expr(stmt.body)?;
     Ok(SelectStmt { ctes, body })
@@ -128,11 +126,8 @@ fn build_exists_form(
             left: Box::new(AstExpr::IsNull { expr: Box::new(la), negated: false }),
             right: Box::new(AstExpr::IsNull { expr: Box::new(rb), negated: false }),
         };
-        let pair = AstExpr::Binary {
-            op: AstBinOp::Or,
-            left: Box::new(eq),
-            right: Box::new(both_null),
-        };
+        let pair =
+            AstExpr::Binary { op: AstBinOp::Or, left: Box::new(eq), right: Box::new(both_null) };
         cond = Some(match cond {
             None => pair,
             Some(c) => {
@@ -156,10 +151,7 @@ fn build_exists_form(
             query: Box::new(SelectStmt::simple(left)),
             alias: "la".into(),
         }],
-        where_clause: Some(AstExpr::Exists {
-            query: Box::new(SelectStmt::simple(inner)),
-            negated,
-        }),
+        where_clause: Some(AstExpr::Exists { query: Box::new(SelectStmt::simple(inner)), negated }),
         ..QueryBlock::default()
     }
 }
@@ -197,10 +189,7 @@ mod tests {
     fn union_survives() {
         let stmt = parse_select("SELECT a FROM t UNION ALL SELECT a FROM u").unwrap();
         let rewritten = rewrite_set_ops(stmt).unwrap();
-        assert!(matches!(
-            rewritten.body,
-            QueryExpr::SetOp { op: SetOp::Union, all: true, .. }
-        ));
+        assert!(matches!(rewritten.body, QueryExpr::SetOp { op: SetOp::Union, all: true, .. }));
     }
 
     #[test]
@@ -223,10 +212,9 @@ mod tests {
 
     #[test]
     fn rewrites_inside_ctes() {
-        let stmt = parse_select(
-            "WITH c AS (SELECT a FROM t INTERSECT SELECT a FROM u) SELECT a FROM c",
-        )
-        .unwrap();
+        let stmt =
+            parse_select("WITH c AS (SELECT a FROM t INTERSECT SELECT a FROM u) SELECT a FROM c")
+                .unwrap();
         let rewritten = rewrite_set_ops(stmt).unwrap();
         assert!(matches!(rewritten.ctes[0].query.body, QueryExpr::Block(_)));
     }

@@ -84,10 +84,7 @@ impl OrderedIndex {
     /// values than key columns, returns every row whose key starts with the
     /// given values (MySQL's "ref" access on a composite index).
     pub fn lookup<'a>(&'a self, prefix: &[Value]) -> impl Iterator<Item = RowId> + 'a {
-        assert!(
-            prefix.len() <= self.def.columns.len(),
-            "lookup prefix longer than index key"
-        );
+        assert!(prefix.len() <= self.def.columns.len(), "lookup prefix longer than index key");
         let lo = IndexKey(prefix.to_vec());
         let prefix_len = prefix.len();
         let owned: Vec<Value> = prefix.to_vec();
@@ -179,10 +176,8 @@ mod tests {
     #[test]
     fn scan_is_key_ordered() {
         let (t, idx) = sample();
-        let keys: Vec<i64> = idx
-            .scan_ordered()
-            .map(|id| t.value(id, 0).as_i64().unwrap())
-            .collect();
+        let keys: Vec<i64> =
+            idx.scan_ordered().map(|id| t.value(id, 0).as_i64().unwrap()).collect();
         assert_eq!(keys, vec![1, 1, 2, 3, 5]);
     }
 

@@ -1,9 +1,90 @@
 //! Deterministic data-generation helpers shared by both workloads.
+//!
+//! The RNG is a vendored xorshift64* generator so the workspace builds with
+//! no external crates (tier-1 verify must pass offline). The API mirrors the
+//! subset of `rand` the generators were written against (`seed_from_u64`,
+//! `gen_range`, `gen_bool`), so call sites read the same.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
 use taurus_common::datetime;
 use taurus_common::Value;
+
+/// A small, fast, deterministic PRNG (xorshift64* with a splitmix64-style
+/// seed scramble). Not cryptographic; statistical quality is ample for
+/// synthetic workload data.
+#[derive(Debug, Clone)]
+pub struct SmallRng {
+    state: u64,
+}
+
+impl SmallRng {
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        // Splitmix64 step: decorrelates adjacent/low-entropy seeds and
+        // guarantees a nonzero xorshift state.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SmallRng { state: z | 1 }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut s = self.state;
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        self.state = s;
+        s.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform float in `[0, 1)` from the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+}
+
+/// Ranges `gen_range` accepts, mirroring `rand`'s `SampleRange`. The type
+/// parameter (rather than an associated type) lets inference flow backward
+/// from the call site's expected output into the range literal.
+pub trait SampleRange<T> {
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i32, i64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
 
 /// Linear scale factor for fact tables. `Scale(1.0)` is the laptop-size
 /// default documented in EXPERIMENTS.md.

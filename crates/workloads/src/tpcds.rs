@@ -13,7 +13,6 @@
 //! OR-trap joins.
 
 use crate::gen::{self, Scale};
-use rand::Rng;
 use taurus_catalog::stats::AnalyzeOptions;
 use taurus_catalog::Catalog;
 use taurus_common::{Column, DataType, Schema, Value};
@@ -437,7 +436,7 @@ pub fn build_catalog(scale: Scale) -> Catalog {
                 let sold = rng.gen_range(0..(sizes::DATE_DIM - 40) as i64);
                 vec![
                     Value::Int(sold),
-                    Value::Int(sold + rng.gen_range(1..30)),
+                    Value::Int(sold + rng.gen_range(1i64..30)),
                     Value::Int(rng.gen_range(0..n_customer as i64)),
                     Value::Int(rng.gen_range(0..n_cd as i64)),
                     Value::Int(rng.gen_range(0..n_hd as i64)),
@@ -987,10 +986,7 @@ pub fn generated_query(n: usize) -> String {
             }
             cond.push(format!("d_year = {year}"));
             if dims.iter().any(|(d, _, _)| *d == "item") {
-                cond.push(format!(
-                    "i_current_price > {}",
-                    5 + (n % 10) * 3
-                ));
+                cond.push(format!("i_current_price > {}", 5 + (n % 10) * 3));
             }
             let gb = group_col(dims[dims.len() - 1].0);
             format!(
@@ -1109,7 +1105,6 @@ mod tests {
         assert!(!shorts.contains("GROUP BY"));
         assert!(star.contains("GROUP BY"));
     }
-
 
     /// Canonicalize rows for cross-plan comparison: double-precision sums
     /// accumulate in plan-dependent order, so doubles compare rounded.

@@ -9,7 +9,6 @@
 //! and Q19's OR-of-conjunctions join predicate (the OR-factorization case).
 
 use crate::gen::{self, Scale};
-use rand::Rng;
 use taurus_catalog::stats::AnalyzeOptions;
 use taurus_catalog::Catalog;
 use taurus_common::{Column, DataType, Schema, Value};
@@ -37,9 +36,8 @@ pub mod sizes {
 const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
-const CONTAINERS: [&str; 8] = [
-    "SM PKG", "SM BOX", "MED PKG", "MED BOX", "LG PKG", "LG BOX", "JUMBO PKG", "WRAP CASE",
-];
+const CONTAINERS: [&str; 8] =
+    ["SM PKG", "SM BOX", "MED PKG", "MED BOX", "LG PKG", "LG BOX", "JUMBO PKG", "WRAP CASE"];
 const TYPES: [&str; 6] = [
     "STANDARD BRUSHED TIN",
     "LARGE BRUSHED TIN",
@@ -49,9 +47,30 @@ const TYPES: [&str; 6] = [
     "SMALL POLISHED BRASS",
 ];
 const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
@@ -96,9 +115,10 @@ pub fn build_catalog(scale: Scale) -> Catalog {
         .expect("fresh catalog");
     cat.insert(
         nation,
-        NATIONS.iter().enumerate().map(|(i, n)| {
-            vec![Value::Int(i as i64), Value::str(*n), Value::Int((i % 5) as i64)]
-        }),
+        NATIONS
+            .iter()
+            .enumerate()
+            .map(|(i, n)| vec![Value::Int(i as i64), Value::str(*n), Value::Int((i % 5) as i64)]),
     )
     .expect("nation rows");
     cat.create_index(nation, "nation_pk", vec![0], true).expect("index");
@@ -162,7 +182,11 @@ pub fn build_catalog(scale: Scale) -> Catalog {
                     Value::Int(rng.gen_range(0..25)),
                     gen::money(&mut rng, -999.0, 9999.0),
                     Value::str(gen::pick(&mut rng, &SEGMENTS)),
-                    Value::str(format!("{cc}-{:03}-{:04}", rng.gen_range(100..999), rng.gen_range(1000..9999))),
+                    Value::str(format!(
+                        "{cc}-{:03}-{:04}",
+                        rng.gen_range(100..999),
+                        rng.gen_range(1000..9999)
+                    )),
                     gen::comment(&mut rng, 0.02),
                 ]
             }),
@@ -308,8 +332,8 @@ pub fn build_catalog(scale: Scale) -> Catalog {
                     Value::Date(d) => d,
                     _ => unreachable!("date_between returns dates"),
                 };
-                let commit = Value::Date(ship_days + rng.gen_range(-30..30));
-                let receipt = Value::Date(ship_days + rng.gen_range(1..30));
+                let commit = Value::Date(ship_days + rng.gen_range(-30i32..30));
+                let receipt = Value::Date(ship_days + rng.gen_range(1i32..30));
                 vec![
                     Value::Int((i % n_orders) as i64),
                     Value::Int(rng.gen_range(0..n_part as i64)),
@@ -343,7 +367,7 @@ pub fn build_catalog(scale: Scale) -> Catalog {
     cat
 }
 
-fn special_comment(rng: &mut rand::rngs::SmallRng) -> Value {
+fn special_comment(rng: &mut gen::SmallRng) -> Value {
     if rng.gen_bool(0.05) {
         Value::str("waiting special requests pending")
     } else {
@@ -673,7 +697,6 @@ mod tests {
         }
         assert_eq!(queries().len(), 22);
     }
-
 
     /// Canonicalize rows for cross-plan comparison: double-precision sums
     /// accumulate in plan-dependent order, so doubles compare rounded.

@@ -23,8 +23,7 @@ fn main() -> taurus_orca::prelude::Result<()> {
     let join_pred = Expr::eq(Expr::col(0, 5), Expr::col(1, 5)); // i2.i_manufact = i1.i_manufact
     let x = Expr::eq(Expr::col(1, 3), Expr::string("Books"));
     let y = Expr::eq(Expr::col(1, 3), Expr::string("Electronics"));
-    let or_pred =
-        Expr::or(Expr::and(join_pred.clone(), x), Expr::and(join_pred.clone(), y));
+    let or_pred = Expr::or(Expr::and(join_pred.clone(), x), Expr::and(join_pred.clone(), y));
     println!("before: {or_pred}");
     println!("after:  {}\n", factor_or(or_pred));
 

@@ -75,9 +75,6 @@ fn main() -> Result<()> {
     println!("{}", engine.explain(sql, &orca)?);
     let orca_out = engine.query_with(sql, &orca)?;
     assert_eq!(out.rows, orca_out.rows, "plan choice never changes results");
-    println!(
-        "work units — mysql: {}, orca: {}",
-        out.work_units, orca_out.work_units
-    );
+    println!("work units — mysql: {}, orca: {}", out.work_units, orca_out.work_units);
     Ok(())
 }

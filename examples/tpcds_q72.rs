@@ -23,7 +23,10 @@ fn main() -> taurus_orca::prelude::Result<()> {
     let orca = OrcaOptimizer::new(OrcaConfig::default(), 2);
 
     for (label, opt) in [
-        ("MySQL optimizer (Fig 4)", &MySqlOptimizer as &dyn taurus_orca::mylite::CostBasedOptimizer),
+        (
+            "MySQL optimizer (Fig 4)",
+            &MySqlOptimizer as &dyn taurus_orca::mylite::CostBasedOptimizer,
+        ),
         ("Orca detour (Fig 5)", &orca),
     ] {
         println!("=== {label} ===");

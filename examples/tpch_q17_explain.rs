@@ -43,10 +43,7 @@ fn main() -> taurus_orca::prelude::Result<()> {
         );
         // Inner query blocks have their own arrays (Query Block 2 in Fig 7).
         if let taurus_orca::mylite::AccessChoice::Derived { skeleton } = &leaf.access {
-            println!(
-                "    inner block best positions: {}",
-                skeleton.best_position_display(&namer)
-            );
+            println!("    inner block best positions: {}", skeleton.best_position_display(&namer));
         }
     }
     let _ = SkelNode::is_left_deep; // (re-exported API surface)

@@ -64,11 +64,9 @@ fn tpcds_full_suite_agrees() {
 #[test]
 fn tpcds_agrees_under_every_search_strategy() {
     let engine = Engine::new(tpcds::build_catalog(Scale(0.03)));
-    for strategy in [
-        JoinOrderStrategy::Greedy,
-        JoinOrderStrategy::Exhaustive,
-        JoinOrderStrategy::Exhaustive2,
-    ] {
+    for strategy in
+        [JoinOrderStrategy::Greedy, JoinOrderStrategy::Exhaustive, JoinOrderStrategy::Exhaustive2]
+    {
         let orca = OrcaOptimizer::new(OrcaConfig::with_strategy(strategy), 1);
         for n in [1, 6, 17, 41, 72, 81, 92, 5, 10, 25] {
             let q = tpcds::query(n);
@@ -131,11 +129,9 @@ fn search_stats_scale_with_strategy() {
     let engine = Engine::new(tpcds::build_catalog(Scale(0.02)));
     let q72 = tpcds::query(72);
     let mut splits = Vec::new();
-    for strategy in [
-        JoinOrderStrategy::Greedy,
-        JoinOrderStrategy::Exhaustive,
-        JoinOrderStrategy::Exhaustive2,
-    ] {
+    for strategy in
+        [JoinOrderStrategy::Greedy, JoinOrderStrategy::Exhaustive, JoinOrderStrategy::Exhaustive2]
+    {
         let orca = OrcaOptimizer::new(OrcaConfig::with_strategy(strategy), 1);
         engine.plan(&q72.sql, &orca).unwrap();
         splits.push(orca.last_search_stats().splits_explored);

@@ -1,4 +1,5 @@
-//! Property-based tests on the core invariants.
+//! Property-based tests on the core invariants, driven by the in-repo
+//! deterministic RNG (no proptest; the workspace must test offline).
 //!
 //! * rewrites (`factor_or`, `push_not`) preserve three-valued semantics on
 //!   arbitrary expressions and rows;
@@ -10,128 +11,142 @@
 //! * and the end-to-end invariant: random queries produce identical results
 //!   under the MySQL optimizer and the Orca detour.
 
-use proptest::prelude::*;
 use taurus_orca::bridge::OrcaOptimizer;
-use taurus_orca::catalog::histogram::Histogram;
 use taurus_orca::catalog::encode_str_prefix;
+use taurus_orca::catalog::histogram::Histogram;
 use taurus_orca::common::expr::{factor_or, like_match, EvalCtx};
 use taurus_orca::common::{BinOp, Expr, Layout, Value};
 use taurus_orca::orcalite::OrcaConfig;
+use taurus_orca::workloads::gen::SmallRng;
 use taurus_orca::workloads::{tpch, Scale};
+
+fn rng(test: &str) -> SmallRng {
+    let mut seed = 0x005E_ED0F_9806_7E57_u64;
+    for b in test.bytes() {
+        seed = seed.wrapping_mul(0x0100_0000_01b3).wrapping_add(b as u64);
+    }
+    SmallRng::seed_from_u64(seed)
+}
 
 // ---------------------------------------------------------------- rewrites
 
-/// Random boolean expressions over 4 integer columns of one table.
-fn bool_expr() -> impl Strategy<Value = Expr> {
-    let leaf = (0usize..4, 0i64..5, prop::sample::select(vec![
-        BinOp::Eq,
-        BinOp::Ne,
-        BinOp::Lt,
-        BinOp::Ge,
-    ]))
-        .prop_map(|(col, v, op)| Expr::binary(op, Expr::col(0, col), Expr::int(v)));
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::and(a, b)),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::or(a, b)),
-            inner.prop_map(Expr::not),
-        ]
-    })
+/// Random boolean expressions over 4 integer columns of one table, with
+/// nesting depth up to 3 (the old proptest strategy's shape).
+fn bool_expr(r: &mut SmallRng, depth: usize) -> Expr {
+    let ops = [BinOp::Eq, BinOp::Ne, BinOp::Lt, BinOp::Ge];
+    if depth == 0 || r.gen_bool(0.4) {
+        let col = r.gen_range(0..4usize);
+        let v = r.gen_range(0..5i64);
+        let op = ops[r.gen_range(0..ops.len())];
+        return Expr::binary(op, Expr::col(0, col), Expr::int(v));
+    }
+    match r.gen_range(0..3i32) {
+        0 => Expr::and(bool_expr(r, depth - 1), bool_expr(r, depth - 1)),
+        1 => Expr::or(bool_expr(r, depth - 1), bool_expr(r, depth - 1)),
+        _ => Expr::not(bool_expr(r, depth - 1)),
+    }
 }
 
 /// Random rows for that table; column values may be NULL.
-fn row() -> impl Strategy<Value = Vec<Value>> {
-    prop::collection::vec(
-        prop_oneof![3 => (0i64..5).prop_map(Value::Int), 1 => Just(Value::Null)],
-        4,
-    )
+fn row(r: &mut SmallRng) -> Vec<Value> {
+    (0..4)
+        .map(|_| if r.gen_bool(0.25) { Value::Null } else { Value::Int(r.gen_range(0..5i64)) })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn factor_or_preserves_three_valued_semantics(e in bool_expr(), r in row()) {
+#[test]
+fn factor_or_preserves_three_valued_semantics() {
+    let mut r = rng("factor_or");
+    for _ in 0..256 {
+        let e = bool_expr(&mut r, 3);
+        let vals = row(&mut r);
         let layout = Layout::single(1, 0, 4);
-        let ctx = EvalCtx::new(&r, &layout);
-        let before = e.eval(ctx).unwrap().truth();
-        let after = factor_or(e).eval(ctx).unwrap().truth();
-        prop_assert_eq!(before, after);
+        let ctx = EvalCtx::new(&vals, &layout);
+        let before = e.clone().eval(ctx).unwrap().truth();
+        let after = factor_or(e.clone()).eval(ctx).unwrap().truth();
+        assert_eq!(before, after, "factor_or changed semantics of {e:?} on {vals:?}");
     }
+}
 
-    #[test]
-    fn push_not_preserves_three_valued_semantics(e in bool_expr(), r in row()) {
+#[test]
+fn push_not_preserves_three_valued_semantics() {
+    let mut r = rng("push_not");
+    for _ in 0..256 {
+        let e = bool_expr(&mut r, 3);
+        let vals = row(&mut r);
         let layout = Layout::single(1, 0, 4);
-        let ctx = EvalCtx::new(&r, &layout);
+        let ctx = EvalCtx::new(&vals, &layout);
         let before = Expr::not(e.clone()).eval(ctx).unwrap().truth();
-        let after = mylite::resolve::push_not(Expr::not(e)).eval(ctx).unwrap().truth();
-        prop_assert_eq!(before, after);
+        let after = mylite::resolve::push_not(Expr::not(e.clone())).eval(ctx).unwrap().truth();
+        assert_eq!(before, after, "push_not changed semantics of NOT {e:?} on {vals:?}");
     }
 }
 
 // ---------------------------------------------------------------- OID cubes
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn oid_decoders_partition_the_space(raw in 0u64..3_000_000) {
-        use taurus_orca::bridge::oid;
+#[test]
+fn oid_decoders_partition_the_space() {
+    use taurus_orca::bridge::oid;
+    let mut r = rng("oid_partition");
+    for _ in 0..512 {
+        let raw = r.gen_range(0..3_000_000i64) as u64;
         let o = taurus_orca::common::Oid(raw);
         // At most one decoder accepts any OID (the §5.6 layout is
         // collision-free), and whatever decodes re-encodes to the same OID.
         let mut hits = 0;
         if let Some(t) = oid::decode_type(o) {
             hits += 1;
-            prop_assert_eq!(oid::type_oid(t), o);
+            assert_eq!(oid::type_oid(t), o);
         }
-        if let Some((l, r, op)) = oid::decode_arith(o) {
+        if let Some((l, rr, op)) = oid::decode_arith(o) {
             hits += 1;
-            prop_assert_eq!(oid::arith_oid(l, r, op).unwrap(), o);
+            assert_eq!(oid::arith_oid(l, rr, op).unwrap(), o);
         }
-        if let Some((l, r, op)) = oid::decode_cmp(o) {
+        if let Some((l, rr, op)) = oid::decode_cmp(o) {
             hits += 1;
-            prop_assert_eq!(oid::cmp_oid(l, r, op).unwrap(), o);
+            assert_eq!(oid::cmp_oid(l, rr, op).unwrap(), o);
         }
         if let Some((c, op)) = oid::decode_agg(o) {
             hits += 1;
-            prop_assert_eq!(oid::agg_oid(c, op).unwrap(), o);
+            assert_eq!(oid::agg_oid(c, op).unwrap(), o);
         }
         if let Some(t) = oid::decode_relation(o) {
             hits += 1;
-            prop_assert_eq!(oid::relation_oid(t), o);
+            assert_eq!(oid::relation_oid(t), o);
         }
         if let Some((t, c)) = oid::decode_column(o) {
             hits += 1;
-            prop_assert_eq!(oid::column_oid(t, c), o);
+            assert_eq!(oid::column_oid(t, c), o);
         }
-        prop_assert!(hits <= 1, "OID {raw} decoded by {hits} slots");
+        assert!(hits <= 1, "OID {raw} decoded by {hits} slots");
     }
+}
 
-    #[test]
-    fn commutation_and_inversion_are_involutions(raw in 3_000u64..3_864) {
-        use taurus_orca::bridge::oid;
+#[test]
+fn commutation_and_inversion_are_involutions() {
+    use taurus_orca::bridge::oid;
+    // The full comparison cube, exhaustively (it is small).
+    for raw in 3_000u64..3_864 {
         let o = taurus_orca::common::Oid(raw);
-        prop_assert!(oid::decode_cmp(o).is_some());
+        assert!(oid::decode_cmp(o).is_some());
         let c = oid::commutator_oid(o);
-        prop_assert_eq!(oid::commutator_oid(c), o);
+        assert_eq!(oid::commutator_oid(c), o);
         let i = oid::inverse_oid(o);
-        prop_assert_eq!(oid::inverse_oid(i), o);
+        assert_eq!(oid::inverse_oid(i), o);
     }
 }
 
 // --------------------------------------------------------------- histograms
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn histogram_selectivities_partition(
-        mut data in prop::collection::vec(-50i64..50, 1..300),
-        probe in -60i64..60,
-        buckets in 1usize..20,
-    ) {
+#[test]
+fn histogram_selectivities_partition() {
+    let mut r = rng("hist_partition");
+    for _ in 0..128 {
+        let n = r.gen_range(1..300usize);
+        let mut data: Vec<i64> = (0..n).map(|_| r.gen_range(-50..50i64)).collect();
         data.sort_unstable();
+        let probe = r.gen_range(-60..60i64);
+        let buckets = r.gen_range(1..20usize);
         let values: Vec<Value> = data.iter().map(|&i| Value::Int(i)).collect();
         let h = Histogram::build(&values, buckets).unwrap();
         let probe = Value::Int(probe);
@@ -139,35 +154,51 @@ proptest! {
         let eq = h.selectivity(BinOp::Eq, &probe);
         let gt = h.selectivity(BinOp::Gt, &probe);
         for s in [lt, eq, gt] {
-            prop_assert!((0.0..=1.0).contains(&s), "selectivity {s} out of range");
+            assert!((0.0..=1.0).contains(&s), "selectivity {s} out of range");
         }
         // <, =, > partition the non-null rows: exactly for singleton
         // histograms, approximately for equi-height (whose equality mass is
         // a bucket-NDV estimate, not an exact count).
         let slack = if h.is_singleton() { 1e-9 } else { 0.2 };
-        prop_assert!(
+        assert!(
             (lt + eq + gt - 1.0).abs() <= slack,
-            "lt={} eq={} gt={} singleton={}", lt, eq, gt, h.is_singleton()
+            "lt={lt} eq={eq} gt={gt} singleton={}",
+            h.is_singleton()
         );
     }
+}
 
-    #[test]
-    fn histogram_lt_is_monotone(
-        mut data in prop::collection::vec(-50i64..50, 2..200),
-        a in -60i64..60,
-        b in -60i64..60,
-    ) {
+#[test]
+fn histogram_lt_is_monotone() {
+    let mut r = rng("hist_monotone");
+    for _ in 0..128 {
+        let n = r.gen_range(2..200usize);
+        let mut data: Vec<i64> = (0..n).map(|_| r.gen_range(-50..50i64)).collect();
         data.sort_unstable();
+        let a = r.gen_range(-60..60i64);
+        let b = r.gen_range(-60..60i64);
         let values: Vec<Value> = data.iter().map(|&i| Value::Int(i)).collect();
         let h = Histogram::build(&values, 8).unwrap();
         let (lo, hi) = (a.min(b), a.max(b));
         let s_lo = h.selectivity(BinOp::Lt, &Value::Int(lo));
         let s_hi = h.selectivity(BinOp::Lt, &Value::Int(hi));
-        prop_assert!(s_lo <= s_hi + 1e-9, "Lt selectivity must be monotone: {s_lo} > {s_hi}");
+        assert!(s_lo <= s_hi + 1e-9, "Lt selectivity must be monotone: {s_lo} > {s_hi}");
     }
+}
 
-    #[test]
-    fn string_prefix_encoding_is_monotone(a in "[ -~]{0,16}", b in "[ -~]{0,16}") {
+/// Random printable-ASCII string of length `0..=max`.
+fn ascii_string(r: &mut SmallRng, max: usize, alphabet: &[u8]) -> String {
+    let len = r.gen_range(0..max + 1);
+    (0..len).map(|_| alphabet[r.gen_range(0..alphabet.len())] as char).collect()
+}
+
+#[test]
+fn string_prefix_encoding_is_monotone() {
+    let printable: Vec<u8> = (b' '..=b'~').collect();
+    let mut r = rng("prefix_encoding");
+    for _ in 0..512 {
+        let a = ascii_string(&mut r, 16, &printable);
+        let b = ascii_string(&mut r, 16, &printable);
         // The encoding is exactly the order of the zero-padded 8-byte
         // prefixes — monotone in byte order, with §7's caveat that longer
         // strings sharing an 8-byte prefix collapse.
@@ -178,9 +209,9 @@ proptest! {
             out
         }
         let (ea, eb) = (encode_str_prefix(&a), encode_str_prefix(&b));
-        prop_assert_eq!(ea.cmp(&eb), pad8(&a).cmp(&pad8(&b)), "{:?} vs {:?}", a, b);
+        assert_eq!(ea.cmp(&eb), pad8(&a).cmp(&pad8(&b)), "{a:?} vs {b:?}");
         if a.as_bytes() <= b.as_bytes() {
-            prop_assert!(ea <= eb, "monotone: {:?} vs {:?}", a, b);
+            assert!(ea <= eb, "monotone: {a:?} vs {b:?}");
         }
     }
 }
@@ -191,7 +222,9 @@ proptest! {
 fn like_reference(s: &[u8], p: &[u8]) -> bool {
     match (s.first(), p.first()) {
         (_, None) => s.is_empty(),
-        (_, Some(b'%')) => like_reference(s, &p[1..]) || (!s.is_empty() && like_reference(&s[1..], p)),
+        (_, Some(b'%')) => {
+            like_reference(s, &p[1..]) || (!s.is_empty() && like_reference(&s[1..], p))
+        }
         (Some(c), Some(b'_')) => {
             let _ = c;
             like_reference(&s[1..], &p[1..])
@@ -201,15 +234,16 @@ fn like_reference(s: &[u8], p: &[u8]) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn like_match_agrees_with_reference(s in "[abc]{0,10}", p in "[abc%_]{0,8}") {
-        prop_assert_eq!(
+#[test]
+fn like_match_agrees_with_reference() {
+    let mut r = rng("like_match");
+    for _ in 0..512 {
+        let s = ascii_string(&mut r, 10, b"abc");
+        let p = ascii_string(&mut r, 8, b"abc%_");
+        assert_eq!(
             like_match(s.as_bytes(), p.as_bytes()),
             like_reference(s.as_bytes(), p.as_bytes()),
-            "s={:?} p={:?}", s, p
+            "s={s:?} p={p:?}"
         );
     }
 }
@@ -244,9 +278,8 @@ fn random_queries_agree_between_optimizers() {
     }
     for sql in cases {
         let a = engine.query(&sql).unwrap_or_else(|e| panic!("mysql failed on {sql}: {e}"));
-        let b = engine
-            .query_with(&sql, &orca)
-            .unwrap_or_else(|e| panic!("orca failed on {sql}: {e}"));
+        let b =
+            engine.query_with(&sql, &orca).unwrap_or_else(|e| panic!("orca failed on {sql}: {e}"));
         assert_eq!(a.rows, b.rows, "disagreement on {sql}");
     }
 }
