@@ -30,4 +30,11 @@ cargo build --release --offline
 echo "== tier-1: test suite"
 cargo test -q --workspace --offline
 
+echo "== plan cache: compile-once serve-many gate"
+# Fully offline and deterministic (fixed statement mix, fixed catalog).
+# Fails if the repeated-statement path re-enters memo exploration, if the
+# hit rate drops below 95%, or if serving a cached plan stops being an
+# order of magnitude cheaper than compiling.
+SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness plancache
+
 echo "CI OK"

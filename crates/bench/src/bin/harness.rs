@@ -11,6 +11,7 @@
 //! harness q41        # the OR-factorization case (§6.2)
 //! harness ablations  # §7 lesson on/off comparisons
 //! harness routing    # never-fail-detour routing + fallback-reason table
+//! harness plancache  # compile-once serve-many plan cache (exits 1 on gate failure)
 //! harness all        # everything, in order
 //! ```
 //!
@@ -59,9 +60,23 @@ fn main() {
     if want("routing") {
         routing_report();
     }
+    if want("plancache") {
+        plancache_report();
+    }
     if !run_all
-        && !["fig10", "fig11", "fig12", "table1", "q72", "q17", "q41", "ablations", "routing"]
-            .contains(&arg.as_str())
+        && ![
+            "fig10",
+            "fig11",
+            "fig12",
+            "table1",
+            "q72",
+            "q17",
+            "q41",
+            "ablations",
+            "routing",
+            "plancache",
+        ]
+        .contains(&arg.as_str())
     {
         eprintln!("unknown experiment '{arg}'; see the module docs for the list");
         std::process::exit(2);
@@ -190,6 +205,19 @@ fn routing_report() {
         print!("{}", format_routing_table(&report));
         println!();
     }
+}
+
+fn plancache_report() {
+    println!("\n## Plan cache — compile once, serve many (scale {:?})\n", scale());
+    // 25 literal variations per template: enough to amortize the
+    // compulsory misses past the 95% hit-rate gate.
+    let r = run_plan_cache(scale(), 25.max(reps()));
+    print!("{}", format_plan_cache_report(&r));
+    if let Err(violation) = r.gate() {
+        eprintln!("\nplan-cache gate FAILED: {violation}");
+        std::process::exit(1);
+    }
+    println!("\nplan-cache gate passed: hits skip memo search; DDL invalidates entries");
 }
 
 fn print_case(cs: &CaseStudy) {

@@ -126,6 +126,7 @@ fn expr_type(e: &Expr, types: &dyn Fn(usize, usize) -> DataType) -> Option<DataT
     match e {
         Expr::Column(c) => Some(types(c.table, c.col)),
         Expr::Literal(v) => v.data_type(),
+        Expr::Param { value, .. } => value.data_type(),
         Expr::Binary { op, left, .. } => {
             if op.is_comparison() {
                 Some(DataType::Bool)

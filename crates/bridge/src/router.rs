@@ -35,6 +35,7 @@ use mylite::skeleton::Skeleton;
 use orcalite::config::{FaultSite, JoinOrderStrategy, OrcaConfig};
 use orcalite::desc::BlockDesc;
 use orcalite::physical::{OrcaPlan, SearchStats};
+use orcalite::MdCache;
 use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -191,6 +192,7 @@ pub struct OrcaOptimizer {
     degraded: Cell<u64>,
     last_fallback: Cell<Option<FallbackReason>>,
     last_search: Cell<SearchStats>,
+    last_md_traffic: Cell<(u64, u64)>,
 }
 
 impl Default for OrcaOptimizer {
@@ -211,6 +213,7 @@ impl OrcaOptimizer {
             degraded: Cell::new(0),
             last_fallback: Cell::new(None),
             last_search: Cell::new(SearchStats::default()),
+            last_md_traffic: Cell::new((0, 0)),
         }
     }
 
@@ -236,6 +239,17 @@ impl OrcaOptimizer {
         self.last_search.get()
     }
 
+    /// Metadata-cache traffic `(provider round-trips, cache hits)` of the
+    /// most recent Orca optimization. One [`MdCache`] now spans the whole
+    /// statement — every block and every degradation-ladder rung — so
+    /// re-optimizing a block at a cheaper strategy re-reads metadata from
+    /// memory instead of the provider (§5.7).
+    ///
+    /// [`MdCache`]: orcalite::MdCache
+    pub fn last_md_traffic(&self) -> (u64, u64) {
+        self.last_md_traffic.get()
+    }
+
     fn note_fallback(&self, reason: FallbackReason) {
         self.fallbacks.set(self.fallbacks.get() + 1);
         let mut counts = self.reasons.get();
@@ -250,10 +264,15 @@ impl OrcaOptimizer {
         bound: &BoundStatement,
     ) -> std::result::Result<Skeleton, DetourFail> {
         let provider = MySqlMdProvider::new(catalog);
+        // One metadata cache for the whole statement: all blocks and all
+        // degradation-ladder rungs share it, so the provider is consulted
+        // at most once per (relation, statistics, indexes) key.
+        let md = MdCache::new(&provider);
         let mut total = SearchStats::default();
         let skeleton =
-            self.optimize_block(bound, &provider, &bound.root, &BTreeSet::new(), &mut total)?;
+            self.optimize_block(bound, &provider, &md, &bound.root, &BTreeSet::new(), &mut total)?;
         self.last_search.set(total);
+        self.last_md_traffic.set(md.traffic());
         Ok(skeleton)
     }
 
@@ -263,12 +282,12 @@ impl OrcaOptimizer {
     fn optimize_with_ladder(
         &self,
         desc: &BlockDesc,
-        provider: &MySqlMdProvider<'_>,
+        md: &MdCache<'_>,
     ) -> std::result::Result<OrcaPlan, DetourFail> {
         let mut exhausted: Option<Error> = None;
         for (rung, &strategy) in ladder(self.config.strategy).iter().enumerate() {
             let cfg = OrcaConfig { strategy, ..self.config.clone() };
-            match orcalite::optimize_block(desc, provider, &cfg) {
+            match orcalite::optimize_block_cached(desc, md, &cfg) {
                 Ok(plan) => {
                     if rung > 0 {
                         self.degraded.set(self.degraded.get() + 1);
@@ -285,10 +304,12 @@ impl OrcaOptimizer {
         Err(DetourFail::new(FallbackReason::BudgetExhausted, &e))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn optimize_block(
         &self,
         bound: &BoundStatement,
         provider: &MySqlMdProvider<'_>,
+        md: &MdCache<'_>,
         block: &BoundQuery,
         outer: &BTreeSet<usize>,
         total: &mut SearchStats,
@@ -301,7 +322,7 @@ impl OrcaOptimizer {
         inner_outer.extend(block.member_qts());
         for m in &block.members {
             if let TableSource::Derived { query, .. } = &bound.table(m.qt).source {
-                let sk = self.optimize_block(bound, provider, query, &inner_outer, total)?;
+                let sk = self.optimize_block(bound, provider, md, query, &inner_outer, total)?;
                 inner_estimates.insert(m.qt, (sk.root.rows(), sk.root.cost()));
                 inner_skeletons.insert(m.qt, sk);
             }
@@ -311,7 +332,7 @@ impl OrcaOptimizer {
         let (desc, _oids) = convert_block(bound, block, provider, &inner_estimates, outer)
             .map_err(DetourFail::classify)?;
 
-        let plan = self.optimize_with_ladder(&desc, provider)?;
+        let plan = self.optimize_with_ladder(&desc, md)?;
         total.groups += plan.stats.groups;
         total.splits_explored += plan.stats.splits_explored;
         total.plans_costed += plan.stats.plans_costed;
@@ -533,6 +554,40 @@ mod tests {
         // The rescued plan still returns correct rows.
         let out = e.execute_planned(&planned).unwrap();
         assert_eq!(out.rows.len(), 500);
+    }
+
+    #[test]
+    fn md_cache_spans_ladder_rungs_and_blocks() {
+        use orcalite::config::SearchBudget;
+        let e = engine();
+        // Same ladder scenario as above: two rungs actually run, but the
+        // provider is consulted at most once per metadata key — THREE_WAY
+        // touches 3 relations × (relation, statistics, indexes) = 9 keys.
+        let greedy = {
+            let orca = OrcaOptimizer::new(OrcaConfig::with_strategy(JoinOrderStrategy::Greedy), 1);
+            e.plan(THREE_WAY, &orca).unwrap();
+            orca.last_search_stats().plans_costed
+        };
+        let cfg = OrcaConfig {
+            bushy_member_cap: 2,
+            budget: SearchBudget { max_groups: usize::MAX, max_plans_costed: greedy },
+            ..OrcaConfig::default()
+        };
+        let orca = OrcaOptimizer::new(cfg, 1);
+        e.plan(THREE_WAY, &orca).unwrap();
+        assert!(orca.stats().degraded >= 1, "two rungs must have run");
+        let (misses, hits) = orca.last_md_traffic();
+        assert!(misses <= 9, "ladder rungs re-queried the provider: {misses} round-trips");
+        assert!(hits > 0, "later rungs should be served from the statement cache");
+        // Cross-block reuse: a correlated subquery optimizes two blocks
+        // over the same relation; the second block's metadata is free.
+        let sql = "SELECT fk FROM fact WHERE v > \
+                   (SELECT AVG(v) FROM fact f2 WHERE f2.fk = fact.fk) AND fk < 3";
+        let orca = OrcaOptimizer::new(OrcaConfig::default(), 1);
+        e.plan(sql, &orca).unwrap();
+        let (misses, hits) = orca.last_md_traffic();
+        assert!(misses <= 3, "one relation's keys only: {misses}");
+        assert!(hits > 0);
     }
 
     #[test]

@@ -50,11 +50,23 @@ impl CatalogTable {
 pub struct Catalog {
     tables: Vec<CatalogTable>,
     by_name: HashMap<String, usize>,
+    /// Monotonic counter bumped by every structural or statistics change
+    /// (CREATE TABLE / CREATE INDEX / index rebuild / ANALYZE). Plan-cache
+    /// entries record the version they were compiled under and are
+    /// invalidated when it moves. Raw row appends ([`Catalog::insert`]) do
+    /// not bump it — bulk loaders insert, then index, then analyze, and the
+    /// last two steps publish the change.
+    version: u64,
 }
 
 impl Catalog {
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// Current schema/statistics version (see the field docs).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Create an empty table; names are unique.
@@ -72,6 +84,7 @@ impl Catalog {
             indexes: Vec::new(),
             stats: None,
         });
+        self.version += 1;
         Ok(id)
     }
 
@@ -112,6 +125,7 @@ impl Catalog {
             }
         }
         t.indexes.push(OrderedIndex::build(def, &t.data));
+        self.version += 1;
         Ok(())
     }
 
@@ -121,6 +135,7 @@ impl Catalog {
         let t = self.table_mut(table)?;
         let defs: Vec<IndexDef> = t.indexes.iter().map(|ix| ix.def().clone()).collect();
         t.indexes = defs.into_iter().map(|d| OrderedIndex::build(d, &t.data)).collect();
+        self.version += 1;
         Ok(())
     }
 
@@ -129,6 +144,7 @@ impl Catalog {
         let t = self.table_mut(table)?;
         let unique: Vec<bool> = (0..t.schema().len()).map(|c| t.is_unique_column(c)).collect();
         t.stats = Some(TableStats::analyze(&t.data, &unique, opts));
+        self.version += 1;
         Ok(())
     }
 
@@ -223,6 +239,26 @@ mod tests {
         assert_eq!(cat.table(id).unwrap().index_on(&[0]).unwrap().num_keys(), 10);
         cat.build_indexes(id).unwrap();
         assert_eq!(cat.table(id).unwrap().index_on(&[0]).unwrap().num_keys(), 11);
+    }
+
+    #[test]
+    fn version_bumps_on_ddl_not_plain_inserts() {
+        let mut cat = Catalog::new();
+        let v0 = cat.version();
+        let id =
+            cat.create_table("t", Schema::new(vec![Column::new("pk", DataType::Int)])).unwrap();
+        let v1 = cat.version();
+        assert!(v1 > v0, "CREATE TABLE bumps");
+        cat.insert(id, vec![vec![Value::Int(1)]]).unwrap();
+        assert_eq!(cat.version(), v1, "raw insert does not bump");
+        cat.create_index(id, "pk_idx", vec![0], true).unwrap();
+        let v2 = cat.version();
+        assert!(v2 > v1, "CREATE INDEX bumps");
+        cat.build_indexes(id).unwrap();
+        let v3 = cat.version();
+        assert!(v3 > v2, "index rebuild bumps");
+        cat.analyze(id, &AnalyzeOptions::default()).unwrap();
+        assert!(cat.version() > v3, "ANALYZE bumps");
     }
 
     #[test]

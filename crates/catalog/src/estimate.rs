@@ -86,6 +86,17 @@ impl Estimator {
         self.col(c).map(|v| v.ndv).unwrap_or_else(|| (self.rows(c.table) * 0.1).max(1.0)).max(1.0)
     }
 
+    /// Fraction of rows where the tested expression is non-NULL; 1.0 when
+    /// unknowable (no stats, or not a bare column). NULLs satisfy neither a
+    /// predicate nor its negation, so negated forms subtract from this
+    /// rather than from 1.
+    fn non_null_of(&self, e: &Expr) -> f64 {
+        match e {
+            Expr::Column(c) => 1.0 - self.col(*c).map(|v| v.null_frac).unwrap_or(0.0),
+            _ => 1.0,
+        }
+    }
+
     /// Selectivity of an arbitrary predicate, in [0, 1].
     ///
     /// Handles boolean combinations, histogram-backed comparisons against
@@ -129,31 +140,36 @@ impl Estimator {
                 }
                 let s = s.min(1.0);
                 if *negated {
-                    1.0 - s
+                    // NULL probes match neither IN nor NOT IN.
+                    (self.non_null_of(expr) - s).max(0.0)
                 } else {
                     s
                 }
             }
-            Expr::Like { pattern, negated, .. } => {
+            Expr::Like { expr, pattern, negated } => {
                 // A leading literal prefix constrains a range; a leading
                 // wildcard is near-unestimatable (paper §6.1 on Q16's LIKE).
-                let s = match pattern.as_ref() {
-                    Expr::Literal(Value::Str(p)) if !p.starts_with('%') && !p.starts_with('_') => {
-                        0.05
-                    }
+                let s = match const_value(pattern) {
+                    Some(Value::Str(p)) if !p.starts_with('%') && !p.starts_with('_') => 0.05,
                     _ => DEFAULT_EQ_SEL,
                 };
                 if *negated {
-                    1.0 - s
+                    // A NULL string is neither LIKE nor NOT LIKE the pattern.
+                    (self.non_null_of(expr) - s).max(0.0)
                 } else {
                     s
                 }
             }
             Expr::Between { expr, low, high, negated } => {
+                // Histograms cover non-null rows only; scale to the whole
+                // table like `col_vs_const` does.
+                let non_null = self.non_null_of(expr);
                 let s = match (expr.as_ref(), const_value(low), const_value(high)) {
                     (Expr::Column(c), Some(lo), Some(hi)) => match self.col(*c) {
                         Some(v) => match &v.hist {
-                            Some(h) => h.range_selectivity(Some((&lo, true)), Some((&hi, true))),
+                            Some(h) => {
+                                h.range_selectivity(Some((&lo, true)), Some((&hi, true))) * non_null
+                            }
                             None => DEFAULT_RANGE_SEL,
                         },
                         None => DEFAULT_RANGE_SEL,
@@ -161,7 +177,7 @@ impl Estimator {
                     _ => DEFAULT_RANGE_SEL,
                 };
                 if *negated {
-                    1.0 - s
+                    (non_null - s).max(0.0)
                 } else {
                     s
                 }
@@ -178,7 +194,10 @@ impl Estimator {
                     // Equi-join selectivity: 1 / max(ndv).
                     1.0 / self.ndv(*l).max(self.ndv(*r))
                 } else if op == BinOp::Ne {
-                    1.0 - 1.0 / self.ndv(*l).max(self.ndv(*r))
+                    // A NULL on either side satisfies neither `=` nor `<>`,
+                    // so the complement only covers rows non-null on both.
+                    let non_null = self.non_null_of(left) * self.non_null_of(right);
+                    (1.0 - 1.0 / self.ndv(*l).max(self.ndv(*r))) * non_null
                 } else {
                     DEFAULT_RANGE_SEL
                 }
@@ -345,6 +364,72 @@ mod tests {
             negated: false,
         };
         assert!(est.selectivity(&prefix) < est.selectivity(&infix));
+    }
+
+    #[test]
+    fn ne_join_selectivity_scales_by_null_fractions() {
+        let est = Estimator::new(vec![
+            Some(RelView {
+                rows: 1000.0,
+                cols: vec![Some(ColView { ndv: 100.0, null_frac: 0.2, hist: None })],
+            }),
+            Some(RelView {
+                rows: 1000.0,
+                cols: vec![Some(ColView { ndv: 50.0, null_frac: 0.1, hist: None })],
+            }),
+        ]);
+        let ne = Expr::binary(BinOp::Ne, Expr::col(0, 0), Expr::col(1, 0));
+        // (1 - 1/100) * 0.8 * 0.9 — NULLs on either side satisfy neither
+        // `=` nor `<>`.
+        let s = est.selectivity(&ne);
+        assert!((s - 0.99 * 0.8 * 0.9).abs() < 1e-9, "s={s}");
+        // Eq + Ne no longer (incorrectly) partition the whole table when
+        // nulls exist.
+        let eq = Expr::eq(Expr::col(0, 0), Expr::col(1, 0));
+        assert!(est.selectivity(&eq) + s < 1.0);
+    }
+
+    #[test]
+    fn negated_predicates_exclude_null_rows() {
+        let est = estimator(); // col 1: 50% NULL, non-null values {1,3,5,7,9}
+        let not_in = Expr::InList {
+            expr: Box::new(Expr::col(0, 1)),
+            list: vec![Expr::int(3)],
+            negated: true,
+        };
+        // non_null (0.5) minus sel(b = 3) (0.1), not 1 - 0.1.
+        let s = est.selectivity(&not_in);
+        assert!((s - 0.4).abs() < 0.02, "s={s}");
+        let not_between = Expr::Between {
+            expr: Box::new(Expr::col(0, 1)),
+            low: Box::new(Expr::int(1)),
+            high: Box::new(Expr::int(9)),
+            negated: true,
+        };
+        // The whole non-null domain is inside [1, 9]: nothing qualifies.
+        let s = est.selectivity(&not_between);
+        assert!(s < 0.05, "s={s}");
+        let not_like = Expr::Like {
+            expr: Box::new(Expr::col(0, 1)),
+            pattern: Box::new(Expr::string("x%")),
+            negated: true,
+        };
+        let s = est.selectivity(&not_like);
+        assert!((s - 0.45).abs() < 0.01, "s={s}");
+    }
+
+    #[test]
+    fn params_estimate_like_literals() {
+        let est = estimator();
+        let lit = Expr::binary(BinOp::Lt, Expr::col(0, 0), Expr::int(250));
+        let par = Expr::binary(BinOp::Lt, Expr::col(0, 0), Expr::param(0, Value::Int(250)));
+        assert!((est.selectivity(&lit) - est.selectivity(&par)).abs() < 1e-12);
+        let like = Expr::Like {
+            expr: Box::new(Expr::col(0, 0)),
+            pattern: Box::new(Expr::param(0, Value::str("LARGE%"))),
+            negated: false,
+        };
+        assert!((est.selectivity(&like) - 0.05).abs() < 1e-12);
     }
 
     #[test]

@@ -92,8 +92,11 @@ impl Histogram {
         }
         // Equi-height: walk distinct runs, closing a bucket when its mass
         // reaches the target height. A distinct value never straddles two
-        // buckets (matching MySQL's construction).
-        let height = n / max_buckets as f64;
+        // buckets (matching MySQL's construction). The height is at least
+        // one row: a sub-1.0 target would close a bucket per value and
+        // overshoot the bucket budget (only reachable if the singleton
+        // branch above ever changes, but cheap to keep impossible).
+        let height = (n / max_buckets as f64).max(1.0);
         let mut buckets: Vec<Bucket> = Vec::with_capacity(max_buckets);
         let mut bucket_rows = 0f64;
         let mut bucket_ndv = 0f64;
@@ -234,11 +237,45 @@ impl Histogram {
 
 /// Fractional position of `v` between `lower` (exclusive) and `upper`
 /// (inclusive), through the numeric image; 0.5 when unknowable.
+///
+/// String bounds first strip the byte prefix common to `lower` and `upper`:
+/// the 8-byte encoding would otherwise collapse long shared-prefix bounds
+/// into a zero-width numeric range (every probe lands on the 0.5 fallback
+/// and range selectivities degenerate). Any probe between the bounds in
+/// byte order necessarily shares that prefix, so stripping it preserves
+/// order while spending the 8 encoded bytes on the part that differs.
 fn interpolate(lower: &Value, upper: &Value, v: &Value) -> f64 {
+    if let (Value::Str(lo), Value::Str(hi), Value::Str(x)) = (lower, upper, v) {
+        let k = common_prefix_len(lo.as_bytes(), hi.as_bytes());
+        let lo_n = encode_str_from(lo, k) as f64;
+        let hi_n = encode_str_from(hi, k) as f64;
+        let x_n = encode_str_from(x, k) as f64;
+        if hi_n > lo_n {
+            return ((x_n - lo_n) / (hi_n - lo_n)).clamp(0.0, 1.0);
+        }
+        // Still zero-width (bounds differ only past byte k+8): unknowable.
+        return 0.5;
+    }
     match (numeric_image(lower), numeric_image(upper), numeric_image(v)) {
         (Some(lo), Some(hi), Some(x)) if hi > lo => ((x - lo) / (hi - lo)).clamp(0.0, 1.0),
         _ => 0.5,
     }
+}
+
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// [`encode_str_prefix`] applied to the suffix starting at byte `skip`.
+fn encode_str_from(s: &str, skip: usize) -> i64 {
+    let bytes = s.as_bytes();
+    let mut buf = [0u8; 8];
+    if skip < bytes.len() {
+        let rest = &bytes[skip..];
+        let n = rest.len().min(8);
+        buf[..n].copy_from_slice(&rest[..n]);
+    }
+    (u64::from_be_bytes(buf) ^ (1 << 63)) as i64
 }
 
 #[cfg(test)]
@@ -327,6 +364,67 @@ mod tests {
         // Roughly half the strings are below "C100".
         let sel = h.selectivity(BinOp::Lt, &Value::str("C100"));
         assert!((sel - 0.5).abs() < 0.1, "sel={sel}");
+    }
+
+    #[test]
+    fn long_common_prefix_ranges_do_not_collapse() {
+        // Keys share a 10-char prefix, so the first 8 encoded bytes are
+        // identical: without prefix stripping every bucket is numerically
+        // zero-width and interpolation degenerates to the constant 0.5 —
+        // all probes inside a bucket become indistinguishable.
+        let mut data: Vec<Value> =
+            (0..200).map(|i| Value::str(format!("WAREHOUSE_{:04}", i))).collect();
+        data.sort_by(|a, b| a.total_cmp(b));
+        let h = Histogram::build(&data, 10).unwrap();
+        assert!(!h.is_singleton());
+        // Bucket-level shape survives (same tolerance as the short-prefix
+        // test above; byte-space interpolation is skewed near digit
+        // rollovers, so it cannot be tighter).
+        let sel = h.selectivity(BinOp::Lt, &Value::str("WAREHOUSE_0100"));
+        assert!((sel - 0.5).abs() < 0.1, "sel={sel}");
+        let sel = h.range_selectivity(
+            Some((&Value::str("WAREHOUSE_0050"), true)),
+            Some((&Value::str("WAREHOUSE_0149"), true)),
+        );
+        assert!((sel - 0.5).abs() < 0.1, "sel={sel}");
+        // The discriminator: two probes inside the same bucket must resolve
+        // to different selectivities. Pre-fix both interpolate to 0.5 and
+        // come out equal.
+        let lo = h.selectivity(BinOp::Lt, &Value::str("WAREHOUSE_0021"));
+        let hi = h.selectivity(BinOp::Lt, &Value::str("WAREHOUSE_0038"));
+        assert!(hi > lo + 0.02, "within-bucket resolution lost: {lo} vs {hi}");
+        // A one-bucket-wide range must not read as zero or as everything.
+        let sel = h.range_selectivity(
+            Some((&Value::str("WAREHOUSE_0120"), true)),
+            Some((&Value::str("WAREHOUSE_0139"), true)),
+        );
+        assert!(sel > 0.02 && sel < 0.15, "sel={sel}");
+    }
+
+    #[test]
+    fn interpolation_monotone_within_shared_prefix_bucket() {
+        let mut data: Vec<Value> =
+            (0..300).map(|i| Value::str(format!("ITEM_SKU_PREFIX_{:05}", i))).collect();
+        data.sort_by(|a, b| a.total_cmp(b));
+        let h = Histogram::build(&data, 8).unwrap();
+        let mut prev = -1.0f64;
+        for i in (0..300).step_by(25) {
+            let s = h.selectivity(BinOp::Lt, &Value::str(format!("ITEM_SKU_PREFIX_{:05}", i)));
+            assert!(s >= prev - 1e-9, "Lt selectivity regressed at {i}: {s} < {prev}");
+            prev = s;
+        }
+        assert!(prev > 0.8, "upper tail should approach 1.0, got {prev}");
+    }
+
+    #[test]
+    fn small_tables_get_one_bucket_per_distinct_value() {
+        // n < max_buckets: must land in the singleton branch with exact
+        // per-value frequencies, never fractional-height equi-buckets.
+        let data = ints(&[1, 2, 3, 4, 5]);
+        let h = Histogram::build(&data, 100).unwrap();
+        assert!(h.is_singleton());
+        assert_eq!(h.num_buckets(), 5);
+        assert!((h.selectivity(BinOp::Eq, &Value::Int(3)) - 0.2).abs() < 1e-9);
     }
 
     #[test]

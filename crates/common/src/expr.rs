@@ -204,6 +204,15 @@ pub enum Expr {
     Slot(usize),
     /// Constant.
     Literal(Value),
+    /// A bind parameter produced by statement fingerprinting: `index` is the
+    /// slot in the statement's bind vector and `value` the currently bound
+    /// constant. Planning peeks at the first-seen value, so estimation and
+    /// access-path selection treat the node exactly like a literal; on a
+    /// plan-cache hit [`Expr::rebind_params`] overwrites `value` in place.
+    Param {
+        index: usize,
+        value: Value,
+    },
     Binary {
         op: BinOp,
         left: Box<Expr>,
@@ -271,6 +280,10 @@ impl Expr {
 
     pub fn lit(v: Value) -> Expr {
         Expr::Literal(v)
+    }
+
+    pub fn param(index: usize, value: Value) -> Expr {
+        Expr::Param { index, value }
     }
 
     pub fn int(i: i64) -> Expr {
@@ -355,6 +368,7 @@ impl Expr {
     }
 
     /// Whether the expression is a constant (no columns, slots, aggregates).
+    /// Bind parameters count as constants: they carry a peeked value.
     pub fn is_const(&self) -> bool {
         let mut konst = true;
         self.walk(&mut |e| {
@@ -363,6 +377,70 @@ impl Expr {
             }
         });
         konst
+    }
+
+    /// Whether any bind parameter appears in the tree.
+    pub fn contains_param(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Param { .. }) {
+                found = true;
+            }
+        });
+        found
+    }
+
+    /// Overwrite every bind parameter's value from the bind vector (the
+    /// plan-cache hit path). Errors if a parameter's slot is out of range —
+    /// the fingerprint and the binds must come from the same
+    /// parameterization pass.
+    pub fn rebind_params(&mut self, binds: &[Value]) -> Result<()> {
+        match self {
+            Expr::Param { index, value } => {
+                let v = binds.get(*index).ok_or_else(|| {
+                    Error::internal(format!(
+                        "bind slot ${index} out of range ({} binds)",
+                        binds.len()
+                    ))
+                })?;
+                *value = v.clone();
+                Ok(())
+            }
+            Expr::Column(_) | Expr::Slot(_) | Expr::Literal(_) => Ok(()),
+            Expr::Binary { left, right, .. } => {
+                left.rebind_params(binds)?;
+                right.rebind_params(binds)
+            }
+            Expr::Unary { input, .. } => input.rebind_params(binds),
+            Expr::Func { args, .. } => args.iter_mut().try_for_each(|a| a.rebind_params(binds)),
+            Expr::Case { operand, branches, else_ } => {
+                if let Some(o) = operand {
+                    o.rebind_params(binds)?;
+                }
+                for (w, t) in branches {
+                    w.rebind_params(binds)?;
+                    t.rebind_params(binds)?;
+                }
+                if let Some(e) = else_ {
+                    e.rebind_params(binds)?;
+                }
+                Ok(())
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.rebind_params(binds)?;
+                list.iter_mut().try_for_each(|e| e.rebind_params(binds))
+            }
+            Expr::Like { expr, pattern, .. } => {
+                expr.rebind_params(binds)?;
+                pattern.rebind_params(binds)
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.rebind_params(binds)?;
+                low.rebind_params(binds)?;
+                high.rebind_params(binds)
+            }
+            Expr::Agg { arg, .. } => arg.as_deref_mut().map_or(Ok(()), |a| a.rebind_params(binds)),
+        }
     }
 
     /// Split a conjunction into its top-level conjuncts.
@@ -394,7 +472,7 @@ impl Expr {
     pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
         f(self);
         match self {
-            Expr::Column(_) | Expr::Slot(_) | Expr::Literal(_) => {}
+            Expr::Column(_) | Expr::Slot(_) | Expr::Literal(_) | Expr::Param { .. } => {}
             Expr::Binary { left, right, .. } => {
                 left.walk(f);
                 right.walk(f);
@@ -496,6 +574,7 @@ impl Expr {
             }
             Expr::Slot(i) => Ok(ctx.row[*i].clone()),
             Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param { value, .. } => Ok(value.clone()),
             Expr::Binary { op, left, right } => eval_binary(*op, left, right, ctx),
             Expr::Unary { op, input } => {
                 let v = input.eval(ctx)?;
@@ -596,6 +675,9 @@ impl Expr {
             }
             Expr::Literal(v) => {
                 let _ = write!(out, "{v}");
+            }
+            Expr::Param { index, .. } => {
+                let _ = write!(out, "${index}");
             }
             Expr::Binary { op, left, right } => {
                 out.push('(');
@@ -1118,6 +1200,23 @@ mod tests {
             Expr::binary(BinOp::Lt, Expr::col(1, 2), Expr::int(10)),
         );
         assert_eq!(e.to_string(), "((t0.c0 = 'Brand#14') AND (t1.c2 < 10))");
+    }
+
+    #[test]
+    fn params_behave_like_literals_until_rebound() {
+        let (row, layout) = ctx_one_table(&[Value::Int(6)]);
+        let ctx = EvalCtx::new(&row, &layout);
+        let mut e = Expr::binary(BinOp::Gt, Expr::col(0, 0), Expr::param(0, Value::Int(5)));
+        assert!(!e.is_const() && e.contains_param());
+        assert!(Expr::param(0, Value::Int(5)).is_const());
+        assert!(e.eval(ctx).unwrap().is_true());
+        // Rebind to a larger bound: same tree, new comparison outcome.
+        e.rebind_params(&[Value::Int(7)]).unwrap();
+        assert!(!e.eval(ctx).unwrap().is_true());
+        // Out-of-range slot is an internal error, not a panic.
+        let mut bad = Expr::param(3, Value::Int(0));
+        assert!(bad.rebind_params(&[Value::Int(1)]).is_err());
+        assert_eq!(Expr::param(2, Value::Int(9)).to_string(), "$2");
     }
 
     #[test]

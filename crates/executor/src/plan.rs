@@ -295,6 +295,73 @@ impl Plan {
         n
     }
 
+    /// Visit every expression embedded in the plan tree mutably — filters,
+    /// join conditions, range bounds, lookup keys, projections, aggregate
+    /// arguments and sort keys. The plan-cache hit path uses this to rebind
+    /// `Expr::Param` values without reconstructing the plan.
+    pub fn for_each_expr_mut(&mut self, f: &mut impl FnMut(&mut Expr)) {
+        match self {
+            Plan::TableScan { filter, .. } | Plan::IndexScan { filter, .. } => {
+                filter.iter_mut().for_each(&mut *f);
+            }
+            Plan::IndexRange { lo, hi, filter, .. } => {
+                if let Some((e, _)) = lo {
+                    f(e);
+                }
+                if let Some((e, _)) = hi {
+                    f(e);
+                }
+                filter.iter_mut().for_each(&mut *f);
+            }
+            Plan::IndexLookup { keys, filter, .. } => {
+                keys.iter_mut().for_each(&mut *f);
+                filter.iter_mut().for_each(&mut *f);
+            }
+            Plan::NestedLoop { left, right, on, .. } => {
+                on.iter_mut().for_each(&mut *f);
+                left.for_each_expr_mut(f);
+                right.for_each_expr_mut(f);
+            }
+            Plan::HashJoin { left, right, keys, residual, .. } => {
+                for (l, r) in keys.iter_mut() {
+                    f(l);
+                    f(r);
+                }
+                residual.iter_mut().for_each(&mut *f);
+                left.for_each_expr_mut(f);
+                right.for_each_expr_mut(f);
+            }
+            Plan::Filter { input, predicate, .. } => {
+                predicate.iter_mut().for_each(&mut *f);
+                input.for_each_expr_mut(f);
+            }
+            Plan::Derived { input, .. } | Plan::Materialize { input, .. } => {
+                input.for_each_expr_mut(f);
+            }
+            Plan::Project { input, exprs, .. } => {
+                exprs.iter_mut().for_each(&mut *f);
+                input.for_each_expr_mut(f);
+            }
+            Plan::Aggregate { input, group_by, aggs, .. } => {
+                group_by.iter_mut().for_each(&mut *f);
+                for a in aggs.iter_mut() {
+                    if let Some(arg) = &mut a.arg {
+                        f(arg);
+                    }
+                }
+                input.for_each_expr_mut(f);
+            }
+            Plan::Sort { input, keys, .. } => {
+                for k in keys.iter_mut() {
+                    f(&mut k.expr);
+                }
+                input.for_each_expr_mut(f);
+            }
+            Plan::Limit { input, .. } => input.for_each_expr_mut(f),
+            Plan::Union { inputs, .. } => inputs.iter_mut().for_each(|p| p.for_each_expr_mut(f)),
+        }
+    }
+
     /// Count of join nodes by method: `(nested_loops, hash_joins)` — the
     /// statistic the paper quotes for Q72's plans (Fig 4/5).
     pub fn join_method_counts(&self) -> (usize, usize) {
@@ -424,6 +491,38 @@ mod tests {
             Plan::NestedLoop { left, right, .. } => {
                 assert!(matches!(left.as_ref(), Plan::Materialize { cache_slot: 0, .. }));
                 assert!(matches!(right.as_ref(), Plan::Materialize { cache_slot: 1, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn expr_visitor_reaches_range_bounds_and_filters() {
+        use taurus_common::Value;
+        let mut p = Plan::Filter {
+            input: Box::new(Plan::IndexRange {
+                table: TableId(0),
+                qt: 0,
+                width: 1,
+                index: 0,
+                lo: Some((Expr::param(0, Value::Int(1)), true)),
+                hi: Some((Expr::param(1, Value::Int(9)), false)),
+                filter: vec![Expr::param(2, Value::Int(3))],
+                est: Est::default(),
+            }),
+            predicate: vec![Expr::param(3, Value::Int(4))],
+            est: Est::default(),
+        };
+        let mut seen = 0;
+        p.for_each_expr_mut(&mut |e| {
+            e.rebind_params(&[Value::Int(10), Value::Int(20), Value::Int(30), Value::Int(40)])
+                .unwrap();
+            seen += 1;
+        });
+        assert_eq!(seen, 4);
+        match &p {
+            Plan::Filter { predicate, .. } => {
+                assert_eq!(predicate[0], Expr::param(3, Value::Int(40)));
             }
             other => panic!("{other:?}"),
         }

@@ -10,15 +10,18 @@
 use crate::bound::BoundStatement;
 use crate::explain::explain_plan;
 use crate::optimizer::optimize_statement;
+use crate::plancache::{CacheOutcome, CachedPlan, PlanCache, PlanCacheStats};
 use crate::refine::refine_statement;
 use crate::resolve::resolve_union_branches;
 use crate::skeleton::Skeleton;
+use std::cell::RefCell;
 use taurus_catalog::stats::AnalyzeOptions;
 use taurus_catalog::Catalog;
 use taurus_common::error::{Error, Result};
 use taurus_common::expr::EvalCtx;
 use taurus_common::{Layout, Row, Value};
 use taurus_executor::{execute, ExecContext, Plan};
+use taurus_sql::fingerprint::{parameterize, token_digest};
 use taurus_sql::rewrite::rewrite_set_ops;
 use taurus_sql::{parse, SelectStmt, Statement};
 
@@ -80,11 +83,14 @@ pub struct QueryOutput {
 /// The engine: a catalog plus the machinery to run SQL against it.
 pub struct Engine {
     catalog: Catalog,
+    /// Fingerprint-keyed plan cache for the `*_cached` entry points.
+    /// `RefCell` because cache bookkeeping mutates under `&self` queries.
+    plan_cache: RefCell<PlanCache>,
 }
 
 impl Engine {
     pub fn new(catalog: Catalog) -> Engine {
-        Engine { catalog }
+        Engine { catalog, plan_cache: RefCell::new(PlanCache::default()) }
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -137,6 +143,122 @@ impl Engine {
             out.push_str(&explain_plan(&b.plan, &b.bound, &self.catalog, &b.skeleton));
         }
         Ok(out)
+    }
+
+    // ------------------------------------------------------- plan cache
+
+    /// Serve a statement through the fingerprint-keyed plan cache without
+    /// copying the plan. The serve path is the token digest
+    /// ([`token_digest`]): one pass over the source bytes yields the
+    /// fingerprint and the literal binds — no parse tree. On a hit, the
+    /// cached plan's parameters are re-bound *in place* and `f` runs
+    /// against the shared plan, so a hit costs one lex-level scan, one
+    /// hash lookup and a rebind; never a parse or a plan deep-copy.
+    ///
+    /// On a miss (or invalidation) the statement is parsed and
+    /// parameterized — planning still sees the peeked literal values —
+    /// served to `f`, and moved into the cache keyed by the digest
+    /// fingerprint. The digest extracts binds in token order while
+    /// [`parameterize`] numbers parameters in AST order; the two agree for
+    /// this grammar, and the insert verifies it per shape — a statement
+    /// whose orders diverge is simply never cached (compiled every time,
+    /// correct either way).
+    pub fn serve_cached<R>(
+        &self,
+        sql: &str,
+        opt: &dyn CostBasedOptimizer,
+        f: impl FnOnce(&PlannedQuery) -> Result<R>,
+    ) -> Result<(R, CacheOutcome)> {
+        let digest = token_digest(sql);
+        let version = self.catalog.version();
+        let mut outcome = CacheOutcome::Miss;
+        if let Some(d) = &digest {
+            let mut cache = self.plan_cache.borrow_mut();
+            let before = cache.stats();
+            if let Some(entry) = cache.lookup(d.fingerprint, version) {
+                rebind_planned(&mut entry.planned, &d.binds)?;
+                let r = f(&entry.planned)?;
+                return Ok((r, CacheOutcome::Hit));
+            }
+            // The lookup already classified the failure; read it back.
+            if cache.stats().invalidations > before.invalidations {
+                outcome = CacheOutcome::Invalidated;
+            }
+        }
+        // Miss, invalidation, or unlexable input (the parser produces the
+        // real error for the latter).
+        let stmt = parse_select_text(sql)?;
+        let p = parameterize(&stmt);
+        let planned = self.plan_select(&p.stmt, opt)?;
+        let r = f(&planned)?;
+        if let Some(d) = digest {
+            if d.binds == p.binds {
+                self.plan_cache.borrow_mut().insert(
+                    d.fingerprint,
+                    CachedPlan {
+                        planned,
+                        catalog_version: version,
+                        optimizer: opt.name(),
+                        serves: 0,
+                    },
+                );
+            }
+        }
+        Ok((r, outcome))
+    }
+
+    /// Plan through the plan cache, returning an owned copy of the plan.
+    /// Returns the outcome for banners/reports.
+    pub fn plan_cached(
+        &self,
+        sql: &str,
+        opt: &dyn CostBasedOptimizer,
+    ) -> Result<(PlannedQuery, CacheOutcome)> {
+        self.serve_cached(sql, opt, |planned| Ok(planned.clone()))
+    }
+
+    /// Run a SELECT through the plan cache (executes straight off the
+    /// shared cached plan).
+    pub fn query_cached(&self, sql: &str, opt: &dyn CostBasedOptimizer) -> Result<QueryOutput> {
+        let (out, _) = self.serve_cached(sql, opt, |planned| self.execute_planned(planned))?;
+        Ok(out)
+    }
+
+    /// EXPLAIN through the plan cache: the banner's first line gains a
+    /// `[plan cache: hit|miss|invalidated]` suffix.
+    pub fn explain_cached(&self, sql: &str, opt: &dyn CostBasedOptimizer) -> Result<String> {
+        let (text, outcome) = self.serve_cached(sql, opt, |planned| {
+            let mut out = String::new();
+            for (i, b) in planned.branches.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(&format!("UNION {}\n", if b.all { "ALL" } else { "DISTINCT" }));
+                }
+                out.push_str(&explain_plan(&b.plan, &b.bound, &self.catalog, &b.skeleton));
+            }
+            Ok(out)
+        })?;
+        // Suffix the banner line (first line) with the cache state.
+        Ok(match text.split_once('\n') {
+            Some((banner, rest)) => {
+                format!("{banner} [plan cache: {}]\n{rest}", outcome.label())
+            }
+            None => text,
+        })
+    }
+
+    /// Plan-cache counters for reports.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.borrow().stats()
+    }
+
+    /// Number of currently cached statements.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.borrow().len()
+    }
+
+    /// Drop every cached plan (counters survive).
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.borrow_mut().clear();
     }
 
     /// Plan a parsed SELECT.
@@ -224,6 +346,26 @@ impl Engine {
             rows: vec![vec![Value::Int(n as i64)]],
             work_units: n as u64,
         })
+    }
+}
+
+/// Re-bind a cached plan's parameters to a new statement's literal values.
+/// Only the executable plans need it — `bound`/`skeleton` are kept for
+/// EXPLAIN, where the `$n` markers render instead of stale values.
+fn rebind_planned(planned: &mut PlannedQuery, binds: &[Value]) -> Result<()> {
+    let mut err: Option<Error> = None;
+    for b in &mut planned.branches {
+        b.plan.for_each_expr_mut(&mut |e| {
+            if err.is_none() {
+                if let Err(x) = e.rebind_params(binds) {
+                    err = Some(x);
+                }
+            }
+        });
+    }
+    match err {
+        Some(e) => Err(e),
+        None => Ok(()),
     }
 }
 
@@ -493,5 +635,77 @@ mod tests {
             )
             .unwrap();
         assert_eq!(ints(&out, 0), vec![10, 20]);
+    }
+
+    #[test]
+    fn plan_cache_hit_rebinds_new_literals() {
+        let e = engine();
+        let sql_a = "SELECT id FROM emp WHERE salary > 60 ORDER BY id";
+        let sql_b = "SELECT id FROM emp WHERE salary > 250 ORDER BY id";
+        let (_, out) = e.plan_cached(sql_a, &MySqlOptimizer).unwrap();
+        assert_eq!(out, CacheOutcome::Miss);
+        let a = e.query_cached(sql_a, &MySqlOptimizer).unwrap();
+        assert_eq!(ints(&a, 0), vec![1, 2, 3]);
+        // Same fingerprint, different literal: served from cache, re-bound.
+        let (_, out) = e.plan_cached(sql_b, &MySqlOptimizer).unwrap();
+        assert_eq!(out, CacheOutcome::Hit);
+        let b = e.query_cached(sql_b, &MySqlOptimizer).unwrap();
+        assert_eq!(ints(&b, 0), vec![3]);
+        assert_eq!(e.plan_cache_len(), 1, "one entry serves both literals");
+        // The cached results match a cold compile of the same statements.
+        assert_eq!(b.rows, e.query(sql_b).unwrap().rows);
+        let s = e.plan_cache_stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (3, 1, 0));
+    }
+
+    #[test]
+    fn plan_cache_rebinds_index_range_bounds() {
+        // The pk index range is driven by the literal: rebinding must reach
+        // the IndexRange lo/hi, not just Filter predicates.
+        let e = engine();
+        let a = e.query_cached("SELECT salary FROM emp WHERE id = 1", &MySqlOptimizer).unwrap();
+        assert_eq!(ints(&a, 0), vec![100]);
+        let b = e.query_cached("SELECT salary FROM emp WHERE id = 3", &MySqlOptimizer).unwrap();
+        assert_eq!(ints(&b, 0), vec![300]);
+        assert_eq!(e.plan_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn ddl_invalidates_cached_plans() {
+        let mut e = engine();
+        let sql = "SELECT id FROM emp WHERE salary > 60";
+        e.query_cached(sql, &MySqlOptimizer).unwrap();
+        let (_, out) = e.plan_cached(sql, &MySqlOptimizer).unwrap();
+        assert_eq!(out, CacheOutcome::Hit);
+        // ANALYZE publishes new statistics -> version bump -> stale entry.
+        e.analyze();
+        let (_, out) = e.plan_cached(sql, &MySqlOptimizer).unwrap();
+        assert_eq!(out, CacheOutcome::Invalidated);
+        let (_, out) = e.plan_cached(sql, &MySqlOptimizer).unwrap();
+        assert_eq!(out, CacheOutcome::Hit, "re-inserted under the new version");
+        let s = e.plan_cache_stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (2, 1, 1));
+    }
+
+    #[test]
+    fn explain_cached_banner_shows_outcome() {
+        let e = engine();
+        let sql = "SELECT id, dname FROM emp, dept WHERE dept = did";
+        let text = e.explain_cached(sql, &MySqlOptimizer).unwrap();
+        assert!(text.starts_with("EXPLAIN [plan cache: miss]\n"), "{text}");
+        let text = e.explain_cached(sql, &MySqlOptimizer).unwrap();
+        assert!(text.starts_with("EXPLAIN [plan cache: hit]\n"), "{text}");
+        assert!(text.contains("join"), "{text}");
+    }
+
+    #[test]
+    fn structurally_different_statements_do_not_collide() {
+        let e = engine();
+        e.query_cached("SELECT id FROM emp WHERE salary > 60", &MySqlOptimizer).unwrap();
+        e.query_cached("SELECT id FROM emp WHERE salary > 60 AND dept = 10", &MySqlOptimizer)
+            .unwrap();
+        e.query_cached("SELECT dept FROM emp WHERE salary > 60", &MySqlOptimizer).unwrap();
+        assert_eq!(e.plan_cache_len(), 3);
+        assert_eq!(e.plan_cache_stats().hits, 0);
     }
 }

@@ -28,10 +28,12 @@ pub mod bound;
 pub mod engine;
 pub mod explain;
 pub mod optimizer;
+pub mod plancache;
 pub mod refine;
 pub mod resolve;
 pub mod skeleton;
 
 pub use bound::{BoundQuery, BoundStatement, JoinEntry, OutputCol, TableMeta, TableSource};
 pub use engine::{CostBasedOptimizer, Engine, MySqlOptimizer, PlannedQuery, QueryOutput};
+pub use plancache::{CacheOutcome, CachedPlan, PlanCache, PlanCacheStats};
 pub use skeleton::{AccessChoice, JoinMethod, SkelLeaf, SkelNode, Skeleton};

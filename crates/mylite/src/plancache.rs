@@ -1,0 +1,223 @@
+//! The compile-once, serve-many plan cache.
+//!
+//! Keyed by statement fingerprint ([`taurus_sql::fingerprint`]), each entry
+//! stores the fully refined executable plan compiled under a specific
+//! catalog version, together with its optimizer provenance (which backend
+//! produced it, and whether the Orca detour fell back). A hit re-binds the
+//! cached [`PlannedQuery`]'s parameters *in place* to the new statement's
+//! literal values and serves it by reference — skipping parse-tree
+//! resolution, join-order search, plan refinement, and even the plan
+//! deep-copy, which is the paper's Table 1 compile overhead amortized
+//! across the ROADMAP's "millions of users".
+//!
+//! Entries are validated against [`taurus_catalog::Catalog::version`] on
+//! lookup: any DDL/ANALYZE since compilation invalidates the entry (counted
+//! separately from misses, so invalidation storms are observable). Eviction
+//! is LRU on a logical tick.
+
+use crate::engine::PlannedQuery;
+use std::collections::HashMap;
+
+/// Default maximum number of cached statements.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Counters surfaced in RouterStats-style reports and the EXPLAIN banner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from cache (after version validation).
+    pub hits: u64,
+    /// Lookups that found no entry.
+    pub misses: u64,
+    /// Lookups that found an entry compiled under a stale catalog version.
+    pub invalidations: u64,
+    /// Entries inserted after a compile.
+    pub insertions: u64,
+    /// Entries evicted by the LRU policy.
+    pub evictions: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit rate over all lookups, in [0, 1]; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses + self.invalidations;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// What a cache lookup concluded — drives the EXPLAIN banner suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    Hit,
+    Miss,
+    /// An entry existed but was compiled under an older catalog version;
+    /// it was dropped and the statement re-optimized.
+    Invalidated,
+}
+
+impl CacheOutcome {
+    pub fn label(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Invalidated => "invalidated",
+        }
+    }
+}
+
+/// One cached compilation.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The refined, executable plan (with bind parameters embedded).
+    pub planned: PlannedQuery,
+    /// Catalog version the plan was compiled under.
+    pub catalog_version: u64,
+    /// Optimizer backend name (`"mysql"`, `"orca"`).
+    pub optimizer: &'static str,
+    /// Times this entry has been served.
+    pub serves: u64,
+}
+
+struct Entry {
+    plan: CachedPlan,
+    last_used: u64,
+}
+
+/// Fingerprint-keyed LRU plan cache.
+pub struct PlanCache {
+    capacity: usize,
+    entries: HashMap<u64, Entry>,
+    tick: u64,
+    stats: PlanCacheStats,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            tick: 0,
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    /// Look up a fingerprint, validating the entry against the current
+    /// catalog version. Stale entries are removed and counted as
+    /// invalidations (the caller re-compiles and re-inserts). The entry
+    /// comes back mutable so the caller can re-bind its parameters in
+    /// place — the serve path never deep-copies the plan.
+    pub fn lookup(&mut self, fingerprint: u64, catalog_version: u64) -> Option<&mut CachedPlan> {
+        self.tick += 1;
+        match self.entries.get(&fingerprint) {
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+            Some(e) if e.plan.catalog_version != catalog_version => {
+                self.entries.remove(&fingerprint);
+                self.stats.invalidations += 1;
+                None
+            }
+            Some(_) => {
+                self.stats.hits += 1;
+                let tick = self.tick;
+                let e = self.entries.get_mut(&fingerprint).expect("checked above");
+                e.last_used = tick;
+                e.plan.serves += 1;
+                Some(&mut e.plan)
+            }
+        }
+    }
+
+    /// Insert a freshly compiled plan, evicting the least-recently-used
+    /// entry if the cache is full.
+    pub fn insert(&mut self, fingerprint: u64, plan: CachedPlan) {
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&fingerprint) {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.stats.insertions += 1;
+        self.entries.insert(fingerprint, Entry { plan, last_used: self.tick });
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Drop all entries; counters survive (they describe the session).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_plan(version: u64) -> CachedPlan {
+        CachedPlan {
+            planned: PlannedQuery { branches: vec![], columns: vec![] },
+            catalog_version: version,
+            optimizer: "mysql",
+            serves: 0,
+        }
+    }
+
+    #[test]
+    fn hit_miss_and_version_invalidation() {
+        let mut c = PlanCache::new(8);
+        assert!(c.lookup(1, 0).is_none());
+        c.insert(1, dummy_plan(0));
+        assert!(c.lookup(1, 0).is_some());
+        // Catalog moved: the entry is stale, dropped, and counted.
+        assert!(c.lookup(1, 1).is_none());
+        assert!(c.lookup(1, 1).is_none(), "stale entry was removed -> plain miss");
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_cold_entries() {
+        let mut c = PlanCache::new(2);
+        c.insert(1, dummy_plan(0));
+        c.insert(2, dummy_plan(0));
+        assert!(c.lookup(1, 0).is_some()); // warm 1
+        c.insert(3, dummy_plan(0)); // evicts 2
+        assert!(c.lookup(1, 0).is_some());
+        assert!(c.lookup(2, 0).is_none());
+        assert!(c.lookup(3, 0).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn hit_rate_reflects_all_lookup_kinds() {
+        let mut c = PlanCache::new(4);
+        c.insert(1, dummy_plan(0));
+        c.lookup(1, 0);
+        c.lookup(1, 0);
+        c.lookup(2, 0);
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(PlanCacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -306,7 +306,7 @@ fn lower_to_slots(e: &Expr, group_by: &[Expr], aggs: &[AggItem], glen: usize) ->
                     c.table, c.col
                 )))
             }
-            Expr::Slot(_) | Expr::Literal(_) => e.clone(),
+            Expr::Slot(_) | Expr::Literal(_) | Expr::Param { .. } => e.clone(),
             Expr::Binary { op, left, right } => {
                 Expr::Binary { op: *op, left: Box::new(rec(left)?), right: Box::new(rec(right)?) }
             }

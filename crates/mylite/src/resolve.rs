@@ -643,6 +643,9 @@ impl<'a> Resolver<'a> {
         match e {
             AstExpr::Name(segs) => self.resolve_name(segs),
             AstExpr::Lit(v) => Ok(Expr::Literal(v.clone())),
+            AstExpr::Param { index, value } => {
+                Ok(Expr::Param { index: *index, value: value.clone() })
+            }
             AstExpr::Interval { .. } => {
                 Err(Error::semantic("INTERVAL literal is only valid as an operand of + or -"))
             }
@@ -882,7 +885,9 @@ impl<'a> Resolver<'a> {
 fn ast_has_subquery(e: &AstExpr) -> bool {
     match e {
         AstExpr::Exists { .. } | AstExpr::InSubquery { .. } | AstExpr::ScalarSubquery(_) => true,
-        AstExpr::Name(_) | AstExpr::Lit(_) | AstExpr::Interval { .. } => false,
+        AstExpr::Name(_) | AstExpr::Lit(_) | AstExpr::Param { .. } | AstExpr::Interval { .. } => {
+            false
+        }
         AstExpr::Binary { left, right, .. } => ast_has_subquery(left) || ast_has_subquery(right),
         AstExpr::Not(x) | AstExpr::Neg(x) => ast_has_subquery(x),
         AstExpr::IsNull { expr, .. } => ast_has_subquery(expr),
@@ -917,9 +922,14 @@ fn split_ast_conjuncts(e: &AstExpr) -> Vec<&AstExpr> {
 
 /// Fold constant subtrees into literals (Prepare-phase simplification;
 /// `DATE '1993-11-01' + INTERVAL 3 MONTH` becomes `DATE '1994-02-01'`).
+///
+/// Subtrees containing a bind parameter are left unfolded even though they
+/// are constant: folding would bake the peeked value into a plain literal
+/// and silently break plan-cache re-binding. The executor evaluates them
+/// per query instead — the price of serving the plan many times.
 pub fn fold_constants(e: Expr) -> Expr {
     e.rewrite(&mut |node| {
-        if matches!(node, Expr::Literal(_)) || !node.is_const() {
+        if matches!(node, Expr::Literal(_)) || !node.is_const() || node.contains_param() {
             return node;
         }
         match const_value(&node) {

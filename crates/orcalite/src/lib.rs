@@ -42,5 +42,5 @@ pub use config::{
 };
 pub use desc::{BlockDesc, EntryDesc, MemberDesc, RelSource};
 pub use md::{MdCache, MdIndex, MdRelation, MetadataAccessor};
-pub use memo::optimize_block;
+pub use memo::{optimize_block, optimize_block_cached};
 pub use physical::{OrcaPlan, PhysNode, SearchStats};

@@ -46,9 +46,22 @@ pub fn optimize_block(
     md: &dyn MetadataAccessor,
     cfg: &OrcaConfig,
 ) -> Result<OrcaPlan> {
-    cfg.faults.fire(FaultSite::OptimizeSearch)?;
     let cache = MdCache::new(md);
-    let mut search = Search::new(desc, &cache, cfg)?;
+    optimize_block_cached(desc, &cache, cfg)
+}
+
+/// [`optimize_block`] against a caller-owned [`MdCache`]: a statement with
+/// several blocks (or several fallback-ladder rungs) shares one cache, so
+/// metadata fetched while optimizing the first block is served from memory
+/// for every later one — the cache's natural lifetime under the plan cache
+/// is the whole statement compilation, not a single block.
+pub fn optimize_block_cached(
+    desc: &BlockDesc,
+    cache: &MdCache<'_>,
+    cfg: &OrcaConfig,
+) -> Result<OrcaPlan> {
+    cfg.faults.fire(FaultSite::OptimizeSearch)?;
+    let mut search = Search::new(desc, cache, cfg)?;
     let root = search.run()?;
     // The GbAgg-below-join rule (disabled for the MySQL target, §7 item 5):
     // when enabled on an aggregating multi-join block it would produce a

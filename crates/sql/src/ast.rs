@@ -176,6 +176,13 @@ pub enum AstExpr {
     /// `col` or `tbl.col` (or `schema.tbl.col`, kept as segments).
     Name(Vec<String>),
     Lit(Value),
+    /// A bind parameter minted by statement fingerprinting
+    /// ([`crate::fingerprint`]): literal number `index` in the statement,
+    /// with the peeked `value` it replaced. Never produced by the parser.
+    Param {
+        index: usize,
+        value: Value,
+    },
     /// `INTERVAL 'n' UNIT` — valid only as an operand of `+`/`-`.
     Interval {
         n: i64,
@@ -248,7 +255,10 @@ impl AstExpr {
     /// Number of table references inside subqueries of this expression.
     fn subquery_table_refs(&self) -> usize {
         match self {
-            AstExpr::Name(_) | AstExpr::Lit(_) | AstExpr::Interval { .. } => 0,
+            AstExpr::Name(_)
+            | AstExpr::Lit(_)
+            | AstExpr::Param { .. }
+            | AstExpr::Interval { .. } => 0,
             AstExpr::Binary { left, right, .. } => {
                 left.subquery_table_refs() + right.subquery_table_refs()
             }

@@ -85,7 +85,7 @@ const KEYWORDS: &[&str] = &[
     "YEAR",
 ];
 
-fn keyword(word: &str) -> Option<&'static str> {
+pub(crate) fn keyword(word: &str) -> Option<&'static str> {
     let upper = word.to_ascii_uppercase();
     KEYWORDS.binary_search(&upper.as_str()).ok().map(|i| KEYWORDS[i])
 }

@@ -13,6 +13,7 @@
 //! Prepare pipeline (paper Fig 2).
 
 pub mod ast;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod rewrite;
