@@ -37,4 +37,11 @@ echo "== plan cache: compile-once serve-many gate"
 # order of magnitude cheaper than compiling.
 SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness plancache
 
+echo "== parallel: morsel-driven speedup gate"
+# Machine-independent (critical-path work, not wall-clock): fails if the
+# median speedup at dop=4 over serial drops below 2x on the scan/join/agg
+# microbench templates, if any template's rows diverge from serial, or if
+# an expected exchange was not placed.
+SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness parallel
+
 echo "CI OK"

@@ -12,6 +12,7 @@
 //! harness ablations  # §7 lesson on/off comparisons
 //! harness routing    # never-fail-detour routing + fallback-reason table
 //! harness plancache  # compile-once serve-many plan cache (exits 1 on gate failure)
+//! harness parallel   # morsel-driven parallel execution (exits 1 on gate failure)
 //! harness all        # everything, in order
 //! ```
 //!
@@ -63,6 +64,9 @@ fn main() {
     if want("plancache") {
         plancache_report();
     }
+    if want("parallel") {
+        parallel_report();
+    }
     if !run_all
         && ![
             "fig10",
@@ -75,6 +79,7 @@ fn main() {
             "ablations",
             "routing",
             "plancache",
+            "parallel",
         ]
         .contains(&arg.as_str())
     {
@@ -218,6 +223,20 @@ fn plancache_report() {
         std::process::exit(1);
     }
     println!("\nplan-cache gate passed: hits skip memo search; DDL invalidates entries");
+}
+
+fn parallel_report() {
+    println!("\n## Parallel execution — morsel-driven workers (scale {:?}, dop 4)\n", scale());
+    let r = run_parallel(scale(), 4);
+    print!("{}", format_parallel_report(&r));
+    if let Err(violation) = r.gate() {
+        eprintln!("\nparallel gate FAILED: {violation}");
+        std::process::exit(1);
+    }
+    println!(
+        "\nparallel gate passed: identical rows, every template exchanged, \
+         ≥2x median critical-path speedup"
+    );
 }
 
 fn print_case(cs: &CaseStudy) {

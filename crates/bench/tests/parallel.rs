@@ -1,0 +1,81 @@
+//! Differential suite: parallel execution must be byte-identical to serial.
+//!
+//! For every TPC-H and TPC-DS query template, the rows produced at
+//! dop ∈ {2, 4, 8} — with the parallel threshold lowered so exchanges are
+//! actually placed at test scales — must equal the serial rows *in order*.
+//! A stress test repeats the comparison across morsel-size sweeps and
+//! repeated runs to shake out scheduling-dependent merges.
+
+use mylite::Engine;
+use taurus_bench::Workload;
+use taurus_workloads::Scale;
+
+const SCALE: Scale = Scale(0.05);
+
+/// Run one SQL text serially and at `dop`, asserting identical ordered rows.
+fn assert_differential(engine: &Engine, name: &str, sql: &str, dop: usize) {
+    engine.set_dop(1);
+    let serial = engine.query(sql).unwrap_or_else(|e| panic!("{name} serial failed: {e}"));
+    engine.set_dop(dop);
+    let parallel = engine.query(sql).unwrap_or_else(|e| panic!("{name} dop={dop} failed: {e}"));
+    assert_eq!(
+        serial.rows, parallel.rows,
+        "{name}: dop={dop} rows differ from serial (ordered comparison)"
+    );
+    assert_eq!(serial.columns, parallel.columns, "{name}: dop={dop} columns differ");
+}
+
+fn differential_workload(workload: Workload) {
+    let engine = workload.build_engine(SCALE);
+    // Test scales are small; without lowering the driver-row threshold no
+    // exchange would ever be placed and the suite would compare serial to
+    // serial.
+    engine.set_parallel_threshold(8);
+    engine.set_morsel_rows(32);
+    for q in workload.queries() {
+        for dop in [2usize, 4, 8] {
+            assert_differential(&engine, q.name, &q.sql, dop);
+        }
+    }
+}
+
+#[test]
+fn tpch_parallel_matches_serial_at_every_dop() {
+    differential_workload(Workload::TpcH);
+}
+
+#[test]
+fn tpcds_parallel_matches_serial_at_every_dop() {
+    differential_workload(Workload::TpcDs);
+}
+
+/// Stress: repeated runs × morsel-size sweep on the most exchange-heavy
+/// templates. Re-running matters because pool scheduling differs run to
+/// run; the output must not.
+#[test]
+fn morsel_size_sweep_is_deterministic() {
+    let engine = Workload::TpcH.build_engine(SCALE);
+    engine.set_parallel_threshold(4);
+    let queries = Workload::TpcH.queries();
+    // Scan-, join-, agg- and sort-shaped templates.
+    let picks: Vec<_> = queries.iter().take(6).collect();
+    for q in &picks {
+        engine.set_dop(1);
+        engine.set_morsel_rows(1024);
+        let serial = engine.query(&q.sql).unwrap_or_else(|e| panic!("{} serial: {e}", q.name));
+        for morsel_rows in [1usize, 7, 32, 128, 1024] {
+            engine.set_morsel_rows(morsel_rows);
+            engine.set_dop(4);
+            for rep in 0..3 {
+                let out = engine
+                    .query(&q.sql)
+                    .unwrap_or_else(|e| panic!("{} morsel={morsel_rows} rep={rep}: {e}", q.name));
+                assert_eq!(
+                    serial.rows, out.rows,
+                    "{}: morsel_rows={morsel_rows} rep={rep} diverged from serial",
+                    q.name
+                );
+            }
+        }
+    }
+}

@@ -39,7 +39,12 @@ pub fn to_skeleton(
     }
     discover_blocks(&plan.root, block)?;
     let root = fill_positions(&plan.root, inner_skeletons)?;
-    Ok(Skeleton { root, orca_assisted: true, orca_fallback: None })
+    Ok(Skeleton {
+        root,
+        orca_assisted: true,
+        orca_fallback: None,
+        dop: if plan.dop > 1 { Some(plan.dop) } else { None },
+    })
 }
 
 /// First pass: verify the plan's leaves are exactly this block's members.
@@ -153,7 +158,7 @@ mod tests {
     }
 
     fn plan(root: PhysNode) -> OrcaPlan {
-        OrcaPlan { root, stats: SearchStats::default(), changed_block_structure: false }
+        OrcaPlan { root, stats: SearchStats::default(), changed_block_structure: false, dop: 1 }
     }
 
     #[test]
@@ -205,6 +210,7 @@ mod tests {
             root: scan(0),
             stats: SearchStats::default(),
             changed_block_structure: true,
+            dop: 1,
         };
         let err = to_skeleton(&p, &block_with_qts(&[0]), &HashMap::new()).unwrap_err();
         assert!(matches!(err, Error::OrcaFallback(_)));
@@ -235,6 +241,7 @@ mod tests {
                 }),
                 orca_assisted: true,
                 orca_fallback: None,
+                dop: None,
             },
         );
         let sk = to_skeleton(&plan(root), &block_with_qts(&[0]), &inner).unwrap();

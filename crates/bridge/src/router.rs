@@ -36,9 +36,10 @@ use orcalite::config::{FaultSite, JoinOrderStrategy, OrcaConfig};
 use orcalite::desc::BlockDesc;
 use orcalite::physical::{OrcaPlan, SearchStats};
 use orcalite::MdCache;
-use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 use taurus_catalog::Catalog;
 use taurus_common::error::{Error, Result};
 
@@ -168,6 +169,13 @@ fn ladder(strategy: JoinOrderStrategy) -> &'static [JoinOrderStrategy] {
     }
 }
 
+/// Lock a mutex, recovering the data if a previous holder panicked — the
+/// router's side-state is plain counters, so a poisoned guard is still
+/// structurally sound.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Best-effort text of a caught panic payload.
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -185,14 +193,14 @@ pub struct OrcaOptimizer {
     /// The §4.1 "complex query threshold": minimum table-reference count
     /// for the Orca detour.
     pub complex_query_threshold: usize,
-    routed: Cell<u64>,
-    below: Cell<u64>,
-    fallbacks: Cell<u64>,
-    reasons: Cell<FallbackCounts>,
-    degraded: Cell<u64>,
-    last_fallback: Cell<Option<FallbackReason>>,
-    last_search: Cell<SearchStats>,
-    last_md_traffic: Cell<(u64, u64)>,
+    routed: AtomicU64,
+    below: AtomicU64,
+    fallbacks: AtomicU64,
+    reasons: Mutex<FallbackCounts>,
+    degraded: AtomicU64,
+    last_fallback: Mutex<Option<FallbackReason>>,
+    last_search: Mutex<SearchStats>,
+    last_md_traffic: Mutex<(u64, u64)>,
 }
 
 impl Default for OrcaOptimizer {
@@ -206,37 +214,37 @@ impl OrcaOptimizer {
         OrcaOptimizer {
             config,
             complex_query_threshold,
-            routed: Cell::new(0),
-            below: Cell::new(0),
-            fallbacks: Cell::new(0),
-            reasons: Cell::new(FallbackCounts::default()),
-            degraded: Cell::new(0),
-            last_fallback: Cell::new(None),
-            last_search: Cell::new(SearchStats::default()),
-            last_md_traffic: Cell::new((0, 0)),
+            routed: AtomicU64::new(0),
+            below: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
+            reasons: Mutex::new(FallbackCounts::default()),
+            degraded: AtomicU64::new(0),
+            last_fallback: Mutex::new(None),
+            last_search: Mutex::new(SearchStats::default()),
+            last_md_traffic: Mutex::new((0, 0)),
         }
     }
 
     pub fn stats(&self) -> RouterStats {
         RouterStats {
-            routed: self.routed.get(),
-            below_threshold: self.below.get(),
-            fallbacks: self.fallbacks.get(),
-            reasons: self.reasons.get(),
-            degraded: self.degraded.get(),
+            routed: self.routed.load(Ordering::Relaxed),
+            below_threshold: self.below.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            reasons: *lock(&self.reasons),
+            degraded: self.degraded.load(Ordering::Relaxed),
         }
     }
 
     /// Reason for the most recent fallback, if the last routed statement
     /// fell back (cleared on each Orca success).
     pub fn last_fallback(&self) -> Option<FallbackReason> {
-        self.last_fallback.get()
+        *lock(&self.last_fallback)
     }
 
     /// Memo statistics of the most recent Orca optimization (all blocks
     /// summed) — the Table 1 effort metric.
     pub fn last_search_stats(&self) -> SearchStats {
-        self.last_search.get()
+        *lock(&self.last_search)
     }
 
     /// Metadata-cache traffic `(provider round-trips, cache hits)` of the
@@ -247,15 +255,13 @@ impl OrcaOptimizer {
     ///
     /// [`MdCache`]: orcalite::MdCache
     pub fn last_md_traffic(&self) -> (u64, u64) {
-        self.last_md_traffic.get()
+        *lock(&self.last_md_traffic)
     }
 
     fn note_fallback(&self, reason: FallbackReason) {
-        self.fallbacks.set(self.fallbacks.get() + 1);
-        let mut counts = self.reasons.get();
-        counts.bump(reason);
-        self.reasons.set(counts);
-        self.last_fallback.set(Some(reason));
+        self.fallbacks.fetch_add(1, Ordering::Relaxed);
+        lock(&self.reasons).bump(reason);
+        *lock(&self.last_fallback) = Some(reason);
     }
 
     fn orca_optimize(
@@ -271,8 +277,8 @@ impl OrcaOptimizer {
         let mut total = SearchStats::default();
         let skeleton =
             self.optimize_block(bound, &provider, &md, &bound.root, &BTreeSet::new(), &mut total)?;
-        self.last_search.set(total);
-        self.last_md_traffic.set(md.traffic());
+        *lock(&self.last_search) = total;
+        *lock(&self.last_md_traffic) = md.traffic();
         Ok(skeleton)
     }
 
@@ -290,7 +296,7 @@ impl OrcaOptimizer {
             match orcalite::optimize_block_cached(desc, md, &cfg) {
                 Ok(plan) => {
                     if rung > 0 {
-                        self.degraded.set(self.degraded.get() + 1);
+                        self.degraded.fetch_add(1, Ordering::Relaxed);
                     }
                     return Ok(plan);
                 }
@@ -370,18 +376,19 @@ impl CostBasedOptimizer for OrcaOptimizer {
     fn optimize(&self, catalog: &Catalog, bound: &BoundStatement) -> Result<Skeleton> {
         // Query complexity = total table references (§4.1).
         if bound.num_tables() < self.complex_query_threshold {
-            self.below.set(self.below.get() + 1);
+            self.below.fetch_add(1, Ordering::Relaxed);
             return MySqlOptimizer.optimize(catalog, bound);
         }
         // The whole detour is panic-isolated: `OrcaOptimizer` only holds
-        // `Cell` counters, so observing a partially-updated state after an
+        // atomics and mutex-guarded plain counters (locks are recovered
+        // from poisoning), so observing a partially-updated state after an
         // unwind is benign (at worst a stale last_search snapshot), which
         // is what makes the `AssertUnwindSafe` sound.
         let attempt = catch_unwind(AssertUnwindSafe(|| self.orca_optimize(catalog, bound)));
         let fail = match attempt {
             Ok(Ok(skeleton)) => {
-                self.routed.set(self.routed.get() + 1);
-                self.last_fallback.set(None);
+                self.routed.fetch_add(1, Ordering::Relaxed);
+                *lock(&self.last_fallback) = None;
                 return Ok(skeleton);
             }
             Ok(Err(fail)) => fail,
@@ -628,6 +635,33 @@ mod tests {
         let orca_out = e.query_with(sql, &orca).unwrap();
         assert_eq!(mysql_out.rows.len(), orca_out.rows.len());
         assert!(orca.stats().routed >= 1);
+    }
+
+    // Sessions on several threads may share one router; the counters are
+    // atomics/mutexes so the optimizer is Sync.
+    const _: () = {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OrcaOptimizer>();
+    };
+
+    #[test]
+    fn concurrent_routing_keeps_counters_consistent() {
+        let e = engine();
+        let orca = OrcaOptimizer::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..3 {
+                        let planned = e.plan(THREE_WAY, &orca).unwrap();
+                        assert!(planned.primary().skeleton.orca_assisted);
+                    }
+                });
+            }
+        });
+        let stats = orca.stats();
+        assert_eq!(stats.routed, 12);
+        assert_eq!(stats.fallbacks, 0);
+        assert_eq!(orca.last_fallback(), None);
     }
 
     #[test]

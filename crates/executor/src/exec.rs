@@ -12,14 +12,27 @@
 //! counted here exactly.
 
 use crate::agg::Accumulator;
-use crate::plan::{AggStrategy, JoinKind, Plan, RowSpace};
+use crate::parallel::exchange::{self, BuildTable};
+use crate::parallel::morsel::{MorselSpec, DEFAULT_MORSEL_ROWS};
+use crate::plan::{AggStrategy, ExchangeKind, JoinKind, Plan, RowSpace};
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use taurus_catalog::Catalog;
 use taurus_common::error::{Error, Result};
 use taurus_common::expr::EvalCtx;
 use taurus_common::{Expr, Layout, Row, Value};
+
+/// Lock a mutex, recovering from poisoning: a panicking worker is already
+/// surfaced as an execution error, and every value guarded here (caches of
+/// fully-computed results) is only ever written whole.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One `rebind = false` materialization slot: computed once (under the
+/// slot's lock) and then shared by reference across workers.
+type MatSlot = Mutex<Option<Arc<Vec<Row>>>>;
 
 /// Work-unit counters accumulated over one query execution.
 #[derive(Debug, Default)]
@@ -36,6 +49,12 @@ pub struct ExecStats {
     pub build_rows: Cell<u64>,
     /// Times a Materialize node (re)ran its input.
     pub materializations: Cell<u64>,
+    /// Work units performed inside parallel workers, summed over all
+    /// workers of all exchanges (a subset of [`ExecStats::work_units`]).
+    pub parallel_work: Cell<u64>,
+    /// Sum over exchanges of the *slowest* worker's work — the portion of
+    /// `parallel_work` that is on the critical path.
+    pub parallel_critical: Cell<u64>,
 }
 
 impl ExecStats {
@@ -49,18 +68,56 @@ impl ExecStats {
             + self.build_rows.get()
     }
 
-    fn bump(cell: &Cell<u64>, by: u64) {
+    /// Machine-independent critical-path work: total work minus the part
+    /// that ran in parallel workers, plus the slowest worker per exchange.
+    /// Equals [`ExecStats::work_units`] for a serial execution; the
+    /// `parallel` harness report gates on `serial_work / critical_path`.
+    pub fn critical_path_work(&self) -> u64 {
+        self.work_units()
+            .saturating_sub(self.parallel_work.get())
+            .saturating_add(self.parallel_critical.get())
+    }
+
+    /// Fold a worker's counters into this (parent) stats block.
+    pub(crate) fn merge(&self, other: &ExecStats) {
+        Self::bump(&self.rows_emitted, other.rows_emitted.get());
+        Self::bump(&self.rows_scanned, other.rows_scanned.get());
+        Self::bump(&self.index_lookups, other.index_lookups.get());
+        Self::bump(&self.hash_probes, other.hash_probes.get());
+        Self::bump(&self.build_rows, other.build_rows.get());
+        Self::bump(&self.materializations, other.materializations.get());
+        Self::bump(&self.parallel_work, other.parallel_work.get());
+        Self::bump(&self.parallel_critical, other.parallel_critical.get());
+    }
+
+    pub(crate) fn bump(cell: &Cell<u64>, by: u64) {
         cell.set(cell.get() + by);
     }
 }
 
 /// Per-execution context: the catalog, the query's table count, counters,
-/// and the materialization cache.
+/// and the materialization cache. Counters stay `Cell`-based (no atomics in
+/// the hot path): each parallel worker gets its *own* context via
+/// [`SharedExec::worker`] and the pool merges counters after joining; only
+/// the materialization and broadcast caches are shared across workers.
 pub struct ExecContext<'a> {
     pub catalog: &'a Catalog,
     pub num_tables: usize,
     pub stats: ExecStats,
-    cache: RefCell<Vec<Option<Rc<Vec<Row>>>>>,
+    /// `rebind = false` materialization slots, shared across workers — the
+    /// first worker to reach a slot computes it under the slot's lock.
+    cache: Arc<Vec<MatSlot>>,
+    /// Shared hash-join build tables, keyed by `Broadcast` exchange slot.
+    broadcast: Arc<Mutex<HashMap<usize, Arc<BuildTable>>>>,
+    /// Target rows per morsel for parallel fragments (a runtime knob; the
+    /// stress tests sweep it to shake out scheduling-order bugs).
+    morsel_rows: usize,
+    /// Set inside pool workers: forbids nested worker pools.
+    in_worker: bool,
+    /// The morsel restriction installed by the worker loop: the driving
+    /// scan with this qt only visits positions `[lo, hi)` of its iteration
+    /// order.
+    morsel: Cell<Option<MorselSpec>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -70,16 +127,102 @@ impl<'a> ExecContext<'a> {
             catalog,
             num_tables,
             stats: ExecStats::default(),
-            cache: RefCell::new(vec![None; num_cache_slots]),
+            cache: Arc::new((0..num_cache_slots).map(|_| Mutex::new(None)).collect()),
+            broadcast: Arc::new(Mutex::new(HashMap::new())),
+            morsel_rows: DEFAULT_MORSEL_ROWS,
+            in_worker: false,
+            morsel: Cell::new(None),
+        }
+    }
+
+    /// Override the morsel granularity (rows per morsel, clamped to ≥ 1).
+    pub fn set_morsel_rows(&mut self, rows: usize) {
+        self.morsel_rows = rows.max(1);
+    }
+
+    pub fn morsel_rows(&self) -> usize {
+        self.morsel_rows
+    }
+
+    pub(crate) fn in_worker(&self) -> bool {
+        self.in_worker
+    }
+
+    /// The `Sync` slice of this context that worker threads clone their own
+    /// contexts from: shared caches by `Arc`, fresh counters per worker.
+    pub(crate) fn shared(&self) -> SharedExec<'a> {
+        SharedExec {
+            catalog: self.catalog,
+            num_tables: self.num_tables,
+            cache: self.cache.clone(),
+            broadcast: self.broadcast.clone(),
+            morsel_rows: self.morsel_rows,
+        }
+    }
+
+    /// Restrict the driving scan `qt` to the given morsel (workers only).
+    pub(crate) fn set_morsel(&self, spec: Option<MorselSpec>) {
+        self.morsel.set(spec);
+    }
+
+    fn morsel_range(&self, qt: usize) -> Option<(usize, usize)> {
+        match self.morsel.get() {
+            Some(m) if m.qt == qt => Some((m.lo, m.hi)),
+            _ => None,
+        }
+    }
+
+    /// Fetch the shared build table for a broadcast slot, computing it under
+    /// the cache lock if this is the first worker to need it.
+    fn shared_build(
+        &self,
+        slot: usize,
+        build: impl FnOnce() -> Result<BuildTable>,
+    ) -> Result<Arc<BuildTable>> {
+        let mut map = lock(&self.broadcast);
+        if let Some(b) = map.get(&slot) {
+            return Ok(b.clone());
+        }
+        let b = Arc::new(build()?);
+        map.insert(slot, b.clone());
+        Ok(b)
+    }
+}
+
+/// The thread-shareable parts of an [`ExecContext`]. Worker threads derive
+/// their own contexts from this; plans are `Send` because every shared data
+/// structure on the path (tables, indexes, histogram statistics, cached
+/// materializations) is owned or behind `Arc`.
+#[derive(Clone)]
+pub(crate) struct SharedExec<'a> {
+    catalog: &'a Catalog,
+    num_tables: usize,
+    cache: Arc<Vec<MatSlot>>,
+    broadcast: Arc<Mutex<HashMap<usize, Arc<BuildTable>>>>,
+    morsel_rows: usize,
+}
+
+impl<'a> SharedExec<'a> {
+    /// A worker's private context sharing the parent's caches.
+    pub(crate) fn worker(&self) -> ExecContext<'a> {
+        ExecContext {
+            catalog: self.catalog,
+            num_tables: self.num_tables,
+            stats: ExecStats::default(),
+            cache: self.cache.clone(),
+            broadcast: self.broadcast.clone(),
+            morsel_rows: self.morsel_rows,
+            in_worker: true,
+            morsel: Cell::new(None),
         }
     }
 }
 
 /// An outer binding: the rows of already-bound tables, for correlation.
 #[derive(Clone, Copy)]
-struct Binding<'a> {
-    row: &'a [Value],
-    layout: &'a Layout,
+pub(crate) struct Binding<'a> {
+    pub(crate) row: &'a [Value],
+    pub(crate) layout: &'a Layout,
 }
 
 /// Execute a plan to completion with no outer binding.
@@ -90,7 +233,7 @@ pub fn execute(plan: &Plan, ctx: &ExecContext<'_>) -> Result<Vec<Row>> {
 }
 
 /// Evaluation environment combining the binding with an operator's own rows.
-struct Env {
+pub(crate) struct Env {
     layout: Layout,
     prefix: Vec<Value>,
     /// Scratch buffer reused across rows.
@@ -98,7 +241,7 @@ struct Env {
 }
 
 impl Env {
-    fn new(binding: Binding<'_>, input_space: &RowSpace, num_tables: usize) -> Env {
+    pub(crate) fn new(binding: Binding<'_>, input_space: &RowSpace, num_tables: usize) -> Env {
         match input_space {
             RowSpace::Tables(l) => {
                 if binding.layout.width() == 0 {
@@ -121,7 +264,7 @@ impl Env {
         }
     }
 
-    fn eval(&self, e: &Expr, row: &[Value]) -> Result<Value> {
+    pub(crate) fn eval(&self, e: &Expr, row: &[Value]) -> Result<Value> {
         if self.prefix.is_empty() {
             e.eval(EvalCtx::new(row, &self.layout))
         } else {
@@ -143,13 +286,16 @@ impl Env {
     }
 }
 
-fn exec(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result<Vec<Row>> {
+pub(crate) fn exec(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result<Vec<Row>> {
     let out = match plan {
-        Plan::TableScan { table, filter, .. } => {
+        Plan::TableScan { table, qt, filter, .. } => {
             let t = ctx.catalog.table(*table)?;
             let env = Env::new(binding, &plan.space(ctx.num_tables), ctx.num_tables);
             let mut out = Vec::new();
-            for (_, row) in t.data.scan() {
+            // Inside a parallel worker the driving scan only visits its
+            // morsel's slice of the heap order.
+            let (skip, take) = scan_window(ctx.morsel_range(*qt));
+            for (_, row) in t.data.scan().skip(skip).take(take) {
                 ExecStats::bump(&ctx.stats.rows_scanned, 1);
                 if env.passes(filter, row)? {
                     out.push(row.clone());
@@ -157,12 +303,14 @@ fn exec(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result<Vec<
             }
             out
         }
-        Plan::IndexScan { table, index, filter, .. } => {
+        Plan::IndexScan { table, qt, index, filter, .. } => {
             let t = ctx.catalog.table(*table)?;
             let ix = t.indexes.get(*index).ok_or_else(|| Error::internal("bad index id"))?;
             let env = Env::new(binding, &plan.space(ctx.num_tables), ctx.num_tables);
             let mut out = Vec::new();
-            for rid in ix.scan_ordered() {
+            // Morsels over an index scan slice its *key order* positions.
+            let (skip, take) = scan_window(ctx.morsel_range(*qt));
+            for rid in ix.scan_ordered().skip(skip).take(take) {
                 ExecStats::bump(&ctx.stats.rows_scanned, 1);
                 let row = t.data.row(rid);
                 if env.passes(filter, row)? {
@@ -266,13 +414,21 @@ fn exec(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result<Vec<
                 ExecStats::bump(&ctx.stats.materializations, 1);
                 exec(input, ctx, binding)?
             } else {
-                let cached = ctx.cache.borrow()[*cache_slot].clone();
-                match cached {
+                // Compute-under-lock: concurrent workers wanting the same
+                // slot wait for the first one instead of duplicating work.
+                // Slot locks nest strictly outer-before-inner (tree order),
+                // identically in every worker, so no cycles are possible.
+                let slot = ctx
+                    .cache
+                    .get(*cache_slot)
+                    .ok_or_else(|| Error::internal("materialize cache slot out of range"))?;
+                let mut slot = lock(slot);
+                match &*slot {
                     Some(rows) => rows.as_ref().clone(),
                     None => {
                         ExecStats::bump(&ctx.stats.materializations, 1);
-                        let rows = Rc::new(exec(input, ctx, binding)?);
-                        ctx.cache.borrow_mut()[*cache_slot] = Some(rows.clone());
+                        let rows = Arc::new(exec(input, ctx, binding)?);
+                        *slot = Some(rows.clone());
                         rows.as_ref().clone()
                     }
                 }
@@ -292,9 +448,22 @@ fn exec(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result<Vec<
             out
         }
         Plan::Aggregate { input, group_by, aggs, strategy, .. } => {
-            let rows = exec(input, ctx, binding)?;
-            let env = Env::new(binding, &input.space(ctx.num_tables), ctx.num_tables);
-            exec_aggregate(rows, group_by, aggs, *strategy, &env)?
+            // A Repartition exchange below a grouped aggregate switches to
+            // two-phase partitioned aggregation (each worker owns a
+            // disjoint set of groups); any other input aggregates serially.
+            if let Plan::Exchange {
+                kind: ExchangeKind::Repartition { keys },
+                input: pinput,
+                dop,
+                ..
+            } = input.as_ref()
+            {
+                exchange::exec_partitioned_agg(pinput, keys, *dop, group_by, aggs, ctx, binding)?
+            } else {
+                let rows = exec(input, ctx, binding)?;
+                let env = Env::new(binding, &input.space(ctx.num_tables), ctx.num_tables);
+                exec_aggregate(&rows, group_by, aggs, *strategy, &env)?
+            }
         }
         Plan::Sort { input, keys, .. } => {
             let rows = exec(input, ctx, binding)?;
@@ -335,9 +504,38 @@ fn exec(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result<Vec<
             }
             out
         }
+        // Exchanges move buffers between workers; they never process rows
+        // themselves (the fragment's operators already counted every row).
+        // Returning early — skipping the emit bump below — keeps a parallel
+        // plan's total work_units identical to the serial plan's, so the
+        // harness speedup is pure critical-path math. The per-row transfer
+        // overhead an exchange does impose is modeled in the cost model
+        // (`TRANSFER_ROW`), not in runtime work counters.
+        Plan::Exchange { kind, input, dop, .. } => {
+            return match kind {
+                ExchangeKind::Gather | ExchangeKind::GatherMerge => {
+                    exchange::exec_gather(kind, input, *dop, ctx, binding)
+                }
+                // Repartition is consumed by the Aggregate arm above;
+                // Broadcast by the hash-join build path. Reached directly
+                // (e.g. by a plan built by hand) both are order-preserving
+                // pass-throughs.
+                ExchangeKind::Repartition { .. } | ExchangeKind::Broadcast { .. } => {
+                    exec(input, ctx, binding)
+                }
+            };
+        }
     };
     ExecStats::bump(&ctx.stats.rows_emitted, out.len() as u64);
     Ok(out)
+}
+
+/// `(skip, take)` for a scan iterator under an optional morsel restriction.
+fn scan_window(range: Option<(usize, usize)>) -> (usize, usize) {
+    match range {
+        Some((lo, hi)) => (lo, hi.saturating_sub(lo)),
+        None => (0, usize::MAX),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -461,18 +659,14 @@ fn exec_hash_join(
             "build-on-left is MySQL's inner-hash-join convention only (§7 item 2)",
         ));
     }
-    let left_rows = exec(left, ctx, binding)?;
-    let right_rows = exec(right, ctx, binding)?;
-    let left_env = Env::new(binding, &left.space(ctx.num_tables), ctx.num_tables);
-    let right_env = Env::new(binding, &right.space(ctx.num_tables), ctx.num_tables);
+    // Decide sides. Build rows are hashed; probe rows stream past.
+    let build_is_left = build_left;
+    let (build_plan, probe_plan): (&Plan, &Plan) =
+        if build_is_left { (left, right) } else { (right, left) };
+    let build_env = Env::new(binding, &build_plan.space(ctx.num_tables), ctx.num_tables);
+    let probe_env = Env::new(binding, &probe_plan.space(ctx.num_tables), ctx.num_tables);
     let join_space = whole_join_space(left, kind, ctx.num_tables, left, right)?;
     let join_env = Env::new(binding, &join_space, ctx.num_tables);
-
-    // Decide sides. Build rows are hashed; probe rows stream past.
-    let (build_rows, probe_rows, build_is_left) =
-        if build_left { (&left_rows, &right_rows, true) } else { (&right_rows, &left_rows, false) };
-    let build_env = if build_is_left { &left_env } else { &right_env };
-    let probe_env = if build_is_left { &right_env } else { &left_env };
     let build_keys: Vec<&Expr> = if build_is_left {
         keys.iter().map(|(l, _)| l).collect()
     } else {
@@ -484,23 +678,23 @@ fn exec_hash_join(
         keys.iter().map(|(l, _)| l).collect()
     };
 
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(build_rows.len());
-    let mut build_has_null_key = false;
-    for (i, row) in build_rows.iter().enumerate() {
-        ExecStats::bump(&ctx.stats.build_rows, 1);
-        let mut kv = Vec::with_capacity(build_keys.len());
-        let mut any_null = false;
-        for k in &build_keys {
-            let v = build_env.eval(k, row)?;
-            any_null |= v.is_null();
-            kv.push(v);
+    // A Broadcast exchange on the build side shares one build table across
+    // all parallel workers (built once, under the broadcast cache's lock);
+    // otherwise each execution builds privately, exactly as before.
+    let built: Arc<BuildTable> = match build_plan {
+        Plan::Exchange { kind: ExchangeKind::Broadcast { slot }, input, .. } => {
+            ctx.shared_build(*slot, || {
+                let rows = exec(input, ctx, binding)?;
+                build_table(rows, &build_keys, &build_env, ctx)
+            })?
         }
-        if any_null {
-            build_has_null_key = true;
-            continue; // NULL keys never match under `=`.
+        _ => {
+            let rows = exec(build_plan, ctx, binding)?;
+            Arc::new(build_table(rows, &build_keys, &build_env, ctx)?)
         }
-        table.entry(kv).or_default().push(i);
-    }
+    };
+    let probe_rows = exec(probe_plan, ctx, binding)?;
+    let (table, build_rows, build_has_null_key) = (&built.index, &built.rows, built.has_null_key);
 
     let joined = |lrow: &Row, rrow: &Row| -> Row {
         let mut j = Vec::with_capacity(lrow.len() + rrow.len());
@@ -511,7 +705,7 @@ fn exec_hash_join(
 
     let right_width = right.space(ctx.num_tables).width();
     let mut out = Vec::new();
-    for prow in probe_rows {
+    for prow in &probe_rows {
         ExecStats::bump(&ctx.stats.hash_probes, 1);
         let mut kv = Vec::with_capacity(probe_keys.len());
         let mut any_null = false;
@@ -564,8 +758,37 @@ fn exec_hash_join(
     Ok(out)
 }
 
-fn exec_aggregate(
+/// Hash the build side of a join: index row positions by key values.
+/// Rows with any NULL key component are excluded from the index (they can
+/// never match under `=`) but remembered for NULL-aware anti joins.
+pub(crate) fn build_table(
     rows: Vec<Row>,
+    keys: &[&Expr],
+    env: &Env,
+    ctx: &ExecContext<'_>,
+) -> Result<BuildTable> {
+    let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rows.len());
+    let mut has_null_key = false;
+    for (i, row) in rows.iter().enumerate() {
+        ExecStats::bump(&ctx.stats.build_rows, 1);
+        let mut kv = Vec::with_capacity(keys.len());
+        let mut any_null = false;
+        for k in keys {
+            let v = env.eval(k, row)?;
+            any_null |= v.is_null();
+            kv.push(v);
+        }
+        if any_null {
+            has_null_key = true;
+            continue;
+        }
+        index.entry(kv).or_default().push(i);
+    }
+    Ok(BuildTable { rows, index, has_null_key })
+}
+
+pub(crate) fn exec_aggregate(
+    rows: &[Row],
     group_by: &[Expr],
     aggs: &[crate::plan::AggSpec],
     strategy: AggStrategy,
@@ -593,7 +816,7 @@ fn exec_aggregate(
     // Scalar aggregation (no GROUP BY): always exactly one output row.
     if group_by.is_empty() {
         let mut accs = new_accs();
-        for row in &rows {
+        for row in rows {
             feed(&mut accs, row)?;
         }
         return Ok(vec![emit(Vec::new(), &accs)]);
@@ -603,7 +826,7 @@ fn exec_aggregate(
         AggStrategy::Hash => {
             let mut groups: HashMap<Vec<Value>, Vec<Accumulator>> = HashMap::new();
             let mut order: Vec<Vec<Value>> = Vec::new();
-            for row in &rows {
+            for row in rows {
                 let mut key = Vec::with_capacity(group_by.len());
                 for g in group_by {
                     key.push(env.eval(g, row)?);
@@ -629,7 +852,7 @@ fn exec_aggregate(
             // Input must arrive grouped (sorted) on the keys.
             let mut out = Vec::new();
             let mut current: Option<(Vec<Value>, Vec<Accumulator>)> = None;
-            for row in &rows {
+            for row in rows {
                 let mut key = Vec::with_capacity(group_by.len());
                 for g in group_by {
                     key.push(env.eval(g, row)?);

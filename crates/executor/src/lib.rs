@@ -18,7 +18,9 @@
 
 pub mod agg;
 pub mod exec;
+pub mod parallel;
 pub mod plan;
 
 pub use exec::{execute, ExecContext, ExecStats};
-pub use plan::{AggSpec, AggStrategy, Est, JoinKind, Plan, RowSpace, SortKey};
+pub use parallel::{parallelize, ParallelOpts, DEFAULT_MORSEL_ROWS};
+pub use plan::{AggSpec, AggStrategy, Est, ExchangeKind, JoinKind, Plan, RowSpace, SortKey};

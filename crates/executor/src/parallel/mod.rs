@@ -1,0 +1,46 @@
+//! Morsel-driven parallel execution.
+//!
+//! The subsystem executes an *unchanged* operator pipeline concurrently by
+//! splitting its driving scan into [`morsel::MorselSpec`] ranges and running
+//! each morsel through a private copy of the pipeline on a worker-pool
+//! thread ([`pool`]). Three exchange operators mark the boundary between the
+//! serial section of a plan and a morsel-parallel fragment
+//! ([`crate::plan::ExchangeKind`]):
+//!
+//! - **Gather** concatenates per-morsel output buffers in morsel order.
+//!   Every pipeline operator preserves its driving scan's row order, so the
+//!   concatenation is byte-identical to serial execution.
+//! - **GatherMerge** sits above a per-morsel `Sort`: each morsel yields a
+//!   sorted run and the merge is k-way on the sort keys with ties broken by
+//!   morsel index — exactly reproducing the serial *stable* sort.
+//! - **Repartition** feeds a two-phase partitioned aggregation: rows are
+//!   hash-partitioned on the group-by keys so each worker owns a disjoint
+//!   set of groups, and the final output is key-sorted — identical to the
+//!   serial `Sort` + stream-aggregate plan it replaces.
+//!
+//! `Broadcast` wraps the build side of hash joins inside a fragment so the
+//! build table is computed once and shared by every worker instead of being
+//! rebuilt per worker.
+//!
+//! Placement ([`bridge::parallelize`]) is conservative: a fragment must be a
+//! scan/join/filter/project pipeline with a morselizable driving scan, and
+//! anything else (limits, unions, correlated contexts) stays serial. At run
+//! time every exchange additionally falls back to serial execution when it
+//! would not help (fewer than two morsels, nested inside another pool) or
+//! would be incorrect to split (a non-empty outer binding).
+
+pub mod bridge;
+pub(crate) mod exchange;
+pub mod morsel;
+pub(crate) mod pool;
+
+pub use bridge::{parallelize, ParallelOpts};
+pub use morsel::DEFAULT_MORSEL_ROWS;
+
+// Parallel execution requires plans (and everything they reference) to be
+// shareable across worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<crate::plan::Plan>();
+    assert_send_sync::<taurus_common::Value>();
+};

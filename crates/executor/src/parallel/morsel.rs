@@ -1,0 +1,64 @@
+//! Morsels: contiguous slices of a driving scan's iteration order.
+
+/// Default number of driving-scan rows per morsel. Small enough that the
+/// pool load-balances skewed filters, large enough that per-morsel overhead
+/// (buffer allocation, context setup) stays negligible.
+pub const DEFAULT_MORSEL_ROWS: usize = 1024;
+
+/// One unit of parallel work: the driving scan whose query-table number is
+/// `qt` visits only positions `[lo, hi)` of its iteration order (heap order
+/// for a table scan, key order for an index scan).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MorselSpec {
+    pub qt: usize,
+    pub lo: usize,
+    pub hi: usize,
+}
+
+/// Split `total_rows` scan positions into morsels of `morsel_rows` each.
+/// The last morsel is open-ended so a count that is stale by the time the
+/// scan runs (e.g. an index holding more entries than the heap snapshot)
+/// still visits every position exactly once.
+pub fn split(qt: usize, total_rows: usize, morsel_rows: usize) -> Vec<MorselSpec> {
+    let step = morsel_rows.max(1);
+    if total_rows == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(total_rows.div_ceil(step));
+    let mut lo = 0;
+    while lo < total_rows {
+        let hi = lo.saturating_add(step).min(total_rows);
+        out.push(MorselSpec { qt, lo, hi });
+        lo = hi;
+    }
+    if let Some(last) = out.last_mut() {
+        last.hi = usize::MAX;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_covers_every_position_once() {
+        let ms = split(3, 10, 4);
+        assert_eq!(ms.len(), 3);
+        assert_eq!((ms[0].lo, ms[0].hi), (0, 4));
+        assert_eq!((ms[1].lo, ms[1].hi), (4, 8));
+        assert_eq!(ms[2].lo, 8);
+        assert_eq!(ms[2].hi, usize::MAX, "last morsel is open-ended");
+        assert!(ms.iter().all(|m| m.qt == 3));
+    }
+
+    #[test]
+    fn split_edge_cases() {
+        assert!(split(0, 0, 16).is_empty(), "empty scan -> no morsels");
+        let one = split(0, 5, 100);
+        assert_eq!(one.len(), 1, "tiny scan -> single morsel");
+        assert_eq!((one[0].lo, one[0].hi), (0, usize::MAX));
+        // morsel_rows of 0 is clamped instead of looping forever.
+        assert_eq!(split(0, 3, 0).len(), 3);
+    }
+}

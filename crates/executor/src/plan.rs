@@ -17,15 +17,31 @@ use taurus_common::{AggFunc, Expr, Layout, TableId};
 /// Cardinality/cost estimate attached to a node for EXPLAIN output. The
 /// estimates come from whichever optimizer produced the plan — for the Orca
 /// path they are *copied over from the Orca plan* (paper §4.2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Est {
     pub rows: f64,
     pub cost: f64,
+    /// Degree of parallelism this node executes under: 1 for serial
+    /// operators, the worker count for operators inside a morsel-parallel
+    /// fragment. EXPLAIN prints it only when > 1 so serial plan shapes are
+    /// unchanged.
+    pub dop: usize,
+}
+
+impl Default for Est {
+    fn default() -> Est {
+        Est { rows: 0.0, cost: 0.0, dop: 1 }
+    }
 }
 
 impl Est {
     pub fn new(rows: f64, cost: f64) -> Est {
-        Est { rows, cost }
+        Est { rows, cost, dop: 1 }
+    }
+
+    /// The same estimate annotated with a degree of parallelism.
+    pub fn with_dop(self, dop: usize) -> Est {
+        Est { dop: dop.max(1), ..self }
     }
 }
 
@@ -73,6 +89,39 @@ pub enum AggStrategy {
 pub struct SortKey {
     pub expr: Expr,
     pub desc: bool,
+}
+
+/// How a parallel [`Plan::Exchange`] moves rows between the serial section
+/// of a plan and its morsel-parallel fragment (see `crate::parallel`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExchangeKind {
+    /// Collect per-morsel output buffers and concatenate them in morsel
+    /// order — byte-identical to serial execution because every pipeline
+    /// operator below preserves its driving scan's row order.
+    Gather,
+    /// Order-preserving gather above a per-morsel `Sort`: each morsel
+    /// produces a sorted run and the gather k-way merges the runs on the
+    /// sort keys, breaking ties by morsel index — which reproduces the
+    /// serial stable sort exactly.
+    GatherMerge,
+    /// Hash-partition input rows on the keys so each worker owns a disjoint
+    /// set of groups (two-phase partitioned aggregation).
+    Repartition { keys: Vec<Expr> },
+    /// Execute the input once and share the resulting hash-join build table
+    /// with every worker. `slot` keys the shared-build cache and is assigned
+    /// by [`Plan::assign_cache_slots`].
+    Broadcast { slot: usize },
+}
+
+impl ExchangeKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExchangeKind::Gather => "gather",
+            ExchangeKind::GatherMerge => "gather-merge",
+            ExchangeKind::Repartition { .. } => "repartition",
+            ExchangeKind::Broadcast { .. } => "broadcast",
+        }
+    }
 }
 
 /// What kind of rows a plan node emits.
@@ -189,6 +238,11 @@ pub enum Plan {
     /// Concatenation of same-width slot-space inputs, with optional
     /// de-duplication (UNION ALL / UNION DISTINCT).
     Union { inputs: Vec<Plan>, distinct: bool, est: Est },
+    /// Parallel exchange (space-preserving): the boundary between the serial
+    /// section above and the morsel-parallel fragment below, executed with
+    /// `dop` workers. Placed by `crate::parallel::parallelize`; a serial
+    /// executor may treat it as a no-op pass-through.
+    Exchange { kind: ExchangeKind, input: Box<Plan>, dop: usize, est: Est },
 }
 
 impl Plan {
@@ -215,7 +269,8 @@ impl Plan {
             Plan::Filter { input, .. }
             | Plan::Materialize { input, .. }
             | Plan::Sort { input, .. }
-            | Plan::Limit { input, .. } => input.space(num_tables),
+            | Plan::Limit { input, .. }
+            | Plan::Exchange { input, .. } => input.space(num_tables),
             Plan::Project { exprs, .. } => RowSpace::Slots(exprs.len()),
             Plan::Aggregate { group_by, aggs, .. } => RowSpace::Slots(group_by.len() + aggs.len()),
             Plan::Union { inputs, .. } => {
@@ -240,7 +295,30 @@ impl Plan {
             | Plan::Aggregate { est, .. }
             | Plan::Sort { est, .. }
             | Plan::Limit { est, .. }
-            | Plan::Union { est, .. } => *est,
+            | Plan::Union { est, .. }
+            | Plan::Exchange { est, .. } => *est,
+        }
+    }
+
+    /// Mutable access to the node's estimate (used by exchange placement to
+    /// stamp the fragment's degree of parallelism for EXPLAIN).
+    pub fn est_mut(&mut self) -> &mut Est {
+        match self {
+            Plan::TableScan { est, .. }
+            | Plan::IndexScan { est, .. }
+            | Plan::IndexRange { est, .. }
+            | Plan::IndexLookup { est, .. }
+            | Plan::NestedLoop { est, .. }
+            | Plan::HashJoin { est, .. }
+            | Plan::Filter { est, .. }
+            | Plan::Derived { est, .. }
+            | Plan::Materialize { est, .. }
+            | Plan::Project { est, .. }
+            | Plan::Aggregate { est, .. }
+            | Plan::Sort { est, .. }
+            | Plan::Limit { est, .. }
+            | Plan::Union { est, .. }
+            | Plan::Exchange { est, .. } => est,
         }
     }
 
@@ -260,38 +338,72 @@ impl Plan {
             | Plan::Project { input, .. }
             | Plan::Aggregate { input, .. }
             | Plan::Sort { input, .. }
-            | Plan::Limit { input, .. } => vec![input],
+            | Plan::Limit { input, .. }
+            | Plan::Exchange { input, .. } => vec![input],
             Plan::Union { inputs, .. } => inputs.iter().collect(),
         }
     }
 
-    /// Assign distinct cache slots to every `Materialize` node; returns the
-    /// slot count. Call once after plan construction.
+    /// Mutable children, mirroring [`Plan::children`].
+    pub fn children_mut(&mut self) -> Vec<&mut Plan> {
+        match self {
+            Plan::TableScan { .. }
+            | Plan::IndexScan { .. }
+            | Plan::IndexRange { .. }
+            | Plan::IndexLookup { .. } => vec![],
+            Plan::NestedLoop { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+                vec![left, right]
+            }
+            Plan::Filter { input, .. }
+            | Plan::Derived { input, .. }
+            | Plan::Materialize { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::Exchange { input, .. } => vec![input],
+            Plan::Union { inputs, .. } => inputs.iter_mut().collect(),
+        }
+    }
+
+    /// Assign distinct cache slots to every `Materialize` node (returning
+    /// the slot count) and distinct shared-build slots to every `Broadcast`
+    /// exchange. Call once after plan construction.
     pub fn assign_cache_slots(&mut self) -> usize {
-        fn assign(plan: &mut Plan, next: &mut usize) {
+        fn assign(plan: &mut Plan, next: &mut usize, next_bcast: &mut usize) {
             if let Plan::Materialize { cache_slot, input, .. } = plan {
                 *cache_slot = *next;
                 *next += 1;
-                assign(input, next);
+                assign(input, next, next_bcast);
+                return;
+            }
+            if let Plan::Exchange { kind: ExchangeKind::Broadcast { slot }, input, .. } = plan {
+                *slot = *next_bcast;
+                *next_bcast += 1;
+                assign(input, next, next_bcast);
                 return;
             }
             match plan {
                 Plan::NestedLoop { left, right, .. } | Plan::HashJoin { left, right, .. } => {
-                    assign(left, next);
-                    assign(right, next);
+                    assign(left, next, next_bcast);
+                    assign(right, next, next_bcast);
                 }
                 Plan::Filter { input, .. }
                 | Plan::Derived { input, .. }
                 | Plan::Project { input, .. }
                 | Plan::Aggregate { input, .. }
                 | Plan::Sort { input, .. }
-                | Plan::Limit { input, .. } => assign(input, next),
-                Plan::Union { inputs, .. } => inputs.iter_mut().for_each(|p| assign(p, next)),
+                | Plan::Limit { input, .. }
+                | Plan::Exchange { input, .. } => assign(input, next, next_bcast),
+                Plan::Union { inputs, .. } => {
+                    inputs.iter_mut().for_each(|p| assign(p, next, next_bcast))
+                }
                 _ => {}
             }
         }
         let mut n = 0;
-        assign(self, &mut n);
+        let mut b = 0;
+        assign(self, &mut n, &mut b);
         n
     }
 
@@ -359,6 +471,12 @@ impl Plan {
             }
             Plan::Limit { input, .. } => input.for_each_expr_mut(f),
             Plan::Union { inputs, .. } => inputs.iter_mut().for_each(|p| p.for_each_expr_mut(f)),
+            Plan::Exchange { kind, input, .. } => {
+                if let ExchangeKind::Repartition { keys } = kind {
+                    keys.iter_mut().for_each(&mut *f);
+                }
+                input.for_each_expr_mut(f);
+            }
         }
     }
 
@@ -392,7 +510,9 @@ impl Plan {
                 | Plan::IndexRange { .. }
                 | Plan::IndexLookup { .. }
                 | Plan::Derived { .. } => true,
-                Plan::Filter { input, .. } | Plan::Materialize { input, .. } => leafish(input),
+                Plan::Filter { input, .. }
+                | Plan::Materialize { input, .. }
+                | Plan::Exchange { input, .. } => leafish(input),
                 _ => false,
             }
         }
@@ -536,5 +656,75 @@ mod tests {
         let bushy = inner_nl(scan(0, 1), inner_nl(scan(1, 1), scan(2, 1)));
         assert!(!bushy.is_left_deep());
         assert_eq!(bushy.join_method_counts(), (2, 0));
+    }
+
+    #[test]
+    fn exchange_preserves_space_and_shape() {
+        let g = Plan::Exchange {
+            kind: ExchangeKind::Gather,
+            input: Box::new(inner_nl(inner_nl(scan(0, 2), scan(1, 3)), scan(2, 1))),
+            dop: 4,
+            est: Est::default().with_dop(4),
+        };
+        assert_eq!(g.space(3).width(), 6, "exchange is space-preserving");
+        assert_eq!(g.est().dop, 4);
+        assert_eq!(g.join_method_counts(), (2, 0));
+        assert!(g.is_left_deep(), "a gather above a left-deep tree stays left-deep");
+    }
+
+    #[test]
+    fn broadcast_slots_assigned_alongside_cache_slots() {
+        let bcast = |p: Plan| Plan::Exchange {
+            kind: ExchangeKind::Broadcast { slot: 99 },
+            input: Box::new(p),
+            dop: 2,
+            est: Est::default(),
+        };
+        let mut p = inner_nl(
+            bcast(scan(0, 1)),
+            Plan::Materialize {
+                input: Box::new(bcast(scan(1, 1))),
+                rebind: false,
+                cache_slot: 99,
+                est: Est::default(),
+            },
+        );
+        assert_eq!(p.assign_cache_slots(), 1, "one materialize slot");
+        match &p {
+            Plan::NestedLoop { left, right, .. } => {
+                assert!(matches!(
+                    left.as_ref(),
+                    Plan::Exchange { kind: ExchangeKind::Broadcast { slot: 0 }, .. }
+                ));
+                match right.as_ref() {
+                    Plan::Materialize { cache_slot: 0, input, .. } => assert!(matches!(
+                        input.as_ref(),
+                        Plan::Exchange { kind: ExchangeKind::Broadcast { slot: 1 }, .. }
+                    )),
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn expr_visitor_reaches_repartition_keys() {
+        use taurus_common::Value;
+        let mut p = Plan::Exchange {
+            kind: ExchangeKind::Repartition { keys: vec![Expr::param(0, Value::Int(1))] },
+            input: Box::new(Plan::TableScan {
+                table: TableId(0),
+                qt: 0,
+                width: 1,
+                filter: vec![Expr::param(1, Value::Int(2))],
+                est: Est::default(),
+            }),
+            dop: 2,
+            est: Est::default(),
+        };
+        let mut seen = 0;
+        p.for_each_expr_mut(&mut |_| seen += 1);
+        assert_eq!(seen, 2, "repartition keys and the scan filter are both visited");
     }
 }

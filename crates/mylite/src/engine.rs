@@ -11,16 +11,17 @@ use crate::bound::BoundStatement;
 use crate::explain::explain_plan;
 use crate::optimizer::optimize_statement;
 use crate::plancache::{CacheOutcome, CachedPlan, PlanCache, PlanCacheStats};
-use crate::refine::refine_statement;
+use crate::refine::refine_statement_parallel;
 use crate::resolve::resolve_union_branches;
 use crate::skeleton::Skeleton;
-use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
 use taurus_catalog::stats::AnalyzeOptions;
 use taurus_catalog::Catalog;
 use taurus_common::error::{Error, Result};
 use taurus_common::expr::EvalCtx;
 use taurus_common::{Layout, Row, Value};
-use taurus_executor::{execute, ExecContext, Plan};
+use taurus_executor::{execute, ExecContext, ParallelOpts, Plan, DEFAULT_MORSEL_ROWS};
 use taurus_sql::fingerprint::{parameterize, token_digest};
 use taurus_sql::rewrite::rewrite_set_ops;
 use taurus_sql::{parse, SelectStmt, Statement};
@@ -78,19 +79,79 @@ pub struct QueryOutput {
     pub rows: Vec<Row>,
     /// Machine-independent work measure (see `ExecStats::work_units`).
     pub work_units: u64,
+    /// Work on the critical path: parallel fragments count only their
+    /// slowest worker, so `work_units / critical_work_units` is the
+    /// machine-independent parallel speedup.
+    pub critical_work_units: u64,
+}
+
+/// Lock a mutex, recovering the data if a previous holder panicked — the
+/// plan cache and the dop knobs hold only plain data, so a poisoned guard
+/// is still structurally sound.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// The engine: a catalog plus the machinery to run SQL against it.
+///
+/// `Engine` is `Send + Sync`: the plan cache sits behind a `Mutex` and the
+/// parallelism knobs are atomics, so sessions can share one engine across
+/// threads while the single-threaded API stays unchanged.
 pub struct Engine {
     catalog: Catalog,
     /// Fingerprint-keyed plan cache for the `*_cached` entry points.
-    /// `RefCell` because cache bookkeeping mutates under `&self` queries.
-    plan_cache: RefCell<PlanCache>,
+    /// `Mutex` (not `RefCell`) because cache bookkeeping mutates under
+    /// `&self` queries that may now arrive from several threads.
+    plan_cache: Mutex<PlanCache>,
+    /// Session degree of parallelism (1 = serial, the default).
+    dop: AtomicUsize,
+    /// Runtime morsel size for parallel scans (rows per morsel).
+    morsel_rows: AtomicUsize,
+    /// Minimum driving-table rows before an exchange is worth placing.
+    parallel_threshold: AtomicUsize,
 }
 
 impl Engine {
     pub fn new(catalog: Catalog) -> Engine {
-        Engine { catalog, plan_cache: RefCell::new(PlanCache::default()) }
+        Engine {
+            catalog,
+            plan_cache: Mutex::new(PlanCache::default()),
+            dop: AtomicUsize::new(1),
+            morsel_rows: AtomicUsize::new(DEFAULT_MORSEL_ROWS),
+            parallel_threshold: AtomicUsize::new(DEFAULT_MORSEL_ROWS),
+        }
+    }
+
+    // ------------------------------------------------------- parallelism
+
+    /// Set the session degree of parallelism. Plans depend on it (exchange
+    /// placement), so cached plans are dropped.
+    pub fn set_dop(&self, dop: usize) {
+        self.dop.store(dop.max(1), Ordering::Relaxed);
+        lock(&self.plan_cache).clear();
+    }
+
+    /// Set the dop from the machine's available parallelism.
+    pub fn set_auto_dop(&self) {
+        let n = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        self.set_dop(n);
+    }
+
+    pub fn dop(&self) -> usize {
+        self.dop.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Runtime morsel size for parallel scans. Purely an execution knob —
+    /// plans are unaffected, so the cache survives.
+    pub fn set_morsel_rows(&self, rows: usize) {
+        self.morsel_rows.store(rows.max(1), Ordering::Relaxed);
+    }
+
+    /// Minimum driving-table rows before refinement places an exchange.
+    /// Affects plans, so cached plans are dropped.
+    pub fn set_parallel_threshold(&self, rows: usize) {
+        self.parallel_threshold.store(rows, Ordering::Relaxed);
+        lock(&self.plan_cache).clear();
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -173,7 +234,7 @@ impl Engine {
         let version = self.catalog.version();
         let mut outcome = CacheOutcome::Miss;
         if let Some(d) = &digest {
-            let mut cache = self.plan_cache.borrow_mut();
+            let mut cache = lock(&self.plan_cache);
             let before = cache.stats();
             if let Some(entry) = cache.lookup(d.fingerprint, version) {
                 rebind_planned(&mut entry.planned, &d.binds)?;
@@ -193,7 +254,7 @@ impl Engine {
         let r = f(&planned)?;
         if let Some(d) = digest {
             if d.binds == p.binds {
-                self.plan_cache.borrow_mut().insert(
+                lock(&self.plan_cache).insert(
                     d.fingerprint,
                     CachedPlan {
                         planned,
@@ -248,17 +309,17 @@ impl Engine {
 
     /// Plan-cache counters for reports.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        self.plan_cache.borrow().stats()
+        lock(&self.plan_cache).stats()
     }
 
     /// Number of currently cached statements.
     pub fn plan_cache_len(&self) -> usize {
-        self.plan_cache.borrow().len()
+        lock(&self.plan_cache).len()
     }
 
     /// Drop every cached plan (counters survive).
     pub fn clear_plan_cache(&self) {
-        self.plan_cache.borrow_mut().clear();
+        lock(&self.plan_cache).clear();
     }
 
     /// Plan a parsed SELECT.
@@ -276,9 +337,17 @@ impl Engine {
         }
         let mut planned = Vec::with_capacity(branches.len());
         let mut columns: Option<Vec<String>> = None;
+        let engine_dop = self.dop();
         for (bound, all) in branches {
             let skeleton = opt.optimize(&self.catalog, &bound)?;
-            let plan = refine_statement(&self.catalog, &bound, &skeleton)?;
+            // The optimizer's dop choice wins when present, clamped to the
+            // session knob; otherwise the session knob applies directly.
+            let dop = skeleton.dop.unwrap_or(engine_dop).min(engine_dop).max(1);
+            let opts = ParallelOpts {
+                dop,
+                min_driver_rows: self.parallel_threshold.load(Ordering::Relaxed),
+            };
+            let plan = refine_statement_parallel(&self.catalog, &bound, &skeleton, &opts)?;
             let cols: Vec<String> = bound.root.select.iter().map(|o| o.name.clone()).collect();
             match &columns {
                 None => columns = Some(cols),
@@ -297,12 +366,15 @@ impl Engine {
     pub fn execute_planned(&self, planned: &PlannedQuery) -> Result<QueryOutput> {
         let mut rows: Vec<Row> = Vec::new();
         let mut work = 0u64;
+        let mut critical = 0u64;
         for (i, b) in planned.branches.iter().enumerate() {
             let mut plan = b.plan.clone();
             let slots = plan.assign_cache_slots();
-            let ctx = ExecContext::new(&self.catalog, b.bound.num_tables(), slots);
+            let mut ctx = ExecContext::new(&self.catalog, b.bound.num_tables(), slots);
+            ctx.set_morsel_rows(self.morsel_rows.load(Ordering::Relaxed));
             let branch_rows = execute(&plan, &ctx)?;
             work += ctx.stats.work_units();
+            critical += ctx.stats.critical_path_work();
             if i == 0 {
                 rows = branch_rows;
             } else {
@@ -313,7 +385,12 @@ impl Engine {
                 }
             }
         }
-        Ok(QueryOutput { columns: planned.columns.clone(), rows, work_units: work })
+        Ok(QueryOutput {
+            columns: planned.columns.clone(),
+            rows,
+            work_units: work,
+            critical_work_units: critical,
+        })
     }
 
     fn run_select(&self, stmt: &SelectStmt, opt: &dyn CostBasedOptimizer) -> Result<QueryOutput> {
@@ -345,6 +422,7 @@ impl Engine {
             columns: vec!["rows_inserted".into()],
             rows: vec![vec![Value::Int(n as i64)]],
             work_units: n as u64,
+            critical_work_units: n as u64,
         })
     }
 }
@@ -696,6 +774,126 @@ mod tests {
         let text = e.explain_cached(sql, &MySqlOptimizer).unwrap();
         assert!(text.starts_with("EXPLAIN [plan cache: hit]\n"), "{text}");
         assert!(text.contains("join"), "{text}");
+    }
+
+    // The whole point of the Mutex/atomic migration: one engine, many
+    // session threads.
+    const _: () = {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+    };
+
+    /// A wider emp table so the parallel threshold can be crossed.
+    fn big_engine(rows: i64) -> Engine {
+        let mut cat = Catalog::new();
+        let t = cat
+            .create_table(
+                "emp",
+                Schema::new(vec![
+                    Column::new("id", DataType::Int),
+                    Column::new("dept", DataType::Int),
+                    Column::new("salary", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        cat.insert(
+            t,
+            (0..rows)
+                .map(|i| vec![Value::Int(i), Value::Int(i % 7), Value::Int(i * 13 % 1000)])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let mut e = Engine::new(cat);
+        e.analyze();
+        e
+    }
+
+    #[test]
+    fn parallel_query_matches_serial_and_shortens_critical_path() {
+        let e = big_engine(5000);
+        let sql = "SELECT dept, COUNT(*) AS n, SUM(salary) AS s FROM emp \
+                   WHERE salary < 900 GROUP BY dept ORDER BY dept";
+        let serial = e.query(sql).unwrap();
+        e.set_dop(4);
+        e.set_morsel_rows(512);
+        let parallel = e.query(sql).unwrap();
+        assert_eq!(serial.rows, parallel.rows, "parallel results must be identical");
+        assert!(
+            parallel.critical_work_units < serial.work_units,
+            "critical path {} should shrink below serial work {}",
+            parallel.critical_work_units,
+            serial.work_units
+        );
+        assert_eq!(serial.critical_work_units, serial.work_units, "serial has no parallelism");
+    }
+
+    #[test]
+    fn explain_shows_exchange_and_dop_only_when_parallel() {
+        let e = big_engine(3000);
+        let sql = "SELECT id FROM emp WHERE salary > 500";
+        let text = e.explain(sql, &MySqlOptimizer).unwrap();
+        assert!(!text.contains("dop="), "serial EXPLAIN unchanged: {text}");
+        e.set_dop(4);
+        let text = e.explain(sql, &MySqlOptimizer).unwrap();
+        assert!(text.contains("Exchange (gather, dop=4)"), "{text}");
+        assert!(text.contains("dop=4)"), "{text}");
+    }
+
+    #[test]
+    fn small_tables_stay_serial_under_dop() {
+        let e = engine();
+        e.set_dop(8);
+        let text = e.explain("SELECT id FROM emp", &MySqlOptimizer).unwrap();
+        assert!(!text.contains("Exchange"), "4-row table below threshold: {text}");
+        let out = e.query("SELECT id FROM emp ORDER BY id").unwrap();
+        assert_eq!(ints(&out, 0), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn set_dop_invalidates_cached_plans() {
+        let e = big_engine(3000);
+        let sql = "SELECT id FROM emp WHERE salary > 500";
+        e.query_cached(sql, &MySqlOptimizer).unwrap();
+        assert_eq!(e.plan_cache_len(), 1);
+        e.set_dop(4);
+        assert_eq!(e.plan_cache_len(), 0, "dop change drops serial plans");
+        let (planned, _) = e.plan_cached(sql, &MySqlOptimizer).unwrap();
+        let has_exchange = format!("{:?}", planned.primary().plan).contains("Exchange");
+        assert!(has_exchange, "recompiled plan is parallel");
+    }
+
+    #[test]
+    fn concurrent_sessions_share_engine_and_plan_cache() {
+        let e = std::sync::Arc::new(big_engine(3000));
+        e.set_dop(2);
+        // Prime the cache so every session thread hits the shared entry.
+        let expected = e
+            .query_cached(
+                "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept ORDER BY dept",
+                &MySqlOptimizer,
+            )
+            .unwrap()
+            .rows;
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let e = e.clone();
+                let expected = expected.clone();
+                s.spawn(move || {
+                    for _ in 0..5 {
+                        let out = e
+                            .query_cached(
+                                "SELECT dept, COUNT(*) AS n FROM emp GROUP BY dept ORDER BY dept",
+                                &MySqlOptimizer,
+                            )
+                            .unwrap();
+                        assert_eq!(out.rows, expected);
+                    }
+                });
+            }
+        });
+        let s = e.plan_cache_stats();
+        assert_eq!(s.hits, 20, "every threaded run hits the primed entry: {s:?}");
+        assert_eq!(e.plan_cache_len(), 1);
     }
 
     #[test]

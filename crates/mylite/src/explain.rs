@@ -40,7 +40,13 @@ fn indent(out: &mut String, depth: usize) {
 
 fn est_suffix(plan: &Plan) -> String {
     let e = plan.est();
-    format!(" (cost={:.2} rows={:.0})", e.cost, e.rows.max(0.0))
+    // Fixed precision keeps golden EXPLAIN outputs stable; the dop column
+    // only appears for parallel operators so serial plans are unchanged.
+    if e.dop > 1 {
+        format!(" (cost={:.2} rows={:.0} dop={})", e.cost, e.rows.max(0.0), e.dop)
+    } else {
+        format!(" (cost={:.2} rows={:.0})", e.cost, e.rows.max(0.0))
+    }
 }
 
 fn exprs_text(exprs: &[Expr], namer: &dyn Fn(ColRef) -> String) -> String {
@@ -226,6 +232,11 @@ fn render(
         Plan::Limit { input, n, .. } => {
             indent(out, depth);
             let _ = writeln!(out, "Limit: {n} row(s)");
+            render(input, bound, catalog, namer, depth + 1, out);
+        }
+        Plan::Exchange { kind, input, dop, .. } => {
+            indent(out, depth);
+            let _ = writeln!(out, "Exchange ({}, dop={dop}){}", kind.name(), est_suffix(plan));
             render(input, bound, catalog, namer, depth + 1, out);
         }
         Plan::Union { inputs, distinct, .. } => {

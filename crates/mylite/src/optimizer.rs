@@ -339,6 +339,7 @@ impl<'a> PlanCtx<'a> {
             root: tree.expect("at least one member"),
             orca_assisted: false,
             orca_fallback: None,
+            dop: None,
         })
     }
 

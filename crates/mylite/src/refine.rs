@@ -33,7 +33,24 @@ pub fn refine_statement(
     bound: &BoundStatement,
     skeleton: &Skeleton,
 ) -> Result<Plan> {
+    refine_statement_parallel(catalog, bound, skeleton, &taurus_executor::ParallelOpts::default())
+}
+
+/// Refine and, when `opts.dop > 1`, place exchange operators for parallel
+/// execution. Exchange placement runs *before* cache-slot assignment so
+/// broadcast slots are numbered alongside materialize slots; it is also the
+/// one refinement step that is not optimizer-oblivious — the dop arrives
+/// from Orca's cost model (or the engine's knob) via the skeleton.
+pub fn refine_statement_parallel(
+    catalog: &Catalog,
+    bound: &BoundStatement,
+    skeleton: &Skeleton,
+    opts: &taurus_executor::ParallelOpts,
+) -> Result<Plan> {
     let mut plan = refine_block(catalog, bound, &bound.root, skeleton, &BTreeSet::new())?;
+    if opts.dop > 1 {
+        plan = taurus_executor::parallelize(plan, catalog, opts);
+    }
     plan.assign_cache_slots();
     Ok(plan)
 }
@@ -677,6 +694,11 @@ fn plan_references_outside(plan: &Plan, allowed: &mut BTreeSet<usize>) -> bool {
         Plan::Sort { keys, .. } => keys.iter().for_each(|k| check(&k.expr)),
         Plan::Derived { qt, .. } => {
             allowed.insert(*qt);
+        }
+        Plan::Exchange { kind, .. } => {
+            if let taurus_executor::ExchangeKind::Repartition { keys } = kind {
+                keys.iter().for_each(&mut check);
+            }
         }
         Plan::Materialize { .. } | Plan::Limit { .. } | Plan::Union { .. } => {}
     }

@@ -140,6 +140,10 @@ pub struct Skeleton {
     /// plans and for queries below the complex-query threshold. Shown in
     /// the EXPLAIN banner so fallbacks are observable per statement.
     pub orca_fallback: Option<String>,
+    /// Degree of parallelism Orca's cost model chose for this block
+    /// (`None` = serial). Refinement turns this into exchange operators;
+    /// the engine clamps it to its own configured dop.
+    pub dop: Option<usize>,
 }
 
 impl Skeleton {
@@ -184,7 +188,7 @@ mod tests {
     fn best_positions_are_preorder_leaves() {
         // ((0 ⋈ 2) ⋈ 1)
         let tree = join(join(leaf(0), leaf(2)), leaf(1));
-        let sk = Skeleton { root: tree, orca_assisted: false, orca_fallback: None };
+        let sk = Skeleton { root: tree, orca_assisted: false, orca_fallback: None, dop: None };
         assert_eq!(sk.root.qts(), vec![0, 2, 1]);
         assert!(sk.root.is_left_deep());
         assert_eq!(sk.best_position_display(&|qt| format!("t{qt}")), "[t0, t2, t1]");
@@ -192,7 +196,8 @@ mod tests {
 
     #[test]
     fn banner_reflects_provenance() {
-        let mut sk = Skeleton { root: leaf(0), orca_assisted: true, orca_fallback: None };
+        let mut sk =
+            Skeleton { root: leaf(0), orca_assisted: true, orca_fallback: None, dop: None };
         assert_eq!(sk.explain_banner(), "EXPLAIN (ORCA)");
         sk.orca_assisted = false;
         assert_eq!(sk.explain_banner(), "EXPLAIN");

@@ -166,6 +166,11 @@ pub struct OrcaConfig {
     /// costed). Exhaustion surfaces as [`Error::ResourceExhausted`] and
     /// drives the bridge's degradation ladder.
     pub budget: SearchBudget,
+    /// Maximum degree of parallelism the cost model may choose for a plan
+    /// (1 = serial-only, the default). When > 1 the memo compares the best
+    /// serial plan against parallel alternatives via
+    /// [`crate::cost::choose_dop`] and annotates the winner.
+    pub dop: usize,
     /// Test-only fault injection; disarmed by default (no-op).
     pub faults: FaultInjector,
 }
@@ -180,6 +185,7 @@ impl Default for OrcaConfig {
             mysql_distribution_nudges: true,
             bushy_member_cap: 13,
             budget: SearchBudget::UNLIMITED,
+            dop: 1,
             faults: FaultInjector::default(),
         }
     }
@@ -204,6 +210,7 @@ mod tests {
         assert!(!c.enable_gbagg_below_join, "disabled for the MySQL target (§7)");
         assert!(c.mysql_distribution_nudges);
         assert!(c.budget.is_unlimited(), "budget off by default");
+        assert_eq!(c.dop, 1, "serial-only unless the engine raises dop");
         assert_eq!(c.faults, FaultInjector::default(), "injector disarmed by default");
     }
 

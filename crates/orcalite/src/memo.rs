@@ -68,7 +68,11 @@ pub fn optimize_block_cached(
     // plan whose query-block structure MySQL cannot express, and the host
     // must fall back (§4.2.1).
     let changed = cfg.enable_gbagg_below_join && desc.has_aggregation && desc.members.len() > 1;
-    Ok(OrcaPlan { root, stats: search.stats, changed_block_structure: changed })
+    // Serial-vs-parallel decision: compare the best serial plan against
+    // DOP-adjusted alternatives (per-worker tuple cost + exchange transfer
+    // cost). dop stays 1 unless parallelism is genuinely cheaper.
+    let dop = if cfg.dop > 1 { cost::choose_dop(root.cost(), root.rows(), cfg.dop) } else { 1 };
+    Ok(OrcaPlan { root, stats: search.stats, changed_block_structure: changed, dop })
 }
 
 type Bits = u64;

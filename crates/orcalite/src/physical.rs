@@ -238,6 +238,10 @@ pub struct OrcaPlan {
     /// GbAgg pushed below a join) — the host must fall back to its own
     /// optimizer (§4.2.1).
     pub changed_block_structure: bool,
+    /// Degree of parallelism the cost model chose for this plan (1 =
+    /// serial; see [`crate::cost::choose_dop`]). The host's refinement
+    /// places the actual exchange operators.
+    pub dop: usize,
 }
 
 #[cfg(test)]
