@@ -44,4 +44,11 @@ echo "== parallel: morsel-driven speedup gate"
 # an expected exchange was not placed.
 SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness parallel
 
+echo "== observe: EXPLAIN ANALYZE q-error gate"
+# Runs every TPC-H and TPC-DS template under EXPLAIN ANALYZE. Fails if
+# instrumentation changes any result (serial or dop=4), or if the worst
+# per-operator q-error crosses the ceiling — a cardinality-estimation
+# regression anywhere in the stack trips this before it ships.
+SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness observe
+
 echo "CI OK"

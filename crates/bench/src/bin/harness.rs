@@ -13,6 +13,7 @@
 //! harness routing    # never-fail-detour routing + fallback-reason table
 //! harness plancache  # compile-once serve-many plan cache (exits 1 on gate failure)
 //! harness parallel   # morsel-driven parallel execution (exits 1 on gate failure)
+//! harness observe    # EXPLAIN ANALYZE q-error harness (exits 1 on gate failure)
 //! harness all        # everything, in order
 //! ```
 //!
@@ -67,6 +68,9 @@ fn main() {
     if want("parallel") {
         parallel_report();
     }
+    if want("observe") {
+        observe_report();
+    }
     if !run_all
         && ![
             "fig10",
@@ -80,6 +84,7 @@ fn main() {
             "routing",
             "plancache",
             "parallel",
+            "observe",
         ]
         .contains(&arg.as_str())
     {
@@ -236,6 +241,23 @@ fn parallel_report() {
     println!(
         "\nparallel gate passed: identical rows, every template exchanged, \
          ≥2x median critical-path speedup"
+    );
+}
+
+fn observe_report() {
+    println!(
+        "\n## EXPLAIN ANALYZE — per-operator q-errors, every template (scale {:?}, dop 4)\n",
+        scale()
+    );
+    let r = run_observe(scale(), 4);
+    print!("{}", format_observe_report(&r));
+    if let Err(violation) = r.gate(OBSERVE_Q_CEILING) {
+        eprintln!("\nobserve gate FAILED: {violation}");
+        std::process::exit(1);
+    }
+    println!(
+        "\nobserve gate passed: instrumented runs byte-identical (serial and dop 4), \
+         max q-error under {OBSERVE_Q_CEILING:.0}"
     );
 }
 

@@ -44,6 +44,7 @@ pub fn to_skeleton(
         orca_assisted: true,
         orca_fallback: None,
         dop: if plan.dop > 1 { Some(plan.dop) } else { None },
+        search: None,
     })
 }
 
@@ -242,6 +243,7 @@ mod tests {
                 orca_assisted: true,
                 orca_fallback: None,
                 dop: None,
+                search: None,
             },
         );
         let sk = to_skeleton(&plan(root), &block_with_qts(&[0]), &inner).unwrap();

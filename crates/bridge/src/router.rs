@@ -31,7 +31,7 @@ use crate::tree_converter::{convert_block, InnerEstimates};
 use crate::validate::validate_skeleton;
 use mylite::bound::{BoundQuery, BoundStatement, TableSource};
 use mylite::engine::{CostBasedOptimizer, MySqlOptimizer};
-use mylite::skeleton::Skeleton;
+use mylite::skeleton::{SearchTrace, Skeleton};
 use orcalite::config::{FaultSite, JoinOrderStrategy, OrcaConfig};
 use orcalite::desc::BlockDesc;
 use orcalite::physical::{OrcaPlan, SearchStats};
@@ -118,7 +118,7 @@ impl FallbackCounts {
 }
 
 /// Routing counters (inspected by tests and the bench harness).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RouterStats {
     /// Statements optimized by Orca end to end.
     pub routed: u64,
@@ -132,6 +132,9 @@ pub struct RouterStats {
     /// Blocks that exhausted their budget but completed on Orca at a
     /// cheaper rung of the degradation ladder (not fallbacks).
     pub degraded: u64,
+    /// Cumulative search effort over every Orca optimization this router
+    /// performed (groups, group expressions, rules, plans costed).
+    pub search: SearchStats,
 }
 
 /// A classified detour failure: the fallback reason plus the underlying
@@ -155,6 +158,46 @@ impl DetourFail {
             FallbackReason::Unsupported
         };
         DetourFail::new(reason, &err)
+    }
+}
+
+/// Search-effort accumulator threaded through a statement's blocks: summed
+/// memo statistics plus the deepest degradation-ladder rung any block
+/// needed and the strategy that won there.
+struct TraceAcc {
+    stats: SearchStats,
+    rung: usize,
+    strategy: JoinOrderStrategy,
+}
+
+impl TraceAcc {
+    /// Finalize into the skeleton-attached [`SearchTrace`]. Budget use is
+    /// the larger of the groups and plans-costed fractions against the
+    /// *configured* budget (a fault-squeezed budget still reports against
+    /// the configured one — the trace describes the session's settings).
+    fn into_trace(self, cfg: &OrcaConfig) -> SearchTrace {
+        let frac = |used: f64, cap: f64| if cap <= 0.0 { 1.0 } else { (used / cap).min(1.0) };
+        let budget_used = frac(self.stats.groups as f64, cfg.budget.max_groups as f64)
+            .max(frac(self.stats.plans_costed as f64, cfg.budget.max_plans_costed as f64));
+        SearchTrace {
+            groups: self.stats.groups,
+            group_exprs: self.stats.splits_explored,
+            rules_applied: self.stats.rules_applied,
+            rules_hit: self.stats.rules_hit,
+            plans_costed: self.stats.plans_costed,
+            budget_used,
+            rung: self.rung,
+            strategy: strategy_name(self.strategy),
+        }
+    }
+}
+
+/// Stable strategy names for traces and banners.
+fn strategy_name(s: JoinOrderStrategy) -> &'static str {
+    match s {
+        JoinOrderStrategy::Greedy => "GREEDY",
+        JoinOrderStrategy::Exhaustive => "EXHAUSTIVE",
+        JoinOrderStrategy::Exhaustive2 => "EXHAUSTIVE2",
     }
 }
 
@@ -200,6 +243,8 @@ pub struct OrcaOptimizer {
     degraded: AtomicU64,
     last_fallback: Mutex<Option<FallbackReason>>,
     last_search: Mutex<SearchStats>,
+    total_search: Mutex<SearchStats>,
+    last_trace: Mutex<Option<SearchTrace>>,
     last_md_traffic: Mutex<(u64, u64)>,
 }
 
@@ -221,6 +266,8 @@ impl OrcaOptimizer {
             degraded: AtomicU64::new(0),
             last_fallback: Mutex::new(None),
             last_search: Mutex::new(SearchStats::default()),
+            total_search: Mutex::new(SearchStats::default()),
+            last_trace: Mutex::new(None),
             last_md_traffic: Mutex::new((0, 0)),
         }
     }
@@ -232,7 +279,14 @@ impl OrcaOptimizer {
             fallbacks: self.fallbacks.load(Ordering::Relaxed),
             reasons: *lock(&self.reasons),
             degraded: self.degraded.load(Ordering::Relaxed),
+            search: *lock(&self.total_search),
         }
+    }
+
+    /// Search trace of the most recent Orca optimization (all blocks
+    /// summed), as attached to its skeleton and EXPLAIN output.
+    pub fn last_search_trace(&self) -> Option<SearchTrace> {
+        lock(&self.last_trace).clone()
     }
 
     /// Reason for the most recent fallback, if the last routed statement
@@ -274,22 +328,35 @@ impl OrcaOptimizer {
         // degradation-ladder rungs share it, so the provider is consulted
         // at most once per (relation, statistics, indexes) key.
         let md = MdCache::new(&provider);
-        let mut total = SearchStats::default();
-        let skeleton =
-            self.optimize_block(bound, &provider, &md, &bound.root, &BTreeSet::new(), &mut total)?;
-        *lock(&self.last_search) = total;
+        let mut acc =
+            TraceAcc { stats: SearchStats::default(), rung: 0, strategy: self.config.strategy };
+        let mut skeleton =
+            self.optimize_block(bound, &provider, &md, &bound.root, &BTreeSet::new(), &mut acc)?;
+        *lock(&self.last_search) = acc.stats;
+        {
+            let mut cum = lock(&self.total_search);
+            cum.groups += acc.stats.groups;
+            cum.splits_explored += acc.stats.splits_explored;
+            cum.plans_costed += acc.stats.plans_costed;
+            cum.rules_applied += acc.stats.rules_applied;
+            cum.rules_hit += acc.stats.rules_hit;
+        }
         *lock(&self.last_md_traffic) = md.traffic();
+        let trace = acc.into_trace(&self.config);
+        *lock(&self.last_trace) = Some(trace.clone());
+        skeleton.search = Some(trace);
         Ok(skeleton)
     }
 
     /// Optimize one block, retrying cheaper strategies when the budget
-    /// runs out. Returns the winning plan, or a budget failure once every
-    /// rung has been exhausted.
+    /// runs out. Returns the winning plan plus the ladder rung and
+    /// strategy that produced it, or a budget failure once every rung has
+    /// been exhausted.
     fn optimize_with_ladder(
         &self,
         desc: &BlockDesc,
         md: &MdCache<'_>,
-    ) -> std::result::Result<OrcaPlan, DetourFail> {
+    ) -> std::result::Result<(OrcaPlan, usize, JoinOrderStrategy), DetourFail> {
         let mut exhausted: Option<Error> = None;
         for (rung, &strategy) in ladder(self.config.strategy).iter().enumerate() {
             let cfg = OrcaConfig { strategy, ..self.config.clone() };
@@ -298,7 +365,7 @@ impl OrcaOptimizer {
                     if rung > 0 {
                         self.degraded.fetch_add(1, Ordering::Relaxed);
                     }
-                    return Ok(plan);
+                    return Ok((plan, rung, strategy));
                 }
                 Err(e) if e.is_resource_exhausted() => exhausted = Some(e),
                 Err(e) => return Err(DetourFail::classify(e)),
@@ -318,7 +385,7 @@ impl OrcaOptimizer {
         md: &MdCache<'_>,
         block: &BoundQuery,
         outer: &BTreeSet<usize>,
-        total: &mut SearchStats,
+        acc: &mut TraceAcc,
     ) -> std::result::Result<Skeleton, DetourFail> {
         let faults = &self.config.faults;
         // Derived members' inner blocks first (bottom-up).
@@ -328,8 +395,11 @@ impl OrcaOptimizer {
         inner_outer.extend(block.member_qts());
         for m in &block.members {
             if let TableSource::Derived { query, .. } = &bound.table(m.qt).source {
-                let sk = self.optimize_block(bound, provider, md, query, &inner_outer, total)?;
-                inner_estimates.insert(m.qt, (sk.root.rows(), sk.root.cost()));
+                let sk = self.optimize_block(bound, provider, md, query, &inner_outer, acc)?;
+                // Adjust the join-root estimate for the block's aggregation
+                // and limit — same numbers the native optimizer sees.
+                let rows = mylite::optimizer::derived_output_rows(query, sk.root.rows());
+                inner_estimates.insert(m.qt, (rows, sk.root.cost()));
                 inner_skeletons.insert(m.qt, sk);
             }
         }
@@ -338,10 +408,17 @@ impl OrcaOptimizer {
         let (desc, _oids) = convert_block(bound, block, provider, &inner_estimates, outer)
             .map_err(DetourFail::classify)?;
 
-        let plan = self.optimize_with_ladder(&desc, md)?;
-        total.groups += plan.stats.groups;
-        total.splits_explored += plan.stats.splits_explored;
-        total.plans_costed += plan.stats.plans_costed;
+        let (plan, rung, strategy) = self.optimize_with_ladder(&desc, md)?;
+        acc.stats.groups += plan.stats.groups;
+        acc.stats.splits_explored += plan.stats.splits_explored;
+        acc.stats.plans_costed += plan.stats.plans_costed;
+        acc.stats.rules_applied += plan.stats.rules_applied;
+        acc.stats.rules_hit += plan.stats.rules_hit;
+        // The statement's trace reports the deepest rung any block needed.
+        if rung >= acc.rung {
+            acc.rung = rung;
+            acc.strategy = strategy;
+        }
         if plan.changed_block_structure {
             return Err(DetourFail {
                 reason: FallbackReason::ChangedBlockStructure,
@@ -670,5 +747,67 @@ mod tests {
         let orca = OrcaOptimizer::default();
         let text = e.explain(THREE_WAY, &orca).unwrap();
         assert!(text.starts_with("EXPLAIN (ORCA)"), "{text}");
+    }
+
+    #[test]
+    fn search_trace_attached_to_routed_skeleton() {
+        let e = engine();
+        let orca = OrcaOptimizer::default();
+        let planned = e.plan(THREE_WAY, &orca).unwrap();
+        let trace = planned.primary().skeleton.search.clone().expect("detour attaches a trace");
+        assert!(trace.groups > 0, "{trace:?}");
+        assert!(trace.group_exprs > 0, "{trace:?}");
+        assert!(trace.plans_costed > 0, "{trace:?}");
+        assert_eq!(trace.rung, 0, "configured strategy succeeded outright");
+        assert_eq!(trace.strategy, "EXHAUSTIVE2");
+        assert!(trace.budget_used > 0.0 && trace.budget_used <= 1.0, "{trace:?}");
+        assert_eq!(orca.last_search_trace(), Some(trace.clone()));
+        // Cumulative counters in RouterStats match after a single route.
+        let s = orca.stats();
+        assert_eq!(s.search.groups, trace.groups);
+        assert_eq!(s.search.plans_costed, trace.plans_costed);
+        // The trace renders as its own line right after the EXPLAIN banner.
+        let text = e.explain(THREE_WAY, &orca).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some("EXPLAIN (ORCA)"));
+        let trace_line = lines.next().unwrap();
+        assert!(trace_line.starts_with("[search: strategy=EXHAUSTIVE2 rung=0 "), "{trace_line}");
+    }
+
+    #[test]
+    fn ladder_rescue_is_visible_in_trace() {
+        use orcalite::config::SearchBudget;
+        let e = engine();
+        let greedy = {
+            let orca = OrcaOptimizer::new(OrcaConfig::with_strategy(JoinOrderStrategy::Greedy), 1);
+            e.plan(THREE_WAY, &orca).unwrap();
+            orca.last_search_stats().plans_costed
+        };
+        let cfg = OrcaConfig {
+            bushy_member_cap: 2,
+            budget: SearchBudget { max_groups: usize::MAX, max_plans_costed: greedy },
+            ..OrcaConfig::default()
+        };
+        let orca = OrcaOptimizer::new(cfg, 1);
+        let planned = e.plan(THREE_WAY, &orca).unwrap();
+        let trace = planned.primary().skeleton.search.clone().expect("trace on rescued plan");
+        assert!(trace.rung >= 1, "rescue came from a lower rung: {trace:?}");
+        assert_eq!(trace.strategy, "GREEDY");
+        // Exhausted rungs abort without partial stats; the trace carries
+        // the winning (greedy) rung's effort, which fits the budget.
+        assert!(
+            trace.plans_costed > 0 && trace.plans_costed <= greedy,
+            "winning rung fits the budget: {trace:?}"
+        );
+        assert!(trace.budget_used > 0.9, "greedy landed at the budget edge: {trace:?}");
+    }
+
+    #[test]
+    fn native_optimizer_has_no_trace() {
+        let e = engine();
+        let planned = e.plan(THREE_WAY, &mylite::MySqlOptimizer).unwrap();
+        assert!(planned.primary().skeleton.search.is_none());
+        let text = e.explain(THREE_WAY, &mylite::MySqlOptimizer).unwrap();
+        assert!(!text.contains("[search:"), "{text}");
     }
 }

@@ -216,7 +216,7 @@ mod tests {
     }
 
     fn sk(root: SkelNode) -> Skeleton {
-        Skeleton { root, orca_assisted: true, orca_fallback: None, dop: None }
+        Skeleton { root, orca_assisted: true, orca_fallback: None, dop: None, search: None }
     }
 
     #[test]

@@ -233,9 +233,16 @@ impl Estimator {
         }
     }
 
-    /// Combined selectivity of join conditions between two sides.
-    pub fn conjunct_selectivity(&self, conds: &[Expr]) -> f64 {
-        conds.iter().map(|c| self.selectivity(c)).product::<f64>().clamp(0.0, 1.0)
+    /// Combined selectivity of a conjunction applied to an input of `rows`
+    /// rows, floored at `1/rows` — the naive independence product drives
+    /// stacked predicates toward zero rows, which then poisons everything
+    /// downstream of the estimate (join costing treats the side as free,
+    /// DOP selection sees no work worth parallelizing). At least one row is
+    /// assumed to survive any predicate stack actually worth planning for.
+    pub fn conjunct_selectivity(&self, conds: &[Expr], rows: f64) -> f64 {
+        let product = conds.iter().map(|c| self.selectivity(c)).product::<f64>();
+        let floor = 1.0 / rows.max(1.0);
+        product.clamp(floor.min(1.0), 1.0)
     }
 }
 
@@ -430,6 +437,34 @@ mod tests {
             negated: false,
         };
         assert!((est.selectivity(&like) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conjunct_selectivity_floors_at_one_row() {
+        // 1M-row relation, five stacked equality predicates on a 10-NDV
+        // column: the independence product is 0.1^5 = 1e-5, which on 1e6
+        // rows still means ~10 rows — fine. But stacking *five more* of the
+        // same would claim 1e-10 (a 0.0001-row output); the floor keeps the
+        // estimate at one surviving row: sel >= 1/rows.
+        let est = Estimator::new(vec![Some(RelView {
+            rows: 1_000_000.0,
+            cols: vec![Some(ColView { ndv: 10.0, null_frac: 0.0, hist: None })],
+        })]);
+        let preds: Vec<Expr> = (0..5).map(|i| Expr::eq(Expr::col(0, 0), Expr::int(i))).collect();
+        for p in &preds {
+            assert!((est.selectivity(p) - 0.1).abs() < 1e-9);
+        }
+        let sel = est.conjunct_selectivity(&preds, 1_000_000.0);
+        // Unfloored product would be 1e-5; with ten stacked it would cross
+        // the floor. Verify both regimes.
+        assert!((sel - 1e-5).abs() < 1e-12, "sel={sel}");
+        let ten: Vec<Expr> = preds.iter().cloned().chain(preds.iter().cloned()).collect();
+        let sel = est.conjunct_selectivity(&ten, 1_000_000.0);
+        assert!((sel - 1e-6).abs() < 1e-15, "floored sel={sel}");
+        // Degenerate inputs never panic or exceed [0, 1].
+        assert_eq!(est.conjunct_selectivity(&[], 0.0), 1.0);
+        let sel = est.conjunct_selectivity(&ten, 0.5);
+        assert!((0.0..=1.0).contains(&sel));
     }
 
     #[test]

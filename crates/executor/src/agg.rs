@@ -13,8 +13,10 @@ pub struct Accumulator {
     count: u64,
     sum: f64,
     sum_sq: f64,
-    /// SUM over pure integers stays integral, like MySQL.
-    int_sum: Option<i64>,
+    /// SUM over pure integers stays integral, like MySQL. Accumulated in
+    /// i128 so `i64`-ranged inputs cannot overflow mid-stream; `finish`
+    /// promotes to `Double` only when the exact total leaves i64 range.
+    int_sum: Option<i128>,
     min: Option<Value>,
     max: Option<Value>,
 }
@@ -53,7 +55,7 @@ impl Accumulator {
                     self.sum_sq += x * x;
                 }
                 self.int_sum = match (self.int_sum, v) {
-                    (Some(acc), Value::Int(i)) => acc.checked_add(*i),
+                    (Some(acc), Value::Int(i)) => acc.checked_add(*i as i128),
                     _ => None,
                 };
             }
@@ -88,7 +90,9 @@ impl Accumulator {
                     Value::Null
                 } else {
                     match self.int_sum {
-                        Some(i) => Value::Int(i),
+                        Some(i) if i64::try_from(i).is_ok() => Value::Int(i as i64),
+                        // Exact integer total outside i64 range: promote.
+                        Some(i) => Value::Double(i as f64),
                         None => Value::Double(self.sum),
                     }
                 }
@@ -97,7 +101,13 @@ impl Accumulator {
                 if self.count == 0 {
                     Value::Null
                 } else {
-                    Value::Double(self.sum / self.count as f64)
+                    // Prefer the exact integer total: the f64 shadow sum
+                    // loses low bits once values approach 2^53.
+                    let total = match self.int_sum {
+                        Some(i) => i as f64,
+                        None => self.sum,
+                    };
+                    Value::Double(total / self.count as f64)
                 }
             }
             AggFunc::StdDev => {
@@ -166,6 +176,24 @@ mod tests {
         let vals = [Value::Int(5), Value::Int(5), Value::Int(7)];
         assert_eq!(run(AggFunc::Count, true, &vals), Value::Int(2));
         assert_eq!(run(AggFunc::Sum, true, &vals), Value::Int(12));
+    }
+
+    #[test]
+    fn int_sum_survives_transient_overflow() {
+        // i64::MAX + 1 overflows an i64 accumulator mid-stream even though
+        // the final total (1) is tiny; the f64 shadow sum then loses the +1
+        // entirely (2^63 swallows it), so the old path answered 0.0.
+        let vals = [Value::Int(i64::MAX), Value::Int(1), Value::Int(-i64::MAX)];
+        assert_eq!(run(AggFunc::Sum, false, &vals), Value::Int(1));
+        assert_eq!(run(AggFunc::Avg, false, &vals), Value::Double(1.0 / 3.0));
+    }
+
+    #[test]
+    fn int_sum_promotes_to_double_when_total_leaves_i64() {
+        let vals = [Value::Int(i64::MAX), Value::Int(i64::MAX)];
+        let expected = i64::MAX as f64 * 2.0;
+        assert_eq!(run(AggFunc::Sum, false, &vals), Value::Double(expected));
+        assert_eq!(run(AggFunc::Avg, false, &vals), Value::Double(expected / 2.0));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! counted here exactly.
 
 use crate::agg::Accumulator;
+use crate::observe::{NodeObservation, ObserverIndex};
 use crate::parallel::exchange::{self, BuildTable};
 use crate::parallel::morsel::{MorselSpec, DEFAULT_MORSEL_ROWS};
 use crate::plan::{AggStrategy, ExchangeKind, JoinKind, Plan, RowSpace};
@@ -55,6 +56,9 @@ pub struct ExecStats {
     /// Sum over exchanges of the *slowest* worker's work — the portion of
     /// `parallel_work` that is on the critical path.
     pub parallel_critical: Cell<u64>,
+    /// Per-operator observations (indexed by [`ObserverIndex`] node id).
+    /// Empty unless an observer is installed on the context.
+    pub nodes: RefCell<Vec<NodeObservation>>,
 }
 
 impl ExecStats {
@@ -88,6 +92,17 @@ impl ExecStats {
         Self::bump(&self.materializations, other.materializations.get());
         Self::bump(&self.parallel_work, other.parallel_work.get());
         Self::bump(&self.parallel_critical, other.parallel_critical.get());
+        let theirs = other.nodes.borrow();
+        if !theirs.is_empty() {
+            let mut ours = self.nodes.borrow_mut();
+            if ours.len() < theirs.len() {
+                ours.resize(theirs.len(), NodeObservation::default());
+            }
+            for (o, t) in ours.iter_mut().zip(theirs.iter()) {
+                o.rows += t.rows;
+                o.loops += t.loops;
+            }
+        }
     }
 
     pub(crate) fn bump(cell: &Cell<u64>, by: u64) {
@@ -118,6 +133,9 @@ pub struct ExecContext<'a> {
     /// scan with this qt only visits positions `[lo, hi)` of its iteration
     /// order.
     morsel: Cell<Option<MorselSpec>>,
+    /// Per-node observation index for `EXPLAIN ANALYZE`; `None` (the
+    /// default) keeps execution uninstrumented.
+    observer: Option<Arc<ObserverIndex>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -132,12 +150,32 @@ impl<'a> ExecContext<'a> {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             in_worker: false,
             morsel: Cell::new(None),
+            observer: None,
         }
     }
 
     /// Override the morsel granularity (rows per morsel, clamped to ≥ 1).
     pub fn set_morsel_rows(&mut self, rows: usize) {
         self.morsel_rows = rows.max(1);
+    }
+
+    /// Install a per-node observer. Every operator of the indexed plan then
+    /// records its actual rows and loop count into `stats.nodes`.
+    pub fn set_observer(&mut self, observer: Arc<ObserverIndex>) {
+        self.observer = Some(observer);
+    }
+
+    /// Credit one completed opening of `plan` with `rows` output rows.
+    pub(crate) fn record(&self, plan: &Plan, rows: u64) {
+        let Some(obs) = &self.observer else { return };
+        if let Some(id) = obs.id_of(plan) {
+            let mut nodes = self.stats.nodes.borrow_mut();
+            if nodes.len() < obs.len() {
+                nodes.resize(obs.len(), NodeObservation::default());
+            }
+            nodes[id].rows += rows;
+            nodes[id].loops += 1;
+        }
     }
 
     pub fn morsel_rows(&self) -> usize {
@@ -157,6 +195,7 @@ impl<'a> ExecContext<'a> {
             cache: self.cache.clone(),
             broadcast: self.broadcast.clone(),
             morsel_rows: self.morsel_rows,
+            observer: self.observer.clone(),
         }
     }
 
@@ -200,6 +239,7 @@ pub(crate) struct SharedExec<'a> {
     cache: Arc<Vec<MatSlot>>,
     broadcast: Arc<Mutex<HashMap<usize, Arc<BuildTable>>>>,
     morsel_rows: usize,
+    observer: Option<Arc<ObserverIndex>>,
 }
 
 impl<'a> SharedExec<'a> {
@@ -214,6 +254,7 @@ impl<'a> SharedExec<'a> {
             morsel_rows: self.morsel_rows,
             in_worker: true,
             morsel: Cell::new(None),
+            observer: self.observer.clone(),
         }
     }
 }
@@ -286,7 +327,17 @@ impl Env {
     }
 }
 
+/// Execute one node and record its observation (when an observer is
+/// installed). All recursion goes through here, so every node of the tree —
+/// including exchanges, which bypass the work-unit accounting below — gets
+/// its actual rows and loop count credited.
 pub(crate) fn exec(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result<Vec<Row>> {
+    let out = exec_node(plan, ctx, binding)?;
+    ctx.record(plan, out.len() as u64);
+    Ok(out)
+}
+
+fn exec_node(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result<Vec<Row>> {
     let out = match plan {
         Plan::TableScan { table, qt, filter, .. } => {
             let t = ctx.catalog.table(*table)?;
@@ -458,7 +509,9 @@ pub(crate) fn exec(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> 
                 ..
             } = input.as_ref()
             {
-                exchange::exec_partitioned_agg(pinput, keys, *dop, group_by, aggs, ctx, binding)?
+                exchange::exec_partitioned_agg(
+                    pinput, keys, *dop, group_by, aggs, input, ctx, binding,
+                )?
             } else {
                 let rows = exec(input, ctx, binding)?;
                 let env = Env::new(binding, &input.space(ctx.num_tables), ctx.num_tables);
@@ -685,6 +738,10 @@ fn exec_hash_join(
         Plan::Exchange { kind: ExchangeKind::Broadcast { slot }, input, .. } => {
             ctx.shared_build(*slot, || {
                 let rows = exec(input, ctx, binding)?;
+                // The broadcast node itself is never routed through `exec`,
+                // so credit it here — only on the one actual build, not on
+                // cache-served accesses.
+                ctx.record(build_plan, rows.len() as u64);
                 build_table(rows, &build_keys, &build_env, ctx)
             })?
         }

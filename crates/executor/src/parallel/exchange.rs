@@ -172,6 +172,7 @@ pub(crate) fn exec_partitioned_agg(
     dop: usize,
     group_by: &[Expr],
     aggs: &[AggSpec],
+    xnode: &Plan,
     ctx: &ExecContext<'_>,
     binding: Binding<'_>,
 ) -> Result<Vec<Row>> {
@@ -180,6 +181,9 @@ pub(crate) fn exec_partitioned_agg(
         // Serial fallback: aggregate in one go, but keep the key-sorted
         // output contract of the partitioned path.
         let rows = exec(input, ctx, binding)?;
+        // The Repartition node is consumed by the Aggregate arm rather than
+        // routed through `exec`; credit it with its pre-aggregation row flow.
+        ctx.record(xnode, rows.len() as u64);
         let env = Env::new(binding, &space, ctx.num_tables);
         let mut out = exec_aggregate(&rows, group_by, aggs, AggStrategy::Hash, &env)?;
         sort_by_leading_keys(&mut out, group_by.len());
@@ -213,6 +217,7 @@ pub(crate) fn exec_partitioned_agg(
             partitions[p].extend(rows);
         }
     }
+    ctx.record(xnode, partitions.iter().map(|p| p.len() as u64).sum());
 
     // Phase 2: aggregate each partition; each worker owns whole groups.
     let outs: Vec<Vec<Row>> = pool::run_units(ctx, dop, nparts, |wctx, p| {

@@ -8,20 +8,22 @@
 //! Fig 3.
 
 use crate::bound::BoundStatement;
-use crate::explain::explain_plan;
+use crate::explain::{annotate, explain_plan, explain_plan_analyzed, NodeAnnotation};
 use crate::optimizer::optimize_statement;
 use crate::plancache::{CacheOutcome, CachedPlan, PlanCache, PlanCacheStats};
 use crate::refine::refine_statement_parallel;
 use crate::resolve::resolve_union_branches;
 use crate::skeleton::Skeleton;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use taurus_catalog::stats::AnalyzeOptions;
 use taurus_catalog::Catalog;
 use taurus_common::error::{Error, Result};
 use taurus_common::expr::EvalCtx;
 use taurus_common::{Layout, Row, Value};
-use taurus_executor::{execute, ExecContext, ParallelOpts, Plan, DEFAULT_MORSEL_ROWS};
+use taurus_executor::{
+    execute, ExecContext, ObserverIndex, ParallelOpts, Plan, DEFAULT_MORSEL_ROWS,
+};
 use taurus_sql::fingerprint::{parameterize, token_digest};
 use taurus_sql::rewrite::rewrite_set_ops;
 use taurus_sql::{parse, SelectStmt, Statement};
@@ -83,6 +85,17 @@ pub struct QueryOutput {
     /// slowest worker, so `work_units / critical_work_units` is the
     /// machine-independent parallel speedup.
     pub critical_work_units: u64,
+}
+
+/// What `EXPLAIN ANALYZE` returns: the query's results (so callers can
+/// verify instrumentation didn't perturb them), the annotated plan text,
+/// and the raw per-operator annotations for programmatic q-error checks
+/// (pre-order per branch, branches concatenated).
+#[derive(Debug, Clone)]
+pub struct AnalyzedQuery {
+    pub output: QueryOutput,
+    pub text: String,
+    pub nodes: Vec<NodeAnnotation>,
 }
 
 /// Lock a mutex, recovering the data if a previous holder panicked — the
@@ -232,11 +245,15 @@ impl Engine {
     ) -> Result<(R, CacheOutcome)> {
         let digest = token_digest(sql);
         let version = self.catalog.version();
+        // Knobs captured once per serve: a plan compiled under these is
+        // only valid while they hold (lookup validates, insert records).
+        let dop = self.dop();
+        let parallel_threshold = self.parallel_threshold.load(Ordering::Relaxed);
         let mut outcome = CacheOutcome::Miss;
         if let Some(d) = &digest {
             let mut cache = lock(&self.plan_cache);
             let before = cache.stats();
-            if let Some(entry) = cache.lookup(d.fingerprint, version) {
+            if let Some(entry) = cache.lookup(d.fingerprint, version, dop, parallel_threshold) {
                 rebind_planned(&mut entry.planned, &d.binds)?;
                 let r = f(&entry.planned)?;
                 return Ok((r, CacheOutcome::Hit));
@@ -259,6 +276,8 @@ impl Engine {
                     CachedPlan {
                         planned,
                         catalog_version: version,
+                        dop,
+                        parallel_threshold,
                         optimizer: opt.name(),
                         serves: 0,
                     },
@@ -390,6 +409,76 @@ impl Engine {
             rows,
             work_units: work,
             critical_work_units: critical,
+        })
+    }
+
+    /// EXPLAIN ANALYZE: plan, execute with per-operator observation
+    /// enabled, and render the plan tree annotated with actual rows, loop
+    /// counts, and q-errors.
+    pub fn explain_analyze(
+        &self,
+        sql: &str,
+        opt: &dyn CostBasedOptimizer,
+    ) -> Result<AnalyzedQuery> {
+        let planned = self.plan(sql, opt)?;
+        self.analyze_planned(&planned)
+    }
+
+    /// Execute a planned query with observation enabled and render the
+    /// annotated EXPLAIN ANALYZE tree. Mirrors [`Engine::execute_planned`]
+    /// — same execution path, plus an [`ObserverIndex`] installed over each
+    /// branch's plan instance — so results are identical to an
+    /// uninstrumented run.
+    pub fn analyze_planned(&self, planned: &PlannedQuery) -> Result<AnalyzedQuery> {
+        let mut rows: Vec<Row> = Vec::new();
+        let mut work = 0u64;
+        let mut critical = 0u64;
+        let mut text = String::new();
+        let mut nodes: Vec<NodeAnnotation> = Vec::new();
+        for (i, b) in planned.branches.iter().enumerate() {
+            let mut plan = b.plan.clone();
+            let slots = plan.assign_cache_slots();
+            // The index keys nodes by address, so it must be built over the
+            // exact tree we execute (`plan` is not moved afterwards).
+            let index = Arc::new(ObserverIndex::new(&plan));
+            let mut ctx = ExecContext::new(&self.catalog, b.bound.num_tables(), slots);
+            ctx.set_morsel_rows(self.morsel_rows.load(Ordering::Relaxed));
+            ctx.set_observer(Arc::clone(&index));
+            let branch_rows = execute(&plan, &ctx)?;
+            work += ctx.stats.work_units();
+            critical += ctx.stats.critical_path_work();
+            let observed = ctx.stats.nodes.borrow();
+            let ann = annotate(&plan, &index, &observed);
+            if i > 0 {
+                text.push_str(&format!("UNION {}\n", if b.all { "ALL" } else { "DISTINCT" }));
+            }
+            text.push_str(&explain_plan_analyzed(
+                &plan,
+                &b.bound,
+                &self.catalog,
+                &b.skeleton,
+                &ann,
+            ));
+            nodes.extend(ann);
+            if i == 0 {
+                rows = branch_rows;
+            } else {
+                rows.extend(branch_rows);
+                if !b.all {
+                    let mut seen = std::collections::HashSet::new();
+                    rows.retain(|r| seen.insert(r.clone()));
+                }
+            }
+        }
+        Ok(AnalyzedQuery {
+            output: QueryOutput {
+                columns: planned.columns.clone(),
+                rows,
+                work_units: work,
+                critical_work_units: critical,
+            },
+            text,
+            nodes,
         })
     }
 
@@ -905,5 +994,87 @@ mod tests {
         e.query_cached("SELECT dept FROM emp WHERE salary > 60", &MySqlOptimizer).unwrap();
         assert_eq!(e.plan_cache_len(), 3);
         assert_eq!(e.plan_cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn explain_analyze_annotates_every_operator() {
+        let e = engine();
+        let sql = "SELECT id, salary FROM emp WHERE salary > 60 ORDER BY salary DESC LIMIT 2";
+        let plain = e.query(sql).unwrap();
+        let analyzed = e.explain_analyze(sql, &MySqlOptimizer).unwrap();
+        assert_eq!(analyzed.output.rows, plain.rows, "observation must not change results");
+        assert!(analyzed.text.starts_with("EXPLAIN ANALYZE\n"), "{}", analyzed.text);
+        // Every operator line carries actuals (or a never-executed marker).
+        for line in analyzed.text.lines().skip(1) {
+            assert!(
+                line.contains("actual rows=") || line.contains("(never executed)"),
+                "unannotated line: {line}"
+            );
+        }
+        assert!(analyzed.text.contains("q-error="), "{}", analyzed.text);
+        // Limit 2 over 3 qualifying rows: the root actually returns 2.
+        assert_eq!(analyzed.nodes[0].actual_rows, 2);
+        assert!(!analyzed.nodes.is_empty());
+        for n in &analyzed.nodes {
+            if n.loops > 0 {
+                assert!(n.q_error.unwrap() >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn explain_analyze_normalizes_lookup_rows_per_probe() {
+        let e = engine();
+        // emp ⋈ dept via index lookup: the lookup runs once per outer row.
+        let sql = "SELECT id, dname FROM emp, dept WHERE dept = did ORDER BY id";
+        let analyzed = e.explain_analyze(sql, &MySqlOptimizer).unwrap();
+        assert_eq!(analyzed.output.rows.len(), 3);
+        if let Some(line) = analyzed.text.lines().find(|l| l.contains("Index lookup on dept")) {
+            // 4 probes (one NULL misses): loops=4 and the per-probe actual
+            // is under 1, so the est=1 lookup stays well-calibrated.
+            assert!(line.contains("loops=4"), "{line}");
+        }
+        let lookup_q = analyzed
+            .nodes
+            .iter()
+            .filter(|n| n.loops > 1)
+            .map(|n| n.q_error.unwrap())
+            .fold(1.0f64, f64::max);
+        assert!(lookup_q < 5.0, "per-probe normalization keeps q-error small: {lookup_q}");
+    }
+
+    #[test]
+    fn explain_analyze_parallel_matches_serial_results() {
+        let e = big_engine(5000);
+        let sql = "SELECT dept, COUNT(*) AS n, SUM(salary) AS s FROM emp \
+                   WHERE salary < 900 GROUP BY dept ORDER BY dept";
+        let serial = e.query(sql).unwrap();
+        e.set_dop(4);
+        e.set_morsel_rows(512);
+        let analyzed = e.explain_analyze(sql, &MySqlOptimizer).unwrap();
+        assert_eq!(analyzed.output.rows, serial.rows, "analyze at dop=4 must not perturb results");
+        // The aggregate shape parallelizes through a repartition exchange;
+        // its actuals must be attributed exactly once despite dop workers.
+        let exchange = analyzed
+            .text
+            .lines()
+            .find(|l| l.contains("Exchange (") && l.contains("dop=4"))
+            .expect("exchange line");
+        assert!(exchange.contains("actual rows="), "{exchange}");
+    }
+
+    #[test]
+    fn explain_analyze_union_annotates_all_branches() {
+        let e = engine();
+        let analyzed = e
+            .explain_analyze(
+                "SELECT id FROM emp WHERE salary > 250 UNION SELECT did FROM dept",
+                &MySqlOptimizer,
+            )
+            .unwrap();
+        assert_eq!(analyzed.output.rows.len(), 3, "{:?}", analyzed.output.rows);
+        assert!(analyzed.text.contains("UNION DISTINCT\n"), "{}", analyzed.text);
+        let banners = analyzed.text.lines().filter(|l| l.starts_with("EXPLAIN ANALYZE")).count();
+        assert_eq!(banners, 2, "one banner per branch: {}", analyzed.text);
     }
 }

@@ -34,6 +34,9 @@ pub mod resolve;
 pub mod skeleton;
 
 pub use bound::{BoundQuery, BoundStatement, JoinEntry, OutputCol, TableMeta, TableSource};
-pub use engine::{CostBasedOptimizer, Engine, MySqlOptimizer, PlannedQuery, QueryOutput};
+pub use engine::{
+    AnalyzedQuery, CostBasedOptimizer, Engine, MySqlOptimizer, PlannedQuery, QueryOutput,
+};
+pub use explain::NodeAnnotation;
 pub use plancache::{CacheOutcome, CachedPlan, PlanCache, PlanCacheStats};
-pub use skeleton::{AccessChoice, JoinMethod, SkelLeaf, SkelNode, Skeleton};
+pub use skeleton::{AccessChoice, JoinMethod, SearchTrace, SkelLeaf, SkelNode, Skeleton};

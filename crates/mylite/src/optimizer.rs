@@ -43,6 +43,26 @@ pub fn optimize_statement(catalog: &Catalog, bound: &BoundStatement) -> Result<S
     ctx.optimize_block(&bound.root, &BTreeSet::new())
 }
 
+/// A derived table's *output* row estimate: the inner block's join-root
+/// estimate adjusted for what refinement stacks on top. A scalar aggregate
+/// collapses to exactly one row, a grouped aggregate to the usual
+/// one-in-ten group guess, and a LIMIT caps the output. Without this, a
+/// derived table wrapping `SELECT COUNT(*) ...` carries its input's
+/// cardinality and every join above it multiplies the error (the TPC-DS Q9
+/// shape: fifteen stacked one-row derived tables estimated at ~70 rows
+/// each compound to a 10^28 q-error). Shared with the bridge so the Orca
+/// detour sees the same numbers.
+pub fn derived_output_rows(block: &BoundQuery, join_rows: f64) -> f64 {
+    let mut rows = join_rows;
+    if block.has_aggregation() {
+        rows = if block.group_by.is_empty() { 1.0 } else { (rows * 0.1).max(1.0) };
+    }
+    if let Some(n) = block.limit {
+        rows = rows.min(n as f64);
+    }
+    rows
+}
+
 /// Build the estimator for a statement: base tables get analyzed stats,
 /// derived tables are opaque until their skeletons are known. Shared with
 /// the bridge (Orca consumes the same statistics, §8).
@@ -120,12 +140,12 @@ impl<'a> PlanCtx<'a> {
                 }
                 TableSource::Derived { query, correlated, .. } => {
                     let sk = self.optimize_block(query, &inner_outer)?;
-                    let rows = sk.root.rows();
+                    let rows = derived_output_rows(query, sk.root.rows());
                     let cost = sk.root.cost();
                     (AccessChoice::Derived { skeleton: Box::new(sk) }, rows, cost, *correlated)
                 }
             };
-            let sel = local.iter().map(|p| est.selectivity(p)).product::<f64>();
+            let sel = est.conjunct_selectivity(&local, base_rows);
             let filtered = (base_rows * sel).max(0.01);
             infos.push(MemberInfo {
                 mi,
@@ -239,7 +259,7 @@ impl<'a> PlanCtx<'a> {
                 continue;
             }
             // Selectivity of the consumed range.
-            let sel: f64 = consumed.iter().map(|p| est.selectivity(p)).product();
+            let sel = est.conjunct_selectivity(&consumed, n);
             let cost = (n * sel).max(1.0) * cost::RANGE_PER_ROW;
             if cost < best.1 {
                 best = (
@@ -340,6 +360,7 @@ impl<'a> PlanCtx<'a> {
             orca_assisted: false,
             orca_fallback: None,
             dop: None,
+            search: None,
         })
     }
 
@@ -369,7 +390,10 @@ impl<'a> PlanCtx<'a> {
                     && refs.iter().all(|t| *t == qt || available.contains(t))
             })
             .collect();
-        let cross_sel: f64 = cross_conds.iter().map(|p| est.selectivity(p)).product();
+        // Floor the stacked cross-condition product at one surviving row of
+        // the joint (prefix × inner) space.
+        let cross_vec: Vec<Expr> = cross_conds.iter().map(|p| (*p).clone()).collect();
+        let cross_sel = est.conjunct_selectivity(&cross_vec, prefix_rows * info.filtered_rows);
 
         // (1) Index lookup on an equi-condition (MySQL's favourite).
         // NULL-aware anti joins (NOT IN) cannot use plain ref access: a NULL

@@ -75,6 +75,11 @@ pub struct CachedPlan {
     pub planned: PlannedQuery,
     /// Catalog version the plan was compiled under.
     pub catalog_version: u64,
+    /// Engine dop knob at compile time. The skeleton was parallelized (or
+    /// not) under this setting; a different effective dop must recompile.
+    pub dop: usize,
+    /// Engine parallel-threshold knob at compile time.
+    pub parallel_threshold: usize,
     /// Optimizer backend name (`"mysql"`, `"orca"`).
     pub optimizer: &'static str,
     /// Times this entry has been served.
@@ -111,18 +116,32 @@ impl PlanCache {
     }
 
     /// Look up a fingerprint, validating the entry against the current
-    /// catalog version. Stale entries are removed and counted as
-    /// invalidations (the caller re-compiles and re-inserts). The entry
+    /// catalog version and execution knobs (dop, parallel threshold). Stale
+    /// entries are removed and counted as invalidations (the caller
+    /// re-compiles and re-inserts). Knob validation is what makes the serve
+    /// path immune to the insert-after-clear race: `set_dop` clears the
+    /// cache, but a compile already in flight can re-insert a plan built
+    /// under the old knobs — the entry must then never be served. The entry
     /// comes back mutable so the caller can re-bind its parameters in
     /// place — the serve path never deep-copies the plan.
-    pub fn lookup(&mut self, fingerprint: u64, catalog_version: u64) -> Option<&mut CachedPlan> {
+    pub fn lookup(
+        &mut self,
+        fingerprint: u64,
+        catalog_version: u64,
+        dop: usize,
+        parallel_threshold: usize,
+    ) -> Option<&mut CachedPlan> {
         self.tick += 1;
         match self.entries.get(&fingerprint) {
             None => {
                 self.stats.misses += 1;
                 None
             }
-            Some(e) if e.plan.catalog_version != catalog_version => {
+            Some(e)
+                if e.plan.catalog_version != catalog_version
+                    || e.plan.dop != dop
+                    || e.plan.parallel_threshold != parallel_threshold =>
+            {
                 self.entries.remove(&fingerprint);
                 self.stats.invalidations += 1;
                 None
@@ -174,10 +193,16 @@ impl PlanCache {
 mod tests {
     use super::*;
 
+    /// Knobs the dummy entries are compiled under in these tests.
+    const DOP: usize = 1;
+    const THRESHOLD: usize = 1024;
+
     fn dummy_plan(version: u64) -> CachedPlan {
         CachedPlan {
             planned: PlannedQuery { branches: vec![], columns: vec![] },
             catalog_version: version,
+            dop: DOP,
+            parallel_threshold: THRESHOLD,
             optimizer: "mysql",
             serves: 0,
         }
@@ -186,15 +211,32 @@ mod tests {
     #[test]
     fn hit_miss_and_version_invalidation() {
         let mut c = PlanCache::new(8);
-        assert!(c.lookup(1, 0).is_none());
+        assert!(c.lookup(1, 0, DOP, THRESHOLD).is_none());
         c.insert(1, dummy_plan(0));
-        assert!(c.lookup(1, 0).is_some());
+        assert!(c.lookup(1, 0, DOP, THRESHOLD).is_some());
         // Catalog moved: the entry is stale, dropped, and counted.
-        assert!(c.lookup(1, 1).is_none());
-        assert!(c.lookup(1, 1).is_none(), "stale entry was removed -> plain miss");
+        assert!(c.lookup(1, 1, DOP, THRESHOLD).is_none());
+        assert!(c.lookup(1, 1, DOP, THRESHOLD).is_none(), "stale entry was removed -> plain miss");
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
         assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn knob_mismatch_invalidates() {
+        // A plan compiled under dop=1 must not be served at dop=4 (and vice
+        // versa for the parallel threshold) even if it sneaks back into the
+        // cache after a `clear()` — the insert-after-clear race.
+        let mut c = PlanCache::new(8);
+        c.insert(1, dummy_plan(0));
+        assert!(c.lookup(1, 0, 4, THRESHOLD).is_none(), "dop changed");
+        assert_eq!(c.len(), 0, "stale-knob entry dropped");
+        c.insert(1, dummy_plan(0));
+        assert!(c.lookup(1, 0, DOP, 8).is_none(), "threshold changed");
+        let s = c.stats();
+        assert_eq!((s.hits, s.invalidations), (0, 2));
+        c.insert(1, dummy_plan(0));
+        assert!(c.lookup(1, 0, DOP, THRESHOLD).is_some(), "matching knobs serve");
     }
 
     #[test]
@@ -202,11 +244,11 @@ mod tests {
         let mut c = PlanCache::new(2);
         c.insert(1, dummy_plan(0));
         c.insert(2, dummy_plan(0));
-        assert!(c.lookup(1, 0).is_some()); // warm 1
+        assert!(c.lookup(1, 0, DOP, THRESHOLD).is_some()); // warm 1
         c.insert(3, dummy_plan(0)); // evicts 2
-        assert!(c.lookup(1, 0).is_some());
-        assert!(c.lookup(2, 0).is_none());
-        assert!(c.lookup(3, 0).is_some());
+        assert!(c.lookup(1, 0, DOP, THRESHOLD).is_some());
+        assert!(c.lookup(2, 0, DOP, THRESHOLD).is_none());
+        assert!(c.lookup(3, 0, DOP, THRESHOLD).is_some());
         assert_eq!(c.stats().evictions, 1);
     }
 
@@ -214,9 +256,9 @@ mod tests {
     fn hit_rate_reflects_all_lookup_kinds() {
         let mut c = PlanCache::new(4);
         c.insert(1, dummy_plan(0));
-        c.lookup(1, 0);
-        c.lookup(1, 0);
-        c.lookup(2, 0);
+        c.lookup(1, 0, DOP, THRESHOLD);
+        c.lookup(1, 0, DOP, THRESHOLD);
+        c.lookup(2, 0, DOP, THRESHOLD);
         assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(PlanCacheStats::default().hit_rate(), 0.0);
     }

@@ -224,7 +224,12 @@ fn finish_block(mut plan: Plan, block: &BoundQuery, presorted: bool) -> Result<P
             } else {
                 AggStrategy::Stream
             },
-            est: Est::new(est.rows.max(1.0) * 0.1, est.cost),
+            // A scalar aggregate produces exactly one row; grouped output
+            // is the usual one-in-ten group guess.
+            est: Est::new(
+                if block.group_by.is_empty() { 1.0 } else { est.rows.max(1.0) * 0.1 },
+                est.cost,
+            ),
         };
 
         // Lower output clauses into the aggregate's slot space.

@@ -128,6 +128,50 @@ impl SkelNode {
     }
 }
 
+/// Optimizer search-effort trace for one statement: what the join-order
+/// search did to produce this skeleton. Populated by the Orca detour
+/// (summed over the statement's blocks); `None` for the native MySQL
+/// optimizer, whose greedy walk has no memo to trace. Rendered as its own
+/// line after the EXPLAIN banner and surfaced through `RouterStats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchTrace {
+    /// Memo groups created.
+    pub groups: usize,
+    /// Group expressions (join splits) explored.
+    pub group_exprs: u64,
+    /// Normalization-rule applications attempted (e.g. OR factorization).
+    pub rules_applied: u64,
+    /// Rule applications that rewrote their input.
+    pub rules_hit: u64,
+    /// Physical alternatives costed.
+    pub plans_costed: u64,
+    /// Fraction of the plans-costed budget consumed, in [0, 1].
+    pub budget_used: f64,
+    /// Never-fail ladder rung that produced the plan (0 = the configured
+    /// strategy succeeded outright).
+    pub rung: usize,
+    /// Join-order strategy of the winning rung.
+    pub strategy: &'static str,
+}
+
+impl SearchTrace {
+    /// One-line rendering for the EXPLAIN header block.
+    pub fn display(&self) -> String {
+        format!(
+            "[search: strategy={} rung={} groups={} group_exprs={} rules={}/{} \
+             plans_costed={} budget={:.0}%]",
+            self.strategy,
+            self.rung,
+            self.groups,
+            self.group_exprs,
+            self.rules_hit,
+            self.rules_applied,
+            self.plans_costed,
+            (self.budget_used * 100.0).min(100.0)
+        )
+    }
+}
+
 /// A full skeleton plan for one query block.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Skeleton {
@@ -144,6 +188,9 @@ pub struct Skeleton {
     /// (`None` = serial). Refinement turns this into exchange operators;
     /// the engine clamps it to its own configured dop.
     pub dop: Option<usize>,
+    /// Search-effort trace from the optimizer that built this skeleton
+    /// (`None` when the backend doesn't trace, e.g. the native optimizer).
+    pub search: Option<SearchTrace>,
 }
 
 impl Skeleton {
@@ -188,7 +235,13 @@ mod tests {
     fn best_positions_are_preorder_leaves() {
         // ((0 ⋈ 2) ⋈ 1)
         let tree = join(join(leaf(0), leaf(2)), leaf(1));
-        let sk = Skeleton { root: tree, orca_assisted: false, orca_fallback: None, dop: None };
+        let sk = Skeleton {
+            root: tree,
+            orca_assisted: false,
+            orca_fallback: None,
+            dop: None,
+            search: None,
+        };
         assert_eq!(sk.root.qts(), vec![0, 2, 1]);
         assert!(sk.root.is_left_deep());
         assert_eq!(sk.best_position_display(&|qt| format!("t{qt}")), "[t0, t2, t1]");
@@ -196,13 +249,37 @@ mod tests {
 
     #[test]
     fn banner_reflects_provenance() {
-        let mut sk =
-            Skeleton { root: leaf(0), orca_assisted: true, orca_fallback: None, dop: None };
+        let mut sk = Skeleton {
+            root: leaf(0),
+            orca_assisted: true,
+            orca_fallback: None,
+            dop: None,
+            search: None,
+        };
         assert_eq!(sk.explain_banner(), "EXPLAIN (ORCA)");
         sk.orca_assisted = false;
         assert_eq!(sk.explain_banner(), "EXPLAIN");
         sk.orca_fallback = Some("panicked".into());
         assert_eq!(sk.explain_banner(), "EXPLAIN (ORCA fallback: panicked)");
+    }
+
+    #[test]
+    fn search_trace_displays_every_counter() {
+        let t = SearchTrace {
+            groups: 7,
+            group_exprs: 42,
+            rules_applied: 3,
+            rules_hit: 1,
+            plans_costed: 99,
+            budget_used: 0.25,
+            rung: 1,
+            strategy: "EXHAUSTIVE",
+        };
+        assert_eq!(
+            t.display(),
+            "[search: strategy=EXHAUSTIVE rung=1 groups=7 group_exprs=42 rules=1/3 \
+             plans_costed=99 budget=25%]"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ use crate::cost;
 use crate::desc::{BlockDesc, EntryDesc, MemberDesc, RelSource};
 use crate::md::{MdCache, MdIndex, MetadataAccessor};
 use crate::physical::{OrcaPlan, PhysJoinKind, PhysNode, SearchStats};
-use crate::rules::normalize_pool;
+use crate::rules::normalize_pool_traced;
 use std::collections::{BTreeSet, HashMap};
 use taurus_catalog::estimate::{Estimator, RelView};
 use taurus_common::error::{Error, Result};
@@ -151,8 +151,11 @@ impl<'a> Search<'a> {
         if desc.members.len() > 63 {
             return Err(Error::semantic("more than 63 tables in one block"));
         }
-        // Normalized predicate pool (OR factorization, §6.2).
-        let pool_all = normalize_pool(desc.predicates.clone(), cfg.enable_or_factorization);
+        // Normalized predicate pool (OR factorization, §6.2). Rule counts
+        // accumulate in locals (the Search struct does not exist yet) and
+        // seed the stats below.
+        let (pool_all, mut rules_applied, mut rules_hit) =
+            normalize_pool_traced(desc.predicates.clone(), cfg.enable_or_factorization);
 
         // Estimator over the global table space.
         let mut rels: Vec<Option<RelView>> = vec![None; desc.num_tables];
@@ -216,7 +219,10 @@ impl<'a> Search<'a> {
         for (i, m) in desc.members.iter().enumerate() {
             let mut local = std::mem::take(&mut member_local[i]);
             let mut on_cross = Vec::new();
-            let on_norm = normalize_pool(m.entry.on().to_vec(), cfg.enable_or_factorization);
+            let (on_norm, on_applied, on_hit) =
+                normalize_pool_traced(m.entry.on().to_vec(), cfg.enable_or_factorization);
+            rules_applied += on_applied;
+            rules_hit += on_hit;
             for c in on_norm {
                 if member_mask(&c) & !(1 << i) == 0 {
                     local.push(c);
@@ -224,9 +230,11 @@ impl<'a> Search<'a> {
                     on_cross.push(c);
                 }
             }
-            let on_sel: f64 = on_cross.iter().map(|c| est.selectivity(c)).product();
             let (base_rows, leaf, leaf_cost, indexes) = build_leaf(m, &local, md, &est, i)?;
-            let sel: f64 = local.iter().map(|p| est.selectivity(p)).product();
+            // Stacked-conjunction products floor at one surviving row of
+            // their input relation (see `conjunct_selectivity`).
+            let on_sel = est.conjunct_selectivity(&on_cross, base_rows);
+            let sel = est.conjunct_selectivity(&local, base_rows);
             let filtered_rows = (base_rows * sel).max(0.01);
             let mut dep_bits: Bits = 0;
             for d in &m.deps {
@@ -292,7 +300,7 @@ impl<'a> Search<'a> {
             groups: HashMap::new(),
             next_group: 0,
             budget: cfg.faults.squeeze(FaultSite::OptimizeSearch).unwrap_or(cfg.budget),
-            stats: SearchStats::default(),
+            stats: SearchStats { rules_applied, rules_hit, ..SearchStats::default() },
         })
     }
 
@@ -819,7 +827,7 @@ fn build_leaf(
                 .ok_or_else(|| Error::CatalogMissing(format!("relation {oid}")))?;
             let indexes = md.indexes(*oid);
             let n = rel.rows;
-            let sel: f64 = local.iter().map(|p| est.selectivity(p)).product();
+            let sel = est.conjunct_selectivity(local, n);
             let filtered = (n * sel).max(0.01);
             // Scan vs index-range alternatives.
             let mut best_cost = cost::scan(n);
@@ -875,7 +883,7 @@ fn build_leaf(
                 if lo.is_none() && hi.is_none() {
                     continue;
                 }
-                let range_sel: f64 = consumed.iter().map(|p| est.selectivity(p)).product();
+                let range_sel = est.conjunct_selectivity(&consumed, n);
                 let c = cost::range(n * range_sel);
                 if c < best_cost {
                     best_cost = c;
@@ -897,7 +905,7 @@ fn build_leaf(
             Ok((n, best, best_cost, indexes))
         }
         RelSource::Derived { rows, cost: inner_cost, .. } => {
-            let sel: f64 = local.iter().map(|p| est.selectivity(p)).product();
+            let sel = est.conjunct_selectivity(local, *rows);
             let filtered = (rows * sel).max(0.01);
             let node = PhysNode::DerivedScan {
                 qt: m.qt,
@@ -1294,6 +1302,22 @@ mod tests {
             ..OrcaConfig::default()
         };
         assert!(optimize_block(&desc, &md, &cfg).unwrap_err().is_resource_exhausted());
+    }
+
+    #[test]
+    fn rule_counters_flow_into_search_stats() {
+        let (md, mut desc) = setup();
+        desc.members.truncate(2);
+        let eqp = Expr::eq(Expr::col(0, 0), Expr::col(1, 0));
+        let x = Expr::eq(Expr::col(1, 1), Expr::int(1));
+        let y = Expr::eq(Expr::col(1, 1), Expr::int(2));
+        desc.predicates = vec![Expr::or(Expr::and(eqp.clone(), x), Expr::and(eqp, y))];
+        let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        assert_eq!((plan.stats.rules_applied, plan.stats.rules_hit), (1, 1));
+        // Factorization off: the rule never runs.
+        let cfg = OrcaConfig { enable_or_factorization: false, ..OrcaConfig::default() };
+        let plan = optimize_block(&desc, &md, &cfg).unwrap();
+        assert_eq!((plan.stats.rules_applied, plan.stats.rules_hit), (0, 0));
     }
 
     #[test]

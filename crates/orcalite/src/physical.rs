@@ -227,6 +227,11 @@ pub struct SearchStats {
     pub splits_explored: u64,
     /// Physical alternatives costed.
     pub plans_costed: u64,
+    /// Normalization-rule applications attempted (one per predicate run
+    /// through a rule, e.g. OR factorization §6.2).
+    pub rules_applied: u64,
+    /// Rule applications that actually rewrote their input.
+    pub rules_hit: u64,
 }
 
 /// The optimizer's output for one block.

@@ -14,12 +14,34 @@ pub use taurus_common::expr::factor_or;
 /// Apply OR factorization to a predicate pool, then re-split conjunctions
 /// so the factored-out parts become independently placeable conjuncts.
 pub fn normalize_pool(predicates: Vec<Expr>, enable_or_factorization: bool) -> Vec<Expr> {
+    normalize_pool_traced(predicates, enable_or_factorization).0
+}
+
+/// [`normalize_pool`] that also reports rule-application counts for the
+/// optimizer's search trace: `(pool, rules applied, rules that rewrote)`.
+/// An *application* is one predicate run through the OR-factorization rule;
+/// a *hit* is an application whose output differs from its input.
+pub fn normalize_pool_traced(
+    predicates: Vec<Expr>,
+    enable_or_factorization: bool,
+) -> (Vec<Expr>, u64, u64) {
     let mut out = Vec::with_capacity(predicates.len());
+    let mut applied = 0u64;
+    let mut hit = 0u64;
     for p in predicates {
-        let p = if enable_or_factorization { factor_or(p) } else { p };
+        let p = if enable_or_factorization {
+            applied += 1;
+            let factored = factor_or(p.clone());
+            if factored != p {
+                hit += 1;
+            }
+            factored
+        } else {
+            p
+        };
         out.extend(p.conjuncts());
     }
-    out
+    (out, applied, hit)
 }
 
 #[cfg(test)]
@@ -111,6 +133,23 @@ mod tests {
         // Disabled: the OR stays opaque (MySQL-like).
         let pool = normalize_pool(input, false);
         assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn traced_pool_counts_applications_and_hits() {
+        let common = eq(0, 0, 1, 0);
+        let factorable = Expr::or(
+            Expr::and(common.clone(), pred(1, 1, 1)),
+            Expr::and(common.clone(), pred(1, 2, 2)),
+        );
+        let plain = pred(0, 0, 5);
+        let (pool, applied, hit) =
+            normalize_pool_traced(vec![factorable.clone(), plain.clone()], true);
+        assert_eq!((applied, hit), (2, 1), "two predicates tried, one rewrote");
+        assert!(pool.contains(&common));
+        // Rule disabled: nothing applied, nothing hit.
+        let (_, applied, hit) = normalize_pool_traced(vec![factorable, plain], false);
+        assert_eq!((applied, hit), (0, 0));
     }
 
     #[test]

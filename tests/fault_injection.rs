@@ -121,6 +121,54 @@ fn every_site_and_kind_answers_correctly_with_the_right_reason() {
 }
 
 #[test]
+fn explain_analyze_is_inert_under_every_fault() {
+    // The full fault matrix again, this time with runtime instrumentation
+    // enabled. EXPLAIN ANALYZE must be a pure observer: same answers, same
+    // fallback attribution, and every operator annotated — whether the
+    // statement came out of the detour or the native rescue path.
+    quiet_injected_panics();
+    let engine = Engine::new(tpch::build_catalog(Scale(0.02)));
+    let q3 = &tpch::queries()[2];
+    let reference = canon(engine.query(&q3.sql).expect("native baseline").rows);
+
+    for site in FaultSite::ALL {
+        for kind in [FaultKind::Panic, FaultKind::Error, FaultKind::BudgetSqueeze] {
+            let combo = format!("{kind:?} at {}", site.name());
+            // Uninstrumented run through one armed router, instrumented
+            // through another: their routing decisions must agree.
+            let plain = faulty_router(site, kind);
+            engine.query_with(&q3.sql, &plain).expect("uninstrumented");
+            let orca = faulty_router(site, kind);
+            let analyzed = engine
+                .explain_analyze(&q3.sql, &orca)
+                .unwrap_or_else(|e| panic!("{combo}: EXPLAIN ANALYZE must never fail: {e}"));
+
+            assert_eq!(
+                canon(analyzed.output.rows),
+                reference,
+                "{combo}: instrumentation changed the answer"
+            );
+            assert_eq!(
+                orca.last_fallback(),
+                plain.last_fallback(),
+                "{combo}: instrumentation changed the fallback attribution"
+            );
+            assert_eq!(orca.stats().fallbacks, plain.stats().fallbacks, "{combo}");
+            assert!(analyzed.text.starts_with("EXPLAIN ANALYZE ("), "{combo}: {}", analyzed.text);
+            for line in analyzed.text.lines().skip(1) {
+                if line.is_empty() || line.starts_with("[search:") {
+                    continue;
+                }
+                assert!(
+                    line.contains("actual rows=") || line.contains("(never executed)"),
+                    "{combo}: unannotated operator line: {line}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn explain_banner_names_the_injected_reason() {
     quiet_injected_panics();
     let engine = Engine::new(tpch::build_catalog(Scale(0.02)));

@@ -64,6 +64,35 @@ fn repeated_statements_hit_and_rebind_on_real_data() {
 }
 
 #[test]
+fn dop_change_recompiles_instead_of_serving_a_parallel_plan() {
+    // A cached plan embeds its exchange placement: a plan compiled at
+    // dop=4 carries Exchange operators a serial session must never
+    // execute. Changing the knob has to force a recompile, end to end.
+    let engine = Engine::new(tpch::build_catalog(Scale(0.05)));
+    engine.set_parallel_threshold(8);
+    engine.set_dop(4);
+    let orca = OrcaOptimizer::new(OrcaConfig::default(), 1);
+    let sql = "SELECT l_returnflag, COUNT(*) FROM lineitem GROUP BY l_returnflag";
+
+    let (_, first) = engine.plan_cached(sql, &orca).unwrap();
+    assert_eq!(first, CacheOutcome::Miss);
+    let parallel_text = engine.explain_cached(sql, &orca).unwrap();
+    assert!(parallel_text.contains("[plan cache: hit]"), "{parallel_text}");
+    assert!(parallel_text.contains("Exchange ("), "dop=4 plan is parallel: {parallel_text}");
+    let parallel_rows = canon(engine.query_cached(sql, &orca).unwrap().rows);
+
+    // The knob change must drop the parallel plan; the next serve
+    // recompiles under the new setting rather than serving dop=4 shapes.
+    engine.set_dop(1);
+    let (_, after) = engine.plan_cached(sql, &orca).unwrap();
+    assert_eq!(after, CacheOutcome::Miss, "dop change dropped the parallel plan");
+    let serial_text = engine.explain_cached(sql, &orca).unwrap();
+    assert!(serial_text.contains("[plan cache: hit]"), "{serial_text}");
+    assert!(!serial_text.contains("Exchange ("), "recompiled serial: {serial_text}");
+    assert_eq!(canon(engine.query_cached(sql, &orca).unwrap().rows), parallel_rows);
+}
+
+#[test]
 fn ddl_invalidates_across_the_engine() {
     let mut engine = Engine::new(tpch::build_catalog(Scale(0.02)));
     let sql = "SELECT o_orderdate FROM orders WHERE o_orderkey = 42";
