@@ -51,4 +51,13 @@ echo "== observe: EXPLAIN ANALYZE q-error gate"
 # regression anywhere in the stack trips this before it ships.
 SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness observe
 
+echo "== fuzz: differential correctness gate"
+# Seeded, fully deterministic random-query sweep over TPC-H, TPC-DS, and
+# the adversarial schema, checked by four oracles (native-vs-orca,
+# serial-vs-parallel, fresh-vs-rebound, TLP partitioning). Any miscompare
+# fails the gate and prints the delta-debugged minimal repro SQL. Raise
+# FUZZ_BUDGET (queries per seed) for a deeper local sweep.
+SCALE=0.05 FUZZ_BUDGET="${FUZZ_BUDGET:-150}" \
+    cargo run --release --offline -p taurus-bench --bin harness fuzz --seed-range 0..4
+
 echo "CI OK"

@@ -14,10 +14,13 @@
 //! harness plancache  # compile-once serve-many plan cache (exits 1 on gate failure)
 //! harness parallel   # morsel-driven parallel execution (exits 1 on gate failure)
 //! harness observe    # EXPLAIN ANALYZE q-error harness (exits 1 on gate failure)
+//! harness fuzz [--seed-range a..b]
+//!                    # differential query fuzzer (exits 1 on any miscompare)
 //! harness all        # everything, in order
 //! ```
 //!
-//! Environment knobs: `SCALE` (default 0.3), `REPS` (default 5).
+//! Environment knobs: `SCALE` (default 0.3), `REPS` (default 5),
+//! `FUZZ_BUDGET` (queries per seed for `fuzz`, default 500).
 
 use taurus_bench::*;
 use taurus_workloads::Scale;
@@ -71,6 +74,9 @@ fn main() {
     if want("observe") {
         observe_report();
     }
+    if want("fuzz") {
+        fuzz_report();
+    }
     if !run_all
         && ![
             "fig10",
@@ -85,6 +91,7 @@ fn main() {
             "plancache",
             "parallel",
             "observe",
+            "fuzz",
         ]
         .contains(&arg.as_str())
     {
@@ -259,6 +266,25 @@ fn observe_report() {
         "\nobserve gate passed: instrumented runs byte-identical (serial and dop 4), \
          max q-error under {OBSERVE_Q_CEILING:.0}"
     );
+}
+
+fn fuzz_report() {
+    // Seeds from `--seed-range a..b` (half-open), default 0..2; queries per
+    // seed from FUZZ_BUDGET (default 500 — the acceptance floor).
+    let seeds = std::env::args()
+        .skip_while(|a| a != "--seed-range")
+        .nth(1)
+        .and_then(|r| fuzz::parse_seed_range(&r))
+        .unwrap_or_else(|| vec![0, 1]);
+    let budget = std::env::var("FUZZ_BUDGET").ok().and_then(|s| s.parse().ok()).unwrap_or(500usize);
+    println!("\n## Differential fuzzer — four oracles over random queries (scale {:?})\n", scale());
+    let r = fuzz::run_fuzz(&seeds, budget, scale());
+    print!("{}", fuzz::format_fuzz_report(&r));
+    if let Err(violation) = r.gate() {
+        eprintln!("\nfuzz gate FAILED: {violation}");
+        std::process::exit(1);
+    }
+    println!("\nfuzz gate passed: {} queries × 4 oracles, zero miscompares", r.generated);
 }
 
 fn print_case(cs: &CaseStudy) {

@@ -391,9 +391,13 @@ impl Expr {
     }
 
     /// Overwrite every bind parameter's value from the bind vector (the
-    /// plan-cache hit path). Errors if a parameter's slot is out of range —
-    /// the fingerprint and the binds must come from the same
-    /// parameterization pass.
+    /// plan-cache hit path). Errors if a parameter's slot is out of range
+    /// or a bind's type class differs from the peeked value the plan was
+    /// compiled with — the fingerprint and the binds must come from the
+    /// same parameterization pass, and fingerprints hash literal type
+    /// tags, so either mismatch means the plan and the binds belong to
+    /// different shapes. The caller treats the error as a cache
+    /// invalidation and recompiles rather than serving a stale plan.
     pub fn rebind_params(&mut self, binds: &[Value]) -> Result<()> {
         match self {
             Expr::Param { index, value } => {
@@ -403,6 +407,12 @@ impl Expr {
                         binds.len()
                     ))
                 })?;
+                if std::mem::discriminant(v) != std::mem::discriminant(value) {
+                    return Err(Error::internal(format!(
+                        "bind slot ${index} type mismatch: plan compiled for {value:?}, \
+                         bind is {v:?}"
+                    )));
+                }
                 *value = v.clone();
                 Ok(())
             }

@@ -387,15 +387,23 @@ fn exec_node(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result
                 .as_ref()
                 .map(|(e, inc)| Ok::<_, Error>((bind_env.eval(e, binding.row)?, *inc)))
                 .transpose()?;
-            let env = Env::new(binding, &plan.space(ctx.num_tables), ctx.num_tables);
             let mut out = Vec::new();
-            for rid in
-                ix.range(lo_v.as_ref().map(|(v, i)| (v, *i)), hi_v.as_ref().map(|(v, i)| (v, *i)))
-            {
-                ExecStats::bump(&ctx.stats.rows_scanned, 1);
-                let row = t.data.row(rid);
-                if env.passes(filter, row)? {
-                    out.push(row.clone());
+            // A NULL bound makes the consumed comparison UNKNOWN for every
+            // row: the range matches nothing. (NULL sorts first in the
+            // index's total order, so [NULL, ∞) would otherwise cover the
+            // whole table.)
+            let null_bound = lo_v.as_ref().is_some_and(|(v, _)| v.is_null())
+                || hi_v.as_ref().is_some_and(|(v, _)| v.is_null());
+            if !null_bound {
+                let env = Env::new(binding, &plan.space(ctx.num_tables), ctx.num_tables);
+                for rid in ix
+                    .range(lo_v.as_ref().map(|(v, i)| (v, *i)), hi_v.as_ref().map(|(v, i)| (v, *i)))
+                {
+                    ExecStats::bump(&ctx.stats.rows_scanned, 1);
+                    let row = t.data.row(rid);
+                    if env.passes(filter, row)? {
+                        out.push(row.clone());
+                    }
                 }
             }
             out
@@ -802,8 +810,10 @@ fn exec_hash_join(
                 JoinKind::AntiSemi => {
                     // NULL-aware anti join (NOT IN): a NULL probe key, or any
                     // NULL key on the build side, makes membership UNKNOWN —
-                    // the row is filtered out, not emitted.
-                    if null_aware && (any_null || build_has_null_key) {
+                    // the row is filtered out, not emitted. Over an EMPTY
+                    // build side, though, `x NOT IN (∅)` is TRUE even for
+                    // NULL x: there is nothing to be unknown against.
+                    if null_aware && !build_rows.is_empty() && (any_null || build_has_null_key) {
                         continue;
                     }
                     out.push(prow.clone());

@@ -254,11 +254,19 @@ impl Engine {
             let mut cache = lock(&self.plan_cache);
             let before = cache.stats();
             if let Some(entry) = cache.lookup(d.fingerprint, version, dop, parallel_threshold) {
-                rebind_planned(&mut entry.planned, &d.binds)?;
-                let r = f(&entry.planned)?;
-                return Ok((r, CacheOutcome::Hit));
+                // A rebind refusal (slot count or type-class mismatch with
+                // the peeked values) means the cached plan cannot serve
+                // these binds: discard it and recompile below, exactly as
+                // for any other invalidation. Serving the stale plan — or
+                // failing the query — would turn a cache artifact into a
+                // user-visible behaviour change.
+                if rebind_planned(&mut entry.planned, &d.binds).is_ok() {
+                    let r = f(&entry.planned)?;
+                    return Ok((r, CacheOutcome::Hit));
+                }
+                cache.discard(d.fingerprint);
             }
-            // The lookup already classified the failure; read it back.
+            // The lookup (or the discard above) classified the failure.
             if cache.stats().invalidations > before.invalidations {
                 outcome = CacheOutcome::Invalidated;
             }
@@ -835,6 +843,42 @@ mod tests {
         let b = e.query_cached("SELECT salary FROM emp WHERE id = 3", &MySqlOptimizer).unwrap();
         assert_eq!(ints(&b, 0), vec![300]);
         assert_eq!(e.plan_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn rebind_type_mismatch_discards_and_recompiles() {
+        // Differently-typed literals hash to different fingerprints, so a
+        // cached plan should never legitimately see binds of another type
+        // class. If one ever does (here: an entry planted under the wrong
+        // shape's fingerprint), the rebind must refuse and the serve path
+        // must recompile — not serve the stale plan, not fail the query.
+        let e = engine();
+        let sql_int = "SELECT salary FROM emp WHERE id = 2";
+        let sql_str = "SELECT salary FROM emp WHERE id = 'two'";
+        let (planned, _) = e.plan_cached(sql_int, &MySqlOptimizer).unwrap();
+        let poisoned_fp = token_digest(sql_str).unwrap().fingerprint;
+        lock(&e.plan_cache).insert(
+            poisoned_fp,
+            CachedPlan {
+                planned,
+                catalog_version: e.catalog.version(),
+                dop: e.dop(),
+                parallel_threshold: e.parallel_threshold.load(Ordering::Relaxed),
+                optimizer: "mysql",
+                serves: 0,
+            },
+        );
+        let before = e.plan_cache_stats();
+        // The Str-literal query hits the poisoned Int-peeked entry; the
+        // type-class check rejects the rebind and a fresh compile serves.
+        let out = e.query_cached(sql_str, &MySqlOptimizer).unwrap();
+        assert_eq!(out.rows.len(), 0, "recompiled plan answers the actual query");
+        let after = e.plan_cache_stats();
+        assert_eq!(after.invalidations, before.invalidations + 1, "hit reclassified");
+        assert_eq!(after.hits, before.hits, "a refused rebind is not a serve");
+        // The poisoned entry is gone: the shape recompiled and re-cached.
+        let (_, outcome) = e.plan_cached(sql_str, &MySqlOptimizer).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit, "fresh entry serves the shape now");
     }
 
     #[test]

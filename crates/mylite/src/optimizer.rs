@@ -120,13 +120,17 @@ impl<'a> PlanCtx<'a> {
         for (mi, m) in block.members.iter().enumerate() {
             let meta = self.bound.table(m.qt);
             // Local predicates: WHERE conjuncts + own-ON conjuncts that
-            // touch only this table (plus outer parameters).
+            // touch only this table (plus outer parameters). WHERE
+            // conjuncts on a left join's nullable side run above the join
+            // (refine keeps them post-join), so only ON conjuncts count as
+            // local there — the estimate must match the placement.
             let mut local: Vec<Expr> = Vec::new();
             let usable = |e: &Expr| {
                 e.referenced_tables().iter().all(|t| *t == m.qt || outer.contains(t))
                     && e.referenced_tables().contains(&m.qt)
             };
-            for p in block.predicates.iter().chain(m.entry.on()) {
+            let wheres: &[Expr] = if m.entry.is_inner() { &block.predicates } else { &[] };
+            for p in wheres.iter().chain(m.entry.on()) {
                 if usable(p) {
                     local.push(p.clone());
                 }
@@ -246,8 +250,8 @@ impl<'a> PlanCtx<'a> {
                     }
                 } else if let Expr::Between { expr, low, high, negated: false } = p {
                     if matches!(expr.as_ref(), Expr::Column(c) if c.table == qt && c.col == lead)
-                        && low.is_const()
-                        && high.is_const()
+                        && is_non_null_const(low)
+                        && is_non_null_const(high)
                     {
                         lo = Some((low.as_ref().clone(), true));
                         hi = Some((high.as_ref().clone(), true));
@@ -547,24 +551,31 @@ struct JoinCand {
 }
 
 /// Match `col(qt, c) cmp const` (either side), returning `(cmp-with-column-
-/// on-left, const expr)`.
+/// on-left, const expr)`. A NULL literal is refused: comparing with NULL is
+/// UNKNOWN for every row, but as an index-range bound it would sort before
+/// everything and `[NULL, ∞)` would cover the whole table.
 fn column_vs_const(p: &Expr, qt: usize, col: usize) -> Option<(BinOp, Expr)> {
     if let Expr::Binary { op, left, right } = p {
         if !op.is_comparison() {
             return None;
         }
         if let Expr::Column(c) = left.as_ref() {
-            if c.table == qt && c.col == col && right.is_const() {
+            if c.table == qt && c.col == col && is_non_null_const(right) {
                 return Some((*op, right.as_ref().clone()));
             }
         }
         if let Expr::Column(c) = right.as_ref() {
-            if c.table == qt && c.col == col && left.is_const() {
+            if c.table == qt && c.col == col && is_non_null_const(left) {
                 return Some((op.commutator()?, left.as_ref().clone()));
             }
         }
     }
     None
+}
+
+/// Constant, and not the NULL literal — safe to use as an index bound.
+fn is_non_null_const(e: &Expr) -> bool {
+    e.is_const() && !matches!(e, Expr::Literal(v) if v.is_null())
 }
 
 /// Match an equi-condition `col(qt, col) = expr(available)`; return the key

@@ -171,6 +171,17 @@ impl PlanCache {
         self.entries.insert(fingerprint, Entry { plan, last_used: self.tick });
     }
 
+    /// Drop one entry after its `lookup` succeeded but the plan could not
+    /// actually be served (e.g. parameter rebinding refused the binds).
+    /// Reclassifies the lookup's hit as an invalidation so the counters
+    /// describe what the serve path really did.
+    pub fn discard(&mut self, fingerprint: u64) {
+        if self.entries.remove(&fingerprint).is_some() {
+            self.stats.hits = self.stats.hits.saturating_sub(1);
+            self.stats.invalidations += 1;
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.entries.len()
     }

@@ -548,8 +548,18 @@ impl<'a> Refiner<'a> {
         covered.insert(qt);
 
         // Leaf-attachable predicates: WHERE conjuncts + single-table ON
-        // conjuncts (pushable for outer/semi/anti joins too).
-        let mut filter = self.take_coverable(&covered);
+        // conjuncts (pushable for outer/semi/anti joins too). WHERE
+        // conjuncts must NOT sink below a left join, though: a pre-join
+        // filter on the nullable side cannot reject NULL-extended rows.
+        // Null-rejecting conjuncts were already promoted to inner joins
+        // during prepare, so whatever still targets a LeftOuter member
+        // (IS NULL tests, NOT IN, …) has to run above the join — leave it
+        // pending for the join node to attach as a post-filter.
+        let mut filter = if matches!(member.entry, JoinEntry::LeftOuter { .. }) {
+            Vec::new()
+        } else {
+            self.take_coverable(&covered)
+        };
         for c in member.entry.on() {
             let refs = c.referenced_tables();
             if refs.contains(&qt)

@@ -960,21 +960,40 @@ pub fn push_not(e: Expr) -> Expr {
     })
 }
 
-/// Whether predicate `p` rejects NULL-extended rows of table `qt` (a
-/// comparison or similar that is never TRUE when the table's columns are all
-/// NULL). Conservative approximation.
+/// Whether `e` necessarily evaluates to NULL on a row where every column of
+/// table `qt` is NULL (i.e. it reaches a `qt` column only through
+/// NULL-propagating operators). `COALESCE` and `CASE` can absorb a NULL and
+/// produce a non-NULL value, so anything routed through them is not strict.
+fn is_strict_on(e: &Expr, qt: usize) -> bool {
+    match e {
+        Expr::Column(c) => c.table == qt,
+        Expr::Binary { op, left, right } if op.is_comparison() || op.is_arithmetic() => {
+            is_strict_on(left, qt) || is_strict_on(right, qt)
+        }
+        Expr::Unary { op: UnOp::Neg, input } => is_strict_on(input, qt),
+        Expr::Func { func: ScalarFunc::Coalesce, .. } => false,
+        Expr::Func { args, .. } => args.iter().any(|a| is_strict_on(a, qt)),
+        _ => false,
+    }
+}
+
+/// Whether predicate `p` rejects NULL-extended rows of table `qt` (it is
+/// never TRUE when the table's columns are all NULL). Conservative
+/// approximation: the compared value must reach a `qt` column through a
+/// strict (NULL-propagating) expression — `COALESCE(t.x, 1) = 1` is TRUE on
+/// a NULL-extended row and must not count.
 fn is_null_rejecting(p: &Expr, qt: usize) -> bool {
     match p {
         Expr::Binary { op, left, right } if op.is_comparison() || op.is_arithmetic() => {
-            left.referenced_tables().contains(&qt) || right.referenced_tables().contains(&qt)
+            is_strict_on(left, qt) || is_strict_on(right, qt)
         }
         Expr::Binary { op: BinOp::And, left, right } => {
             is_null_rejecting(left, qt) || is_null_rejecting(right, qt)
         }
-        Expr::Between { expr, .. } => expr.referenced_tables().contains(&qt),
-        Expr::InList { expr, negated: false, .. } => expr.referenced_tables().contains(&qt),
-        Expr::Like { expr, .. } => expr.referenced_tables().contains(&qt),
-        Expr::Unary { op: UnOp::IsNotNull, input } => input.referenced_tables().contains(&qt),
+        Expr::Between { expr, .. } => is_strict_on(expr, qt),
+        Expr::InList { expr, negated: false, .. } => is_strict_on(expr, qt),
+        Expr::Like { expr, .. } => is_strict_on(expr, qt),
+        Expr::Unary { op: UnOp::IsNotNull, input } => is_strict_on(input, qt),
         _ => false,
     }
 }

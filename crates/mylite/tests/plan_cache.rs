@@ -1,0 +1,95 @@
+//! Plan-cache regression tests for typed bind parameters: literal type
+//! classes are part of a statement's fingerprint, so differently-typed
+//! literals must compile (and cache) separately — never share a plan whose
+//! peeked constants have another type — and each shape must keep answering
+//! correctly after the other has been cached.
+
+use mylite::{Engine, MySqlOptimizer};
+use taurus_catalog::Catalog;
+use taurus_common::{Column, DataType, Schema, Value};
+
+fn engine() -> Engine {
+    let mut cat = Catalog::new();
+    let t = cat
+        .create_table(
+            "m",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::nullable("score", DataType::Double),
+                Column::nullable("tag", DataType::Str),
+            ]),
+        )
+        .unwrap();
+    cat.insert(
+        t,
+        vec![
+            vec![Value::Int(1), Value::Double(1.5), Value::str("a")],
+            vec![Value::Int(2), Value::Double(2.0), Value::str("b")],
+            vec![Value::Int(3), Value::Null, Value::Null],
+            vec![Value::Int(4), Value::Double(4.5), Value::str("a")],
+        ],
+    )
+    .unwrap();
+    cat.create_index(t, "m_pk", vec![0], true).unwrap();
+    let mut e = Engine::new(cat);
+    e.analyze();
+    e
+}
+
+fn ids(e: &Engine, sql: &str) -> Vec<i64> {
+    e.query_cached(sql, &MySqlOptimizer)
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r[0].as_i64().unwrap())
+        .collect()
+}
+
+#[test]
+fn int_and_double_literals_compile_separately() {
+    let e = engine();
+    // Same text shape up to the literal, different literal type class:
+    // these must be two cache entries, not one rebound entry.
+    assert_eq!(ids(&e, "SELECT id FROM m WHERE score > 2 ORDER BY id"), vec![4]);
+    assert_eq!(ids(&e, "SELECT id FROM m WHERE score > 1.9 ORDER BY id"), vec![2, 4]);
+    assert_eq!(e.plan_cache_len(), 2, "Int and Double shapes are distinct");
+    let s = e.plan_cache_stats();
+    assert_eq!((s.hits, s.misses), (0, 2));
+    // Re-serving each shape hits its own entry and still rebinds correctly.
+    assert_eq!(ids(&e, "SELECT id FROM m WHERE score > 4 ORDER BY id"), vec![4]);
+    assert_eq!(ids(&e, "SELECT id FROM m WHERE score > 0.5 ORDER BY id"), vec![1, 2, 4]);
+    assert_eq!(e.plan_cache_len(), 2);
+    assert_eq!(e.plan_cache_stats().hits, 2);
+}
+
+#[test]
+fn string_literal_shape_is_distinct_from_numeric() {
+    let e = engine();
+    assert_eq!(ids(&e, "SELECT id FROM m WHERE tag = 'a' ORDER BY id"), vec![1, 4]);
+    // An Int literal in the same position: different fingerprint, fresh
+    // compile; the comparison is UNKNOWN for every row (Str vs Int).
+    assert_eq!(ids(&e, "SELECT id FROM m WHERE tag = 7 ORDER BY id"), Vec::<i64>::new());
+    assert_eq!(e.plan_cache_len(), 2, "Str and Int shapes are distinct");
+    // And the string shape still serves correct answers afterwards.
+    assert_eq!(ids(&e, "SELECT id FROM m WHERE tag = 'b' ORDER BY id"), vec![2]);
+    assert_eq!(e.plan_cache_stats().hits, 1);
+}
+
+#[test]
+fn rebound_results_match_cold_compiles() {
+    // The fresh-vs-rebound oracle, distilled: for every literal variant,
+    // the cache-served result must equal a from-scratch compile.
+    let e = engine();
+    let variants = [
+        "SELECT id, score FROM m WHERE score > 1.0 ORDER BY id",
+        "SELECT id, score FROM m WHERE score > 1.6 ORDER BY id",
+        "SELECT id, score FROM m WHERE score > 4.4 ORDER BY id",
+    ];
+    for sql in variants {
+        let warm = e.query_cached(sql, &MySqlOptimizer).unwrap();
+        let cold = e.query(sql).unwrap();
+        assert_eq!(warm.rows, cold.rows, "rebound plan diverged for: {sql}");
+    }
+    let s = e.plan_cache_stats();
+    assert_eq!((s.hits, s.misses), (2, 1), "one shape, two rebound serves");
+}

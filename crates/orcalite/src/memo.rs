@@ -871,8 +871,8 @@ fn build_leaf(
                         }
                     } else if let Expr::Between { expr, low, high, negated: false } = p {
                         if matches!(expr.as_ref(), Expr::Column(c) if c.table == m.qt && c.col == lead)
-                            && low.is_const()
-                            && high.is_const()
+                            && is_non_null_const(low)
+                            && is_non_null_const(high)
                         {
                             lo = Some((low.as_ref().clone(), true));
                             hi = Some((high.as_ref().clone(), true));
@@ -919,24 +919,31 @@ fn build_leaf(
     }
 }
 
-/// `col(qt, col) cmp const`, either orientation.
+/// `col(qt, col) cmp const`, either orientation. A NULL literal is refused:
+/// comparing with NULL is UNKNOWN for every row, but as an index-range bound
+/// it would sort before everything and `[NULL, ∞)` would cover the table.
 fn col_vs_const(p: &Expr, qt: usize, col: usize) -> Option<(BinOp, Expr)> {
     if let Expr::Binary { op, left, right } = p {
         if !op.is_comparison() {
             return None;
         }
         if let Expr::Column(c) = left.as_ref() {
-            if c.table == qt && c.col == col && right.is_const() {
+            if c.table == qt && c.col == col && is_non_null_const(right) {
                 return Some((*op, right.as_ref().clone()));
             }
         }
         if let Expr::Column(c) = right.as_ref() {
-            if c.table == qt && c.col == col && left.is_const() {
+            if c.table == qt && c.col == col && is_non_null_const(left) {
                 return Some((op.commutator()?, left.as_ref().clone()));
             }
         }
     }
     None
+}
+
+/// Constant, and not the NULL literal — safe to use as an index bound.
+fn is_non_null_const(e: &Expr) -> bool {
+    e.is_const() && !matches!(e, Expr::Literal(v) if v.is_null())
 }
 
 /// `col(qt, col) = expr(available)` → the key expression.
