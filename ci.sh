@@ -53,11 +53,20 @@ SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness observe
 
 echo "== fuzz: differential correctness gate"
 # Seeded, fully deterministic random-query sweep over TPC-H, TPC-DS, and
-# the adversarial schema, checked by four oracles (native-vs-orca,
-# serial-vs-parallel, fresh-vs-rebound, TLP partitioning). Any miscompare
-# fails the gate and prints the delta-debugged minimal repro SQL. Raise
-# FUZZ_BUDGET (queries per seed) for a deeper local sweep.
+# the adversarial schema, checked by five oracles (native-vs-orca,
+# serial-vs-parallel, fresh-vs-rebound, TLP partitioning, cancel-recover).
+# Any miscompare fails the gate and prints the delta-debugged minimal
+# repro SQL. Raise FUZZ_BUDGET (queries per seed) for a deeper local sweep.
 SCALE=0.05 FUZZ_BUDGET="${FUZZ_BUDGET:-150}" \
     cargo run --release --offline -p taurus-bench --bin harness fuzz --seed-range 0..4
+
+echo "== governance: query-governor chaos gate"
+# Randomized cancel points, wall-clock deadlines, and memory budgets
+# injected across every TPC-H and TPC-DS template. Fails on any panic, on
+# tracked peak memory exceeding a configured budget, or if the engine
+# stops answering correctly right after a governed failure. Raise
+# GOVERNANCE_BUDGET (disturbed executions) for a deeper local sweep.
+SCALE=0.05 GOVERNANCE_BUDGET="${GOVERNANCE_BUDGET:-200}" \
+    cargo run --release --offline -p taurus-bench --bin harness governance
 
 echo "CI OK"

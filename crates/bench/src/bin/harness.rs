@@ -16,11 +16,13 @@
 //! harness observe    # EXPLAIN ANALYZE q-error harness (exits 1 on gate failure)
 //! harness fuzz [--seed-range a..b]
 //!                    # differential query fuzzer (exits 1 on any miscompare)
+//! harness governance # query-governor chaos report (exits 1 on gate failure)
 //! harness all        # everything, in order
 //! ```
 //!
 //! Environment knobs: `SCALE` (default 0.3), `REPS` (default 5),
-//! `FUZZ_BUDGET` (queries per seed for `fuzz`, default 500).
+//! `FUZZ_BUDGET` (queries per seed for `fuzz`, default 500),
+//! `GOVERNANCE_BUDGET` (disturbed executions for `governance`, default 200).
 
 use taurus_bench::*;
 use taurus_workloads::Scale;
@@ -77,6 +79,9 @@ fn main() {
     if want("fuzz") {
         fuzz_report();
     }
+    if want("governance") {
+        governance_report();
+    }
     if !run_all
         && ![
             "fig10",
@@ -92,6 +97,7 @@ fn main() {
             "parallel",
             "observe",
             "fuzz",
+            "governance",
         ]
         .contains(&arg.as_str())
     {
@@ -277,14 +283,34 @@ fn fuzz_report() {
         .and_then(|r| fuzz::parse_seed_range(&r))
         .unwrap_or_else(|| vec![0, 1]);
     let budget = std::env::var("FUZZ_BUDGET").ok().and_then(|s| s.parse().ok()).unwrap_or(500usize);
-    println!("\n## Differential fuzzer — four oracles over random queries (scale {:?})\n", scale());
+    println!("\n## Differential fuzzer — five oracles over random queries (scale {:?})\n", scale());
     let r = fuzz::run_fuzz(&seeds, budget, scale());
     print!("{}", fuzz::format_fuzz_report(&r));
     if let Err(violation) = r.gate() {
         eprintln!("\nfuzz gate FAILED: {violation}");
         std::process::exit(1);
     }
-    println!("\nfuzz gate passed: {} queries × 4 oracles, zero miscompares", r.generated);
+    println!("\nfuzz gate passed: {} queries × 5 oracles, zero miscompares", r.generated);
+}
+
+fn governance_report() {
+    let budget =
+        std::env::var("GOVERNANCE_BUDGET").ok().and_then(|s| s.parse().ok()).unwrap_or(200usize);
+    println!(
+        "\n## Query governor — chaos under cancel/deadline/memory disturbances \
+         (scale {:?}, {budget} injections)\n",
+        scale()
+    );
+    let r = run_governance(scale(), budget);
+    print!("{}", format_governance_report(&r));
+    if let Err(violation) = r.gate() {
+        eprintln!("\ngovernance gate FAILED: {violation}");
+        std::process::exit(1);
+    }
+    println!(
+        "\ngovernance gate passed: zero panics, peak memory within budget, \
+         engine serviceable after every governed failure"
+    );
 }
 
 fn print_case(cs: &CaseStudy) {

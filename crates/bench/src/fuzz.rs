@@ -3,7 +3,7 @@
 //! A seeded, deterministic random query generator over the TPC-H and
 //! TPC-DS schemas plus an adversarial synthetic schema (NULL-heavy
 //! columns, an empty table, a single-row table, duplicate keys), driven
-//! through four differential oracles:
+//! through five differential oracles:
 //!
 //! 1. **native-vs-orca** — the mylite-native plan and the Orca-routed
 //!    plan must agree on the result multiset (and on sortedness / top-k
@@ -13,7 +13,12 @@
 //! 3. **fresh-vs-rebound** — a plan-cache hit re-bound to new literals
 //!    must return what a fresh compile of the same text returns;
 //! 4. **TLP** — ternary logic partitioning: `Q` ≡ `Q WHERE p` ⊎
-//!    `Q WHERE NOT p` ⊎ `Q WHERE (p) IS NULL` for any predicate `p`.
+//!    `Q WHERE NOT p` ⊎ `Q WHERE (p) IS NULL` for any predicate `p`;
+//! 5. **cancel-recover** — cancel the statement at a statement-derived
+//!    governor check count, then serve it again at once: the cancelled
+//!    run must surface only `Error::Cancelled`, and the immediate re-run
+//!    must return the exact cached-plan answer (no poisoned plan cache,
+//!    no wedged workers).
 //!
 //! Every miscompare is shrunk by a delta-debugging minimizer (clause and
 //! join removal to a fixpoint) before being reported, so a gate failure
@@ -31,6 +36,7 @@ use std::cmp::Ordering;
 use taurus_bridge::OrcaOptimizer;
 use taurus_catalog::stats::AnalyzeOptions;
 use taurus_catalog::Catalog;
+use taurus_common::error::Error;
 use taurus_common::{Column, DataType, Row, Schema, Value};
 use taurus_workloads::gen::SmallRng;
 use taurus_workloads::{tpcds, tpch, Scale};
@@ -730,6 +736,7 @@ pub enum Oracle {
     SerialVsParallel,
     FreshVsRebound,
     Tlp,
+    CancelRecover,
 }
 
 impl Oracle {
@@ -739,11 +746,17 @@ impl Oracle {
             Oracle::SerialVsParallel => "serial-vs-parallel",
             Oracle::FreshVsRebound => "fresh-vs-rebound",
             Oracle::Tlp => "tlp",
+            Oracle::CancelRecover => "cancel-recover",
         }
     }
 
-    pub const ALL: [Oracle; 4] =
-        [Oracle::NativeVsOrca, Oracle::SerialVsParallel, Oracle::FreshVsRebound, Oracle::Tlp];
+    pub const ALL: [Oracle; 5] = [
+        Oracle::NativeVsOrca,
+        Oracle::SerialVsParallel,
+        Oracle::FreshVsRebound,
+        Oracle::Tlp,
+        Oracle::CancelRecover,
+    ];
 
     fn index(self) -> usize {
         Oracle::ALL.iter().position(|o| *o == self).expect("member")
@@ -1027,12 +1040,64 @@ impl FuzzCtx<'_> {
         Check::Pass
     }
 
+    /// Oracle 5: cancel mid-execution, then demand the exact answer on the
+    /// very next serve of the same statement. The cancel point is derived
+    /// from the statement text — deterministic per case, spread across
+    /// cases — so over a fuzzing run cancellation lands at many different
+    /// operator boundaries.
+    fn check_cancel_recover(&self, case: &FuzzCase) -> Check {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let sql = case.spec.render();
+        let opt = self.opt(case.cache_via_orca);
+        self.engine.clear_plan_cache();
+        let reference = match self.engine.query_cached(&sql, opt) {
+            Ok(out) => out,
+            Err(_) => {
+                self.engine.clear_plan_cache();
+                return Check::Invalid;
+            }
+        };
+        let want: Vec<String> = reference.rows.iter().map(|r| canon_row(r, true)).collect();
+        let point = {
+            let mut h = DefaultHasher::new();
+            sql.hash(&mut h);
+            1 + h.finish() % 24
+        };
+        self.engine.set_cancel_after(Some(point));
+        let cancelled = self.engine.query_cached(&sql, opt);
+        self.engine.set_cancel_after(None);
+        let after = self.engine.query_cached(&sql, opt);
+        self.engine.clear_plan_cache();
+        match cancelled {
+            // Short plans may finish before check `point`; that run is
+            // simply an uncancelled serve, which must still be correct.
+            Ok(_) | Err(Error::Cancelled) => {}
+            Err(e) => return Check::Fail(format!("cancel surfaced a foreign error: {e}")),
+        }
+        match after {
+            Err(e) => Check::Fail(format!("statement failed right after a cancel: {e}")),
+            Ok(out) => {
+                let got: Vec<String> = out.rows.iter().map(|r| canon_row(r, true)).collect();
+                if got != want {
+                    Check::Fail(format!(
+                        "post-cancel serve diverged (poisoned cache?): {}",
+                        first_diff(&want, &got)
+                    ))
+                } else {
+                    Check::Pass
+                }
+            }
+        }
+    }
+
     fn check(&self, case: &FuzzCase, oracle: Oracle) -> Check {
         match oracle {
             Oracle::NativeVsOrca => self.check_native_vs_orca(case),
             Oracle::SerialVsParallel => self.check_serial_vs_parallel(case),
             Oracle::FreshVsRebound => self.check_fresh_vs_rebound(case),
             Oracle::Tlp => self.check_tlp(case),
+            Oracle::CancelRecover => self.check_cancel_recover(case),
         }
     }
 }
@@ -1242,7 +1307,7 @@ pub struct FuzzReport {
     /// Queries whose reference (native, serial) run succeeded.
     pub executed: usize,
     /// Oracle executions that produced a comparable verdict, per oracle.
-    pub oracle_runs: [usize; 4],
+    pub oracle_runs: [usize; 5],
     /// Plan-cache oracle runs whose second serve actually hit the cache.
     pub rebind_hits: usize,
     pub failures: Vec<FuzzFailure>,

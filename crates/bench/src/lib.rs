@@ -376,6 +376,16 @@ pub fn format_routing_table(report: &RoutingReport) -> String {
     if s.degraded > 0 {
         let _ = writeln!(out, "| blocks rescued by the degradation ladder | {} |", s.degraded);
     }
+    for (label, n) in [
+        ("cancelled", s.governed.cancelled),
+        ("deadline exceeded", s.governed.deadline_exceeded),
+        ("memory exceeded", s.governed.memory_exceeded),
+        ("retried serial under memory pressure", s.governed.memory_degraded),
+    ] {
+        if n > 0 {
+            let _ = writeln!(out, "| — governed at execution: {label} | {n} |");
+        }
+    }
     out
 }
 
@@ -1115,6 +1125,264 @@ pub fn format_observe_report(r: &ObserveReport) -> String {
     s
 }
 
+// --------------------------------------------------------------- governance
+
+/// One workload under chaos: its engine, its router (which accumulates the
+/// governed-outcome counters), its templates, and lazily computed reference
+/// answers for the post-failure recovery check.
+struct GovernanceUnit {
+    workload: Workload,
+    engine: Engine,
+    orca: OrcaOptimizer,
+    queries: Vec<Query>,
+    refs: Vec<Option<Vec<String>>>,
+}
+
+/// Outcome of the governance chaos run (`harness governance`): randomized
+/// cancel points, wall-clock deadlines, and memory budgets injected across
+/// every TPC-H and TPC-DS template. The invariants under test: no
+/// disturbance may panic, tracked peak memory never exceeds a configured
+/// budget, and after every governed failure the very next serve of the
+/// same statement returns the undisturbed answer.
+#[derive(Debug, Clone)]
+pub struct GovernanceReport {
+    /// Disturbed executions performed.
+    pub injections: usize,
+    /// Distinct templates the round-robin mix cycles through.
+    pub templates: usize,
+    /// Runs that finished before their disturbance could trip.
+    pub completed_ok: usize,
+    /// Runs stopped by the injected cancel point.
+    pub cancelled: usize,
+    /// Runs that died on the injected wall-clock deadline.
+    pub deadline_exceeded: usize,
+    /// Runs over the injected memory budget even at the serial rung.
+    pub memory_exceeded: usize,
+    /// Over-budget runs rescued by the engine's retry at dop=1 (from the
+    /// routers' governed counters).
+    pub memory_degraded: u64,
+    /// Executions that panicked instead of failing typed. Must be zero.
+    pub panics: usize,
+    /// Runs where tracked peak memory exceeded the configured budget.
+    pub peak_violations: usize,
+    /// Post-failure re-serves compared against the undisturbed answer.
+    pub recovery_checks: usize,
+    /// Every invariant violation, described.
+    pub failures: Vec<String>,
+}
+
+impl GovernanceReport {
+    /// Disturbances that actually stopped an execution.
+    pub fn governed_trips(&self) -> usize {
+        self.cancelled + self.deadline_exceeded + self.memory_exceeded
+    }
+
+    /// The CI gate: zero panics, peak memory bounded by the budget on every
+    /// run, every post-failure serve correct — and the mix must actually
+    /// have tripped the governor, otherwise the run proved nothing.
+    pub fn gate(&self) -> std::result::Result<(), String> {
+        if self.panics > 0 {
+            return Err(format!("{} disturbed executions panicked", self.panics));
+        }
+        if self.peak_violations > 0 {
+            return Err(format!(
+                "{} runs exceeded their configured memory budget",
+                self.peak_violations
+            ));
+        }
+        if let Some(first) = self.failures.first() {
+            return Err(format!("{} violations; first: {first}", self.failures.len()));
+        }
+        if self.governed_trips() + self.memory_degraded as usize == 0 {
+            return Err("no disturbance tripped the governor; the run proved nothing".into());
+        }
+        Ok(())
+    }
+}
+
+/// Canonical rows for the recovery comparison. Rounded to 4 decimals:
+/// recovery may execute a parallel plan, and float aggregation order is not
+/// deterministic across runs of the same parallel plan.
+fn governance_canon(rows: &[Vec<taurus_common::Value>]) -> Vec<String> {
+    let mut out: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|v| match v {
+                    taurus_common::Value::Double(d) => format!("D{:.4}", d),
+                    other => format!("{other:?}"),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Run the governance chaos mix: `injections` disturbed executions
+/// round-robined over every TPC-H and TPC-DS template, each under a
+/// randomly drawn cancel point, deadline, or memory budget.
+pub fn run_governance(scale: Scale, injections: usize) -> GovernanceReport {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use taurus_workloads::gen::SmallRng;
+
+    let mut units: Vec<GovernanceUnit> = [Workload::TpcH, Workload::TpcDs]
+        .into_iter()
+        .map(|w| {
+            let engine = w.build_engine(scale);
+            // Lowered placement knobs so small scales still parallelize —
+            // the chaos must reach the worker pool, not just serial paths.
+            engine.set_parallel_threshold(8);
+            engine.set_morsel_rows(64);
+            let queries = w.queries();
+            let refs = vec![None; queries.len()];
+            GovernanceUnit {
+                workload: w,
+                engine,
+                orca: OrcaOptimizer::new(OrcaConfig::default(), w.threshold()),
+                queries,
+                refs,
+            }
+        })
+        .collect();
+    let templates: usize = units.iter().map(|u| u.queries.len()).sum();
+    let mut rng = SmallRng::seed_from_u64(0x676f7665726e);
+    let mut report = GovernanceReport {
+        injections,
+        templates,
+        completed_ok: 0,
+        cancelled: 0,
+        deadline_exceeded: 0,
+        memory_exceeded: 0,
+        memory_degraded: 0,
+        panics: 0,
+        peak_violations: 0,
+        recovery_checks: 0,
+        failures: Vec::new(),
+    };
+
+    for i in 0..injections {
+        let mut flat = i % templates;
+        let mut ui = 0;
+        while flat >= units[ui].queries.len() {
+            flat -= units[ui].queries.len();
+            ui += 1;
+        }
+        let kind = rng.gen_range(0..3usize);
+        let cancel_point = rng.gen_range(1..=40usize) as u64;
+        let deadline_ms = rng.gen_range(1..=3usize) as u64;
+        // Budgets from one byte to a mebibyte: tiny ones trip on the first
+        // charge, large ones only on the heaviest templates.
+        let mem_budget = 1u64 << rng.gen_range(0..21usize);
+
+        let unit = &mut units[ui];
+        let sql = unit.queries[flat].sql.clone();
+        let name = format!("{} {}", unit.workload.name(), unit.queries[flat].name);
+        let mut budget = None;
+        match kind {
+            0 => unit.engine.set_cancel_after(Some(cancel_point)),
+            1 => unit.engine.set_deadline(Some(Duration::from_millis(deadline_ms))),
+            _ => {
+                budget = Some(mem_budget);
+                unit.engine.set_memory_budget(Some(mem_budget));
+            }
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| unit.engine.query_cached(&sql, &unit.orca)));
+        unit.engine.set_cancel_after(None);
+        unit.engine.set_deadline(None);
+        unit.engine.set_memory_budget(None);
+        if let Some(b) = budget {
+            let peak = unit.engine.last_peak_bytes();
+            if peak > b {
+                report.peak_violations += 1;
+                report.failures.push(format!("{name}: tracked peak {peak} over budget {b}"));
+            }
+        }
+        let failed = match outcome {
+            Err(_) => {
+                report.panics += 1;
+                report.failures.push(format!("{name}: panicked under disturbance"));
+                continue;
+            }
+            Ok(Ok(_)) => {
+                report.completed_ok += 1;
+                false
+            }
+            Ok(Err(e)) => {
+                match e {
+                    taurus_common::Error::Cancelled => report.cancelled += 1,
+                    taurus_common::Error::DeadlineExceeded { .. } => report.deadline_exceeded += 1,
+                    taurus_common::Error::MemoryExceeded { .. } => report.memory_exceeded += 1,
+                    other => report
+                        .failures
+                        .push(format!("{name}: foreign error under disturbance: {other}")),
+                }
+                true
+            }
+        };
+        if !failed {
+            continue;
+        }
+        // Serviceability: immediately after every governed failure, the
+        // same statement with clean knobs must produce the undisturbed
+        // answer — no poisoned plan cache, no wedged workers.
+        report.recovery_checks += 1;
+        if unit.refs[flat].is_none() {
+            // Reference from a fresh compile, bypassing the plan cache, so
+            // a poisoned cache entry cannot vouch for itself.
+            match unit.engine.query_with(&sql, &unit.orca) {
+                Ok(out) => unit.refs[flat] = Some(governance_canon(&out.rows)),
+                Err(e) => {
+                    report.failures.push(format!("{name}: reference compile failed: {e}"));
+                    continue;
+                }
+            }
+        }
+        let want = unit.refs[flat].as_ref().expect("just computed").clone();
+        match unit.engine.query_cached(&sql, &unit.orca) {
+            Err(e) => report.failures.push(format!("{name}: still failing after recovery: {e}")),
+            Ok(out) => {
+                if governance_canon(&out.rows) != want {
+                    report
+                        .failures
+                        .push(format!("{name}: answer diverged after a governed failure"));
+                }
+            }
+        }
+    }
+    report.memory_degraded = units.iter().map(|u| u.orca.stats().governed.memory_degraded).sum();
+    report
+}
+
+/// Format the governance report as markdown (the `harness governance` body).
+pub fn format_governance_report(r: &GovernanceReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "governance chaos: {} disturbed executions over {} templates\n",
+        r.injections, r.templates
+    );
+    let _ = writeln!(s, "| outcome | runs |");
+    let _ = writeln!(s, "|---|---|");
+    let _ = writeln!(s, "| completed before the disturbance tripped | {} |", r.completed_ok);
+    let _ = writeln!(s, "| cancelled | {} |", r.cancelled);
+    let _ = writeln!(s, "| deadline exceeded | {} |", r.deadline_exceeded);
+    let _ = writeln!(s, "| memory exceeded | {} |", r.memory_exceeded);
+    let _ = writeln!(s, "| rescued by the serial degradation rung | {} |", r.memory_degraded);
+    let _ = writeln!(s, "| post-failure recovery checks | {} |", r.recovery_checks);
+    let _ = writeln!(s, "| panics | {} |", r.panics);
+    let _ = writeln!(s, "| peak-memory budget violations | {} |", r.peak_violations);
+    if !r.failures.is_empty() {
+        let _ = writeln!(s, "\n{} violations:", r.failures.len());
+        for f in &r.failures {
+            let _ = writeln!(s, "- {f}");
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1210,6 +1478,51 @@ mod tests {
         r.per_template[0].parallel_identical = true;
         r.per_template[0].serial_identical = false;
         assert!(r.gate(OBSERVE_Q_CEILING).unwrap_err().contains("diverged"));
+    }
+
+    #[test]
+    fn governance_report_passes_its_own_gate() {
+        // A small chaos budget for test speed; ci.sh runs the full mix.
+        let r = run_governance(Scale(0.05), 40);
+        assert_eq!(r.templates, 22 + 99, "round-robin covers both workloads");
+        assert_eq!(r.injections, 40);
+        r.gate().expect("governance acceptance gate");
+        assert!(r.governed_trips() > 0, "disturbances must actually trip: {r:?}");
+        let table = format_governance_report(&r);
+        assert!(table.contains("| cancelled |"), "{table}");
+        assert!(table.contains("| panics | 0 |"), "{table}");
+    }
+
+    #[test]
+    fn governance_gate_flags_every_violation_class() {
+        let clean = GovernanceReport {
+            injections: 10,
+            templates: 5,
+            completed_ok: 4,
+            cancelled: 3,
+            deadline_exceeded: 2,
+            memory_exceeded: 1,
+            memory_degraded: 0,
+            panics: 0,
+            peak_violations: 0,
+            recovery_checks: 6,
+            failures: Vec::new(),
+        };
+        clean.gate().expect("clean report passes");
+        let mut r = clean.clone();
+        r.panics = 1;
+        assert!(r.gate().unwrap_err().contains("panicked"));
+        r = clean.clone();
+        r.peak_violations = 2;
+        assert!(r.gate().unwrap_err().contains("memory budget"));
+        r = clean.clone();
+        r.failures.push("TPC-H q1: answer diverged after a governed failure".into());
+        assert!(r.gate().unwrap_err().contains("diverged"));
+        r = clean;
+        r.cancelled = 0;
+        r.deadline_exceeded = 0;
+        r.memory_exceeded = 0;
+        assert!(r.gate().unwrap_err().contains("proved nothing"));
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::provider::MySqlMdProvider;
 use crate::tree_converter::{convert_block, InnerEstimates};
 use crate::validate::validate_skeleton;
 use mylite::bound::{BoundQuery, BoundStatement, TableSource};
-use mylite::engine::{CostBasedOptimizer, MySqlOptimizer};
+use mylite::engine::{CostBasedOptimizer, ExecFaults, GovernedOutcome, MySqlOptimizer};
 use mylite::skeleton::{SearchTrace, Skeleton};
 use orcalite::config::{FaultSite, JoinOrderStrategy, OrcaConfig};
 use orcalite::desc::BlockDesc;
@@ -58,15 +58,21 @@ pub enum FallbackReason {
     /// Orca changed the query-block structure (§4.2.1), which MySQL's
     /// refinement cannot express.
     ChangedBlockStructure,
+    /// Execution (not planning) exceeded its memory budget even after the
+    /// engine's serial-retry degradation rung — the governor gave up on the
+    /// statement. Recorded here so resource abandonment shares the fallback
+    /// taxonomy the routing report and EXPLAIN banners already surface.
+    MemoryExceeded,
 }
 
 impl FallbackReason {
-    pub const ALL: [FallbackReason; 5] = [
+    pub const ALL: [FallbackReason; 6] = [
         FallbackReason::Unsupported,
         FallbackReason::BudgetExhausted,
         FallbackReason::Panicked,
         FallbackReason::InvalidSkeleton,
         FallbackReason::ChangedBlockStructure,
+        FallbackReason::MemoryExceeded,
     ];
 
     /// Stable name used in EXPLAIN banners and the bench routing table.
@@ -77,6 +83,7 @@ impl FallbackReason {
             FallbackReason::Panicked => "panicked",
             FallbackReason::InvalidSkeleton => "invalid-skeleton",
             FallbackReason::ChangedBlockStructure => "changed-block-structure",
+            FallbackReason::MemoryExceeded => "memory-exceeded",
         }
     }
 }
@@ -89,6 +96,7 @@ pub struct FallbackCounts {
     pub panicked: u64,
     pub invalid_skeleton: u64,
     pub changed_block_structure: u64,
+    pub memory_exceeded: u64,
 }
 
 impl FallbackCounts {
@@ -99,6 +107,7 @@ impl FallbackCounts {
             FallbackReason::Panicked => self.panicked,
             FallbackReason::InvalidSkeleton => self.invalid_skeleton,
             FallbackReason::ChangedBlockStructure => self.changed_block_structure,
+            FallbackReason::MemoryExceeded => self.memory_exceeded,
         }
     }
 
@@ -113,7 +122,33 @@ impl FallbackCounts {
             FallbackReason::Panicked => self.panicked += 1,
             FallbackReason::InvalidSkeleton => self.invalid_skeleton += 1,
             FallbackReason::ChangedBlockStructure => self.changed_block_structure += 1,
+            FallbackReason::MemoryExceeded => self.memory_exceeded += 1,
         }
+    }
+}
+
+/// Per-outcome counters for executions run under the engine's query
+/// governor: how governed statements ended when governance intervened.
+/// `memory_degraded` counts rescues (the serial retry succeeded — not a
+/// failure); the other three count statements that surfaced a typed
+/// governance error to their caller.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernedCounts {
+    /// Executions stopped by [`mylite::Engine::cancel`] or a cancel fault.
+    pub cancelled: u64,
+    /// Executions that outran their wall-clock deadline.
+    pub deadline_exceeded: u64,
+    /// Executions over their memory budget even at the serial rung (each
+    /// also bumps [`FallbackCounts::memory_exceeded`]).
+    pub memory_exceeded: u64,
+    /// Parallel executions over budget that completed after the engine's
+    /// retry at dop=1 / GREEDY-equivalent serial plan.
+    pub memory_degraded: u64,
+}
+
+impl GovernedCounts {
+    pub fn total(&self) -> u64 {
+        self.cancelled + self.deadline_exceeded + self.memory_exceeded + self.memory_degraded
     }
 }
 
@@ -135,6 +170,10 @@ pub struct RouterStats {
     /// Cumulative search effort over every Orca optimization this router
     /// performed (groups, group expressions, rules, plans costed).
     pub search: SearchStats,
+    /// Governance outcomes of executions routed through this optimizer
+    /// (cancellations, deadline and memory-budget trips, serial-retry
+    /// rescues).
+    pub governed: GovernedCounts,
 }
 
 /// A classified detour failure: the fallback reason plus the underlying
@@ -240,6 +279,7 @@ pub struct OrcaOptimizer {
     below: AtomicU64,
     fallbacks: AtomicU64,
     reasons: Mutex<FallbackCounts>,
+    governed: Mutex<GovernedCounts>,
     degraded: AtomicU64,
     last_fallback: Mutex<Option<FallbackReason>>,
     last_search: Mutex<SearchStats>,
@@ -263,6 +303,7 @@ impl OrcaOptimizer {
             below: AtomicU64::new(0),
             fallbacks: AtomicU64::new(0),
             reasons: Mutex::new(FallbackCounts::default()),
+            governed: Mutex::new(GovernedCounts::default()),
             degraded: AtomicU64::new(0),
             last_fallback: Mutex::new(None),
             last_search: Mutex::new(SearchStats::default()),
@@ -280,6 +321,7 @@ impl OrcaOptimizer {
             reasons: *lock(&self.reasons),
             degraded: self.degraded.load(Ordering::Relaxed),
             search: *lock(&self.total_search),
+            governed: *lock(&self.governed),
         }
     }
 
@@ -479,6 +521,36 @@ impl CostBasedOptimizer for OrcaOptimizer {
         let mut skeleton = MySqlOptimizer.optimize(catalog, bound)?;
         skeleton.orca_fallback = Some(fail.reason.name().to_string());
         Ok(skeleton)
+    }
+
+    /// The engine consults this when it builds a statement's governor: an
+    /// armed [`FaultSite::ExecGovernor`] fault becomes a forced cancel
+    /// point or memory clamp on every execution routed through this
+    /// optimizer.
+    fn exec_faults(&self) -> Option<ExecFaults> {
+        let faults = &self.config.faults;
+        let ef =
+            ExecFaults { cancel_after: faults.cancel_point(), memory_clamp: faults.memory_clamp() };
+        (ef != ExecFaults::default()).then_some(ef)
+    }
+
+    /// Governance outcome attribution. A statement the governor gave up on
+    /// for memory joins the fallback taxonomy (`memory-exceeded`), so the
+    /// routing report's `reasons.total() == fallbacks` invariant covers
+    /// execution-time abandonment too.
+    fn note_governed(&self, outcome: GovernedOutcome) {
+        {
+            let mut g = lock(&self.governed);
+            match outcome {
+                GovernedOutcome::Cancelled => g.cancelled += 1,
+                GovernedOutcome::DeadlineExceeded => g.deadline_exceeded += 1,
+                GovernedOutcome::MemoryExceeded => g.memory_exceeded += 1,
+                GovernedOutcome::MemoryDegraded => g.memory_degraded += 1,
+            }
+        }
+        if outcome == GovernedOutcome::MemoryExceeded {
+            self.note_fallback(FallbackReason::MemoryExceeded);
+        }
     }
 }
 
@@ -800,6 +872,45 @@ mod tests {
             "winning rung fits the budget: {trace:?}"
         );
         assert!(trace.budget_used > 0.9, "greedy landed at the budget edge: {trace:?}");
+    }
+
+    #[test]
+    fn governor_faults_attribute_to_router_stats() {
+        use orcalite::config::{FaultInjector, FaultKind};
+        let e = engine();
+        // Mid-query cancel: armed at the governor site, consulted by the
+        // engine when it builds the statement's governor.
+        let cfg = OrcaConfig {
+            faults: FaultInjector::default().arm(FaultSite::ExecGovernor, FaultKind::CancelQuery),
+            ..OrcaConfig::default()
+        };
+        let orca = OrcaOptimizer::new(cfg, 1);
+        let err = e.query_with(THREE_WAY, &orca).unwrap_err();
+        assert!(matches!(err, Error::Cancelled), "{err}");
+        let stats = orca.stats();
+        assert_eq!(stats.governed.cancelled, 1);
+        assert_eq!(stats.fallbacks, 0, "a cancel is not a fallback");
+
+        // Memory squeeze: the 1-byte clamp fails the sort buffer at the
+        // parallel rung and the serial retry alike, so the governor gives
+        // up and the abandonment joins the fallback taxonomy.
+        let cfg = OrcaConfig {
+            faults: FaultInjector::default().arm(FaultSite::ExecGovernor, FaultKind::MemorySqueeze),
+            ..OrcaConfig::default()
+        };
+        let orca = OrcaOptimizer::new(cfg, 1);
+        let err = e.query_with("SELECT v FROM fact ORDER BY v", &orca).unwrap_err();
+        assert!(matches!(err, Error::MemoryExceeded { .. }), "{err}");
+        let stats = orca.stats();
+        assert_eq!(stats.governed.memory_exceeded, 1);
+        assert_eq!(stats.reasons.memory_exceeded, 1);
+        assert_eq!(stats.reasons.total(), stats.fallbacks);
+        assert_eq!(orca.last_fallback(), Some(FallbackReason::MemoryExceeded));
+
+        // Disarmed, the same engine serves the same statements again.
+        let ok = OrcaOptimizer::new(OrcaConfig::default(), 1);
+        assert_eq!(e.query_with(THREE_WAY, &ok).unwrap().rows.len(), 500);
+        assert_eq!(ok.stats().governed.total(), 0);
     }
 
     #[test]

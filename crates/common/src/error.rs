@@ -26,6 +26,17 @@ pub enum Error {
     /// timeout). Callers can match on this to degrade rather than abort —
     /// the bridge's degradation ladder retries cheaper strategies on it.
     ResourceExhausted { resource: String, limit: u64 },
+    /// The query was cancelled cooperatively (a cancel token flipped while
+    /// the executor was between morsels/batches). Not a resource error:
+    /// retrying at a cheaper rung would not help, so the planner ladder
+    /// must not react to it.
+    Cancelled,
+    /// The query's wall-clock deadline passed before execution finished.
+    DeadlineExceeded { budget_ms: u64 },
+    /// The query's tracked memory charge crossed its byte budget. The
+    /// engine may retry once at a degraded setting (serial dop, GREEDY)
+    /// before surfacing this to the caller.
+    MemoryExceeded { used: u64, budget: u64 },
     /// Internal invariant violation — indicates a bug in this codebase.
     Internal(String),
 }
@@ -52,8 +63,21 @@ impl Error {
     }
 
     /// Whether this error is a resource-limit failure (budget/timeout).
+    /// Deliberately excludes the governance variants ([`Error::Cancelled`],
+    /// [`Error::DeadlineExceeded`], [`Error::MemoryExceeded`]): the
+    /// planner's degradation ladder keys on this predicate, and re-planning
+    /// cannot rescue a cancelled or out-of-time query.
     pub fn is_resource_exhausted(&self) -> bool {
         matches!(self, Error::ResourceExhausted { .. })
+    }
+
+    /// Whether this error came from the runtime query governor (cancel,
+    /// deadline, or memory budget) rather than from the statement itself.
+    pub fn is_governed(&self) -> bool {
+        matches!(
+            self,
+            Error::Cancelled | Error::DeadlineExceeded { .. } | Error::MemoryExceeded { .. }
+        )
     }
 }
 
@@ -70,6 +94,16 @@ impl fmt::Display for Error {
             Error::Execution(m) => write!(f, "execution error: {m}"),
             Error::ResourceExhausted { resource, limit } => {
                 write!(f, "resource exhausted: {resource} (limit {limit})")
+            }
+            Error::Cancelled => write!(f, "query cancelled"),
+            Error::DeadlineExceeded { budget_ms } => {
+                write!(f, "deadline exceeded: query ran past its {budget_ms}ms budget")
+            }
+            Error::MemoryExceeded { used, budget } => {
+                write!(
+                    f,
+                    "memory budget exceeded: {used} bytes charged against a {budget}-byte budget"
+                )
             }
             Error::Internal(m) => write!(f, "internal error: {m}"),
         }
@@ -107,5 +141,22 @@ mod tests {
         // The enum participates in std error-trait machinery.
         let dynamic: &dyn std::error::Error = &e;
         assert!(dynamic.source().is_none());
+    }
+
+    #[test]
+    fn governance_errors_do_not_trip_the_degradation_ladder() {
+        // Cancel/deadline/memory are runtime-governance outcomes; the
+        // planner must never retry a cheaper strategy because of them.
+        for e in [
+            Error::Cancelled,
+            Error::DeadlineExceeded { budget_ms: 5 },
+            Error::MemoryExceeded { used: 10, budget: 4 },
+        ] {
+            assert!(e.is_governed(), "{e}");
+            assert!(!e.is_resource_exhausted(), "{e}");
+        }
+        assert!(!Error::resource_exhausted("memo groups", 1).is_governed());
+        assert!(Error::DeadlineExceeded { budget_ms: 250 }.to_string().contains("250ms"));
+        assert!(Error::MemoryExceeded { used: 9, budget: 8 }.to_string().contains("9 bytes"));
     }
 }

@@ -12,6 +12,7 @@
 //! counted here exactly.
 
 use crate::agg::Accumulator;
+use crate::governor::{rows_bytes, QueryGovernor};
 use crate::observe::{NodeObservation, ObserverIndex};
 use crate::parallel::exchange::{self, BuildTable};
 use crate::parallel::morsel::{MorselSpec, DEFAULT_MORSEL_ROWS};
@@ -136,6 +137,10 @@ pub struct ExecContext<'a> {
     /// Per-node observation index for `EXPLAIN ANALYZE`; `None` (the
     /// default) keeps execution uninstrumented.
     observer: Option<Arc<ObserverIndex>>,
+    /// The query's resource governor (cancel token, deadline, memory
+    /// accounting), shared across all workers of the query. `None` (the
+    /// default) keeps execution ungoverned.
+    governor: Option<Arc<QueryGovernor>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -151,6 +156,7 @@ impl<'a> ExecContext<'a> {
             in_worker: false,
             morsel: Cell::new(None),
             observer: None,
+            governor: None,
         }
     }
 
@@ -163,6 +169,40 @@ impl<'a> ExecContext<'a> {
     /// records its actual rows and loop count into `stats.nodes`.
     pub fn set_observer(&mut self, observer: Arc<ObserverIndex>) {
         self.observer = Some(observer);
+    }
+
+    /// Install the query's resource governor. Operators then check it at
+    /// every opening (and the worker pool before every morsel claim) and
+    /// charge their buffer footprints against its memory budget.
+    pub fn set_governor(&mut self, governor: Arc<QueryGovernor>) {
+        self.governor = Some(governor);
+    }
+
+    /// Cancel/deadline check at a batch or morsel boundary. No-op when the
+    /// execution is ungoverned.
+    pub(crate) fn check_governor(&self) -> Result<()> {
+        match &self.governor {
+            Some(g) => g.check(),
+            None => Ok(()),
+        }
+    }
+
+    /// Charge operator buffer bytes against the memory budget (no-op when
+    /// ungoverned). Callers must [`ExecContext::uncharge_mem`] the same
+    /// amount when the buffer is released — except on error unwinds, where
+    /// the governor is discarded with the failed query.
+    pub(crate) fn charge_mem(&self, bytes: u64) -> Result<()> {
+        match &self.governor {
+            Some(g) => g.charge(bytes),
+            None => Ok(()),
+        }
+    }
+
+    /// Release a previous [`ExecContext::charge_mem`].
+    pub(crate) fn uncharge_mem(&self, bytes: u64) {
+        if let Some(g) = &self.governor {
+            g.uncharge(bytes);
+        }
     }
 
     /// Credit one completed opening of `plan` with `rows` output rows.
@@ -196,6 +236,7 @@ impl<'a> ExecContext<'a> {
             broadcast: self.broadcast.clone(),
             morsel_rows: self.morsel_rows,
             observer: self.observer.clone(),
+            governor: self.governor.clone(),
         }
     }
 
@@ -240,6 +281,7 @@ pub(crate) struct SharedExec<'a> {
     broadcast: Arc<Mutex<HashMap<usize, Arc<BuildTable>>>>,
     morsel_rows: usize,
     observer: Option<Arc<ObserverIndex>>,
+    governor: Option<Arc<QueryGovernor>>,
 }
 
 impl<'a> SharedExec<'a> {
@@ -255,6 +297,7 @@ impl<'a> SharedExec<'a> {
             in_worker: true,
             morsel: Cell::new(None),
             observer: self.observer.clone(),
+            governor: self.governor.clone(),
         }
     }
 }
@@ -332,6 +375,10 @@ impl Env {
 /// including exchanges, which bypass the work-unit accounting below — gets
 /// its actual rows and loop count credited.
 pub(crate) fn exec(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result<Vec<Row>> {
+    // The batch-boundary governance check: every operator opening (and every
+    // correlated re-opening) passes through here, so a cancelled or
+    // out-of-time query unwinds within one operator batch.
+    ctx.check_governor()?;
     let out = exec_node(plan, ctx, binding)?;
     ctx.record(plan, out.len() as u64);
     Ok(out)
@@ -487,6 +534,9 @@ fn exec_node(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result
                     None => {
                         ExecStats::bump(&ctx.stats.materializations, 1);
                         let rows = Arc::new(exec(input, ctx, binding)?);
+                        // The slot outlives this operator (it is shared by
+                        // every worker), so its charge is never released.
+                        ctx.charge_mem(rows_bytes(&rows))?;
                         *slot = Some(rows.clone());
                         rows.as_ref().clone()
                     }
@@ -523,12 +573,22 @@ fn exec_node(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result
             } else {
                 let rows = exec(input, ctx, binding)?;
                 let env = Env::new(binding, &input.space(ctx.num_tables), ctx.num_tables);
-                exec_aggregate(&rows, group_by, aggs, *strategy, &env)?
+                // Hash aggregation holds group state proportional to its
+                // input; stream aggregation is O(1) and charges nothing.
+                let agg_bytes = if *strategy == AggStrategy::Hash { rows_bytes(&rows) } else { 0 };
+                ctx.charge_mem(agg_bytes)?;
+                let out = exec_aggregate(&rows, group_by, aggs, *strategy, &env)?;
+                ctx.uncharge_mem(agg_bytes);
+                out
             }
         }
         Plan::Sort { input, keys, .. } => {
             let rows = exec(input, ctx, binding)?;
             let env = Env::new(binding, &input.space(ctx.num_tables), ctx.num_tables);
+            // The keyed sort buffer roughly doubles the input's footprint
+            // while the sort runs; released once the rows are re-emitted.
+            let sort_bytes = rows_bytes(&rows);
+            ctx.charge_mem(sort_bytes)?;
             let mut keyed: Vec<(Vec<Value>, Row)> = Vec::with_capacity(rows.len());
             for row in rows {
                 let mut kv = Vec::with_capacity(keys.len());
@@ -547,7 +607,9 @@ fn exec_node(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result
                 }
                 std::cmp::Ordering::Equal
             });
-            keyed.into_iter().map(|(_, r)| r).collect()
+            let out: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
+            ctx.uncharge_mem(sort_bytes);
+            out
         }
         Plan::Limit { input, n, .. } => {
             let mut rows = exec(input, ctx, binding)?;
@@ -741,7 +803,11 @@ fn exec_hash_join(
 
     // A Broadcast exchange on the build side shares one build table across
     // all parallel workers (built once, under the broadcast cache's lock);
-    // otherwise each execution builds privately, exactly as before.
+    // otherwise each execution builds privately, exactly as before. A shared
+    // build's memory charge stays until the query ends; a private build's is
+    // released once its probe phase finishes.
+    let build_is_shared =
+        matches!(build_plan, Plan::Exchange { kind: ExchangeKind::Broadcast { .. }, .. });
     let built: Arc<BuildTable> = match build_plan {
         Plan::Exchange { kind: ExchangeKind::Broadcast { slot }, input, .. } => {
             ctx.shared_build(*slot, || {
@@ -784,7 +850,9 @@ fn exec_hash_join(
 
         let mut matched = false;
         for &bi in matches {
-            let brow = &build_rows[bi];
+            let brow = build_rows
+                .get(bi)
+                .ok_or_else(|| Error::internal("hash-join build index out of range"))?;
             let j = if build_is_left { joined(brow, prow) } else { joined(prow, brow) };
             if join_env.passes(residual, &j)? {
                 matched = true;
@@ -822,18 +890,24 @@ fn exec_hash_join(
             }
         }
     }
+    if !build_is_shared {
+        ctx.uncharge_mem(rows_bytes(&built.rows));
+    }
     Ok(out)
 }
 
 /// Hash the build side of a join: index row positions by key values.
 /// Rows with any NULL key component are excluded from the index (they can
 /// never match under `=`) but remembered for NULL-aware anti joins.
+/// Charges the buffered rows against the query's memory budget; the caller
+/// owns the uncharge (or leaves it charged, for shared broadcast builds).
 pub(crate) fn build_table(
     rows: Vec<Row>,
     keys: &[&Expr],
     env: &Env,
     ctx: &ExecContext<'_>,
 ) -> Result<BuildTable> {
+    ctx.charge_mem(rows_bytes(&rows))?;
     let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::with_capacity(rows.len());
     let mut has_null_key = false;
     for (i, row) in rows.iter().enumerate() {
@@ -907,13 +981,14 @@ pub(crate) fn exec_aggregate(
                 };
                 feed(accs, row)?;
             }
-            Ok(order
-                .into_iter()
-                .map(|key| {
-                    let accs = &groups[&key];
-                    emit(key, accs)
-                })
-                .collect())
+            let mut out = Vec::with_capacity(order.len());
+            for key in order {
+                let accs = groups
+                    .get(&key)
+                    .ok_or_else(|| Error::internal("hash-aggregate group vanished"))?;
+                out.push(emit(key, accs));
+            }
+            Ok(out)
         }
         AggStrategy::Stream => {
             // Input must arrive grouped (sorted) on the keys.

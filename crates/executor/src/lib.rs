@@ -18,11 +18,13 @@
 
 pub mod agg;
 pub mod exec;
+pub mod governor;
 pub mod observe;
 pub mod parallel;
 pub mod plan;
 
 pub use exec::{execute, ExecContext, ExecStats};
+pub use governor::QueryGovernor;
 pub use observe::{q_error, NodeObservation, ObserverIndex};
 pub use parallel::{parallelize, ParallelOpts, DEFAULT_MORSEL_ROWS};
 pub use plan::{AggSpec, AggStrategy, Est, ExchangeKind, JoinKind, Plan, RowSpace, SortKey};

@@ -8,6 +8,7 @@
 //! of an exchange equal the bytes of the serial execution.
 
 use crate::exec::{exec, exec_aggregate, Binding, Env, ExecContext};
+use crate::governor;
 use crate::parallel::bridge::find_driving_scan;
 use crate::parallel::{morsel, morsel::MorselSpec, pool};
 use crate::plan::{AggSpec, AggStrategy, ExchangeKind, Plan, SortKey};
@@ -185,7 +186,10 @@ pub(crate) fn exec_partitioned_agg(
         // routed through `exec`; credit it with its pre-aggregation row flow.
         ctx.record(xnode, rows.len() as u64);
         let env = Env::new(binding, &space, ctx.num_tables);
+        let agg_bytes = governor::rows_bytes(&rows);
+        ctx.charge_mem(agg_bytes)?;
         let mut out = exec_aggregate(&rows, group_by, aggs, AggStrategy::Hash, &env)?;
+        ctx.uncharge_mem(agg_bytes);
         sort_by_leading_keys(&mut out, group_by.len());
         return Ok(out);
     };
@@ -218,16 +222,26 @@ pub(crate) fn exec_partitioned_agg(
         }
     }
     ctx.record(xnode, partitions.iter().map(|p| p.len() as u64).sum());
+    // The repartition exchange holds every partition buffered while phase 2
+    // aggregates them — memory the serial plan never needs at once, charged
+    // for the duration of phase 2. (This is what the engine's memory
+    // degradation rung reclaims by retrying at dop=1.)
+    let exchange_bytes: u64 = partitions.iter().map(|p| governor::rows_bytes(p)).sum();
+    ctx.charge_mem(exchange_bytes)?;
 
     // Phase 2: aggregate each partition; each worker owns whole groups.
     let outs: Vec<Vec<Row>> = pool::run_units(ctx, dop, nparts, |wctx, p| {
         let env = Env::new(binding, &space, wctx.num_tables);
+        let agg_bytes = governor::rows_bytes(&partitions[p]);
+        wctx.charge_mem(agg_bytes)?;
         let mut out = exec_aggregate(&partitions[p], group_by, aggs, AggStrategy::Hash, &env)?;
+        wctx.uncharge_mem(agg_bytes);
         sort_by_leading_keys(&mut out, group_by.len());
         Ok(out)
     })?;
 
     let mut out: Vec<Row> = outs.into_iter().flatten().collect();
+    ctx.uncharge_mem(exchange_bytes);
     sort_by_leading_keys(&mut out, group_by.len());
     Ok(out)
 }

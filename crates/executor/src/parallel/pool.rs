@@ -47,6 +47,13 @@ pub(crate) fn run_units<'a, T: Send>(
             s.spawn(|| {
                 let wctx = shared.worker();
                 loop {
+                    // The morsel-boundary governance check: a cancelled or
+                    // out-of-time query stops claiming units, so the pool
+                    // drains promptly instead of finishing doomed work.
+                    if let Err(e) = wctx.check_governor() {
+                        lock(&failures).push((usize::MAX, e));
+                        break;
+                    }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n_units {
                         break;

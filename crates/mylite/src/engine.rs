@@ -14,19 +14,50 @@ use crate::plancache::{CacheOutcome, CachedPlan, PlanCache, PlanCacheStats};
 use crate::refine::refine_statement_parallel;
 use crate::resolve::resolve_union_branches;
 use crate::skeleton::Skeleton;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 use taurus_catalog::stats::AnalyzeOptions;
 use taurus_catalog::Catalog;
 use taurus_common::error::{Error, Result};
 use taurus_common::expr::EvalCtx;
 use taurus_common::{Layout, Row, Value};
 use taurus_executor::{
-    execute, ExecContext, ObserverIndex, ParallelOpts, Plan, DEFAULT_MORSEL_ROWS,
+    execute, ExecContext, ObserverIndex, ParallelOpts, Plan, QueryGovernor, DEFAULT_MORSEL_ROWS,
 };
 use taurus_sql::fingerprint::{parameterize, token_digest};
 use taurus_sql::rewrite::rewrite_set_ops;
 use taurus_sql::{parse, SelectStmt, Statement};
+
+/// Runtime-governance fault overrides an optimizer backend's fault injector
+/// wants applied to the engine's execution of its plans (chaos testing).
+/// The engine layers them on top of the session knobs when building each
+/// query's [`QueryGovernor`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecFaults {
+    /// Trip the cancel token at the N-th governor check.
+    pub cancel_after: Option<u64>,
+    /// Clamp the query's memory budget to at most this many bytes.
+    pub memory_clamp: Option<u64>,
+}
+
+/// A runtime-governance outcome the engine reports back to the optimizer
+/// that planned the statement, so routers can count cancellations and
+/// resource-limit failures alongside their fallback taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GovernedOutcome {
+    /// The query was cancelled mid-execution.
+    Cancelled,
+    /// The query ran past its wall-clock deadline.
+    DeadlineExceeded,
+    /// The query exceeded its memory budget and the serial retry (if any)
+    /// did too — the error surfaced to the caller.
+    MemoryExceeded,
+    /// The query exceeded its memory budget at full dop but succeeded on
+    /// the degraded serial retry; the caller saw a normal answer.
+    MemoryDegraded,
+}
 
 /// A pluggable cost-based optimizer (the orange box in paper Fig 2).
 pub trait CostBasedOptimizer {
@@ -34,6 +65,14 @@ pub trait CostBasedOptimizer {
     fn name(&self) -> &'static str;
     /// Produce a skeleton plan for a prepared statement.
     fn optimize(&self, catalog: &Catalog, bound: &BoundStatement) -> Result<Skeleton>;
+    /// Runtime-governance faults to inject into this optimizer's
+    /// executions. The default backend injects none.
+    fn exec_faults(&self) -> Option<ExecFaults> {
+        None
+    }
+    /// Observe a runtime-governance outcome for one of this optimizer's
+    /// statements. The default backend ignores them.
+    fn note_governed(&self, _outcome: GovernedOutcome) {}
 }
 
 /// MySQL's native greedy optimizer.
@@ -122,6 +161,24 @@ pub struct Engine {
     morsel_rows: AtomicUsize,
     /// Minimum driving-table rows before an exchange is worth placing.
     parallel_threshold: AtomicUsize,
+    /// Admission gate: `(in-flight executions, limit)`. Executing entry
+    /// points take one slot before touching the plan cache, so at most
+    /// `limit` callers contend for the morsel pool at once; the rest queue
+    /// on the condvar instead of convoying inside the executor.
+    admission: Mutex<(usize, usize)>,
+    admission_cv: Condvar,
+    /// Session wall-clock budget per query, in ms (0 = none).
+    deadline_ms: AtomicU64,
+    /// Session memory budget per query, in bytes (0 = unlimited).
+    memory_budget: AtomicU64,
+    /// Chaos knob: cancel each query at its N-th governor check (0 = off).
+    cancel_after: AtomicU64,
+    /// Query-id allocator for [`Engine::cancel`].
+    next_query_id: AtomicU64,
+    /// Governors of currently executing queries, keyed by query id.
+    in_flight: Mutex<HashMap<u64, Arc<QueryGovernor>>>,
+    /// Peak tracked memory of the most recently finished governed query.
+    last_peak: AtomicU64,
 }
 
 impl Engine {
@@ -132,6 +189,14 @@ impl Engine {
             dop: AtomicUsize::new(1),
             morsel_rows: AtomicUsize::new(DEFAULT_MORSEL_ROWS),
             parallel_threshold: AtomicUsize::new(DEFAULT_MORSEL_ROWS),
+            admission: Mutex::new((0, usize::MAX)),
+            admission_cv: Condvar::new(),
+            deadline_ms: AtomicU64::new(0),
+            memory_budget: AtomicU64::new(0),
+            cancel_after: AtomicU64::new(0),
+            next_query_id: AtomicU64::new(1),
+            in_flight: Mutex::new(HashMap::new()),
+            last_peak: AtomicU64::new(0),
         }
     }
 
@@ -165,6 +230,150 @@ impl Engine {
     pub fn set_parallel_threshold(&self, rows: usize) {
         self.parallel_threshold.store(rows, Ordering::Relaxed);
         lock(&self.plan_cache).clear();
+    }
+
+    // ------------------------------------------------------- governance
+
+    /// Cap concurrent executions. Callers over the limit block until a slot
+    /// frees; planning-only entry points (`plan`, `explain`) are not gated.
+    pub fn set_admission_limit(&self, limit: usize) {
+        lock(&self.admission).1 = limit.max(1);
+        self.admission_cv.notify_all();
+    }
+
+    /// Per-query wall-clock budget for executing entry points. `None`
+    /// removes the deadline.
+    pub fn set_deadline(&self, budget: Option<Duration>) {
+        let ms = budget.map(|d| (d.as_millis() as u64).max(1)).unwrap_or(0);
+        self.deadline_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// Per-query budget for tracked operator memory (hash builds, sort
+    /// buffers, materializations). `None` removes the budget.
+    pub fn set_memory_budget(&self, bytes: Option<u64>) {
+        self.memory_budget.store(bytes.map(|b| b.max(1)).unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Chaos knob: cancel every subsequent query at its N-th governor
+    /// check (deterministic mid-query cancel points for fuzzing). `None`
+    /// disables it.
+    pub fn set_cancel_after(&self, checks: Option<u64>) {
+        self.cancel_after.store(checks.map(|c| c.max(1)).unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Cancel a running query by id. Returns whether the id was in flight;
+    /// the query itself unwinds with `Error::Cancelled` at its next batch
+    /// or morsel boundary.
+    pub fn cancel(&self, query_id: u64) -> bool {
+        match lock(&self.in_flight).get(&query_id) {
+            Some(g) => {
+                g.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Ids of currently executing queries (for `Engine::cancel` callers on
+    /// other threads).
+    pub fn in_flight_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = lock(&self.in_flight).keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Peak tracked memory (bytes) of the most recently finished governed
+    /// query — what the governance harness gates against the budget.
+    pub fn last_peak_bytes(&self) -> u64 {
+        self.last_peak.load(Ordering::Relaxed)
+    }
+
+    /// Take an admission slot, blocking while the engine is at its limit.
+    fn admit(&self) -> AdmissionPermit<'_> {
+        let mut gate = lock(&self.admission);
+        while gate.0 >= gate.1 {
+            gate = self.admission_cv.wait(gate).unwrap_or_else(|e| e.into_inner());
+        }
+        gate.0 += 1;
+        AdmissionPermit { engine: self }
+    }
+
+    /// Build the governor for one execution from the session knobs plus
+    /// any chaos overrides the optimizer's fault injector supplies.
+    fn new_governor(&self, opt: &dyn CostBasedOptimizer) -> Arc<QueryGovernor> {
+        let faults = opt.exec_faults().unwrap_or_default();
+        let mut g = QueryGovernor::new();
+        let deadline = self.deadline_ms.load(Ordering::Relaxed);
+        if deadline > 0 {
+            g = g.with_deadline(Duration::from_millis(deadline));
+        }
+        let mut budget = self.memory_budget.load(Ordering::Relaxed);
+        if let Some(clamp) = faults.memory_clamp {
+            budget = if budget == 0 { clamp } else { budget.min(clamp) };
+        }
+        if budget > 0 {
+            g = g.with_memory_budget(budget);
+        }
+        let cancel = match faults.cancel_after {
+            Some(c) => c.max(1),
+            None => self.cancel_after.load(Ordering::Relaxed),
+        };
+        if cancel > 0 {
+            g = g.with_cancel_after(cancel);
+        }
+        Arc::new(g)
+    }
+
+    fn register(&self, governor: &Arc<QueryGovernor>) -> u64 {
+        let id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
+        lock(&self.in_flight).insert(id, governor.clone());
+        id
+    }
+
+    fn finish(&self, id: u64, governor: &Arc<QueryGovernor>) {
+        lock(&self.in_flight).remove(&id);
+        self.last_peak.store(governor.peak_bytes(), Ordering::Relaxed);
+    }
+
+    /// Execute a planned query under a fresh governor, with the memory
+    /// degradation rung: a `MemoryExceeded` first attempt is retried once
+    /// on a serialized copy of the plan (exchanges forced to dop=1, so the
+    /// repartition/broadcast buffers never materialize) under a fresh
+    /// governor with the same limits. Governance outcomes are reported to
+    /// the optimizer either way.
+    fn governed_execute(
+        &self,
+        planned: &PlannedQuery,
+        opt: &dyn CostBasedOptimizer,
+    ) -> Result<QueryOutput> {
+        let governor = self.new_governor(opt);
+        let id = self.register(&governor);
+        let first = self.execute_branches(planned, Some(&governor));
+        self.finish(id, &governor);
+        match first {
+            Err(Error::MemoryExceeded { .. }) => {
+                let serial = degrade_serial(planned);
+                let governor = self.new_governor(opt);
+                let id = self.register(&governor);
+                let retry = self.execute_branches(&serial, Some(&governor));
+                self.finish(id, &governor);
+                match retry {
+                    Ok(out) => {
+                        opt.note_governed(GovernedOutcome::MemoryDegraded);
+                        Ok(out)
+                    }
+                    Err(e) => {
+                        note_governed_error(opt, &e);
+                        Err(e)
+                    }
+                }
+            }
+            Err(e) => {
+                note_governed_error(opt, &e);
+                Err(e)
+            }
+            ok => ok,
+        }
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -308,7 +517,11 @@ impl Engine {
     /// Run a SELECT through the plan cache (executes straight off the
     /// shared cached plan).
     pub fn query_cached(&self, sql: &str, opt: &dyn CostBasedOptimizer) -> Result<QueryOutput> {
-        let (out, _) = self.serve_cached(sql, opt, |planned| self.execute_planned(planned))?;
+        // The admission slot is taken before the plan-cache lock: a caller
+        // queued at the gate must not hold the cache hostage while waiting.
+        let _permit = self.admit();
+        let (out, _) =
+            self.serve_cached(sql, opt, |planned| self.governed_execute(planned, opt))?;
         Ok(out)
     }
 
@@ -389,8 +602,17 @@ impl Engine {
         Ok(PlannedQuery { branches: planned, columns: columns.expect("at least one branch") })
     }
 
-    /// Execute a previously planned query.
+    /// Execute a previously planned query (ungoverned: no deadline, budget,
+    /// or cancel token — the governed entry points are `query*`).
     pub fn execute_planned(&self, planned: &PlannedQuery) -> Result<QueryOutput> {
+        self.execute_branches(planned, None)
+    }
+
+    fn execute_branches(
+        &self,
+        planned: &PlannedQuery,
+        governor: Option<&Arc<QueryGovernor>>,
+    ) -> Result<QueryOutput> {
         let mut rows: Vec<Row> = Vec::new();
         let mut work = 0u64;
         let mut critical = 0u64;
@@ -399,6 +621,9 @@ impl Engine {
             let slots = plan.assign_cache_slots();
             let mut ctx = ExecContext::new(&self.catalog, b.bound.num_tables(), slots);
             ctx.set_morsel_rows(self.morsel_rows.load(Ordering::Relaxed));
+            if let Some(g) = governor {
+                ctx.set_governor(g.clone());
+            }
             let branch_rows = execute(&plan, &ctx)?;
             work += ctx.stats.work_units();
             critical += ctx.stats.critical_path_work();
@@ -428,8 +653,16 @@ impl Engine {
         sql: &str,
         opt: &dyn CostBasedOptimizer,
     ) -> Result<AnalyzedQuery> {
+        let _permit = self.admit();
         let planned = self.plan(sql, opt)?;
-        self.analyze_planned(&planned)
+        let governor = self.new_governor(opt);
+        let id = self.register(&governor);
+        let out = self.analyze_branches(&planned, Some(&governor));
+        self.finish(id, &governor);
+        if let Err(e) = &out {
+            note_governed_error(opt, e);
+        }
+        out
     }
 
     /// Execute a planned query with observation enabled and render the
@@ -438,6 +671,14 @@ impl Engine {
     /// branch's plan instance — so results are identical to an
     /// uninstrumented run.
     pub fn analyze_planned(&self, planned: &PlannedQuery) -> Result<AnalyzedQuery> {
+        self.analyze_branches(planned, None)
+    }
+
+    fn analyze_branches(
+        &self,
+        planned: &PlannedQuery,
+        governor: Option<&Arc<QueryGovernor>>,
+    ) -> Result<AnalyzedQuery> {
         let mut rows: Vec<Row> = Vec::new();
         let mut work = 0u64;
         let mut critical = 0u64;
@@ -452,6 +693,9 @@ impl Engine {
             let mut ctx = ExecContext::new(&self.catalog, b.bound.num_tables(), slots);
             ctx.set_morsel_rows(self.morsel_rows.load(Ordering::Relaxed));
             ctx.set_observer(Arc::clone(&index));
+            if let Some(g) = governor {
+                ctx.set_governor(g.clone());
+            }
             let branch_rows = execute(&plan, &ctx)?;
             work += ctx.stats.work_units();
             critical += ctx.stats.critical_path_work();
@@ -491,8 +735,9 @@ impl Engine {
     }
 
     fn run_select(&self, stmt: &SelectStmt, opt: &dyn CostBasedOptimizer) -> Result<QueryOutput> {
+        let _permit = self.admit();
         let planned = self.plan_select(stmt, opt)?;
-        self.execute_planned(&planned)
+        self.governed_execute(&planned, opt)
     }
 
     fn execute_insert(
@@ -522,6 +767,53 @@ impl Engine {
             critical_work_units: n as u64,
         })
     }
+}
+
+/// RAII admission slot: releasing it wakes one queued caller.
+struct AdmissionPermit<'a> {
+    engine: &'a Engine,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut gate = lock(&self.engine.admission);
+        gate.0 = gate.0.saturating_sub(1);
+        drop(gate);
+        self.engine.admission_cv.notify_one();
+    }
+}
+
+/// The memory degradation rung: a copy of the plan with every exchange
+/// forced to dop=1, so it executes serially (no repartition phase buffers,
+/// no worker fan-out). Rewriting the *executed* plan — rather than
+/// re-refining from the bound statement — keeps any in-place parameter
+/// rebinds a cached serve applied.
+fn degrade_serial(planned: &PlannedQuery) -> PlannedQuery {
+    fn force_serial(plan: &mut Plan) {
+        if let Plan::Exchange { dop, .. } = plan {
+            *dop = 1;
+        }
+        for child in plan.children_mut() {
+            force_serial(child);
+        }
+    }
+    let mut serial = planned.clone();
+    for b in &mut serial.branches {
+        force_serial(&mut b.plan);
+    }
+    serial
+}
+
+/// Report a governance failure to the optimizer that planned the statement.
+/// Non-governance errors are the statement's own business and stay unnoted.
+fn note_governed_error(opt: &dyn CostBasedOptimizer, e: &Error) {
+    let outcome = match e {
+        Error::Cancelled => GovernedOutcome::Cancelled,
+        Error::DeadlineExceeded { .. } => GovernedOutcome::DeadlineExceeded,
+        Error::MemoryExceeded { .. } => GovernedOutcome::MemoryExceeded,
+        _ => return,
+    };
+    opt.note_governed(outcome);
 }
 
 /// Re-bind a cached plan's parameters to a new statement's literal values.
@@ -1105,6 +1397,183 @@ mod tests {
             .find(|l| l.contains("Exchange (") && l.contains("dop=4"))
             .expect("exchange line");
         assert!(exchange.contains("actual rows="), "{exchange}");
+    }
+
+    #[test]
+    fn cancel_after_unwinds_cleanly_and_engine_stays_serviceable() {
+        let e = engine();
+        let sql = "SELECT id, salary FROM emp WHERE salary > 60 ORDER BY salary DESC";
+        let expected = e.query(sql).unwrap().rows;
+        // Trip the cancel token at the very first governor check.
+        e.set_cancel_after(Some(1));
+        assert_eq!(e.query(sql).unwrap_err(), Error::Cancelled);
+        // The same engine answers the same query once the knob is cleared —
+        // no poisoned cache, no stuck state.
+        e.set_cancel_after(None);
+        assert_eq!(e.query(sql).unwrap().rows, expected);
+        assert!(e.in_flight_ids().is_empty(), "no governor left registered");
+    }
+
+    #[test]
+    fn cancelled_cached_serve_keeps_the_entry_for_the_next_caller() {
+        let e = engine();
+        let sql = "SELECT id FROM emp WHERE salary > 60 ORDER BY id";
+        e.query_cached(sql, &MySqlOptimizer).unwrap();
+        assert_eq!(e.plan_cache_len(), 1);
+        e.set_cancel_after(Some(1));
+        assert_eq!(e.query_cached(sql, &MySqlOptimizer).unwrap_err(), Error::Cancelled);
+        e.set_cancel_after(None);
+        // The failed serve neither evicted nor corrupted the entry.
+        assert_eq!(e.plan_cache_len(), 1);
+        let out = e.query_cached(sql, &MySqlOptimizer).unwrap();
+        assert_eq!(ints(&out, 0), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn deadline_converts_to_typed_error() {
+        // The query must both outlive its 1ms budget and pass governor
+        // checks while doing so: a correlated subquery re-opens its subtree
+        // per outer row, so checks are sprinkled across the whole run.
+        let e = big_engine(2000);
+        e.set_deadline(Some(Duration::from_millis(1)));
+        let slow = "SELECT COUNT(*) FROM emp a WHERE salary > \
+                    (SELECT AVG(salary) FROM emp b WHERE b.dept = a.dept)";
+        match e.query(slow) {
+            Err(Error::DeadlineExceeded { budget_ms }) => assert_eq!(budget_ms, 1),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        e.set_deadline(None);
+        assert_eq!(e.query("SELECT COUNT(*) FROM emp").unwrap().rows[0][0], Value::Int(2000));
+    }
+
+    #[test]
+    fn memory_budget_bounds_peak_and_surfaces_typed_error() {
+        let e = engine();
+        let sql = "SELECT dept, SUM(salary) FROM emp GROUP BY dept ORDER BY dept";
+        e.query(sql).unwrap();
+        let unbounded_peak = e.last_peak_bytes();
+        assert!(unbounded_peak > 0, "hash aggregate + sort charge memory");
+        // A 1-byte budget fails the first charge (serial retry included).
+        e.set_memory_budget(Some(1));
+        match e.query(sql) {
+            Err(Error::MemoryExceeded { used, budget }) => {
+                assert_eq!(budget, 1);
+                assert!(used > 1);
+            }
+            other => panic!("expected MemoryExceeded, got {other:?}"),
+        }
+        assert!(e.last_peak_bytes() <= 1, "peak never exceeds the budget");
+        // A generous budget admits the query and tracks the same peak.
+        e.set_memory_budget(Some(unbounded_peak * 2));
+        assert_eq!(e.query(sql).unwrap().rows.len(), 3);
+        assert!(e.last_peak_bytes() <= unbounded_peak * 2);
+        e.set_memory_budget(None);
+    }
+
+    #[test]
+    fn cancel_by_id_stops_a_running_query() {
+        let e = std::sync::Arc::new(big_engine(30_000));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|s| {
+            // A canceller thread that spins until it sees the query in
+            // flight, then kills it by id.
+            let canceller = {
+                let e = e.clone();
+                let stop = stop.clone();
+                s.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        for id in e.in_flight_ids() {
+                            if e.cancel(id) {
+                                return;
+                            }
+                        }
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            // A correlated self-join: quadratic enough that the canceller
+            // always finds it in flight.
+            let r =
+                e.query("SELECT a.id FROM emp a, emp b WHERE a.salary = b.salary AND a.id < b.id");
+            stop.store(true, Ordering::Relaxed);
+            canceller.join().unwrap();
+            if let Err(e) = &r {
+                assert_eq!(*e, Error::Cancelled);
+            }
+        });
+        // Either way the engine survived; a fresh query still answers.
+        assert_eq!(e.query("SELECT COUNT(*) FROM emp").unwrap().rows[0][0], Value::Int(30_000));
+        assert!(e.in_flight_ids().is_empty());
+    }
+
+    #[test]
+    fn admission_gate_bounds_concurrent_executions() {
+        let e = std::sync::Arc::new(big_engine(5000));
+        e.set_admission_limit(2);
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let e = e.clone();
+                s.spawn(move || {
+                    for _ in 0..3 {
+                        let out = e
+                            .query("SELECT dept, COUNT(*) FROM emp GROUP BY dept ORDER BY dept")
+                            .unwrap();
+                        assert_eq!(out.rows.len(), 7);
+                        // The registry only ever holds admitted queries, so
+                        // a sample mid-storm can never exceed the limit.
+                        assert!(e.in_flight_ids().len() <= 2, "admission limit violated");
+                    }
+                });
+            }
+        });
+        // Nothing deadlocked, every caller answered, and the gate drained.
+        assert!(e.in_flight_ids().is_empty());
+        e.set_admission_limit(usize::MAX);
+    }
+
+    #[test]
+    fn memory_degradation_rung_retries_parallel_plans_serially() {
+        struct CountingOpt(std::sync::atomic::AtomicUsize);
+        impl CostBasedOptimizer for CountingOpt {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn optimize(&self, catalog: &Catalog, bound: &BoundStatement) -> Result<Skeleton> {
+                optimize_statement(catalog, bound)
+            }
+            fn note_governed(&self, outcome: GovernedOutcome) {
+                if outcome == GovernedOutcome::MemoryDegraded {
+                    self.0.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        let e = big_engine(5000);
+        e.set_dop(4);
+        e.set_morsel_rows(256);
+        // A grouped aggregate: at dop=4 the repartition exchange buffers
+        // every partition while phase 2 runs, charging memory the serial
+        // plan never holds at once.
+        let sql = "SELECT dept, COUNT(*) AS n, SUM(salary) AS s FROM emp \
+                   WHERE salary < 900 GROUP BY dept ORDER BY dept";
+        let opt = CountingOpt(std::sync::atomic::AtomicUsize::new(0));
+        let expected = e.query_with(sql, &opt).unwrap().rows;
+        let parallel_peak = e.last_peak_bytes();
+        e.set_dop(1);
+        e.query_with(sql, &opt).unwrap();
+        let serial_peak = e.last_peak_bytes();
+        e.set_dop(4);
+        assert!(
+            serial_peak < parallel_peak,
+            "premise: the parallel sort-merge buffers charge more \
+             (serial {serial_peak} vs parallel {parallel_peak})"
+        );
+        // A budget between the two peaks: the dop=4 attempt must exceed it
+        // and the serial retry must fit — the caller sees a normal answer.
+        e.set_memory_budget(Some((serial_peak + parallel_peak) / 2));
+        let out = e.query_with(sql, &opt).unwrap();
+        assert_eq!(out.rows, expected, "degraded retry answers identically");
+        assert_eq!(opt.0.load(Ordering::Relaxed), 1, "one degraded outcome noted");
+        e.set_memory_budget(None);
     }
 
     #[test]

@@ -35,7 +35,8 @@ pub mod skeleton;
 
 pub use bound::{BoundQuery, BoundStatement, JoinEntry, OutputCol, TableMeta, TableSource};
 pub use engine::{
-    AnalyzedQuery, CostBasedOptimizer, Engine, MySqlOptimizer, PlannedQuery, QueryOutput,
+    AnalyzedQuery, CostBasedOptimizer, Engine, ExecFaults, GovernedOutcome, MySqlOptimizer,
+    PlannedQuery, QueryOutput,
 };
 pub use explain::NodeAnnotation;
 pub use plancache::{CacheOutcome, CachedPlan, PlanCache, PlanCacheStats};

@@ -8,7 +8,7 @@
 //! right [`FallbackReason`].
 
 use taurus_orca::bridge::{FallbackReason, OrcaOptimizer};
-use taurus_orca::common::Value;
+use taurus_orca::common::{Error, Value};
 use taurus_orca::mylite::Engine;
 use taurus_orca::orcalite::{
     FaultInjector, FaultKind, FaultSite, JoinOrderStrategy, OrcaConfig, SearchBudget,
@@ -61,9 +61,33 @@ fn faulty_router(site: FaultSite, kind: FaultKind) -> OrcaOptimizer {
     OrcaOptimizer::new(cfg, 1)
 }
 
+/// Every fault kind the matrix drives.
+const ALL_KINDS: [FaultKind; 5] = [
+    FaultKind::Panic,
+    FaultKind::Error,
+    FaultKind::BudgetSqueeze,
+    FaultKind::CancelQuery,
+    FaultKind::MemorySqueeze,
+];
+
+/// Whether this combination arms a *live* governor fault — one the engine
+/// consults when it builds a statement's governor, so the query is meant
+/// to fail with a typed governance error rather than answer. The matrix
+/// tests skip these; the dedicated governor tests below drive them.
+fn live_governor_combo(site: FaultSite, kind: FaultKind) -> bool {
+    site == FaultSite::ExecGovernor
+        && matches!(kind, FaultKind::CancelQuery | FaultKind::MemorySqueeze)
+}
+
 /// What the router should attribute a fault to, or `None` when the armed
 /// fault is inert at that site and the detour should succeed.
 fn expected_reason(site: FaultSite, kind: FaultKind) -> Option<FallbackReason> {
+    // Nothing fires at the governor site during planning: the engine
+    // consults its faults when it builds a governor, so planning-kind
+    // faults armed there never trip.
+    if site == FaultSite::ExecGovernor {
+        return None;
+    }
     match kind {
         FaultKind::Panic => Some(FallbackReason::Panicked),
         // Injected errors are not budget errors, so they classify as
@@ -78,6 +102,9 @@ fn expected_reason(site: FaultSite, kind: FaultKind) -> Option<FallbackReason> {
         FaultKind::BudgetSqueeze => {
             (site == FaultSite::OptimizeSearch).then_some(FallbackReason::BudgetExhausted)
         }
+        // Governor kinds are consulted at the governor site only; armed at
+        // a planning site they are no-ops.
+        FaultKind::CancelQuery | FaultKind::MemorySqueeze => None,
     }
 }
 
@@ -89,7 +116,10 @@ fn every_site_and_kind_answers_correctly_with_the_right_reason() {
     let reference = canon(engine.query(&q3.sql).expect("native baseline").rows);
 
     for site in FaultSite::ALL {
-        for kind in [FaultKind::Panic, FaultKind::Error, FaultKind::BudgetSqueeze] {
+        for kind in ALL_KINDS {
+            if live_governor_combo(site, kind) {
+                continue; // typed-failure path: governor_faults_* below
+            }
             let combo = format!("{kind:?} at {}", site.name());
             let orca = faulty_router(site, kind);
             let out = engine
@@ -132,7 +162,10 @@ fn explain_analyze_is_inert_under_every_fault() {
     let reference = canon(engine.query(&q3.sql).expect("native baseline").rows);
 
     for site in FaultSite::ALL {
-        for kind in [FaultKind::Panic, FaultKind::Error, FaultKind::BudgetSqueeze] {
+        for kind in ALL_KINDS {
+            if live_governor_combo(site, kind) {
+                continue;
+            }
             let combo = format!("{kind:?} at {}", site.name());
             // Uninstrumented run through one armed router, instrumented
             // through another: their routing decisions must agree.
@@ -234,4 +267,42 @@ fn explicit_budget_degrades_through_the_ladder_but_stays_on_orca() {
     let reference = canon(engine.query(&q5.sql).expect("native").rows);
     let out = canon(engine.query_with(&q5.sql, &orca).expect("degraded").rows);
     assert_eq!(out, reference);
+}
+
+#[test]
+fn governor_faults_fail_typed_and_leave_the_engine_serviceable() {
+    // The two live governor faults: unlike every planning fault, these are
+    // *meant* to fail the statement — but with a typed governance error,
+    // correct counter attribution, and no residue. The same engine must
+    // answer the same statement correctly right afterwards.
+    let engine = Engine::new(tpch::build_catalog(Scale(0.02)));
+    let q3 = &tpch::queries()[2];
+    let reference = canon(engine.query(&q3.sql).expect("native baseline").rows);
+
+    // Mid-query cancel: the engine consults the injector, plants a cancel
+    // point, and the unwind surfaces as `Cancelled` — not a fallback.
+    let orca = faulty_router(FaultSite::ExecGovernor, FaultKind::CancelQuery);
+    let err = engine.query_with(&q3.sql, &orca).unwrap_err();
+    assert!(matches!(err, Error::Cancelled), "typed cancel, got: {err}");
+    let stats = orca.stats();
+    assert_eq!(stats.governed.cancelled, 1, "{stats:?}");
+    assert_eq!(stats.fallbacks, 0, "a governed cancel is not a fallback: {stats:?}");
+
+    // Memory squeeze: the one-byte clamp defeats the serial retry too, so
+    // the statement surfaces `MemoryExceeded` and the abandonment joins
+    // the fallback taxonomy.
+    let orca = faulty_router(FaultSite::ExecGovernor, FaultKind::MemorySqueeze);
+    let err = engine.query_with(&q3.sql, &orca).unwrap_err();
+    assert!(matches!(err, Error::MemoryExceeded { .. }), "typed exhaustion, got: {err}");
+    let stats = orca.stats();
+    assert_eq!(stats.governed.memory_exceeded, 1, "{stats:?}");
+    assert_eq!(stats.reasons.memory_exceeded, 1, "{stats:?}");
+    assert_eq!(stats.reasons.total(), stats.fallbacks, "{stats:?}");
+
+    // No residue: a disarmed router on the same engine answers correctly,
+    // and the governed counters stay untouched.
+    let clean = OrcaOptimizer::new(OrcaConfig::default(), 1);
+    let out = canon(engine.query_with(&q3.sql, &clean).expect("serviceable").rows);
+    assert_eq!(out, reference, "the failures must not poison later statements");
+    assert_eq!(clean.stats().governed.total(), 0);
 }

@@ -110,6 +110,64 @@ fn ddl_invalidates_across_the_engine() {
 }
 
 #[test]
+fn deadline_on_a_cached_serve_keeps_the_entry_intact() {
+    // A wall-clock budget must govern cached serves exactly like fresh
+    // compiles — and a serve that dies on its deadline must leave the
+    // cached plan ready for the next caller, not evicted or corrupted.
+    let engine = Engine::new(tpch::build_catalog(Scale(0.05)));
+    let orca = OrcaOptimizer::new(OrcaConfig::default(), 3);
+    // Correlated subquery: the inner block reopens per outer row, so the
+    // governor observes the clock throughout the scan — a 1ms budget trips
+    // deterministically on a multi-millisecond statement.
+    let sql = "SELECT COUNT(*) AS n FROM lineitem \
+               WHERE l_orderkey < 6000 AND l_quantity < \
+               (SELECT AVG(l_quantity) FROM lineitem l2 \
+                WHERE l2.l_partkey = lineitem.l_partkey)";
+    let reference = canon(engine.query_cached(sql, &orca).expect("warming compile").rows);
+
+    engine.set_deadline(Some(std::time::Duration::from_millis(1)));
+    let err = engine.query_cached(sql, &orca).expect_err("1ms must not suffice");
+    assert!(
+        matches!(err, taurus_orca::common::Error::DeadlineExceeded { budget_ms: 1 }),
+        "typed deadline error on the cached path, got: {err}"
+    );
+
+    // The entry survived: the next serve is a hit and answers identically.
+    engine.set_deadline(None);
+    assert_eq!(canon(engine.query_cached(sql, &orca).expect("after deadline").rows), reference);
+    let stats = engine.plan_cache_stats();
+    assert_eq!(stats.misses, 1, "the deadline death must not evict the entry: {stats:?}");
+    assert_eq!(stats.hits, 2, "both later serves were cache hits: {stats:?}");
+}
+
+#[test]
+fn memory_budget_on_a_cached_serve_keeps_the_entry_intact() {
+    let engine = Engine::new(tpch::build_catalog(Scale(0.05)));
+    let orca = OrcaOptimizer::new(OrcaConfig::default(), 3);
+    // The sort buffer is charged against the session budget, so a one-byte
+    // budget fails the serve even after the engine's serial retry rung.
+    let sql = "SELECT l_orderkey, l_extendedprice FROM lineitem \
+               WHERE l_quantity < 10 ORDER BY l_extendedprice DESC";
+    let reference = canon(engine.query_cached(sql, &orca).expect("warming compile").rows);
+
+    engine.set_memory_budget(Some(1));
+    let err = engine.query_cached(sql, &orca).expect_err("one byte must not suffice");
+    assert!(
+        matches!(err, taurus_orca::common::Error::MemoryExceeded { budget: 1, .. }),
+        "typed memory error on the cached path, got: {err}"
+    );
+    let peak = engine.last_peak_bytes();
+    assert!(peak <= 1, "tracked peak stayed within the budget: {peak}");
+
+    // Over-budget serves must not evict or corrupt the cached plan.
+    engine.set_memory_budget(None);
+    assert_eq!(canon(engine.query_cached(sql, &orca).expect("after budget").rows), reference);
+    let stats = engine.plan_cache_stats();
+    assert_eq!(stats.misses, 1, "the budget death must not evict the entry: {stats:?}");
+    assert_eq!(stats.hits, 2, "{stats:?}");
+}
+
+#[test]
 fn digest_binds_agree_with_ast_parameterization_across_suites() {
     // The serve path rebinds cached plans using token-order binds while
     // parameter numbering happens in AST order; they must agree for every
