@@ -51,10 +51,20 @@ echo "== observe: EXPLAIN ANALYZE q-error gate"
 # regression anywhere in the stack trips this before it ships.
 SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness observe
 
+echo "== feedback: re-optimization convergence gate"
+# Compiles every TPC-H and TPC-DS template three times through the plan
+# cache. Any template whose observed worst q-error crossed the threshold
+# must re-optimize on its second compile and converge (worst q-error at
+# or below the ceiling), return identical rows, and serve the third
+# compile as a plain hit; templates under the threshold must never
+# re-optimize. Fails if a bad actor survives or the loop misfires.
+SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness feedback
+
 echo "== fuzz: differential correctness gate"
 # Seeded, fully deterministic random-query sweep over TPC-H, TPC-DS, and
-# the adversarial schema, checked by five oracles (native-vs-orca,
-# serial-vs-parallel, fresh-vs-rebound, TLP partitioning, cancel-recover).
+# the adversarial schema, checked by six oracles (native-vs-orca,
+# serial-vs-parallel, fresh-vs-rebound, TLP partitioning, cancel-recover,
+# feedback re-optimization).
 # Any miscompare fails the gate and prints the delta-debugged minimal
 # repro SQL. Raise FUZZ_BUDGET (queries per seed) for a deeper local sweep.
 SCALE=0.05 FUZZ_BUDGET="${FUZZ_BUDGET:-150}" \

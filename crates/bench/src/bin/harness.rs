@@ -14,6 +14,7 @@
 //! harness plancache  # compile-once serve-many plan cache (exits 1 on gate failure)
 //! harness parallel   # morsel-driven parallel execution (exits 1 on gate failure)
 //! harness observe    # EXPLAIN ANALYZE q-error harness (exits 1 on gate failure)
+//! harness feedback   # feedback-driven re-optimization loop (exits 1 on gate failure)
 //! harness fuzz [--seed-range a..b]
 //!                    # differential query fuzzer (exits 1 on any miscompare)
 //! harness governance # query-governor chaos report (exits 1 on gate failure)
@@ -76,6 +77,9 @@ fn main() {
     if want("observe") {
         observe_report();
     }
+    if want("feedback") {
+        feedback_report();
+    }
     if want("fuzz") {
         fuzz_report();
     }
@@ -96,6 +100,7 @@ fn main() {
             "plancache",
             "parallel",
             "observe",
+            "feedback",
             "fuzz",
             "governance",
         ]
@@ -274,6 +279,23 @@ fn observe_report() {
     );
 }
 
+fn feedback_report() {
+    println!(
+        "\n## Feedback loop — observe, re-optimize, converge (scale {:?}, threshold 10)\n",
+        scale()
+    );
+    let r = run_feedback(scale());
+    print!("{}", format_feedback_report(&r));
+    if let Err(violation) = r.gate() {
+        eprintln!("\nfeedback gate FAILED: {violation}");
+        std::process::exit(1);
+    }
+    println!(
+        "\nfeedback gate passed: every template over q-error 10 re-optimized to ≤ \
+         {FEEDBACK_Q_CEILING:.0} on its second compile, identical rows, third serve a hit"
+    );
+}
+
 fn fuzz_report() {
     // Seeds from `--seed-range a..b` (half-open), default 0..2; queries per
     // seed from FUZZ_BUDGET (default 500 — the acceptance floor).
@@ -283,14 +305,14 @@ fn fuzz_report() {
         .and_then(|r| fuzz::parse_seed_range(&r))
         .unwrap_or_else(|| vec![0, 1]);
     let budget = std::env::var("FUZZ_BUDGET").ok().and_then(|s| s.parse().ok()).unwrap_or(500usize);
-    println!("\n## Differential fuzzer — five oracles over random queries (scale {:?})\n", scale());
+    println!("\n## Differential fuzzer — six oracles over random queries (scale {:?})\n", scale());
     let r = fuzz::run_fuzz(&seeds, budget, scale());
     print!("{}", fuzz::format_fuzz_report(&r));
     if let Err(violation) = r.gate() {
         eprintln!("\nfuzz gate FAILED: {violation}");
         std::process::exit(1);
     }
-    println!("\nfuzz gate passed: {} queries × 5 oracles, zero miscompares", r.generated);
+    println!("\nfuzz gate passed: {} queries × 6 oracles, zero miscompares", r.generated);
 }
 
 fn governance_report() {

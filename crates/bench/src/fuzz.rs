@@ -3,7 +3,7 @@
 //! A seeded, deterministic random query generator over the TPC-H and
 //! TPC-DS schemas plus an adversarial synthetic schema (NULL-heavy
 //! columns, an empty table, a single-row table, duplicate keys), driven
-//! through five differential oracles:
+//! through six differential oracles:
 //!
 //! 1. **native-vs-orca** — the mylite-native plan and the Orca-routed
 //!    plan must agree on the result multiset (and on sortedness / top-k
@@ -18,7 +18,12 @@
 //!    governor check count, then serve it again at once: the cancelled
 //!    run must surface only `Error::Cancelled`, and the immediate re-run
 //!    must return the exact cached-plan answer (no poisoned plan cache,
-//!    no wedged workers).
+//!    no wedged workers);
+//! 6. **feedback** — with the re-optimization threshold dropped to ~1, a
+//!    first instrumented serve folds its observed cardinalities and the
+//!    second serve recompiles with them injected: the re-optimized plan
+//!    must return exactly what the static plan returned (cardinality
+//!    feedback may change the plan, never the answer).
 //!
 //! Every miscompare is shrunk by a delta-debugging minimizer (clause and
 //! join removal to a fixpoint) before being reported, so a gate failure
@@ -30,6 +35,7 @@
 //! with different literals (same fingerprint, different binds).
 
 use mylite::engine::CostBasedOptimizer;
+use mylite::plancache::CacheOutcome;
 use mylite::{Engine, MySqlOptimizer};
 use orcalite::OrcaConfig;
 use std::cmp::Ordering;
@@ -737,6 +743,7 @@ pub enum Oracle {
     FreshVsRebound,
     Tlp,
     CancelRecover,
+    Feedback,
 }
 
 impl Oracle {
@@ -747,15 +754,17 @@ impl Oracle {
             Oracle::FreshVsRebound => "fresh-vs-rebound",
             Oracle::Tlp => "tlp",
             Oracle::CancelRecover => "cancel-recover",
+            Oracle::Feedback => "feedback",
         }
     }
 
-    pub const ALL: [Oracle; 5] = [
+    pub const ALL: [Oracle; 6] = [
         Oracle::NativeVsOrca,
         Oracle::SerialVsParallel,
         Oracle::FreshVsRebound,
         Oracle::Tlp,
         Oracle::CancelRecover,
+        Oracle::Feedback,
     ];
 
     fn index(self) -> usize {
@@ -1091,6 +1100,49 @@ impl FuzzCtx<'_> {
         }
     }
 
+    /// Oracle 6: the feedback loop as a correctness oracle. The first
+    /// instrumented serve folds observed per-operator cardinalities; with
+    /// the re-optimization threshold dropped to just above 1, the second
+    /// serve recompiles with those observations injected whenever the
+    /// static estimate was at all wrong. The re-optimized plan may differ
+    /// in shape — it must not differ in answer. Cases whose estimates were
+    /// already within the threshold never re-optimize and are uninteresting
+    /// for this oracle. Engine feedback/cache state is restored afterwards
+    /// so the other oracles keep seeing the session-default threshold.
+    fn check_feedback(&self, case: &FuzzCase) -> Check {
+        let sql = case.spec.render();
+        let opt = self.opt(case.cache_via_orca);
+        let saved = self.engine.reopt_q_threshold();
+        self.engine.clear_plan_cache();
+        self.engine.feedback().clear();
+        self.engine.set_reopt_q_threshold(Some(1.05));
+        let verdict = (|| {
+            let first = match self.engine.analyze_cached(&sql, opt) {
+                Ok((a, _)) => a,
+                Err(_) => return Check::Invalid,
+            };
+            let (second, outcome) = match self.engine.analyze_cached(&sql, opt) {
+                Ok(v) => v,
+                Err(e) => {
+                    return Check::Fail(format!(
+                        "serve after observation errored, first serve ran: {e}"
+                    ))
+                }
+            };
+            if outcome != CacheOutcome::Reoptimized {
+                return Check::Invalid;
+            }
+            match compare_cross_plan(&case.spec, &first.output.rows, &second.output.rows) {
+                Some(d) => Check::Fail(format!("re-optimized serve vs first serve: {d}")),
+                None => Check::Pass,
+            }
+        })();
+        self.engine.set_reopt_q_threshold(saved);
+        self.engine.feedback().clear();
+        self.engine.clear_plan_cache();
+        verdict
+    }
+
     fn check(&self, case: &FuzzCase, oracle: Oracle) -> Check {
         match oracle {
             Oracle::NativeVsOrca => self.check_native_vs_orca(case),
@@ -1098,6 +1150,7 @@ impl FuzzCtx<'_> {
             Oracle::FreshVsRebound => self.check_fresh_vs_rebound(case),
             Oracle::Tlp => self.check_tlp(case),
             Oracle::CancelRecover => self.check_cancel_recover(case),
+            Oracle::Feedback => self.check_feedback(case),
         }
     }
 }
@@ -1307,7 +1360,7 @@ pub struct FuzzReport {
     /// Queries whose reference (native, serial) run succeeded.
     pub executed: usize,
     /// Oracle executions that produced a comparable verdict, per oracle.
-    pub oracle_runs: [usize; 5],
+    pub oracle_runs: [usize; 6],
     /// Plan-cache oracle runs whose second serve actually hit the cache.
     pub rebind_hits: usize,
     pub failures: Vec<FuzzFailure>,
@@ -1355,7 +1408,7 @@ impl FuzzReport {
 }
 
 /// Run the fuzzer: `budget` queries per seed, rotated across the TPC-H,
-/// TPC-DS and adversarial schemas, each checked by all four oracles.
+/// TPC-DS and adversarial schemas, each checked by all six oracles.
 pub fn run_fuzz(seeds: &[u64], budget: usize, scale: Scale) -> FuzzReport {
     let mut engines: Vec<(&'static str, Engine)> = vec![
         ("tpch", Engine::new(tpch::build_catalog(scale))),

@@ -1125,6 +1125,228 @@ pub fn format_observe_report(r: &ObserveReport) -> String {
     s
 }
 
+// --------------------------------------------------------------- feedback
+
+/// Convergence ceiling for the feedback loop: after one observed execution
+/// and one feedback-driven re-optimization, the worst per-operator q-error
+/// of every template that started above the re-optimization threshold must
+/// land at or under this.
+pub const FEEDBACK_Q_CEILING: f64 = 2.0;
+
+/// One template through the feedback loop: three `analyze_cached` serves
+/// of the same statement.
+#[derive(Debug, Clone)]
+pub struct FeedbackMeasurement {
+    pub workload: &'static str,
+    pub name: String,
+    /// Worst per-operator q-error of the first (statically planned) serve.
+    pub first_q: f64,
+    /// Worst q-error of the second serve — re-optimized with observed
+    /// cardinalities when `first_q` crossed the threshold.
+    pub second_q: f64,
+    /// Cache-outcome labels of the three serves.
+    pub outcomes: [&'static str; 3],
+    /// Row multisets agree across all three serves (4-decimal double
+    /// rounding — plan shapes legitimately reorder float aggregation).
+    pub identical: bool,
+}
+
+/// The feedback-loop report (`harness feedback`): every TPC-H and TPC-DS
+/// template compiled, observed, and (when its worst q-error crossed the
+/// threshold) re-optimized with true cardinalities injected.
+#[derive(Debug, Clone)]
+pub struct FeedbackReport {
+    /// Re-optimization q-error threshold the engines ran with.
+    pub threshold: f64,
+    pub per_template: Vec<FeedbackMeasurement>,
+    /// Router-side re-optimization count summed over both workloads.
+    pub router_reoptimized: u64,
+    /// Plan-cache re-optimization evictions summed over both workloads.
+    pub cache_reoptimizations: u64,
+}
+
+impl FeedbackReport {
+    /// Templates whose first serve exceeded the threshold (the loop's
+    /// targets).
+    pub fn bad_actors(&self) -> Vec<&FeedbackMeasurement> {
+        self.per_template.iter().filter(|m| m.first_q > self.threshold).collect()
+    }
+
+    /// Templates the second serve re-optimized.
+    pub fn reoptimized(&self) -> usize {
+        self.per_template.iter().filter(|m| m.outcomes[1] == "reoptimized").count()
+    }
+
+    /// The CI gate for `harness feedback`:
+    ///
+    /// * results must be identical across all three serves of every
+    ///   template (first compile, re-optimized serve, converged hit);
+    /// * every template whose first worst q-error is above the threshold
+    ///   must re-optimize on its second serve and land at or under
+    ///   [`FEEDBACK_Q_CEILING`];
+    /// * templates under the threshold must serve straight hits;
+    /// * the third serve must be a hit everywhere — the convergence
+    ///   guarantee (same observations never re-optimize twice);
+    /// * at least one bad actor must exist — the loop must have something
+    ///   to demonstrate on;
+    /// * router and plan-cache re-optimization counters must agree with
+    ///   the per-template outcomes.
+    ///
+    /// Note the first serve of a template is not necessarily a cache miss:
+    /// generated templates that differ only in literals share a fingerprint
+    /// (compile-once-serve-many working as designed), so a template whose
+    /// twin compiled first legitimately opens on a hit — and can open
+    /// straight onto a re-optimization when the twin's observations
+    /// crossed the threshold.
+    pub fn gate(&self) -> std::result::Result<(), String> {
+        let mut bad_actors = 0usize;
+        for m in &self.per_template {
+            if !m.identical {
+                return Err(format!("{} {}: rows diverged across serves", m.workload, m.name));
+            }
+            if m.outcomes[2] != "hit" {
+                return Err(format!(
+                    "{} {}: third serve was {}, expected hit (convergence guarantee)",
+                    m.workload, m.name, m.outcomes[2]
+                ));
+            }
+            if m.first_q > self.threshold {
+                bad_actors += 1;
+                if m.outcomes[1] != "reoptimized" {
+                    return Err(format!(
+                        "{} {}: first q-error {:.1} over threshold but second serve was {}",
+                        m.workload, m.name, m.first_q, m.outcomes[1]
+                    ));
+                }
+                if m.second_q > FEEDBACK_Q_CEILING {
+                    return Err(format!(
+                        "{} {}: re-optimized q-error {:.2} above ceiling {FEEDBACK_Q_CEILING} \
+                         (started at {:.1})",
+                        m.workload, m.name, m.second_q, m.first_q
+                    ));
+                }
+            } else if m.outcomes[1] != "hit" {
+                return Err(format!(
+                    "{} {}: under threshold (q {:.1}) but second serve was {}",
+                    m.workload, m.name, m.first_q, m.outcomes[1]
+                ));
+            }
+        }
+        if bad_actors == 0 {
+            return Err("no template exceeded the threshold; nothing demonstrated".to_string());
+        }
+        let n = self.reoptimized() as u64;
+        if self.router_reoptimized != n || self.cache_reoptimizations != n {
+            return Err(format!(
+                "re-optimization counters disagree: {} outcomes, router {}, cache {}",
+                n, self.router_reoptimized, self.cache_reoptimizations
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Sorted row multiset with doubles rounded to 4 decimals — two plans for
+/// the same query legitimately reorder floating-point aggregation.
+fn row_multiset(rows: &[taurus_common::Row]) -> Vec<String> {
+    let mut v: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|v| match v {
+                    taurus_common::Value::Double(d) => {
+                        format!("D{:.4}", if *d == 0.0 { 0.0 } else { *d })
+                    }
+                    other => format!("{other:?}"),
+                })
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    v.sort();
+    v
+}
+
+/// Run every template through three `analyze_cached` serves: compile +
+/// observe, re-optimize (when the observed worst q-error crossed the
+/// threshold), and the converged hit.
+pub fn run_feedback(scale: Scale) -> FeedbackReport {
+    let threshold = 10.0;
+    let mut per_template = Vec::new();
+    let mut router_reoptimized = 0u64;
+    let mut cache_reoptimizations = 0u64;
+    for workload in [Workload::TpcH, Workload::TpcDs] {
+        let engine = workload.build_engine(scale);
+        // Same placement knobs as the observe report, so q-errors match.
+        engine.set_parallel_threshold(8);
+        engine.set_morsel_rows(64);
+        engine.set_reopt_q_threshold(Some(threshold));
+        let orca = OrcaOptimizer::new(OrcaConfig::default(), workload.threshold());
+        for q in workload.queries() {
+            let (a1, o1) = engine.analyze_cached(&q.sql, &orca).expect(q.name);
+            let (a2, o2) = engine.analyze_cached(&q.sql, &orca).expect(q.name);
+            let (a3, o3) = engine.analyze_cached(&q.sql, &orca).expect(q.name);
+            let worst = |a: &mylite::AnalyzedQuery| {
+                a.nodes.iter().filter_map(|n| n.q_error).fold(1.0, f64::max)
+            };
+            let m1 = row_multiset(&a1.output.rows);
+            let identical =
+                m1 == row_multiset(&a2.output.rows) && m1 == row_multiset(&a3.output.rows);
+            per_template.push(FeedbackMeasurement {
+                workload: workload.name(),
+                name: q.name.to_string(),
+                first_q: worst(&a1),
+                second_q: worst(&a2),
+                outcomes: [o1.label(), o2.label(), o3.label()],
+                identical,
+            });
+        }
+        router_reoptimized += orca.stats().reoptimized;
+        cache_reoptimizations += engine.plan_cache_stats().reoptimizations;
+    }
+    FeedbackReport { threshold, per_template, router_reoptimized, cache_reoptimizations }
+}
+
+/// Format the feedback report as markdown (the `harness feedback` body).
+pub fn format_feedback_report(r: &FeedbackReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "| workload | template | q-error 1st | q-error 2nd | serves | identical |");
+    let _ = writeln!(s, "|---|---|---|---|---|---|");
+    for m in &r.per_template {
+        let _ = writeln!(
+            s,
+            "| {} | {} | {:.2} | {:.2} | {} | {} |",
+            m.workload,
+            m.name,
+            m.first_q,
+            m.second_q,
+            m.outcomes.join(" → "),
+            m.identical
+        );
+    }
+    let bad = r.bad_actors();
+    let _ = writeln!(
+        s,
+        "\ntemplates over threshold {:.0}: {} of {}; re-optimized: {}",
+        r.threshold,
+        bad.len(),
+        r.per_template.len(),
+        r.reoptimized()
+    );
+    if let Some(worst) = bad
+        .iter()
+        .max_by(|a, b| a.first_q.partial_cmp(&b.first_q).unwrap_or(std::cmp::Ordering::Equal))
+    {
+        let _ = writeln!(
+            s,
+            "worst actor: {} {} — q-error {:.2} → {:.2} after re-optimization",
+            worst.workload, worst.name, worst.first_q, worst.second_q
+        );
+    }
+    s
+}
+
 // --------------------------------------------------------------- governance
 
 /// One workload under chaos: its engine, its router (which accumulates the

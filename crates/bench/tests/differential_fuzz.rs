@@ -176,3 +176,33 @@ fn null_range_bound_selects_nothing_on_all_paths() {
     assert_all_paths(&e, &orca, "SELECT t.t_seq FROM twin t WHERE t.t_seq <= NULL", 0);
     assert_all_paths(&e, &orca, "SELECT t.t_seq FROM twin t WHERE t.t_seq BETWEEN NULL AND 99", 0);
 }
+
+#[test]
+fn unbounded_below_index_range_skips_null_keys() {
+    // Fuzzer bug (fresh-vs-rebound oracle, seed 12 #323 of the six-oracle
+    // sweep): `h_a <= 0` on the NULL-heavy indexed column compiled to an
+    // index range scan with no lower bound. NULL sorts first in the index's
+    // total order, so the scan started inside the NULL prefix and returned
+    // every NULL-keyed row — rows the comparison predicate must reject as
+    // UNKNOWN. The oracle caught it because the *rebound* serve was right:
+    // warmed at `<= 25` the plan is a filtered table scan, which rebinds to
+    // the correct answer, while the fresh compile of `<= 0` picked the
+    // leaky range scan.
+    let (e, orca) = engine();
+    // Seeded holey data: 7 rows have h_a = 0; h_a is ~40% NULL.
+    let zero = "SELECT t0.h_key AS c0 FROM holey t0 WHERE (t0.h_a <= 0) GROUP BY t0.h_key";
+    assert_all_paths(&e, &orca, zero, 7);
+    // The sweep's minimized literal pair, as the cache oracle ran it.
+    let wide = "SELECT t0.h_key AS c0 FROM holey t0 WHERE (t0.h_a <= 25) GROUP BY t0.h_key";
+    e.clear_plan_cache();
+    let warm = e.query_cached(wide, &MySqlOptimizer).expect("warm");
+    let rebound = e.query_cached(zero, &MySqlOptimizer).expect("rebound");
+    let fresh = e.query_with(zero, &MySqlOptimizer).expect("fresh");
+    let sorted = |out: &mylite::QueryOutput| {
+        let mut v: Vec<String> = out.rows.iter().map(|r| format!("{r:?}")).collect();
+        v.sort();
+        v
+    };
+    assert_eq!(sorted(&rebound), sorted(&fresh), "rebound and fresh serves disagree");
+    assert_eq!(warm.rows.len(), 31, "the warm literal matches every non-NULL h_a");
+}

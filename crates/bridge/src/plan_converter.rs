@@ -45,6 +45,7 @@ pub fn to_skeleton(
         orca_fallback: None,
         dop: if plan.dop > 1 { Some(plan.dop) } else { None },
         search: None,
+        reopt: None,
     })
 }
 
@@ -244,6 +245,7 @@ mod tests {
                 orca_fallback: None,
                 dop: None,
                 search: None,
+                reopt: None,
             },
         );
         let sk = to_skeleton(&plan(root), &block_with_qts(&[0]), &inner).unwrap();

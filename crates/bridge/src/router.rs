@@ -39,7 +39,8 @@ use orcalite::MdCache;
 use std::collections::{BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
+use taurus_catalog::feedback::CardOverrides;
 use taurus_catalog::Catalog;
 use taurus_common::error::{Error, Result};
 
@@ -174,6 +175,9 @@ pub struct RouterStats {
     /// (cancellations, deadline and memory-budget trips, serial-retry
     /// rescues).
     pub governed: GovernedCounts,
+    /// Cached statements the engine re-optimized through this backend with
+    /// runtime feedback (observed cardinalities) injected.
+    pub reoptimized: u64,
 }
 
 /// A classified detour failure: the fallback reason plus the underlying
@@ -286,6 +290,7 @@ pub struct OrcaOptimizer {
     total_search: Mutex<SearchStats>,
     last_trace: Mutex<Option<SearchTrace>>,
     last_md_traffic: Mutex<(u64, u64)>,
+    reoptimized: AtomicU64,
 }
 
 impl Default for OrcaOptimizer {
@@ -310,6 +315,7 @@ impl OrcaOptimizer {
             total_search: Mutex::new(SearchStats::default()),
             last_trace: Mutex::new(None),
             last_md_traffic: Mutex::new((0, 0)),
+            reoptimized: AtomicU64::new(0),
         }
     }
 
@@ -322,6 +328,7 @@ impl OrcaOptimizer {
             degraded: self.degraded.load(Ordering::Relaxed),
             search: *lock(&self.total_search),
             governed: *lock(&self.governed),
+            reoptimized: self.reoptimized.load(Ordering::Relaxed),
         }
     }
 
@@ -364,16 +371,29 @@ impl OrcaOptimizer {
         &self,
         catalog: &Catalog,
         bound: &BoundStatement,
+        fb: Option<&CardOverrides>,
     ) -> std::result::Result<Skeleton, DetourFail> {
         let provider = MySqlMdProvider::new(catalog);
         // One metadata cache for the whole statement: all blocks and all
         // degradation-ladder rungs share it, so the provider is consulted
         // at most once per (relation, statistics, indexes) key.
         let md = MdCache::new(&provider);
+        // Observed-cardinality overrides ride the metadata cache: the memo
+        // search consults them before the statistics-based estimates.
+        if let Some(fb) = fb {
+            md.set_overrides(Some(Arc::new(fb.clone())));
+        }
         let mut acc =
             TraceAcc { stats: SearchStats::default(), rung: 0, strategy: self.config.strategy };
-        let mut skeleton =
-            self.optimize_block(bound, &provider, &md, &bound.root, &BTreeSet::new(), &mut acc)?;
+        let mut skeleton = self.optimize_block(
+            bound,
+            &provider,
+            &md,
+            &bound.root,
+            &BTreeSet::new(),
+            fb,
+            &mut acc,
+        )?;
         *lock(&self.last_search) = acc.stats;
         {
             let mut cum = lock(&self.total_search);
@@ -427,6 +447,7 @@ impl OrcaOptimizer {
         md: &MdCache<'_>,
         block: &BoundQuery,
         outer: &BTreeSet<usize>,
+        fb: Option<&CardOverrides>,
         acc: &mut TraceAcc,
     ) -> std::result::Result<Skeleton, DetourFail> {
         let faults = &self.config.faults;
@@ -437,10 +458,15 @@ impl OrcaOptimizer {
         inner_outer.extend(block.member_qts());
         for m in &block.members {
             if let TableSource::Derived { query, .. } = &bound.table(m.qt).source {
-                let sk = self.optimize_block(bound, provider, md, query, &inner_outer, acc)?;
+                let sk = self.optimize_block(bound, provider, md, query, &inner_outer, fb, acc)?;
                 // Adjust the join-root estimate for the block's aggregation
-                // and limit — same numbers the native optimizer sees.
-                let rows = mylite::optimizer::derived_output_rows(query, sk.root.rows());
+                // and limit — same numbers the native optimizer sees. An
+                // observed cardinality for the derived table itself wins
+                // over both (it already includes HAVING and LIMIT).
+                let rows =
+                    fb.and_then(|f| f.rel_singleton(m.qt)).map(|r| r.max(1.0)).unwrap_or_else(
+                        || mylite::optimizer::derived_output_rows_fb(query, sk.root.rows(), fb),
+                    );
                 inner_estimates.insert(m.qt, (rows, sk.root.cost()));
                 inner_skeletons.insert(m.qt, sk);
             }
@@ -485,25 +511,31 @@ impl OrcaOptimizer {
             .map_err(|e| DetourFail::new(FallbackReason::InvalidSkeleton, &e))?;
         Ok(skeleton)
     }
-}
 
-impl CostBasedOptimizer for OrcaOptimizer {
-    fn name(&self) -> &'static str {
-        "mysql+orca"
-    }
-
-    fn optimize(&self, catalog: &Catalog, bound: &BoundStatement) -> Result<Skeleton> {
+    /// The routing decision shared by `optimize` and
+    /// `optimize_with_feedback`: threshold check, panic-isolated Orca
+    /// detour, attributed native fallback.
+    fn route(
+        &self,
+        catalog: &Catalog,
+        bound: &BoundStatement,
+        fb: Option<&CardOverrides>,
+    ) -> Result<Skeleton> {
+        let native = |catalog: &Catalog, bound: &BoundStatement| match fb {
+            Some(o) => MySqlOptimizer.optimize_with_feedback(catalog, bound, o),
+            None => MySqlOptimizer.optimize(catalog, bound),
+        };
         // Query complexity = total table references (§4.1).
         if bound.num_tables() < self.complex_query_threshold {
             self.below.fetch_add(1, Ordering::Relaxed);
-            return MySqlOptimizer.optimize(catalog, bound);
+            return native(catalog, bound);
         }
         // The whole detour is panic-isolated: `OrcaOptimizer` only holds
         // atomics and mutex-guarded plain counters (locks are recovered
         // from poisoning), so observing a partially-updated state after an
         // unwind is benign (at worst a stale last_search snapshot), which
         // is what makes the `AssertUnwindSafe` sound.
-        let attempt = catch_unwind(AssertUnwindSafe(|| self.orca_optimize(catalog, bound)));
+        let attempt = catch_unwind(AssertUnwindSafe(|| self.orca_optimize(catalog, bound, fb)));
         let fail = match attempt {
             Ok(Ok(skeleton)) => {
                 self.routed.fetch_add(1, Ordering::Relaxed);
@@ -518,9 +550,36 @@ impl CostBasedOptimizer for OrcaOptimizer {
         };
         let _ = fail.detail; // reason drives behaviour; detail is for debuggers
         self.note_fallback(fail.reason);
-        let mut skeleton = MySqlOptimizer.optimize(catalog, bound)?;
+        let mut skeleton = native(catalog, bound)?;
         skeleton.orca_fallback = Some(fail.reason.name().to_string());
         Ok(skeleton)
+    }
+}
+
+impl CostBasedOptimizer for OrcaOptimizer {
+    fn name(&self) -> &'static str {
+        "mysql+orca"
+    }
+
+    fn optimize(&self, catalog: &Catalog, bound: &BoundStatement) -> Result<Skeleton> {
+        self.route(catalog, bound, None)
+    }
+
+    /// Feedback-driven re-optimization takes the same detour with the
+    /// observed cardinalities installed on the statement's metadata cache;
+    /// the native fallback consumes them too, so the re-optimized plan is
+    /// feedback-aware whichever optimizer produces it.
+    fn optimize_with_feedback(
+        &self,
+        catalog: &Catalog,
+        bound: &BoundStatement,
+        fb: &CardOverrides,
+    ) -> Result<Skeleton> {
+        self.route(catalog, bound, Some(fb))
+    }
+
+    fn note_reoptimized(&self) {
+        self.reoptimized.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The engine consults this when it builds a statement's governor: an

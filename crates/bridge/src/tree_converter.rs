@@ -19,9 +19,11 @@
 use crate::provider::MySqlMdProvider;
 use mylite::bound::{BoundQuery, BoundStatement, JoinEntry, TableSource};
 use orcalite::desc::{BlockDesc, EntryDesc, MemberDesc, RelSource};
+use orcalite::md::MetadataAccessor;
 use std::collections::{BTreeSet, HashMap};
+use taurus_catalog::estimate::ColView;
 use taurus_common::error::{Error, Result};
-use taurus_common::Oid;
+use taurus_common::{Expr, Oid};
 
 /// Estimates for already-optimized derived members: `qt → (rows, cost)`.
 pub type InnerEstimates = HashMap<usize, (f64, f64)>;
@@ -47,7 +49,7 @@ pub fn convert_block(
                 table_oids.push(oid);
                 RelSource::Base { oid }
             }
-            TableSource::Derived { correlated, .. } => {
+            TableSource::Derived { query, correlated, .. } => {
                 table_oids.push(Oid::INVALID);
                 let (rows, cost) = inner_estimates.get(&m.qt).copied().ok_or_else(|| {
                     Error::internal(format!(
@@ -55,7 +57,14 @@ pub fn convert_block(
                         m.qt
                     ))
                 })?;
-                RelSource::Derived { rows, cost, width: meta.width(), correlated: *correlated }
+                let cols = derived_col_views(bound, query, provider, rows);
+                RelSource::Derived {
+                    rows,
+                    cost,
+                    width: meta.width(),
+                    correlated: *correlated,
+                    cols,
+                }
             }
         };
         let entry = match &m.entry {
@@ -76,6 +85,31 @@ pub fn convert_block(
         has_aggregation: block.has_aggregation(),
     };
     Ok((desc, table_oids))
+}
+
+/// Column statistics for a derived member's output. Bare-column projections
+/// keep the base column's NDV (capped at the derived row count — neither
+/// filtering nor grouping can raise distinctness above the output size) and
+/// null fraction; computed expressions stay opaque. Histograms are not
+/// carried: the inner block's filtering and grouping invalidate their
+/// frequencies, while NDV degrades gracefully.
+fn derived_col_views(
+    bound: &BoundStatement,
+    query: &BoundQuery,
+    provider: &MySqlMdProvider<'_>,
+    rows: f64,
+) -> Vec<Option<ColView>> {
+    query
+        .select
+        .iter()
+        .map(|o| {
+            let Expr::Column(c) = &o.expr else { return None };
+            let TableSource::Base { id } = &bound.table(c.table).source else { return None };
+            let stats = provider.statistics(provider.relation_oid(*id))?;
+            let col = stats.cols.get(c.col)?.as_ref()?;
+            Some(ColView { ndv: col.ndv.min(rows).max(1.0), null_frac: col.null_frac, hist: None })
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -216,7 +216,14 @@ mod tests {
     }
 
     fn sk(root: SkelNode) -> Skeleton {
-        Skeleton { root, orca_assisted: true, orca_fallback: None, dop: None, search: None }
+        Skeleton {
+            root,
+            orca_assisted: true,
+            orca_fallback: None,
+            dop: None,
+            search: None,
+            reopt: None,
+        }
     }
 
     #[test]

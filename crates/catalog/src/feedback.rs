@@ -1,0 +1,136 @@
+//! Observed-cardinality overrides for feedback-driven re-optimization.
+//!
+//! After an instrumented execution, the engine folds per-operator actual
+//! row counts into a [`CardOverrides`] table keyed by *query-table sets*
+//! (the same join-set identity both optimizers reason in). On
+//! re-optimization the table is threaded through the metadata/estimation
+//! path of whichever optimizer plans the statement, so the search costs
+//! groups with observed rows instead of estimates — the missing half of
+//! the q-error loop ("Online Sketch-based Query Optimization"'s refine-
+//! from-execution idea, scoped to cached statements).
+//!
+//! Keys are [`BTreeSet<usize>`] of query-table indexes:
+//!
+//! * a **rel** entry for set `S` records the observed output rows of
+//!   joining exactly the members of `S` with *every* predicate local to
+//!   `S` applied (singleton sets are post-filter leaf cardinalities);
+//! * an **agg** entry for set `S` records the observed output rows of the
+//!   grouped aggregate over the block whose join tree covers `S` — the
+//!   number the static "one-in-ten group" guess gets catastrophically
+//!   wrong for data-dependent group counts.
+//!
+//! Query-table numbering is global across the nested blocks of one union
+//! branch (derived subplans share the statement's qt space), and a derived
+//! table is identified by its *own* qt — its inner block's members never
+//! appear in an outer block's keys — so entries from different nesting
+//! depths cannot collide. Union branches have separate qt spaces; callers
+//! keep one `CardOverrides` per branch.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// Observed cardinalities for one statement branch, keyed by qt-set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CardOverrides {
+    rel: BTreeMap<BTreeSet<usize>, f64>,
+    agg: BTreeMap<BTreeSet<usize>, f64>,
+}
+
+impl CardOverrides {
+    pub fn new() -> CardOverrides {
+        CardOverrides::default()
+    }
+
+    /// Record the observed rows of joining exactly `set` (all local
+    /// predicates applied). Ancestors win: an existing entry (recorded
+    /// higher in the plan, e.g. a post-join filter) is kept.
+    pub fn record_rel(&mut self, set: BTreeSet<usize>, rows: f64) {
+        if !set.is_empty() && rows.is_finite() {
+            self.rel.entry(set).or_insert(rows.max(0.0));
+        }
+    }
+
+    /// Record the observed output rows of the grouped aggregate over `set`.
+    pub fn record_agg(&mut self, set: BTreeSet<usize>, rows: f64) {
+        if !set.is_empty() && rows.is_finite() {
+            self.agg.entry(set).or_insert(rows.max(0.0));
+        }
+    }
+
+    /// Observed join cardinality of exactly `set`, if recorded.
+    pub fn rel(&self, set: &BTreeSet<usize>) -> Option<f64> {
+        self.rel.get(set).copied()
+    }
+
+    /// Observed post-filter cardinality of a single table.
+    pub fn rel_singleton(&self, qt: usize) -> Option<f64> {
+        self.rel.get(&BTreeSet::from([qt])).copied()
+    }
+
+    /// Observed grouped-aggregate output rows over `set`, if recorded.
+    pub fn agg(&self, set: &BTreeSet<usize>) -> Option<f64> {
+        self.agg.get(set).copied()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rel.is_empty() && self.agg.is_empty()
+    }
+
+    /// Number of recorded entries (rel + agg), for reports.
+    pub fn len(&self) -> usize {
+        self.rel.len() + self.agg.len()
+    }
+
+    /// Merge newer observations in: the other table's entries replace
+    /// same-key entries here (fresher execution wins) and add new keys.
+    pub fn merge_from(&mut self, newer: &CardOverrides) {
+        for (k, v) in &newer.rel {
+            self.rel.insert(k.clone(), *v);
+        }
+        for (k, v) in &newer.agg {
+            self.agg.insert(k.clone(), *v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(qts: &[usize]) -> BTreeSet<usize> {
+        qts.iter().copied().collect()
+    }
+
+    #[test]
+    fn ancestors_win_within_one_fold() {
+        let mut o = CardOverrides::new();
+        // Pre-order fold: the post-filter ancestor records first.
+        o.record_rel(set(&[0]), 3.0);
+        o.record_rel(set(&[0]), 8.0);
+        assert_eq!(o.rel_singleton(0), Some(3.0));
+    }
+
+    #[test]
+    fn merge_prefers_newer_values_and_unions_keys() {
+        let mut old = CardOverrides::new();
+        old.record_rel(set(&[0]), 10.0);
+        old.record_agg(set(&[0, 1]), 5.0);
+        let mut newer = CardOverrides::new();
+        newer.record_rel(set(&[0]), 12.0);
+        newer.record_rel(set(&[0, 1]), 40.0);
+        old.merge_from(&newer);
+        assert_eq!(old.rel_singleton(0), Some(12.0));
+        assert_eq!(old.rel(&set(&[0, 1])), Some(40.0));
+        assert_eq!(old.agg(&set(&[0, 1])), Some(5.0));
+        assert_eq!(old.len(), 3);
+    }
+
+    #[test]
+    fn empty_sets_and_non_finite_rows_are_ignored() {
+        let mut o = CardOverrides::new();
+        o.record_rel(BTreeSet::new(), 5.0);
+        o.record_rel(set(&[1]), f64::NAN);
+        o.record_agg(set(&[1]), f64::INFINITY);
+        assert!(o.is_empty());
+    }
+}

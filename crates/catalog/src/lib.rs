@@ -16,10 +16,12 @@
 
 pub mod dictionary;
 pub mod estimate;
+pub mod feedback;
 pub mod histogram;
 pub mod stats;
 
 pub use dictionary::{Catalog, CatalogTable};
 pub use estimate::{ColView, Estimator, RelView};
+pub use feedback::CardOverrides;
 pub use histogram::{encode_str_prefix, Histogram};
 pub use stats::{AnalyzeOptions, ColumnStats, TableStats};

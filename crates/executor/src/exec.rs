@@ -443,9 +443,17 @@ fn exec_node(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result
                 || hi_v.as_ref().is_some_and(|(v, _)| v.is_null());
             if !null_bound {
                 let env = Env::new(binding, &plan.space(ctx.num_tables), ctx.num_tables);
-                for rid in ix
-                    .range(lo_v.as_ref().map(|(v, i)| (v, *i)), hi_v.as_ref().map(|(v, i)| (v, *i)))
-                {
+                // An unbounded-below range must still start *after* the
+                // index's NULL prefix: the range comes from a comparison
+                // predicate, which is UNKNOWN for a NULL key, yet NULL
+                // sorts first in the key order — `k <= hi` with no lower
+                // bound would otherwise sweep every NULL row in. An
+                // exclusive NULL bound is exactly "skip the NULL prefix".
+                let lo_arg = match lo_v.as_ref() {
+                    Some((v, i)) => Some((v, *i)),
+                    None => Some((&Value::Null, false)),
+                };
+                for rid in ix.range(lo_arg, hi_v.as_ref().map(|(v, i)| (v, *i))) {
                     ExecStats::bump(&ctx.stats.rows_scanned, 1);
                     let row = t.data.row(rid);
                     if env.passes(filter, row)? {

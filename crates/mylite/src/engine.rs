@@ -9,15 +9,17 @@
 
 use crate::bound::BoundStatement;
 use crate::explain::{annotate, explain_plan, explain_plan_analyzed, NodeAnnotation};
-use crate::optimizer::optimize_statement;
+use crate::feedback::{count_nodes, fold_plan, worst_q, ObservationStore};
+use crate::optimizer::{optimize_statement, optimize_statement_feedback};
 use crate::plancache::{CacheOutcome, CachedPlan, PlanCache, PlanCacheStats};
-use crate::refine::refine_statement_parallel;
+use crate::refine::refine_statement_feedback;
 use crate::resolve::resolve_union_branches;
 use crate::skeleton::Skeleton;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::Duration;
+use taurus_catalog::feedback::CardOverrides;
 use taurus_catalog::stats::AnalyzeOptions;
 use taurus_catalog::Catalog;
 use taurus_common::error::{Error, Result};
@@ -73,6 +75,20 @@ pub trait CostBasedOptimizer {
     /// Observe a runtime-governance outcome for one of this optimizer's
     /// statements. The default backend ignores them.
     fn note_governed(&self, _outcome: GovernedOutcome) {}
+    /// Re-optimize a prepared statement with observed cardinalities from a
+    /// previous execution injected into the estimation path. Backends that
+    /// cannot consume feedback just optimize statically.
+    fn optimize_with_feedback(
+        &self,
+        catalog: &Catalog,
+        bound: &BoundStatement,
+        _fb: &CardOverrides,
+    ) -> Result<Skeleton> {
+        self.optimize(catalog, bound)
+    }
+    /// Observe that the engine re-optimized one of this backend's cached
+    /// statements from runtime feedback. The default backend ignores it.
+    fn note_reoptimized(&self) {}
 }
 
 /// MySQL's native greedy optimizer.
@@ -86,6 +102,15 @@ impl CostBasedOptimizer for MySqlOptimizer {
 
     fn optimize(&self, catalog: &Catalog, bound: &BoundStatement) -> Result<Skeleton> {
         optimize_statement(catalog, bound)
+    }
+
+    fn optimize_with_feedback(
+        &self,
+        catalog: &Catalog,
+        bound: &BoundStatement,
+        fb: &CardOverrides,
+    ) -> Result<Skeleton> {
+        optimize_statement_feedback(catalog, bound, fb)
     }
 }
 
@@ -179,7 +204,16 @@ pub struct Engine {
     in_flight: Mutex<HashMap<u64, Arc<QueryGovernor>>>,
     /// Peak tracked memory of the most recently finished governed query.
     last_peak: AtomicU64,
+    /// Observed per-operator cardinalities of instrumented cached serves,
+    /// keyed by statement fingerprint (the feedback loop's memory).
+    feedback: ObservationStore,
+    /// Worst observed q-error above which the next instrumented cached
+    /// serve re-optimizes with feedback (f64 bits; 0.0 = loop disabled).
+    reopt_q_threshold: AtomicU64,
 }
+
+/// Default q-error threshold for feedback-driven re-optimization.
+pub const DEFAULT_REOPT_Q_THRESHOLD: f64 = 10.0;
 
 impl Engine {
     pub fn new(catalog: Catalog) -> Engine {
@@ -197,6 +231,8 @@ impl Engine {
             next_query_id: AtomicU64::new(1),
             in_flight: Mutex::new(HashMap::new()),
             last_peak: AtomicU64::new(0),
+            feedback: ObservationStore::new(),
+            reopt_q_threshold: AtomicU64::new(DEFAULT_REOPT_Q_THRESHOLD.to_bits()),
         }
     }
 
@@ -230,6 +266,28 @@ impl Engine {
     pub fn set_parallel_threshold(&self, rows: usize) {
         self.parallel_threshold.store(rows, Ordering::Relaxed);
         lock(&self.plan_cache).clear();
+    }
+
+    // ------------------------------------------------------- feedback
+
+    /// Worst-q-error threshold above which an instrumented cached serve
+    /// ([`Engine::analyze_cached`]) re-optimizes the statement with its
+    /// observed cardinalities injected. `None` disables the loop; the
+    /// default is [`DEFAULT_REOPT_Q_THRESHOLD`]. Strictly-above semantics:
+    /// a run whose worst q-error equals the threshold does not re-optimize.
+    pub fn set_reopt_q_threshold(&self, threshold: Option<f64>) {
+        let t = threshold.filter(|t| t.is_finite() && *t > 0.0).unwrap_or(0.0);
+        self.reopt_q_threshold.store(t.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn reopt_q_threshold(&self) -> Option<f64> {
+        let t = f64::from_bits(self.reopt_q_threshold.load(Ordering::Relaxed));
+        (t > 0.0).then_some(t)
+    }
+
+    /// The engine's observation store (for tests and reports).
+    pub fn feedback(&self) -> &ObservationStore {
+        &self.feedback
     }
 
     // ------------------------------------------------------- governance
@@ -488,17 +546,25 @@ impl Engine {
         let r = f(&planned)?;
         if let Some(d) = digest {
             if d.binds == p.binds {
-                lock(&self.plan_cache).insert(
-                    d.fingerprint,
-                    CachedPlan {
-                        planned,
-                        catalog_version: version,
-                        dop,
-                        parallel_threshold,
-                        optimizer: opt.name(),
-                        serves: 0,
-                    },
-                );
+                let mut cache = lock(&self.plan_cache);
+                // This compile ran without the cache lock; a concurrent
+                // serve may have re-optimized the same statement meanwhile.
+                // Never clobber that entry with a static plan — the
+                // feedback store's applied snapshot would then suppress a
+                // second re-optimization and pin the misestimate.
+                if !cache.has_reopt_entry(d.fingerprint, version, dop, parallel_threshold) {
+                    cache.insert(
+                        d.fingerprint,
+                        CachedPlan {
+                            planned,
+                            catalog_version: version,
+                            dop,
+                            parallel_threshold,
+                            optimizer: opt.name(),
+                            serves: 0,
+                        },
+                    );
+                }
             }
         }
         Ok((r, outcome))
@@ -568,6 +634,18 @@ impl Engine {
         stmt: &SelectStmt,
         opt: &dyn CostBasedOptimizer,
     ) -> Result<PlannedQuery> {
+        self.plan_select_feedback(stmt, opt, None)
+    }
+
+    /// Plan a parsed SELECT, optionally injecting observed cardinalities
+    /// (one [`CardOverrides`] per union branch — branches have separate
+    /// query-table spaces) into the optimizer and refinement estimates.
+    fn plan_select_feedback(
+        &self,
+        stmt: &SelectStmt,
+        opt: &dyn CostBasedOptimizer,
+        fb: Option<&[CardOverrides]>,
+    ) -> Result<PlannedQuery> {
         // MySQL does not support INTERSECT/EXCEPT; the paper rewrote the
         // affected queries (§6.2). We apply the mechanical rewrite here.
         let stmt = rewrite_set_ops(stmt.clone())?;
@@ -578,8 +656,15 @@ impl Engine {
         let mut planned = Vec::with_capacity(branches.len());
         let mut columns: Option<Vec<String>> = None;
         let engine_dop = self.dop();
-        for (bound, all) in branches {
-            let skeleton = opt.optimize(&self.catalog, &bound)?;
+        for (i, (bound, all)) in branches.into_iter().enumerate() {
+            let bfb = fb.and_then(|f| f.get(i)).filter(|o| !o.is_empty());
+            let mut skeleton = match bfb {
+                Some(o) => opt.optimize_with_feedback(&self.catalog, &bound, o)?,
+                None => opt.optimize(&self.catalog, &bound)?,
+            };
+            if let Some(o) = bfb {
+                skeleton.reopt = Some(format!("{} observed cardinalities injected", o.len()));
+            }
             // The optimizer's dop choice wins when present, clamped to the
             // session knob; otherwise the session knob applies directly.
             let dop = skeleton.dop.unwrap_or(engine_dop).min(engine_dop).max(1);
@@ -587,7 +672,7 @@ impl Engine {
                 dop,
                 min_driver_rows: self.parallel_threshold.load(Ordering::Relaxed),
             };
-            let plan = refine_statement_parallel(&self.catalog, &bound, &skeleton, &opts)?;
+            let plan = refine_statement_feedback(&self.catalog, &bound, &skeleton, &opts, bfb)?;
             let cols: Vec<String> = bound.root.select.iter().map(|o| o.name.clone()).collect();
             match &columns {
                 None => columns = Some(cols),
@@ -655,14 +740,136 @@ impl Engine {
     ) -> Result<AnalyzedQuery> {
         let _permit = self.admit();
         let planned = self.plan(sql, opt)?;
+        self.analyze_governed(&planned, opt)
+    }
+
+    /// Instrumented execution under a fresh governor (the body of
+    /// `EXPLAIN ANALYZE` once a plan exists). Governance outcomes are
+    /// reported to the optimizer like any governed execution.
+    fn analyze_governed(
+        &self,
+        planned: &PlannedQuery,
+        opt: &dyn CostBasedOptimizer,
+    ) -> Result<AnalyzedQuery> {
         let governor = self.new_governor(opt);
         let id = self.register(&governor);
-        let out = self.analyze_branches(&planned, Some(&governor));
+        let out = self.analyze_branches(planned, Some(&governor));
         self.finish(id, &governor);
         if let Err(e) = &out {
             note_governed_error(opt, e);
         }
         out
+    }
+
+    /// EXPLAIN ANALYZE through the plan cache — the entry point of the
+    /// feedback-driven re-optimization loop. Every instrumented serve
+    /// folds its observed per-operator cardinalities into the engine's
+    /// [`ObservationStore`]. On a hit whose recorded worst q-error is
+    /// strictly above the session threshold (and whose observations differ
+    /// from what the cached plan was compiled with), the entry is evicted
+    /// and the statement recompiled with the observations injected into
+    /// the optimizer's estimation path; the outcome reports
+    /// [`CacheOutcome::Reoptimized`] and the new plan replaces the old
+    /// entry.
+    ///
+    /// Concurrency: as in [`Engine::serve_cached`], hit-path execution
+    /// happens while the plan-cache guard is held, so a re-optimizing
+    /// eviction can never race a concurrent serve mid-execution. Lock
+    /// order is cache → feedback; the feedback store never takes the cache
+    /// lock.
+    pub fn analyze_cached(
+        &self,
+        sql: &str,
+        opt: &dyn CostBasedOptimizer,
+    ) -> Result<(AnalyzedQuery, CacheOutcome)> {
+        let _permit = self.admit();
+        let digest = token_digest(sql);
+        let version = self.catalog.version();
+        let dop = self.dop();
+        let parallel_threshold = self.parallel_threshold.load(Ordering::Relaxed);
+        let mut outcome = CacheOutcome::Miss;
+        let mut reopt: Option<Vec<CardOverrides>> = None;
+        if let Some(d) = &digest {
+            let mut cache = lock(&self.plan_cache);
+            let before = cache.stats();
+            if let Some(entry) = cache.lookup(d.fingerprint, version, dop, parallel_threshold) {
+                let reopt_now = self
+                    .reopt_q_threshold()
+                    .is_some_and(|t| self.feedback.should_reopt(d.fingerprint, t));
+                if !reopt_now && rebind_planned(&mut entry.planned, &d.binds).is_ok() {
+                    let analyzed = self.analyze_governed(&entry.planned, opt)?;
+                    self.fold_observations(d.fingerprint, &entry.planned, &analyzed);
+                    return Ok((analyzed, CacheOutcome::Hit));
+                }
+                if reopt_now {
+                    cache.discard_reopt(d.fingerprint);
+                    reopt = self.feedback.begin_reopt(d.fingerprint);
+                    outcome = CacheOutcome::Reoptimized;
+                } else {
+                    cache.discard(d.fingerprint);
+                }
+            }
+            if outcome != CacheOutcome::Reoptimized
+                && cache.stats().invalidations > before.invalidations
+            {
+                outcome = CacheOutcome::Invalidated;
+            }
+        }
+        let stmt = parse_select_text(sql)?;
+        let p = parameterize(&stmt);
+        let planned = self.plan_select_feedback(&p.stmt, opt, reopt.as_deref())?;
+        if reopt.is_some() {
+            opt.note_reoptimized();
+        }
+        let analyzed = self.analyze_governed(&planned, opt)?;
+        if let Some(d) = digest {
+            self.fold_observations(d.fingerprint, &planned, &analyzed);
+            if d.binds == p.binds {
+                let mut cache = lock(&self.plan_cache);
+                // A static compile that ran while the lock was released
+                // must not clobber a concurrently re-optimized entry (see
+                // `PlanCache::has_reopt_entry`); a re-optimized compile
+                // always wins.
+                if reopt.is_some()
+                    || !cache.has_reopt_entry(d.fingerprint, version, dop, parallel_threshold)
+                {
+                    cache.insert(
+                        d.fingerprint,
+                        CachedPlan {
+                            planned,
+                            catalog_version: version,
+                            dop,
+                            parallel_threshold,
+                            optimizer: opt.name(),
+                            serves: 0,
+                        },
+                    );
+                }
+            }
+        }
+        Ok((analyzed, outcome))
+    }
+
+    /// Fold one instrumented execution into the feedback store, slicing the
+    /// concatenated annotations back into per-branch runs (each branch's
+    /// annotation count equals its plan's pre-order node count — `annotate`
+    /// walks the same order, and the executed clone shares the cached
+    /// plan's structure).
+    fn fold_observations(
+        &self,
+        fingerprint: u64,
+        planned: &PlannedQuery,
+        analyzed: &AnalyzedQuery,
+    ) {
+        let mut folds = Vec::with_capacity(planned.branches.len());
+        let mut off = 0usize;
+        for b in &planned.branches {
+            let n = count_nodes(&b.plan);
+            let slice = analyzed.nodes.get(off..off + n).unwrap_or(&[]);
+            folds.push(fold_plan(&b.plan, slice));
+            off += n;
+        }
+        self.feedback.record(fingerprint, folds, worst_q(&analyzed.nodes));
     }
 
     /// Execute a planned query with observation enabled and render the

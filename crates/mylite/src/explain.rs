@@ -62,6 +62,9 @@ fn explain_with(
         out.push_str(&t.display());
         out.push('\n');
     }
+    if let Some(r) = &skeleton.reopt {
+        out.push_str(&format!("[reopt: {r}]\n"));
+    }
     let mut r = Render { bound, catalog, namer: &namer, ann, next: 0 };
     r.node(plan, 0, &mut out);
     out

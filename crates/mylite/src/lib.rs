@@ -27,6 +27,7 @@
 pub mod bound;
 pub mod engine;
 pub mod explain;
+pub mod feedback;
 pub mod optimizer;
 pub mod plancache;
 pub mod refine;
@@ -39,5 +40,6 @@ pub use engine::{
     PlannedQuery, QueryOutput,
 };
 pub use explain::NodeAnnotation;
+pub use feedback::{FeedbackState, ObservationStore};
 pub use plancache::{CacheOutcome, CachedPlan, PlanCache, PlanCacheStats};
 pub use skeleton::{AccessChoice, JoinMethod, SearchTrace, SkelLeaf, SkelNode, Skeleton};

@@ -18,7 +18,7 @@ use crate::bound::{BoundQuery, BoundStatement, JoinEntry, TableSource};
 use crate::skeleton::{AccessChoice, JoinMethod, SkelLeaf, SkelNode, Skeleton};
 use std::collections::BTreeSet;
 use taurus_catalog::estimate::{Estimator, RelView};
-use taurus_catalog::Catalog;
+use taurus_catalog::{CardOverrides, Catalog};
 use taurus_common::error::{Error, Result};
 use taurus_common::{BinOp, Expr};
 
@@ -39,7 +39,20 @@ pub mod cost {
 /// Entry point: optimize every block of the statement (derived tables
 /// bottom-up) into a skeleton plan.
 pub fn optimize_statement(catalog: &Catalog, bound: &BoundStatement) -> Result<Skeleton> {
-    let ctx = PlanCtx { catalog, bound };
+    let ctx = PlanCtx { catalog, bound, fb: None };
+    ctx.optimize_block(&bound.root, &BTreeSet::new())
+}
+
+/// [`optimize_statement`] with observed-cardinality overrides from a prior
+/// execution (feedback-driven re-optimization): exact-set observations
+/// replace estimates at leaves, join prefixes, and grouped-aggregate
+/// outputs of derived tables.
+pub fn optimize_statement_feedback(
+    catalog: &Catalog,
+    bound: &BoundStatement,
+    fb: &CardOverrides,
+) -> Result<Skeleton> {
+    let ctx = PlanCtx { catalog, bound, fb: Some(fb) };
     ctx.optimize_block(&bound.root, &BTreeSet::new())
 }
 
@@ -53,9 +66,26 @@ pub fn optimize_statement(catalog: &Catalog, bound: &BoundStatement) -> Result<S
 /// each compound to a 10^28 q-error). Shared with the bridge so the Orca
 /// detour sees the same numbers.
 pub fn derived_output_rows(block: &BoundQuery, join_rows: f64) -> f64 {
+    derived_output_rows_fb(block, join_rows, None)
+}
+
+/// [`derived_output_rows`] consulting feedback overrides first: an observed
+/// grouped-aggregate output over the block's member set replaces the
+/// one-in-ten group guess — the guess that compounds into the worst
+/// q-errors when group counts are data-dependent.
+pub fn derived_output_rows_fb(
+    block: &BoundQuery,
+    join_rows: f64,
+    fb: Option<&CardOverrides>,
+) -> f64 {
     let mut rows = join_rows;
     if block.has_aggregation() {
-        rows = if block.group_by.is_empty() { 1.0 } else { (rows * 0.1).max(1.0) };
+        let qts: BTreeSet<usize> = block.member_qts().into_iter().collect();
+        rows = match fb.and_then(|f| f.agg(&qts)) {
+            Some(observed) => observed.max(1.0),
+            None if block.group_by.is_empty() => 1.0,
+            None => (rows * 0.1).max(1.0),
+        };
     }
     if let Some(n) = block.limit {
         rows = rows.min(n as f64);
@@ -87,6 +117,9 @@ pub fn statement_estimator(catalog: &Catalog, bound: &BoundStatement) -> Estimat
 struct PlanCtx<'a> {
     catalog: &'a Catalog,
     bound: &'a BoundStatement,
+    /// Observed cardinalities from a prior execution of this statement
+    /// (feedback-driven re-optimization); `None` for first compiles.
+    fb: Option<&'a CardOverrides>,
 }
 
 /// Per-member planning info computed up front.
@@ -144,13 +177,24 @@ impl<'a> PlanCtx<'a> {
                 }
                 TableSource::Derived { query, correlated, .. } => {
                     let sk = self.optimize_block(query, &inner_outer)?;
-                    let rows = derived_output_rows(query, sk.root.rows());
+                    // An observed cardinality for the derived table itself
+                    // (its own qt) beats the derived-output estimate — it
+                    // already includes the inner block's HAVING and LIMIT.
+                    let rows = self
+                        .fb
+                        .and_then(|f| f.rel_singleton(m.qt))
+                        .map(|r| r.max(1.0))
+                        .unwrap_or_else(|| derived_output_rows_fb(query, sk.root.rows(), self.fb));
                     let cost = sk.root.cost();
                     (AccessChoice::Derived { skeleton: Box::new(sk) }, rows, cost, *correlated)
                 }
             };
             let sel = est.conjunct_selectivity(&local, base_rows);
-            let filtered = (base_rows * sel).max(0.01);
+            // An observed post-filter cardinality beats any estimate.
+            let filtered = match self.fb.and_then(|f| f.rel_singleton(m.qt)) {
+                Some(observed) => observed.max(0.01),
+                None => (base_rows * sel).max(0.01),
+            };
             infos.push(MemberInfo {
                 mi,
                 qt: m.qt,
@@ -365,6 +409,7 @@ impl<'a> PlanCtx<'a> {
             orca_fallback: None,
             dop: None,
             search: None,
+            reopt: None,
         })
     }
 
@@ -412,17 +457,34 @@ impl<'a> PlanCtx<'a> {
         let has_equi = cross_conds.iter().any(|p| equi_pair(p, qt, &available).is_some());
 
         let inner_rows = info.filtered_rows;
-        let new_rows = match &m.entry {
-            JoinEntry::Inner => (prefix_rows * inner_rows * cross_sel).max(0.01),
-            JoinEntry::LeftOuter { .. } => (prefix_rows * inner_rows * cross_sel).max(prefix_rows),
-            JoinEntry::Semi { .. } => {
-                let frac = (inner_rows * cross_sel).min(1.0);
-                (prefix_rows * frac).max(0.01)
-            }
-            JoinEntry::Anti { .. } => {
-                let frac = (inner_rows * cross_sel).min(0.95);
-                (prefix_rows * (1.0 - frac)).max(0.01)
-            }
+        let mut joined: BTreeSet<usize> = placed.clone();
+        joined.insert(qt);
+        // An observed cardinality for exactly this join prefix replaces the
+        // derivation below (feedback-driven re-optimization).
+        let observed = self.fb.and_then(|f| f.rel(&joined));
+        let new_rows = match observed {
+            Some(rows) => rows.max(0.01),
+            None => match &m.entry {
+                JoinEntry::Inner => (prefix_rows * inner_rows * cross_sel).max(0.01),
+                JoinEntry::LeftOuter { .. } => {
+                    (prefix_rows * inner_rows * cross_sel).max(prefix_rows)
+                }
+                JoinEntry::Semi { .. } => {
+                    // Match probability, not expected match count: inner rows
+                    // sharing an equality key value contribute at most one
+                    // match per distinct key combination, so the inner row
+                    // count caps at the key columns' NDV product. Without the
+                    // cap a large inner side saturates the clamp at 1.0 and
+                    // the semi join "filters" nothing (the TPC-H q18 shape).
+                    let cap = eq_ndv_cap(&cross_conds, qt, est);
+                    let frac = (inner_rows.min(cap) * cross_sel).min(1.0);
+                    (prefix_rows * frac).max(0.01)
+                }
+                JoinEntry::Anti { .. } => {
+                    let frac = (inner_rows * cross_sel).min(0.95);
+                    (prefix_rows * (1.0 - frac)).max(0.01)
+                }
+            },
         };
 
         // Correlated derived tables force nested-loop re-materialization.
@@ -602,6 +664,27 @@ fn lookup_key(
     }
     let sel = 1.0 / est.ndv(taurus_common::ColRef { table: this.table, col: this.col });
     Some((other.clone(), sel))
+}
+
+/// Distinct-combination cap for `qt`'s side of the equality join keys in
+/// `conds`: the product of its bare-column key NDVs, or ∞ when no bare-
+/// column equality exists.
+fn eq_ndv_cap(conds: &[&Expr], qt: usize, est: &Estimator) -> f64 {
+    let mut cap = f64::INFINITY;
+    for p in conds {
+        if let Expr::Binary { op: BinOp::Eq, left, right } = p {
+            for (a, b) in [(left, right), (right, left)] {
+                if let Expr::Column(c) = a.as_ref() {
+                    if c.table == qt && !b.referenced_tables().contains(&qt) {
+                        let n = est.ndv(*c).max(1.0);
+                        cap = if cap.is_finite() { cap * n } else { n };
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    cap
 }
 
 /// Is `p` an equality connecting `qt` to placed tables?

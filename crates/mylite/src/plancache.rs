@@ -34,12 +34,16 @@ pub struct PlanCacheStats {
     pub insertions: u64,
     /// Entries evicted by the LRU policy.
     pub evictions: u64,
+    /// Entries evicted because runtime feedback crossed the q-error
+    /// threshold; the statement was recompiled with observed
+    /// cardinalities injected.
+    pub reoptimizations: u64,
 }
 
 impl PlanCacheStats {
     /// Hit rate over all lookups, in [0, 1]; 0 when no lookups happened.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses + self.invalidations;
+        let total = self.hits + self.misses + self.invalidations + self.reoptimizations;
         if total == 0 {
             0.0
         } else {
@@ -56,6 +60,10 @@ pub enum CacheOutcome {
     /// An entry existed but was compiled under an older catalog version;
     /// it was dropped and the statement re-optimized.
     Invalidated,
+    /// An entry existed and was valid, but its observed executions carried
+    /// a worst q-error above the session threshold; it was dropped and the
+    /// statement recompiled with the observed cardinalities injected.
+    Reoptimized,
 }
 
 impl CacheOutcome {
@@ -64,6 +72,7 @@ impl CacheOutcome {
             CacheOutcome::Hit => "hit",
             CacheOutcome::Miss => "miss",
             CacheOutcome::Invalidated => "invalidated",
+            CacheOutcome::Reoptimized => "reoptimized",
         }
     }
 }
@@ -182,6 +191,44 @@ impl PlanCache {
         }
     }
 
+    /// True when `fingerprint` maps to an entry that was produced by a
+    /// feedback re-optimization (a branch skeleton carries the reopt
+    /// marker) and is still valid under the caller's catalog version and
+    /// knobs. The serve paths compile on a miss *after* releasing the
+    /// cache lock, so an in-flight static compile can try to insert after
+    /// a concurrent serve re-optimized the same statement; overwriting
+    /// would resurrect the misestimated plan — and pin it, because the
+    /// feedback store's applied-observations snapshot then suppresses a
+    /// second re-optimization. Callers use this to skip such inserts. A
+    /// stale re-optimized entry does not block (it can no longer be
+    /// served anyway).
+    pub fn has_reopt_entry(
+        &self,
+        fingerprint: u64,
+        catalog_version: u64,
+        dop: usize,
+        parallel_threshold: usize,
+    ) -> bool {
+        self.entries.get(&fingerprint).is_some_and(|e| {
+            e.plan.catalog_version == catalog_version
+                && e.plan.dop == dop
+                && e.plan.parallel_threshold == parallel_threshold
+                && e.plan.planned.branches.iter().any(|b| b.skeleton.reopt.is_some())
+        })
+    }
+
+    /// Drop one entry whose `lookup` succeeded because runtime feedback
+    /// demands a re-optimization: the serve path recompiles the statement
+    /// with observed cardinalities injected and re-inserts the result.
+    /// Reclassifies the lookup's hit as a re-optimization so the counters
+    /// describe what the serve path really did.
+    pub fn discard_reopt(&mut self, fingerprint: u64) {
+        if self.entries.remove(&fingerprint).is_some() {
+            self.stats.hits = self.stats.hits.saturating_sub(1);
+            self.stats.reoptimizations += 1;
+        }
+    }
+
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -261,6 +308,20 @@ mod tests {
         assert!(c.lookup(2, 0, DOP, THRESHOLD).is_none());
         assert!(c.lookup(3, 0, DOP, THRESHOLD).is_some());
         assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn discard_reopt_reclassifies_the_hit() {
+        let mut c = PlanCache::new(4);
+        c.insert(1, dummy_plan(0));
+        assert!(c.lookup(1, 0, DOP, THRESHOLD).is_some());
+        c.discard_reopt(1);
+        let s = c.stats();
+        assert_eq!((s.hits, s.reoptimizations, s.invalidations), (0, 1, 0));
+        assert!(c.is_empty());
+        // Discarding an absent entry is a no-op.
+        c.discard_reopt(1);
+        assert_eq!(c.stats().reoptimizations, 1);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use crate::bound::{BoundQuery, BoundStatement, JoinEntry, TableSource};
 use crate::skeleton::{AccessChoice, JoinMethod, SkelLeaf, SkelNode, Skeleton};
 use std::collections::BTreeSet;
-use taurus_catalog::Catalog;
+use taurus_catalog::{CardOverrides, Catalog};
 use taurus_common::error::{Error, Result};
 use taurus_common::{AggFunc, BinOp, Expr};
 use taurus_executor::{AggSpec, AggStrategy, Est, JoinKind, Plan, SortKey};
@@ -47,7 +47,22 @@ pub fn refine_statement_parallel(
     skeleton: &Skeleton,
     opts: &taurus_executor::ParallelOpts,
 ) -> Result<Plan> {
-    let mut plan = refine_block(catalog, bound, &bound.root, skeleton, &BTreeSet::new())?;
+    refine_statement_feedback(catalog, bound, skeleton, opts, None)
+}
+
+/// [`refine_statement_parallel`] with observed-cardinality overrides: the
+/// estimates refinement stamps onto plan nodes (the numbers EXPLAIN ANALYZE
+/// compares against actuals) consult the same feedback table the join-order
+/// search used, so a re-optimized plan's annotations reflect the injected
+/// observations rather than the stale guesses.
+pub fn refine_statement_feedback(
+    catalog: &Catalog,
+    bound: &BoundStatement,
+    skeleton: &Skeleton,
+    opts: &taurus_executor::ParallelOpts,
+    fb: Option<&CardOverrides>,
+) -> Result<Plan> {
+    let mut plan = refine_block(catalog, bound, &bound.root, skeleton, &BTreeSet::new(), fb)?;
     if opts.dop > 1 {
         plan = taurus_executor::parallelize(plan, catalog, opts);
     }
@@ -69,6 +84,7 @@ pub(crate) fn refine_block(
     block: &BoundQuery,
     skeleton: &Skeleton,
     outer: &BTreeSet<usize>,
+    fb: Option<&CardOverrides>,
 ) -> Result<Plan> {
     // Orca-assisted skeletons may rely on OR-factorized predicates (the
     // hash join on Q41's extracted equality); the paper §7 item 4 notes the
@@ -92,6 +108,7 @@ pub(crate) fn refine_block(
         pending,
         consumed_on: Vec::new(),
         block_qts: block.member_qts(),
+        fb,
     };
     let (mut plan, covered) = r.build_join(&skeleton.root)?;
 
@@ -115,7 +132,7 @@ pub(crate) fn refine_block(
     // §2.2/§7 item 4: "a sort is avoided if an index scan already delivers
     // rows in the expected sorted order".
     let presorted = apply_index_order(catalog, bound, block, &mut plan);
-    finish_block(plan, block, presorted)
+    finish_block(plan, block, presorted, fb)
 }
 
 /// Try to make the plan deliver the block's ORDER BY natively: when the
@@ -168,7 +185,12 @@ fn apply_index_order(
 
 /// Aggregation, HAVING, projection, DISTINCT, ORDER BY, LIMIT — the
 /// "refinement pipeline" above the join tree.
-fn finish_block(mut plan: Plan, block: &BoundQuery, presorted: bool) -> Result<Plan> {
+fn finish_block(
+    mut plan: Plan,
+    block: &BoundQuery,
+    presorted: bool,
+    fb: Option<&CardOverrides>,
+) -> Result<Plan> {
     let est = plan.est();
     let mut select_exprs: Vec<Expr> = block.select.iter().map(|o| o.expr.clone()).collect();
     let mut having = block.having.clone();
@@ -225,9 +247,14 @@ fn finish_block(mut plan: Plan, block: &BoundQuery, presorted: bool) -> Result<P
                 AggStrategy::Stream
             },
             // A scalar aggregate produces exactly one row; grouped output
-            // is the usual one-in-ten group guess.
+            // is the usual one-in-ten group guess — unless a prior
+            // execution observed the actual group count (feedback).
             est: Est::new(
-                if block.group_by.is_empty() { 1.0 } else { est.rows.max(1.0) * 0.1 },
+                match fb.and_then(|f| f.agg(&block.member_qts())) {
+                    Some(observed) => observed.max(1.0),
+                    None if block.group_by.is_empty() => 1.0,
+                    None => est.rows.max(1.0) * 0.1,
+                },
                 est.cost,
             ),
         };
@@ -377,6 +404,8 @@ struct Refiner<'a> {
     /// index-lookup keys); skipped when the join node gathers its ON list.
     consumed_on: Vec<Expr>,
     block_qts: BTreeSet<usize>,
+    /// Observed-cardinality overrides (feedback-driven re-optimization).
+    fb: Option<&'a CardOverrides>,
 }
 
 impl<'a> Refiner<'a> {
@@ -627,15 +656,49 @@ impl<'a> Refiner<'a> {
                 };
                 let mut inner_outer = self.outer.clone();
                 inner_outer.extend(self.block_qts.iter().copied());
-                let inner_plan =
-                    refine_block(self.catalog, self.bound, inner_block, skeleton, &inner_outer)?;
+                let mut inner_plan = refine_block(
+                    self.catalog,
+                    self.bound,
+                    inner_block,
+                    skeleton,
+                    &inner_outer,
+                    self.fb,
+                )?;
+                // An observed cardinality for the derived table is exact for
+                // the inner block's head — the nodes above its aggregation
+                // (HAVING filter, projection, sort) emit the derived output,
+                // which the group-count override alone cannot predict. Only
+                // safe without an outer filter: with one, the recorded
+                // singleton is the post-filter count, not the block output.
+                if filter.is_empty() {
+                    if let Some(observed) = self.fb.and_then(|f| f.rel_singleton(qt)) {
+                        stamp_observed_output(&mut inner_plan, observed.max(1.0));
+                    }
+                }
+                // Derived and Materialize emit the inner block's rows; only
+                // the Filter above applies the outer block's local
+                // predicates. Stamping the post-filter estimate (leaf.rows)
+                // on all three made the unfiltered nodes look wrong by the
+                // filter's whole selectivity in EXPLAIN ANALYZE.
+                let pre = if filter.is_empty() {
+                    est
+                } else {
+                    Est::new(
+                        crate::optimizer::derived_output_rows_fb(
+                            inner_block,
+                            skeleton.root.rows(),
+                            self.fb,
+                        ),
+                        leaf.cost,
+                    )
+                };
                 let mut plan =
-                    Plan::Derived { input: Box::new(inner_plan), qt, width, name: label, est };
+                    Plan::Derived { input: Box::new(inner_plan), qt, width, name: label, est: pre };
                 plan = Plan::Materialize {
                     input: Box::new(plan),
                     rebind: correlated,
                     cache_slot: 0, // assigned later
-                    est,
+                    est: pre,
                 };
                 if !filter.is_empty() {
                     plan = Plan::Filter { input: Box::new(plan), predicate: filter, est };
@@ -661,6 +724,24 @@ impl<'a> Refiner<'a> {
         }
         let est = plan.est();
         Plan::Materialize { input: Box::new(plan), rebind: false, cache_slot: 0, est }
+    }
+}
+
+/// Overwrite the estimates on a derived block's head — every node above its
+/// aggregation (HAVING filter, projection, sort, limit) — with an observed
+/// derived-output cardinality. The aggregate itself keeps the observed group
+/// count; only the post-HAVING nodes emit the derived output.
+fn stamp_observed_output(plan: &mut Plan, rows: f64) {
+    match plan {
+        Plan::Project { input, est, .. }
+        | Plan::Filter { input, est, .. }
+        | Plan::Sort { input, est, .. } => {
+            est.rows = rows;
+            stamp_observed_output(input, rows);
+        }
+        // Nodes below a LIMIT emit more rows than the block outputs.
+        Plan::Limit { est, .. } => est.rows = rows,
+        _ => {}
     }
 }
 

@@ -191,6 +191,10 @@ pub struct Skeleton {
     /// Search-effort trace from the optimizer that built this skeleton
     /// (`None` when the backend doesn't trace, e.g. the native optimizer).
     pub search: Option<SearchTrace>,
+    /// Set when this plan came from feedback-driven re-optimization: a
+    /// short description of the injected observations (rendered as a
+    /// `[reopt: …]` EXPLAIN line). `None` for estimate-only compiles.
+    pub reopt: Option<String>,
 }
 
 impl Skeleton {
@@ -241,6 +245,7 @@ mod tests {
             orca_fallback: None,
             dop: None,
             search: None,
+            reopt: None,
         };
         assert_eq!(sk.root.qts(), vec![0, 2, 1]);
         assert!(sk.root.is_left_deep());
@@ -255,6 +260,7 @@ mod tests {
             orca_fallback: None,
             dop: None,
             search: None,
+            reopt: None,
         };
         assert_eq!(sk.explain_banner(), "EXPLAIN (ORCA)");
         sk.orca_assisted = false;

@@ -1,0 +1,124 @@
+//! The feedback loop's pinned bad actor, and the knob/attribution
+//! guarantees around it.
+//!
+//! The golden construction: four perfectly-correlated columns with seven
+//! distinct values each. Independence multiplies the per-column equality
+//! selectivities, so the static estimate is low by a factor of 7³ = 343 —
+//! the magnitude of the worst grouped-aggregate offender the observe
+//! report surfaced before the loop existed. One observed execution and one
+//! feedback-driven re-optimization must collapse that to ~1.
+
+use mylite::feedback::worst_q;
+use mylite::{Engine, MySqlOptimizer};
+use taurus_catalog::Catalog;
+use taurus_common::{Column, DataType, Schema, Value};
+
+/// 3430 rows where a = b = c = d = i mod 7: each column's equality
+/// selectivity is exactly 1/7, but the conjunction passes 490 rows, not
+/// 3430/7⁴ ≈ 1.43.
+fn engine() -> Engine {
+    let mut cat = Catalog::new();
+    let t = cat
+        .create_table(
+            "f",
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Int),
+                Column::new("c", DataType::Int),
+                Column::new("d", DataType::Int),
+            ]),
+        )
+        .unwrap();
+    cat.insert(
+        t,
+        (0..3430i64).map(|i| {
+            let v = Value::Int(i % 7);
+            vec![v.clone(), v.clone(), v.clone(), v]
+        }),
+    )
+    .unwrap();
+    let mut e = Engine::new(cat);
+    e.analyze();
+    e
+}
+
+const SQL: &str = "SELECT COUNT(*) FROM f WHERE a = 3 AND b = 3 AND c = 3 AND d = 3";
+
+#[test]
+fn pinned_340x_bad_actor_converges_in_one_reoptimization() {
+    let e = engine();
+    assert_eq!(e.reopt_q_threshold(), Some(10.0), "feedback loop is on by default");
+
+    let (first, o1) = e.analyze_cached(SQL, &MySqlOptimizer).unwrap();
+    assert_eq!(o1.label(), "miss");
+    let q1 = worst_q(&first.nodes);
+    assert!(
+        (300.0..400.0).contains(&q1),
+        "correlated conjunction must misestimate ~343x, got {q1:.1}"
+    );
+
+    let (second, o2) = e.analyze_cached(SQL, &MySqlOptimizer).unwrap();
+    assert_eq!(o2.label(), "reoptimized");
+    let q2 = worst_q(&second.nodes);
+    assert!(q2 <= 2.0, "re-optimized plan must converge to ~1, got {q2:.2}");
+    assert_eq!(first.output.rows, second.output.rows, "re-optimization must not change results");
+
+    // Convergence guarantee: the same observations never re-apply.
+    let (third, o3) = e.analyze_cached(SQL, &MySqlOptimizer).unwrap();
+    assert_eq!(o3.label(), "hit");
+    assert!(worst_q(&third.nodes) <= 2.0);
+    assert_eq!(first.output.rows, third.output.rows);
+    assert_eq!(e.plan_cache_stats().reoptimizations, 1);
+}
+
+#[test]
+fn feedback_off_keeps_serving_the_static_plan() {
+    let e = engine();
+    e.set_reopt_q_threshold(None);
+    let (_, o1) = e.analyze_cached(SQL, &MySqlOptimizer).unwrap();
+    assert_eq!(o1.label(), "miss");
+    for _ in 0..2 {
+        let (a, o) = e.analyze_cached(SQL, &MySqlOptimizer).unwrap();
+        assert_eq!(o.label(), "hit", "with the loop off a bad plan keeps serving");
+        assert!(worst_q(&a.nodes) > 300.0, "still the misestimated static plan");
+    }
+    assert_eq!(e.plan_cache_stats().reoptimizations, 0);
+}
+
+#[test]
+fn threshold_is_strictly_above() {
+    let e = engine();
+    let (first, _) = e.analyze_cached(SQL, &MySqlOptimizer).unwrap();
+    let q1 = worst_q(&first.nodes);
+    // A threshold exactly at the observed worst q-error must not trigger.
+    e.set_reopt_q_threshold(Some(q1));
+    let (_, o2) = e.analyze_cached(SQL, &MySqlOptimizer).unwrap();
+    assert_eq!(o2.label(), "hit");
+    // Nudging it below does.
+    e.set_reopt_q_threshold(Some(q1 * 0.99));
+    let (_, o3) = e.analyze_cached(SQL, &MySqlOptimizer).unwrap();
+    assert_eq!(o3.label(), "reoptimized");
+}
+
+/// Parallel execution (dop 4 and 8) must fold the same observed
+/// cardinalities as serial execution: loop-count normalization makes the
+/// per-operator attribution invariant to morsel multiplicity.
+#[test]
+fn parallel_folds_match_serial_attribution() {
+    let serial = engine();
+    let (_, _) = serial.analyze_cached(SQL, &MySqlOptimizer).unwrap();
+    let fps = serial.feedback().fingerprints();
+    assert_eq!(fps.len(), 1);
+    let want = serial.feedback().state(fps[0]).unwrap();
+
+    for dop in [4usize, 8] {
+        let par = engine();
+        par.set_parallel_threshold(1);
+        par.set_morsel_rows(64);
+        par.set_dop(dop);
+        let (_, _) = par.analyze_cached(SQL, &MySqlOptimizer).unwrap();
+        let got = par.feedback().state(fps[0]).expect("same fingerprint as serial");
+        assert_eq!(got.branches, want.branches, "dop {dop} attribution diverged from serial");
+        assert_eq!(got.worst_q, want.worst_q, "dop {dop} worst q-error diverged");
+    }
+}

@@ -3,7 +3,13 @@
 //! literals must compile (and cache) separately — never share a plan whose
 //! peeked constants have another type — and each shape must keep answering
 //! correctly after the other has been cached.
+//!
+//! Plus the eviction/concurrency audit from the feedback loop: a
+//! re-optimizing eviction racing in-flight serves of the same statement
+//! must neither corrupt a serve nor let a straggling static compile
+//! clobber (and thereby pin) the re-optimized entry.
 
+use mylite::feedback::worst_q;
 use mylite::{Engine, MySqlOptimizer};
 use taurus_catalog::Catalog;
 use taurus_common::{Column, DataType, Schema, Value};
@@ -92,4 +98,90 @@ fn rebound_results_match_cold_compiles() {
     }
     let s = e.plan_cache_stats();
     assert_eq!((s.hits, s.misses), (2, 1), "one shape, two rebound serves");
+}
+
+// ---------------------------------------------- reopt eviction vs serves
+
+/// Four perfectly-correlated columns: the static estimate for the
+/// four-way conjunction is low by 7³, so the first observed execution
+/// pushes the statement far over the default re-optimization threshold.
+fn correlated_engine() -> Engine {
+    let mut cat = Catalog::new();
+    let t = cat
+        .create_table(
+            "f",
+            Schema::new(vec![
+                Column::new("a", DataType::Int),
+                Column::new("b", DataType::Int),
+                Column::new("c", DataType::Int),
+                Column::new("d", DataType::Int),
+            ]),
+        )
+        .unwrap();
+    cat.insert(
+        t,
+        (0..3430i64).map(|i| {
+            let v = Value::Int(i % 7);
+            vec![v.clone(), v.clone(), v.clone(), v]
+        }),
+    )
+    .unwrap();
+    let mut e = Engine::new(cat);
+    e.analyze();
+    e
+}
+
+/// The audited race: the miss path compiles *after* releasing the cache
+/// lock, so a static compile that started before a concurrent serve
+/// re-optimized the statement can try to insert afterwards. If it were
+/// allowed to overwrite, the misestimated plan would come back — and stay,
+/// because the feedback store's applied-observations snapshot suppresses a
+/// second re-optimization on the same observations. Hammer both serve
+/// paths from several threads and then require that the surviving cache
+/// entry is the re-optimized one.
+#[test]
+fn reopt_eviction_racing_concurrent_serves_keeps_the_reoptimized_plan() {
+    let e = correlated_engine();
+    let sql = "SELECT COUNT(*) FROM f WHERE a = 3 AND b = 3 AND c = 3 AND d = 3";
+    let want = vec![vec![Value::Int(490)]];
+
+    std::thread::scope(|s| {
+        for t in 0..4usize {
+            let (e, want) = (&e, &want);
+            s.spawn(move || {
+                for i in 0..12usize {
+                    // Alternate the instrumented path (folds observations,
+                    // can re-optimize) with the plain cached path (static
+                    // compiles on a miss — the clobber candidate).
+                    if (t + i) % 2 == 0 {
+                        let out = e.query_cached(sql, &MySqlOptimizer).unwrap();
+                        assert_eq!(&out.rows, want, "cached serve corrupted mid-race");
+                    } else {
+                        let (a, _) = e.analyze_cached(sql, &MySqlOptimizer).unwrap();
+                        assert_eq!(&a.output.rows, want, "instrumented serve corrupted mid-race");
+                    }
+                }
+            });
+        }
+    });
+
+    assert!(
+        e.plan_cache_stats().reoptimizations >= 1,
+        "the hammer never crossed the re-optimization threshold"
+    );
+    // The dust settles onto a converged hit within a serve or two (a last
+    // straggler fold may legitimately trigger one more re-optimization).
+    let mut settled = None;
+    for _ in 0..3 {
+        let (a, o) = e.analyze_cached(sql, &MySqlOptimizer).unwrap();
+        assert_eq!(&a.output.rows, &want);
+        if o.label() == "hit" {
+            settled = Some(a);
+            break;
+        }
+    }
+    let a = settled.expect("cache never settled to a hit after the hammer");
+    let q = worst_q(&a.nodes);
+    assert!(q <= 2.0, "a static compile clobbered the re-optimized entry (worst q {q:.1})");
+    assert_eq!(e.plan_cache_len(), 1);
 }

@@ -6,6 +6,13 @@
 //! Orca carries "relatively high index lookup and hash join costs" tuned
 //! for MPP scans rather than InnoDB (§9): random access is priced
 //! noticeably above sequential.
+//!
+//! Every function here is a pure function of *row counts*, which is what
+//! makes feedback-driven re-optimization compose cleanly: when the memo's
+//! group cardinalities are replaced by observed actuals (overrides carried
+//! on [`crate::md::MdCache`]), the same formulas re-rank join orders and
+//! methods with no cost-model changes — garbage-in stops, garbage-out
+//! stops.
 
 /// Sequential row processing (scan).
 pub const SEQ_ROW: f64 = 1.0;

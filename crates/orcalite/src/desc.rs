@@ -11,6 +11,7 @@
 //! reliable.
 
 use std::collections::BTreeSet;
+use taurus_catalog::estimate::ColView;
 use taurus_common::{Expr, Oid};
 
 /// Where a member's rows come from, as far as Orca is concerned.
@@ -22,7 +23,10 @@ pub enum RelSource {
     Base { oid: Oid },
     /// A derived table (subquery/CTE consumer). Opaque to the join search:
     /// the host already optimized its inner block and supplies estimates.
-    Derived { rows: f64, cost: f64, width: usize, correlated: bool },
+    /// `cols` carries per-output-column statistics propagated from the
+    /// inner block (bare-column projections keep the base column's NDV,
+    /// capped at the derived row count); empty means no column stats.
+    Derived { rows: f64, cost: f64, width: usize, correlated: bool, cols: Vec<Option<ColView>> },
 }
 
 /// How a member joins its block (mirrors the host's prepared semantics).
@@ -115,7 +119,13 @@ mod tests {
         assert!(semi.is_dependent());
         let correlated = MemberDesc {
             qt: 2,
-            source: RelSource::Derived { rows: 1.0, cost: 10.0, width: 1, correlated: true },
+            source: RelSource::Derived {
+                rows: 1.0,
+                cost: 10.0,
+                width: 1,
+                correlated: true,
+                cols: Vec::new(),
+            },
             entry: EntryDesc::Inner,
             deps: BTreeSet::from([0]),
         };

@@ -12,7 +12,9 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 use taurus_catalog::estimate::RelView;
+use taurus_catalog::CardOverrides;
 use taurus_common::Oid;
 
 /// Relation metadata.
@@ -65,6 +67,12 @@ pub struct MdCache<'a> {
     misses: RefCell<u64>,
     /// Requests served from the cache.
     hits: RefCell<u64>,
+    /// Observed-cardinality overrides for feedback-driven re-optimization.
+    /// Like statistics, observed rows are *metadata about relations and
+    /// their joins*, so they arrive through the same accessor boundary the
+    /// paper routes all catalog knowledge through — the search reads them
+    /// from its metadata handle, never from a side channel.
+    overrides: RefCell<Option<Arc<CardOverrides>>>,
 }
 
 impl<'a> MdCache<'a> {
@@ -76,7 +84,19 @@ impl<'a> MdCache<'a> {
             indexes: RefCell::new(HashMap::new()),
             misses: RefCell::new(0),
             hits: RefCell::new(0),
+            overrides: RefCell::new(None),
         }
+    }
+
+    /// Install observed-cardinality overrides for the next optimization
+    /// run through this cache. `None` (the default) means estimate-only.
+    pub fn set_overrides(&self, overrides: Option<Arc<CardOverrides>>) {
+        *self.overrides.borrow_mut() = overrides;
+    }
+
+    /// The installed observed-cardinality overrides, if any.
+    pub fn overrides(&self) -> Option<Arc<CardOverrides>> {
+        self.overrides.borrow().clone()
     }
 
     pub fn relation(&self, oid: Oid) -> Option<MdRelation> {

@@ -35,7 +35,9 @@ use crate::md::{MdCache, MdIndex, MetadataAccessor};
 use crate::physical::{OrcaPlan, PhysJoinKind, PhysNode, SearchStats};
 use crate::rules::normalize_pool_traced;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 use taurus_catalog::estimate::{Estimator, RelView};
+use taurus_catalog::CardOverrides;
 use taurus_common::error::{Error, Result};
 use taurus_common::{BinOp, ColRef, Expr};
 
@@ -94,6 +96,10 @@ struct Member {
     indexes: Vec<MdIndex>,
     /// Effective dependencies as member-index bits.
     dep_bits: Bits,
+    /// Distinct-combination cap for equality join keys on this member's
+    /// side: the product of its ON-equality key-column NDVs (∞ when no
+    /// bare-column equality exists).
+    eq_ndv: f64,
 }
 
 /// A decided physical implementation of a join split.
@@ -136,6 +142,9 @@ struct Search<'a> {
     /// hash-key availability checks).
     pool_eq_sides: Vec<Option<(Bits, Bits)>>,
     est: Estimator,
+    /// Observed-cardinality overrides from the metadata cache (feedback-
+    /// driven re-optimization): exact-set hits replace derived group rows.
+    fb: Option<Arc<CardOverrides>>,
     groups: HashMap<Bits, Group>,
     next_group: usize,
     /// Effective effort cap (config budget, possibly fault-squeezed).
@@ -167,10 +176,19 @@ impl<'a> Search<'a> {
                     .ok_or_else(|| {
                         Error::CatalogMissing(format!("relation {oid} unknown to MD accessor"))
                     })?,
-                RelSource::Derived { rows, width, .. } => RelView::opaque(*rows, *width),
+                RelSource::Derived { rows, width, cols, .. } => {
+                    if cols.is_empty() {
+                        RelView::opaque(*rows, *width)
+                    } else {
+                        let mut cols = cols.clone();
+                        cols.resize(*width, None);
+                        RelView { rows: *rows, cols }
+                    }
+                }
             });
         }
         let est = Estimator::new(rels);
+        let fb = md.overrides().filter(|o| !o.is_empty());
 
         let qt_to_idx: HashMap<usize, usize> =
             desc.members.iter().enumerate().map(|(i, m)| (m.qt, i)).collect();
@@ -230,12 +248,43 @@ impl<'a> Search<'a> {
                     on_cross.push(c);
                 }
             }
-            let (base_rows, leaf, leaf_cost, indexes) = build_leaf(m, &local, md, &est, i)?;
+            let (base_rows, mut leaf, leaf_cost, indexes) = build_leaf(m, &local, md, &est, i)?;
             // Stacked-conjunction products floor at one surviving row of
             // their input relation (see `conjunct_selectivity`).
             let on_sel = est.conjunct_selectivity(&on_cross, base_rows);
             let sel = est.conjunct_selectivity(&local, base_rows);
-            let filtered_rows = (base_rows * sel).max(0.01);
+            // An observed post-filter cardinality from a prior execution
+            // beats any estimate.
+            let filtered_rows = match fb.as_ref().and_then(|f| f.rel_singleton(m.qt)) {
+                Some(observed) => {
+                    let observed = observed.max(0.01);
+                    // The leaf alternative carries its own statistics-based
+                    // row count — restamp it so the final plan's leaf
+                    // estimate agrees with the observed cardinality.
+                    match &mut leaf {
+                        PhysNode::Scan { rows, .. }
+                        | PhysNode::IndexRange { rows, .. }
+                        | PhysNode::DerivedScan { rows, .. } => *rows = observed,
+                        _ => {}
+                    }
+                    observed
+                }
+                None => (base_rows * sel).max(0.01),
+            };
+            let mut eq_ndv = f64::INFINITY;
+            for c in &on_cross {
+                if let Expr::Binary { op: BinOp::Eq, left, right } = c {
+                    for (a, b) in [(left, right), (right, left)] {
+                        if let Expr::Column(cr) = a.as_ref() {
+                            if cr.table == m.qt && !b.referenced_tables().contains(&m.qt) {
+                                let n = est.ndv(*cr).max(1.0);
+                                eq_ndv = if eq_ndv.is_finite() { eq_ndv * n } else { n };
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
             let mut dep_bits: Bits = 0;
             for d in &m.deps {
                 if let Some(&di) = qt_to_idx.get(d) {
@@ -253,6 +302,7 @@ impl<'a> Search<'a> {
                 leaf_cost,
                 indexes,
                 dep_bits,
+                eq_ndv,
             });
         }
 
@@ -297,6 +347,7 @@ impl<'a> Search<'a> {
             pool_sel,
             pool_eq_sides,
             est,
+            fb,
             groups: HashMap::new(),
             next_group: 0,
             budget: cfg.faults.squeeze(FaultSite::OptimizeSearch).unwrap_or(cfg.budget),
@@ -346,10 +397,22 @@ impl<'a> Search<'a> {
         true
     }
 
-    /// Derived cardinality of a subset (a logical group property).
+    /// Derived cardinality of a subset (a logical group property). An
+    /// exact-set observed cardinality from the metadata cache's feedback
+    /// overrides wins over the estimate — the group's logical property
+    /// becomes a measured fact rather than a derivation.
     fn rows_of(&mut self, set: Bits) -> f64 {
         if let Some(g) = self.groups.get(&set) {
             return g.rows;
+        }
+        if let Some(fb) = self.fb.clone() {
+            if let Some(observed) = fb.rel(&self.member_qts_set(set)) {
+                let rows = observed.max(0.01);
+                let id = self.next_group;
+                self.next_group += 1;
+                self.groups.insert(set, Group { id, rows, winner: None, explored: false });
+                return rows;
+            }
         }
         let mut base = 1.0f64;
         let mut any_inner = false;
@@ -384,7 +447,14 @@ impl<'a> Search<'a> {
                     base *= (m.filtered_rows * m.on_sel).max(1.0);
                 }
                 EntryDesc::Semi { .. } => {
-                    base *= (m.filtered_rows * m.on_sel).clamp(1e-6, 1.0);
+                    // Match probability, not expected match count: inner
+                    // rows sharing an equality key value can contribute at
+                    // most one match per distinct key combination, so the
+                    // row count caps at the key columns' NDV product before
+                    // the per-value selectivity applies. Without the cap a
+                    // large inner side saturates the clamp at 1.0 and the
+                    // semi join "filters" nothing (the TPC-H q18 shape).
+                    base *= (m.filtered_rows.min(m.eq_ndv) * m.on_sel).clamp(1e-6, 1.0);
                 }
                 EntryDesc::Anti { .. } => {
                     base *= (1.0 - (m.filtered_rows * m.on_sel).min(0.95)).max(0.05);
@@ -1219,8 +1289,13 @@ mod tests {
         // members in member order.
         let (md, mut desc) = setup();
         desc.members[1].entry = EntryDesc::LeftOuter { on: vec![] };
-        desc.members[1].source =
-            RelSource::Derived { rows: 1.0, cost: 10.0, width: 1, correlated: false };
+        desc.members[1].source = RelSource::Derived {
+            rows: 1.0,
+            cost: 10.0,
+            width: 1,
+            correlated: false,
+            cols: Vec::new(),
+        };
         let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
         assert_eq!(plan.root.leaf_qts().last().copied(), Some(1));
     }

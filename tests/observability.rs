@@ -19,8 +19,16 @@ fn golden_q_errors_hold_on_representative_tpch_templates() {
     let orca = OrcaOptimizer::new(OrcaConfig::default(), 1);
     // Observed worst per-operator q-errors at this scale: q1 3.25 (grouped
     // aggregate output), q3 5.14 (join + group-by), q9 10.50 (deep
-    // multi-join over derived cardinalities). Ceilings leave ~2x headroom.
-    for (idx, name, ceiling) in [(0, "q1", 7.0), (2, "q3", 11.0), (8, "q9", 21.0)] {
+    // multi-join over derived cardinalities), q15 3.00 (range-merged
+    // revenue view), q18 50.00 (the HAVING filter over an IN-subquery's
+    // aggregate — static estimation cannot see the HAVING's selectivity;
+    // the feedback loop converges it to 1 on the second compile, see
+    // `harness feedback`). Ceilings leave ~1.5x headroom; they were
+    // tightened after the derived-column NDV propagation fix cut the
+    // suite-wide max from 336 to 50.
+    for (idx, name, ceiling) in
+        [(0, "q1", 5.0), (2, "q3", 8.0), (8, "q9", 15.0), (14, "q15", 5.0), (17, "q18", 60.0)]
+    {
         let q = &tpch::queries()[idx];
         assert_eq!(q.name, name, "template order changed; re-pin the golden values");
         let analyzed = engine.explain_analyze(&q.sql, &orca).expect(name);
