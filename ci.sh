@@ -62,9 +62,9 @@ SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness feedback
 
 echo "== fuzz: differential correctness gate"
 # Seeded, fully deterministic random-query sweep over TPC-H, TPC-DS, and
-# the adversarial schema, checked by six oracles (native-vs-orca,
+# the adversarial schema, checked by seven oracles (native-vs-orca,
 # serial-vs-parallel, fresh-vs-rebound, TLP partitioning, cancel-recover,
-# feedback re-optimization).
+# feedback re-optimization, concurrent-sessions).
 # Any miscompare fails the gate and prints the delta-debugged minimal
 # repro SQL. Raise FUZZ_BUDGET (queries per seed) for a deeper local sweep.
 SCALE=0.05 FUZZ_BUDGET="${FUZZ_BUDGET:-150}" \
@@ -78,5 +78,16 @@ echo "== governance: query-governor chaos gate"
 # GOVERNANCE_BUDGET (disturbed executions) for a deeper local sweep.
 SCALE=0.05 GOVERNANCE_BUDGET="${GOVERNANCE_BUDGET:-200}" \
     cargo run --release --offline -p taurus-bench --bin harness governance
+
+echo "== concurrency: multi-session server scaling gate"
+# Closed-loop bench through real sockets: 8 clients vs 1 over a mixed
+# TPC-H/TPC-DS statement mix against the taurus-server front end. Fails
+# if aggregate QPS at 8 clients is under 2x the single-client rate (a
+# global engine lock trips this), or if any response diverges
+# byte-for-byte from the single-session reference serves. Raise
+# CONCURRENCY_BUDGET (loaded-level statements, split across 8 clients)
+# for a longer local soak.
+SCALE=0.05 CONCURRENCY_BUDGET="${CONCURRENCY_BUDGET:-320}" \
+    cargo run --release --offline -p taurus-bench --bin harness concurrency
 
 echo "CI OK"

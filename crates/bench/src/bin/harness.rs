@@ -18,12 +18,15 @@
 //! harness fuzz [--seed-range a..b]
 //!                    # differential query fuzzer (exits 1 on any miscompare)
 //! harness governance # query-governor chaos report (exits 1 on gate failure)
+//! harness concurrency# multi-session closed-loop bench (exits 1 on gate failure)
 //! harness all        # everything, in order
 //! ```
 //!
 //! Environment knobs: `SCALE` (default 0.3), `REPS` (default 5),
 //! `FUZZ_BUDGET` (queries per seed for `fuzz`, default 500),
-//! `GOVERNANCE_BUDGET` (disturbed executions for `governance`, default 200).
+//! `GOVERNANCE_BUDGET` (disturbed executions for `governance`, default 200),
+//! `CONCURRENCY_BUDGET` (loaded-level statements for `concurrency`,
+//! default 320 — split across 8 clients).
 
 use taurus_bench::*;
 use taurus_workloads::Scale;
@@ -86,6 +89,9 @@ fn main() {
     if want("governance") {
         governance_report();
     }
+    if want("concurrency") {
+        concurrency_report();
+    }
     if !run_all
         && ![
             "fig10",
@@ -103,6 +109,7 @@ fn main() {
             "feedback",
             "fuzz",
             "governance",
+            "concurrency",
         ]
         .contains(&arg.as_str())
     {
@@ -305,14 +312,17 @@ fn fuzz_report() {
         .and_then(|r| fuzz::parse_seed_range(&r))
         .unwrap_or_else(|| vec![0, 1]);
     let budget = std::env::var("FUZZ_BUDGET").ok().and_then(|s| s.parse().ok()).unwrap_or(500usize);
-    println!("\n## Differential fuzzer — six oracles over random queries (scale {:?})\n", scale());
+    println!(
+        "\n## Differential fuzzer — seven oracles over random queries (scale {:?})\n",
+        scale()
+    );
     let r = fuzz::run_fuzz(&seeds, budget, scale());
     print!("{}", fuzz::format_fuzz_report(&r));
     if let Err(violation) = r.gate() {
         eprintln!("\nfuzz gate FAILED: {violation}");
         std::process::exit(1);
     }
-    println!("\nfuzz gate passed: {} queries × 6 oracles, zero miscompares", r.generated);
+    println!("\nfuzz gate passed: {} queries × 7 oracles, zero miscompares", r.generated);
 }
 
 fn governance_report() {
@@ -332,6 +342,28 @@ fn governance_report() {
     println!(
         "\ngovernance gate passed: zero panics, peak memory within budget, \
          engine serviceable after every governed failure"
+    );
+}
+
+fn concurrency_report() {
+    let budget =
+        std::env::var("CONCURRENCY_BUDGET").ok().and_then(|s| s.parse().ok()).unwrap_or(320usize);
+    println!(
+        "\n## Multi-session server — closed-loop concurrency, {} clients vs 1 \
+         (scale {:?}, budget {budget})\n",
+        concurrency::LOADED_CLIENTS,
+        scale()
+    );
+    let r = concurrency::run_concurrency(scale(), budget);
+    print!("{}", concurrency::format_concurrency_report(&r));
+    if let Err(violation) = r.gate() {
+        eprintln!("\nconcurrency gate FAILED: {violation}");
+        std::process::exit(1);
+    }
+    println!(
+        "\nconcurrency gate passed: {:.2}× aggregate QPS at {} clients, \
+         zero divergence from single-session serves",
+        r.speedup, r.loaded.clients
     );
 }
 

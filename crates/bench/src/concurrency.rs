@@ -1,0 +1,380 @@
+//! Closed-loop concurrency benchmark: N clients over real sockets against
+//! the multi-session server, mixed TPC-H/TPC-DS point-and-aggregate
+//! templates, byte-identical correctness against single-session serves.
+//!
+//! The harness runs the same deterministic per-client schedule at two
+//! load levels — one client, then eight — and gates on the aggregate
+//! throughput scaling between them. The benchmark is *closed-loop*: each
+//! client waits out a think time between statements, so a single client's
+//! throughput is pinned near `1 / (service + think)` while eight clients
+//! overlap their think times and expose how much of the serve path the
+//! shared engine can actually run concurrently (sharded plan cache,
+//! catalog read-snapshots, atomic admission). Think time is calibrated
+//! from a warmup pass — `clamp(4 × mean service, 2ms..100ms)` — so the
+//! ≥2× gate holds by a wide margin on a single-core container *iff* the
+//! engine does not serialize whole serves behind one lock; a global
+//! cache/catalog mutex would cap the loaded level at roughly the single
+//! client's rate and fail the gate.
+
+use crate::Workload;
+use mylite::{Engine, PlanCacheStats};
+use orcalite::OrcaConfig;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use taurus_bridge::OrcaOptimizer;
+use taurus_server::{Client, Server, ServerHandle};
+use taurus_workloads::Scale;
+
+/// How many clients the loaded level runs (the gate compares against 1).
+pub const LOADED_CLIENTS: usize = 8;
+
+/// One load level's measurements.
+#[derive(Debug, Clone)]
+pub struct LevelStats {
+    pub clients: usize,
+    /// Total statements served across all clients.
+    pub requests: usize,
+    /// Wall time of the whole level (connect excluded, joins included).
+    pub wall: Duration,
+    pub p50: Duration,
+    pub p99: Duration,
+    /// Aggregate statements per second over the wall time.
+    pub qps: f64,
+}
+
+/// The `harness concurrency` report.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyReport {
+    /// Distinct cached statements in the mix (templates × literal variants).
+    pub statements: usize,
+    /// TPC-H vs TPC-DS split of the statement mix.
+    pub tpch_statements: usize,
+    pub tpcds_statements: usize,
+    /// Statements each client executes per level.
+    pub iters_per_client: usize,
+    /// Mean per-statement service time over the hot warmup pass.
+    pub mean_service: Duration,
+    /// Calibrated per-statement client think time.
+    pub think: Duration,
+    pub single: LevelStats,
+    pub loaded: LevelStats,
+    /// Responses that differed from the single-session reference rows.
+    pub divergences: usize,
+    /// Plan-cache counters summed over both workload engines, end of run.
+    pub cache: PlanCacheStats,
+    /// `loaded.qps / single.qps` — the gated scaling factor.
+    pub speedup: f64,
+}
+
+impl ConcurrencyReport {
+    /// The acceptance gate: zero divergence from single-session serves and
+    /// at least 2× aggregate QPS at eight clients vs one.
+    pub fn gate(&self) -> Result<(), String> {
+        if self.divergences != 0 {
+            return Err(format!(
+                "{} responses diverged from the single-session reference rows",
+                self.divergences
+            ));
+        }
+        if self.speedup < 2.0 {
+            return Err(format!(
+                "aggregate QPS at {} clients is only {:.2}× the single-client rate (gate: ≥ 2×)",
+                self.loaded.clients, self.speedup
+            ));
+        }
+        if self.cache.hits == 0 {
+            return Err("the storm never hit the plan cache — serves are not shared".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// The statement mix: fast point lookups and small aggregates from both
+/// workloads, three literal variants per template so the plan cache holds
+/// a realistic working set. Every statement is deterministic (ordered or
+/// single-row) so responses can be compared byte-for-byte.
+fn statements() -> Vec<(Workload, String)> {
+    let mut v = Vec::new();
+    for (i, seg) in ["AUTOMOBILE", "BUILDING", "FURNITURE"].into_iter().enumerate() {
+        v.push((
+            Workload::TpcH,
+            format!(
+                "SELECT o_orderdate, o_totalprice FROM orders WHERE o_orderkey = {}",
+                37 + i * 100
+            ),
+        ));
+        v.push((
+            Workload::TpcH,
+            format!(
+                "SELECT l_returnflag, COUNT(*) AS n FROM lineitem WHERE l_quantity < {} \
+                 GROUP BY l_returnflag ORDER BY l_returnflag",
+                5 + i
+            ),
+        ));
+        v.push((
+            Workload::TpcH,
+            format!("SELECT COUNT(*) FROM customer WHERE c_mktsegment = '{seg}'"),
+        ));
+        v.push((
+            Workload::TpcH,
+            format!(
+                "SELECT COUNT(*) FROM orders, customer \
+                 WHERE o_custkey = c_custkey AND c_mktsegment = '{seg}'"
+            ),
+        ));
+        v.push((
+            Workload::TpcDs,
+            format!("SELECT i_item_id, i_current_price FROM item WHERE i_item_sk = {}", 3 + i),
+        ));
+        v.push((
+            Workload::TpcDs,
+            format!(
+                "SELECT COUNT(*), SUM(ss_quantity) FROM store_sales WHERE ss_store_sk = {}",
+                1 + i
+            ),
+        ));
+        v.push((
+            Workload::TpcDs,
+            format!(
+                "SELECT ss_store_sk, COUNT(*) AS n FROM store_sales WHERE ss_quantity > {} \
+                 GROUP BY ss_store_sk ORDER BY ss_store_sk",
+                40 + i * 20
+            ),
+        ));
+        v.push((
+            Workload::TpcDs,
+            format!("SELECT COUNT(*) FROM date_dim WHERE d_year = {}", 1999 + i),
+        ));
+    }
+    v
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+}
+
+/// One running workload: its engine (kept for stats), its server, and the
+/// reference rows for every statement routed to it.
+struct Backend {
+    engine: Arc<Engine>,
+    handle: ServerHandle,
+}
+
+fn start_backend(workload: Workload, scale: Scale) -> Backend {
+    let mut engine = workload.build_engine(scale);
+    engine.analyze();
+    let engine = Arc::new(engine);
+    let optimizer = Arc::new(OrcaOptimizer::new(OrcaConfig::default(), workload.threshold()));
+    let handle = Server::start(engine.clone(), optimizer).expect("server binds an ephemeral port");
+    Backend { engine, handle }
+}
+
+fn connect_pair(backends: [&Backend; 2]) -> [Client; 2] {
+    [
+        Client::connect(backends[0].handle.addr()).expect("connect TPC-H server"),
+        Client::connect(backends[1].handle.addr()).expect("connect TPC-DS server"),
+    ]
+}
+
+fn backend_index(w: Workload) -> usize {
+    match w {
+        Workload::TpcH => 0,
+        Workload::TpcDs => 1,
+    }
+}
+
+/// Run one closed-loop level: `clients` threads, each with its own pair of
+/// connections, walking the statement mix on a deterministic out-of-phase
+/// schedule with `think` between statements.
+fn run_level(
+    backends: [&Backend; 2],
+    stmts: &[(Workload, String)],
+    reference: &[Vec<Vec<taurus_common::Value>>],
+    clients: usize,
+    iters: usize,
+    think: Duration,
+    divergences: &AtomicUsize,
+) -> LevelStats {
+    // Connect outside the clock so the level measures serving, not dialing.
+    let mut conns: Vec<[Client; 2]> = (0..clients).map(|_| connect_pair(backends)).collect();
+    let t0 = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|s| {
+        let handles: Vec<_> = conns
+            .drain(..)
+            .enumerate()
+            .map(|(t, mut pair)| {
+                s.spawn(move || {
+                    let mut lats = Vec::with_capacity(iters);
+                    for i in 0..iters {
+                        // Out-of-phase walk: client t starts t*7 statements in.
+                        let which = (t * 7 + i) % stmts.len();
+                        let (w, sql) = &stmts[which];
+                        let started = Instant::now();
+                        let got = pair[backend_index(*w)]
+                            .query(sql)
+                            .unwrap_or_else(|e| panic!("client {t} statement {which}: {e}"));
+                        lats.push(started.elapsed());
+                        if got.rows != reference[which] {
+                            divergences.fetch_add(1, Ordering::Relaxed);
+                        }
+                        std::thread::sleep(think);
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall = t0.elapsed();
+    latencies.sort();
+    let requests = latencies.len();
+    LevelStats {
+        clients,
+        requests,
+        wall,
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        qps: requests as f64 / wall.as_secs_f64().max(1e-9),
+    }
+}
+
+/// Build both workload engines, serve them over real sockets, and measure
+/// closed-loop throughput at one and at [`LOADED_CLIENTS`] clients.
+/// `budget` is the loaded level's total statement count
+/// (`CONCURRENCY_BUDGET`); each client runs `max(10, budget / 8)` statements
+/// at *both* levels so the levels differ only in concurrency.
+pub fn run_concurrency(scale: Scale, budget: usize) -> ConcurrencyReport {
+    let h = start_backend(Workload::TpcH, scale);
+    let ds = start_backend(Workload::TpcDs, scale);
+    let stmts = statements();
+    let iters = (budget / LOADED_CLIENTS).max(10);
+
+    // Single-session reference serves: in-process, one statement at a time.
+    // These also prime both plan caches, so the timed levels run hot — the
+    // steady state the paper's server cares about.
+    let reference: Vec<_> = stmts
+        .iter()
+        .map(|(w, sql)| {
+            let backend = if *w == Workload::TpcH { &h } else { &ds };
+            let opt = OrcaOptimizer::new(OrcaConfig::default(), w.threshold());
+            backend.engine.query_cached(sql, &opt).expect("reference serve").rows
+        })
+        .collect();
+
+    // Warmup over the wire: calibrate the think time off real round-trip
+    // service times so the closed loop behaves the same at any SCALE. Two
+    // passes — the first absorbs one-time costs (socket ramp-up, any
+    // residual compile), the second measures the hot steady state the
+    // timed levels run in.
+    let mut pair = connect_pair([&h, &ds]);
+    let mut service = Duration::ZERO;
+    for _ in 0..2 {
+        service = Duration::ZERO;
+        for (w, sql) in &stmts {
+            let t = Instant::now();
+            pair[backend_index(*w)].query(sql).expect("warmup serve");
+            service += t.elapsed();
+        }
+    }
+    let mean_service = service / stmts.len() as u32;
+    let think = (mean_service * 4).clamp(Duration::from_millis(2), Duration::from_millis(100));
+
+    let divergences = AtomicUsize::new(0);
+    let single = run_level([&h, &ds], &stmts, &reference, 1, iters, think, &divergences);
+    let loaded =
+        run_level([&h, &ds], &stmts, &reference, LOADED_CLIENTS, iters, think, &divergences);
+
+    let sum = |a: PlanCacheStats, b: PlanCacheStats| PlanCacheStats {
+        hits: a.hits + b.hits,
+        misses: a.misses + b.misses,
+        invalidations: a.invalidations + b.invalidations,
+        insertions: a.insertions + b.insertions,
+        evictions: a.evictions + b.evictions,
+        reoptimizations: a.reoptimizations + b.reoptimizations,
+    };
+    let cache = sum(h.engine.plan_cache_stats(), ds.engine.plan_cache_stats());
+    let speedup = loaded.qps / single.qps.max(1e-9);
+    let tpch_statements = stmts.iter().filter(|(w, _)| *w == Workload::TpcH).count();
+    let report = ConcurrencyReport {
+        statements: stmts.len(),
+        tpch_statements,
+        tpcds_statements: stmts.len() - tpch_statements,
+        iters_per_client: iters,
+        mean_service,
+        think,
+        single,
+        loaded,
+        divergences: divergences.load(Ordering::Relaxed),
+        cache,
+        speedup,
+    };
+    h.handle.stop();
+    ds.handle.stop();
+    report
+}
+
+/// Format the concurrency report as markdown (the `harness concurrency` body).
+pub fn format_concurrency_report(r: &ConcurrencyReport) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "mix: {} statements ({} TPC-H, {} TPC-DS), {} per client per level, \
+         hot service {:.1?} mean, think {:.1?}\n",
+        r.statements,
+        r.tpch_statements,
+        r.tpcds_statements,
+        r.iters_per_client,
+        r.mean_service,
+        r.think
+    );
+    let _ = writeln!(s, "| clients | requests | wall | p50 | p99 | QPS |");
+    let _ = writeln!(s, "|---|---|---|---|---|---|");
+    for lvl in [&r.single, &r.loaded] {
+        let _ = writeln!(
+            s,
+            "| {} | {} | {:.2?} | {:.2?} | {:.2?} | {:.1} |",
+            lvl.clients, lvl.requests, lvl.wall, lvl.p50, lvl.p99, lvl.qps
+        );
+    }
+    let _ = writeln!(
+        s,
+        "\nscaling: {:.2}× aggregate QPS at {} clients (gate: ≥ 2×); divergences: {}",
+        r.speedup, r.loaded.clients, r.divergences
+    );
+    let _ = writeln!(
+        s,
+        "plan cache (both engines): {} hits, {} misses, {} invalidations, {} reoptimizations \
+         (hit rate {:.1}%)",
+        r.cache.hits,
+        r.cache.misses,
+        r.cache.invalidations,
+        r.cache.reoptimizations,
+        r.cache.hit_rate() * 100.0
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature end-to-end run: tiny scale, tiny budget. Exercises both
+    /// servers, the schedule, and the divergence accounting.
+    #[test]
+    fn small_run_produces_a_consistent_report() {
+        let r = run_concurrency(Scale(0.02), 16);
+        assert_eq!(r.statements, 24);
+        assert_eq!(r.divergences, 0, "loaded serves match single-session rows");
+        assert_eq!(r.single.clients, 1);
+        assert_eq!(r.loaded.clients, LOADED_CLIENTS);
+        assert_eq!(r.single.requests, r.iters_per_client);
+        assert_eq!(r.loaded.requests, LOADED_CLIENTS * r.iters_per_client);
+        assert!(r.cache.hits > 0, "the storm runs hot: {:?}", r.cache);
+        assert!(r.single.p50 <= r.single.p99);
+    }
+}

@@ -3,7 +3,7 @@
 //! A seeded, deterministic random query generator over the TPC-H and
 //! TPC-DS schemas plus an adversarial synthetic schema (NULL-heavy
 //! columns, an empty table, a single-row table, duplicate keys), driven
-//! through six differential oracles:
+//! through seven differential oracles:
 //!
 //! 1. **native-vs-orca** — the mylite-native plan and the Orca-routed
 //!    plan must agree on the result multiset (and on sortedness / top-k
@@ -23,7 +23,11 @@
 //!    first instrumented serve folds its observed cardinalities and the
 //!    second serve recompiles with them injected: the re-optimized plan
 //!    must return exactly what the static plan returned (cardinality
-//!    feedback may change the plan, never the answer).
+//!    feedback may change the plan, never the answer);
+//! 7. **concurrent-sessions** — two session threads interleaving the same
+//!    cached statement pair over the shared engine must each see the
+//!    single-session reference answer on every serve (in-place rebinds
+//!    racing concurrent hits of the sharded cache must never tear).
 //!
 //! Every miscompare is shrunk by a delta-debugging minimizer (clause and
 //! join removal to a fixpoint) before being reported, so a gate failure
@@ -744,6 +748,7 @@ pub enum Oracle {
     Tlp,
     CancelRecover,
     Feedback,
+    ConcurrentSessions,
 }
 
 impl Oracle {
@@ -755,16 +760,18 @@ impl Oracle {
             Oracle::Tlp => "tlp",
             Oracle::CancelRecover => "cancel-recover",
             Oracle::Feedback => "feedback",
+            Oracle::ConcurrentSessions => "concurrent-sessions",
         }
     }
 
-    pub const ALL: [Oracle; 6] = [
+    pub const ALL: [Oracle; 7] = [
         Oracle::NativeVsOrca,
         Oracle::SerialVsParallel,
         Oracle::FreshVsRebound,
         Oracle::Tlp,
         Oracle::CancelRecover,
         Oracle::Feedback,
+        Oracle::ConcurrentSessions,
     ];
 
     fn index(self) -> usize {
@@ -1143,6 +1150,65 @@ impl FuzzCtx<'_> {
         verdict
     }
 
+    /// Oracle 7: two sessions interleaving the same seeded statement pair
+    /// over the shared engine must each see the single-session reference
+    /// answer on every serve. This races in-place parameter rebinds of the
+    /// shared cache entry against concurrent hits (and the initial
+    /// miss-compile race), so a torn rebind, a serve off a half-rebound
+    /// plan, or a clobbered entry shows up as a divergence. The reference
+    /// serves run the identical cached path first, single-session — both
+    /// sides execute the same plan, so comparison is exact and ordered.
+    fn check_concurrent_sessions(&self, case: &FuzzCase) -> Check {
+        let (sql_a, sql_b) = (case.spec.render(), case.sibling.render());
+        self.engine.clear_plan_cache();
+        let opt = self.opt(case.cache_via_orca);
+        let reference: Vec<Vec<Row>> = {
+            let a = self.engine.query_cached(&sql_a, opt);
+            let b = self.engine.query_cached(&sql_b, opt);
+            match (a, b) {
+                (Ok(a), Ok(b)) => vec![a.rows, b.rows],
+                _ => {
+                    self.engine.clear_plan_cache();
+                    return Check::Invalid;
+                }
+            }
+        };
+        let sqls = [&sql_a, &sql_b];
+        let failure = std::sync::Mutex::new(None::<String>);
+        std::thread::scope(|s| {
+            for t in 0..2usize {
+                let (failure, reference, sqls) = (&failure, &reference, &sqls);
+                s.spawn(move || {
+                    // The two sessions walk the pair out of phase, so every
+                    // iteration interleaves a rebind of one entry with hits
+                    // of the other.
+                    for i in 0..4usize {
+                        let which = (t + i) % 2;
+                        let opt = self.opt(case.cache_via_orca);
+                        match self.engine.query_cached(sqls[which], opt) {
+                            Ok(out) if out.rows == reference[which] => {}
+                            Ok(_) => {
+                                *failure.lock().unwrap() = Some(format!(
+                                    "session {t} serve {i} diverged from the \
+                                     single-session reference"
+                                ));
+                            }
+                            Err(e) => {
+                                *failure.lock().unwrap() =
+                                    Some(format!("session {t} serve {i} errored: {e}"));
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        self.engine.clear_plan_cache();
+        match failure.into_inner().unwrap() {
+            Some(d) => Check::Fail(d),
+            None => Check::Pass,
+        }
+    }
+
     fn check(&self, case: &FuzzCase, oracle: Oracle) -> Check {
         match oracle {
             Oracle::NativeVsOrca => self.check_native_vs_orca(case),
@@ -1151,6 +1217,7 @@ impl FuzzCtx<'_> {
             Oracle::Tlp => self.check_tlp(case),
             Oracle::CancelRecover => self.check_cancel_recover(case),
             Oracle::Feedback => self.check_feedback(case),
+            Oracle::ConcurrentSessions => self.check_concurrent_sessions(case),
         }
     }
 }
@@ -1360,7 +1427,7 @@ pub struct FuzzReport {
     /// Queries whose reference (native, serial) run succeeded.
     pub executed: usize,
     /// Oracle executions that produced a comparable verdict, per oracle.
-    pub oracle_runs: [usize; 6],
+    pub oracle_runs: [usize; 7],
     /// Plan-cache oracle runs whose second serve actually hit the cache.
     pub rebind_hits: usize,
     pub failures: Vec<FuzzFailure>,

@@ -25,6 +25,7 @@ use taurus_bridge::{FallbackReason, OrcaOptimizer, RouterStats};
 use taurus_workloads::tpch::Query;
 use taurus_workloads::{tpcds, tpch, Scale};
 
+pub mod concurrency;
 pub mod fuzz;
 pub mod micro;
 

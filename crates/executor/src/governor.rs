@@ -34,6 +34,20 @@ use taurus_common::Row;
 /// Sentinel for "no countdown installed" / "no memory budget".
 const OFF: u64 = u64::MAX;
 
+/// A resolved set of governance knobs for one query: what a session's
+/// overrides layered over the engine defaults work out to. Zero means
+/// "off" for every field, matching the engine's atomic-knob encoding, so
+/// the spec can be assembled straight from knob loads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorSpec {
+    /// Wall-clock budget in ms (0 = no deadline).
+    pub deadline_ms: u64,
+    /// Tracked-memory budget in bytes (0 = unlimited).
+    pub memory_budget: u64,
+    /// Cancel at the N-th governor check (0 = off; chaos testing).
+    pub cancel_after: u64,
+}
+
 /// Shared, thread-safe governance state for one query execution.
 #[derive(Debug)]
 pub struct QueryGovernor {
@@ -96,6 +110,23 @@ impl QueryGovernor {
     pub fn with_cancel_after(self, checks: u64) -> Self {
         self.cancel_after.store(checks.min(OFF - 1), Ordering::Relaxed);
         self
+    }
+
+    /// Build a governor from a resolved knob set. The engine layers
+    /// per-session overrides over its own defaults into a [`GovernorSpec`]
+    /// and builds one governor per execution from it.
+    pub fn from_spec(spec: GovernorSpec) -> QueryGovernor {
+        let mut g = QueryGovernor::new();
+        if spec.deadline_ms > 0 {
+            g = g.with_deadline(Duration::from_millis(spec.deadline_ms));
+        }
+        if spec.memory_budget > 0 {
+            g = g.with_memory_budget(spec.memory_budget);
+        }
+        if spec.cancel_after > 0 {
+            g = g.with_cancel_after(spec.cancel_after);
+        }
+        g
     }
 
     /// Flip the cancel token. The running query observes it at its next

@@ -24,7 +24,7 @@ pub mod parallel;
 pub mod plan;
 
 pub use exec::{execute, ExecContext, ExecStats};
-pub use governor::QueryGovernor;
+pub use governor::{GovernorSpec, QueryGovernor};
 pub use observe::{q_error, NodeObservation, ObserverIndex};
 pub use parallel::{parallelize, ParallelOpts, DEFAULT_MORSEL_ROWS};
 pub use plan::{AggSpec, AggStrategy, Est, ExchangeKind, JoinKind, Plan, RowSpace, SortKey};

@@ -6,19 +6,43 @@
 //! optimize in Orca → convert back to a skeleton), and everything else —
 //! parsing, preparation, refinement, execution — is shared, exactly as in
 //! Fig 3.
+//!
+//! # Concurrency model
+//!
+//! One `Engine` is shared by every session (`Engine` is `Send + Sync`);
+//! the server front end hands each connection an `Arc<Engine>` plus a
+//! [`SessionOpts`] of per-session knob overrides. The shared state is
+//! layered so sessions don't convoy:
+//!
+//! * **Catalog** — behind a `RwLock`. Every serve takes one read guard up
+//!   front and keeps it for the duration: the catalog version it snapshots
+//!   is therefore the version of the catalog it *executes against*, which
+//!   is what makes plan-cache invalidation sound under races (see
+//!   [`crate::plancache`]). DDL (`analyze_shared`, inserts) takes the
+//!   write lock and naturally drains in-flight serves first.
+//! * **Plan cache** — sharded; cached serves take a shard read lock on the
+//!   hot path and execute under the entry's own lock.
+//! * **Admission** — an atomic counter fast path; only queued waiters touch
+//!   the condvar, and a waiting session's deadline bounds its queue time.
+//! * **In-flight registry** — sharded by query id.
+//!
+//! All locks are poison-recovering ([`crate::sync`]): one panicked query
+//! under `catch_unwind` isolation cannot brick later sessions.
 
 use crate::bound::BoundStatement;
 use crate::explain::{annotate, explain_plan, explain_plan_analyzed, NodeAnnotation};
 use crate::feedback::{count_nodes, fold_plan, worst_q, ObservationStore};
 use crate::optimizer::{optimize_statement, optimize_statement_feedback};
-use crate::plancache::{CacheOutcome, CachedPlan, PlanCache, PlanCacheStats};
+use crate::plancache::{CacheKey, CacheOutcome, Lookup, PlanCache, PlanCacheStats};
 use crate::refine::refine_statement_feedback;
 use crate::resolve::resolve_union_branches;
 use crate::skeleton::Skeleton;
+use crate::sync::{lock, rlock, wlock};
 use std::collections::HashMap;
+use std::ops::Deref;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
+use std::time::{Duration, Instant};
 use taurus_catalog::feedback::CardOverrides;
 use taurus_catalog::stats::AnalyzeOptions;
 use taurus_catalog::Catalog;
@@ -26,7 +50,8 @@ use taurus_common::error::{Error, Result};
 use taurus_common::expr::EvalCtx;
 use taurus_common::{Layout, Row, Value};
 use taurus_executor::{
-    execute, ExecContext, ObserverIndex, ParallelOpts, Plan, QueryGovernor, DEFAULT_MORSEL_ROWS,
+    execute, ExecContext, GovernorSpec, ObserverIndex, ParallelOpts, Plan, QueryGovernor,
+    DEFAULT_MORSEL_ROWS,
 };
 use taurus_sql::fingerprint::{parameterize, token_digest};
 use taurus_sql::rewrite::rewrite_set_ops;
@@ -162,46 +187,104 @@ pub struct AnalyzedQuery {
     pub nodes: Vec<NodeAnnotation>,
 }
 
-/// Lock a mutex, recovering the data if a previous holder panicked — the
-/// plan cache and the dop knobs hold only plain data, so a poisoned guard
-/// is still structurally sound.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
+/// Per-session overrides layered over the engine-wide knob defaults. A
+/// `None` field inherits the engine knob; `Some` pins the session's value
+/// (including "explicitly off": `Some(0)` for the deadline/budget fields
+/// and a non-positive threshold for `reopt_q_threshold`). The server's
+/// session state holds one of these per connection, and per-statement
+/// options override it once more.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SessionOpts {
+    /// Degree of parallelism (plan-shaping: part of the plan-cache key).
+    pub dop: Option<usize>,
+    /// Morsel size for parallel scans (execution-only).
+    pub morsel_rows: Option<usize>,
+    /// Minimum driving-table rows before an exchange is placed
+    /// (plan-shaping: part of the plan-cache key).
+    pub parallel_threshold: Option<usize>,
+    /// Wall-clock budget per query in ms; `Some(0)` = no deadline.
+    pub deadline_ms: Option<u64>,
+    /// Tracked-memory budget per query in bytes; `Some(0)` = unlimited.
+    pub memory_budget: Option<u64>,
+    /// Worst-q-error threshold for feedback re-optimization; non-positive
+    /// or non-finite values disable the loop for this session.
+    pub reopt_q_threshold: Option<f64>,
 }
+
+/// The fully resolved knob set one statement runs under: session overrides
+/// layered over engine defaults, captured once per serve.
+#[derive(Debug, Clone, Copy)]
+struct Knobs {
+    dop: usize,
+    morsel_rows: usize,
+    parallel_threshold: usize,
+    deadline_ms: u64,
+    memory_budget: u64,
+    cancel_after: u64,
+    reopt_q_threshold: Option<f64>,
+}
+
+/// A read-locked view of the engine's catalog. Dereferences to
+/// [`Catalog`]; drop it before calling anything that mutates the catalog
+/// (`analyze_shared`, `with_catalog_mut`, INSERT) or issuing statements —
+/// holding it across an engine call can deadlock against a queued writer.
+pub struct CatalogRef<'a>(RwLockReadGuard<'a, Catalog>);
+
+impl Deref for CatalogRef<'_> {
+    type Target = Catalog;
+
+    fn deref(&self) -> &Catalog {
+        &self.0
+    }
+}
+
+/// Number of independently locked in-flight registry shards (query-id
+/// keyed; registration/finish touch one shard each).
+const IN_FLIGHT_SHARDS: usize = 8;
 
 /// The engine: a catalog plus the machinery to run SQL against it.
 ///
-/// `Engine` is `Send + Sync`: the plan cache sits behind a `Mutex` and the
-/// parallelism knobs are atomics, so sessions can share one engine across
-/// threads while the single-threaded API stays unchanged.
+/// `Engine` is `Send + Sync`: the catalog sits behind a `RwLock`, the plan
+/// cache is sharded with interior locking, the knobs are atomics, and the
+/// admission gate and in-flight registry are atomic/sharded — so thousands
+/// of sessions can share one engine across threads while the
+/// single-threaded API stays unchanged.
 pub struct Engine {
-    catalog: Catalog,
-    /// Fingerprint-keyed plan cache for the `*_cached` entry points.
-    /// `Mutex` (not `RefCell`) because cache bookkeeping mutates under
-    /// `&self` queries that may now arrive from several threads.
-    plan_cache: Mutex<PlanCache>,
-    /// Session degree of parallelism (1 = serial, the default).
+    /// The catalog. Serves hold a read guard for their whole duration (the
+    /// version snapshot *is* the executed-against version); DDL takes the
+    /// write lock and therefore drains in-flight serves first.
+    catalog: RwLock<Catalog>,
+    /// Sharded fingerprint-keyed plan cache for the `*_cached` entry
+    /// points (interior locking; see [`crate::plancache`]).
+    plan_cache: PlanCache,
+    /// Engine-default degree of parallelism (1 = serial).
     dop: AtomicUsize,
     /// Runtime morsel size for parallel scans (rows per morsel).
     morsel_rows: AtomicUsize,
     /// Minimum driving-table rows before an exchange is worth placing.
     parallel_threshold: AtomicUsize,
-    /// Admission gate: `(in-flight executions, limit)`. Executing entry
-    /// points take one slot before touching the plan cache, so at most
-    /// `limit` callers contend for the morsel pool at once; the rest queue
-    /// on the condvar instead of convoying inside the executor.
-    admission: Mutex<(usize, usize)>,
+    /// Admission gate, fast path: executing entry points CAS `admitted`
+    /// below `admission_limit` before doing any work, so at most `limit`
+    /// callers contend for the morsel pool at once.
+    admitted: AtomicUsize,
+    admission_limit: AtomicUsize,
+    /// Queued-waiter count; a releasing permit only touches the condvar
+    /// mutex when somebody is actually waiting.
+    admission_waiters: AtomicUsize,
+    /// Slow path: waiters park here. The mutex guards nothing but the
+    /// wait itself (the gate state is the atomics above).
+    admission_mu: Mutex<()>,
     admission_cv: Condvar,
-    /// Session wall-clock budget per query, in ms (0 = none).
+    /// Engine-default wall-clock budget per query, in ms (0 = none).
     deadline_ms: AtomicU64,
-    /// Session memory budget per query, in bytes (0 = unlimited).
+    /// Engine-default memory budget per query, in bytes (0 = unlimited).
     memory_budget: AtomicU64,
     /// Chaos knob: cancel each query at its N-th governor check (0 = off).
     cancel_after: AtomicU64,
     /// Query-id allocator for [`Engine::cancel`].
     next_query_id: AtomicU64,
-    /// Governors of currently executing queries, keyed by query id.
-    in_flight: Mutex<HashMap<u64, Arc<QueryGovernor>>>,
+    /// Governors of currently executing queries, sharded by query id.
+    in_flight: Vec<Mutex<HashMap<u64, Arc<QueryGovernor>>>>,
     /// Peak tracked memory of the most recently finished governed query.
     last_peak: AtomicU64,
     /// Observed per-operator cardinalities of instrumented cached serves,
@@ -218,18 +301,21 @@ pub const DEFAULT_REOPT_Q_THRESHOLD: f64 = 10.0;
 impl Engine {
     pub fn new(catalog: Catalog) -> Engine {
         Engine {
-            catalog,
-            plan_cache: Mutex::new(PlanCache::default()),
+            catalog: RwLock::new(catalog),
+            plan_cache: PlanCache::default(),
             dop: AtomicUsize::new(1),
             morsel_rows: AtomicUsize::new(DEFAULT_MORSEL_ROWS),
             parallel_threshold: AtomicUsize::new(DEFAULT_MORSEL_ROWS),
-            admission: Mutex::new((0, usize::MAX)),
+            admitted: AtomicUsize::new(0),
+            admission_limit: AtomicUsize::new(usize::MAX),
+            admission_waiters: AtomicUsize::new(0),
+            admission_mu: Mutex::new(()),
             admission_cv: Condvar::new(),
             deadline_ms: AtomicU64::new(0),
             memory_budget: AtomicU64::new(0),
             cancel_after: AtomicU64::new(0),
             next_query_id: AtomicU64::new(1),
-            in_flight: Mutex::new(HashMap::new()),
+            in_flight: (0..IN_FLIGHT_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             last_peak: AtomicU64::new(0),
             feedback: ObservationStore::new(),
             reopt_q_threshold: AtomicU64::new(DEFAULT_REOPT_Q_THRESHOLD.to_bits()),
@@ -238,11 +324,13 @@ impl Engine {
 
     // ------------------------------------------------------- parallelism
 
-    /// Set the session degree of parallelism. Plans depend on it (exchange
-    /// placement), so cached plans are dropped.
+    /// Set the engine-default degree of parallelism. Plans depend on it
+    /// (exchange placement), so cached plans are dropped wholesale; a
+    /// session-level override needs no clearing — the knobs are part of
+    /// the plan-cache key.
     pub fn set_dop(&self, dop: usize) {
         self.dop.store(dop.max(1), Ordering::Relaxed);
-        lock(&self.plan_cache).clear();
+        self.plan_cache.clear();
     }
 
     /// Set the dop from the machine's available parallelism.
@@ -265,7 +353,7 @@ impl Engine {
     /// Affects plans, so cached plans are dropped.
     pub fn set_parallel_threshold(&self, rows: usize) {
         self.parallel_threshold.store(rows, Ordering::Relaxed);
-        lock(&self.plan_cache).clear();
+        self.plan_cache.clear();
     }
 
     // ------------------------------------------------------- feedback
@@ -290,12 +378,45 @@ impl Engine {
         &self.feedback
     }
 
+    // ------------------------------------------------------- knobs
+
+    /// Resolve one statement's effective knob set: session overrides where
+    /// present, engine defaults otherwise.
+    fn knobs(&self, session: &SessionOpts) -> Knobs {
+        Knobs {
+            dop: session.dop.map(|d| d.max(1)).unwrap_or_else(|| self.dop()),
+            morsel_rows: session
+                .morsel_rows
+                .map(|m| m.max(1))
+                .unwrap_or_else(|| self.morsel_rows.load(Ordering::Relaxed)),
+            parallel_threshold: session
+                .parallel_threshold
+                .unwrap_or_else(|| self.parallel_threshold.load(Ordering::Relaxed)),
+            deadline_ms: session
+                .deadline_ms
+                .unwrap_or_else(|| self.deadline_ms.load(Ordering::Relaxed)),
+            memory_budget: session
+                .memory_budget
+                .unwrap_or_else(|| self.memory_budget.load(Ordering::Relaxed)),
+            cancel_after: self.cancel_after.load(Ordering::Relaxed),
+            reopt_q_threshold: match session.reopt_q_threshold {
+                Some(t) if t.is_finite() && t > 0.0 => Some(t),
+                Some(_) => None,
+                None => self.reopt_q_threshold(),
+            },
+        }
+    }
+
     // ------------------------------------------------------- governance
 
     /// Cap concurrent executions. Callers over the limit block until a slot
-    /// frees; planning-only entry points (`plan`, `explain`) are not gated.
+    /// frees (or their deadline expires); planning-only entry points
+    /// (`plan`, `explain`) are not gated.
     pub fn set_admission_limit(&self, limit: usize) {
-        lock(&self.admission).1 = limit.max(1);
+        self.admission_limit.store(limit.max(1), Ordering::SeqCst);
+        // Take the waiter mutex so the notify cannot slip between a
+        // waiter's re-check and its park.
+        let _g = lock(&self.admission_mu);
         self.admission_cv.notify_all();
     }
 
@@ -319,11 +440,15 @@ impl Engine {
         self.cancel_after.store(checks.map(|c| c.max(1)).unwrap_or(0), Ordering::Relaxed);
     }
 
+    fn in_flight_shard(&self, id: u64) -> &Mutex<HashMap<u64, Arc<QueryGovernor>>> {
+        &self.in_flight[(id as usize) % IN_FLIGHT_SHARDS]
+    }
+
     /// Cancel a running query by id. Returns whether the id was in flight;
     /// the query itself unwinds with `Error::Cancelled` at its next batch
     /// or morsel boundary.
     pub fn cancel(&self, query_id: u64) -> bool {
-        match lock(&self.in_flight).get(&query_id) {
+        match lock(self.in_flight_shard(query_id)).get(&query_id) {
             Some(g) => {
                 g.cancel();
                 true
@@ -335,7 +460,11 @@ impl Engine {
     /// Ids of currently executing queries (for `Engine::cancel` callers on
     /// other threads).
     pub fn in_flight_ids(&self) -> Vec<u64> {
-        let mut ids: Vec<u64> = lock(&self.in_flight).keys().copied().collect();
+        let mut ids: Vec<u64> = self
+            .in_flight
+            .iter()
+            .flat_map(|s| lock(s).keys().copied().collect::<Vec<_>>())
+            .collect();
         ids.sort_unstable();
         ids
     }
@@ -346,50 +475,84 @@ impl Engine {
         self.last_peak.load(Ordering::Relaxed)
     }
 
-    /// Take an admission slot, blocking while the engine is at its limit.
-    fn admit(&self) -> AdmissionPermit<'_> {
-        let mut gate = lock(&self.admission);
-        while gate.0 >= gate.1 {
-            gate = self.admission_cv.wait(gate).unwrap_or_else(|e| e.into_inner());
-        }
-        gate.0 += 1;
-        AdmissionPermit { engine: self }
+    /// One CAS attempt at the admission fast path.
+    fn try_admit(&self) -> bool {
+        self.admitted
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| {
+                (c < self.admission_limit.load(Ordering::SeqCst)).then(|| c + 1)
+            })
+            .is_ok()
     }
 
-    /// Build the governor for one execution from the session knobs plus
-    /// any chaos overrides the optimizer's fault injector supplies.
-    fn new_governor(&self, opt: &dyn CostBasedOptimizer) -> Arc<QueryGovernor> {
-        let faults = opt.exec_faults().unwrap_or_default();
-        let mut g = QueryGovernor::new();
-        let deadline = self.deadline_ms.load(Ordering::Relaxed);
-        if deadline > 0 {
-            g = g.with_deadline(Duration::from_millis(deadline));
+    /// Take an admission slot. The uncontended path is a single CAS; a
+    /// caller over the limit parks on the condvar — bounded by its
+    /// effective deadline, so a queued query returns `DeadlineExceeded`
+    /// instead of sitting past its budget (it never started executing, so
+    /// nothing needs unwinding).
+    fn admit(&self, knobs: &Knobs) -> Result<AdmissionPermit<'_>> {
+        if self.try_admit() {
+            return Ok(AdmissionPermit { engine: self });
         }
-        let mut budget = self.memory_budget.load(Ordering::Relaxed);
+        let deadline = (knobs.deadline_ms > 0)
+            .then(|| Instant::now() + Duration::from_millis(knobs.deadline_ms));
+        let mut parked = lock(&self.admission_mu);
+        self.admission_waiters.fetch_add(1, Ordering::SeqCst);
+        let admitted = loop {
+            // Re-check under the mutex: a permit released after our fast
+            // path failed notifies under this same mutex, so the slot
+            // cannot vanish between this check and the park below.
+            if self.try_admit() {
+                break Ok(());
+            }
+            match deadline {
+                None => {
+                    parked = self.admission_cv.wait(parked).unwrap_or_else(|e| e.into_inner());
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        break Err(Error::DeadlineExceeded { budget_ms: knobs.deadline_ms });
+                    }
+                    parked = self
+                        .admission_cv
+                        .wait_timeout(parked, d - now)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            }
+        };
+        self.admission_waiters.fetch_sub(1, Ordering::SeqCst);
+        drop(parked);
+        admitted.map(|()| AdmissionPermit { engine: self })
+    }
+
+    /// Build the governor for one execution from the resolved knobs plus
+    /// any chaos overrides the optimizer's fault injector supplies.
+    fn new_governor(&self, opt: &dyn CostBasedOptimizer, knobs: &Knobs) -> Arc<QueryGovernor> {
+        let faults = opt.exec_faults().unwrap_or_default();
+        let mut budget = knobs.memory_budget;
         if let Some(clamp) = faults.memory_clamp {
             budget = if budget == 0 { clamp } else { budget.min(clamp) };
         }
-        if budget > 0 {
-            g = g.with_memory_budget(budget);
-        }
         let cancel = match faults.cancel_after {
             Some(c) => c.max(1),
-            None => self.cancel_after.load(Ordering::Relaxed),
+            None => knobs.cancel_after,
         };
-        if cancel > 0 {
-            g = g.with_cancel_after(cancel);
-        }
-        Arc::new(g)
+        Arc::new(QueryGovernor::from_spec(GovernorSpec {
+            deadline_ms: knobs.deadline_ms,
+            memory_budget: budget,
+            cancel_after: cancel,
+        }))
     }
 
     fn register(&self, governor: &Arc<QueryGovernor>) -> u64 {
         let id = self.next_query_id.fetch_add(1, Ordering::Relaxed);
-        lock(&self.in_flight).insert(id, governor.clone());
+        lock(self.in_flight_shard(id)).insert(id, governor.clone());
         id
     }
 
     fn finish(&self, id: u64, governor: &Arc<QueryGovernor>) {
-        lock(&self.in_flight).remove(&id);
+        lock(self.in_flight_shard(id)).remove(&id);
         self.last_peak.store(governor.peak_bytes(), Ordering::Relaxed);
     }
 
@@ -401,19 +564,21 @@ impl Engine {
     /// the optimizer either way.
     fn governed_execute(
         &self,
+        cat: &Catalog,
         planned: &PlannedQuery,
         opt: &dyn CostBasedOptimizer,
+        knobs: &Knobs,
     ) -> Result<QueryOutput> {
-        let governor = self.new_governor(opt);
+        let governor = self.new_governor(opt, knobs);
         let id = self.register(&governor);
-        let first = self.execute_branches(planned, Some(&governor));
+        let first = self.execute_branches(cat, planned, Some(&governor), knobs.morsel_rows);
         self.finish(id, &governor);
         match first {
             Err(Error::MemoryExceeded { .. }) => {
                 let serial = degrade_serial(planned);
-                let governor = self.new_governor(opt);
+                let governor = self.new_governor(opt, knobs);
                 let id = self.register(&governor);
-                let retry = self.execute_branches(&serial, Some(&governor));
+                let retry = self.execute_branches(cat, &serial, Some(&governor), knobs.morsel_rows);
                 self.finish(id, &governor);
                 match retry {
                     Ok(out) => {
@@ -434,21 +599,50 @@ impl Engine {
         }
     }
 
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    // ------------------------------------------------------- catalog
+
+    /// A read-locked view of the catalog. See [`CatalogRef`] for the
+    /// holding discipline.
+    pub fn catalog(&self) -> CatalogRef<'_> {
+        CatalogRef(rlock(&self.catalog))
     }
 
+    /// Exclusive catalog access through `&mut self` (setup code that owns
+    /// the engine; no locking).
     pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+        self.catalog.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Run a closure with exclusive catalog access from a shared engine —
+    /// the DDL path for concurrent sessions. Takes the write lock, so it
+    /// drains in-flight serves first and every later serve snapshots the
+    /// bumped version.
+    pub fn with_catalog_mut<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
+        f(&mut wlock(&self.catalog))
     }
 
     /// Run ANALYZE on every table with default options.
     pub fn analyze(&mut self) {
-        self.catalog.analyze_all(&AnalyzeOptions::default());
+        self.catalog_mut().analyze_all(&AnalyzeOptions::default());
     }
+
+    /// [`Engine::analyze`] from a shared reference — ANALYZE issued by one
+    /// session of many (bumps the catalog version; cached plans compiled
+    /// under the old statistics invalidate on their next lookup).
+    pub fn analyze_shared(&self) {
+        self.with_catalog_mut(|c| c.analyze_all(&AnalyzeOptions::default()));
+    }
+
+    // ------------------------------------------------------- entry points
 
     /// Execute any statement with the native MySQL optimizer.
     pub fn execute_sql(&mut self, sql: &str) -> Result<QueryOutput> {
+        self.execute_sql_shared(sql)
+    }
+
+    /// Execute any statement with the native MySQL optimizer from a shared
+    /// reference (INSERT takes the catalog write lock).
+    pub fn execute_sql_shared(&self, sql: &str) -> Result<QueryOutput> {
         match parse(sql)? {
             Statement::Insert { table, rows } => self.execute_insert(&table, rows),
             Statement::Select(stmt) => self.run_select(&stmt, &MySqlOptimizer),
@@ -475,13 +669,16 @@ impl Engine {
 
     /// EXPLAIN output for a SELECT under a given optimizer.
     pub fn explain(&self, sql: &str, opt: &dyn CostBasedOptimizer) -> Result<String> {
-        let planned = self.plan(sql, opt)?;
+        let stmt = parse_select_text(sql)?;
+        let knobs = self.knobs(&SessionOpts::default());
+        let cat = rlock(&self.catalog);
+        let planned = self.plan_select_knobs(&cat, &stmt, opt, None, &knobs)?;
         let mut out = String::new();
         for (i, b) in planned.branches.iter().enumerate() {
             if i > 0 {
                 out.push_str(&format!("UNION {}\n", if b.all { "ALL" } else { "DISTINCT" }));
             }
-            out.push_str(&explain_plan(&b.plan, &b.bound, &self.catalog, &b.skeleton));
+            out.push_str(&explain_plan(&b.plan, &b.bound, &cat, &b.skeleton));
         }
         Ok(out)
     }
@@ -493,8 +690,10 @@ impl Engine {
     /// ([`token_digest`]): one pass over the source bytes yields the
     /// fingerprint and the literal binds — no parse tree. On a hit, the
     /// cached plan's parameters are re-bound *in place* and `f` runs
-    /// against the shared plan, so a hit costs one lex-level scan, one
-    /// hash lookup and a rebind; never a parse or a plan deep-copy.
+    /// against the shared plan (under the entry's own lock — sessions
+    /// serving other statements are untouched), so a hit costs one
+    /// lex-level scan, one shard-read lookup and a rebind; never a parse
+    /// or a plan deep-copy.
     ///
     /// On a miss (or invalidation) the statement is parsed and
     /// parameterized — planning still sees the peeked literal values —
@@ -510,60 +709,75 @@ impl Engine {
         opt: &dyn CostBasedOptimizer,
         f: impl FnOnce(&PlannedQuery) -> Result<R>,
     ) -> Result<(R, CacheOutcome)> {
+        let knobs = self.knobs(&SessionOpts::default());
+        let cat = rlock(&self.catalog);
+        self.serve_cached_knobs(&cat, sql, opt, &knobs, |_, planned| f(planned))
+    }
+
+    /// The serve path proper, against a catalog snapshot the caller holds.
+    /// The read guard spans the whole serve, so `version` is the version
+    /// of the catalog `f` executes against: an entry validated against it
+    /// cannot be stale for *this* execution no matter how DDL races — the
+    /// write lock serializes after us, and the next serve's snapshot sees
+    /// the bump and invalidates.
+    fn serve_cached_knobs<R>(
+        &self,
+        cat: &Catalog,
+        sql: &str,
+        opt: &dyn CostBasedOptimizer,
+        knobs: &Knobs,
+        f: impl FnOnce(&Catalog, &PlannedQuery) -> Result<R>,
+    ) -> Result<(R, CacheOutcome)> {
         let digest = token_digest(sql);
-        let version = self.catalog.version();
-        // Knobs captured once per serve: a plan compiled under these is
-        // only valid while they hold (lookup validates, insert records).
-        let dop = self.dop();
-        let parallel_threshold = self.parallel_threshold.load(Ordering::Relaxed);
+        let version = cat.version();
         let mut outcome = CacheOutcome::Miss;
         if let Some(d) = &digest {
-            let mut cache = lock(&self.plan_cache);
-            let before = cache.stats();
-            if let Some(entry) = cache.lookup(d.fingerprint, version, dop, parallel_threshold) {
-                // A rebind refusal (slot count or type-class mismatch with
-                // the peeked values) means the cached plan cannot serve
-                // these binds: discard it and recompile below, exactly as
-                // for any other invalidation. Serving the stale plan — or
-                // failing the query — would turn a cache artifact into a
-                // user-visible behaviour change.
-                if rebind_planned(&mut entry.planned, &d.binds).is_ok() {
-                    let r = f(&entry.planned)?;
-                    return Ok((r, CacheOutcome::Hit));
+            let key = CacheKey {
+                fingerprint: d.fingerprint,
+                dop: knobs.dop,
+                parallel_threshold: knobs.parallel_threshold,
+            };
+            match self.plan_cache.lookup(&key, version) {
+                Lookup::Hit(entry) => {
+                    // A rebind refusal (slot count or type-class mismatch
+                    // with the peeked values) means the cached plan cannot
+                    // serve these binds: discard it and recompile below,
+                    // exactly as for any other invalidation. Serving the
+                    // stale plan — or failing the query — would turn a
+                    // cache artifact into a user-visible behaviour change.
+                    let mut planned = entry.planned();
+                    if rebind_planned(&mut planned, &d.binds).is_ok() {
+                        let r = f(cat, &planned)?;
+                        return Ok((r, CacheOutcome::Hit));
+                    }
+                    drop(planned);
+                    self.plan_cache.discard(&key);
+                    outcome = CacheOutcome::Invalidated;
                 }
-                cache.discard(d.fingerprint);
-            }
-            // The lookup (or the discard above) classified the failure.
-            if cache.stats().invalidations > before.invalidations {
-                outcome = CacheOutcome::Invalidated;
+                Lookup::Invalidated => outcome = CacheOutcome::Invalidated,
+                Lookup::Miss => {}
             }
         }
         // Miss, invalidation, or unlexable input (the parser produces the
         // real error for the latter).
         let stmt = parse_select_text(sql)?;
         let p = parameterize(&stmt);
-        let planned = self.plan_select(&p.stmt, opt)?;
-        let r = f(&planned)?;
+        let planned = self.plan_select_knobs(cat, &p.stmt, opt, None, knobs)?;
+        let r = f(cat, &planned)?;
         if let Some(d) = digest {
             if d.binds == p.binds {
-                let mut cache = lock(&self.plan_cache);
-                // This compile ran without the cache lock; a concurrent
+                let key = CacheKey {
+                    fingerprint: d.fingerprint,
+                    dop: knobs.dop,
+                    parallel_threshold: knobs.parallel_threshold,
+                };
+                // This compile ran without any cache lock; a concurrent
                 // serve may have re-optimized the same statement meanwhile.
                 // Never clobber that entry with a static plan — the
                 // feedback store's applied snapshot would then suppress a
                 // second re-optimization and pin the misestimate.
-                if !cache.has_reopt_entry(d.fingerprint, version, dop, parallel_threshold) {
-                    cache.insert(
-                        d.fingerprint,
-                        CachedPlan {
-                            planned,
-                            catalog_version: version,
-                            dop,
-                            parallel_threshold,
-                            optimizer: opt.name(),
-                            serves: 0,
-                        },
-                    );
+                if !self.plan_cache.has_reopt_entry(&key, version) {
+                    self.plan_cache.insert(&key, version, opt.name(), planned);
                 }
             }
         }
@@ -580,27 +794,65 @@ impl Engine {
         self.serve_cached(sql, opt, |planned| Ok(planned.clone()))
     }
 
+    /// [`Engine::plan_cached`] under per-session knob overrides.
+    pub fn plan_cached_opts(
+        &self,
+        sql: &str,
+        opt: &dyn CostBasedOptimizer,
+        session: &SessionOpts,
+    ) -> Result<(PlannedQuery, CacheOutcome)> {
+        let knobs = self.knobs(session);
+        let cat = rlock(&self.catalog);
+        self.serve_cached_knobs(&cat, sql, opt, &knobs, |_, planned| Ok(planned.clone()))
+    }
+
     /// Run a SELECT through the plan cache (executes straight off the
     /// shared cached plan).
     pub fn query_cached(&self, sql: &str, opt: &dyn CostBasedOptimizer) -> Result<QueryOutput> {
-        // The admission slot is taken before the plan-cache lock: a caller
-        // queued at the gate must not hold the cache hostage while waiting.
-        let _permit = self.admit();
-        let (out, _) =
-            self.serve_cached(sql, opt, |planned| self.governed_execute(planned, opt))?;
-        Ok(out)
+        self.query_cached_opts(sql, opt, &SessionOpts::default()).map(|(out, _)| out)
+    }
+
+    /// [`Engine::query_cached`] under per-session knob overrides, returning
+    /// the cache outcome alongside the results (the server reports it to
+    /// clients).
+    pub fn query_cached_opts(
+        &self,
+        sql: &str,
+        opt: &dyn CostBasedOptimizer,
+        session: &SessionOpts,
+    ) -> Result<(QueryOutput, CacheOutcome)> {
+        let knobs = self.knobs(session);
+        // The admission slot is taken before any lock: a caller queued at
+        // the gate must hold neither the catalog nor the cache hostage.
+        let _permit = self.admit(&knobs)?;
+        let cat = rlock(&self.catalog);
+        self.serve_cached_knobs(&cat, sql, opt, &knobs, |cat, planned| {
+            self.governed_execute(cat, planned, opt, &knobs)
+        })
     }
 
     /// EXPLAIN through the plan cache: the banner's first line gains a
     /// `[plan cache: hit|miss|invalidated]` suffix.
     pub fn explain_cached(&self, sql: &str, opt: &dyn CostBasedOptimizer) -> Result<String> {
-        let (text, outcome) = self.serve_cached(sql, opt, |planned| {
+        self.explain_cached_opts(sql, opt, &SessionOpts::default())
+    }
+
+    /// [`Engine::explain_cached`] under per-session knob overrides.
+    pub fn explain_cached_opts(
+        &self,
+        sql: &str,
+        opt: &dyn CostBasedOptimizer,
+        session: &SessionOpts,
+    ) -> Result<String> {
+        let knobs = self.knobs(session);
+        let cat = rlock(&self.catalog);
+        let (text, outcome) = self.serve_cached_knobs(&cat, sql, opt, &knobs, |cat, planned| {
             let mut out = String::new();
             for (i, b) in planned.branches.iter().enumerate() {
                 if i > 0 {
                     out.push_str(&format!("UNION {}\n", if b.all { "ALL" } else { "DISTINCT" }));
                 }
-                out.push_str(&explain_plan(&b.plan, &b.bound, &self.catalog, &b.skeleton));
+                out.push_str(&explain_plan(&b.plan, &b.bound, cat, &b.skeleton));
             }
             Ok(out)
         })?;
@@ -615,17 +867,17 @@ impl Engine {
 
     /// Plan-cache counters for reports.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        lock(&self.plan_cache).stats()
+        self.plan_cache.stats()
     }
 
     /// Number of currently cached statements.
     pub fn plan_cache_len(&self) -> usize {
-        lock(&self.plan_cache).len()
+        self.plan_cache.len()
     }
 
     /// Drop every cached plan (counters survive).
     pub fn clear_plan_cache(&self) {
-        lock(&self.plan_cache).clear();
+        self.plan_cache.clear();
     }
 
     /// Plan a parsed SELECT.
@@ -634,45 +886,47 @@ impl Engine {
         stmt: &SelectStmt,
         opt: &dyn CostBasedOptimizer,
     ) -> Result<PlannedQuery> {
-        self.plan_select_feedback(stmt, opt, None)
+        let knobs = self.knobs(&SessionOpts::default());
+        let cat = rlock(&self.catalog);
+        self.plan_select_knobs(&cat, stmt, opt, None, &knobs)
     }
 
-    /// Plan a parsed SELECT, optionally injecting observed cardinalities
-    /// (one [`CardOverrides`] per union branch — branches have separate
-    /// query-table spaces) into the optimizer and refinement estimates.
-    fn plan_select_feedback(
+    /// Plan a parsed SELECT against a catalog snapshot, optionally
+    /// injecting observed cardinalities (one [`CardOverrides`] per union
+    /// branch — branches have separate query-table spaces) into the
+    /// optimizer and refinement estimates.
+    fn plan_select_knobs(
         &self,
+        cat: &Catalog,
         stmt: &SelectStmt,
         opt: &dyn CostBasedOptimizer,
         fb: Option<&[CardOverrides]>,
+        knobs: &Knobs,
     ) -> Result<PlannedQuery> {
         // MySQL does not support INTERSECT/EXCEPT; the paper rewrote the
         // affected queries (§6.2). We apply the mechanical rewrite here.
         let stmt = rewrite_set_ops(stmt.clone())?;
-        let branches = resolve_union_branches(&self.catalog, &stmt)?;
+        let branches = resolve_union_branches(cat, &stmt)?;
         if branches.is_empty() {
             return Err(Error::internal("statement resolved to no branches"));
         }
         let mut planned = Vec::with_capacity(branches.len());
         let mut columns: Option<Vec<String>> = None;
-        let engine_dop = self.dop();
+        let session_dop = knobs.dop;
         for (i, (bound, all)) in branches.into_iter().enumerate() {
             let bfb = fb.and_then(|f| f.get(i)).filter(|o| !o.is_empty());
             let mut skeleton = match bfb {
-                Some(o) => opt.optimize_with_feedback(&self.catalog, &bound, o)?,
-                None => opt.optimize(&self.catalog, &bound)?,
+                Some(o) => opt.optimize_with_feedback(cat, &bound, o)?,
+                None => opt.optimize(cat, &bound)?,
             };
             if let Some(o) = bfb {
                 skeleton.reopt = Some(format!("{} observed cardinalities injected", o.len()));
             }
             // The optimizer's dop choice wins when present, clamped to the
             // session knob; otherwise the session knob applies directly.
-            let dop = skeleton.dop.unwrap_or(engine_dop).min(engine_dop).max(1);
-            let opts = ParallelOpts {
-                dop,
-                min_driver_rows: self.parallel_threshold.load(Ordering::Relaxed),
-            };
-            let plan = refine_statement_feedback(&self.catalog, &bound, &skeleton, &opts, bfb)?;
+            let dop = skeleton.dop.unwrap_or(session_dop).min(session_dop).max(1);
+            let opts = ParallelOpts { dop, min_driver_rows: knobs.parallel_threshold };
+            let plan = refine_statement_feedback(cat, &bound, &skeleton, &opts, bfb)?;
             let cols: Vec<String> = bound.root.select.iter().map(|o| o.name.clone()).collect();
             match &columns {
                 None => columns = Some(cols),
@@ -690,13 +944,16 @@ impl Engine {
     /// Execute a previously planned query (ungoverned: no deadline, budget,
     /// or cancel token — the governed entry points are `query*`).
     pub fn execute_planned(&self, planned: &PlannedQuery) -> Result<QueryOutput> {
-        self.execute_branches(planned, None)
+        let cat = rlock(&self.catalog);
+        self.execute_branches(&cat, planned, None, self.morsel_rows.load(Ordering::Relaxed))
     }
 
     fn execute_branches(
         &self,
+        cat: &Catalog,
         planned: &PlannedQuery,
         governor: Option<&Arc<QueryGovernor>>,
+        morsel_rows: usize,
     ) -> Result<QueryOutput> {
         let mut rows: Vec<Row> = Vec::new();
         let mut work = 0u64;
@@ -704,8 +961,8 @@ impl Engine {
         for (i, b) in planned.branches.iter().enumerate() {
             let mut plan = b.plan.clone();
             let slots = plan.assign_cache_slots();
-            let mut ctx = ExecContext::new(&self.catalog, b.bound.num_tables(), slots);
-            ctx.set_morsel_rows(self.morsel_rows.load(Ordering::Relaxed));
+            let mut ctx = ExecContext::new(cat, b.bound.num_tables(), slots);
+            ctx.set_morsel_rows(morsel_rows);
             if let Some(g) = governor {
                 ctx.set_governor(g.clone());
             }
@@ -738,9 +995,12 @@ impl Engine {
         sql: &str,
         opt: &dyn CostBasedOptimizer,
     ) -> Result<AnalyzedQuery> {
-        let _permit = self.admit();
-        let planned = self.plan(sql, opt)?;
-        self.analyze_governed(&planned, opt)
+        let stmt = parse_select_text(sql)?;
+        let knobs = self.knobs(&SessionOpts::default());
+        let _permit = self.admit(&knobs)?;
+        let cat = rlock(&self.catalog);
+        let planned = self.plan_select_knobs(&cat, &stmt, opt, None, &knobs)?;
+        self.analyze_governed(&cat, &planned, opt, &knobs)
     }
 
     /// Instrumented execution under a fresh governor (the body of
@@ -748,12 +1008,14 @@ impl Engine {
     /// reported to the optimizer like any governed execution.
     fn analyze_governed(
         &self,
+        cat: &Catalog,
         planned: &PlannedQuery,
         opt: &dyn CostBasedOptimizer,
+        knobs: &Knobs,
     ) -> Result<AnalyzedQuery> {
-        let governor = self.new_governor(opt);
+        let governor = self.new_governor(opt, knobs);
         let id = self.register(&governor);
-        let out = self.analyze_branches(planned, Some(&governor));
+        let out = self.analyze_branches(cat, planned, Some(&governor), knobs.morsel_rows);
         self.finish(id, &governor);
         if let Err(e) = &out {
             note_governed_error(opt, e);
@@ -772,78 +1034,86 @@ impl Engine {
     /// [`CacheOutcome::Reoptimized`] and the new plan replaces the old
     /// entry.
     ///
-    /// Concurrency: as in [`Engine::serve_cached`], hit-path execution
-    /// happens while the plan-cache guard is held, so a re-optimizing
-    /// eviction can never race a concurrent serve mid-execution. Lock
-    /// order is cache → feedback; the feedback store never takes the cache
-    /// lock.
+    /// Concurrency: hit-path execution happens under the cache entry's own
+    /// lock, so a re-optimizing eviction can never race a concurrent serve
+    /// of the same statement mid-execution (eviction only detaches the
+    /// entry from the cache; the serve holds its own `Arc`). Lock order is
+    /// catalog-read → cache shard → entry → feedback; the feedback store
+    /// never takes a cache or catalog lock.
     pub fn analyze_cached(
         &self,
         sql: &str,
         opt: &dyn CostBasedOptimizer,
     ) -> Result<(AnalyzedQuery, CacheOutcome)> {
-        let _permit = self.admit();
+        self.analyze_cached_opts(sql, opt, &SessionOpts::default())
+    }
+
+    /// [`Engine::analyze_cached`] under per-session knob overrides.
+    pub fn analyze_cached_opts(
+        &self,
+        sql: &str,
+        opt: &dyn CostBasedOptimizer,
+        session: &SessionOpts,
+    ) -> Result<(AnalyzedQuery, CacheOutcome)> {
+        let knobs = self.knobs(session);
+        let _permit = self.admit(&knobs)?;
+        let cat = rlock(&self.catalog);
         let digest = token_digest(sql);
-        let version = self.catalog.version();
-        let dop = self.dop();
-        let parallel_threshold = self.parallel_threshold.load(Ordering::Relaxed);
+        let version = cat.version();
         let mut outcome = CacheOutcome::Miss;
         let mut reopt: Option<Vec<CardOverrides>> = None;
         if let Some(d) = &digest {
-            let mut cache = lock(&self.plan_cache);
-            let before = cache.stats();
-            if let Some(entry) = cache.lookup(d.fingerprint, version, dop, parallel_threshold) {
-                let reopt_now = self
-                    .reopt_q_threshold()
-                    .is_some_and(|t| self.feedback.should_reopt(d.fingerprint, t));
-                if !reopt_now && rebind_planned(&mut entry.planned, &d.binds).is_ok() {
-                    let analyzed = self.analyze_governed(&entry.planned, opt)?;
-                    self.fold_observations(d.fingerprint, &entry.planned, &analyzed);
-                    return Ok((analyzed, CacheOutcome::Hit));
+            let key = CacheKey {
+                fingerprint: d.fingerprint,
+                dop: knobs.dop,
+                parallel_threshold: knobs.parallel_threshold,
+            };
+            match self.plan_cache.lookup(&key, version) {
+                Lookup::Hit(entry) => {
+                    let reopt_now = knobs
+                        .reopt_q_threshold
+                        .is_some_and(|t| self.feedback.should_reopt(d.fingerprint, t));
+                    if reopt_now {
+                        self.plan_cache.discard_reopt(&key);
+                        reopt = self.feedback.begin_reopt(d.fingerprint);
+                        outcome = CacheOutcome::Reoptimized;
+                    } else {
+                        let mut planned = entry.planned();
+                        if rebind_planned(&mut planned, &d.binds).is_ok() {
+                            let analyzed = self.analyze_governed(&cat, &planned, opt, &knobs)?;
+                            self.fold_observations(d.fingerprint, &planned, &analyzed);
+                            return Ok((analyzed, CacheOutcome::Hit));
+                        }
+                        drop(planned);
+                        self.plan_cache.discard(&key);
+                        outcome = CacheOutcome::Invalidated;
+                    }
                 }
-                if reopt_now {
-                    cache.discard_reopt(d.fingerprint);
-                    reopt = self.feedback.begin_reopt(d.fingerprint);
-                    outcome = CacheOutcome::Reoptimized;
-                } else {
-                    cache.discard(d.fingerprint);
-                }
-            }
-            if outcome != CacheOutcome::Reoptimized
-                && cache.stats().invalidations > before.invalidations
-            {
-                outcome = CacheOutcome::Invalidated;
+                Lookup::Invalidated => outcome = CacheOutcome::Invalidated,
+                Lookup::Miss => {}
             }
         }
         let stmt = parse_select_text(sql)?;
         let p = parameterize(&stmt);
-        let planned = self.plan_select_feedback(&p.stmt, opt, reopt.as_deref())?;
+        let planned = self.plan_select_knobs(&cat, &p.stmt, opt, reopt.as_deref(), &knobs)?;
         if reopt.is_some() {
             opt.note_reoptimized();
         }
-        let analyzed = self.analyze_governed(&planned, opt)?;
+        let analyzed = self.analyze_governed(&cat, &planned, opt, &knobs)?;
         if let Some(d) = digest {
             self.fold_observations(d.fingerprint, &planned, &analyzed);
             if d.binds == p.binds {
-                let mut cache = lock(&self.plan_cache);
-                // A static compile that ran while the lock was released
-                // must not clobber a concurrently re-optimized entry (see
+                let key = CacheKey {
+                    fingerprint: d.fingerprint,
+                    dop: knobs.dop,
+                    parallel_threshold: knobs.parallel_threshold,
+                };
+                // A static compile that ran lock-free must not clobber a
+                // concurrently re-optimized entry (see
                 // `PlanCache::has_reopt_entry`); a re-optimized compile
                 // always wins.
-                if reopt.is_some()
-                    || !cache.has_reopt_entry(d.fingerprint, version, dop, parallel_threshold)
-                {
-                    cache.insert(
-                        d.fingerprint,
-                        CachedPlan {
-                            planned,
-                            catalog_version: version,
-                            dop,
-                            parallel_threshold,
-                            optimizer: opt.name(),
-                            serves: 0,
-                        },
-                    );
+                if reopt.is_some() || !self.plan_cache.has_reopt_entry(&key, version) {
+                    self.plan_cache.insert(&key, version, opt.name(), planned);
                 }
             }
         }
@@ -878,13 +1148,16 @@ impl Engine {
     /// branch's plan instance — so results are identical to an
     /// uninstrumented run.
     pub fn analyze_planned(&self, planned: &PlannedQuery) -> Result<AnalyzedQuery> {
-        self.analyze_branches(planned, None)
+        let cat = rlock(&self.catalog);
+        self.analyze_branches(&cat, planned, None, self.morsel_rows.load(Ordering::Relaxed))
     }
 
     fn analyze_branches(
         &self,
+        cat: &Catalog,
         planned: &PlannedQuery,
         governor: Option<&Arc<QueryGovernor>>,
+        morsel_rows: usize,
     ) -> Result<AnalyzedQuery> {
         let mut rows: Vec<Row> = Vec::new();
         let mut work = 0u64;
@@ -897,8 +1170,8 @@ impl Engine {
             // The index keys nodes by address, so it must be built over the
             // exact tree we execute (`plan` is not moved afterwards).
             let index = Arc::new(ObserverIndex::new(&plan));
-            let mut ctx = ExecContext::new(&self.catalog, b.bound.num_tables(), slots);
-            ctx.set_morsel_rows(self.morsel_rows.load(Ordering::Relaxed));
+            let mut ctx = ExecContext::new(cat, b.bound.num_tables(), slots);
+            ctx.set_morsel_rows(morsel_rows);
             ctx.set_observer(Arc::clone(&index));
             if let Some(g) = governor {
                 ctx.set_governor(g.clone());
@@ -911,13 +1184,7 @@ impl Engine {
             if i > 0 {
                 text.push_str(&format!("UNION {}\n", if b.all { "ALL" } else { "DISTINCT" }));
             }
-            text.push_str(&explain_plan_analyzed(
-                &plan,
-                &b.bound,
-                &self.catalog,
-                &b.skeleton,
-                &ann,
-            ));
+            text.push_str(&explain_plan_analyzed(&plan, &b.bound, cat, &b.skeleton, &ann));
             nodes.extend(ann);
             if i == 0 {
                 rows = branch_rows;
@@ -942,17 +1209,18 @@ impl Engine {
     }
 
     fn run_select(&self, stmt: &SelectStmt, opt: &dyn CostBasedOptimizer) -> Result<QueryOutput> {
-        let _permit = self.admit();
-        let planned = self.plan_select(stmt, opt)?;
-        self.governed_execute(&planned, opt)
+        let knobs = self.knobs(&SessionOpts::default());
+        let _permit = self.admit(&knobs)?;
+        let cat = rlock(&self.catalog);
+        let planned = self.plan_select_knobs(&cat, stmt, opt, None, &knobs)?;
+        self.governed_execute(&cat, &planned, opt, &knobs)
     }
 
     fn execute_insert(
-        &mut self,
+        &self,
         table: &str,
         rows: Vec<Vec<taurus_sql::AstExpr>>,
     ) -> Result<QueryOutput> {
-        let id = self.catalog.table_by_name(table)?.id;
         let layout = Layout::empty(0);
         let mut materialized: Vec<Row> = Vec::with_capacity(rows.len());
         for row in rows {
@@ -965,8 +1233,14 @@ impl Engine {
             materialized.push(out);
         }
         let n = materialized.len();
-        self.catalog.insert(id, materialized)?;
-        self.catalog.build_indexes(id)?;
+        // Values materialized, now the DDL critical section: the write
+        // lock drains in-flight serves, and the index rebuild bumps the
+        // catalog version so stale cached plans invalidate.
+        self.with_catalog_mut(|cat| -> Result<()> {
+            let id = cat.table_by_name(table)?.id;
+            cat.insert(id, materialized)?;
+            cat.build_indexes(id)
+        })?;
         Ok(QueryOutput {
             columns: vec!["rows_inserted".into()],
             rows: vec![vec![Value::Int(n as i64)]],
@@ -983,10 +1257,14 @@ struct AdmissionPermit<'a> {
 
 impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
-        let mut gate = lock(&self.engine.admission);
-        gate.0 = gate.0.saturating_sub(1);
-        drop(gate);
-        self.engine.admission_cv.notify_one();
+        self.engine.admitted.fetch_sub(1, Ordering::SeqCst);
+        if self.engine.admission_waiters.load(Ordering::SeqCst) > 0 {
+            // Lock the waiter mutex so the notify cannot land between a
+            // waiter's failed re-check and its park (the classic lost
+            // wake-up); see `Engine::admit`.
+            let _parked = lock(&self.engine.admission_mu);
+            self.engine.admission_cv.notify_one();
+        }
     }
 }
 
@@ -1062,7 +1340,6 @@ fn ast_const_to_value(e: &taurus_sql::AstExpr, layout: &Layout) -> Result<Value>
     };
     expr.eval(EvalCtx::new(&[], layout))
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1356,17 +1633,12 @@ mod tests {
         let sql_str = "SELECT salary FROM emp WHERE id = 'two'";
         let (planned, _) = e.plan_cached(sql_int, &MySqlOptimizer).unwrap();
         let poisoned_fp = token_digest(sql_str).unwrap().fingerprint;
-        lock(&e.plan_cache).insert(
-            poisoned_fp,
-            CachedPlan {
-                planned,
-                catalog_version: e.catalog.version(),
-                dop: e.dop(),
-                parallel_threshold: e.parallel_threshold.load(Ordering::Relaxed),
-                optimizer: "mysql",
-                serves: 0,
-            },
-        );
+        let poisoned_key = CacheKey {
+            fingerprint: poisoned_fp,
+            dop: e.dop(),
+            parallel_threshold: e.parallel_threshold.load(Ordering::Relaxed),
+        };
+        e.plan_cache.insert(&poisoned_key, e.catalog().version(), "mysql", planned);
         let before = e.plan_cache_stats();
         // The Str-literal query hits the poisoned Int-peeked entry; the
         // type-class check rejects the rebind and a fresh compile serves.
@@ -1796,5 +2068,66 @@ mod tests {
         assert!(analyzed.text.contains("UNION DISTINCT\n"), "{}", analyzed.text);
         let banners = analyzed.text.lines().filter(|l| l.starts_with("EXPLAIN ANALYZE")).count();
         assert_eq!(banners, 2, "one banner per branch: {}", analyzed.text);
+    }
+
+    #[test]
+    fn queued_admission_respects_the_deadline() {
+        let e = engine();
+        e.set_admission_limit(1);
+        // Occupy the only slot directly, then watch a deadline-bounded
+        // caller time out in the queue instead of parking forever.
+        let slot = e.admit(&e.knobs(&SessionOpts::default())).unwrap();
+        let session = SessionOpts { deadline_ms: Some(30), ..SessionOpts::default() };
+        let t0 = Instant::now();
+        match e.query_cached_opts("SELECT id FROM emp", &MySqlOptimizer, &session) {
+            Err(Error::DeadlineExceeded { budget_ms }) => assert_eq!(budget_ms, 30),
+            other => panic!("expected DeadlineExceeded from the admission queue, got {other:?}"),
+        }
+        assert!(t0.elapsed() >= Duration::from_millis(30), "waited out the budget");
+        drop(slot);
+        // With the slot free the same session admits and answers.
+        let (out, _) =
+            e.query_cached_opts("SELECT id FROM emp", &MySqlOptimizer, &session).unwrap();
+        assert_eq!(out.rows.len(), 4);
+        e.set_admission_limit(usize::MAX);
+    }
+
+    #[test]
+    fn per_session_knobs_layer_over_engine_defaults() {
+        let e = big_engine(3000);
+        let sql = "SELECT id FROM emp WHERE salary > 500";
+        // Engine default dop=1: the session override plans a parallel copy
+        // without touching the engine knob or other sessions' entries.
+        let (serial, _) = e.plan_cached(sql, &MySqlOptimizer).unwrap();
+        assert!(!format!("{:?}", serial.primary().plan).contains("Exchange"));
+        let session = SessionOpts { dop: Some(4), ..SessionOpts::default() };
+        let (parallel, out) = e.plan_cached_opts(sql, &MySqlOptimizer, &session).unwrap();
+        assert_eq!(out, CacheOutcome::Miss, "session knobs are part of the cache key");
+        assert!(format!("{:?}", parallel.primary().plan).contains("Exchange"));
+        assert_eq!(e.plan_cache_len(), 2, "both knob variants coexist");
+        // Each variant hits its own entry on the next serve.
+        assert_eq!(e.plan_cached(sql, &MySqlOptimizer).unwrap().1, CacheOutcome::Hit);
+        assert_eq!(
+            e.plan_cached_opts(sql, &MySqlOptimizer, &session).unwrap().1,
+            CacheOutcome::Hit
+        );
+        // And results agree regardless of the session's dop.
+        let ordered = "SELECT id FROM emp WHERE salary > 500 ORDER BY id";
+        let (a, _) = e.query_cached_opts(ordered, &MySqlOptimizer, &session).unwrap();
+        assert_eq!(a.rows, e.query_cached(ordered, &MySqlOptimizer).unwrap().rows);
+    }
+
+    #[test]
+    fn session_zero_deadline_disables_the_engine_default() {
+        let e = big_engine(2000);
+        e.set_deadline(Some(Duration::from_millis(1)));
+        let slow = "SELECT COUNT(*) FROM emp a WHERE salary > \
+                    (SELECT AVG(salary) FROM emp b WHERE b.dept = a.dept)";
+        assert!(matches!(e.query(slow), Err(Error::DeadlineExceeded { .. })));
+        // Some(0) means "explicitly no deadline", overriding the default.
+        let session = SessionOpts { deadline_ms: Some(0), ..SessionOpts::default() };
+        let (out, _) = e.query_cached_opts(slow, &MySqlOptimizer, &session).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        e.set_deadline(None);
     }
 }

@@ -33,13 +33,14 @@ pub mod plancache;
 pub mod refine;
 pub mod resolve;
 pub mod skeleton;
+mod sync;
 
 pub use bound::{BoundQuery, BoundStatement, JoinEntry, OutputCol, TableMeta, TableSource};
 pub use engine::{
-    AnalyzedQuery, CostBasedOptimizer, Engine, ExecFaults, GovernedOutcome, MySqlOptimizer,
-    PlannedQuery, QueryOutput,
+    AnalyzedQuery, CatalogRef, CostBasedOptimizer, Engine, ExecFaults, GovernedOutcome,
+    MySqlOptimizer, PlannedQuery, QueryOutput, SessionOpts,
 };
 pub use explain::NodeAnnotation;
 pub use feedback::{FeedbackState, ObservationStore};
-pub use plancache::{CacheOutcome, CachedPlan, PlanCache, PlanCacheStats};
+pub use plancache::{CacheEntry, CacheKey, CacheOutcome, Lookup, PlanCache, PlanCacheStats};
 pub use skeleton::{AccessChoice, JoinMethod, SearchTrace, SkelLeaf, SkelNode, Skeleton};

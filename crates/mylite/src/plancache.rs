@@ -1,25 +1,74 @@
-//! The compile-once, serve-many plan cache.
+//! The compile-once, serve-many plan cache — sharded for concurrent
+//! sessions.
 //!
-//! Keyed by statement fingerprint ([`taurus_sql::fingerprint`]), each entry
-//! stores the fully refined executable plan compiled under a specific
-//! catalog version, together with its optimizer provenance (which backend
-//! produced it, and whether the Orca detour fell back). A hit re-binds the
-//! cached [`PlannedQuery`]'s parameters *in place* to the new statement's
-//! literal values and serves it by reference — skipping parse-tree
-//! resolution, join-order search, plan refinement, and even the plan
-//! deep-copy, which is the paper's Table 1 compile overhead amortized
+//! Keyed by statement fingerprint ([`taurus_sql::fingerprint`]) *plus* the
+//! plan-shaping knobs it was compiled under (dop, parallel threshold), each
+//! entry stores the fully refined executable plan compiled under a specific
+//! catalog version, together with its optimizer provenance. A hit re-binds
+//! the cached [`PlannedQuery`]'s parameters *in place* to the new
+//! statement's literal values and serves it by reference — skipping
+//! parse-tree resolution, join-order search, plan refinement, and even the
+//! plan deep-copy, which is the paper's Table 1 compile overhead amortized
 //! across the ROADMAP's "millions of users".
 //!
-//! Entries are validated against [`taurus_catalog::Catalog::version`] on
-//! lookup: any DDL/ANALYZE since compilation invalidates the entry (counted
-//! separately from misses, so invalidation storms are observable). Eviction
-//! is LRU on a logical tick.
+//! # Sharding
+//!
+//! The table is split into [`NUM_SHARDS`] shards, each behind its own
+//! `RwLock`, selected by fingerprint. The hot path (a cached serve) takes
+//! only its shard's *read* lock long enough to clone the entry's `Arc` out;
+//! rebind and execution then happen under the entry's own interior
+//! `Mutex<PlannedQuery>`. Sessions serving different statements therefore
+//! never contend: they touch different entry locks, and shard read locks
+//! are shared. Only same-statement serves serialize (they must — the plan's
+//! bind parameters are rebound in place), and only structural changes
+//! (insert, invalidation, eviction, clear) take a shard write lock.
+//!
+//! Bookkeeping that used to mutate under the global cache lock lives in
+//! per-entry atomics (`serves`, `last_used`) and cache-wide atomic counters
+//! ([`PlanCacheStats`] is a snapshot of those).
+//!
+//! # Knobs in the key, version in the entry
+//!
+//! Plans depend on the dop and parallel-threshold knobs (exchange
+//! placement), so those are part of the cache *key*: sessions running with
+//! different per-session knobs coexist, each hitting plans compiled for its
+//! own settings, instead of invalidating each other's entries on every
+//! serve. The catalog version is *not* part of the key — a version bump
+//! (DDL/ANALYZE) must *replace* the entry, not shadow it — so it is
+//! validated on lookup: a stale entry is removed under the shard write lock
+//! and counted as an invalidation. A plan compiled under stale knobs that
+//! re-enters after `clear()` (the insert-after-clear race) is keyed under
+//! those stale knobs and can never be found by a current-knob lookup; it
+//! ages out via LRU.
+//!
+//! Eviction is LRU on a logical tick, per shard.
 
 use crate::engine::PlannedQuery;
+use crate::sync::{lock, rlock, wlock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
-/// Default maximum number of cached statements.
+/// Default maximum number of cached statements (across all shards).
 pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Number of independently locked cache shards. A power of two so the
+/// fingerprint's low bits select uniformly; 16 is plenty for the template
+/// counts our workloads carry while keeping the per-shard maps dense.
+pub const NUM_SHARDS: usize = 16;
+
+/// Everything a plan's validity depends on that does *not* change the
+/// statement's meaning: the statement fingerprint plus the plan-shaping
+/// knobs it was compiled under. Two sessions with different knobs get
+/// different keys — and therefore different entries — for the same SQL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    pub fingerprint: u64,
+    /// Effective degree of parallelism at compile time.
+    pub dop: usize,
+    /// Effective parallel threshold (min driver rows) at compile time.
+    pub parallel_threshold: usize,
+}
 
 /// Counters surfaced in RouterStats-style reports and the EXPLAIN banner.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -28,7 +77,8 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Lookups that found no entry.
     pub misses: u64,
-    /// Lookups that found an entry compiled under a stale catalog version.
+    /// Lookups that found an entry compiled under a stale catalog version
+    /// (plus serve-path discards: a refused rebind reclassifies its hit).
     pub invalidations: u64,
     /// Entries inserted after a compile.
     pub insertions: u64,
@@ -77,35 +127,83 @@ impl CacheOutcome {
     }
 }
 
-/// One cached compilation.
-#[derive(Debug, Clone)]
-pub struct CachedPlan {
-    /// The refined, executable plan (with bind parameters embedded).
-    pub planned: PlannedQuery,
+/// One cached compilation. Shared out of the cache as an `Arc` so the serve
+/// path holds no shard lock while it rebinds and executes; the plan itself
+/// sits behind the entry's own mutex (in-place rebind requires exclusive
+/// access for the duration of the serve).
+#[derive(Debug)]
+pub struct CacheEntry {
     /// Catalog version the plan was compiled under.
     pub catalog_version: u64,
-    /// Engine dop knob at compile time. The skeleton was parallelized (or
-    /// not) under this setting; a different effective dop must recompile.
-    pub dop: usize,
-    /// Engine parallel-threshold knob at compile time.
-    pub parallel_threshold: usize,
     /// Optimizer backend name (`"mysql"`, `"orca"`).
     pub optimizer: &'static str,
+    /// Whether the plan came from a feedback re-optimization (any branch
+    /// skeleton carries the reopt marker). Snapshotted at insert so
+    /// [`PlanCache::has_reopt_entry`] needs no plan lock.
+    reopt: bool,
     /// Times this entry has been served.
-    pub serves: u64,
+    serves: AtomicU64,
+    /// Logical LRU tick of the last lookup that returned this entry.
+    last_used: AtomicU64,
+    /// The refined, executable plan (with bind parameters embedded).
+    planned: Mutex<PlannedQuery>,
 }
 
-struct Entry {
-    plan: CachedPlan,
-    last_used: u64,
+impl CacheEntry {
+    /// Exclusive access to the plan for rebind-and-serve. Poison-recovering:
+    /// a panicked serve leaves a structurally sound plan (rebind is a leaf
+    /// write of bind values; execution never mutates the plan).
+    pub fn planned(&self) -> MutexGuard<'_, PlannedQuery> {
+        lock(&self.planned)
+    }
+
+    pub fn serves(&self) -> u64 {
+        self.serves.load(Ordering::Relaxed)
+    }
 }
 
-/// Fingerprint-keyed LRU plan cache.
+/// What a lookup concluded, with the entry on a hit. Distinguishing
+/// `Invalidated` from `Miss` in the return value (rather than by a stats
+/// delta) keeps the classification race-free under concurrent lookups.
+pub enum Lookup {
+    Hit(Arc<CacheEntry>),
+    Miss,
+    Invalidated,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    reoptimizations: AtomicU64,
+}
+
+/// Decrement without wrapping below zero (reclassification of a hit whose
+/// serve was refused; concurrent discards of the same entry race benignly —
+/// only the remover reclassifies).
+fn saturating_dec(a: &AtomicU64) {
+    let mut cur = a.load(Ordering::Relaxed);
+    while cur > 0 {
+        match a.compare_exchange_weak(cur, cur - 1, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+type Shard = HashMap<CacheKey, Arc<CacheEntry>>;
+
+/// Fingerprint-keyed, sharded LRU plan cache. All methods take `&self`;
+/// interior locks are poison-recovering (see [`crate::sync`]).
 pub struct PlanCache {
-    capacity: usize,
-    entries: HashMap<u64, Entry>,
-    tick: u64,
-    stats: PlanCacheStats,
+    shards: Vec<RwLock<Shard>>,
+    /// Per-shard entry budget (global capacity / shard count).
+    shard_capacity: usize,
+    tick: AtomicU64,
+    stats: AtomicStats,
 }
 
 impl Default for PlanCache {
@@ -117,104 +215,124 @@ impl Default for PlanCache {
 impl PlanCache {
     pub fn new(capacity: usize) -> PlanCache {
         PlanCache {
-            capacity: capacity.max(1),
-            entries: HashMap::new(),
-            tick: 0,
-            stats: PlanCacheStats::default(),
+            shards: (0..NUM_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shard_capacity: (capacity.max(1)).div_ceil(NUM_SHARDS).max(1),
+            tick: AtomicU64::new(0),
+            stats: AtomicStats::default(),
         }
     }
 
-    /// Look up a fingerprint, validating the entry against the current
-    /// catalog version and execution knobs (dop, parallel threshold). Stale
-    /// entries are removed and counted as invalidations (the caller
-    /// re-compiles and re-inserts). Knob validation is what makes the serve
-    /// path immune to the insert-after-clear race: `set_dop` clears the
-    /// cache, but a compile already in flight can re-insert a plan built
-    /// under the old knobs — the entry must then never be served. The entry
-    /// comes back mutable so the caller can re-bind its parameters in
-    /// place — the serve path never deep-copies the plan.
-    pub fn lookup(
-        &mut self,
-        fingerprint: u64,
-        catalog_version: u64,
-        dop: usize,
-        parallel_threshold: usize,
-    ) -> Option<&mut CachedPlan> {
-        self.tick += 1;
-        match self.entries.get(&fingerprint) {
+    fn shard(&self, key: &CacheKey) -> &RwLock<Shard> {
+        &self.shards[(key.fingerprint as usize) % NUM_SHARDS]
+    }
+
+    /// Look up a key, validating the entry against the caller's snapshot of
+    /// the catalog version. The hot path holds only the shard read lock,
+    /// and only long enough to clone the `Arc` out. A stale entry is
+    /// removed under the shard write lock and counted as an invalidation
+    /// (the caller re-compiles and re-inserts); the removal re-checks under
+    /// the write lock, so racing lookups that already saw a fresh
+    /// replacement are not clobbered.
+    pub fn lookup(&self, key: &CacheKey, catalog_version: u64) -> Lookup {
+        let shard = self.shard(key);
+        {
+            let map = rlock(shard);
+            match map.get(key) {
+                None => {
+                    self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Miss;
+                }
+                Some(e) if e.catalog_version == catalog_version => {
+                    let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                    e.last_used.store(tick, Ordering::Relaxed);
+                    e.serves.fetch_add(1, Ordering::Relaxed);
+                    self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                    return Lookup::Hit(Arc::clone(e));
+                }
+                Some(_) => {}
+            }
+        }
+        // Stale under our version snapshot: upgrade to the write lock and
+        // re-check — a concurrent serve may have replaced the entry with a
+        // current compile meanwhile.
+        let mut map = wlock(shard);
+        match map.get(key) {
+            Some(e) if e.catalog_version != catalog_version => {
+                map.remove(key);
+                self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
+                Lookup::Invalidated
+            }
+            Some(e) => {
+                let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+                e.last_used.store(tick, Ordering::Relaxed);
+                e.serves.fetch_add(1, Ordering::Relaxed);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Lookup::Hit(Arc::clone(e))
+            }
             None => {
-                self.stats.misses += 1;
-                None
-            }
-            Some(e)
-                if e.plan.catalog_version != catalog_version
-                    || e.plan.dop != dop
-                    || e.plan.parallel_threshold != parallel_threshold =>
-            {
-                self.entries.remove(&fingerprint);
-                self.stats.invalidations += 1;
-                None
-            }
-            Some(_) => {
-                self.stats.hits += 1;
-                let tick = self.tick;
-                let e = self.entries.get_mut(&fingerprint).expect("checked above");
-                e.last_used = tick;
-                e.plan.serves += 1;
-                Some(&mut e.plan)
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                Lookup::Miss
             }
         }
     }
 
     /// Insert a freshly compiled plan, evicting the least-recently-used
-    /// entry if the cache is full.
-    pub fn insert(&mut self, fingerprint: u64, plan: CachedPlan) {
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&fingerprint) {
-            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, e)| e.last_used) {
-                self.entries.remove(&victim);
-                self.stats.evictions += 1;
+    /// entry of the shard if it is full.
+    pub fn insert(
+        &self,
+        key: &CacheKey,
+        catalog_version: u64,
+        optimizer: &'static str,
+        planned: PlannedQuery,
+    ) {
+        let reopt = planned.branches.iter().any(|b| b.skeleton.reopt.is_some());
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = Arc::new(CacheEntry {
+            catalog_version,
+            optimizer,
+            reopt,
+            serves: AtomicU64::new(0),
+            last_used: AtomicU64::new(tick),
+            planned: Mutex::new(planned),
+        });
+        let mut map = wlock(self.shard(key));
+        if map.len() >= self.shard_capacity && !map.contains_key(key) {
+            if let Some(&victim) =
+                map.iter().min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed)).map(|(k, _)| k)
+            {
+                map.remove(&victim);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        self.tick += 1;
-        self.stats.insertions += 1;
-        self.entries.insert(fingerprint, Entry { plan, last_used: self.tick });
+        self.stats.insertions.fetch_add(1, Ordering::Relaxed);
+        map.insert(*key, entry);
     }
 
     /// Drop one entry after its `lookup` succeeded but the plan could not
     /// actually be served (e.g. parameter rebinding refused the binds).
     /// Reclassifies the lookup's hit as an invalidation so the counters
     /// describe what the serve path really did.
-    pub fn discard(&mut self, fingerprint: u64) {
-        if self.entries.remove(&fingerprint).is_some() {
-            self.stats.hits = self.stats.hits.saturating_sub(1);
-            self.stats.invalidations += 1;
+    pub fn discard(&self, key: &CacheKey) {
+        if wlock(self.shard(key)).remove(key).is_some() {
+            saturating_dec(&self.stats.hits);
+            self.stats.invalidations.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// True when `fingerprint` maps to an entry that was produced by a
-    /// feedback re-optimization (a branch skeleton carries the reopt
-    /// marker) and is still valid under the caller's catalog version and
-    /// knobs. The serve paths compile on a miss *after* releasing the
+    /// True when `key` maps to an entry that was produced by a feedback
+    /// re-optimization and is still valid under the caller's catalog
+    /// version. The serve paths compile on a miss *without* holding any
     /// cache lock, so an in-flight static compile can try to insert after
     /// a concurrent serve re-optimized the same statement; overwriting
     /// would resurrect the misestimated plan — and pin it, because the
     /// feedback store's applied-observations snapshot then suppresses a
     /// second re-optimization. Callers use this to skip such inserts. A
-    /// stale re-optimized entry does not block (it can no longer be
-    /// served anyway).
-    pub fn has_reopt_entry(
-        &self,
-        fingerprint: u64,
-        catalog_version: u64,
-        dop: usize,
-        parallel_threshold: usize,
-    ) -> bool {
-        self.entries.get(&fingerprint).is_some_and(|e| {
-            e.plan.catalog_version == catalog_version
-                && e.plan.dop == dop
-                && e.plan.parallel_threshold == parallel_threshold
-                && e.plan.planned.branches.iter().any(|b| b.skeleton.reopt.is_some())
-        })
+    /// stale re-optimized entry does not block (it can no longer be served
+    /// anyway).
+    pub fn has_reopt_entry(&self, key: &CacheKey, catalog_version: u64) -> bool {
+        rlock(self.shard(key))
+            .get(key)
+            .is_some_and(|e| e.catalog_version == catalog_version && e.reopt)
     }
 
     /// Drop one entry whose `lookup` succeeded because runtime feedback
@@ -222,28 +340,37 @@ impl PlanCache {
     /// with observed cardinalities injected and re-inserts the result.
     /// Reclassifies the lookup's hit as a re-optimization so the counters
     /// describe what the serve path really did.
-    pub fn discard_reopt(&mut self, fingerprint: u64) {
-        if self.entries.remove(&fingerprint).is_some() {
-            self.stats.hits = self.stats.hits.saturating_sub(1);
-            self.stats.reoptimizations += 1;
+    pub fn discard_reopt(&self, key: &CacheKey) {
+        if wlock(self.shard(key)).remove(key).is_some() {
+            saturating_dec(&self.stats.hits);
+            self.stats.reoptimizations.fetch_add(1, Ordering::Relaxed);
         }
     }
 
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.shards.iter().map(|s| rlock(s).len()).sum()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.shards.iter().all(|s| rlock(s).is_empty())
     }
 
     pub fn stats(&self) -> PlanCacheStats {
-        self.stats
+        PlanCacheStats {
+            hits: self.stats.hits.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            invalidations: self.stats.invalidations.load(Ordering::Relaxed),
+            insertions: self.stats.insertions.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            reoptimizations: self.stats.reoptimizations.load(Ordering::Relaxed),
+        }
     }
 
     /// Drop all entries; counters survive (they describe the session).
-    pub fn clear(&mut self) {
-        self.entries.clear();
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            wlock(shard).clear();
+        }
     }
 }
 
@@ -255,83 +382,112 @@ mod tests {
     const DOP: usize = 1;
     const THRESHOLD: usize = 1024;
 
-    fn dummy_plan(version: u64) -> CachedPlan {
-        CachedPlan {
-            planned: PlannedQuery { branches: vec![], columns: vec![] },
-            catalog_version: version,
-            dop: DOP,
-            parallel_threshold: THRESHOLD,
-            optimizer: "mysql",
-            serves: 0,
-        }
+    fn key(fingerprint: u64) -> CacheKey {
+        CacheKey { fingerprint, dop: DOP, parallel_threshold: THRESHOLD }
+    }
+
+    fn dummy_plan() -> PlannedQuery {
+        PlannedQuery { branches: vec![], columns: vec![] }
+    }
+
+    fn hit(c: &PlanCache, k: &CacheKey, version: u64) -> bool {
+        matches!(c.lookup(k, version), Lookup::Hit(_))
     }
 
     #[test]
     fn hit_miss_and_version_invalidation() {
-        let mut c = PlanCache::new(8);
-        assert!(c.lookup(1, 0, DOP, THRESHOLD).is_none());
-        c.insert(1, dummy_plan(0));
-        assert!(c.lookup(1, 0, DOP, THRESHOLD).is_some());
+        let c = PlanCache::new(8);
+        assert!(matches!(c.lookup(&key(1), 0), Lookup::Miss));
+        c.insert(&key(1), 0, "mysql", dummy_plan());
+        assert!(hit(&c, &key(1), 0));
         // Catalog moved: the entry is stale, dropped, and counted.
-        assert!(c.lookup(1, 1, DOP, THRESHOLD).is_none());
-        assert!(c.lookup(1, 1, DOP, THRESHOLD).is_none(), "stale entry was removed -> plain miss");
+        assert!(matches!(c.lookup(&key(1), 1), Lookup::Invalidated));
+        assert!(
+            matches!(c.lookup(&key(1), 1), Lookup::Miss),
+            "stale entry was removed -> plain miss"
+        );
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
         assert_eq!(c.len(), 0);
     }
 
     #[test]
-    fn knob_mismatch_invalidates() {
+    fn knob_mismatch_is_a_distinct_key() {
         // A plan compiled under dop=1 must not be served at dop=4 (and vice
-        // versa for the parallel threshold) even if it sneaks back into the
-        // cache after a `clear()` — the insert-after-clear race.
-        let mut c = PlanCache::new(8);
-        c.insert(1, dummy_plan(0));
-        assert!(c.lookup(1, 0, 4, THRESHOLD).is_none(), "dop changed");
-        assert_eq!(c.len(), 0, "stale-knob entry dropped");
-        c.insert(1, dummy_plan(0));
-        assert!(c.lookup(1, 0, DOP, 8).is_none(), "threshold changed");
-        let s = c.stats();
-        assert_eq!((s.hits, s.invalidations), (0, 2));
-        c.insert(1, dummy_plan(0));
-        assert!(c.lookup(1, 0, DOP, THRESHOLD).is_some(), "matching knobs serve");
+        // versa for the parallel threshold): the knobs are part of the key,
+        // so mismatched-knob sessions simply miss — and, once both compile,
+        // coexist without evicting each other. (Variants share a shard —
+        // the fingerprint picks it — so give the shard room for both.)
+        let c = PlanCache::new(2 * NUM_SHARDS);
+        c.insert(&key(1), 0, "mysql", dummy_plan());
+        let dop4 = CacheKey { fingerprint: 1, dop: 4, parallel_threshold: THRESHOLD };
+        assert!(matches!(c.lookup(&dop4, 0), Lookup::Miss), "dop changed");
+        let thr8 = CacheKey { fingerprint: 1, dop: DOP, parallel_threshold: 8 };
+        assert!(matches!(c.lookup(&thr8, 0), Lookup::Miss), "threshold changed");
+        c.insert(&dop4, 0, "mysql", dummy_plan());
+        assert!(hit(&c, &key(1), 0), "original knobs still serve");
+        assert!(hit(&c, &dop4, 0), "dop=4 session serves its own plan");
+        assert_eq!(c.len(), 2, "knob variants coexist");
     }
 
     #[test]
     fn lru_eviction_prefers_cold_entries() {
-        let mut c = PlanCache::new(2);
-        c.insert(1, dummy_plan(0));
-        c.insert(2, dummy_plan(0));
-        assert!(c.lookup(1, 0, DOP, THRESHOLD).is_some()); // warm 1
-        c.insert(3, dummy_plan(0)); // evicts 2
-        assert!(c.lookup(1, 0, DOP, THRESHOLD).is_some());
-        assert!(c.lookup(2, 0, DOP, THRESHOLD).is_none());
-        assert!(c.lookup(3, 0, DOP, THRESHOLD).is_some());
+        // Same-shard fingerprints (multiples of NUM_SHARDS) with a
+        // 2-entry-per-shard budget.
+        let c = PlanCache::new(2 * NUM_SHARDS);
+        let f = |i: u64| key(i * NUM_SHARDS as u64);
+        c.insert(&f(1), 0, "mysql", dummy_plan());
+        c.insert(&f(2), 0, "mysql", dummy_plan());
+        assert!(hit(&c, &f(1), 0)); // warm 1
+        c.insert(&f(3), 0, "mysql", dummy_plan()); // evicts 2
+        assert!(hit(&c, &f(1), 0));
+        assert!(matches!(c.lookup(&f(2), 0), Lookup::Miss));
+        assert!(hit(&c, &f(3), 0));
         assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]
     fn discard_reopt_reclassifies_the_hit() {
-        let mut c = PlanCache::new(4);
-        c.insert(1, dummy_plan(0));
-        assert!(c.lookup(1, 0, DOP, THRESHOLD).is_some());
-        c.discard_reopt(1);
+        let c = PlanCache::new(4);
+        c.insert(&key(1), 0, "mysql", dummy_plan());
+        assert!(hit(&c, &key(1), 0));
+        c.discard_reopt(&key(1));
         let s = c.stats();
         assert_eq!((s.hits, s.reoptimizations, s.invalidations), (0, 1, 0));
         assert!(c.is_empty());
         // Discarding an absent entry is a no-op.
-        c.discard_reopt(1);
+        c.discard_reopt(&key(1));
         assert_eq!(c.stats().reoptimizations, 1);
     }
 
     #[test]
     fn hit_rate_reflects_all_lookup_kinds() {
-        let mut c = PlanCache::new(4);
-        c.insert(1, dummy_plan(0));
-        c.lookup(1, 0, DOP, THRESHOLD);
-        c.lookup(1, 0, DOP, THRESHOLD);
-        c.lookup(2, 0, DOP, THRESHOLD);
+        let c = PlanCache::new(4);
+        c.insert(&key(1), 0, "mysql", dummy_plan());
+        c.lookup(&key(1), 0);
+        c.lookup(&key(1), 0);
+        c.lookup(&key(2), 0);
         assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(PlanCacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_lookups_share_read_locks_and_count_exactly() {
+        let c = std::sync::Arc::new(PlanCache::new(64));
+        for i in 0..8u64 {
+            c.insert(&key(i), 0, "mysql", dummy_plan());
+        }
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        assert!(hit(&c, &key((t + i) % 8), 0));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.stats().hits, 400);
+        assert_eq!(c.len(), 8);
     }
 }

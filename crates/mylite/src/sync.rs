@@ -1,0 +1,26 @@
+//! Poison-recovering lock helpers shared by the engine and the plan cache.
+//!
+//! Every lock in the engine guards plain data (maps, counters, plans) whose
+//! invariants hold between statements, and all execution happens under
+//! `catch_unwind` isolation at the optimizer boundary — so a panic while a
+//! guard is held leaves structurally sound data behind. Propagating the
+//! poison as a second panic would brick every later session sharing the
+//! engine; recovering the guard keeps the server serving. (A panicked
+//! *query* still fails; only the shared state survives.)
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock a mutex, recovering the data if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Acquire a shared read guard, recovering from poison.
+pub(crate) fn rlock<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Acquire an exclusive write guard, recovering from poison.
+pub(crate) fn wlock<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|e| e.into_inner())
+}

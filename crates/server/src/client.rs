@@ -1,0 +1,99 @@
+//! A small blocking client for the wire protocol — what the integration
+//! tests and the concurrency bench drive the server with.
+
+use crate::protocol::{
+    decode_reply, encode_request, read_frame, write_frame, Reply, Request, ServeOutcome,
+};
+use mylite::SessionOpts;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use taurus_common::error::{Error, Result};
+use taurus_common::Value;
+
+/// A decoded result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    pub outcome: ServeOutcome,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+/// One connection = one server-side session.
+pub struct Client {
+    stream: TcpStream,
+}
+
+fn io_err(e: io::Error) -> Error {
+    Error::internal(format!("client i/o: {e}"))
+}
+
+impl Client {
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn round_trip(&mut self, req: &Request) -> Result<Reply> {
+        write_frame(&mut self.stream, &encode_request(req)).map_err(io_err)?;
+        let payload = read_frame(&mut self.stream)
+            .map_err(io_err)?
+            .ok_or_else(|| Error::internal("server hung up mid-request"))?;
+        decode_reply(&payload)
+    }
+
+    fn expect_rows(&mut self, req: &Request) -> Result<QueryReply> {
+        match self.round_trip(req)? {
+            Reply::Rows { outcome, columns, rows } => Ok(QueryReply { outcome, columns, rows }),
+            Reply::Err(e) => Err(e),
+            other => Err(Error::internal(format!("expected rows, got {other:?}"))),
+        }
+    }
+
+    /// Execute a statement with the session's options.
+    pub fn query(&mut self, sql: &str) -> Result<QueryReply> {
+        self.query_opts(sql, &SessionOpts::default())
+    }
+
+    /// Execute a statement with per-statement option overrides.
+    pub fn query_opts(&mut self, sql: &str, opts: &SessionOpts) -> Result<QueryReply> {
+        self.expect_rows(&Request::Query { opts: *opts, sql: sql.into() })
+    }
+
+    /// Fold options into the server-side session state.
+    pub fn set(&mut self, opts: &SessionOpts) -> Result<()> {
+        match self.round_trip(&Request::Set { opts: *opts })? {
+            Reply::Unit => Ok(()),
+            Reply::Err(e) => Err(e),
+            other => Err(Error::internal(format!("expected unit, got {other:?}"))),
+        }
+    }
+
+    /// EXPLAIN a statement through the server's plan cache.
+    pub fn explain(&mut self, sql: &str) -> Result<String> {
+        self.explain_opts(sql, &SessionOpts::default())
+    }
+
+    pub fn explain_opts(&mut self, sql: &str, opts: &SessionOpts) -> Result<String> {
+        match self.round_trip(&Request::Explain { opts: *opts, sql: sql.into() })? {
+            Reply::Text(t) => Ok(t),
+            Reply::Err(e) => Err(e),
+            other => Err(Error::internal(format!("expected text, got {other:?}"))),
+        }
+    }
+
+    /// Run ANALYZE on every table (bumps the catalog version server-side).
+    pub fn analyze(&mut self) -> Result<()> {
+        match self.round_trip(&Request::Analyze)? {
+            Reply::Unit => Ok(()),
+            Reply::Err(e) => Err(e),
+            other => Err(Error::internal(format!("expected unit, got {other:?}"))),
+        }
+    }
+
+    /// Close the session politely (dropping the client works too — the
+    /// server treats EOF as a hangup).
+    pub fn quit(mut self) {
+        let _ = write_frame(&mut self.stream, &encode_request(&Request::Quit));
+    }
+}
