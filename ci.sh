@@ -44,6 +44,16 @@ echo "== parallel: morsel-driven speedup gate"
 # an expected exchange was not placed.
 SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness parallel
 
+echo "== vectorized: columnar batch engine gate"
+# Wall-clock, but with wide headroom: each template's plan is compiled
+# once and executed VECTORIZED_BUDGET times per engine, medians compared.
+# Fails if the median serial-batch speedup on the scan/filter/agg
+# templates drops below 2x (measured 3x+ at this scale), or if either
+# batch variant (dop 1 or dop 4) returns bytes that differ from the
+# serial row engine. Raise VECTORIZED_BUDGET for steadier medians.
+SCALE=0.1 VECTORIZED_BUDGET="${VECTORIZED_BUDGET:-9}" \
+    cargo run --release --offline -p taurus-bench --bin harness vectorized
+
 echo "== observe: EXPLAIN ANALYZE q-error gate"
 # Runs every TPC-H and TPC-DS template under EXPLAIN ANALYZE. Fails if
 # instrumentation changes any result (serial or dop=4), or if the worst
@@ -62,9 +72,9 @@ SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness feedback
 
 echo "== fuzz: differential correctness gate"
 # Seeded, fully deterministic random-query sweep over TPC-H, TPC-DS, and
-# the adversarial schema, checked by seven oracles (native-vs-orca,
+# the adversarial schema, checked by eight oracles (native-vs-orca,
 # serial-vs-parallel, fresh-vs-rebound, TLP partitioning, cancel-recover,
-# feedback re-optimization, concurrent-sessions).
+# feedback re-optimization, concurrent-sessions, row-vs-batch).
 # Any miscompare fails the gate and prints the delta-debugged minimal
 # repro SQL. Raise FUZZ_BUDGET (queries per seed) for a deeper local sweep.
 SCALE=0.05 FUZZ_BUDGET="${FUZZ_BUDGET:-150}" \

@@ -13,6 +13,7 @@
 //! harness routing    # never-fail-detour routing + fallback-reason table
 //! harness plancache  # compile-once serve-many plan cache (exits 1 on gate failure)
 //! harness parallel   # morsel-driven parallel execution (exits 1 on gate failure)
+//! harness vectorized # columnar batch engine wall-clock gate (exits 1 on gate failure)
 //! harness observe    # EXPLAIN ANALYZE q-error harness (exits 1 on gate failure)
 //! harness feedback   # feedback-driven re-optimization loop (exits 1 on gate failure)
 //! harness fuzz [--seed-range a..b]
@@ -23,6 +24,7 @@
 //! ```
 //!
 //! Environment knobs: `SCALE` (default 0.3), `REPS` (default 5),
+//! `VECTORIZED_BUDGET` (timed runs per cell for `vectorized`, default 9),
 //! `FUZZ_BUDGET` (queries per seed for `fuzz`, default 500),
 //! `GOVERNANCE_BUDGET` (disturbed executions for `governance`, default 200),
 //! `CONCURRENCY_BUDGET` (loaded-level statements for `concurrency`,
@@ -77,6 +79,9 @@ fn main() {
     if want("parallel") {
         parallel_report();
     }
+    if want("vectorized") {
+        vectorized_report();
+    }
     if want("observe") {
         observe_report();
     }
@@ -105,6 +110,7 @@ fn main() {
             "routing",
             "plancache",
             "parallel",
+            "vectorized",
             "observe",
             "feedback",
             "fuzz",
@@ -269,6 +275,26 @@ fn parallel_report() {
     );
 }
 
+fn vectorized_report() {
+    let reps =
+        std::env::var("VECTORIZED_BUDGET").ok().and_then(|s| s.parse().ok()).unwrap_or(9usize);
+    println!(
+        "\n## Vectorized execution — serial row vs columnar batch engine \
+         (scale {:?}, dop 4, {reps} runs per cell)\n",
+        scale()
+    );
+    let r = run_vectorized(scale(), 4, reps);
+    print!("{}", format_vectorized_report(&r));
+    if let Err(violation) = r.gate() {
+        eprintln!("\nvectorized gate FAILED: {violation}");
+        std::process::exit(1);
+    }
+    println!(
+        "\nvectorized gate passed: batch rows byte-identical to serial row (dop 1 and 4), \
+         ≥2x median wall-clock speedup on the scan/filter/agg templates"
+    );
+}
+
 fn observe_report() {
     println!(
         "\n## EXPLAIN ANALYZE — per-operator q-errors, every template (scale {:?}, dop 4)\n",
@@ -313,7 +339,7 @@ fn fuzz_report() {
         .unwrap_or_else(|| vec![0, 1]);
     let budget = std::env::var("FUZZ_BUDGET").ok().and_then(|s| s.parse().ok()).unwrap_or(500usize);
     println!(
-        "\n## Differential fuzzer — seven oracles over random queries (scale {:?})\n",
+        "\n## Differential fuzzer — eight oracles over random queries (scale {:?})\n",
         scale()
     );
     let r = fuzz::run_fuzz(&seeds, budget, scale());
@@ -322,7 +348,7 @@ fn fuzz_report() {
         eprintln!("\nfuzz gate FAILED: {violation}");
         std::process::exit(1);
     }
-    println!("\nfuzz gate passed: {} queries × 7 oracles, zero miscompares", r.generated);
+    println!("\nfuzz gate passed: {} queries × 8 oracles, zero miscompares", r.generated);
 }
 
 fn governance_report() {

@@ -3,7 +3,7 @@
 //! A seeded, deterministic random query generator over the TPC-H and
 //! TPC-DS schemas plus an adversarial synthetic schema (NULL-heavy
 //! columns, an empty table, a single-row table, duplicate keys), driven
-//! through seven differential oracles:
+//! through eight differential oracles:
 //!
 //! 1. **native-vs-orca** — the mylite-native plan and the Orca-routed
 //!    plan must agree on the result multiset (and on sortedness / top-k
@@ -27,7 +27,10 @@
 //! 7. **concurrent-sessions** — two session threads interleaving the same
 //!    cached statement pair over the shared engine must each see the
 //!    single-session reference answer on every serve (in-place rebinds
-//!    racing concurrent hits of the sharded cache must never tear).
+//!    racing concurrent hits of the sharded cache must never tear);
+//! 8. **row-vs-batch** — the vectorized batch path at dop ∈ {1, 4, 8}
+//!    must be byte-identical, in order, to the serial row path (the PR 9
+//!    columnar-execution contract: same plans, same output bytes).
 //!
 //! Every miscompare is shrunk by a delta-debugging minimizer (clause and
 //! join removal to a fixpoint) before being reported, so a gate failure
@@ -749,6 +752,7 @@ pub enum Oracle {
     CancelRecover,
     Feedback,
     ConcurrentSessions,
+    RowVsBatch,
 }
 
 impl Oracle {
@@ -761,10 +765,11 @@ impl Oracle {
             Oracle::CancelRecover => "cancel-recover",
             Oracle::Feedback => "feedback",
             Oracle::ConcurrentSessions => "concurrent-sessions",
+            Oracle::RowVsBatch => "row-vs-batch",
         }
     }
 
-    pub const ALL: [Oracle; 7] = [
+    pub const ALL: [Oracle; 8] = [
         Oracle::NativeVsOrca,
         Oracle::SerialVsParallel,
         Oracle::FreshVsRebound,
@@ -772,6 +777,7 @@ impl Oracle {
         Oracle::CancelRecover,
         Oracle::Feedback,
         Oracle::ConcurrentSessions,
+        Oracle::RowVsBatch,
     ];
 
     fn index(self) -> usize {
@@ -1209,6 +1215,52 @@ impl FuzzCtx<'_> {
         }
     }
 
+    /// Oracle 8: the serial row path vs the vectorized batch path at
+    /// dop ∈ {1, 4, 8}. Vectorization is an execution-only knob — same
+    /// plan, same operators, different inner loops — so the comparison is
+    /// exact and ordered: every byte of every value must match, including
+    /// full double precision (batch kernels must reproduce the row path's
+    /// accumulation order, NULL handling, and comparison semantics, not
+    /// just "be close").
+    fn check_row_vs_batch(&self, case: &FuzzCase) -> Check {
+        let sql = case.spec.render();
+        self.engine.set_dop(1);
+        self.engine.set_vectorized(false);
+        let reference = match self.engine.query(&sql) {
+            Ok(out) => out,
+            Err(_) => return Check::Invalid,
+        };
+        let want: Vec<String> = reference.rows.iter().map(|r| canon_row(r, true)).collect();
+        self.engine.set_vectorized(true);
+        let verdict = (|| {
+            for dop in [1usize, 4, 8] {
+                self.engine.set_dop(dop);
+                match self.engine.query(&sql) {
+                    Err(e) => {
+                        return Check::Fail(format!(
+                            "batch path (dop={dop}) errored, row path ran: {e}"
+                        ))
+                    }
+                    Ok(out) => {
+                        let got: Vec<String> =
+                            out.rows.iter().map(|r| canon_row(r, true)).collect();
+                        if got != want {
+                            return Check::Fail(format!(
+                                "batch path (dop={dop}) differs from serial row path \
+                                 (ordered, exact): {}",
+                                first_diff(&want, &got)
+                            ));
+                        }
+                    }
+                }
+            }
+            Check::Pass
+        })();
+        self.engine.set_vectorized(false);
+        self.engine.set_dop(1);
+        verdict
+    }
+
     fn check(&self, case: &FuzzCase, oracle: Oracle) -> Check {
         match oracle {
             Oracle::NativeVsOrca => self.check_native_vs_orca(case),
@@ -1218,6 +1270,7 @@ impl FuzzCtx<'_> {
             Oracle::CancelRecover => self.check_cancel_recover(case),
             Oracle::Feedback => self.check_feedback(case),
             Oracle::ConcurrentSessions => self.check_concurrent_sessions(case),
+            Oracle::RowVsBatch => self.check_row_vs_batch(case),
         }
     }
 }
@@ -1427,7 +1480,7 @@ pub struct FuzzReport {
     /// Queries whose reference (native, serial) run succeeded.
     pub executed: usize,
     /// Oracle executions that produced a comparable verdict, per oracle.
-    pub oracle_runs: [usize; 7],
+    pub oracle_runs: [usize; 8],
     /// Plan-cache oracle runs whose second serve actually hit the cache.
     pub rebind_hits: usize,
     pub failures: Vec<FuzzFailure>,
@@ -1475,7 +1528,7 @@ impl FuzzReport {
 }
 
 /// Run the fuzzer: `budget` queries per seed, rotated across the TPC-H,
-/// TPC-DS and adversarial schemas, each checked by all six oracles.
+/// TPC-DS and adversarial schemas, each checked by all eight oracles.
 pub fn run_fuzz(seeds: &[u64], budget: usize, scale: Scale) -> FuzzReport {
     let mut engines: Vec<(&'static str, Engine)> = vec![
         ("tpch", Engine::new(tpch::build_catalog(scale))),

@@ -1,6 +1,6 @@
 //! The differential fuzzer's own regression suite: a bounded seeded run
-//! through all four oracles, plus the minimized cross-plan repros the bug
-//! sweep produced — each asserted across every plan path (native, Orca,
+//! through all eight oracles, plus the minimized cross-plan repros the bug
+//! sweeps produced — each asserted across every plan path (native, Orca,
 //! parallel, plan-cache) so a regression in any one layer trips it.
 
 use mylite::{Engine, MySqlOptimizer};
@@ -52,7 +52,7 @@ fn assert_all_paths(e: &Engine, orca: &OrcaOptimizer, sql: &str, expect_rows: us
 
 #[test]
 fn fuzz_gate_bounded_run() {
-    // The CI gate in miniature: two seeds through all four oracles with a
+    // The CI gate in miniature: two seeds through all eight oracles with a
     // reduced budget. Any miscompare fails with the minimized repro.
     let r = fuzz::run_fuzz(&[0, 1], 40, Scale(0.05));
     for f in &r.failures {

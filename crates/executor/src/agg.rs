@@ -92,6 +92,8 @@ impl Accumulator {
                     match self.int_sum {
                         Some(i) if i64::try_from(i).is_ok() => Value::Int(i as i64),
                         // Exact integer total outside i64 range: promote.
+                        // `as f64` rounds the i128 to the nearest double,
+                        // which is the best any f64-typed SUM can report.
                         Some(i) => Value::Double(i as f64),
                         None => Value::Double(self.sum),
                     }
@@ -103,11 +105,10 @@ impl Accumulator {
                 } else {
                     // Prefer the exact integer total: the f64 shadow sum
                     // loses low bits once values approach 2^53.
-                    let total = match self.int_sum {
-                        Some(i) => i as f64,
-                        None => self.sum,
-                    };
-                    Value::Double(total / self.count as f64)
+                    Value::Double(match self.int_sum {
+                        Some(i) => avg_exact(i, self.count),
+                        None => self.sum / self.count as f64,
+                    })
                 }
             }
             AggFunc::StdDev => {
@@ -125,6 +126,23 @@ impl Accumulator {
             AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
         }
     }
+}
+
+/// Exact-total integer average. Casting the i128 total to f64 first
+/// rounds away its low bits once |total| exceeds 2^53, and that error
+/// survives the divide: AVG over [2^53, 1] came back 2^52 instead of
+/// 2^52 + 0.5. Splitting into quotient and remainder keeps both parts
+/// small enough to convert exactly (|q| bounded by |total|/count,
+/// |r| < count), so the only rounding is the one unavoidable final add.
+fn avg_exact(total: i128, count: u64) -> f64 {
+    if total.unsigned_abs() <= 1 << 53 {
+        // The total itself converts exactly; one rounded divide.
+        return total as f64 / count as f64;
+    }
+    let n = count as i128;
+    let q = total / n;
+    let r = total % n;
+    q as f64 + r as f64 / count as f64
 }
 
 #[cfg(test)]
@@ -194,6 +212,28 @@ mod tests {
         let expected = i64::MAX as f64 * 2.0;
         assert_eq!(run(AggFunc::Sum, false, &vals), Value::Double(expected));
         assert_eq!(run(AggFunc::Avg, false, &vals), Value::Double(expected / 2.0));
+    }
+
+    #[test]
+    fn sum_just_past_i64_max_is_the_nearest_double() {
+        // Total is exactly 2^63 — one past i64::MAX, and exactly
+        // representable as a double, so promotion must not wobble.
+        let vals = [Value::Int(i64::MAX), Value::Int(1)];
+        assert_eq!(run(AggFunc::Sum, false, &vals), Value::Double(9223372036854775808.0));
+        assert_eq!(run(AggFunc::Avg, false, &vals), Value::Double(4611686018427387904.0));
+    }
+
+    #[test]
+    fn avg_keeps_low_bits_the_f64_total_drops() {
+        // Total 2^53 + 1 is the first integer a double cannot hold: the
+        // cast-then-divide path answered 2^52 exactly, silently eating
+        // the +1. The quotient/remainder path recovers 2^52 + 0.5, which
+        // IS representable (ulp at 2^52 is 0.5).
+        let vals = [Value::Int(1 << 53), Value::Int(1)];
+        assert_eq!(run(AggFunc::Avg, false, &vals), Value::Double(4503599627370496.5));
+        // Negative totals take the same path through truncating division.
+        let neg = [Value::Int(-(1 << 53)), Value::Int(-1)];
+        assert_eq!(run(AggFunc::Avg, false, &neg), Value::Double(-4503599627370496.5));
     }
 
     #[test]

@@ -1,0 +1,549 @@
+//! Columnar batch execution (MonetDB/X100 style).
+//!
+//! The row engine in [`crate::exec`] is a materializing Volcano interpreter:
+//! every operator walks `Vec<Row>` one row at a time through the expression
+//! interpreter. This module adds a second, byte-identical execution path
+//! that processes ~1K-row chunks as [`Batch`]es of typed column vectors
+//! ([`Col`]) with validity bitmaps ([`Bitmap`]) and selection vectors, so
+//! the hot operators — scan, filter, projection, hash-join probe, hash
+//! aggregation — run tight per-column loops instead of per-row dispatch.
+//!
+//! Entry point: [`try_exec_rows`], called from `exec` (the single recursion
+//! point of the row engine) when the context's `vectorized` flag is set. It
+//! returns `Some(rows)` when the plan's root is a supported operator —
+//! kernels run the largest supported subtree and materialize back to rows
+//! at the edge — and `None` to fall back to the row path (sort,
+//! nested-loop inners, correlated bindings, EXPLAIN ANALYZE observation).
+//! Because *every* recursion passes through `exec`, unsupported operators
+//! and exchange workers re-enter the batch path for their subtrees
+//! automatically: a morsel becomes a batch stream with no changes to the
+//! worker pool.
+//!
+//! The correctness contract is byte-identity with the row path at every
+//! dop, enforced by the differential fuzzer's row-vs-batch oracle. Each
+//! kernel therefore mirrors `Value::sql_cmp` / three-valued truthiness /
+//! accumulator semantics exactly; anything the kernels cannot prove
+//! equivalent (mixed-type columns, complex expressions) drops to the same
+//! expression interpreter the row path uses, one scratch row at a time.
+
+mod kernels;
+mod run;
+
+pub(crate) use run::try_exec_rows;
+
+use std::sync::Arc;
+use taurus_common::error::Result;
+use taurus_common::{DataType, Row, Value};
+
+use crate::exec::ExecContext;
+
+/// Target logical rows per batch. ~1K amortizes dispatch without blowing
+/// L2: the X100 sweet spot, and identical to the default morsel size so a
+/// serial morsel maps onto a single batch.
+pub const BATCH_ROWS: usize = 1024;
+
+/// A packed validity bitmap: bit set ⇒ the value at that index is non-NULL.
+#[derive(Debug, Clone, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    pub fn with_capacity(n: usize) -> Bitmap {
+        Bitmap { words: Vec::with_capacity(n.div_ceil(64)), len: 0 }
+    }
+
+    pub fn push(&mut self, valid: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if valid {
+            let i = self.len;
+            self.words[i >> 6] |= 1u64 << (i & 63);
+        }
+        self.len += 1;
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        (self.words[i >> 6] >> (i & 63)) & 1 == 1
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fast whole-column check: lets kernels skip the per-row validity
+    /// branch entirely when no NULLs are present.
+    pub fn all_valid(&self) -> bool {
+        let full = self.len / 64;
+        if self.words[..full].iter().any(|w| *w != u64::MAX) {
+            return false;
+        }
+        let rem = self.len % 64;
+        rem == 0 || self.words[full] == (1u64 << rem) - 1
+    }
+}
+
+/// One column of a batch. Typed variants carry a validity bitmap; slots at
+/// invalid positions hold an arbitrary placeholder and must never be read
+/// except through [`Col::value`] / [`Col::is_null`].
+#[derive(Debug, Clone)]
+pub enum Col {
+    Int {
+        data: Vec<i64>,
+        valid: Bitmap,
+    },
+    Double {
+        data: Vec<f64>,
+        valid: Bitmap,
+    },
+    Date {
+        data: Vec<i32>,
+        valid: Bitmap,
+    },
+    Bool {
+        data: Vec<bool>,
+        valid: Bitmap,
+    },
+    Str {
+        data: Vec<Arc<str>>,
+        valid: Bitmap,
+    },
+    /// Fallback for mixed-type columns (storage permits numeric coercion,
+    /// so an Int column may physically hold Doubles) and for computed
+    /// expressions whose type the kernels do not track.
+    Vals(Vec<Value>),
+    /// Pruned by the needed-column analysis: present only so slot positions
+    /// stay stable. Reads materialize NULL, and by construction no
+    /// expression above ever references a pruned slot.
+    Absent,
+}
+
+impl Col {
+    /// Materialize the value at physical index `p`.
+    #[inline]
+    pub fn value(&self, p: usize) -> Value {
+        match self {
+            Col::Int { data, valid } => {
+                if valid.get(p) {
+                    Value::Int(data[p])
+                } else {
+                    Value::Null
+                }
+            }
+            Col::Double { data, valid } => {
+                if valid.get(p) {
+                    Value::Double(data[p])
+                } else {
+                    Value::Null
+                }
+            }
+            Col::Date { data, valid } => {
+                if valid.get(p) {
+                    Value::Date(data[p])
+                } else {
+                    Value::Null
+                }
+            }
+            Col::Bool { data, valid } => {
+                if valid.get(p) {
+                    Value::Bool(data[p])
+                } else {
+                    Value::Null
+                }
+            }
+            Col::Str { data, valid } => {
+                if valid.get(p) {
+                    Value::Str(data[p].clone())
+                } else {
+                    Value::Null
+                }
+            }
+            Col::Vals(v) => v[p].clone(),
+            Col::Absent => Value::Null,
+        }
+    }
+
+    #[inline]
+    pub fn is_null(&self, p: usize) -> bool {
+        match self {
+            Col::Int { valid, .. }
+            | Col::Double { valid, .. }
+            | Col::Date { valid, .. }
+            | Col::Bool { valid, .. }
+            | Col::Str { valid, .. } => !valid.get(p),
+            Col::Vals(v) => v[p].is_null(),
+            Col::Absent => true,
+        }
+    }
+}
+
+/// Adaptive column builder: starts typed (optionally from a schema hint)
+/// and demotes to [`Col::Vals`] the moment a value of another type arrives,
+/// so permissive storage coercions cannot corrupt a typed vector.
+pub struct ColBuilder {
+    inner: BCol,
+}
+
+enum BCol {
+    /// Only NULLs seen so far; the first non-NULL value picks the variant.
+    Pending(usize),
+    Int(Vec<i64>, Bitmap),
+    Double(Vec<f64>, Bitmap),
+    Date(Vec<i32>, Bitmap),
+    Bool(Vec<bool>, Bitmap),
+    Str(Vec<Arc<str>>, Bitmap, Arc<str>),
+    Vals(Vec<Value>),
+}
+
+impl ColBuilder {
+    pub fn new() -> ColBuilder {
+        ColBuilder { inner: BCol::Pending(0) }
+    }
+
+    /// Pre-commit to the variant for a schema-typed scan column.
+    pub fn for_type(dt: DataType) -> ColBuilder {
+        let inner = match dt {
+            DataType::Int => BCol::Int(Vec::new(), Bitmap::default()),
+            DataType::Double => BCol::Double(Vec::new(), Bitmap::default()),
+            DataType::Date => BCol::Date(Vec::new(), Bitmap::default()),
+            DataType::Bool => BCol::Bool(Vec::new(), Bitmap::default()),
+            DataType::Str => BCol::Str(Vec::new(), Bitmap::default(), Arc::from("")),
+        };
+        ColBuilder { inner }
+    }
+
+    pub fn push(&mut self, v: &Value) {
+        match (&mut self.inner, v) {
+            (BCol::Pending(n), Value::Null) => *n += 1,
+            (BCol::Pending(n), _) => {
+                let nulls = *n;
+                let mut b = match v {
+                    Value::Int(_) => ColBuilder::for_type(DataType::Int),
+                    Value::Double(_) => ColBuilder::for_type(DataType::Double),
+                    Value::Date(_) => ColBuilder::for_type(DataType::Date),
+                    Value::Bool(_) => ColBuilder::for_type(DataType::Bool),
+                    Value::Str(_) => ColBuilder::for_type(DataType::Str),
+                    Value::Null => unreachable!("null handled above"),
+                };
+                for _ in 0..nulls {
+                    b.push(&Value::Null);
+                }
+                b.push(v);
+                self.inner = b.inner;
+            }
+            (BCol::Int(d, m), Value::Int(x)) => {
+                d.push(*x);
+                m.push(true);
+            }
+            (BCol::Int(d, m), Value::Null) => {
+                d.push(0);
+                m.push(false);
+            }
+            (BCol::Double(d, m), Value::Double(x)) => {
+                d.push(*x);
+                m.push(true);
+            }
+            (BCol::Double(d, m), Value::Null) => {
+                d.push(0.0);
+                m.push(false);
+            }
+            (BCol::Date(d, m), Value::Date(x)) => {
+                d.push(*x);
+                m.push(true);
+            }
+            (BCol::Date(d, m), Value::Null) => {
+                d.push(0);
+                m.push(false);
+            }
+            (BCol::Bool(d, m), Value::Bool(x)) => {
+                d.push(*x);
+                m.push(true);
+            }
+            (BCol::Bool(d, m), Value::Null) => {
+                d.push(false);
+                m.push(false);
+            }
+            (BCol::Str(d, m, e), Value::Str(s)) => {
+                let _ = e;
+                d.push(s.clone());
+                m.push(true);
+            }
+            (BCol::Str(d, m, e), Value::Null) => {
+                d.push(e.clone());
+                m.push(false);
+            }
+            (BCol::Vals(vals), _) => vals.push(v.clone()),
+            // Variant mismatch (a coerced value in a typed column): demote
+            // everything accumulated so far and continue untyped.
+            _ => {
+                let vals = self.demote();
+                vals.push(v.clone());
+            }
+        }
+    }
+
+    fn demote(&mut self) -> &mut Vec<Value> {
+        let col = std::mem::replace(&mut self.inner, BCol::Vals(Vec::new())).finish();
+        let n = col.phys_len();
+        let mut vals = Vec::with_capacity(n + 1);
+        for p in 0..n {
+            vals.push(col.value(p));
+        }
+        self.inner = BCol::Vals(vals);
+        match &mut self.inner {
+            BCol::Vals(v) => v,
+            _ => unreachable!("just assigned"),
+        }
+    }
+
+    pub fn finish(self) -> Col {
+        self.inner.finish()
+    }
+}
+
+impl Default for ColBuilder {
+    fn default() -> Self {
+        ColBuilder::new()
+    }
+}
+
+impl BCol {
+    fn finish(self) -> Col {
+        match self {
+            // An all-NULL column materializes as values; it is tiny and the
+            // kernels' generic paths handle it.
+            BCol::Pending(n) => Col::Vals(vec![Value::Null; n]),
+            BCol::Int(data, valid) => Col::Int { data, valid },
+            BCol::Double(data, valid) => Col::Double { data, valid },
+            BCol::Date(data, valid) => Col::Date { data, valid },
+            BCol::Bool(data, valid) => Col::Bool { data, valid },
+            BCol::Str(data, valid, _) => Col::Str { data, valid },
+            BCol::Vals(vals) => Col::Vals(vals),
+        }
+    }
+}
+
+impl Col {
+    fn phys_len(&self) -> usize {
+        match self {
+            Col::Int { data, .. } => data.len(),
+            Col::Double { data, .. } => data.len(),
+            Col::Date { data, .. } => data.len(),
+            Col::Bool { data, .. } => data.len(),
+            Col::Str { data, .. } => data.len(),
+            Col::Vals(v) => v.len(),
+            Col::Absent => 0,
+        }
+    }
+}
+
+/// A chunk of rows in columnar form. `len` is the physical row count; when
+/// `sel` is present, logical row `i` lives at physical index `sel[i]` —
+/// filters refine the selection instead of copying survivors.
+pub struct Batch {
+    pub cols: Vec<Col>,
+    pub len: usize,
+    pub sel: Option<Vec<u32>>,
+}
+
+impl Batch {
+    /// Logical (selected) row count.
+    #[inline]
+    pub fn num_rows(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.len,
+        }
+    }
+
+    /// Physical index of logical row `i`.
+    #[inline]
+    pub fn phys(&self, i: usize) -> usize {
+        match &self.sel {
+            Some(s) => s[i] as usize,
+            None => i,
+        }
+    }
+
+    /// Materialize physical row `p` into `out` (cleared first). Pruned
+    /// columns materialize as NULL; the needed-column analysis guarantees
+    /// no expression reads them.
+    pub fn write_row(&self, p: usize, out: &mut Vec<Value>) {
+        out.clear();
+        out.reserve(self.cols.len());
+        for c in &self.cols {
+            out.push(c.value(p));
+        }
+    }
+
+    /// Append every logical row to `out` as a materialized row.
+    pub fn to_rows(&self, out: &mut Vec<Row>) {
+        out.reserve(self.num_rows());
+        for i in 0..self.num_rows() {
+            let p = self.phys(i);
+            let mut row = Vec::with_capacity(self.cols.len());
+            for c in &self.cols {
+                row.push(c.value(p));
+            }
+            out.push(row);
+        }
+    }
+
+    /// Deterministic size estimate mirroring [`crate::governor::rows_bytes`]
+    /// for the rows this batch physically holds, so batch buffers charge the
+    /// memory governor on the same scale as row buffers.
+    pub fn bytes(&self) -> u64 {
+        const ROW_OVERHEAD: u64 = 24;
+        let value = std::mem::size_of::<Value>() as u64;
+        (ROW_OVERHEAD + value * self.cols.len() as u64) * self.len as u64
+    }
+}
+
+/// Transpose materialized rows into one dense batch. `width` covers the
+/// empty-input case (no rows to sniff arity from).
+pub fn rows_to_batch(rows: &[Row], width: usize) -> Batch {
+    let mut builders: Vec<ColBuilder> = (0..width).map(|_| ColBuilder::new()).collect();
+    for row in rows {
+        for (b, v) in builders.iter_mut().zip(row.iter()) {
+            b.push(v);
+        }
+    }
+    Batch { cols: builders.into_iter().map(|b| b.finish()).collect(), len: rows.len(), sel: None }
+}
+
+/// A stream of batches plus the memory-governor bytes charged for them.
+/// Producers charge as they append; the consumer calls [`Batches::release`]
+/// once it has built (and charged) its own output. Error unwinds skip the
+/// release by design: the governor dies with the failed query.
+pub(crate) struct Batches {
+    pub data: Vec<Batch>,
+    charged: u64,
+}
+
+impl Batches {
+    pub(crate) fn new() -> Batches {
+        Batches { data: Vec::new(), charged: 0 }
+    }
+
+    /// Charge a batch's buffer against the query's memory budget and append.
+    pub(crate) fn push_charged(&mut self, b: Batch, ctx: &ExecContext<'_>) -> Result<()> {
+        let by = b.bytes();
+        ctx.charge_mem(by)?;
+        self.charged += by;
+        self.data.push(b);
+        Ok(())
+    }
+
+    /// Release every charge taken by [`Batches::push_charged`].
+    pub(crate) fn release(self, ctx: &ExecContext<'_>) {
+        ctx.uncharge_mem(self.charged);
+    }
+
+    pub(crate) fn num_rows(&self) -> usize {
+        self.data.iter().map(|b| b.num_rows()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_roundtrip_and_all_valid() {
+        let mut m = Bitmap::with_capacity(130);
+        for i in 0..130 {
+            m.push(i % 3 != 0);
+        }
+        for i in 0..130 {
+            assert_eq!(m.get(i), i % 3 != 0, "bit {i}");
+        }
+        assert!(!m.all_valid());
+        let mut full = Bitmap::default();
+        for _ in 0..70 {
+            full.push(true);
+        }
+        assert!(full.all_valid());
+        let empty = Bitmap::default();
+        assert!(empty.all_valid(), "vacuously all-valid");
+    }
+
+    #[test]
+    fn builder_stays_typed_and_demotes_on_mismatch() {
+        let mut b = ColBuilder::for_type(DataType::Int);
+        b.push(&Value::Int(1));
+        b.push(&Value::Null);
+        b.push(&Value::Int(3));
+        match b.finish() {
+            Col::Int { data, valid } => {
+                assert_eq!(data, vec![1, 0, 3]);
+                assert!(valid.get(0) && !valid.get(1) && valid.get(2));
+            }
+            other => panic!("expected typed Int column, got {other:?}"),
+        }
+
+        // A coerced Double stored in an Int column demotes the vector.
+        let mut b = ColBuilder::for_type(DataType::Int);
+        b.push(&Value::Int(1));
+        b.push(&Value::Null);
+        b.push(&Value::Double(2.5));
+        match b.finish() {
+            Col::Vals(v) => {
+                assert_eq!(v, vec![Value::Int(1), Value::Null, Value::Double(2.5)]);
+            }
+            other => panic!("expected demoted Vals column, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pending_builder_decides_from_first_value() {
+        let mut b = ColBuilder::new();
+        b.push(&Value::Null);
+        b.push(&Value::str("x"));
+        match b.finish() {
+            Col::Str { data, valid } => {
+                assert!(!valid.get(0) && valid.get(1));
+                assert_eq!(data[1].as_ref(), "x");
+            }
+            other => panic!("expected Str column, got {other:?}"),
+        }
+        let mut b = ColBuilder::new();
+        b.push(&Value::Null);
+        b.push(&Value::Null);
+        match b.finish() {
+            Col::Vals(v) => assert_eq!(v, vec![Value::Null, Value::Null]),
+            other => panic!("expected all-NULL Vals, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_transpose_roundtrips_rows() {
+        let rows = vec![
+            vec![Value::Int(1), Value::str("a"), Value::Double(1.5)],
+            vec![Value::Null, Value::str("b"), Value::Null],
+            vec![Value::Int(3), Value::Null, Value::Double(3.5)],
+        ];
+        let b = rows_to_batch(&rows, 3);
+        assert_eq!(b.num_rows(), 3);
+        let mut out = Vec::new();
+        b.to_rows(&mut out);
+        assert_eq!(out, rows);
+    }
+
+    #[test]
+    fn selection_vector_narrows_logical_rows() {
+        let rows: Vec<Row> = (0..10).map(|i| vec![Value::Int(i)]).collect();
+        let mut b = rows_to_batch(&rows, 1);
+        b.sel = Some(vec![1, 4, 7]);
+        assert_eq!(b.num_rows(), 3);
+        let mut out = Vec::new();
+        b.to_rows(&mut out);
+        assert_eq!(out, vec![vec![Value::Int(1)], vec![Value::Int(4)], vec![Value::Int(7)]]);
+    }
+}

@@ -141,6 +141,10 @@ pub struct ExecContext<'a> {
     /// accounting), shared across all workers of the query. `None` (the
     /// default) keeps execution ungoverned.
     governor: Option<Arc<QueryGovernor>>,
+    /// Route supported operator subtrees through the columnar batch engine
+    /// (`crate::batch`). Off by default; byte-identity with the row path is
+    /// the contract either way.
+    vectorized: bool,
 }
 
 impl<'a> ExecContext<'a> {
@@ -157,12 +161,24 @@ impl<'a> ExecContext<'a> {
             morsel: Cell::new(None),
             observer: None,
             governor: None,
+            vectorized: false,
         }
     }
 
     /// Override the morsel granularity (rows per morsel, clamped to ≥ 1).
     pub fn set_morsel_rows(&mut self, rows: usize) {
         self.morsel_rows = rows.max(1);
+    }
+
+    /// Enable (or disable) the vectorized batch execution path.
+    pub fn set_vectorized(&mut self, on: bool) {
+        self.vectorized = on;
+    }
+
+    /// Whether an `EXPLAIN ANALYZE` observer is installed — per-node
+    /// observation needs the row path's one-recursion-per-node shape.
+    pub(crate) fn observing(&self) -> bool {
+        self.observer.is_some()
     }
 
     /// Install a per-node observer. Every operator of the indexed plan then
@@ -237,6 +253,7 @@ impl<'a> ExecContext<'a> {
             morsel_rows: self.morsel_rows,
             observer: self.observer.clone(),
             governor: self.governor.clone(),
+            vectorized: self.vectorized,
         }
     }
 
@@ -245,7 +262,7 @@ impl<'a> ExecContext<'a> {
         self.morsel.set(spec);
     }
 
-    fn morsel_range(&self, qt: usize) -> Option<(usize, usize)> {
+    pub(crate) fn morsel_range(&self, qt: usize) -> Option<(usize, usize)> {
         match self.morsel.get() {
             Some(m) if m.qt == qt => Some((m.lo, m.hi)),
             _ => None,
@@ -254,7 +271,7 @@ impl<'a> ExecContext<'a> {
 
     /// Fetch the shared build table for a broadcast slot, computing it under
     /// the cache lock if this is the first worker to need it.
-    fn shared_build(
+    pub(crate) fn shared_build(
         &self,
         slot: usize,
         build: impl FnOnce() -> Result<BuildTable>,
@@ -282,6 +299,7 @@ pub(crate) struct SharedExec<'a> {
     morsel_rows: usize,
     observer: Option<Arc<ObserverIndex>>,
     governor: Option<Arc<QueryGovernor>>,
+    vectorized: bool,
 }
 
 impl<'a> SharedExec<'a> {
@@ -298,6 +316,7 @@ impl<'a> SharedExec<'a> {
             morsel: Cell::new(None),
             observer: self.observer.clone(),
             governor: self.governor.clone(),
+            vectorized: self.vectorized,
         }
     }
 }
@@ -360,7 +379,7 @@ impl Env {
         }
     }
 
-    fn passes(&self, filters: &[Expr], row: &[Value]) -> Result<bool> {
+    pub(crate) fn passes(&self, filters: &[Expr], row: &[Value]) -> Result<bool> {
         for f in filters {
             if !self.eval(f, row)?.is_true() {
                 return Ok(false);
@@ -379,6 +398,16 @@ pub(crate) fn exec(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> 
     // correlated re-opening) passes through here, so a cancelled or
     // out-of-time query unwinds within one operator batch.
     ctx.check_governor()?;
+    // Vectorized route: hand the largest supported subtree to the columnar
+    // batch engine. Correlated re-openings (non-empty binding) and observed
+    // (`EXPLAIN ANALYZE`) executions stay on the row path; unsupported roots
+    // fall through and their children get another chance via this same
+    // recursion.
+    if ctx.vectorized && !ctx.observing() && binding.row.is_empty() {
+        if let Some(rows) = crate::batch::try_exec_rows(plan, ctx, binding)? {
+            return Ok(rows);
+        }
+    }
     let out = exec_node(plan, ctx, binding)?;
     ctx.record(plan, out.len() as u64);
     Ok(out)
@@ -494,7 +523,7 @@ fn exec_node(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result
             out
         }
         Plan::NestedLoop { kind, left, right, on, null_aware, .. } => {
-            exec_nested_loop(*kind, left, right, on, *null_aware, plan, ctx, binding)?
+            exec_nested_loop(*kind, left, right, on, *null_aware, ctx, binding)?
         }
         Plan::HashJoin { kind, build_left, left, right, keys, residual, null_aware, .. } => {
             exec_hash_join(
@@ -676,7 +705,6 @@ fn exec_nested_loop(
     right: &Plan,
     on: &[Expr],
     null_aware: bool,
-    whole: &Plan,
     ctx: &ExecContext<'_>,
     binding: Binding<'_>,
 ) -> Result<Vec<Row>> {
@@ -688,7 +716,7 @@ fn exec_nested_loop(
     };
     let right_width = right.space(ctx.num_tables).width();
     // Environment for the ON condition: binding + left + right.
-    let on_env_space = whole_join_space(whole, kind, ctx.num_tables, left, right)?;
+    let on_env_space = whole_join_space(ctx.num_tables, left, right)?;
     let on_env = Env::new(binding, &on_env_space, ctx.num_tables);
 
     let inner_layout = binding.layout.join(&left_layout);
@@ -757,13 +785,7 @@ fn exec_nested_loop(
 
 /// Row space the ON/residual conditions see: left ++ right (even for
 /// semi/anti joins whose *output* is left-only).
-fn whole_join_space(
-    _whole: &Plan,
-    _kind: JoinKind,
-    num_tables: usize,
-    left: &Plan,
-    right: &Plan,
-) -> Result<RowSpace> {
+pub(crate) fn whole_join_space(num_tables: usize, left: &Plan, right: &Plan) -> Result<RowSpace> {
     match (left.space(num_tables), right.space(num_tables)) {
         (RowSpace::Tables(l), RowSpace::Tables(r)) => Ok(RowSpace::Tables(l.join(&r))),
         _ => Err(Error::internal("join children must be in table space")),
@@ -796,7 +818,7 @@ fn exec_hash_join(
         if build_is_left { (left, right) } else { (right, left) };
     let build_env = Env::new(binding, &build_plan.space(ctx.num_tables), ctx.num_tables);
     let probe_env = Env::new(binding, &probe_plan.space(ctx.num_tables), ctx.num_tables);
-    let join_space = whole_join_space(left, kind, ctx.num_tables, left, right)?;
+    let join_space = whole_join_space(ctx.num_tables, left, right)?;
     let join_env = Env::new(binding, &join_space, ctx.num_tables);
     let build_keys: Vec<&Expr> = if build_is_left {
         keys.iter().map(|(l, _)| l).collect()

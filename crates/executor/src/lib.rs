@@ -17,6 +17,7 @@
 //! probes) so benchmark shapes are machine-independent.
 
 pub mod agg;
+pub mod batch;
 pub mod exec;
 pub mod governor;
 pub mod observe;

@@ -40,7 +40,7 @@ use crate::skeleton::Skeleton;
 use crate::sync::{lock, rlock, wlock};
 use std::collections::HashMap;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
 use taurus_catalog::feedback::CardOverrides;
@@ -199,6 +199,9 @@ pub struct SessionOpts {
     pub dop: Option<usize>,
     /// Morsel size for parallel scans (execution-only).
     pub morsel_rows: Option<usize>,
+    /// Vectorized columnar batch execution (execution-only: plans are
+    /// unaffected, only the executor's inner loops change).
+    pub vectorized: Option<bool>,
     /// Minimum driving-table rows before an exchange is placed
     /// (plan-shaping: part of the plan-cache key).
     pub parallel_threshold: Option<usize>,
@@ -217,6 +220,7 @@ pub struct SessionOpts {
 struct Knobs {
     dop: usize,
     morsel_rows: usize,
+    vectorized: bool,
     parallel_threshold: usize,
     deadline_ms: u64,
     memory_budget: u64,
@@ -261,6 +265,8 @@ pub struct Engine {
     dop: AtomicUsize,
     /// Runtime morsel size for parallel scans (rows per morsel).
     morsel_rows: AtomicUsize,
+    /// Engine-default vectorized batch execution (off by default).
+    vectorized: AtomicBool,
     /// Minimum driving-table rows before an exchange is worth placing.
     parallel_threshold: AtomicUsize,
     /// Admission gate, fast path: executing entry points CAS `admitted`
@@ -305,6 +311,7 @@ impl Engine {
             plan_cache: PlanCache::default(),
             dop: AtomicUsize::new(1),
             morsel_rows: AtomicUsize::new(DEFAULT_MORSEL_ROWS),
+            vectorized: AtomicBool::new(false),
             parallel_threshold: AtomicUsize::new(DEFAULT_MORSEL_ROWS),
             admitted: AtomicUsize::new(0),
             admission_limit: AtomicUsize::new(usize::MAX),
@@ -349,6 +356,18 @@ impl Engine {
         self.morsel_rows.store(rows.max(1), Ordering::Relaxed);
     }
 
+    /// Route execution through the vectorized columnar batch engine.
+    /// Purely an execution knob — same plans, same output bytes, different
+    /// inner loops — so the plan cache survives, exactly as for
+    /// [`Engine::set_morsel_rows`].
+    pub fn set_vectorized(&self, on: bool) {
+        self.vectorized.store(on, Ordering::Relaxed);
+    }
+
+    pub fn vectorized(&self) -> bool {
+        self.vectorized.load(Ordering::Relaxed)
+    }
+
     /// Minimum driving-table rows before refinement places an exchange.
     /// Affects plans, so cached plans are dropped.
     pub fn set_parallel_threshold(&self, rows: usize) {
@@ -389,6 +408,9 @@ impl Engine {
                 .morsel_rows
                 .map(|m| m.max(1))
                 .unwrap_or_else(|| self.morsel_rows.load(Ordering::Relaxed)),
+            vectorized: session
+                .vectorized
+                .unwrap_or_else(|| self.vectorized.load(Ordering::Relaxed)),
             parallel_threshold: session
                 .parallel_threshold
                 .unwrap_or_else(|| self.parallel_threshold.load(Ordering::Relaxed)),
@@ -571,14 +593,24 @@ impl Engine {
     ) -> Result<QueryOutput> {
         let governor = self.new_governor(opt, knobs);
         let id = self.register(&governor);
-        let first = self.execute_branches(cat, planned, Some(&governor), knobs.morsel_rows);
+        let first = self.execute_branches(
+            cat,
+            planned,
+            Some(&governor),
+            knobs.morsel_rows,
+            knobs.vectorized,
+        );
         self.finish(id, &governor);
         match first {
             Err(Error::MemoryExceeded { .. }) => {
+                // The degradation rung is serial *row* execution: exchanges
+                // forced to dop=1 and the batch path disabled, so neither
+                // repartition buffers nor batch buffers materialize.
                 let serial = degrade_serial(planned);
                 let governor = self.new_governor(opt, knobs);
                 let id = self.register(&governor);
-                let retry = self.execute_branches(cat, &serial, Some(&governor), knobs.morsel_rows);
+                let retry =
+                    self.execute_branches(cat, &serial, Some(&governor), knobs.morsel_rows, false);
                 self.finish(id, &governor);
                 match retry {
                     Ok(out) => {
@@ -945,7 +977,13 @@ impl Engine {
     /// or cancel token — the governed entry points are `query*`).
     pub fn execute_planned(&self, planned: &PlannedQuery) -> Result<QueryOutput> {
         let cat = rlock(&self.catalog);
-        self.execute_branches(&cat, planned, None, self.morsel_rows.load(Ordering::Relaxed))
+        self.execute_branches(
+            &cat,
+            planned,
+            None,
+            self.morsel_rows.load(Ordering::Relaxed),
+            self.vectorized.load(Ordering::Relaxed),
+        )
     }
 
     fn execute_branches(
@@ -954,6 +992,7 @@ impl Engine {
         planned: &PlannedQuery,
         governor: Option<&Arc<QueryGovernor>>,
         morsel_rows: usize,
+        vectorized: bool,
     ) -> Result<QueryOutput> {
         let mut rows: Vec<Row> = Vec::new();
         let mut work = 0u64;
@@ -963,6 +1002,7 @@ impl Engine {
             let slots = plan.assign_cache_slots();
             let mut ctx = ExecContext::new(cat, b.bound.num_tables(), slots);
             ctx.set_morsel_rows(morsel_rows);
+            ctx.set_vectorized(vectorized);
             if let Some(g) = governor {
                 ctx.set_governor(g.clone());
             }

@@ -39,6 +39,7 @@ const KEY_PARALLEL_THRESHOLD: u8 = 3;
 const KEY_DEADLINE_MS: u8 = 4;
 const KEY_MEMORY_BUDGET: u8 = 5;
 const KEY_REOPT_Q_THRESHOLD: u8 = 6;
+const KEY_VECTORIZED: u8 = 7;
 
 // Reply status bytes.
 const STATUS_OK: u8 = 0;
@@ -246,6 +247,9 @@ fn encode_opts(out: &mut Vec<u8>, opts: &SessionOpts) {
     if let Some(v) = opts.reopt_q_threshold {
         pairs.push((KEY_REOPT_Q_THRESHOLD, v.to_bits()));
     }
+    if let Some(v) = opts.vectorized {
+        pairs.push((KEY_VECTORIZED, v as u64));
+    }
     out.push(pairs.len() as u8);
     for (k, v) in pairs {
         out.push(k);
@@ -266,6 +270,7 @@ fn decode_opts(c: &mut Cursor) -> Result<SessionOpts> {
             KEY_DEADLINE_MS => opts.deadline_ms = Some(val),
             KEY_MEMORY_BUDGET => opts.memory_budget = Some(val),
             KEY_REOPT_Q_THRESHOLD => opts.reopt_q_threshold = Some(f64::from_bits(val)),
+            KEY_VECTORIZED => opts.vectorized = Some(val != 0),
             other => return Err(protocol_err(&format!("unknown option key {other}"))),
         }
     }
@@ -543,6 +548,7 @@ mod tests {
                     memory_budget: Some(1 << 20),
                     morsel_rows: Some(512),
                     parallel_threshold: Some(9),
+                    vectorized: Some(true),
                     ..SessionOpts::default()
                 },
             },

@@ -17,6 +17,7 @@ pub fn layer_opts(base: &SessionOpts, over: &SessionOpts) -> SessionOpts {
     SessionOpts {
         dop: over.dop.or(base.dop),
         morsel_rows: over.morsel_rows.or(base.morsel_rows),
+        vectorized: over.vectorized.or(base.vectorized),
         parallel_threshold: over.parallel_threshold.or(base.parallel_threshold),
         deadline_ms: over.deadline_ms.or(base.deadline_ms),
         memory_budget: over.memory_budget.or(base.memory_budget),
