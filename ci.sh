@@ -61,6 +61,14 @@ echo "== observe: EXPLAIN ANALYZE q-error gate"
 # regression anywhere in the stack trips this before it ships.
 SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness observe
 
+echo "== orders: interesting-order enforcer-elimination gate"
+# Every TPC-H and TPC-DS template, order optimization off vs on. Fails if
+# the optimized plans are not byte-identical to the always-enforce plans
+# at dop 1/4/8, if any template gains a Sort node, if the memo's ordered
+# alternatives push plans_costed past 1.5x the order-blind search, or if
+# the optimization fails to eliminate any Sort enforcer at all.
+SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness orders
+
 echo "== feedback: re-optimization convergence gate"
 # Compiles every TPC-H and TPC-DS template three times through the plan
 # cache. Any template whose observed worst q-error crossed the threshold
@@ -72,9 +80,9 @@ SCALE=0.05 cargo run --release --offline -p taurus-bench --bin harness feedback
 
 echo "== fuzz: differential correctness gate"
 # Seeded, fully deterministic random-query sweep over TPC-H, TPC-DS, and
-# the adversarial schema, checked by eight oracles (native-vs-orca,
+# the adversarial schema, checked by nine oracles (native-vs-orca,
 # serial-vs-parallel, fresh-vs-rebound, TLP partitioning, cancel-recover,
-# feedback re-optimization, concurrent-sessions, row-vs-batch).
+# feedback re-optimization, concurrent-sessions, row-vs-batch, orders).
 # Any miscompare fails the gate and prints the delta-debugged minimal
 # repro SQL. Raise FUZZ_BUDGET (queries per seed) for a deeper local sweep.
 SCALE=0.05 FUZZ_BUDGET="${FUZZ_BUDGET:-150}" \

@@ -15,6 +15,7 @@
 //! harness parallel   # morsel-driven parallel execution (exits 1 on gate failure)
 //! harness vectorized # columnar batch engine wall-clock gate (exits 1 on gate failure)
 //! harness observe    # EXPLAIN ANALYZE q-error harness (exits 1 on gate failure)
+//! harness orders     # interesting-order enforcer elimination (exits 1 on gate failure)
 //! harness feedback   # feedback-driven re-optimization loop (exits 1 on gate failure)
 //! harness fuzz [--seed-range a..b]
 //!                    # differential query fuzzer (exits 1 on any miscompare)
@@ -85,6 +86,9 @@ fn main() {
     if want("observe") {
         observe_report();
     }
+    if want("orders") {
+        orders_report();
+    }
     if want("feedback") {
         feedback_report();
     }
@@ -112,6 +116,7 @@ fn main() {
             "parallel",
             "vectorized",
             "observe",
+            "orders",
             "feedback",
             "fuzz",
             "governance",
@@ -312,6 +317,25 @@ fn observe_report() {
     );
 }
 
+fn orders_report() {
+    println!(
+        "\n## Interesting orders — Sort-enforcer elimination vs always-enforce \
+         (scale {:?})\n",
+        scale()
+    );
+    let r = run_orders(scale());
+    print!("{}", format_orders_report(&r));
+    if let Err(violation) = r.gate() {
+        eprintln!("\norders gate FAILED: {violation}");
+        std::process::exit(1);
+    }
+    let (off, on) = r.total_sorts();
+    println!(
+        "\norders gate passed: {off} → {on} Sort nodes across TPC-H/TPC-DS, \
+         byte-identical at dop 1/4/8, plans_costed within 1.5× per template"
+    );
+}
+
 fn feedback_report() {
     println!(
         "\n## Feedback loop — observe, re-optimize, converge (scale {:?}, threshold 10)\n",
@@ -338,17 +362,14 @@ fn fuzz_report() {
         .and_then(|r| fuzz::parse_seed_range(&r))
         .unwrap_or_else(|| vec![0, 1]);
     let budget = std::env::var("FUZZ_BUDGET").ok().and_then(|s| s.parse().ok()).unwrap_or(500usize);
-    println!(
-        "\n## Differential fuzzer — eight oracles over random queries (scale {:?})\n",
-        scale()
-    );
+    println!("\n## Differential fuzzer — nine oracles over random queries (scale {:?})\n", scale());
     let r = fuzz::run_fuzz(&seeds, budget, scale());
     print!("{}", fuzz::format_fuzz_report(&r));
     if let Err(violation) = r.gate() {
         eprintln!("\nfuzz gate FAILED: {violation}");
         std::process::exit(1);
     }
-    println!("\nfuzz gate passed: {} queries × 8 oracles, zero miscompares", r.generated);
+    println!("\nfuzz gate passed: {} queries × 9 oracles, zero miscompares", r.generated);
 }
 
 fn governance_report() {

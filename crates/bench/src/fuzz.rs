@@ -3,7 +3,7 @@
 //! A seeded, deterministic random query generator over the TPC-H and
 //! TPC-DS schemas plus an adversarial synthetic schema (NULL-heavy
 //! columns, an empty table, a single-row table, duplicate keys), driven
-//! through eight differential oracles:
+//! through nine differential oracles:
 //!
 //! 1. **native-vs-orca** — the mylite-native plan and the Orca-routed
 //!    plan must agree on the result multiset (and on sortedness / top-k
@@ -30,7 +30,12 @@
 //!    racing concurrent hits of the sharded cache must never tear);
 //! 8. **row-vs-batch** — the vectorized batch path at dop ∈ {1, 4, 8}
 //!    must be byte-identical, in order, to the serial row path (the PR 9
-//!    columnar-execution contract: same plans, same output bytes).
+//!    columnar-execution contract: same plans, same output bytes);
+//! 9. **orders** — for ORDER BY / GROUP BY-carrying queries, the
+//!    enforcer-elimination plan (`order_opt` on) at dop ∈ {1, 4, 8} must
+//!    be byte-identical, in order, to the always-enforce plan
+//!    (`order_opt` off): a dropped Sort is only legal when it would have
+//!    been the identity, so order optimization may never change bytes.
 //!
 //! Every miscompare is shrunk by a delta-debugging minimizer (clause and
 //! join removal to a fixpoint) before being reported, so a gate failure
@@ -753,6 +758,7 @@ pub enum Oracle {
     Feedback,
     ConcurrentSessions,
     RowVsBatch,
+    Orders,
 }
 
 impl Oracle {
@@ -766,10 +772,11 @@ impl Oracle {
             Oracle::Feedback => "feedback",
             Oracle::ConcurrentSessions => "concurrent-sessions",
             Oracle::RowVsBatch => "row-vs-batch",
+            Oracle::Orders => "orders",
         }
     }
 
-    pub const ALL: [Oracle; 8] = [
+    pub const ALL: [Oracle; 9] = [
         Oracle::NativeVsOrca,
         Oracle::SerialVsParallel,
         Oracle::FreshVsRebound,
@@ -778,6 +785,7 @@ impl Oracle {
         Oracle::Feedback,
         Oracle::ConcurrentSessions,
         Oracle::RowVsBatch,
+        Oracle::Orders,
     ];
 
     fn index(self) -> usize {
@@ -833,11 +841,9 @@ fn first_diff(a: &[String], b: &[String]) -> String {
 fn check_sorted(rows: &[Row], order: &[(usize, bool)]) -> Option<String> {
     for w in rows.windows(2) {
         for &(ix, desc) in order {
-            let mut c = w[0].get(ix)?.total_cmp(w[1].get(ix)?);
-            if desc {
-                c = c.reverse();
-            }
-            match c {
+            // The shared comparator, so the oracle checks the exact order the
+            // Sort enforcer and GatherMerge produce (NULLS placement included).
+            match taurus_executor::ordering::cmp_values(w[0].get(ix)?, w[1].get(ix)?, desc) {
                 Ordering::Less => break,
                 Ordering::Greater => {
                     return Some(format!(
@@ -1261,6 +1267,56 @@ impl FuzzCtx<'_> {
         verdict
     }
 
+    /// Oracle 9: enforcer elimination vs always-enforce. The `order_opt`
+    /// knob only drops Sort enforcers proven to be the identity (a stable
+    /// sort of input already delivering the requested key prefix), so the
+    /// optimized plan must be byte-identical, in order, to the
+    /// always-enforce plan — at every dop, GatherMerge included. Queries
+    /// with neither ORDER BY nor GROUP BY never carry an order requirement
+    /// and are uninteresting for this oracle.
+    fn check_orders(&self, case: &FuzzCase) -> Check {
+        if case.spec.order_by.is_empty() && case.spec.group_by.is_empty() {
+            return Check::Invalid;
+        }
+        let sql = case.spec.render();
+        self.engine.set_dop(1);
+        self.engine.set_order_opt(false);
+        let reference = self.engine.query(&sql);
+        let verdict = (|| {
+            let reference = match reference {
+                Ok(out) => out,
+                Err(_) => return Check::Invalid,
+            };
+            let want: Vec<String> = reference.rows.iter().map(|r| canon_row(r, true)).collect();
+            self.engine.set_order_opt(true);
+            for dop in [1usize, 4, 8] {
+                self.engine.set_dop(dop);
+                match self.engine.query(&sql) {
+                    Err(e) => {
+                        return Check::Fail(format!(
+                            "order-optimized plan (dop={dop}) errored, always-enforce ran: {e}"
+                        ))
+                    }
+                    Ok(out) => {
+                        let got: Vec<String> =
+                            out.rows.iter().map(|r| canon_row(r, true)).collect();
+                        if got != want {
+                            return Check::Fail(format!(
+                                "order-optimized plan (dop={dop}) differs from always-enforce \
+                                 (ordered, exact): {}",
+                                first_diff(&want, &got)
+                            ));
+                        }
+                    }
+                }
+            }
+            Check::Pass
+        })();
+        self.engine.set_order_opt(true);
+        self.engine.set_dop(1);
+        verdict
+    }
+
     fn check(&self, case: &FuzzCase, oracle: Oracle) -> Check {
         match oracle {
             Oracle::NativeVsOrca => self.check_native_vs_orca(case),
@@ -1271,6 +1327,7 @@ impl FuzzCtx<'_> {
             Oracle::Feedback => self.check_feedback(case),
             Oracle::ConcurrentSessions => self.check_concurrent_sessions(case),
             Oracle::RowVsBatch => self.check_row_vs_batch(case),
+            Oracle::Orders => self.check_orders(case),
         }
     }
 }
@@ -1480,7 +1537,7 @@ pub struct FuzzReport {
     /// Queries whose reference (native, serial) run succeeded.
     pub executed: usize,
     /// Oracle executions that produced a comparable verdict, per oracle.
-    pub oracle_runs: [usize; 8],
+    pub oracle_runs: [usize; 9],
     /// Plan-cache oracle runs whose second serve actually hit the cache.
     pub rebind_hits: usize,
     pub failures: Vec<FuzzFailure>,
@@ -1528,7 +1585,7 @@ impl FuzzReport {
 }
 
 /// Run the fuzzer: `budget` queries per seed, rotated across the TPC-H,
-/// TPC-DS and adversarial schemas, each checked by all eight oracles.
+/// TPC-DS and adversarial schemas, each checked by all nine oracles.
 pub fn run_fuzz(seeds: &[u64], budget: usize, scale: Scale) -> FuzzReport {
     let mut engines: Vec<(&'static str, Engine)> = vec![
         ("tpch", Engine::new(tpch::build_catalog(scale))),

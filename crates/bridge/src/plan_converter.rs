@@ -24,6 +24,7 @@ use mylite::skeleton::{AccessChoice, JoinMethod, SkelLeaf, SkelNode, Skeleton};
 use orcalite::physical::{OrcaPlan, PhysJoinKind, PhysNode};
 use std::collections::{BTreeSet, HashMap};
 use taurus_common::error::{Error, Result};
+use taurus_common::Expr;
 
 /// Convert one block's Orca plan to a MySQL skeleton. `inner_skeletons`
 /// maps derived-member qts to their (already converted) inner skeletons.
@@ -84,6 +85,24 @@ fn fill_positions(node: &PhysNode, inner_skeletons: &HashMap<usize, Skeleton>) -
                 cost: *cost,
             })
         }
+        PhysNode::IndexScan { qt, index, rows, cost, .. } => SkelNode::Leaf(SkelLeaf {
+            qt: *qt,
+            access: AccessChoice::IndexScan { index: *index },
+            rows: *rows,
+            cost: *cost,
+        }),
+        PhysNode::InListProbes { qt, index, keys, consumed, rows, cost, .. } => {
+            SkelNode::Leaf(SkelLeaf {
+                qt: *qt,
+                access: AccessChoice::InListProbes {
+                    index: *index,
+                    keys: keys.clone(),
+                    consumed: consumed.clone(),
+                },
+                rows: *rows,
+                cost: *cost,
+            })
+        }
         PhysNode::IndexLookup { qt, index, keys, consumed, rows, cost, .. } => {
             SkelNode::Leaf(SkelLeaf {
                 qt: *qt,
@@ -129,6 +148,12 @@ fn fill_positions(node: &PhysNode, inner_skeletons: &HashMap<usize, Skeleton>) -
                 cost: *cost,
             }
         }
+        PhysNode::Sort { input, keys, rows, cost, .. } => SkelNode::Sort {
+            input: Box::new(fill_positions(input, inner_skeletons)?),
+            keys: keys.iter().map(|k| (Expr::col(k.qt, k.col), k.desc)).collect(),
+            rows: *rows,
+            cost: *cost,
+        },
     })
 }
 

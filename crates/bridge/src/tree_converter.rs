@@ -18,7 +18,8 @@
 
 use crate::provider::MySqlMdProvider;
 use mylite::bound::{BoundQuery, BoundStatement, JoinEntry, TableSource};
-use orcalite::desc::{BlockDesc, EntryDesc, MemberDesc, RelSource};
+use mylite::orders::{constant_exprs, reduce_order_keys};
+use orcalite::desc::{BlockDesc, EntryDesc, MemberDesc, OrderKey, RelSource};
 use orcalite::md::MetadataAccessor;
 use std::collections::{BTreeSet, HashMap};
 use taurus_catalog::estimate::ColView;
@@ -83,8 +84,40 @@ pub fn convert_block(
         predicates: block.predicates.clone(),
         outer: outer.clone(),
         has_aggregation: block.has_aggregation(),
+        required_order: required_order(block),
     };
     Ok((desc, table_oids))
+}
+
+/// The block's interesting order, as the memo's required-order descriptor:
+/// GROUP BY columns ascending when the block aggregates (the host's
+/// refinement sorts on exactly those keys for its streaming aggregate),
+/// otherwise the ORDER BY keys. Reduced to the minimal sort key first
+/// (duplicates and constant-equated keys dropped — the same reduction the
+/// host applies to its Sort enforcers, so the two sides agree on what
+/// "ordered" means), and kept only when every key is a bare column of a
+/// block member — anything else and the memo plans order-blind, which is
+/// always safe: the host's enforcer stays.
+fn required_order(block: &BoundQuery) -> Vec<OrderKey> {
+    let raw: Vec<(Expr, bool)> = if block.has_aggregation() {
+        if block.group_by.is_empty() {
+            return Vec::new(); // scalar aggregate: one row, no order
+        }
+        block.group_by.iter().map(|e| (e.clone(), false)).collect()
+    } else {
+        block.order_by.clone()
+    };
+    let consts = constant_exprs(&block.predicates);
+    let member_qts: BTreeSet<usize> = block.members.iter().map(|m| m.qt).collect();
+    let mut out = Vec::new();
+    for (e, desc) in reduce_order_keys(&raw, &consts) {
+        let Expr::Column(c) = e else { return Vec::new() };
+        if !member_qts.contains(&c.table) {
+            return Vec::new();
+        }
+        out.push(OrderKey { qt: c.table, col: c.col, desc });
+    }
+    out
 }
 
 /// Column statistics for a derived member's output. Bare-column projections

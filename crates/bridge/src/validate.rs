@@ -118,6 +118,18 @@ pub fn validate_skeleton(
                 }
                 own_and_visible(consumed, "range predicate")?;
             }
+            AccessChoice::InListProbes { keys, consumed, .. } => {
+                // Probe keys are literal constants by construction.
+                for k in keys {
+                    if !k.is_const() {
+                        return Err(invalid(format!(
+                            "in-list probe key on query table {} is not constant",
+                            leaf.qt
+                        )));
+                    }
+                }
+                own_and_visible(consumed, "in-list predicate")?;
+            }
             AccessChoice::IndexLookup { keys, consumed, .. } => {
                 // Probe keys are outer-row expressions: own-table refs
                 // would be self-lookups.
@@ -160,7 +172,8 @@ pub fn validate_skeleton(
         visible.insert(leaf.qt);
     }
 
-    // 5. Join estimates must be sane too (check 2 covered the leaves).
+    // 5. Join and sort estimates must be sane too (check 2 covered the
+    // leaves).
     fn joins_sane(node: &SkelNode) -> bool {
         match node {
             SkelNode::Leaf(_) => true,
@@ -171,6 +184,13 @@ pub fn validate_skeleton(
                     && *cost >= 0.0
                     && joins_sane(left)
                     && joins_sane(right)
+            }
+            SkelNode::Sort { input, rows, cost, .. } => {
+                rows.is_finite()
+                    && *rows >= 0.0
+                    && cost.is_finite()
+                    && *cost >= 0.0
+                    && joins_sane(input)
             }
         }
     }

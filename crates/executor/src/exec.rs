@@ -634,16 +634,7 @@ fn exec_node(plan: &Plan, ctx: &ExecContext<'_>, binding: Binding<'_>) -> Result
                 }
                 keyed.push((kv, row));
             }
-            keyed.sort_by(|(a, _), (b, _)| {
-                for (i, k) in keys.iter().enumerate() {
-                    let ord = a[i].total_cmp(&b[i]);
-                    let ord = if k.desc { ord.reverse() } else { ord };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
-                }
-                std::cmp::Ordering::Equal
-            });
+            keyed.sort_by(|(a, _), (b, _)| crate::ordering::cmp_key_tuples(a, b, keys));
             let out: Vec<Row> = keyed.into_iter().map(|(_, r)| r).collect();
             ctx.uncharge_mem(sort_bytes);
             out

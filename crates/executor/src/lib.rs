@@ -21,6 +21,7 @@ pub mod batch;
 pub mod exec;
 pub mod governor;
 pub mod observe;
+pub mod ordering;
 pub mod parallel;
 pub mod plan;
 

@@ -1,0 +1,130 @@
+//! The one comparator definition for sorted row orders.
+//!
+//! Three places in the engine must agree byte-for-byte on what "sorted by
+//! these keys" means: the `Sort` enforcer, `GatherMerge`'s k-way run merge,
+//! and the partitioned aggregation's group-key output sort. Before this
+//! module each carried its own inline comparator; a drift between them (say
+//! on NULL placement under DESC) would produce silent order divergence
+//! between serial and parallel plans. Now they all call here, and the
+//! delivered-order descriptor (`mylite`'s order-property pass) matches
+//! against the same convention.
+//!
+//! ## The convention
+//!
+//! `Value::total_cmp` places NULL before every non-NULL value. A sort key is
+//! `(expr, desc)`; DESC reverses the whole comparison, NULLs included. So:
+//!
+//! - ASC  ⇒ NULLS FIRST (`nulls_first == !desc` is `true`)
+//! - DESC ⇒ NULLS LAST  (`nulls_first == !desc` is `false`)
+//!
+//! which is exactly the order a B-tree index delivers ascending (NULL keys
+//! sort first in `IndexKey`) and in reverse descending. [`nulls_first`]
+//! makes the placement explicit for order descriptors; [`cmp_values`] is the
+//! single point of truth the comparators compose.
+
+use crate::plan::SortKey;
+use std::cmp::Ordering;
+use taurus_common::{Row, Value};
+
+/// NULL placement implied by a key's direction under the engine's total
+/// order: ascending keys see NULLs first, descending keys see NULLs last.
+pub fn nulls_first(desc: bool) -> bool {
+    !desc
+}
+
+/// Compare two values under one sort key's direction. NULL placement follows
+/// [`nulls_first`]; there is no independent NULLS FIRST/LAST knob — every
+/// consumer of this module inherits the same placement.
+pub fn cmp_values(a: &Value, b: &Value, desc: bool) -> Ordering {
+    let ord = a.total_cmp(b);
+    if desc {
+        ord.reverse()
+    } else {
+        ord
+    }
+}
+
+/// Compare two pre-evaluated key tuples under a sort-key list. Equal tuples
+/// return `Equal` — callers needing determinism on ties must break them by
+/// input position (stable sort) or run index (merge).
+pub fn cmp_key_tuples(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
+    for (i, k) in keys.iter().enumerate() {
+        let ord = cmp_values(&a[i], &b[i], k.desc);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Compare two rows by their leading `k` columns, ascending — the shape the
+/// partitioned-aggregation output sort and group-key merges use.
+pub fn cmp_leading_cols(a: &Row, b: &Row, k: usize) -> Ordering {
+    for i in 0..k {
+        let ord = cmp_values(&a[i], &b[i], false);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Whether `rows` is sorted under `keys`, with key values already projected
+/// into each row at `key_slots[i]`. Used by test oracles to check ORDER BY
+/// output without re-evaluating expressions.
+pub fn rows_sorted_by<F>(rows: &[Row], num_keys: usize, descs: F) -> bool
+where
+    F: Fn(usize) -> bool,
+{
+    rows.windows(2).all(|w| {
+        for (i, (a, b)) in w[0].iter().zip(w[1].iter()).take(num_keys).enumerate() {
+            match cmp_values(a, b, descs(i)) {
+                Ordering::Less => return true,
+                Ordering::Greater => return false,
+                Ordering::Equal => {}
+            }
+        }
+        true
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taurus_common::Expr;
+
+    #[test]
+    fn null_placement_follows_direction() {
+        assert!(nulls_first(false), "ASC is NULLS FIRST");
+        assert!(!nulls_first(true), "DESC is NULLS LAST");
+        assert_eq!(cmp_values(&Value::Null, &Value::Int(1), false), Ordering::Less);
+        assert_eq!(cmp_values(&Value::Null, &Value::Int(1), true), Ordering::Greater);
+    }
+
+    #[test]
+    fn key_tuple_comparison_mixes_directions() {
+        let keys = vec![
+            SortKey { expr: Expr::Slot(0), desc: false },
+            SortKey { expr: Expr::Slot(1), desc: true },
+        ];
+        let a = [Value::Int(1), Value::Int(5)];
+        let b = [Value::Int(1), Value::Int(9)];
+        // Equal on the ASC key; the DESC key ranks 9 before 5.
+        assert_eq!(cmp_key_tuples(&a, &b, &keys), Ordering::Greater);
+        assert_eq!(cmp_key_tuples(&a, &a, &keys), Ordering::Equal);
+    }
+
+    #[test]
+    fn leading_cols_sort_ascending_nulls_first() {
+        let a = vec![Value::Null, Value::Int(0)];
+        let b = vec![Value::Int(1), Value::Int(0)];
+        assert_eq!(cmp_leading_cols(&a, &b, 1), Ordering::Less);
+    }
+
+    #[test]
+    fn sortedness_check_honors_desc() {
+        let rows = vec![vec![Value::Int(3)], vec![Value::Int(2)], vec![Value::Null]];
+        assert!(rows_sorted_by(&rows, 1, |_| true), "descending with NULL last");
+        assert!(!rows_sorted_by(&rows, 1, |_| false));
+    }
+}

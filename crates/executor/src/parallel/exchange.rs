@@ -140,16 +140,7 @@ fn merge_sorted_runs(
 }
 
 fn cmp_keys(a: &[Value], b: &[Value], keys: &[SortKey]) -> Ordering {
-    for (i, k) in keys.iter().enumerate() {
-        let mut ord = a[i].total_cmp(&b[i]);
-        if k.desc {
-            ord = ord.reverse();
-        }
-        if ord != Ordering::Equal {
-            return ord;
-        }
-    }
-    Ordering::Equal
+    crate::ordering::cmp_key_tuples(a, b, keys)
 }
 
 /// Two-phase partitioned aggregation under a `Repartition` exchange.
@@ -250,15 +241,7 @@ pub(crate) fn exec_partitioned_agg(
 /// values) ascending — the order the serial sort + stream-aggregate plan
 /// produces. Group keys are unique, so the order is total.
 fn sort_by_leading_keys(rows: &mut [Row], k: usize) {
-    rows.sort_by(|a, b| {
-        for i in 0..k {
-            let ord = a[i].total_cmp(&b[i]);
-            if ord != Ordering::Equal {
-                return ord;
-            }
-        }
-        Ordering::Equal
-    });
+    rows.sort_by(|a, b| crate::ordering::cmp_leading_cols(a, b, k));
 }
 
 /// Deterministic partition assignment. `DefaultHasher::new()` uses fixed

@@ -34,7 +34,7 @@ use crate::explain::{annotate, explain_plan, explain_plan_analyzed, NodeAnnotati
 use crate::feedback::{count_nodes, fold_plan, worst_q, ObservationStore};
 use crate::optimizer::{optimize_statement, optimize_statement_feedback};
 use crate::plancache::{CacheKey, CacheOutcome, Lookup, PlanCache, PlanCacheStats};
-use crate::refine::refine_statement_feedback;
+use crate::refine::refine_statement_orders;
 use crate::resolve::resolve_union_branches;
 use crate::skeleton::Skeleton;
 use crate::sync::{lock, rlock, wlock};
@@ -205,6 +205,9 @@ pub struct SessionOpts {
     /// Minimum driving-table rows before an exchange is placed
     /// (plan-shaping: part of the plan-cache key).
     pub parallel_threshold: Option<usize>,
+    /// Drop Sort enforcers whose input already delivers the requested
+    /// order (plan-shaping: part of the plan-cache key).
+    pub order_opt: Option<bool>,
     /// Wall-clock budget per query in ms; `Some(0)` = no deadline.
     pub deadline_ms: Option<u64>,
     /// Tracked-memory budget per query in bytes; `Some(0)` = unlimited.
@@ -222,6 +225,7 @@ struct Knobs {
     morsel_rows: usize,
     vectorized: bool,
     parallel_threshold: usize,
+    order_opt: bool,
     deadline_ms: u64,
     memory_budget: u64,
     cancel_after: u64,
@@ -269,6 +273,9 @@ pub struct Engine {
     vectorized: AtomicBool,
     /// Minimum driving-table rows before an exchange is worth placing.
     parallel_threshold: AtomicUsize,
+    /// Engine-default interesting-order optimization: drop Sort enforcers
+    /// whose input already delivers the requested order (on by default).
+    order_opt: AtomicBool,
     /// Admission gate, fast path: executing entry points CAS `admitted`
     /// below `admission_limit` before doing any work, so at most `limit`
     /// callers contend for the morsel pool at once.
@@ -313,6 +320,7 @@ impl Engine {
             morsel_rows: AtomicUsize::new(DEFAULT_MORSEL_ROWS),
             vectorized: AtomicBool::new(false),
             parallel_threshold: AtomicUsize::new(DEFAULT_MORSEL_ROWS),
+            order_opt: AtomicBool::new(true),
             admitted: AtomicUsize::new(0),
             admission_limit: AtomicUsize::new(usize::MAX),
             admission_waiters: AtomicUsize::new(0),
@@ -375,6 +383,20 @@ impl Engine {
         self.plan_cache.clear();
     }
 
+    /// Enable/disable interesting-order optimization: when on (the
+    /// default), refinement drops Sort enforcers whose input already
+    /// delivers the requested order. Off keeps every enforcer — the
+    /// always-enforce baseline the byte-identity oracles compare against.
+    /// Affects plans, so cached plans are dropped.
+    pub fn set_order_opt(&self, on: bool) {
+        self.order_opt.store(on, Ordering::Relaxed);
+        self.plan_cache.clear();
+    }
+
+    pub fn order_opt(&self) -> bool {
+        self.order_opt.load(Ordering::Relaxed)
+    }
+
     // ------------------------------------------------------- feedback
 
     /// Worst-q-error threshold above which an instrumented cached serve
@@ -414,6 +436,7 @@ impl Engine {
             parallel_threshold: session
                 .parallel_threshold
                 .unwrap_or_else(|| self.parallel_threshold.load(Ordering::Relaxed)),
+            order_opt: session.order_opt.unwrap_or_else(|| self.order_opt.load(Ordering::Relaxed)),
             deadline_ms: session
                 .deadline_ms
                 .unwrap_or_else(|| self.deadline_ms.load(Ordering::Relaxed)),
@@ -768,6 +791,7 @@ impl Engine {
                 fingerprint: d.fingerprint,
                 dop: knobs.dop,
                 parallel_threshold: knobs.parallel_threshold,
+                order_opt: knobs.order_opt,
             };
             match self.plan_cache.lookup(&key, version) {
                 Lookup::Hit(entry) => {
@@ -802,6 +826,7 @@ impl Engine {
                     fingerprint: d.fingerprint,
                     dop: knobs.dop,
                     parallel_threshold: knobs.parallel_threshold,
+                    order_opt: knobs.order_opt,
                 };
                 // This compile ran without any cache lock; a concurrent
                 // serve may have re-optimized the same statement meanwhile.
@@ -958,7 +983,8 @@ impl Engine {
             // session knob; otherwise the session knob applies directly.
             let dop = skeleton.dop.unwrap_or(session_dop).min(session_dop).max(1);
             let opts = ParallelOpts { dop, min_driver_rows: knobs.parallel_threshold };
-            let plan = refine_statement_feedback(cat, &bound, &skeleton, &opts, bfb)?;
+            let plan =
+                refine_statement_orders(cat, &bound, &skeleton, &opts, bfb, knobs.order_opt)?;
             let cols: Vec<String> = bound.root.select.iter().map(|o| o.name.clone()).collect();
             match &columns {
                 None => columns = Some(cols),
@@ -1107,6 +1133,7 @@ impl Engine {
                 fingerprint: d.fingerprint,
                 dop: knobs.dop,
                 parallel_threshold: knobs.parallel_threshold,
+                order_opt: knobs.order_opt,
             };
             match self.plan_cache.lookup(&key, version) {
                 Lookup::Hit(entry) => {
@@ -1147,6 +1174,7 @@ impl Engine {
                     fingerprint: d.fingerprint,
                     dop: knobs.dop,
                     parallel_threshold: knobs.parallel_threshold,
+                    order_opt: knobs.order_opt,
                 };
                 // A static compile that ran lock-free must not clobber a
                 // concurrently re-optimized entry (see
@@ -1677,6 +1705,7 @@ mod tests {
             fingerprint: poisoned_fp,
             dop: e.dop(),
             parallel_threshold: e.parallel_threshold.load(Ordering::Relaxed),
+            order_opt: true,
         };
         e.plan_cache.insert(&poisoned_key, e.catalog().version(), "mysql", planned);
         let before = e.plan_cache_stats();

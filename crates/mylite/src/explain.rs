@@ -65,7 +65,8 @@ fn explain_with(
     if let Some(r) = &skeleton.reopt {
         out.push_str(&format!("[reopt: {r}]\n"));
     }
-    let mut r = Render { bound, catalog, namer: &namer, ann, next: 0 };
+    let consts = crate::orders::constant_exprs(&bound.root.predicates);
+    let mut r = Render { bound, catalog, namer: &namer, ann, consts, next: 0 };
     r.node(plan, 0, &mut out);
     out
 }
@@ -180,6 +181,8 @@ struct Render<'a> {
     catalog: &'a Catalog,
     namer: &'a dyn Fn(ColRef) -> String,
     ann: Option<&'a [NodeAnnotation]>,
+    /// Root block's proven-constant expressions, for order annotations.
+    consts: Vec<Expr>,
     next: usize,
 }
 
@@ -224,6 +227,36 @@ impl Render<'_> {
         }
     }
 
+    /// The order annotation for one line: `Sort` nodes show the order they
+    /// require (enforce); any other node that provably delivers an order
+    /// shows it. Nodes with no proven order get no annotation, keeping
+    /// unordered plans' output unchanged.
+    fn order_suffix(&self, plan: &Plan) -> String {
+        let keys_text = |keys: &[taurus_executor::SortKey]| {
+            keys.iter()
+                .map(|k| {
+                    format!(
+                        "{}{}",
+                        k.expr.display_with(self.namer),
+                        if k.desc { " DESC (nulls last)" } else { "" }
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        match plan {
+            Plan::Sort { keys, .. } => format!(" [order: required {}]", keys_text(keys)),
+            _ => {
+                let delivered = crate::orders::delivered_order(plan, self.catalog, &self.consts);
+                if delivered.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [order: delivered {}]", keys_text(&delivered))
+                }
+            }
+        }
+    }
+
     fn node(&mut self, plan: &Plan, depth: usize, out: &mut String) {
         let id = self.next;
         self.next += 1;
@@ -231,6 +264,7 @@ impl Render<'_> {
             Some(a) => a.get(id).map(ann_suffix).unwrap_or_default(),
             None => String::new(),
         };
+        let asuf = format!("{}{asuf}", self.order_suffix(plan));
         let namer = self.namer;
         match plan {
             Plan::TableScan { qt, filter, .. } => {

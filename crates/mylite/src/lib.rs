@@ -29,6 +29,7 @@ pub mod engine;
 pub mod explain;
 pub mod feedback;
 pub mod optimizer;
+pub mod orders;
 pub mod plancache;
 pub mod refine;
 pub mod resolve;

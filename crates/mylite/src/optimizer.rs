@@ -883,6 +883,7 @@ mod tests {
                     }
                     find_method(left, qt).or_else(|| find_method(right, qt))
                 }
+                SkelNode::Sort { input, .. } => find_method(input, qt),
             }
         }
         assert_eq!(find_method(&sk.root, derived_qt), Some(JoinMethod::NestedLoop));

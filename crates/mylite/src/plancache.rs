@@ -68,6 +68,9 @@ pub struct CacheKey {
     pub dop: usize,
     /// Effective parallel threshold (min driver rows) at compile time.
     pub parallel_threshold: usize,
+    /// Whether redundant-Sort elimination was on at compile time
+    /// (plan-shaping: the knob decides which Sort enforcers survive).
+    pub order_opt: bool,
 }
 
 /// Counters surfaced in RouterStats-style reports and the EXPLAIN banner.
@@ -383,7 +386,7 @@ mod tests {
     const THRESHOLD: usize = 1024;
 
     fn key(fingerprint: u64) -> CacheKey {
-        CacheKey { fingerprint, dop: DOP, parallel_threshold: THRESHOLD }
+        CacheKey { fingerprint, dop: DOP, parallel_threshold: THRESHOLD, order_opt: true }
     }
 
     fn dummy_plan() -> PlannedQuery {
@@ -420,9 +423,10 @@ mod tests {
         // the fingerprint picks it — so give the shard room for both.)
         let c = PlanCache::new(2 * NUM_SHARDS);
         c.insert(&key(1), 0, "mysql", dummy_plan());
-        let dop4 = CacheKey { fingerprint: 1, dop: 4, parallel_threshold: THRESHOLD };
+        let dop4 =
+            CacheKey { fingerprint: 1, dop: 4, parallel_threshold: THRESHOLD, order_opt: true };
         assert!(matches!(c.lookup(&dop4, 0), Lookup::Miss), "dop changed");
-        let thr8 = CacheKey { fingerprint: 1, dop: DOP, parallel_threshold: 8 };
+        let thr8 = CacheKey { fingerprint: 1, dop: DOP, parallel_threshold: 8, order_opt: true };
         assert!(matches!(c.lookup(&thr8, 0), Lookup::Miss), "threshold changed");
         c.insert(&dop4, 0, "mysql", dummy_plan());
         assert!(hit(&c, &key(1), 0), "original knobs still serve");

@@ -62,7 +62,26 @@ pub fn refine_statement_feedback(
     opts: &taurus_executor::ParallelOpts,
     fb: Option<&CardOverrides>,
 ) -> Result<Plan> {
-    let mut plan = refine_block(catalog, bound, &bound.root, skeleton, &BTreeSet::new(), fb)?;
+    refine_statement_orders(catalog, bound, skeleton, opts, fb, true)
+}
+
+/// [`refine_statement_feedback`] with the order-optimization knob explicit.
+/// `order_opt = true` (every default path) drops `Sort` enforcers whose
+/// input already delivers their keys — a per-plan identity transform under
+/// the stable-sort rule (`crate::orders`), so the only difference from
+/// `order_opt = false` is the retained redundant sorts. The engine's
+/// `set_order_opt(false)` is the always-enforce baseline the fuzzer and the
+/// `harness orders` gate compare against, byte for byte.
+pub fn refine_statement_orders(
+    catalog: &Catalog,
+    bound: &BoundStatement,
+    skeleton: &Skeleton,
+    opts: &taurus_executor::ParallelOpts,
+    fb: Option<&CardOverrides>,
+    order_opt: bool,
+) -> Result<Plan> {
+    let mut plan =
+        refine_block_opts(catalog, bound, &bound.root, skeleton, &BTreeSet::new(), fb, order_opt)?;
     if opts.dop > 1 {
         plan = taurus_executor::parallelize(plan, catalog, opts);
     }
@@ -78,13 +97,14 @@ struct AggItem {
     distinct: bool,
 }
 
-pub(crate) fn refine_block(
+pub(crate) fn refine_block_opts(
     catalog: &Catalog,
     bound: &BoundStatement,
     block: &BoundQuery,
     skeleton: &Skeleton,
     outer: &BTreeSet<usize>,
     fb: Option<&CardOverrides>,
+    order_opt: bool,
 ) -> Result<Plan> {
     // Orca-assisted skeletons may rely on OR-factorized predicates (the
     // hash join on Q41's extracted equality); the paper §7 item 4 notes the
@@ -109,6 +129,7 @@ pub(crate) fn refine_block(
         consumed_on: Vec::new(),
         block_qts: block.member_qts(),
         fb,
+        order_opt,
     };
     let (mut plan, covered) = r.build_join(&skeleton.root)?;
 
@@ -132,7 +153,16 @@ pub(crate) fn refine_block(
     // §2.2/§7 item 4: "a sort is avoided if an index scan already delivers
     // rows in the expected sorted order".
     let presorted = apply_index_order(catalog, bound, block, &mut plan);
-    finish_block(plan, block, presorted, fb)
+    let mut plan = finish_block(plan, block, presorted, fb)?;
+    // Generic enforcer elimination: drop any Sort whose input already
+    // delivers its keys (the stable-sort identity rule — see
+    // `crate::orders`). Gated by the engine's `order_opt` knob so the
+    // always-enforce plan stays available as a byte-identical baseline.
+    if order_opt {
+        let consts = crate::orders::block_constants(block);
+        crate::orders::eliminate_redundant_sorts(&mut plan, catalog, &consts);
+    }
+    Ok(plan)
 }
 
 /// Try to make the plan deliver the block's ORDER BY natively: when the
@@ -152,9 +182,18 @@ fn apply_index_order(
     if block.has_aggregation() || block.distinct || block.order_by.is_empty() {
         return false;
     }
+    // Match against the *minimal* sort key (duplicates and constant-equated
+    // keys dropped), so `WHERE a = 5 ORDER BY a, b` can ride an index on
+    // `b` alone. An empty reduction means the order is trivially satisfied;
+    // finish_block emits no sort for it either way.
+    let consts = crate::orders::constant_exprs(&block.predicates);
+    let reduced = crate::orders::reduce_order_keys(&block.order_by, &consts);
+    if reduced.is_empty() {
+        return false;
+    }
     // Ascending bare columns only (descending index scans are unsupported).
-    let mut order_cols = Vec::with_capacity(block.order_by.len());
-    for (e, desc) in &block.order_by {
+    let mut order_cols = Vec::with_capacity(reduced.len());
+    for (e, desc) in &reduced {
         match e {
             Expr::Column(c) if !*desc => order_cols.push(*c),
             _ => return false,
@@ -194,7 +233,13 @@ fn finish_block(
     let est = plan.est();
     let mut select_exprs: Vec<Expr> = block.select.iter().map(|o| o.expr.clone()).collect();
     let mut having = block.having.clone();
-    let mut order_exprs: Vec<(Expr, bool)> = block.order_by.clone();
+    // Minimal sort key first: duplicate and constant-equated ORDER BY keys
+    // compare `Equal` on every row pair, so dropping them changes no bytes
+    // of a stable sort — and makes equivalent orders compare equal for the
+    // order-matching passes (presorted index scans, enforcer elimination).
+    let consts = crate::orders::constant_exprs(&block.predicates);
+    let mut order_exprs: Vec<(Expr, bool)> =
+        crate::orders::reduce_order_keys(&block.order_by, &consts);
 
     if block.has_aggregation() {
         // Collect distinct aggregate occurrences from all output clauses.
@@ -406,6 +451,8 @@ struct Refiner<'a> {
     block_qts: BTreeSet<usize>,
     /// Observed-cardinality overrides (feedback-driven re-optimization).
     fb: Option<&'a CardOverrides>,
+    /// Drop redundant Sort enforcers (threaded into derived blocks).
+    order_opt: bool,
 }
 
 impl<'a> Refiner<'a> {
@@ -495,6 +542,23 @@ impl<'a> Refiner<'a> {
                 if !post.is_empty() {
                     plan = Plan::Filter { input: Box::new(plan), predicate: post, est };
                 }
+                Ok((plan, covered))
+            }
+            SkelNode::Sort { input, keys, rows, cost } => {
+                // Sort-ahead from the optimizer: lower it faithfully even
+                // when its order claim is wrong — the enforcer-elimination
+                // pass re-derives delivered orders independently, so a
+                // mispredicted sort-ahead costs a redundant sort, never
+                // wrong bytes.
+                let (plan, covered) = self.build_join(input)?;
+                let plan = Plan::Sort {
+                    input: Box::new(plan),
+                    keys: keys
+                        .iter()
+                        .map(|(e, desc)| SortKey { expr: e.clone(), desc: *desc })
+                        .collect(),
+                    est: Est::new(*rows, *cost),
+                };
                 Ok((plan, covered))
             }
         }
@@ -645,6 +709,34 @@ impl<'a> Refiner<'a> {
                     est,
                 }
             }
+            AccessChoice::InListProbes { index, keys, consumed } => {
+                let id = base_id(meta)?;
+                filter.retain(|f| !consumed.contains(f));
+                self.pending.retain(|p| !consumed.contains(p));
+                for c in consumed {
+                    if !self.consumed_on.contains(c) {
+                        self.consumed_on.push(c.clone());
+                    }
+                }
+                // One point lookup per (sorted, deduplicated) literal,
+                // concatenated: the shape `orders::in_list_union_order`
+                // recognizes as delivering the leading column ascending.
+                let k = keys.len().max(1) as f64;
+                let per = Est::new(leaf.rows / k, leaf.cost / k);
+                let inputs: Vec<Plan> = keys
+                    .iter()
+                    .map(|key| Plan::IndexLookup {
+                        table: id,
+                        qt,
+                        width,
+                        index: *index,
+                        keys: vec![key.clone()],
+                        filter: filter.clone(),
+                        est: per,
+                    })
+                    .collect();
+                Plan::Union { inputs, distinct: false, est }
+            }
             AccessChoice::Derived { skeleton } => {
                 let (inner_block, correlated, label) = match &meta.source {
                     TableSource::Derived { query, correlated, label } => {
@@ -656,13 +748,14 @@ impl<'a> Refiner<'a> {
                 };
                 let mut inner_outer = self.outer.clone();
                 inner_outer.extend(self.block_qts.iter().copied());
-                let mut inner_plan = refine_block(
+                let mut inner_plan = refine_block_opts(
                     self.catalog,
                     self.bound,
                     inner_block,
                     skeleton,
                     &inner_outer,
                     self.fb,
+                    self.order_opt,
                 )?;
                 // An observed cardinality for the derived table is exact for
                 // the inner block's head — the nodes above its aggregation

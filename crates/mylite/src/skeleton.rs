@@ -43,6 +43,14 @@ pub enum AccessChoice {
         keys: Vec<Expr>,
         consumed: Vec<Expr>,
     },
+    /// Cost-based IN-list rewrite: one point lookup per literal, results
+    /// concatenated. The keys are sorted ascending and deduplicated, so the
+    /// concatenation delivers the index's leading column in ascending order.
+    InListProbes {
+        index: usize,
+        keys: Vec<Expr>,
+        consumed: Vec<Expr>,
+    },
     /// Derived table / CTE copy: the inner block's own skeleton.
     Derived {
         skeleton: Box<Skeleton>,
@@ -57,6 +65,7 @@ impl AccessChoice {
             AccessChoice::IndexScan { .. } => "index scan",
             AccessChoice::IndexRange { .. } => "index range",
             AccessChoice::IndexLookup { .. } => "index lookup",
+            AccessChoice::InListProbes { .. } => "in-list probes",
             AccessChoice::Derived { .. } => "derived",
         }
     }
@@ -78,7 +87,24 @@ pub struct SkelLeaf {
 #[derive(Debug, Clone, PartialEq)]
 pub enum SkelNode {
     Leaf(SkelLeaf),
-    Join { method: JoinMethod, left: Box<SkelNode>, right: Box<SkelNode>, rows: f64, cost: f64 },
+    Join {
+        method: JoinMethod,
+        left: Box<SkelNode>,
+        right: Box<SkelNode>,
+        rows: f64,
+        cost: f64,
+    },
+    /// Sort-ahead the optimizer chose as cheaper than sorting the final
+    /// result (`(key, desc)` per key). Refinement lowers it to a `Plan::Sort`
+    /// and then independently re-verifies whether it (or the block-level
+    /// enforcer above it) is redundant — the skeleton's claim is a costing
+    /// decision, never trusted for correctness.
+    Sort {
+        input: Box<SkelNode>,
+        keys: Vec<(Expr, bool)>,
+        rows: f64,
+        cost: f64,
+    },
 }
 
 impl SkelNode {
@@ -92,6 +118,7 @@ impl SkelNode {
                     walk(left, out);
                     walk(right, out);
                 }
+                SkelNode::Sort { input, .. } => walk(input, out),
             }
         }
         walk(self, &mut out);
@@ -106,14 +133,14 @@ impl SkelNode {
     pub fn rows(&self) -> f64 {
         match self {
             SkelNode::Leaf(l) => l.rows,
-            SkelNode::Join { rows, .. } => *rows,
+            SkelNode::Join { rows, .. } | SkelNode::Sort { rows, .. } => *rows,
         }
     }
 
     pub fn cost(&self) -> f64 {
         match self {
             SkelNode::Leaf(l) => l.cost,
-            SkelNode::Join { cost, .. } => *cost,
+            SkelNode::Join { cost, .. } | SkelNode::Sort { cost, .. } => *cost,
         }
     }
 
@@ -124,6 +151,7 @@ impl SkelNode {
             SkelNode::Join { left, right, .. } => {
                 matches!(right.as_ref(), SkelNode::Leaf(_)) && left.is_left_deep()
             }
+            SkelNode::Sort { input, .. } => input.is_left_deep(),
         }
     }
 }

@@ -1,0 +1,182 @@
+//! Order-propagation regression tests: the sort-correctness bugfix sweep.
+//!
+//! * The redundant-Sort bug: a `Sort` whose input (index scan, group
+//!   aggregate over sorted input) already delivers the requested ascending
+//!   key prefix must be dropped — pinned as golden plans with the
+//!   `order_opt` knob reproducing the always-enforce "before" plan.
+//! * Minimal sort keys: `WHERE tag = 'a' ORDER BY tag, id` must reduce to
+//!   the key `id` and ride the `(tag, id)` index — equivalent orders
+//!   compare equal after constant-equated keys drop out.
+//! * Tie determinism: with duplicate sort keys and NULLs, results must be
+//!   byte-identical across dop 1/4/8 and across the `order_opt` knob — the
+//!   stable-sort identity rule makes enforcer elimination invisible.
+
+use mylite::{Engine, MySqlOptimizer};
+use taurus_catalog::Catalog;
+use taurus_common::{Column, DataType, Schema, Value};
+
+/// `m(id, score, tag)` with 8 rows, a unique index on `id`, and a
+/// two-column index on `(tag, id)`; `score` and `tag` are nullable and
+/// carry duplicates so sorts on them hit ties.
+fn engine() -> Engine {
+    let mut cat = Catalog::new();
+    let t = cat
+        .create_table(
+            "m",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::nullable("score", DataType::Double),
+                Column::nullable("tag", DataType::Str),
+            ]),
+        )
+        .unwrap();
+    let rows: Vec<Vec<Value>> = vec![
+        vec![Value::Int(1), Value::Double(1.5), Value::str("a")],
+        vec![Value::Int(2), Value::Double(2.0), Value::str("b")],
+        vec![Value::Int(3), Value::Null, Value::Null],
+        vec![Value::Int(4), Value::Double(2.0), Value::str("a")],
+        vec![Value::Int(5), Value::Double(1.5), Value::Null],
+        vec![Value::Int(6), Value::Null, Value::str("b")],
+        vec![Value::Int(7), Value::Double(9.0), Value::str("a")],
+        vec![Value::Int(8), Value::Double(2.0), Value::str("b")],
+    ];
+    cat.insert(t, rows).unwrap();
+    cat.create_index(t, "m_pk", vec![0], true).unwrap();
+    cat.create_index(t, "m_tag_id", vec![2, 0], false).unwrap();
+    let mut e = Engine::new(cat);
+    e.analyze();
+    e
+}
+
+/// EXPLAIN under both settings of the `order_opt` knob (on first).
+fn explain_both(e: &Engine, sql: &str) -> (String, String) {
+    e.set_order_opt(true);
+    let on = e.explain(sql, &MySqlOptimizer).unwrap();
+    e.set_order_opt(false);
+    let off = e.explain(sql, &MySqlOptimizer).unwrap();
+    e.set_order_opt(true);
+    (on, off)
+}
+
+#[test]
+fn golden_group_by_order_by_drops_the_root_sort() {
+    // ORDER BY on the grouping key: the group aggregate's input is sorted
+    // on exactly that key and both aggregate strategies emit groups in
+    // first-seen order, so the root Sort is the identity. Before the fix
+    // (order_opt off) it was always enforced.
+    let e = engine();
+    let (on, off) = explain_both(&e, "SELECT tag, COUNT(*) FROM m GROUP BY tag ORDER BY tag");
+    assert_eq!(
+        on,
+        "EXPLAIN\n\
+         -> Output: #0, #1 [order: delivered #0]\n\
+         \x20   -> Group aggregate: COUNT(*) group by m.tag (cost=8.00 rows=1) [order: delivered #0]\n\
+         \x20       -> Sort: m.tag (cost=8.00 rows=8) [order: required m.tag]\n\
+         \x20           -> Table scan on m (cost=8.00 rows=8)\n"
+    );
+    assert_eq!(
+        off,
+        "EXPLAIN\n\
+         -> Sort: #0 (cost=8.00 rows=1) [order: required #0]\n\
+         \x20   -> Output: #0, #1 [order: delivered #0]\n\
+         \x20       -> Group aggregate: COUNT(*) group by m.tag (cost=8.00 rows=1) [order: delivered #0]\n\
+         \x20           -> Sort: m.tag (cost=8.00 rows=8) [order: required m.tag]\n\
+         \x20               -> Table scan on m (cost=8.00 rows=8)\n"
+    );
+}
+
+#[test]
+fn golden_constant_equated_key_reduces_and_rides_the_index() {
+    // WHERE tag = 'a' ORDER BY tag, id: the minimal sort key is `id`
+    // alone, the (tag, id) range scan delivers `tag, id`, and with `tag`
+    // proven constant the projection carries `id` through — the enforcer
+    // is redundant. Before the fix it survived both reductions.
+    let e = engine();
+    let (on, off) = explain_both(&e, "SELECT id FROM m WHERE tag = 'a' ORDER BY tag, id");
+    assert_eq!(
+        on,
+        "EXPLAIN\n\
+         -> Output: m.id [order: delivered #0]\n\
+         \x20   -> Index range scan on m using m_tag_id (cost=6.00 rows=3) [order: delivered m.tag, m.id]\n"
+    );
+    assert_eq!(
+        off,
+        "EXPLAIN\n\
+         -> Sort: #0 (cost=6.00 rows=3) [order: required #0]\n\
+         \x20   -> Output: m.id [order: delivered #0]\n\
+         \x20       -> Index range scan on m using m_tag_id (cost=6.00 rows=3) [order: delivered m.tag, m.id]\n"
+    );
+    // And the dropped enforcer changes no bytes.
+    e.set_order_opt(false);
+    let baseline = e
+        .query_cached("SELECT id FROM m WHERE tag = 'a' ORDER BY tag, id", &MySqlOptimizer)
+        .unwrap();
+    e.set_order_opt(true);
+    let opt = e
+        .query_cached("SELECT id FROM m WHERE tag = 'a' ORDER BY tag, id", &MySqlOptimizer)
+        .unwrap();
+    assert_eq!(baseline.rows, opt.rows);
+    assert_eq!(opt.rows, vec![vec![Value::Int(1)], vec![Value::Int(4)], vec![Value::Int(7)]]);
+}
+
+/// A larger engine for tie determinism under parallel execution: 240 rows,
+/// 3 distinct scores (plus NULLs), 4 tags (plus NULLs) — every sort is
+/// dominated by ties.
+fn tie_engine() -> Engine {
+    let mut cat = Catalog::new();
+    let t = cat
+        .create_table(
+            "ties",
+            Schema::new(vec![
+                Column::new("id", DataType::Int),
+                Column::nullable("score", DataType::Double),
+                Column::nullable("tag", DataType::Str),
+            ]),
+        )
+        .unwrap();
+    let rows: Vec<Vec<Value>> = (0..240)
+        .map(|i| {
+            let score = if i % 7 == 0 { Value::Null } else { Value::Double((i % 3) as f64) };
+            let tag = if i % 11 == 0 { Value::Null } else { Value::str(format!("t{}", i % 4)) };
+            vec![Value::Int(i), score, tag]
+        })
+        .collect();
+    cat.insert(t, rows).unwrap();
+    cat.create_index(t, "ties_pk", vec![0], true).unwrap();
+    cat.create_index(t, "ties_tag_id", vec![2, 0], false).unwrap();
+    let mut e = Engine::new(cat);
+    e.analyze();
+    // Force exchanges in even for this small table so GatherMerge runs.
+    e.set_parallel_threshold(1);
+    e
+}
+
+#[test]
+fn tie_determinism_across_dop_and_order_opt() {
+    let e = tie_engine();
+    let queries = [
+        // Heavy ties + NULLs on the sort key; id breaks nothing.
+        "SELECT score, id FROM ties ORDER BY score",
+        // DESC direction: NULLs must land last under the shared comparator.
+        "SELECT score, id FROM ties ORDER BY score DESC",
+        // Grouped, ordered by the group key (enforcer eliminated when on).
+        "SELECT tag, COUNT(*) FROM ties GROUP BY tag ORDER BY tag",
+        // Constant-equated prefix + index-delivered order.
+        "SELECT id FROM ties WHERE tag = 't1' ORDER BY tag, id",
+        // Multi-key with duplicate key in the ORDER BY list.
+        "SELECT score, tag, id FROM ties ORDER BY score, score, tag",
+    ];
+    for sql in queries {
+        e.set_dop(1);
+        e.set_order_opt(false);
+        let baseline = e.query_cached(sql, &MySqlOptimizer).unwrap().rows;
+        for dop in [1usize, 4, 8] {
+            e.set_dop(dop);
+            for opt in [false, true] {
+                e.set_order_opt(opt);
+                let got = e.query_cached(sql, &MySqlOptimizer).unwrap().rows;
+                assert_eq!(got, baseline, "bytes diverged at dop={dop} order_opt={opt} for: {sql}");
+            }
+        }
+    }
+}

@@ -211,6 +211,13 @@ pub struct OrcaConfig {
     /// serial plan against parallel alternatives via
     /// [`crate::cost::choose_dop`] and annotates the winner.
     pub dop: usize,
+    /// Interesting-order propagation: when a block carries a
+    /// [`crate::desc::BlockDesc::required_order`], the memo costs
+    /// order-delivering alternatives (full ordered index scans, sort-ahead
+    /// on the anchor leaf) against plan-plus-enforcer and keeps whichever
+    /// is cheaper. Disabling falls back to always-enforce plans; used to
+    /// measure the tax the extra alternatives put on `plans_costed`.
+    pub order_properties: bool,
     /// Test-only fault injection; disarmed by default (no-op).
     pub faults: FaultInjector,
 }
@@ -226,6 +233,7 @@ impl Default for OrcaConfig {
             bushy_member_cap: 13,
             budget: SearchBudget::UNLIMITED,
             dop: 1,
+            order_properties: true,
             faults: FaultInjector::default(),
         }
     }
@@ -251,6 +259,7 @@ mod tests {
         assert!(c.mysql_distribution_nudges);
         assert!(c.budget.is_unlimited(), "budget off by default");
         assert_eq!(c.dop, 1, "serial-only unless the engine raises dop");
+        assert!(c.order_properties, "interesting-order propagation on by default");
         assert_eq!(c.faults, FaultInjector::default(), "injector disarmed by default");
     }
 

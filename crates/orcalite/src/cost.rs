@@ -49,6 +49,30 @@ pub fn range(n: f64) -> f64 {
     n.max(1.0) * RANGE_ROW
 }
 
+/// Cost of a *full ordered* index scan over `n` rows: every row is fetched
+/// through the index (random access, priced like [`range`]) but the output
+/// arrives already sorted on the index key — the alternative the memo
+/// weighs against scan-then-sort when a block has a required order.
+pub fn ordered_scan(n: f64) -> f64 {
+    n.max(1.0) * RANGE_ROW
+}
+
+/// Per-row-per-doubling cost of an in-memory sort. Deliberately cheap
+/// relative to random access: a sort enforcer only loses to an ordered
+/// index scan when the scanned row count is small or the sort input is
+/// large, which mirrors the host executor's actual behaviour.
+pub const SORT_ROW_LOG: f64 = 0.1;
+
+/// Cost of sorting `n` rows: `n · log2(n)` comparisons at
+/// [`SORT_ROW_LOG`] each. This prices both the host's Sort enforcer (when
+/// the memo decides enforcing is cheaper than delivering order) and
+/// sort-ahead alternatives inside the memo (sort a small leaf early, let
+/// joins preserve the order for free).
+pub fn sort(n: f64) -> f64 {
+    let n = n.max(1.0);
+    n * n.max(2.0).log2() * SORT_ROW_LOG
+}
+
 /// Cost of `probes` index lookups each matching `rows_per_probe` rows.
 pub fn lookups(probes: f64, rows_per_probe: f64) -> f64 {
     probes * (LOOKUP_BASE + rows_per_probe * LOOKUP_ROW)

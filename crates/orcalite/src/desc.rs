@@ -14,6 +14,21 @@ use std::collections::BTreeSet;
 use taurus_catalog::estimate::ColView;
 use taurus_common::{Expr, Oid};
 
+/// One key of an order descriptor: a bare column with a direction. NULLS
+/// placement follows direction (ASC ⇒ NULLS FIRST, DESC ⇒ NULLS LAST),
+/// matching the host's B-tree iteration order and its shared sort
+/// comparator — so an index scan, a sort enforcer, and a merge all agree
+/// on what "ordered on this key" means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderKey {
+    /// Global query-table index owning the column.
+    pub qt: usize,
+    /// Column position within the table.
+    pub col: usize,
+    /// Descending direction (NULLS LAST); ascending (NULLS FIRST) otherwise.
+    pub desc: bool,
+}
+
 /// Where a member's rows come from, as far as Orca is concerned.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RelSource {
@@ -85,6 +100,15 @@ pub struct BlockDesc {
     /// Whether the block aggregates — used by the (disabled-by-default)
     /// GbAgg-below-join rule to report a changed block structure.
     pub has_aggregation: bool,
+    /// The block's *interesting order* (System R): the minimal sort key the
+    /// host will enforce above this block — GROUP BY columns (ascending)
+    /// for aggregating blocks, ORDER BY keys otherwise, already reduced to
+    /// bare columns with duplicates and constant-equated keys dropped.
+    /// Empty when the block needs no order (or the keys are not bare
+    /// columns). The memo costs order-delivering alternatives against
+    /// plan-plus-enforcer and keeps whichever wins; the host's refinement
+    /// independently re-verifies delivery before dropping any Sort.
+    pub required_order: Vec<OrderKey>,
 }
 
 impl BlockDesc {

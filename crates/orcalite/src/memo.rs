@@ -30,7 +30,7 @@
 
 use crate::config::{FaultSite, JoinOrderStrategy, OrcaConfig, SearchBudget};
 use crate::cost;
-use crate::desc::{BlockDesc, EntryDesc, MemberDesc, RelSource};
+use crate::desc::{BlockDesc, EntryDesc, MemberDesc, OrderKey, RelSource};
 use crate::md::{MdCache, MdIndex, MetadataAccessor};
 use crate::physical::{OrcaPlan, PhysJoinKind, PhysNode, SearchStats};
 use crate::rules::normalize_pool_traced;
@@ -39,7 +39,7 @@ use std::sync::Arc;
 use taurus_catalog::estimate::{Estimator, RelView};
 use taurus_catalog::CardOverrides;
 use taurus_common::error::{Error, Result};
-use taurus_common::{BinOp, ColRef, Expr};
+use taurus_common::{BinOp, ColRef, Expr, Value};
 
 /// Optimize one block. The metadata accessor is wrapped in Orca's metadata
 /// cache internally (§5.7).
@@ -93,6 +93,11 @@ struct Member {
     /// Best standalone leaf access.
     leaf: PhysNode,
     leaf_cost: f64,
+    /// Cheapest standalone access that also delivers the block's required
+    /// order (anchor member only): a full ordered index scan, the IN-list
+    /// probe union, or sort-ahead over the best leaf. `None` for
+    /// non-anchor members and when order properties are off.
+    ord_leaf: Option<(PhysNode, f64)>,
     indexes: Vec<MdIndex>,
     /// Effective dependencies as member-index bits.
     dep_bits: Bits,
@@ -125,6 +130,13 @@ struct Group {
     id: usize,
     rows: f64,
     winner: Option<(f64, Decision)>,
+    /// Cheapest implementation that *also delivers the required order*:
+    /// the anchor member's ordered access on the leftmost spine, carried
+    /// upward because every join implementation streams its left input in
+    /// order (nested loops iterate the outer side; hash joins build right
+    /// and emit probe rows in probe order). Compared against
+    /// `winner + sort(rows)` at the root; cost decides.
+    winner_ord: Option<(f64, Decision)>,
     explored: bool,
 }
 
@@ -234,6 +246,7 @@ impl<'a> Search<'a> {
 
         // Build member infos.
         let mut members = Vec::with_capacity(desc.members.len());
+        let mut in_probes_list = Vec::with_capacity(desc.members.len());
         for (i, m) in desc.members.iter().enumerate() {
             let mut local = std::mem::take(&mut member_local[i]);
             let mut on_cross = Vec::new();
@@ -248,7 +261,9 @@ impl<'a> Search<'a> {
                     on_cross.push(c);
                 }
             }
-            let (base_rows, mut leaf, leaf_cost, indexes) = build_leaf(m, &local, md, &est, i)?;
+            let (base_rows, mut leaf, leaf_cost, indexes, in_probes) =
+                build_leaf(m, &local, md, &est, i)?;
+            in_probes_list.push(in_probes);
             // Stacked-conjunction products floor at one surviving row of
             // their input relation (see `conjunct_selectivity`).
             let on_sel = est.conjunct_selectivity(&on_cross, base_rows);
@@ -264,6 +279,7 @@ impl<'a> Search<'a> {
                     match &mut leaf {
                         PhysNode::Scan { rows, .. }
                         | PhysNode::IndexRange { rows, .. }
+                        | PhysNode::InListProbes { rows, .. }
                         | PhysNode::DerivedScan { rows, .. } => *rows = observed,
                         _ => {}
                     }
@@ -300,6 +316,7 @@ impl<'a> Search<'a> {
                 filtered_rows,
                 leaf,
                 leaf_cost,
+                ord_leaf: None,
                 indexes,
                 dep_bits,
                 eq_ndv,
@@ -338,6 +355,32 @@ impl<'a> Search<'a> {
             }
         }
 
+        // Interesting-order anchor: the required order can only enter the
+        // plan at a leaf and survive along the left spine, so it is usable
+        // exactly when every key lives on one member and that member is an
+        // independent inner (free to sit leftmost).
+        let mut req_anchor = None;
+        let mut req_keys: Vec<OrderKey> = Vec::new();
+        if cfg.order_properties && !desc.required_order.is_empty() {
+            let qt = desc.required_order[0].qt;
+            if desc.required_order.iter().all(|k| k.qt == qt) {
+                if let Some(i) = desc.members.iter().position(|m| m.qt == qt) {
+                    if !desc.members[i].is_dependent() {
+                        req_anchor = Some(i);
+                        req_keys = desc.required_order.clone();
+                    }
+                }
+            }
+        }
+        // One extra costed alternative per anchor leaf: its ordered access
+        // set (sort-ahead vs ordered scan vs probe union collapse to one
+        // winner up front, so `plans_costed` stays bounded).
+        let mut ord_costed = 0u64;
+        if let Some(i) = req_anchor {
+            members[i].ord_leaf = ordered_leaf(&members[i], &req_keys, &in_probes_list[i]);
+            ord_costed += 1;
+        }
+
         Ok(Search {
             desc,
             cfg,
@@ -351,7 +394,12 @@ impl<'a> Search<'a> {
             groups: HashMap::new(),
             next_group: 0,
             budget: cfg.faults.squeeze(FaultSite::OptimizeSearch).unwrap_or(cfg.budget),
-            stats: SearchStats { rules_applied, rules_hit, ..SearchStats::default() },
+            stats: SearchStats {
+                rules_applied,
+                rules_hit,
+                plans_costed: ord_costed,
+                ..SearchStats::default()
+            },
         })
     }
 
@@ -372,15 +420,26 @@ impl<'a> Search<'a> {
         let n = self.members.len();
         let full: Bits = if n == 64 { !0 } else { (1 << n) - 1 };
         let strategy = effective_strategy(self.cfg, n);
+        let mut ordered = false;
         match strategy {
             JoinOrderStrategy::Greedy => self.greedy(full)?,
             _ => {
                 self.best(full, strategy)?
                     .ok_or_else(|| Error::semantic("no feasible join order (dependency cycle?)"))?;
+                // Root decision: deliver the required order from inside the
+                // plan, or keep the plain winner and let the host bolt a
+                // Sort enforcer on top — an honest costed comparison.
+                if let Some((oc, _)) = &self.groups[&full].winner_ord {
+                    let oc = *oc;
+                    let plain = self.group_cost(full);
+                    let rows = self.rows_of(full);
+                    self.stats.plans_costed += 1;
+                    ordered = oc < plain + cost::sort(rows);
+                }
             }
         }
         self.stats.groups = self.groups.len();
-        self.reconstruct(full)
+        self.reconstruct(full, ordered)
     }
 
     // ------------------------------------------------------------- helpers
@@ -410,7 +469,10 @@ impl<'a> Search<'a> {
                 let rows = observed.max(0.01);
                 let id = self.next_group;
                 self.next_group += 1;
-                self.groups.insert(set, Group { id, rows, winner: None, explored: false });
+                self.groups.insert(
+                    set,
+                    Group { id, rows, winner: None, winner_ord: None, explored: false },
+                );
                 return rows;
             }
         }
@@ -464,7 +526,8 @@ impl<'a> Search<'a> {
         let rows = base.max(0.01);
         let id = self.next_group;
         self.next_group += 1;
-        self.groups.insert(set, Group { id, rows, winner: None, explored: false });
+        self.groups
+            .insert(set, Group { id, rows, winner: None, winner_ord: None, explored: false });
         rows
     }
 
@@ -503,11 +566,13 @@ impl<'a> Search<'a> {
         if set.count_ones() == 1 {
             let i = set.trailing_zeros() as usize;
             let cost = self.members[i].leaf_cost;
+            let ord = self.members[i].ord_leaf.as_ref().map(|(_, c)| (*c, Decision::Leaf));
             // Invariant: rows_of inserts the group for `set` before returning,
             // so the lookups below it cannot miss.
             self.rows_of(set);
             let g = self.groups.get_mut(&set).expect("rows_of created the group");
             g.winner = Some((cost, Decision::Leaf));
+            g.winner_ord = ord;
             g.explored = true;
             return Ok(Some(cost));
         }
@@ -518,6 +583,7 @@ impl<'a> Search<'a> {
         }
 
         let mut best: Option<(f64, Decision)> = None;
+        let mut best_ord: Option<(f64, Decision)> = None;
         // Enumerate splits: right side s2, left side s1 = set \ s2.
         let mut consider = |this: &mut Self, s2: Bits| -> Result<()> {
             let s1 = set & !s2;
@@ -547,10 +613,28 @@ impl<'a> Search<'a> {
             }
             let Some(cost_l) = this.best(s1, strategy)? else { return Ok(()) };
             let Some(cost_r) = this.best(s2, strategy)? else { return Ok(()) };
+            // An ordered left child makes the whole split ordered — every
+            // join implementation streams its left input in order (nested
+            // loops iterate the outer side; hash joins build right and emit
+            // probe rows in probe order) — at a cost delta of exactly the
+            // left child's ordered-vs-plain difference.
+            let ord_l = this.groups.get(&s1).and_then(|g| g.winner_ord.as_ref()).map(|(c, _)| *c);
             for (cost, choice) in this.cost_split(set, s1, s2, dep, cost_l, cost_r)? {
+                if let Some(ol) = ord_l {
+                    let oc = cost - cost_l + ol;
+                    if best_ord.as_ref().is_none_or(|(bc, _)| oc < *bc) {
+                        best_ord = Some((oc, Decision::Join { s1, s2, choice: choice.clone() }));
+                    }
+                }
                 if best.as_ref().is_none_or(|(bc, _)| cost < *bc) {
                     best = Some((cost, Decision::Join { s1, s2, choice }));
                 }
+            }
+            // One extra costed alternative per split with an ordered
+            // variant (the implementations share their deltas, so a single
+            // charge keeps `plans_costed` bounded).
+            if ord_l.is_some() {
+                this.stats.plans_costed += 1;
             }
             Ok(())
         };
@@ -576,6 +660,7 @@ impl<'a> Search<'a> {
         self.rows_of(set);
         let g = self.groups.get_mut(&set).expect("rows_of created the group");
         g.winner = best.clone();
+        g.winner_ord = best_ord;
         g.explored = true;
         Ok(best.map(|(c, _)| c))
     }
@@ -782,20 +867,33 @@ impl<'a> Search<'a> {
     // -------------------------------------------------------- reconstruction
 
     /// Build the winning physical tree for a group from its decision chain.
-    fn reconstruct(&mut self, set: Bits) -> Result<PhysNode> {
+    /// With `ordered`, the *order-delivering* winner is rebuilt instead:
+    /// the same machinery, but following `winner_ord` decisions down the
+    /// left spine until the anchor leaf's ordered access.
+    fn reconstruct(&mut self, set: Bits, ordered: bool) -> Result<PhysNode> {
         let (cost, decision) = self
             .groups
             .get(&set)
-            .and_then(|g| g.winner.clone())
+            .and_then(|g| if ordered { g.winner_ord.clone() } else { g.winner.clone() })
             .ok_or_else(|| Error::internal("reconstructing a group without a winner"))?;
         match decision {
             Decision::Leaf => {
                 let i = set.trailing_zeros() as usize;
-                Ok(self.members[i].leaf.clone())
+                if ordered {
+                    let (node, _) = self.members[i]
+                        .ord_leaf
+                        .clone()
+                        .ok_or_else(|| Error::internal("ordered winner without an ordered leaf"))?;
+                    Ok(node)
+                } else {
+                    Ok(self.members[i].leaf.clone())
+                }
             }
             Decision::Join { s1, s2, choice } => {
-                let left = self.reconstruct(s1)?;
-                let right = self.reconstruct(s2)?;
+                // Order flows along the left spine only; the right child is
+                // always the plain winner.
+                let left = self.reconstruct(s1, ordered)?;
+                let right = self.reconstruct(s2, false)?;
                 let dep = if s2.count_ones() == 1 {
                     let i = s2.trailing_zeros() as usize;
                     let m = &self.members[i];
@@ -883,13 +981,81 @@ fn effective_strategy(cfg: &OrcaConfig, n: usize) -> JoinOrderStrategy {
     }
 }
 
+/// The cheapest order-delivering standalone access for the anchor member.
+/// Sort-ahead over the best leaf always exists; a full ordered index scan
+/// competes when the (all-ascending) required keys are a prefix of an
+/// index's columns — forward B-tree iteration only, no backward scans; and
+/// the IN-list probe union competes when the required order is exactly its
+/// index's leading column ascending (strictly ascending point keys,
+/// concatenated, deliver that order).
+fn ordered_leaf(
+    m: &Member,
+    req: &[OrderKey],
+    in_probes: &Option<(PhysNode, f64)>,
+) -> Option<(PhysNode, f64)> {
+    let group = m.leaf.group();
+    let sort_cost = m.leaf_cost + cost::sort(m.filtered_rows);
+    let mut best = (
+        PhysNode::Sort {
+            input: Box::new(m.leaf.clone()),
+            keys: req.to_vec(),
+            rows: m.filtered_rows,
+            cost: sort_cost,
+            group,
+        },
+        sort_cost,
+    );
+    if req.iter().all(|k| !k.desc) {
+        for ix in &m.indexes {
+            if ix.columns.len() >= req.len()
+                && req.iter().zip(&ix.columns).all(|(k, &c)| k.col == c)
+            {
+                let c = cost::ordered_scan(m.base_rows);
+                if c < best.1 {
+                    best = (
+                        PhysNode::IndexScan {
+                            qt: m.desc.qt,
+                            index: ix.position,
+                            preds: m.local.clone(),
+                            rows: m.filtered_rows,
+                            cost: c,
+                            group,
+                        },
+                        c,
+                    );
+                }
+            }
+        }
+    }
+    if let (Some((node, c)), [key]) = (in_probes, req) {
+        if !key.desc && *c < best.1 {
+            if let PhysNode::InListProbes { index, .. } = node {
+                let lead = m
+                    .indexes
+                    .iter()
+                    .find(|ix| ix.position == *index)
+                    .and_then(|ix| ix.columns.first());
+                if lead == Some(&key.col) {
+                    best = (node.clone(), *c);
+                }
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Per-member leaf alternatives: base row count, cheapest access path and its
+/// cost, the member's indexes, and an optional cost-based in-list-probes
+/// alternative retained for the order pass.
+type LeafAlternatives = (f64, PhysNode, f64, Vec<MdIndex>, Option<(PhysNode, f64)>);
+
 fn build_leaf(
     m: &MemberDesc,
     local: &[Expr],
     md: &MdCache<'_>,
     est: &Estimator,
     group: usize,
-) -> Result<(f64, PhysNode, f64, Vec<MdIndex>)> {
+) -> Result<LeafAlternatives> {
     match &m.source {
         RelSource::Base { oid } => {
             let rel = md
@@ -972,7 +1138,68 @@ fn build_leaf(
                     };
                 }
             }
-            Ok((n, best, best_cost, indexes))
+            // Cost-based IN-list rewrite, retained as a true alternative
+            // alongside the scan/range group expressions: probe the index
+            // once per listed value instead of scanning, and let the cost
+            // model choose. Probe keys are sorted ascending and
+            // deduplicated, so the concatenated lookups also deliver the
+            // leading column ascending — an order-delivering access the
+            // interesting-order machinery reuses via `ordered_leaf`.
+            let mut in_probes: Option<(PhysNode, f64)> = None;
+            for ix in &indexes {
+                let Some(&lead) = ix.columns.first() else { continue };
+                for p in local {
+                    let Expr::InList { expr, list, negated: false } = p else { continue };
+                    if !matches!(expr.as_ref(),
+                        Expr::Column(c) if c.table == m.qt && c.col == lead)
+                    {
+                        continue;
+                    }
+                    // Non-literal elements defeat a static probe list; NULL
+                    // elements never produce a match under `=` and drop out
+                    // (rows matching no element go from FALSE to UNKNOWN —
+                    // filtered either way).
+                    let mut vals: Vec<Value> = Vec::with_capacity(list.len());
+                    let all_literal = list.iter().all(|e| match e {
+                        Expr::Literal(v) => {
+                            if !v.is_null() {
+                                vals.push(v.clone());
+                            }
+                            true
+                        }
+                        _ => false,
+                    });
+                    if !all_literal || vals.is_empty() {
+                        continue;
+                    }
+                    vals.sort_by(|a, b| a.total_cmp(b));
+                    vals.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
+                    let per = (n / est.ndv(ColRef { table: m.qt, col: lead }).max(1.0)).max(0.5);
+                    let c = cost::lookups(vals.len() as f64, per);
+                    if in_probes.as_ref().is_some_and(|(_, pc)| *pc <= c) {
+                        continue;
+                    }
+                    let remaining: Vec<Expr> = local.iter().filter(|q| *q != p).cloned().collect();
+                    let node = PhysNode::InListProbes {
+                        qt: m.qt,
+                        index: ix.position,
+                        keys: vals.iter().map(|v| Expr::Literal(v.clone())).collect(),
+                        consumed: vec![p.clone()],
+                        preds: remaining,
+                        rows: filtered,
+                        cost: c,
+                        group,
+                    };
+                    in_probes = Some((node, c));
+                }
+            }
+            if let Some((node, c)) = &in_probes {
+                if *c < best_cost {
+                    best_cost = *c;
+                    best = node.clone();
+                }
+            }
+            Ok((n, best, best_cost, indexes, in_probes))
         }
         RelSource::Derived { rows, cost: inner_cost, .. } => {
             let sel = est.conjunct_selectivity(local, *rows);
@@ -984,7 +1211,7 @@ fn build_leaf(
                 cost: *inner_cost,
                 group,
             };
-            Ok((*rows, node, *inner_cost, Vec::new()))
+            Ok((*rows, node, *inner_cost, Vec::new(), None))
         }
     }
 }
@@ -1170,6 +1397,7 @@ mod tests {
             ],
             outer: BTreeSet::new(),
             has_aggregation: false,
+            required_order: vec![],
         };
         (md, desc)
     }
@@ -1256,6 +1484,7 @@ mod tests {
             ],
             outer: BTreeSet::new(),
             has_aggregation: false,
+            required_order: vec![],
         };
         let exh2 = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
         let exh =
@@ -1332,6 +1561,7 @@ mod tests {
             predicates: vec![],
             outer: BTreeSet::new(),
             has_aggregation: false,
+            required_order: vec![],
         };
         assert!(optimize_block(&desc, &md, &OrcaConfig::default()).is_err());
     }
@@ -1400,6 +1630,176 @@ mod tests {
         let cfg = OrcaConfig { enable_or_factorization: false, ..OrcaConfig::default() };
         let plan = optimize_block(&desc, &md, &cfg).unwrap();
         assert_eq!((plan.stats.rules_applied, plan.stats.rules_hit), (0, 0));
+    }
+
+    /// One 100k-row table (oid 1) with an index on column 0 — big enough
+    /// that `n·log2(n)` sorting costs more than ordered random access.
+    fn big_indexed() -> (InMemoryAccessor, BlockDesc) {
+        let mut md = InMemoryAccessor::default();
+        md.insert(
+            Oid(1),
+            MdRelation { name: "big".into(), rows: 100_000.0, num_columns: 2 },
+            Some(RelView {
+                rows: 100_000.0,
+                cols: vec![
+                    Some(ColView { ndv: 100_000.0, null_frac: 0.0, hist: None }),
+                    Some(ColView { ndv: 50.0, null_frac: 0.0, hist: None }),
+                ],
+            }),
+            vec![MdIndex { position: 0, name: "big_pk".into(), columns: vec![0], unique: true }],
+        );
+        let desc = BlockDesc {
+            num_tables: 1,
+            members: vec![MemberDesc {
+                qt: 0,
+                source: RelSource::Base { oid: Oid(1) },
+                entry: EntryDesc::Inner,
+                deps: BTreeSet::new(),
+            }],
+            predicates: vec![],
+            outer: BTreeSet::new(),
+            has_aggregation: false,
+            required_order: vec![OrderKey { qt: 0, col: 0, desc: false }],
+        };
+        (md, desc)
+    }
+
+    #[test]
+    fn required_order_picks_ordered_index_scan_on_large_table() {
+        // 100k rows: ordered scan (2.0/row = 200k) beats scan + sort
+        // (100k + 100k·log2(100k)·0.1 ≈ 266k) — delivering order from
+        // inside the plan wins the root comparison.
+        let (md, desc) = big_indexed();
+        let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        assert!(
+            matches!(plan.root, PhysNode::IndexScan { index: 0, .. }),
+            "{}",
+            plan.root.sketch()
+        );
+    }
+
+    #[test]
+    fn required_order_rejected_when_enforcing_is_cheaper() {
+        // Order on the unindexed column 1: sort-ahead at the single leaf
+        // costs exactly what the host's root enforcer costs (same row
+        // count), so the honest comparison keeps the plain plan and lets
+        // the host sort.
+        let (md, mut desc) = big_indexed();
+        desc.required_order = vec![OrderKey { qt: 0, col: 1, desc: false }];
+        let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        assert!(matches!(plan.root, PhysNode::Scan { .. }), "{}", plan.root.sketch());
+    }
+
+    #[test]
+    fn order_properties_off_plans_order_blind() {
+        let (md, desc) = big_indexed();
+        let cfg = OrcaConfig { order_properties: false, ..OrcaConfig::default() };
+        let blind = optimize_block(&desc, &md, &cfg).unwrap();
+        assert!(matches!(blind.root, PhysNode::Scan { .. }), "{}", blind.root.sketch());
+        // The ordered machinery costs extra alternatives; switching it off
+        // must show up in the SearchTrace accounting.
+        let on = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        assert!(
+            blind.stats.plans_costed < on.stats.plans_costed,
+            "{} !< {}",
+            blind.stats.plans_costed,
+            on.stats.plans_costed
+        );
+    }
+
+    #[test]
+    fn sort_ahead_wins_below_a_join() {
+        // ORDER BY dim.name over fact ⋈ dim: sorting 100 dim rows ahead of
+        // the join (order survives the left spine) beats sorting the 100k
+        // join output rows at the root.
+        let (md, mut desc) = setup();
+        desc.members.truncate(2);
+        desc.predicates = vec![Expr::eq(Expr::col(0, 0), Expr::col(1, 0))];
+        // dim.name (qt 1, col 1) has no index: sort-ahead is the only
+        // ordered alternative.
+        desc.required_order = vec![OrderKey { qt: 1, col: 1, desc: false }];
+        let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        fn has_sort(n: &PhysNode) -> bool {
+            match n {
+                PhysNode::Sort { .. } => true,
+                PhysNode::NLJoin { outer, inner, .. } => has_sort(outer) || has_sort(inner),
+                PhysNode::HashJoin { left, right, .. } => has_sort(left) || has_sort(right),
+                _ => false,
+            }
+        }
+        assert!(has_sort(&plan.root), "expected a sort-ahead:\n{}", plan.root.sketch());
+        assert!(!matches!(plan.root, PhysNode::Sort { .. }), "sort-ahead, not a root enforcer");
+    }
+
+    #[test]
+    fn in_list_rewrite_is_cost_based() {
+        // dim.pk IN (3 values) on a 100-row table with a unique index:
+        // 3 probes at 5.5 each beat the 100-unit scan. Both alternatives
+        // are costed; the winner flips with the list size.
+        let (md, mut desc) = setup();
+        desc.members = vec![MemberDesc {
+            qt: 0,
+            source: RelSource::Base { oid: Oid(2) }, // dim, indexed
+            entry: EntryDesc::Inner,
+            deps: BTreeSet::new(),
+        }];
+        let in_list = |n: i64| Expr::InList {
+            expr: Box::new(Expr::col(0, 0)),
+            list: (0..n).map(Expr::int).collect(),
+            negated: false,
+        };
+        desc.predicates = vec![in_list(3)];
+        let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        assert!(
+            matches!(plan.root, PhysNode::InListProbes { .. }),
+            "3 probes beat a scan:\n{}",
+            plan.root.sketch()
+        );
+        // 30 probes cost 165 against a 100-unit scan: the scan wins.
+        desc.predicates = vec![in_list(30)];
+        let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        assert!(
+            matches!(plan.root, PhysNode::Scan { .. }),
+            "30 probes lose to a scan:\n{}",
+            plan.root.sketch()
+        );
+    }
+
+    #[test]
+    fn in_list_probes_deduplicate_sort_and_drop_null_keys() {
+        let (md, mut desc) = setup();
+        desc.members = vec![MemberDesc {
+            qt: 0,
+            source: RelSource::Base { oid: Oid(2) },
+            entry: EntryDesc::Inner,
+            deps: BTreeSet::new(),
+        }];
+        desc.predicates = vec![Expr::InList {
+            expr: Box::new(Expr::col(0, 0)),
+            list: vec![
+                Expr::int(7),
+                Expr::Literal(Value::Null), // never matches under `=`
+                Expr::int(2),
+                Expr::int(7), // duplicate
+            ],
+            negated: false,
+        }];
+        let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        match &plan.root {
+            PhysNode::InListProbes { keys, .. } => {
+                assert_eq!(
+                    keys,
+                    &vec![Expr::int(2), Expr::int(7)],
+                    "keys sorted ascending, deduplicated, NULL dropped"
+                );
+            }
+            other => panic!("{}", other.sketch()),
+        }
+        // The probe union delivers the leading column ascending, so with a
+        // matching required order it also wins the root order decision.
+        desc.required_order = vec![OrderKey { qt: 0, col: 0, desc: false }];
+        let plan = optimize_block(&desc, &md, &OrcaConfig::default()).unwrap();
+        assert!(matches!(plan.root, PhysNode::InListProbes { .. }), "{}", plan.root.sketch());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! converter never has to re-discover table identities (§4.1's
 //! `TABLE_LIST`-pointer trick).
 
+use crate::desc::OrderKey;
 use std::fmt;
 use taurus_common::Expr;
 
@@ -42,6 +43,28 @@ pub enum PhysNode {
         lo: Option<(Expr, bool)>,
         hi: Option<(Expr, bool)>,
         /// Conjuncts consumed by the bounds.
+        consumed: Vec<Expr>,
+        /// Remaining local predicates.
+        preds: Vec<Expr>,
+        rows: f64,
+        cost: f64,
+        group: usize,
+    },
+    /// Full *ordered* scan of an index: every row fetched in key order, no
+    /// bounds. Only emitted when the block has a required order this
+    /// index's key prefix delivers — the memo's enforcer-free alternative
+    /// to scan-then-sort.
+    IndexScan { qt: usize, index: usize, preds: Vec<Expr>, rows: f64, cost: f64, group: usize },
+    /// The cost-based IN-list rewrite: one point probe per listed value
+    /// (keys sorted ascending, deduplicated), concatenated — delivering the
+    /// index's leading column ascending as a side effect. Retained as a
+    /// group expression alongside scan/range; the cost model chooses.
+    InListProbes {
+        qt: usize,
+        index: usize,
+        /// Sorted, deduplicated literal probe keys.
+        keys: Vec<Expr>,
+        /// The consumed `IN` conjunct.
         consumed: Vec<Expr>,
         /// Remaining local predicates.
         preds: Vec<Expr>,
@@ -87,6 +110,11 @@ pub enum PhysNode {
         cost: f64,
         group: usize,
     },
+    /// Sort enforcer placed *inside* the plan (sort-ahead §4: order a
+    /// small input early and let order-preserving joins carry it to the
+    /// root for free). Keys are the block's required order restricted to
+    /// the input's qts.
+    Sort { input: Box<PhysNode>, keys: Vec<OrderKey>, rows: f64, cost: f64, group: usize },
 }
 
 impl PhysNode {
@@ -94,10 +122,13 @@ impl PhysNode {
         match self {
             PhysNode::Scan { rows, .. }
             | PhysNode::IndexRange { rows, .. }
+            | PhysNode::IndexScan { rows, .. }
+            | PhysNode::InListProbes { rows, .. }
             | PhysNode::IndexLookup { rows, .. }
             | PhysNode::DerivedScan { rows, .. }
             | PhysNode::NLJoin { rows, .. }
-            | PhysNode::HashJoin { rows, .. } => *rows,
+            | PhysNode::HashJoin { rows, .. }
+            | PhysNode::Sort { rows, .. } => *rows,
         }
     }
 
@@ -105,10 +136,13 @@ impl PhysNode {
         match self {
             PhysNode::Scan { cost, .. }
             | PhysNode::IndexRange { cost, .. }
+            | PhysNode::IndexScan { cost, .. }
+            | PhysNode::InListProbes { cost, .. }
             | PhysNode::IndexLookup { cost, .. }
             | PhysNode::DerivedScan { cost, .. }
             | PhysNode::NLJoin { cost, .. }
-            | PhysNode::HashJoin { cost, .. } => *cost,
+            | PhysNode::HashJoin { cost, .. }
+            | PhysNode::Sort { cost, .. } => *cost,
         }
     }
 
@@ -116,10 +150,13 @@ impl PhysNode {
         match self {
             PhysNode::Scan { group, .. }
             | PhysNode::IndexRange { group, .. }
+            | PhysNode::IndexScan { group, .. }
+            | PhysNode::InListProbes { group, .. }
             | PhysNode::IndexLookup { group, .. }
             | PhysNode::DerivedScan { group, .. }
             | PhysNode::NLJoin { group, .. }
-            | PhysNode::HashJoin { group, .. } => *group,
+            | PhysNode::HashJoin { group, .. }
+            | PhysNode::Sort { group, .. } => *group,
         }
     }
 
@@ -136,6 +173,7 @@ impl PhysNode {
                 let (c, d) = right.join_method_counts();
                 (a + c, b + d + 1)
             }
+            PhysNode::Sort { input, .. } => input.join_method_counts(),
             _ => (0, 0),
         }
     }
@@ -153,6 +191,7 @@ impl PhysNode {
             PhysNode::HashJoin { left, right, .. } => {
                 is_join(right) || left.is_bushy() || right.is_bushy()
             }
+            PhysNode::Sort { input, .. } => input.is_bushy(),
             _ => false,
         }
     }
@@ -164,6 +203,8 @@ impl PhysNode {
             match n {
                 PhysNode::Scan { qt, .. }
                 | PhysNode::IndexRange { qt, .. }
+                | PhysNode::IndexScan { qt, .. }
+                | PhysNode::InListProbes { qt, .. }
                 | PhysNode::IndexLookup { qt, .. }
                 | PhysNode::DerivedScan { qt, .. } => out.push(*qt),
                 PhysNode::NLJoin { outer, inner, .. } => {
@@ -174,6 +215,7 @@ impl PhysNode {
                     walk(left, out);
                     walk(right, out);
                 }
+                PhysNode::Sort { input, .. } => walk(input, out),
             }
         }
         walk(self, &mut out);
@@ -195,6 +237,12 @@ impl PhysNode {
                 PhysNode::IndexRange { qt, group, .. } => {
                     let _ = writeln!(out, "PhysicalIndexRangeScan {group} (qt{qt})");
                 }
+                PhysNode::IndexScan { qt, group, .. } => {
+                    let _ = writeln!(out, "PhysicalIndexOnlyOrderedScan {group} (qt{qt})");
+                }
+                PhysNode::InListProbes { qt, group, keys, .. } => {
+                    let _ = writeln!(out, "PhysicalInListProbes[{}] {group} (qt{qt})", keys.len());
+                }
                 PhysNode::IndexLookup { qt, group, .. } => {
                     let _ = writeln!(out, "PhysicalIndexScan {group} (qt{qt})");
                 }
@@ -210,6 +258,10 @@ impl PhysNode {
                     let _ = writeln!(out, "Physical{}HashJoin {group}", kind.name());
                     walk(left, depth + 1, out);
                     walk(right, depth + 1, out);
+                }
+                PhysNode::Sort { input, group, .. } => {
+                    let _ = writeln!(out, "PhysicalSort {group}");
+                    walk(input, depth + 1, out);
                 }
             }
         }

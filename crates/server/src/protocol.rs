@@ -40,6 +40,7 @@ const KEY_DEADLINE_MS: u8 = 4;
 const KEY_MEMORY_BUDGET: u8 = 5;
 const KEY_REOPT_Q_THRESHOLD: u8 = 6;
 const KEY_VECTORIZED: u8 = 7;
+const KEY_ORDER_OPT: u8 = 8;
 
 // Reply status bytes.
 const STATUS_OK: u8 = 0;
@@ -250,6 +251,9 @@ fn encode_opts(out: &mut Vec<u8>, opts: &SessionOpts) {
     if let Some(v) = opts.vectorized {
         pairs.push((KEY_VECTORIZED, v as u64));
     }
+    if let Some(v) = opts.order_opt {
+        pairs.push((KEY_ORDER_OPT, v as u64));
+    }
     out.push(pairs.len() as u8);
     for (k, v) in pairs {
         out.push(k);
@@ -271,6 +275,7 @@ fn decode_opts(c: &mut Cursor) -> Result<SessionOpts> {
             KEY_MEMORY_BUDGET => opts.memory_budget = Some(val),
             KEY_REOPT_Q_THRESHOLD => opts.reopt_q_threshold = Some(f64::from_bits(val)),
             KEY_VECTORIZED => opts.vectorized = Some(val != 0),
+            KEY_ORDER_OPT => opts.order_opt = Some(val != 0),
             other => return Err(protocol_err(&format!("unknown option key {other}"))),
         }
     }

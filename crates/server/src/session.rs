@@ -19,6 +19,7 @@ pub fn layer_opts(base: &SessionOpts, over: &SessionOpts) -> SessionOpts {
         morsel_rows: over.morsel_rows.or(base.morsel_rows),
         vectorized: over.vectorized.or(base.vectorized),
         parallel_threshold: over.parallel_threshold.or(base.parallel_threshold),
+        order_opt: over.order_opt.or(base.order_opt),
         deadline_ms: over.deadline_ms.or(base.deadline_ms),
         memory_budget: over.memory_budget.or(base.memory_budget),
         reopt_q_threshold: over.reopt_q_threshold.or(base.reopt_q_threshold),
